@@ -1,0 +1,333 @@
+//! User-role reachability analysis for ARBAC97 policies.
+//!
+//! The classic safety question for ARBAC (Li & Tripunitara; Sasturkar et
+//! al.): *can a given user ever become a member of a goal role* through
+//! some sequence of `can_assign` / `can_revoke` steps? The general problem
+//! is PSPACE-complete; two standard fragments are implemented here:
+//!
+//! * [`reachable_roles_monotone`] — positive preconditions and no
+//!   revocation: role sets only grow, so a least fixpoint computes exact
+//!   reachability in polynomial time;
+//! * [`role_reachable_bounded`] — the general case, explored by BFS over
+//!   explicit-membership states with a state cap (sound for “reachable”
+//!   answers, bounded for “not found within the cap”).
+//!
+//! Both make ARBAC's *separate administration* assumption: administrative
+//! memberships are fixed, so some administrator is always available to
+//! apply a rule whose target-user precondition is met.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use adminref_core::closure::RoleClosure;
+use adminref_core::ids::RoleId;
+
+use crate::arbac::{CanAssign, CanRevoke, Prereq};
+
+/// Outcome of the bounded exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BoundedAnswer {
+    /// A command sequence reaching the goal exists (witness length given).
+    Reachable {
+        /// Number of assignment/revocation steps in the witness.
+        steps: usize,
+    },
+    /// Exhaustively refuted within the explored state space.
+    Unreachable,
+    /// The state cap was hit before the space was exhausted.
+    Unknown,
+}
+
+/// Implicit membership closure of an explicit role set.
+fn implicit(closure: &RoleClosure, explicit: &BTreeSet<RoleId>) -> BTreeSet<RoleId> {
+    let mut out = BTreeSet::new();
+    for &r in explicit {
+        for j in closure.row(r.0).iter() {
+            out.insert(RoleId(j as u32));
+        }
+    }
+    out
+}
+
+fn prereq_holds(prereq: &Prereq, closure: &RoleClosure, explicit: &BTreeSet<RoleId>) -> bool {
+    let member = |r: RoleId| explicit.iter().any(|&d| closure.reaches(d.0, r.0));
+    prereq.eval(&member)
+}
+
+/// `true` iff the prerequisite only tests positive membership (no `Not`).
+pub fn is_positive(prereq: &Prereq) -> bool {
+    match prereq {
+        Prereq::True | Prereq::Role(_) => true,
+        Prereq::Not(_) => false,
+        Prereq::And(a, b) | Prereq::Or(a, b) => is_positive(a) && is_positive(b),
+    }
+}
+
+/// Exact reachability for the monotone fragment (positive preconditions,
+/// no revocation): the set of roles the user can eventually hold
+/// (explicitly), as a least fixpoint.
+///
+/// # Panics
+/// Panics if any rule has a non-positive prerequisite — callers choose the
+/// fragment deliberately.
+pub fn reachable_roles_monotone(
+    closure: &RoleClosure,
+    rules: &[CanAssign],
+    initial: &BTreeSet<RoleId>,
+) -> BTreeSet<RoleId> {
+    assert!(
+        rules.iter().all(|r| is_positive(&r.prereq)),
+        "monotone analysis requires positive preconditions"
+    );
+    let mut explicit = initial.clone();
+    loop {
+        let mut grew = false;
+        for rule in rules {
+            if !prereq_holds(&rule.prereq, closure, &explicit) {
+                continue;
+            }
+            // The rule lets us add any role in its range.
+            for r in 0..closure.len() as u32 {
+                let role = RoleId(r);
+                if rule.range.contains(closure, role) && explicit.insert(role) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            return explicit;
+        }
+    }
+}
+
+/// Bounded BFS for the general case: can the user's membership evolve so
+/// that `goal` is held (implicitly)?
+pub fn role_reachable_bounded(
+    closure: &RoleClosure,
+    can_assign: &[CanAssign],
+    can_revoke: &[CanRevoke],
+    initial: &BTreeSet<RoleId>,
+    goal: RoleId,
+    max_states: usize,
+) -> BoundedAnswer {
+    let start = initial.clone();
+    if implicit(closure, &start).contains(&goal) {
+        return BoundedAnswer::Reachable { steps: 0 };
+    }
+    let mut seen: HashSet<BTreeSet<RoleId>> = HashSet::new();
+    seen.insert(start.clone());
+    let mut queue: VecDeque<(BTreeSet<RoleId>, usize)> = VecDeque::new();
+    queue.push_back((start, 0));
+    let mut truncated = false;
+    while let Some((state, depth)) = queue.pop_front() {
+        // Successors: every applicable assignment and revocation.
+        let mut successors: Vec<BTreeSet<RoleId>> = Vec::new();
+        for rule in can_assign {
+            if !prereq_holds(&rule.prereq, closure, &state) {
+                continue;
+            }
+            for r in 0..closure.len() as u32 {
+                let role = RoleId(r);
+                if rule.range.contains(closure, role) && !state.contains(&role) {
+                    let mut next = state.clone();
+                    next.insert(role);
+                    successors.push(next);
+                }
+            }
+        }
+        for rule in can_revoke {
+            for &role in &state {
+                if rule.range.contains(closure, role) {
+                    let mut next = state.clone();
+                    next.remove(&role);
+                    successors.push(next);
+                }
+            }
+        }
+        for next in successors {
+            if seen.contains(&next) {
+                continue;
+            }
+            if implicit(closure, &next).contains(&goal) {
+                return BoundedAnswer::Reachable { steps: depth + 1 };
+            }
+            if seen.len() >= max_states {
+                truncated = true;
+                continue;
+            }
+            seen.insert(next.clone());
+            queue.push_back((next, depth + 1));
+        }
+    }
+    if truncated {
+        BoundedAnswer::Unknown
+    } else {
+        BoundedAnswer::Unreachable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbac::RoleRange;
+    use adminref_core::policy::PolicyBuilder;
+    use adminref_core::reach::ReachIndex;
+    use adminref_core::universe::Universe;
+
+    /// Chain hierarchy pl → e1 → eng → ed plus an unrelated role q.
+    fn setup() -> (Universe, RoleClosure) {
+        let (uni, policy) = PolicyBuilder::new()
+            .inherit("pl", "e1")
+            .inherit("e1", "eng")
+            .inherit("eng", "ed")
+            .declare_role("q")
+            .finish();
+        let closure = ReachIndex::build(&uni, &policy).role_closure().clone();
+        (uni, closure)
+    }
+
+    fn role(uni: &Universe, name: &str) -> RoleId {
+        uni.find_role(name).unwrap()
+    }
+
+    #[test]
+    fn monotone_fixpoint_climbs_the_ladder() {
+        let (uni, closure) = setup();
+        let ed = role(&uni, "ed");
+        let eng = role(&uni, "eng");
+        let e1 = role(&uni, "e1");
+        // ed members may become eng; eng members may become e1.
+        let rules = vec![
+            CanAssign {
+                admin_role: role(&uni, "pl"),
+                prereq: Prereq::Role(ed),
+                range: RoleRange::closed(eng, eng),
+            },
+            CanAssign {
+                admin_role: role(&uni, "pl"),
+                prereq: Prereq::Role(eng),
+                range: RoleRange::closed(e1, e1),
+            },
+        ];
+        let initial: BTreeSet<RoleId> = [ed].into_iter().collect();
+        let reach = reachable_roles_monotone(&closure, &rules, &initial);
+        assert!(reach.contains(&eng));
+        assert!(reach.contains(&e1));
+        assert!(!reach.contains(&role(&uni, "pl")));
+        assert!(!reach.contains(&role(&uni, "q")));
+    }
+
+    #[test]
+    fn monotone_requires_initial_seed() {
+        let (uni, closure) = setup();
+        let eng = role(&uni, "eng");
+        let rules = vec![CanAssign {
+            admin_role: role(&uni, "pl"),
+            prereq: Prereq::Role(role(&uni, "ed")),
+            range: RoleRange::closed(eng, eng),
+        }];
+        let reach = reachable_roles_monotone(&closure, &rules, &BTreeSet::new());
+        assert!(reach.is_empty(), "no seed, no growth");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive preconditions")]
+    fn monotone_rejects_negative_preconditions() {
+        let (uni, closure) = setup();
+        let eng = role(&uni, "eng");
+        let rules = vec![CanAssign {
+            admin_role: role(&uni, "pl"),
+            prereq: Prereq::Not(Box::new(Prereq::Role(eng))),
+            range: RoleRange::closed(eng, eng),
+        }];
+        reachable_roles_monotone(&closure, &rules, &BTreeSet::new());
+    }
+
+    #[test]
+    fn bounded_finds_negative_precondition_plans() {
+        // Reaching the goal requires first *revoking* a blocking role:
+        // can_assign(…, ¬q, [e1,e1]) with the user initially in q.
+        let (uni, closure) = setup();
+        let e1 = role(&uni, "e1");
+        let q = role(&uni, "q");
+        let ed = role(&uni, "ed");
+        let can_assign = vec![CanAssign {
+            admin_role: role(&uni, "pl"),
+            prereq: Prereq::and_not(ed, q),
+            range: RoleRange::closed(e1, e1),
+        }];
+        let can_revoke = vec![CanRevoke {
+            admin_role: role(&uni, "pl"),
+            range: RoleRange::closed(q, q),
+        }];
+        let initial: BTreeSet<RoleId> = [ed, q].into_iter().collect();
+        let ans = role_reachable_bounded(&closure, &can_assign, &can_revoke, &initial, e1, 10_000);
+        assert_eq!(ans, BoundedAnswer::Reachable { steps: 2 });
+        // Without the revoke rule the goal is unreachable.
+        let ans2 = role_reachable_bounded(&closure, &can_assign, &[], &initial, e1, 10_000);
+        assert_eq!(ans2, BoundedAnswer::Unreachable);
+    }
+
+    #[test]
+    fn bounded_zero_steps_when_goal_already_held() {
+        let (uni, closure) = setup();
+        let ed = role(&uni, "ed");
+        let eng = role(&uni, "eng");
+        let initial: BTreeSet<RoleId> = [eng].into_iter().collect();
+        // eng implies ed via the hierarchy.
+        let ans = role_reachable_bounded(&closure, &[], &[], &initial, ed, 100);
+        assert_eq!(ans, BoundedAnswer::Reachable { steps: 0 });
+    }
+
+    #[test]
+    fn bounded_reports_unknown_on_tiny_caps() {
+        let (uni, closure) = setup();
+        let e1 = role(&uni, "e1");
+        let q = role(&uni, "q");
+        let ed = role(&uni, "ed");
+        let can_assign = vec![CanAssign {
+            admin_role: role(&uni, "pl"),
+            prereq: Prereq::and_not(ed, q),
+            range: RoleRange::closed(e1, e1),
+        }];
+        let can_revoke = vec![CanRevoke {
+            admin_role: role(&uni, "pl"),
+            range: RoleRange::closed(q, q),
+        }];
+        let initial: BTreeSet<RoleId> = [ed, q].into_iter().collect();
+        let ans = role_reachable_bounded(&closure, &can_assign, &can_revoke, &initial, e1, 1);
+        assert_eq!(ans, BoundedAnswer::Unknown);
+    }
+
+    #[test]
+    fn monotone_agrees_with_bounded_on_positive_instances() {
+        let (uni, closure) = setup();
+        let ed = role(&uni, "ed");
+        let eng = role(&uni, "eng");
+        let e1 = role(&uni, "e1");
+        let rules = vec![
+            CanAssign {
+                admin_role: role(&uni, "pl"),
+                prereq: Prereq::Role(ed),
+                range: RoleRange::closed(eng, eng),
+            },
+            CanAssign {
+                admin_role: role(&uni, "pl"),
+                prereq: Prereq::Role(eng),
+                range: RoleRange::closed(e1, e1),
+            },
+        ];
+        let initial: BTreeSet<RoleId> = [ed].into_iter().collect();
+        let fixpoint = reachable_roles_monotone(&closure, &rules, &initial);
+        for r in 0..closure.len() as u32 {
+            let goal = RoleId(r);
+            let bounded =
+                role_reachable_bounded(&closure, &rules, &[], &initial, goal, 100_000);
+            let in_fixpoint = implicit(&closure, &fixpoint).contains(&goal);
+            match bounded {
+                BoundedAnswer::Reachable { .. } => assert!(in_fixpoint, "role {r}"),
+                BoundedAnswer::Unreachable => assert!(!in_fixpoint, "role {r}"),
+                BoundedAnswer::Unknown => panic!("cap too small for the test"),
+            }
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! The HRU access-matrix model (Harrison, Ruzzo, Ullman 1976) — footnote 5
+//! of the paper contrasts its collusion model with Definition 7's
+//! actor-sequenced queues.
+//!
+//! An HRU protection system is an access matrix (subjects × objects →
+//! sets of generic rights) plus a fixed set of commands, each a guarded
+//! sequence of primitive operations. Safety (“can right `r` leak into a
+//! cell that did not have it?”) is undecidable in general; two classic
+//! decision procedures are implemented:
+//!
+//! * [`System::leaks_bounded`] — BFS over reachable matrices with a state
+//!   cap (sound for positive answers);
+//! * [`System::leaks_mono_operational`] — the HRU theorem for
+//!   *mono-operational* systems (every command body is one primitive
+//!   operation): a minimal leaky run never destroys or deletes and needs
+//!   at most one created subject, so with only `enter`s left the state
+//!   grows monotonically and a fixpoint decides safety exactly.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+/// A generic right (interned by index; names live in the [`System`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Right(pub u32);
+
+/// An object of the matrix. Subjects are objects flagged as such.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Obj(pub u32);
+
+/// The access matrix: live objects, which of them are subjects, and the
+/// rights in each (subject, object) cell.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Matrix {
+    /// Live objects in creation order.
+    objects: BTreeSet<Obj>,
+    /// The subset of `objects` that are subjects.
+    subjects: BTreeSet<Obj>,
+    /// Non-empty cells only.
+    cells: BTreeMap<(Obj, Obj), BTreeSet<Right>>,
+    /// Next fresh object id.
+    next: u32,
+}
+
+impl Matrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a subject (which is also an object).
+    pub fn create_subject(&mut self) -> Obj {
+        let o = Obj(self.next);
+        self.next += 1;
+        self.objects.insert(o);
+        self.subjects.insert(o);
+        o
+    }
+
+    /// Creates a plain object.
+    pub fn create_object(&mut self) -> Obj {
+        let o = Obj(self.next);
+        self.next += 1;
+        self.objects.insert(o);
+        o
+    }
+
+    /// Destroys a subject: its row and column disappear.
+    pub fn destroy_subject(&mut self, s: Obj) {
+        self.subjects.remove(&s);
+        self.destroy_object(s);
+    }
+
+    /// Destroys an object: its column disappears.
+    pub fn destroy_object(&mut self, o: Obj) {
+        self.objects.remove(&o);
+        self.subjects.remove(&o);
+        self.cells.retain(|&(s, t), _| s != o && t != o);
+    }
+
+    /// Enters `right` into cell `(s, o)`; `true` if the cell changed.
+    pub fn enter(&mut self, right: Right, s: Obj, o: Obj) -> bool {
+        debug_assert!(self.subjects.contains(&s) && self.objects.contains(&o));
+        self.cells.entry((s, o)).or_default().insert(right)
+    }
+
+    /// Deletes `right` from cell `(s, o)`; `true` if it was present.
+    pub fn delete(&mut self, right: Right, s: Obj, o: Obj) -> bool {
+        if let Some(cell) = self.cells.get_mut(&(s, o)) {
+            let removed = cell.remove(&right);
+            if cell.is_empty() {
+                self.cells.remove(&(s, o));
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Membership test for `right` in cell `(s, o)`.
+    pub fn has(&self, right: Right, s: Obj, o: Obj) -> bool {
+        self.cells
+            .get(&(s, o))
+            .is_some_and(|cell| cell.contains(&right))
+    }
+
+    /// Live subjects.
+    pub fn subjects(&self) -> impl Iterator<Item = Obj> + '_ {
+        self.subjects.iter().copied()
+    }
+
+    /// Live objects (subjects included).
+    pub fn objects(&self) -> impl Iterator<Item = Obj> + '_ {
+        self.objects.iter().copied()
+    }
+
+    /// Number of non-empty cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// A primitive operation; parameters are indices into the command's
+/// argument list.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrimOp {
+    /// `enter r into (Xs, Xo)`.
+    Enter(Right, usize, usize),
+    /// `delete r from (Xs, Xo)`.
+    Delete(Right, usize, usize),
+    /// `create subject Xs` (binds a fresh subject to the parameter).
+    CreateSubject(usize),
+    /// `create object Xo` (binds a fresh object to the parameter).
+    CreateObject(usize),
+    /// `destroy subject Xs`.
+    DestroySubject(usize),
+    /// `destroy object Xo`.
+    DestroyObject(usize),
+}
+
+/// A guard `r ∈ (Xs, Xo)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Condition {
+    /// The required right.
+    pub right: Right,
+    /// Subject parameter index.
+    pub subject: usize,
+    /// Object parameter index.
+    pub object: usize,
+}
+
+/// One HRU command: `command name(X1,…,Xk) if conditions then ops end`.
+#[derive(Clone, Debug)]
+pub struct Command {
+    /// Display name.
+    pub name: String,
+    /// Number of parameters.
+    pub params: usize,
+    /// Conjunctive guard.
+    pub conditions: Vec<Condition>,
+    /// Body.
+    pub ops: Vec<PrimOp>,
+}
+
+impl Command {
+    /// `true` iff the body is a single primitive operation.
+    pub fn is_mono_operational(&self) -> bool {
+        self.ops.len() == 1
+    }
+}
+
+/// A protection system: rights vocabulary and command set.
+#[derive(Clone, Debug, Default)]
+pub struct System {
+    right_names: Vec<String>,
+    /// The command set.
+    pub commands: Vec<Command>,
+}
+
+/// Result of a bounded safety search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SafetyAnswer {
+    /// A leak was found (witness length in command applications).
+    Leaks {
+        /// Number of commands in the witness run.
+        steps: usize,
+    },
+    /// No leak exists (exhaustive within the explored space).
+    Safe,
+    /// State cap reached before exhaustion.
+    Unknown,
+}
+
+impl System {
+    /// Empty system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a right name.
+    pub fn right(&mut self, name: &str) -> Right {
+        if let Some(i) = self.right_names.iter().position(|n| n == name) {
+            return Right(i as u32);
+        }
+        self.right_names.push(name.to_string());
+        Right((self.right_names.len() - 1) as u32)
+    }
+
+    /// Name of a right.
+    pub fn right_name(&self, r: Right) -> &str {
+        &self.right_names[r.0 as usize]
+    }
+
+    /// Adds a command.
+    pub fn add_command(&mut self, command: Command) -> &mut Self {
+        self.commands.push(command);
+        self
+    }
+
+    /// Applies `command` with the given argument binding, if the guard
+    /// holds. Returns the successor matrix.
+    pub fn apply(&self, matrix: &Matrix, command: &Command, args: &[Obj]) -> Option<Matrix> {
+        debug_assert_eq!(args.len(), command.params);
+        for c in &command.conditions {
+            let s = args[c.subject];
+            let o = args[c.object];
+            if !matrix.has(c.right, s, o) {
+                return None;
+            }
+        }
+        let mut next = matrix.clone();
+        let mut bound: Vec<Obj> = args.to_vec();
+        for op in &command.ops {
+            match *op {
+                PrimOp::Enter(r, s, o) => {
+                    let (s, o) = (bound[s], bound[o]);
+                    if !next.subjects.contains(&s) || !next.objects.contains(&o) {
+                        return None;
+                    }
+                    next.enter(r, s, o);
+                }
+                PrimOp::Delete(r, s, o) => {
+                    next.delete(r, bound[s], bound[o]);
+                }
+                PrimOp::CreateSubject(x) => {
+                    bound[x] = next.create_subject();
+                }
+                PrimOp::CreateObject(x) => {
+                    bound[x] = next.create_object();
+                }
+                PrimOp::DestroySubject(x) => next.destroy_subject(bound[x]),
+                PrimOp::DestroyObject(x) => next.destroy_object(bound[x]),
+            }
+        }
+        Some(next)
+    }
+
+    /// All successor matrices of `matrix` (every command, every argument
+    /// binding over live objects).
+    pub fn successors(&self, matrix: &Matrix) -> Vec<Matrix> {
+        let objects: Vec<Obj> = matrix.objects().collect();
+        let mut out = Vec::new();
+        for command in &self.commands {
+            let mut args = vec![Obj(0); command.params];
+            self.enumerate_bindings(matrix, command, &objects, 0, &mut args, &mut out);
+        }
+        out
+    }
+
+    fn enumerate_bindings(
+        &self,
+        matrix: &Matrix,
+        command: &Command,
+        objects: &[Obj],
+        i: usize,
+        args: &mut Vec<Obj>,
+        out: &mut Vec<Matrix>,
+    ) {
+        if i == command.params {
+            if let Some(next) = self.apply(matrix, command, args) {
+                out.push(next);
+            }
+            return;
+        }
+        // Parameters bound by a create op need no pre-binding; give them a
+        // placeholder (any live object, or Obj(0) if none).
+        let created = command.ops.iter().any(|op| {
+            matches!(op, PrimOp::CreateSubject(x) | PrimOp::CreateObject(x) if *x == i)
+        });
+        if created {
+            args[i] = Obj(u32::MAX); // placeholder, rebound on apply
+            self.enumerate_bindings(matrix, command, objects, i + 1, args, out);
+            return;
+        }
+        for &o in objects {
+            args[i] = o;
+            self.enumerate_bindings(matrix, command, objects, i + 1, args, out);
+        }
+    }
+
+    /// Bounded BFS safety: can `right` appear in a cell that lacked it in
+    /// `initial` (new cells count as lacking)?
+    pub fn leaks_bounded(&self, initial: &Matrix, right: Right, max_states: usize) -> SafetyAnswer {
+        let baseline: HashSet<(Obj, Obj)> = initial
+            .cells
+            .iter()
+            .filter(|(_, rights)| rights.contains(&right))
+            .map(|(&cell, _)| cell)
+            .collect();
+        let leaked = |m: &Matrix| {
+            m.cells
+                .iter()
+                .any(|(cell, rights)| rights.contains(&right) && !baseline.contains(cell))
+        };
+        if leaked(initial) {
+            return SafetyAnswer::Leaks { steps: 0 };
+        }
+        let mut seen: HashSet<Matrix> = HashSet::new();
+        seen.insert(initial.clone());
+        let mut queue: VecDeque<(Matrix, usize)> = VecDeque::new();
+        queue.push_back((initial.clone(), 0));
+        let mut truncated = false;
+        while let Some((m, depth)) = queue.pop_front() {
+            for next in self.successors(&m) {
+                if seen.contains(&next) {
+                    continue;
+                }
+                if leaked(&next) {
+                    return SafetyAnswer::Leaks { steps: depth + 1 };
+                }
+                if seen.len() >= max_states {
+                    truncated = true;
+                    continue;
+                }
+                seen.insert(next.clone());
+                queue.push_back((next, depth + 1));
+            }
+        }
+        if truncated {
+            SafetyAnswer::Unknown
+        } else {
+            SafetyAnswer::Safe
+        }
+    }
+
+    /// Exact safety decision for mono-operational systems (HRU 1976,
+    /// Theorem 1): delete/destroy can be dropped from a minimal leaky run,
+    /// and one created subject suffices, so a monotone `enter`-only
+    /// fixpoint over the initial objects plus one fresh subject decides
+    /// safety.
+    ///
+    /// # Panics
+    /// Panics if some command is not mono-operational.
+    pub fn leaks_mono_operational(&self, initial: &Matrix, right: Right) -> bool {
+        assert!(
+            self.commands.iter().all(Command::is_mono_operational),
+            "mono-operational decision requires single-op commands"
+        );
+        let baseline: HashSet<(Obj, Obj)> = initial
+            .cells
+            .iter()
+            .filter(|(_, rights)| rights.contains(&right))
+            .map(|(&cell, _)| cell)
+            .collect();
+        // Work on the initial matrix extended with one fresh subject; only
+        // `enter` commands matter (creates are subsumed by the fresh
+        // subject, deletes/destroys only shrink). The object set is fixed
+        // from here on, so argument tuples can be enumerated once and each
+        // applied against the *current* matrix (enter-only ⇒ monotone).
+        let mut m = initial.clone();
+        m.create_subject();
+        let objects: Vec<Obj> = m.objects().collect();
+        loop {
+            let mut grew = false;
+            for command in &self.commands {
+                if !matches!(command.ops[0], PrimOp::Enter(..)) {
+                    continue;
+                }
+                if command.params > 0 && objects.is_empty() {
+                    continue;
+                }
+                let first = objects.first().copied().unwrap_or(Obj(0));
+                let mut args = vec![first; command.params];
+                loop {
+                    if let Some(next) = self.apply(&m, command, &args) {
+                        if next != m {
+                            m = next;
+                            grew = true;
+                        }
+                    }
+                    // Advance the argument tuple (odometer over objects).
+                    let mut i = 0;
+                    loop {
+                        if i == command.params {
+                            break;
+                        }
+                        let pos = objects.iter().position(|&o| o == args[i]).unwrap_or(0);
+                        if pos + 1 < objects.len() {
+                            args[i] = objects[pos + 1];
+                            break;
+                        }
+                        args[i] = objects[0];
+                        i += 1;
+                    }
+                    if i == command.params {
+                        break;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        m.cells
+            .iter()
+            .any(|(cell, rights)| rights.contains(&right) && !baseline.contains(cell))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The textbook owner/grant system:
+    /// `grant_read(s1, s2, o): if own ∈ (s1,o) then enter read into (s2,o)`.
+    fn owner_grant() -> (System, Matrix, Right, Right, Obj, Obj, Obj) {
+        let mut sys = System::new();
+        let own = sys.right("own");
+        let read = sys.right("read");
+        sys.add_command(Command {
+            name: "grant_read".into(),
+            params: 3,
+            conditions: vec![Condition {
+                right: own,
+                subject: 0,
+                object: 2,
+            }],
+            ops: vec![PrimOp::Enter(read, 1, 2)],
+        });
+        let mut m = Matrix::new();
+        let alice = m.create_subject();
+        let bob = m.create_subject();
+        let file = m.create_object();
+        m.enter(own, alice, file);
+        (sys, m, own, read, alice, bob, file)
+    }
+
+    #[test]
+    fn matrix_basics() {
+        let mut m = Matrix::new();
+        let s = m.create_subject();
+        let o = m.create_object();
+        let r = Right(0);
+        assert!(m.enter(r, s, o));
+        assert!(!m.enter(r, s, o), "idempotent");
+        assert!(m.has(r, s, o));
+        assert!(m.delete(r, s, o));
+        assert!(!m.has(r, s, o));
+        assert_eq!(m.cell_count(), 0, "empty cells are pruned");
+    }
+
+    #[test]
+    fn destroy_clears_rows_and_columns() {
+        let mut m = Matrix::new();
+        let s = m.create_subject();
+        let o = m.create_object();
+        let r = Right(0);
+        m.enter(r, s, o);
+        m.enter(r, s, s);
+        m.destroy_object(o);
+        assert!(!m.has(r, s, o));
+        assert!(m.has(r, s, s));
+        m.destroy_subject(s);
+        assert_eq!(m.cell_count(), 0);
+        assert_eq!(m.objects().count(), 0);
+    }
+
+    #[test]
+    fn guarded_command_application() {
+        let (sys, m, _own, read, alice, bob, file) = owner_grant();
+        let cmd = &sys.commands[0];
+        let next = sys.apply(&m, cmd, &[alice, bob, file]).expect("guard holds");
+        assert!(next.has(read, bob, file));
+        // Bob does not own the file; the guard fails.
+        assert!(sys.apply(&m, cmd, &[bob, alice, file]).is_none());
+    }
+
+    #[test]
+    fn bounded_safety_finds_the_leak() {
+        let (sys, m, _own, read, _alice, _bob, _file) = owner_grant();
+        let ans = sys.leaks_bounded(&m, read, 10_000);
+        assert_eq!(ans, SafetyAnswer::Leaks { steps: 1 });
+    }
+
+    #[test]
+    fn bounded_safety_proves_safety_without_rules() {
+        let (_, m, _own, read, ..) = owner_grant();
+        let empty = System::new();
+        assert_eq!(empty.leaks_bounded(&m, read, 100), SafetyAnswer::Safe);
+    }
+
+    #[test]
+    fn mono_operational_decision_matches_bounded() {
+        let (sys, m, own, read, ..) = owner_grant();
+        assert!(sys.leaks_mono_operational(&m, read));
+        // `own` never spreads: the only command enters `read`.
+        assert!(!sys.leaks_mono_operational(&m, own));
+        assert_eq!(sys.leaks_bounded(&m, own, 10_000), SafetyAnswer::Safe);
+    }
+
+    #[test]
+    fn create_bound_parameters() {
+        // A command that creates a subject and gives it a right.
+        let mut sys = System::new();
+        let hello = sys.right("hello");
+        sys.add_command(Command {
+            name: "spawn".into(),
+            params: 1,
+            conditions: vec![],
+            ops: vec![PrimOp::CreateSubject(0)],
+        });
+        sys.add_command(Command {
+            name: "self_bless".into(),
+            params: 1,
+            conditions: vec![],
+            ops: vec![PrimOp::Enter(hello, 0, 0)],
+        });
+        let mut m = Matrix::new();
+        m.create_subject();
+        let ans = sys.leaks_bounded(&m, hello, 1_000);
+        assert!(matches!(ans, SafetyAnswer::Leaks { .. }));
+    }
+
+    #[test]
+    fn two_step_leak_via_delegation() {
+        // own(s,o) lets s grant own to another subject, who can then grant
+        // read — the leak takes two steps for bob via carol.
+        let mut sys = System::new();
+        let own = sys.right("own");
+        let read = sys.right("read");
+        sys.add_command(Command {
+            name: "grant_own".into(),
+            params: 3,
+            conditions: vec![Condition {
+                right: own,
+                subject: 0,
+                object: 2,
+            }],
+            ops: vec![PrimOp::Enter(own, 1, 2)],
+        });
+        sys.add_command(Command {
+            name: "grant_read".into(),
+            params: 3,
+            conditions: vec![Condition {
+                right: own,
+                subject: 0,
+                object: 2,
+            }],
+            ops: vec![PrimOp::Enter(read, 1, 2)],
+        });
+        let mut m = Matrix::new();
+        let alice = m.create_subject();
+        let _bob = m.create_subject();
+        let file = m.create_object();
+        m.enter(own, alice, file);
+        assert!(sys.leaks_mono_operational(&m, read));
+        assert!(matches!(
+            sys.leaks_bounded(&m, read, 100_000),
+            SafetyAnswer::Leaks { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_on_tiny_cap() {
+        let (sys, mut m, own, _read, alice, ..) = owner_grant();
+        // Make many objects so the space exceeds the cap quickly, and ask
+        // about a right that never leaks.
+        for _ in 0..3 {
+            let o = m.create_object();
+            m.enter(own, alice, o);
+        }
+        let never = Right(99);
+        assert_eq!(sys.leaks_bounded(&m, never, 2), SafetyAnswer::Unknown);
+    }
+
+    #[test]
+    #[should_panic(expected = "mono-operational")]
+    fn mono_decision_rejects_multi_op_commands() {
+        let mut sys = System::new();
+        let r = sys.right("r");
+        sys.add_command(Command {
+            name: "two_ops".into(),
+            params: 1,
+            conditions: vec![],
+            ops: vec![PrimOp::Enter(r, 0, 0), PrimOp::Enter(r, 0, 0)],
+        });
+        let m = Matrix::new();
+        sys.leaks_mono_operational(&m, r);
+    }
+
+    #[test]
+    fn right_interning() {
+        let mut sys = System::new();
+        let a = sys.right("own");
+        let b = sys.right("own");
+        assert_eq!(a, b);
+        assert_eq!(sys.right_name(a), "own");
+        assert_ne!(sys.right("read"), a);
+    }
+}

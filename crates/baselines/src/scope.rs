@@ -1,0 +1,211 @@
+//! Administrative scope (Crampton & Loizou, TISSEC 2003) — reference \[4\]
+//! of the paper.
+//!
+//! Crampton and Loizou place administrative authority in the *same*
+//! hierarchy as ordinary roles (like the paper does) but derive it from
+//! the hierarchy's shape instead of assigned privileges: role `r` is
+//! within the administrative scope of `a` iff `a` reaches `r` and every
+//! role senior to `r` is comparable to `a` (senior or junior to it):
+//!
+//! ```text
+//! r ∈ σ(a)   ⟺   r ≤ a  ∧  ↑r ⊆ ↑a ∪ ↓a
+//! ```
+//!
+//! Intuitively, nobody outside `a`'s chain of command can be affected by
+//! changes `a` makes to `r`. The *strict* scope `σ⁺(a) = σ(a) \ {a}` is
+//! what an administrator may actually modify.
+
+use adminref_core::bitset::BitSet;
+use adminref_core::closure::RoleClosure;
+use adminref_core::ids::RoleId;
+use adminref_core::policy::Policy;
+use adminref_core::universe::Universe;
+
+/// Precomputed administrative-scope index over a role hierarchy.
+#[derive(Debug, Clone)]
+pub struct AdminScope {
+    n: usize,
+    /// Down-closure (descendants incl. self) per role.
+    down: Vec<BitSet>,
+    /// Up-closure (ancestors incl. self) per role.
+    up: Vec<BitSet>,
+}
+
+impl AdminScope {
+    /// Builds the index from a policy's hierarchy.
+    pub fn build(universe: &Universe, policy: &Policy) -> Self {
+        let n = universe.role_count();
+        let forward = RoleClosure::build(n, policy.rh().map(|(a, b)| (a.0, b.0)));
+        let backward = RoleClosure::build(n, policy.rh().map(|(a, b)| (b.0, a.0)));
+        let down = (0..n).map(|r| forward.row(r as u32).clone()).collect();
+        let up = (0..n).map(|r| backward.row(r as u32).clone()).collect();
+        AdminScope { n, down, up }
+    }
+
+    /// Number of roles indexed.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff no roles are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `r ∈ σ(admin)`: `admin` reaches `r`, and every ancestor of `r` is
+    /// comparable to `admin`.
+    pub fn in_scope(&self, admin: RoleId, r: RoleId) -> bool {
+        let (a, t) = (admin.index(), r.index());
+        if a >= self.n || t >= self.n || !self.down[a].contains(t) {
+            return false;
+        }
+        // ↑r ⊆ ↑a ∪ ↓a.
+        self.up[t]
+            .iter()
+            .all(|anc| self.up[a].contains(anc) || self.down[a].contains(anc))
+    }
+
+    /// `r ∈ σ⁺(admin)`: in scope and distinct from the administrator.
+    pub fn in_strict_scope(&self, admin: RoleId, r: RoleId) -> bool {
+        admin != r && self.in_scope(admin, r)
+    }
+
+    /// All roles in `σ(admin)`, in id order.
+    pub fn scope(&self, admin: RoleId) -> Vec<RoleId> {
+        (0..self.n as u32)
+            .map(RoleId)
+            .filter(|&r| self.in_scope(admin, r))
+            .collect()
+    }
+
+    /// The administrators of `r`: all roles with `r` in their strict scope.
+    pub fn administrators_of(&self, r: RoleId) -> Vec<RoleId> {
+        (0..self.n as u32)
+            .map(RoleId)
+            .filter(|&a| self.in_strict_scope(a, r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adminref_core::policy::PolicyBuilder;
+
+    /// The classic scope example: a diamond with a side entry.
+    ///
+    /// ```text
+    ///        top
+    ///       /   \
+    ///      a     x
+    ///     / \   /
+    ///    b   c-    (c has parents a and x)
+    ///     \ /
+    ///      d
+    /// ```
+    fn diamond() -> (Universe, Policy) {
+        PolicyBuilder::new()
+            .inherit("top", "a")
+            .inherit("top", "x")
+            .inherit("a", "b")
+            .inherit("a", "c")
+            .inherit("x", "c")
+            .inherit("b", "d")
+            .inherit("c", "d")
+            .finish()
+    }
+
+    fn role(uni: &Universe, name: &str) -> RoleId {
+        uni.find_role(name).unwrap()
+    }
+
+    #[test]
+    fn top_scopes_everything() {
+        let (uni, policy) = diamond();
+        let scope = AdminScope::build(&uni, &policy);
+        let top = role(&uni, "top");
+        for name in ["top", "a", "b", "c", "d", "x"] {
+            assert!(scope.in_scope(top, role(&uni, name)), "{name}");
+        }
+        assert!(!scope.in_strict_scope(top, top));
+    }
+
+    #[test]
+    fn side_parent_breaks_scope() {
+        // c has an ancestor (x) incomparable to a, so c ∉ σ(a); b has all
+        // ancestors within a's chain, so b ∈ σ(a).
+        let (uni, policy) = diamond();
+        let scope = AdminScope::build(&uni, &policy);
+        let a = role(&uni, "a");
+        assert!(scope.in_scope(a, role(&uni, "b")));
+        assert!(!scope.in_scope(a, role(&uni, "c")));
+        // d is below both b and c; its ancestor x is incomparable to a.
+        assert!(!scope.in_scope(a, role(&uni, "d")));
+    }
+
+    #[test]
+    fn scope_is_reflexive_on_reachability() {
+        let (uni, policy) = diamond();
+        let scope = AdminScope::build(&uni, &policy);
+        for name in ["top", "a", "b", "c", "d", "x"] {
+            let r = role(&uni, name);
+            assert!(scope.in_scope(r, r), "{name} ∈ σ({name})");
+        }
+    }
+
+    #[test]
+    fn unreachable_roles_are_out_of_scope() {
+        let (uni, policy) = diamond();
+        let scope = AdminScope::build(&uni, &policy);
+        let b = role(&uni, "b");
+        let x = role(&uni, "x");
+        assert!(!scope.in_scope(b, x));
+        assert!(!scope.in_scope(x, b));
+    }
+
+    #[test]
+    fn administrators_of_inverts_scope() {
+        let (uni, policy) = diamond();
+        let scope = AdminScope::build(&uni, &policy);
+        let b = role(&uni, "b");
+        let admins = scope.administrators_of(b);
+        assert_eq!(admins, vec![role(&uni, "top"), role(&uni, "a")]);
+    }
+
+    #[test]
+    fn scope_listing_matches_membership() {
+        let (uni, policy) = diamond();
+        let scope = AdminScope::build(&uni, &policy);
+        let a = role(&uni, "a");
+        let listed = scope.scope(a);
+        for r in 0..uni.role_count() as u32 {
+            let rid = RoleId(r);
+            assert_eq!(listed.contains(&rid), scope.in_scope(a, rid));
+        }
+    }
+
+    #[test]
+    fn chain_hierarchy_scope_is_suffix() {
+        let (uni, policy) = PolicyBuilder::new()
+            .inherit("r3", "r2")
+            .inherit("r2", "r1")
+            .inherit("r1", "r0")
+            .finish();
+        let scope = AdminScope::build(&uni, &policy);
+        let r2 = role(&uni, "r2");
+        let listed = scope.scope(r2);
+        // In a chain every ancestor is comparable, so σ(r2) = {r2, r1, r0}.
+        assert_eq!(listed.len(), 3);
+        assert!(listed.contains(&role(&uni, "r0")));
+        assert!(!listed.contains(&role(&uni, "r3")));
+    }
+
+    #[test]
+    fn empty_hierarchy() {
+        let (uni, policy) = PolicyBuilder::new().declare_role("solo").finish();
+        let scope = AdminScope::build(&uni, &policy);
+        let solo = role(&uni, "solo");
+        assert!(scope.in_scope(solo, solo));
+        assert!(scope.administrators_of(solo).is_empty());
+    }
+}

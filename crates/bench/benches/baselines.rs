@@ -1,0 +1,136 @@
+//! B6 — Per-check cost across administrative models on the same
+//! hierarchy: the paper's `⊑` decision vs ARBAC97 `can_assign` vs
+//! administrative-scope membership vs role-graph domain lookup, plus the
+//! HRU analyses as the scale reference for what “deciding safety by
+//! search” costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adminref_baselines::hru::{Command as HruCommand, Condition, Matrix, PrimOp, System};
+use adminref_baselines::{AdminDomains, AdminScope, Arbac97, CanAssign, Prereq, RoleRange};
+use adminref_bench::sized;
+use adminref_core::ordering::{OrderingMode, PrivilegeOrder};
+use adminref_core::reach::ReachIndex;
+use adminref_core::universe::Edge;
+
+fn per_check_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B6_per_check");
+    for &roles in &[256usize, 1024] {
+        let mut w = sized(roles, 51);
+        let closure = ReachIndex::build(&w.universe, &w.policy)
+            .role_closure()
+            .clone();
+        let top = w.roles[0];
+        let bottom = *w.roles.last().unwrap();
+        let admin_user = w.users[0];
+        let target_user = w.users[1];
+        // Put the admin user at the top so every model authorizes.
+        w.policy.add_edge(Edge::UserRole(admin_user, top));
+
+        // Ours: held ¤(u, top) decides ¤(u, bottom).
+        let p = w.universe.grant_user_role(target_user, top);
+        let q = w.universe.grant_user_role(target_user, bottom);
+        let index = ReachIndex::build(&w.universe, &w.policy);
+        group.bench_with_input(BenchmarkId::new("ordering", roles), &roles, |b, _| {
+            b.iter(|| {
+                let order = PrivilegeOrder::with_index(
+                    &w.universe,
+                    &w.policy,
+                    &index,
+                    OrderingMode::Extended,
+                );
+                std::hint::black_box(order.is_weaker(p, q))
+            })
+        });
+
+        // ARBAC97: one can_assign rule with the matching range.
+        let mut arbac = Arbac97::new();
+        arbac.add_can_assign(CanAssign {
+            admin_role: top,
+            prereq: Prereq::True,
+            range: RoleRange::closed(bottom, top),
+        });
+        group.bench_with_input(BenchmarkId::new("arbac_can_assign", roles), &roles, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(arbac.check_assign(
+                    &w.policy,
+                    &closure,
+                    admin_user,
+                    target_user,
+                    bottom,
+                ))
+            })
+        });
+
+        // Administrative scope: membership test.
+        let scope = AdminScope::build(&w.universe, &w.policy);
+        group.bench_with_input(BenchmarkId::new("admin_scope", roles), &roles, |b, _| {
+            b.iter(|| std::hint::black_box(scope.in_strict_scope(top, bottom)))
+        });
+
+        // Role-graph domains: partition lookup (single domain over all).
+        let domains =
+            AdminDomains::build(w.universe.role_count(), &[(top, w.roles.clone())]).unwrap();
+        group.bench_with_input(BenchmarkId::new("role_graph", roles), &roles, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    domains.can_modify(top, Edge::UserRole(target_user, bottom)),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn hru_safety_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B6_hru_safety");
+    group.sample_size(10);
+    for &subjects in &[3usize, 5, 8] {
+        let mut sys = System::new();
+        let own = sys.right("own");
+        let read = sys.right("read");
+        sys.add_command(HruCommand {
+            name: "grant_read".into(),
+            params: 3,
+            conditions: vec![Condition {
+                right: own,
+                subject: 0,
+                object: 2,
+            }],
+            ops: vec![PrimOp::Enter(read, 1, 2)],
+        });
+        sys.add_command(HruCommand {
+            name: "grant_own".into(),
+            params: 3,
+            conditions: vec![Condition {
+                right: own,
+                subject: 0,
+                object: 2,
+            }],
+            ops: vec![PrimOp::Enter(own, 1, 2)],
+        });
+        let mut m = Matrix::new();
+        let first = m.create_subject();
+        for _ in 1..subjects {
+            m.create_subject();
+        }
+        let file = m.create_object();
+        m.enter(own, first, file);
+        group.bench_with_input(
+            BenchmarkId::new("mono_op_decision", subjects),
+            &subjects,
+            |b, _| b.iter(|| std::hint::black_box(sys.leaks_mono_operational(&m, read))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bounded_bfs", subjects),
+            &subjects,
+            |b, _| {
+                b.iter(|| std::hint::black_box(sys.leaks_bounded(&m, read, 20_000)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, per_check_costs, hru_safety_reference);
+criterion_main!(benches);

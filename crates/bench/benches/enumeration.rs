@@ -1,0 +1,141 @@
+//! B3 — Weaker-set enumeration (§4.2, Example 6, Remark 2).
+//!
+//! Measures: frontier growth on the Example-6 policy as the depth bound
+//! rises (the observable form of the infinite weaker set), and the cost
+//! of enumerating with the Remark 2 bound (longest RH chain) on layered
+//! policies vs fixed deeper bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adminref_bench::{sized, table_row};
+use adminref_core::enumerate::{enumerate_weaker, remark2_depth, EnumerationConfig};
+use adminref_core::ordering::OrderingMode;
+use adminref_workloads::example6;
+
+fn example6_frontier_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B3_example6_depth");
+    group.sample_size(10);
+    for &depth in &[2u32, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter_with_setup(example6, |(mut uni, policy, g)| {
+                let set = enumerate_weaker(
+                    &mut uni,
+                    &policy,
+                    g,
+                    EnumerationConfig {
+                        max_depth: d,
+                        max_results: 1_000_000,
+                        mode: OrderingMode::Extended,
+                    },
+                );
+                std::hint::black_box(set.privileges.len())
+            })
+        });
+        let (mut uni, policy, g) = example6();
+        let set = enumerate_weaker(
+            &mut uni,
+            &policy,
+            g,
+            EnumerationConfig {
+                max_depth: depth,
+                max_results: 1_000_000,
+                mode: OrderingMode::Extended,
+            },
+        );
+        table_row(
+            "B3a",
+            &format!("example6 depth={depth}"),
+            &format!(
+                "weaker={} frontier_tail={}",
+                set.privileges.len(),
+                set.frontier_by_depth[depth as usize]
+            ),
+        );
+    }
+    group.finish();
+}
+
+fn remark2_bound_vs_fixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B3_remark2_bound");
+    group.sample_size(10);
+    for &roles in &[16usize, 64] {
+        let w = sized(roles, 13);
+        let (holder, p) = w.admin[0];
+        let _ = holder;
+        let n = remark2_depth(&w.universe, &w.policy);
+        for (label, depth) in [("remark2", n), ("fixed6", 6), ("fixed8", 8)] {
+            let mut uni = w.universe.clone();
+            let policy = w.policy.clone();
+            group.bench_with_input(
+                BenchmarkId::new(label, roles),
+                &depth,
+                |b, &d| {
+                    b.iter(|| {
+                        let mut uni_local = uni.clone();
+                        let set = enumerate_weaker(
+                            &mut uni_local,
+                            &policy,
+                            p,
+                            EnumerationConfig {
+                                max_depth: d,
+                                max_results: 50_000,
+                                mode: OrderingMode::Extended,
+                            },
+                        );
+                        std::hint::black_box(set.privileges.len())
+                    })
+                },
+            );
+            let set = enumerate_weaker(
+                &mut uni,
+                &policy,
+                p,
+                EnumerationConfig {
+                    max_depth: depth,
+                    max_results: 50_000,
+                    mode: OrderingMode::Extended,
+                },
+            );
+            table_row(
+                "B3b",
+                &format!("roles={roles} bound={label}({depth})"),
+                &format!("weaker={} truncated={}", set.privileges.len(), set.truncated),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn strict_vs_extended_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B3_mode_ablation");
+    group.sample_size(10);
+    let w = sized(32, 19);
+    let (_, p) = w.admin[0];
+    for mode in [OrderingMode::Strict, OrderingMode::Extended] {
+        group.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| {
+                let mut uni_local = w.universe.clone();
+                let set = enumerate_weaker(
+                    &mut uni_local,
+                    &w.policy,
+                    p,
+                    EnumerationConfig {
+                        max_depth: 4,
+                        max_results: 50_000,
+                        mode,
+                    },
+                );
+                std::hint::black_box(set.privileges.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    example6_frontier_growth,
+    remark2_bound_vs_fixed,
+    strict_vs_extended_enumeration
+);
+criterion_main!(benches);

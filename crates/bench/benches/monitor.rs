@@ -1,0 +1,130 @@
+//! B5 — Reference-monitor throughput: the runtime price of the paper's
+//! flexibility. Explicit mode checks one graph reachability per command;
+//! ordered mode additionally decides `⊑` against every held vertex.
+//! Includes concurrent read throughput while an admin thread churns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use adminref_bench::sized;
+use adminref_core::ordering::OrderingMode;
+use adminref_core::transition::AuthMode;
+use adminref_monitor::{MonitorConfig, ReferenceMonitor};
+use adminref_workloads::{generate_queue, QueueSpec};
+
+fn command_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B5_submit");
+    group.sample_size(10);
+    for &roles in &[64usize, 256, 1024] {
+        let w = sized(roles, 31);
+        let queue = generate_queue(
+            &w.universe,
+            &w.policy,
+            &w.users,
+            &w.roles,
+            QueueSpec {
+                len: 64,
+                valid_ratio: 0.7,
+                seed: 31,
+            },
+        );
+        for (label, mode) in [
+            ("explicit", AuthMode::Explicit),
+            ("ordered", AuthMode::Ordered(OrderingMode::Extended)),
+        ] {
+            group.throughput(Throughput::Elements(queue.len() as u64));
+            group.bench_with_input(BenchmarkId::new(label, roles), &roles, |b, _| {
+                b.iter_with_setup(
+                    || {
+                        ReferenceMonitor::new(
+                            w.universe.clone(),
+                            w.policy.clone(),
+                            MonitorConfig {
+                                auth_mode: mode,
+                                audit_capacity: 1 << 16,
+                            },
+                        )
+                    },
+                    |monitor| {
+                        let outcomes = monitor.submit_queue(&queue).unwrap();
+                        std::hint::black_box(outcomes.len())
+                    },
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn session_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B5_check_access");
+    for &roles in &[256usize, 1024] {
+        let mut w = sized(roles, 37);
+        let monitor = ReferenceMonitor::new(
+            w.universe.clone(),
+            w.policy.clone(),
+            MonitorConfig::default(),
+        );
+        let user = w.users[0];
+        let sid = monitor.create_session(user);
+        let role = w.policy.roles_of(user).next().unwrap();
+        monitor.activate_role(sid, role).unwrap();
+        let perm = w.universe.perm("read", "obj0");
+        group.bench_with_input(BenchmarkId::from_parameter(roles), &roles, |b, _| {
+            b.iter(|| std::hint::black_box(monitor.check_access(sid, perm).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn concurrent_reads_under_write_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B5_concurrent");
+    group.sample_size(10);
+    let mut w = sized(256, 41);
+    let monitor = ReferenceMonitor::new(
+        w.universe.clone(),
+        w.policy.clone(),
+        MonitorConfig::default(),
+    );
+    let user = w.users[0];
+    let sid = monitor.create_session(user);
+    let role = w.policy.roles_of(user).next().unwrap();
+    monitor.activate_role(sid, role).unwrap();
+    let perm = w.universe.perm("read", "obj0");
+    let queue = generate_queue(
+        &w.universe,
+        &w.policy,
+        &w.users,
+        &w.roles,
+        QueueSpec {
+            len: 32,
+            valid_ratio: 0.7,
+            seed: 41,
+        },
+    );
+    group.bench_function("4readers_1writer", |b| {
+        b.iter(|| {
+            crossbeam::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|_| {
+                        for _ in 0..100 {
+                            std::hint::black_box(monitor.check_access(sid, perm).unwrap());
+                        }
+                    });
+                }
+                scope.spawn(|_| {
+                    monitor.submit_queue(&queue).unwrap();
+                });
+            })
+            .unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    command_throughput,
+    session_checks,
+    concurrent_reads_under_write_load
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! B1 — Tractability of the privilege ordering (Lemma 1).
+//!
+//! Two sweeps: decision latency vs policy size (fixed nesting depth 2)
+//! and vs nesting depth (fixed 256-role chain), in Strict and Extended
+//! modes. The paper claims the ordering is tractable; the shape to verify
+//! is polynomial growth in policy size and roughly linear growth in term
+//! depth, with Extended paying a vertex-set factor over Strict.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adminref_bench::{chain_workload, deep_pair, sized, table_row};
+use adminref_core::ordering::{OrderingMode, PrivilegeOrder};
+use adminref_core::reach::ReachIndex;
+
+fn decision_vs_policy_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B1_ordering_vs_roles");
+    group.sample_size(20);
+    for &roles in &[64usize, 256, 1024, 4096] {
+        let mut w = sized(roles, 42);
+        // One weaker pair at depth 2 rooted in the top layer.
+        let top = w.roles[0];
+        let bottom = *w.roles.last().unwrap();
+        let user = w.users[0];
+        let inner_p = w.universe.grant_user_role(user, top);
+        let inner_q = w.universe.grant_user_role(user, bottom);
+        let p = w.universe.grant_role_priv(top, inner_p);
+        let q = w.universe.grant_role_priv(top, inner_q);
+        let index = ReachIndex::build(&w.universe, &w.policy);
+        for mode in [OrderingMode::Strict, OrderingMode::Extended] {
+            let label = format!("{mode:?}");
+            group.bench_with_input(
+                BenchmarkId::new(label.clone(), roles),
+                &roles,
+                |b, _| {
+                    b.iter(|| {
+                        // Fresh order per iteration: measures the decision
+                        // without memo warm-up, sharing the reach index.
+                        let order =
+                            PrivilegeOrder::with_index(&w.universe, &w.policy, &index, mode);
+                        std::hint::black_box(order.is_weaker(p, q))
+                    })
+                },
+            );
+            let order = PrivilegeOrder::with_index(&w.universe, &w.policy, &index, mode);
+            table_row(
+                "B1a",
+                &format!("roles={roles} mode={label} depth=2"),
+                &format!("decides={}", order.is_weaker(p, q)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn decision_vs_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B1_ordering_vs_depth");
+    group.sample_size(20);
+    for &depth in &[1u32, 2, 4, 8, 12] {
+        let mut w = chain_workload(256);
+        let (p, q) = deep_pair(&mut w, depth);
+        let index = ReachIndex::build(&w.universe, &w.policy);
+        for mode in [OrderingMode::Strict, OrderingMode::Extended] {
+            let label = format!("{mode:?}");
+            group.bench_with_input(BenchmarkId::new(label, depth), &depth, |b, _| {
+                b.iter(|| {
+                    let order = PrivilegeOrder::with_index(&w.universe, &w.policy, &index, mode);
+                    std::hint::black_box(order.is_weaker(p, q))
+                })
+            });
+        }
+        table_row("B1b", &format!("chain=256 depth={depth}"), "decides=true");
+    }
+    group.finish();
+}
+
+fn index_construction(c: &mut Criterion) {
+    // The one-off cost the decision amortises: building the reach index.
+    let mut group = c.benchmark_group("B1_order_build");
+    group.sample_size(10);
+    for &roles in &[256usize, 1024, 4096] {
+        let w = sized(roles, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(roles), &roles, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(PrivilegeOrder::new(
+                    &w.universe,
+                    &w.policy,
+                    OrderingMode::Extended,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn negative_decisions(c: &mut Criterion) {
+    // Refusals matter for monitor latency: measure the converse (q ⊑ p is
+    // false) on the depth-8 pair.
+    let mut group = c.benchmark_group("B1_ordering_negative");
+    group.sample_size(20);
+    let mut w = chain_workload(256);
+    let (p, q) = deep_pair(&mut w, 8);
+    let index = ReachIndex::build(&w.universe, &w.policy);
+    for mode in [OrderingMode::Strict, OrderingMode::Extended] {
+        group.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| {
+                let order = PrivilegeOrder::with_index(&w.universe, &w.policy, &index, mode);
+                std::hint::black_box(order.is_weaker(q, p))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    decision_vs_policy_size,
+    decision_vs_depth,
+    index_construction,
+    negative_decisions
+);
+criterion_main!(benches);

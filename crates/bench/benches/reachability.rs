@@ -1,0 +1,79 @@
+//! B2 — Reachability substrate cost: closure construction and query
+//! latency vs policy size. This is the cost model underneath every B1
+//! decision and every refinement check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use adminref_bench::{sized, table_row};
+use adminref_core::ids::Entity;
+use adminref_core::reach::{reaches_entity, ReachIndex};
+
+fn closure_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B2_index_build");
+    group.sample_size(10);
+    for &roles in &[64usize, 256, 1024, 4096] {
+        let w = sized(roles, 7);
+        group.throughput(Throughput::Elements(w.policy.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(roles), &roles, |b, _| {
+            b.iter(|| std::hint::black_box(ReachIndex::build(&w.universe, &w.policy)))
+        });
+        table_row(
+            "B2a",
+            &format!("roles={roles}"),
+            &format!("edges={}", w.policy.edge_count()),
+        );
+    }
+    group.finish();
+}
+
+fn indexed_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B2_indexed_query");
+    for &roles in &[256usize, 1024, 4096] {
+        let w = sized(roles, 7);
+        let index = ReachIndex::build(&w.universe, &w.policy);
+        let user = w.users[0];
+        let targets: Vec<Entity> = w.roles.iter().map(|&r| Entity::Role(r)).collect();
+        group.throughput(Throughput::Elements(targets.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(roles), &roles, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &t in &targets {
+                    if index.reach_entity(Entity::User(user), t) {
+                        hits += 1;
+                    }
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bfs_vs_index_single_query(c: &mut Criterion) {
+    // The break-even question: one ad-hoc BFS vs an indexed lookup
+    // (having paid the build). The bounded simulation checker uses BFS
+    // because it mutates policies every step.
+    let mut group = c.benchmark_group("B2_bfs_single");
+    for &roles in &[256usize, 1024] {
+        let w = sized(roles, 7);
+        let user = w.users[0];
+        let bottom = Entity::Role(*w.roles.last().unwrap());
+        group.bench_with_input(BenchmarkId::new("bfs", roles), &roles, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(reaches_entity(
+                    &w.policy,
+                    Entity::User(user),
+                    bottom,
+                ))
+            })
+        });
+        let index = ReachIndex::build(&w.universe, &w.policy);
+        group.bench_with_input(BenchmarkId::new("indexed", roles), &roles, |b, _| {
+            b.iter(|| std::hint::black_box(index.reach_entity(Entity::User(user), bottom)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, closure_build, indexed_queries, bfs_vs_index_single_query);
+criterion_main!(benches);

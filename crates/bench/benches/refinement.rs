@@ -1,0 +1,95 @@
+//! B4 — Refinement checking.
+//!
+//! Non-administrative refinement (Definition 6) scales polynomially with
+//! policy size; the bounded administrative check (Definition 7) hits an
+//! exponential wall in queue length — which is exactly why Theorem 1's
+//! syntactic certificate (one `⊑` decision) matters. The last group
+//! measures that certificate on the same instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adminref_bench::{sized, table_row};
+use adminref_core::ordering::{OrderingMode, PrivilegeOrder};
+use adminref_core::refinement::{refines, weaken_assignment};
+use adminref_core::simulation::{check_admin_refinement, SimulationConfig};
+use adminref_core::universe::{Edge, PrivTerm};
+use adminref_workloads::hospital_fig2;
+
+fn nonadmin_refinement_vs_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B4_nonadmin_refines");
+    group.sample_size(10);
+    for &roles in &[64usize, 256, 1024] {
+        let w = sized(roles, 23);
+        let mut psi = w.policy.clone();
+        if let Some(edge) = w.policy.edges().next() {
+            psi.remove_edge(edge);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(roles), &roles, |b, _| {
+            b.iter(|| std::hint::black_box(refines(&w.universe, &w.policy, &psi)))
+        });
+    }
+    group.finish();
+}
+
+fn bounded_simulation_wall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B4_bounded_simulation");
+    group.sample_size(10);
+    // Figure 2 instance: ψ weakens HR's ¤(bob, staff) to ¤(bob, dbusr2).
+    let (mut uni, phi) = hospital_fig2();
+    let bob = uni.find_user("bob").unwrap();
+    let staff = uni.find_role("staff").unwrap();
+    let dbusr2 = uni.find_role("dbusr2").unwrap();
+    let hr = uni.find_role("hr").unwrap();
+    let p = uni
+        .find_term(PrivTerm::Grant(Edge::UserRole(bob, staff)))
+        .unwrap();
+    let q = uni.grant_user_role(bob, dbusr2);
+    let psi = weaken_assignment(&phi, (hr, p), q);
+    for &len in &[0usize, 1, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &l| {
+            b.iter(|| {
+                let out = check_admin_refinement(
+                    &uni,
+                    &phi,
+                    &psi,
+                    SimulationConfig {
+                        max_queue_len: l,
+                        ..SimulationConfig::default()
+                    },
+                );
+                std::hint::black_box(out.holds())
+            })
+        });
+        table_row("B4b", &format!("fig2 queue_len={len}"), "holds=true");
+    }
+    group.finish();
+}
+
+fn theorem1_certificate(c: &mut Criterion) {
+    // The syntactic alternative: one ⊑ decision replaces the whole
+    // simulation (Theorem 1 guarantees the same answer for weakenings).
+    let mut group = c.benchmark_group("B4_theorem1_certificate");
+    let (mut uni, phi) = hospital_fig2();
+    let bob = uni.find_user("bob").unwrap();
+    let staff = uni.find_role("staff").unwrap();
+    let dbusr2 = uni.find_role("dbusr2").unwrap();
+    let p = uni
+        .find_term(PrivTerm::Grant(Edge::UserRole(bob, staff)))
+        .unwrap();
+    let q = uni.grant_user_role(bob, dbusr2);
+    group.bench_function("fig2_weakening", |b| {
+        b.iter(|| {
+            let order = PrivilegeOrder::new(&uni, &phi, OrderingMode::Extended);
+            std::hint::black_box(order.is_weaker(p, q))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    nonadmin_refinement_vs_size,
+    bounded_simulation_wall,
+    theorem1_certificate
+);
+criterion_main!(benches);

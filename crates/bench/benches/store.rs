@@ -1,0 +1,114 @@
+//! B7 — Durable store: command-log append throughput, recovery (replay)
+//! time vs log length, and snapshot write/load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use adminref_bench::sized;
+use adminref_core::transition::AuthMode;
+use adminref_store::{load_snapshot, write_snapshot, PolicyStore, TempDir};
+use adminref_workloads::{generate_queue, QueueSpec};
+
+fn append_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B7_append");
+    group.sample_size(10);
+    let w = sized(256, 61);
+    let queue = generate_queue(
+        &w.universe,
+        &w.policy,
+        &w.users,
+        &w.roles,
+        QueueSpec {
+            len: 256,
+            valid_ratio: 0.7,
+            seed: 61,
+        },
+    );
+    group.throughput(Throughput::Elements(queue.len() as u64));
+    group.bench_function("execute_256_cmds", |b| {
+        b.iter_with_setup(
+            || {
+                let dir = TempDir::new("bench-append").unwrap();
+                let store = PolicyStore::create(
+                    dir.path(),
+                    w.universe.clone(),
+                    w.policy.clone(),
+                    AuthMode::Explicit,
+                )
+                .unwrap();
+                (dir, store)
+            },
+            |(dir, mut store)| {
+                for cmd in queue.iter() {
+                    store.execute(cmd).unwrap();
+                }
+                store.sync().unwrap();
+                drop(store);
+                drop(dir);
+            },
+        )
+    });
+    group.finish();
+}
+
+fn recovery_vs_log_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B7_recovery");
+    group.sample_size(10);
+    let w = sized(256, 67);
+    for &len in &[64usize, 256, 1024] {
+        let queue = generate_queue(
+            &w.universe,
+            &w.policy,
+            &w.users,
+            &w.roles,
+            QueueSpec {
+                len,
+                valid_ratio: 0.7,
+                seed: 67,
+            },
+        );
+        let dir = TempDir::new("bench-recovery").unwrap();
+        let mut store = PolicyStore::create(
+            dir.path(),
+            w.universe.clone(),
+            w.policy.clone(),
+            AuthMode::Explicit,
+        )
+        .unwrap();
+        for cmd in queue.iter() {
+            store.execute(cmd).unwrap();
+        }
+        store.sync().unwrap();
+        drop(store);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| {
+                let (store, report) =
+                    PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+                assert_eq!(report.replayed, len);
+                std::hint::black_box(store.policy().edge_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn snapshot_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B7_snapshot");
+    group.sample_size(10);
+    for &roles in &[256usize, 1024] {
+        let w = sized(roles, 71);
+        let dir = TempDir::new("bench-snap").unwrap();
+        let path = dir.path().join("bench.snap");
+        group.bench_with_input(BenchmarkId::new("write", roles), &roles, |b, _| {
+            b.iter(|| write_snapshot(&path, &w.universe, &w.policy, 0).unwrap())
+        });
+        write_snapshot(&path, &w.universe, &w.policy, 0).unwrap();
+        group.bench_with_input(BenchmarkId::new("load", roles), &roles, |b, _| {
+            b.iter(|| std::hint::black_box(load_snapshot(&path).unwrap().policy.edge_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, append_throughput, recovery_vs_log_length, snapshot_round_trip);
+criterion_main!(benches);

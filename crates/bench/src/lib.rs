@@ -1,0 +1,148 @@
+//! Shared fixtures for the benchmark harness (EXPERIMENTS.md B1–B7).
+//!
+//! Everything is deterministic: the same sizes and seeds produce the same
+//! policies on every run, so Criterion's statistics measure the
+//! algorithms, not the generator.
+
+use adminref_core::ids::{PrivId, RoleId, UserId};
+use adminref_core::policy::Policy;
+use adminref_core::universe::Universe;
+use adminref_workloads::{
+    chain, inject_admin_privs, layered, populate_perms, populate_users, AdminSpec, LayeredSpec,
+};
+
+/// A policy sized for benchmarking, with handles to its population.
+pub struct SizedWorkload {
+    /// The universe.
+    pub universe: Universe,
+    /// The policy.
+    pub policy: Policy,
+    /// The generated users.
+    pub users: Vec<UserId>,
+    /// All roles.
+    pub roles: Vec<RoleId>,
+    /// The injected `(holder, privilege)` administrative assignments.
+    pub admin: Vec<(RoleId, PrivId)>,
+}
+
+/// Builds a layered policy with ~`roles` roles (4 layers), users, perms
+/// and administrative privileges.
+pub fn sized(roles: usize, seed: u64) -> SizedWorkload {
+    let layers = 4;
+    let width = roles.div_ceil(layers).max(1);
+    let mut h = layered(LayeredSpec {
+        layers,
+        width,
+        edge_prob: (8.0 / width as f64).min(1.0),
+        seed,
+    });
+    let users = populate_users(&mut h, (roles / 8).max(4), 2, seed);
+    populate_perms(&mut h, 2, roles.max(8), seed);
+    let all_roles: Vec<RoleId> = h.layers.iter().flatten().copied().collect();
+    let admin = inject_admin_privs(
+        &mut h.universe,
+        &mut h.policy,
+        &users,
+        &all_roles,
+        AdminSpec {
+            count: (roles / 4).max(8),
+            max_depth: 2,
+            grant_ratio: 0.8,
+            seed,
+        },
+    );
+    SizedWorkload {
+        universe: h.universe,
+        policy: h.policy,
+        users,
+        roles: all_roles,
+        admin,
+    }
+}
+
+/// A chain policy of `n` roles with one user at the top, for
+/// depth-parameterised ordering benchmarks.
+pub struct ChainWorkload {
+    /// The universe.
+    pub universe: Universe,
+    /// The policy.
+    pub policy: Policy,
+    /// The single user, assigned to the top role.
+    pub user: UserId,
+    /// The chain, senior first.
+    pub roles: Vec<RoleId>,
+}
+
+/// Builds the chain workload.
+pub fn chain_workload(n: usize) -> ChainWorkload {
+    let mut h = chain(n);
+    let user = h.universe.user("admin");
+    let roles: Vec<RoleId> = h.layers.iter().flatten().copied().collect();
+    h.policy
+        .add_edge(adminref_core::universe::Edge::UserRole(user, roles[0]));
+    ChainWorkload {
+        universe: h.universe,
+        policy: h.policy,
+        user,
+        roles,
+    }
+}
+
+/// Builds a `(p, q)` pair of nesting depth `depth` with `p ⊑ q` by
+/// construction: `p = ¤(top, …¤(top, ¤(u, top))…)` and `q` the same shape
+/// targeting the chain's bottom role.
+pub fn deep_pair(w: &mut ChainWorkload, depth: u32) -> (PrivId, PrivId) {
+    assert!(depth >= 1);
+    let top = w.roles[0];
+    let bottom = *w.roles.last().unwrap();
+    let mut p = w.universe.grant_user_role(w.user, top);
+    let mut q = w.universe.grant_user_role(w.user, bottom);
+    for _ in 1..depth {
+        p = w.universe.grant_role_priv(top, p);
+        q = w.universe.grant_role_priv(top, q);
+    }
+    (p, q)
+}
+
+/// Renders one “paper table” row on stderr so bench output doubles as the
+/// raw material for EXPERIMENTS.md.
+pub fn table_row(table: &str, params: &str, value: &str) {
+    eprintln!("[{table}] {params} => {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adminref_core::ordering::{OrderingMode, PrivilegeOrder};
+
+    #[test]
+    fn sized_workload_shape() {
+        let w = sized(64, 1);
+        assert!(w.roles.len() >= 64);
+        assert!(!w.users.is_empty());
+        assert!(!w.admin.is_empty());
+        assert!(w.policy.pa_len() > 0);
+    }
+
+    #[test]
+    fn deep_pair_is_weaker_by_construction() {
+        let mut w = chain_workload(8);
+        for depth in [1u32, 2, 4] {
+            let (p, q) = deep_pair(&mut w, depth);
+            assert_eq!(w.universe.depth(p), depth);
+            assert_eq!(w.universe.depth(q), depth);
+            let order = PrivilegeOrder::new(&w.universe, &w.policy, OrderingMode::Strict);
+            assert!(order.is_weaker(p, q), "depth {depth}");
+            assert!(!order.is_weaker(q, p));
+        }
+    }
+
+    #[test]
+    fn sized_is_deterministic() {
+        let a = sized(32, 7);
+        let b = sized(32, 7);
+        let ea: Vec<_> = a.policy.edges().collect();
+        let eb: Vec<_> = b.policy.edges().collect();
+        assert_eq!(ea, eb);
+    }
+}

@@ -1,0 +1,315 @@
+//! `adminref` — command-line front end for the administrative-policy
+//! toolkit.
+//!
+//! ```text
+//! adminref stats    <policy.rbac>
+//! adminref validate <policy.rbac>
+//! adminref print    <policy.rbac> [--paper]
+//! adminref order    <policy.rbac> "<held priv>" "<requested priv>" [--strict]
+//! adminref weaker   <policy.rbac> "<priv>" [--depth N]
+//! adminref run      <policy.rbac> <queue.rbacq> [--ordered] [--store DIR]
+//! adminref refines  <policy-a.rbac> <policy-b.rbac>
+//! adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
+//! ```
+//!
+//! Policies use the `adminref-lang` syntax; privileges on the command
+//! line use the same expression syntax, quoted.
+
+use std::process::ExitCode;
+
+use adminref_core::analysis;
+use adminref_core::display::{priv_to_string, Notation};
+use adminref_core::enumerate::{enumerate_weaker, remark2_depth, EnumerationConfig};
+use adminref_core::ids::Entity;
+use adminref_core::ordering::{OrderingMode, PrivilegeOrder};
+use adminref_core::refinement::{refinement_violations, refines};
+use adminref_core::safety::{perm_reachable, ReachabilityAnswer, SafetyConfig};
+use adminref_core::transition::AuthMode;
+use adminref_lang::{load_policy, load_queue, parse_priv_expr, print_command, print_policy};
+use adminref_store::PolicyStore;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  adminref stats    <policy.rbac>
+  adminref validate <policy.rbac>
+  adminref print    <policy.rbac> [--paper]
+  adminref order    <policy.rbac> '<held priv>' '<requested priv>' [--strict]
+  adminref weaker   <policy.rbac> '<priv>' [--depth N]
+  adminref run      <policy.rbac> <queue.rbacq> [--ordered] [--store DIR]
+  adminref refines  <policy-a.rbac> <policy-b.rbac>
+  adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]";
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "stats" => cmd_stats(&rest),
+        "validate" => cmd_validate(&rest),
+        "print" => cmd_print(&rest),
+        "order" => cmd_order(&rest),
+        "weaker" => cmd_weaker(&rest),
+        "run" => cmd_run(&rest),
+        "refines" => cmd_refines(&rest),
+        "reach" => cmd_reach(&rest),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn read_policy(path: &str) -> Result<(adminref_core::universe::Universe, adminref_core::policy::Policy), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    load_policy(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn flag(rest: &[&String], name: &str) -> bool {
+    rest.iter().any(|a| a.as_str() == name)
+}
+
+fn flag_value(rest: &[&String], name: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a.as_str() == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.to_string())
+}
+
+fn positional<'a>(rest: &'a [&String], n: usize) -> Result<&'a str, String> {
+    rest.iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(n)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing argument #{}", n + 1))
+}
+
+fn cmd_stats(rest: &[&String]) -> Result<(), String> {
+    let (uni, policy) = read_policy(positional(rest, 0)?)?;
+    let s = analysis::stats(&uni, &policy);
+    println!("users            {}", s.users);
+    println!("roles            {}", s.roles);
+    println!("UA edges         {}", s.ua_edges);
+    println!("RH edges         {}", s.rh_edges);
+    println!("PA edges         {}", s.pa_edges);
+    println!("priv vertices    {}", s.priv_vertices);
+    println!("admin vertices   {}", s.admin_vertices);
+    println!("max priv depth   {}", s.max_priv_depth);
+    println!("longest RH chain {}", s.longest_chain);
+    println!("hierarchy SCCs   {}", s.hierarchy_sccs);
+    Ok(())
+}
+
+fn cmd_validate(rest: &[&String]) -> Result<(), String> {
+    let (uni, policy) = read_policy(positional(rest, 0)?)?;
+    analysis::validate(&uni, &policy).map_err(|e| e.to_string())?;
+    println!("ok: policy is well-formed");
+    if policy.is_non_administrative(&uni) {
+        println!("note: the policy is non-administrative (Definition 1)");
+    }
+    Ok(())
+}
+
+fn cmd_print(rest: &[&String]) -> Result<(), String> {
+    let (uni, policy) = read_policy(positional(rest, 0)?)?;
+    if flag(rest, "--paper") {
+        print!(
+            "{}",
+            adminref_core::display::policy_to_string(&uni, &policy, Notation::Paper)
+        );
+    } else {
+        print!("{}", print_policy(&uni, &policy, "policy"));
+    }
+    Ok(())
+}
+
+fn cmd_order(rest: &[&String]) -> Result<(), String> {
+    let (mut uni, policy) = read_policy(positional(rest, 0)?)?;
+    let held_expr = parse_priv_expr(positional(rest, 1)?).map_err(|e| e.to_string())?;
+    let req_expr = parse_priv_expr(positional(rest, 2)?).map_err(|e| e.to_string())?;
+    let pos = adminref_lang::token::Pos::start();
+    let held = adminref_lang::resolve_priv(&mut uni, &held_expr, pos).map_err(|e| e.to_string())?;
+    let req = adminref_lang::resolve_priv(&mut uni, &req_expr, pos).map_err(|e| e.to_string())?;
+    let mode = if flag(rest, "--strict") {
+        OrderingMode::Strict
+    } else {
+        OrderingMode::Extended
+    };
+    let order = PrivilegeOrder::new(&uni, &policy, mode);
+    let weaker = order.is_weaker(held, req);
+    println!(
+        "{}  ⊑  {}  ({mode:?}): {}",
+        priv_to_string(&uni, held, Notation::Paper),
+        priv_to_string(&uni, req, Notation::Paper),
+        weaker
+    );
+    if let Some(d) = order.derive(held, req) {
+        println!("derivation: {}", d.render(&uni));
+    }
+    if weaker {
+        Ok(())
+    } else {
+        Err("not weaker".into())
+    }
+}
+
+fn cmd_weaker(rest: &[&String]) -> Result<(), String> {
+    let (mut uni, policy) = read_policy(positional(rest, 0)?)?;
+    let expr = parse_priv_expr(positional(rest, 1)?).map_err(|e| e.to_string())?;
+    let pos = adminref_lang::token::Pos::start();
+    let p = adminref_lang::resolve_priv(&mut uni, &expr, pos).map_err(|e| e.to_string())?;
+    let depth = match flag_value(rest, "--depth") {
+        Some(v) => v.parse::<u32>().map_err(|e| e.to_string())?,
+        None => remark2_depth(&uni, &policy),
+    };
+    let set = enumerate_weaker(
+        &mut uni,
+        &policy,
+        p,
+        EnumerationConfig {
+            max_depth: depth,
+            max_results: 10_000,
+            mode: OrderingMode::Extended,
+        },
+    );
+    println!(
+        "# {} privileges weaker than {} (depth ≤ {depth}{})",
+        set.privileges.len(),
+        priv_to_string(&uni, p, Notation::Paper),
+        if set.truncated { ", TRUNCATED" } else { "" }
+    );
+    for q in &set.privileges {
+        println!("{}", priv_to_string(&uni, *q, Notation::Ascii));
+    }
+    Ok(())
+}
+
+fn cmd_run(rest: &[&String]) -> Result<(), String> {
+    let (mut uni, policy) = read_policy(positional(rest, 0)?)?;
+    let queue_text = std::fs::read_to_string(positional(rest, 1)?)
+        .map_err(|e| format!("reading queue: {e}"))?;
+    let queue = load_queue(&queue_text, &mut uni).map_err(|e| e.to_string())?;
+    let mode = if flag(rest, "--ordered") {
+        AuthMode::Ordered(OrderingMode::Extended)
+    } else {
+        AuthMode::Explicit
+    };
+    if let Some(dir) = flag_value(rest, "--store") {
+        let mut store = PolicyStore::create(std::path::Path::new(&dir), uni, policy, mode)
+            .map_err(|e| e.to_string())?;
+        for cmd in queue.iter() {
+            let out = store.execute(cmd).map_err(|e| e.to_string())?;
+            println!(
+                "{:60} {}",
+                print_command(store.universe(), cmd),
+                if out.executed() { "executed" } else { "refused" }
+            );
+        }
+        store.sync().map_err(|e| e.to_string())?;
+        println!("# durable state in {dir}");
+    } else {
+        let mut live = policy;
+        let trace = adminref_core::transition::run(&mut uni, &mut live, &queue, mode);
+        for s in &trace.steps {
+            println!(
+                "{:60} {}",
+                print_command(&uni, &s.command),
+                if s.outcome.executed() { "executed" } else { "refused" }
+            );
+        }
+        println!(
+            "# {} executed, {} refused",
+            trace.executed_count(),
+            trace.refused_count()
+        );
+        print!("{}", print_policy(&uni, &live, "result"));
+    }
+    Ok(())
+}
+
+fn cmd_refines(rest: &[&String]) -> Result<(), String> {
+    // Both policies must resolve in one shared universe for comparison.
+    let text_a = std::fs::read_to_string(positional(rest, 0)?).map_err(|e| e.to_string())?;
+    let text_b = std::fs::read_to_string(positional(rest, 1)?).map_err(|e| e.to_string())?;
+    let doc_a = adminref_lang::parse_policy(&text_a).map_err(|e| e.to_string())?;
+    let doc_b = adminref_lang::parse_policy(&text_b).map_err(|e| e.to_string())?;
+    let mut uni = adminref_core::universe::Universe::new();
+    let a = adminref_lang::resolve_policy_into(&doc_a, &mut uni).map_err(|e| e.to_string())?;
+    let b = adminref_lang::resolve_policy_into(&doc_b, &mut uni).map_err(|e| e.to_string())?;
+    let holds = refines(&uni, &a, &b);
+    println!("A ⊒ B (B is a non-administrative refinement of A): {holds}");
+    if !holds {
+        for v in refinement_violations(&uni, &a, &b).iter().take(10) {
+            let who = match v.entity {
+                Entity::User(u) => format!("user {}", uni.user_name(u)),
+                Entity::Role(r) => format!("role {}", uni.role_name(r)),
+            };
+            println!(
+                "  violation: {who} gains ({}, {})",
+                uni.action_name(v.perm.action),
+                uni.object_name(v.perm.object)
+            );
+        }
+        return Err("refinement does not hold".into());
+    }
+    Ok(())
+}
+
+fn cmd_reach(rest: &[&String]) -> Result<(), String> {
+    let (mut uni, policy) = read_policy(positional(rest, 0)?)?;
+    let user = uni
+        .find_user(positional(rest, 1)?)
+        .ok_or("unknown user")?;
+    let action = positional(rest, 2)?.to_string();
+    let object = positional(rest, 3)?.to_string();
+    let perm = uni.perm(&action, &object);
+    let steps = match flag_value(rest, "--steps") {
+        Some(v) => v.parse::<usize>().map_err(|e| e.to_string())?,
+        None => 3,
+    };
+    let mode = if flag(rest, "--ordered") {
+        AuthMode::Ordered(OrderingMode::Extended)
+    } else {
+        AuthMode::Explicit
+    };
+    let answer = perm_reachable(
+        &mut uni,
+        &policy,
+        Entity::User(user),
+        perm,
+        SafetyConfig {
+            max_steps: steps,
+            auth_mode: mode,
+            ..SafetyConfig::default()
+        },
+    );
+    match answer {
+        ReachabilityAnswer::Reachable { witness } => {
+            println!(
+                "REACHABLE in {} step(s): {} can come to hold ({action}, {object})",
+                witness.len(),
+                uni.user_name(user)
+            );
+            for cmd in witness.iter() {
+                println!("  {}", print_command(&uni, cmd));
+            }
+            Ok(())
+        }
+        ReachabilityAnswer::Unreachable => {
+            println!("UNREACHABLE within {steps} steps (exhaustive)");
+            Ok(())
+        }
+        ReachabilityAnswer::Unknown => {
+            println!("UNKNOWN: bounds exhausted before the space was");
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end tests of the `adminref` binary against the repository
+//! fixtures.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_adminref"))
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../fixtures")
+        .join(name)
+}
+
+fn hospital() -> String {
+    fixture("hospital.rbac").to_string_lossy().into_owned()
+}
+
+#[test]
+fn stats_reports_shape() {
+    let out = bin().args(["stats", &hospital()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("roles            8"), "{text}");
+    assert!(text.contains("admin vertices   4"), "{text}");
+    assert!(text.contains("longest RH chain 3"), "{text}");
+}
+
+#[test]
+fn validate_accepts_fixture() {
+    let out = bin().args(["validate", &hospital()]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("well-formed"));
+}
+
+#[test]
+fn order_decides_flexworker_pair() {
+    let out = bin()
+        .args([
+            "order",
+            &hospital(),
+            "grant(bob, staff)",
+            "grant(bob, dbusr2)",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("true"), "{text}");
+    assert!(text.contains("rule2"), "{text}");
+    // The converse is not weaker: nonzero exit.
+    let out = bin()
+        .args([
+            "order",
+            &hospital(),
+            "grant(bob, dbusr2)",
+            "grant(bob, staff)",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn strict_flag_changes_semantics() {
+    // Example-6-style vertex-target weakening needs Extended mode; build
+    // an inline fixture.
+    let dir = std::env::temp_dir().join(format!("adminref-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ex6.rbac");
+    std::fs::write(
+        &path,
+        "policy ex6 { roles r1, r2; perm r2 -> grant(r1, r2); }",
+    )
+    .unwrap();
+    let p = path.to_string_lossy().into_owned();
+    let ext = bin()
+        .args(["order", &p, "grant(r1, r2)", "grant(r1, grant(r1, r2))"])
+        .output()
+        .unwrap();
+    assert!(ext.status.success(), "extended mode derives Example 6");
+    let strict = bin()
+        .args([
+            "order",
+            &p,
+            "grant(r1, r2)",
+            "grant(r1, grant(r1, r2))",
+            "--strict",
+        ])
+        .output()
+        .unwrap();
+    assert!(!strict.status.success(), "strict mode does not");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_executes_queue() {
+    let out = bin()
+        .args([
+            "run",
+            &hospital(),
+            &fixture("appointments.rbacq").to_string_lossy(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("# 3 executed, 1 refused"), "{text}");
+    assert!(text.contains("assign bob -> staff;"), "{text}");
+}
+
+#[test]
+fn reach_finds_witness() {
+    let out = bin()
+        .args(["reach", &hospital(), "bob", "write", "t3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REACHABLE in 1 step(s)"), "{text}");
+    assert!(text.contains("cmd(jane, grant, bob -> staff);"), "{text}");
+}
+
+#[test]
+fn weaker_lists_downset() {
+    let out = bin()
+        .args(["weaker", &hospital(), "grant(bob, staff)", "--depth", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("grant(bob, dbusr2)"), "{text}");
+    assert!(text.contains("grant(bob, prntusr)"), "{text}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

@@ -1,0 +1,275 @@
+//! Dense fixed-capacity bitsets.
+//!
+//! Reachability over the policy graph (closures of the role hierarchy,
+//! per-entity authorization rows) is computed over dense `u32` ids, so a
+//! packed bitset is the natural representation: unions are word-wise `or`s
+//! and membership is a shift and a mask. The workspace deliberately avoids a
+//! bitset dependency; this module is the substrate.
+
+/// A fixed-capacity set of small integers, packed into 64-bit words.
+///
+/// Capacity is fixed at construction; out-of-range operations panic in debug
+/// builds (they indicate id-space confusion, which is a logic error).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Number of valid bits (ids `0..len`).
+    len: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn word_index(bit: usize) -> (usize, u64) {
+    (bit / WORD_BITS, 1u64 << (bit % WORD_BITS))
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for ids `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Capacity (number of addressable bits), not population count.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `bit`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, bit: usize) -> bool {
+        debug_assert!(bit < self.len, "bit {bit} out of range {}", self.len);
+        let (w, mask) = word_index(bit);
+        let old = self.words[w];
+        self.words[w] = old | mask;
+        old & mask == 0
+    }
+
+    /// Removes `bit`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, bit: usize) -> bool {
+        debug_assert!(bit < self.len, "bit {bit} out of range {}", self.len);
+        let (w, mask) = word_index(bit);
+        let old = self.words[w];
+        self.words[w] = old & !mask;
+        old & mask != 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        if bit >= self.len {
+            return false;
+        }
+        let (w, mask) = word_index(bit);
+        self.words[w] & mask != 0
+    }
+
+    /// Word-wise union; returns `true` if `self` changed.
+    ///
+    /// Both sets must have the same capacity.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len, "capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            let old = *a;
+            *a = old | *b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Word-wise intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+    }
+
+    /// `true` iff every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Number of elements present.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` iff no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates set bits in increasing order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the maximum element (capacity `max + 1`).
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(cap);
+        for b in items {
+            set.insert(b);
+        }
+        set
+    }
+}
+
+/// Iterator over set bits, lowest first.
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(s.contains(0));
+        assert!(s.contains(64));
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(10));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        b.insert(7);
+        b.insert(99);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert!(a.contains(7) && a.contains(99));
+    }
+
+    #[test]
+    fn intersect_keeps_common() {
+        let mut a = BitSet::new(64);
+        let mut b = BitSet::new(64);
+        for i in [1, 5, 9, 33] {
+            a.insert(i);
+        }
+        for i in [5, 33, 40] {
+            b.insert(i);
+        }
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![5, 33]);
+    }
+
+    #[test]
+    fn subset() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(3);
+        a.insert(69);
+        b.insert(3);
+        b.insert(69);
+        b.insert(10);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        a.insert(0);
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_order_and_boundaries() {
+        let mut s = BitSet::new(200);
+        let bits = [0usize, 63, 64, 127, 128, 199];
+        for &b in &bits {
+            s.insert(b);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), bits);
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = BitSet::new(33);
+        assert!(s.is_empty());
+        s.insert(32);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 33);
+    }
+
+    #[test]
+    fn from_iter_sizes_to_max() {
+        let s: BitSet = [3usize, 1, 7].into_iter().collect();
+        assert_eq!(s.capacity(), 8);
+        assert!(s.contains(7) && s.contains(1) && s.contains(3));
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(0));
+    }
+}

@@ -1,0 +1,343 @@
+//! Role-hierarchy closure: SCCs, transitive closure, longest chain.
+//!
+//! Footnote 3 of the paper deliberately does *not* assume `RH` is a partial
+//! order, so the hierarchy may contain cycles. We compute strongly connected
+//! components (iterative Tarjan), condense, and propagate closure bitsets in
+//! the reverse-topological order Tarjan naturally emits. The longest chain
+//! of `RH` (needed for the Remark 2 enumeration bound) is a longest-path
+//! computation on the condensation.
+
+use crate::bitset::BitSet;
+
+/// Transitive-closure index over a role graph with `n` roles.
+///
+/// Closure rows are stored once per SCC and shared by its members.
+#[derive(Debug, Clone)]
+pub struct RoleClosure {
+    n: usize,
+    /// SCC id of each role (SCC ids are in reverse topological order:
+    /// sinks have low ids).
+    scc_of: Vec<u32>,
+    /// Closure row per SCC: all roles reachable from (any member of) the
+    /// SCC, members included.
+    rows: Vec<BitSet>,
+    /// Longest chain measured in *roles* along any path of the condensation
+    /// (an SCC of size k contributes k).
+    longest_chain_roles: u32,
+}
+
+impl RoleClosure {
+    /// Builds the closure from an edge list over roles `0..n`.
+    pub fn build(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let edges: Vec<(u32, u32)> = edges.into_iter().collect();
+        // Adjacency in CSR form for cache-friendly traversal.
+        let mut degree = vec![0u32; n];
+        for &(s, _) in &edges {
+            degree[s as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut adj = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for (s, t) in edges {
+            adj[cursor[s as usize] as usize] = t;
+            cursor[s as usize] += 1;
+        }
+        let succ = |v: usize| &adj[offsets[v] as usize..offsets[v + 1] as usize];
+
+        // Iterative Tarjan. SCCs are emitted sinks-first (reverse
+        // topological order of the condensation).
+        const UNVISITED: u32 = u32::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut scc_of = vec![0u32; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut scc_count = 0u32;
+        let mut next_index = 0u32;
+        // (vertex, next-child-offset) call frames.
+        let mut frames: Vec<(u32, u32)> = Vec::new();
+
+        for start in 0..n {
+            if index[start] != UNVISITED {
+                continue;
+            }
+            frames.push((start as u32, 0));
+            index[start] = next_index;
+            lowlink[start] = next_index;
+            next_index += 1;
+            stack.push(start as u32);
+            on_stack[start] = true;
+
+            while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+                let vs = v as usize;
+                let children = succ(vs);
+                if (*child as usize) < children.len() {
+                    let w = children[*child as usize] as usize;
+                    *child += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w as u32);
+                        on_stack[w] = true;
+                        frames.push((w as u32, 0));
+                    } else if on_stack[w] {
+                        lowlink[vs] = lowlink[vs].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&mut (parent, _)) = frames.last_mut() {
+                        let p = parent as usize;
+                        lowlink[p] = lowlink[p].min(lowlink[vs]);
+                    }
+                    if lowlink[vs] == index[vs] {
+                        // Root of an SCC: pop members.
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            scc_of[w as usize] = scc_count;
+                            if w as usize == vs {
+                                break;
+                            }
+                        }
+                        scc_count += 1;
+                    }
+                }
+            }
+        }
+
+        // SCC sizes and member bitsets.
+        let c = scc_count as usize;
+        let mut scc_size = vec![0u32; c];
+        for v in 0..n {
+            scc_size[scc_of[v] as usize] += 1;
+        }
+
+        // Closure rows, processed in Tarjan emission order (sinks first):
+        // every inter-SCC edge goes from a higher SCC id to a lower one, so
+        // a successor's row is final by the time we union it in.
+        let mut rows: Vec<BitSet> = (0..c).map(|_| BitSet::new(n)).collect();
+        let mut members_of: Vec<Vec<u32>> = vec![Vec::new(); c];
+        for v in 0..n {
+            rows[scc_of[v] as usize].insert(v);
+            members_of[scc_of[v] as usize].push(v as u32);
+        }
+        // Longest chain in roles: DP over the condensation.
+        let mut chain = vec![0u32; c];
+        for scc in 0..c {
+            let mut best_succ_chain = 0u32;
+            for &v in &members_of[scc] {
+                for &w in succ(v as usize) {
+                    let ws = scc_of[w as usize] as usize;
+                    if ws != scc {
+                        debug_assert!(ws < scc, "tarjan order violated");
+                        let (left, right) = rows.split_at_mut(scc);
+                        right[0].union_with(&left[ws]);
+                        best_succ_chain = best_succ_chain.max(chain[ws]);
+                    }
+                }
+            }
+            chain[scc] = scc_size[scc] + best_succ_chain;
+        }
+        let longest_chain_roles = chain.iter().copied().max().unwrap_or(0);
+
+        RoleClosure {
+            n,
+            scc_of,
+            rows,
+            longest_chain_roles,
+        }
+    }
+
+    /// Number of roles indexed.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff no roles are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `true` iff role `from` reaches role `to` (reflexive).
+    #[inline]
+    pub fn reaches(&self, from: u32, to: u32) -> bool {
+        if from == to {
+            return true;
+        }
+        let (f, t) = (from as usize, to as usize);
+        if f >= self.n || t >= self.n {
+            return from == to;
+        }
+        self.rows[self.scc_of[f] as usize].contains(t)
+    }
+
+    /// The closure row of `role`: every role reachable from it, itself
+    /// included.
+    pub fn row(&self, role: u32) -> &BitSet {
+        &self.rows[self.scc_of[role as usize] as usize]
+    }
+
+    /// Number of SCCs.
+    pub fn scc_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// SCC id of a role (reverse topological: sinks get low ids).
+    pub fn scc_of(&self, role: u32) -> u32 {
+        self.scc_of[role as usize]
+    }
+
+    /// Longest chain of the hierarchy measured in roles (an acyclic path
+    /// visiting `k` roles has chain length `k`; a cyclic SCC of size `s`
+    /// contributes `s`).
+    ///
+    /// Remark 2 of the paper conjectures that `n` applications of rule (3)
+    /// suffice where “`n` is the length of the longest chain in RH”; we
+    /// expose both the role count and the edge count
+    /// ([`RoleClosure::longest_chain_edges`]) so callers can pick the
+    /// reading they need.
+    pub fn longest_chain_roles(&self) -> u32 {
+        self.longest_chain_roles
+    }
+
+    /// Longest chain measured in edges (`roles - 1`, saturating).
+    pub fn longest_chain_edges(&self) -> u32 {
+        self.longest_chain_roles.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn closure(n: usize, edges: &[(u32, u32)]) -> RoleClosure {
+        RoleClosure::build(n, edges.iter().copied())
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = closure(0, &[]);
+        assert_eq!(c.scc_count(), 0);
+        assert_eq!(c.longest_chain_roles(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_chain() {
+        // 0 -> 1 -> 2 -> 3
+        let c = closure(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(c.reaches(0, 3));
+        assert!(c.reaches(1, 3));
+        assert!(!c.reaches(3, 0));
+        assert!(c.reaches(2, 2), "reflexive");
+        assert_eq!(c.scc_count(), 4);
+        assert_eq!(c.longest_chain_roles(), 4);
+        assert_eq!(c.longest_chain_edges(), 3);
+    }
+
+    #[test]
+    fn diamond() {
+        // 0 -> {1,2} -> 3
+        let c = closure(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(c.reaches(0, 3));
+        assert!(!c.reaches(1, 2));
+        assert_eq!(c.longest_chain_roles(), 3);
+    }
+
+    #[test]
+    fn cycle_collapses_to_one_scc() {
+        // 0 -> 1 -> 2 -> 0, plus 2 -> 3
+        let c = closure(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(c.scc_of(0), c.scc_of(1));
+        assert_eq!(c.scc_of(1), c.scc_of(2));
+        assert_ne!(c.scc_of(0), c.scc_of(3));
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                assert!(c.reaches(a, b), "{a} should reach {b} inside the cycle");
+            }
+            assert!(c.reaches(a, 3));
+        }
+        assert!(!c.reaches(3, 0));
+        assert_eq!(c.longest_chain_roles(), 4, "3-cycle + tail role");
+    }
+
+    #[test]
+    fn self_loop_is_not_a_chain_extension() {
+        let c = closure(2, &[(0, 0), (0, 1)]);
+        assert!(c.reaches(0, 1));
+        assert!(c.reaches(0, 0));
+        assert_eq!(c.longest_chain_roles(), 2);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let c = closure(5, &[(0, 1), (3, 4)]);
+        assert!(c.reaches(0, 1));
+        assert!(!c.reaches(0, 3));
+        assert!(!c.reaches(2, 0));
+        assert!(c.reaches(2, 2));
+        assert_eq!(c.longest_chain_roles(), 2);
+    }
+
+    #[test]
+    fn out_of_range_roles_only_reach_themselves() {
+        let c = closure(2, &[(0, 1)]);
+        assert!(c.reaches(9, 9));
+        assert!(!c.reaches(9, 0));
+        assert!(!c.reaches(0, 9));
+    }
+
+    #[test]
+    fn closure_matches_bfs_on_random_graphs() {
+        // Deterministic pseudo-random graphs; compare against a naive BFS.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [1usize, 5, 17, 40] {
+            let mut edges = Vec::new();
+            for _ in 0..(n * 2) {
+                let a = (next() % n as u64) as u32;
+                let b = (next() % n as u64) as u32;
+                edges.push((a, b));
+            }
+            let c = closure(n, &edges);
+            // Naive BFS per source.
+            for s in 0..n as u32 {
+                let mut seen = vec![false; n];
+                let mut queue = vec![s];
+                seen[s as usize] = true;
+                while let Some(v) = queue.pop() {
+                    for &(a, b) in &edges {
+                        if a == v && !seen[b as usize] {
+                            seen[b as usize] = true;
+                            queue.push(b);
+                        }
+                    }
+                }
+                for t in 0..n as u32 {
+                    assert_eq!(
+                        c.reaches(s, t),
+                        seen[t as usize] || s == t,
+                        "n={n} s={s} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_shared_within_scc() {
+        let c = closure(3, &[(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(c.row(0).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(c.row(1).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(c.row(2).iter().collect::<Vec<_>>(), vec![2]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Administrative commands and command queues (Definition 4).
+//!
+//! A command `cmd(u, a, v, v′)` names an actor `u`, a connective
+//! `a ∈ {¤, ♦}` and an edge `(v, v′)`; a command queue is a list of
+//! commands executed left to right by the reference monitor.
+
+use crate::ids::UserId;
+use crate::universe::Edge;
+
+/// The connective of a command: add or remove the edge.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CommandKind {
+    /// `¤` — add the edge (`φ ∪ (v, v′)`).
+    Grant,
+    /// `♦` — remove the edge (`φ \ (v, v′)`).
+    Revoke,
+}
+
+/// An administrative command `cmd(u, a, v, v′)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Command {
+    /// The user issuing the command.
+    pub actor: UserId,
+    /// Add or remove.
+    pub kind: CommandKind,
+    /// The edge `(v, v′)` being added or removed.
+    pub edge: Edge,
+}
+
+impl Command {
+    /// `cmd(actor, ¤, v, v′)`.
+    pub fn grant(actor: UserId, edge: Edge) -> Self {
+        Command {
+            actor,
+            kind: CommandKind::Grant,
+            edge,
+        }
+    }
+
+    /// `cmd(actor, ♦, v, v′)`.
+    pub fn revoke(actor: UserId, edge: Edge) -> Self {
+        Command {
+            actor,
+            kind: CommandKind::Revoke,
+            edge,
+        }
+    }
+}
+
+/// A queue of commands, executed front to back.
+///
+/// `CommandQueue` is a thin wrapper over `Vec<Command>` so queues can carry
+/// queue-level operations (actor signatures, prefix iteration) without
+/// leaking representation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct CommandQueue {
+    commands: Vec<Command>,
+}
+
+impl CommandQueue {
+    /// The empty queue `ε`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a queue from commands, front first.
+    pub fn from_commands(commands: Vec<Command>) -> Self {
+        CommandQueue { commands }
+    }
+
+    /// Appends a command to the back.
+    pub fn push(&mut self, cmd: Command) {
+        self.commands.push(cmd);
+    }
+
+    /// Number of commands.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// `true` iff the queue is `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// The commands, front first.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// The actor of each command in order — Definition 7 matches queues by
+    /// this signature (`n`-th commands “both of the form `cmd(u, ., .)`”).
+    pub fn actor_signature(&self) -> Vec<UserId> {
+        self.commands.iter().map(|c| c.actor).collect()
+    }
+
+    /// `true` iff the two queues have the same length and the same actor at
+    /// every position.
+    pub fn same_actors(&self, other: &CommandQueue) -> bool {
+        self.len() == other.len()
+            && self
+                .commands
+                .iter()
+                .zip(other.commands.iter())
+                .all(|(a, b)| a.actor == b.actor)
+    }
+
+    /// Iterates the commands front first.
+    pub fn iter(&self) -> impl Iterator<Item = &Command> {
+        self.commands.iter()
+    }
+}
+
+impl FromIterator<Command> for CommandQueue {
+    fn from_iter<I: IntoIterator<Item = Command>>(iter: I) -> Self {
+        CommandQueue {
+            commands: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for CommandQueue {
+    type Item = Command;
+    type IntoIter = std::vec::IntoIter<Command>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.commands.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RoleId;
+
+    fn edge(u: u32, r: u32) -> Edge {
+        Edge::UserRole(UserId(u), RoleId(r))
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        let g = Command::grant(UserId(0), edge(1, 2));
+        let r = Command::revoke(UserId(0), edge(1, 2));
+        assert_eq!(g.kind, CommandKind::Grant);
+        assert_eq!(r.kind, CommandKind::Revoke);
+        assert_ne!(g, r);
+    }
+
+    #[test]
+    fn actor_signature_and_matching() {
+        let q1: CommandQueue = [
+            Command::grant(UserId(1), edge(1, 2)),
+            Command::revoke(UserId(2), edge(3, 4)),
+        ]
+        .into_iter()
+        .collect();
+        let q2: CommandQueue = [
+            Command::revoke(UserId(1), edge(9, 9)),
+            Command::grant(UserId(2), edge(0, 0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(q1.actor_signature(), vec![UserId(1), UserId(2)]);
+        assert!(q1.same_actors(&q2), "same actors, different commands");
+        let q3: CommandQueue = [Command::grant(UserId(1), edge(1, 2))].into_iter().collect();
+        assert!(!q1.same_actors(&q3), "length differs");
+        let q4: CommandQueue = [
+            Command::grant(UserId(2), edge(1, 2)),
+            Command::grant(UserId(1), edge(3, 4)),
+        ]
+        .into_iter()
+        .collect();
+        assert!(!q1.same_actors(&q4), "actors permuted");
+    }
+
+    #[test]
+    fn queue_basics() {
+        let mut q = CommandQueue::new();
+        assert!(q.is_empty());
+        q.push(Command::grant(UserId(0), edge(0, 0)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.iter().count(), 1);
+        let v: Vec<Command> = q.clone().into_iter().collect();
+        assert_eq!(v.len(), 1);
+        assert_eq!(CommandQueue::from_commands(v), q);
+    }
+}

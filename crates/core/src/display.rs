@@ -1,0 +1,242 @@
+//! Name-aware rendering of privileges, edges, commands and policies.
+//!
+//! Ids are meaningless without the [`Universe`], so rendering goes through
+//! free functions taking one. Two notations are supported: the ASCII
+//! notation used by the policy language (`grant(bob, staff)`) and the
+//! paper's connective notation (`¤(bob, staff)` / `♦(bob, staff)`).
+
+use std::fmt::Write as _;
+
+use crate::command::{Command, CommandKind};
+use crate::ids::{Perm, PrivId};
+use crate::policy::Policy;
+use crate::universe::{Edge, PrivTerm, Universe};
+
+/// Which surface syntax to render connectives in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Notation {
+    /// `grant(..)` / `revoke(..)` — matches `adminref-lang`.
+    #[default]
+    Ascii,
+    /// `¤(..)` / `♦(..)` — matches the paper.
+    Paper,
+}
+
+/// Renders a user privilege, e.g. `(read, t1)`.
+pub fn perm_to_string(universe: &Universe, perm: Perm) -> String {
+    format!(
+        "({}, {})",
+        universe.action_name(perm.action),
+        universe.object_name(perm.object)
+    )
+}
+
+/// Renders the two endpoints of an edge, without a connective.
+fn edge_body(universe: &Universe, edge: Edge, notation: Notation, out: &mut String) {
+    match edge {
+        Edge::UserRole(u, r) => {
+            let _ = write!(out, "{}, {}", universe.user_name(u), universe.role_name(r));
+        }
+        Edge::RoleRole(r, s) => {
+            let _ = write!(out, "{}, {}", universe.role_name(r), universe.role_name(s));
+        }
+        Edge::RolePriv(r, p) => {
+            let _ = write!(out, "{}, ", universe.role_name(r));
+            write_priv(universe, p, notation, out);
+        }
+    }
+}
+
+fn write_priv(universe: &Universe, p: PrivId, notation: Notation, out: &mut String) {
+    match universe.term(p) {
+        PrivTerm::Perm(q) => {
+            let _ = write!(out, "{}", perm_to_string(universe, q));
+        }
+        PrivTerm::Grant(e) => {
+            out.push_str(match notation {
+                Notation::Ascii => "grant(",
+                Notation::Paper => "¤(",
+            });
+            edge_body(universe, e, notation, out);
+            out.push(')');
+        }
+        PrivTerm::Revoke(e) => {
+            out.push_str(match notation {
+                Notation::Ascii => "revoke(",
+                Notation::Paper => "♦(",
+            });
+            edge_body(universe, e, notation, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Renders a privilege term.
+pub fn priv_to_string(universe: &Universe, p: PrivId, notation: Notation) -> String {
+    let mut out = String::new();
+    write_priv(universe, p, notation, &mut out);
+    out
+}
+
+/// Renders an edge as `source -> target`.
+pub fn edge_to_string(universe: &Universe, edge: Edge, notation: Notation) -> String {
+    let mut out = String::new();
+    match edge {
+        Edge::UserRole(u, r) => {
+            let _ = write!(
+                out,
+                "{} -> {}",
+                universe.user_name(u),
+                universe.role_name(r)
+            );
+        }
+        Edge::RoleRole(r, s) => {
+            let _ = write!(
+                out,
+                "{} -> {}",
+                universe.role_name(r),
+                universe.role_name(s)
+            );
+        }
+        Edge::RolePriv(r, p) => {
+            let _ = write!(out, "{} -> ", universe.role_name(r));
+            write_priv(universe, p, notation, &mut out);
+        }
+    }
+    out
+}
+
+/// Renders a command as `cmd(actor, grant|revoke, v, v')`.
+pub fn command_to_string(universe: &Universe, cmd: &Command, notation: Notation) -> String {
+    let connective = match (cmd.kind, notation) {
+        (CommandKind::Grant, Notation::Ascii) => "grant",
+        (CommandKind::Revoke, Notation::Ascii) => "revoke",
+        (CommandKind::Grant, Notation::Paper) => "¤",
+        (CommandKind::Revoke, Notation::Paper) => "♦",
+    };
+    let mut body = String::new();
+    edge_body(universe, cmd.edge, notation, &mut body);
+    format!(
+        "cmd({}, {}, {})",
+        universe.user_name(cmd.actor),
+        connective,
+        body
+    )
+}
+
+/// Renders a whole policy, one edge per line, deterministically ordered.
+pub fn policy_to_string(universe: &Universe, policy: &Policy, notation: Notation) -> String {
+    let mut out = String::new();
+    for (u, r) in policy.ua() {
+        let _ = writeln!(
+            out,
+            "assign {} -> {};",
+            universe.user_name(u),
+            universe.role_name(r)
+        );
+    }
+    for (r, s) in policy.rh() {
+        let _ = writeln!(
+            out,
+            "inherit {} -> {};",
+            universe.role_name(r),
+            universe.role_name(s)
+        );
+    }
+    for (r, p) in policy.pa() {
+        let _ = writeln!(
+            out,
+            "perm {} -> {};",
+            universe.role_name(r),
+            priv_to_string(universe, p, notation)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyBuilder;
+
+    fn setup() -> (Universe, Policy) {
+        PolicyBuilder::new()
+            .assign("bob", "staff")
+            .inherit("staff", "dbusr2")
+            .permit("dbusr2", "read", "t2")
+            .finish()
+    }
+
+    #[test]
+    fn perm_rendering() {
+        let (mut uni, _) = setup();
+        let perm = uni.perm("read", "t2");
+        assert_eq!(perm_to_string(&uni, perm), "(read, t2)");
+    }
+
+    #[test]
+    fn nested_priv_ascii() {
+        let (mut uni, _) = setup();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let hr = uni.role("hr");
+        let inner = uni.grant_user_role(bob, staff);
+        let outer = uni.grant_role_priv(hr, inner);
+        assert_eq!(
+            priv_to_string(&uni, outer, Notation::Ascii),
+            "grant(hr, grant(bob, staff))"
+        );
+    }
+
+    #[test]
+    fn nested_priv_paper_notation() {
+        let (mut uni, _) = setup();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let inner = uni.grant_user_role(bob, staff);
+        let rev = uni.revoke_role_priv(staff, inner);
+        assert_eq!(
+            priv_to_string(&uni, rev, Notation::Paper),
+            "♦(staff, ¤(bob, staff))"
+        );
+    }
+
+    #[test]
+    fn command_rendering() {
+        let (mut uni, _) = setup();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let jane = uni.user("jane");
+        let cmd = Command::grant(jane, Edge::UserRole(bob, staff));
+        assert_eq!(
+            command_to_string(&uni, &cmd, Notation::Ascii),
+            "cmd(jane, grant, bob, staff)"
+        );
+        assert_eq!(
+            command_to_string(&uni, &cmd, Notation::Paper),
+            "cmd(jane, ¤, bob, staff)"
+        );
+    }
+
+    #[test]
+    fn policy_rendering_is_deterministic() {
+        let (uni, policy) = setup();
+        let a = policy_to_string(&uni, &policy, Notation::Ascii);
+        let b = policy_to_string(&uni, &policy, Notation::Ascii);
+        assert_eq!(a, b);
+        assert!(a.contains("assign bob -> staff;"));
+        assert!(a.contains("inherit staff -> dbusr2;"));
+        assert!(a.contains("perm dbusr2 -> (read, t2);"));
+    }
+
+    #[test]
+    fn edge_rendering() {
+        let (uni, _) = setup();
+        let staff = uni.find_role("staff").unwrap();
+        let dbusr2 = uni.find_role("dbusr2").unwrap();
+        assert_eq!(
+            edge_to_string(&uni, Edge::RoleRole(staff, dbusr2), Notation::Ascii),
+            "staff -> dbusr2"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Typed dense identifiers for the fixed sets `U`, `R`, `A`, `O` and for
+//! hash-consed privilege terms.
+//!
+//! The paper fixes the sets of users, roles, actions and objects up front
+//! (“we assume that they are chosen sufficiently large and fixed”, §3); the
+//! [`crate::universe::Universe`] owns those sets and these newtypes index
+//! into it. Using distinct types for each kind prevents the classic id-mixup
+//! bug at compile time while keeping everything `Copy` and dense.
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id overflow"))
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A user `u ∈ U`.
+    UserId
+);
+id_type!(
+    /// A role `r ∈ R`.
+    RoleId
+);
+id_type!(
+    /// An action (first component of a user privilege).
+    ActionId
+);
+id_type!(
+    /// An object (second component of a user privilege).
+    ObjectId
+);
+id_type!(
+    /// A hash-consed privilege term `p ∈ P†` (Definition 2).
+    ///
+    /// Structural equality of privilege terms coincides with id equality:
+    /// the [`crate::universe::Universe`] interns each distinct term once.
+    PrivId
+);
+
+/// A user privilege `q ∈ P ⊆ A × O`, e.g. `(read, ehrtable)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Perm {
+    /// The action performed.
+    pub action: ActionId,
+    /// The object acted upon.
+    pub object: ObjectId,
+}
+
+impl Perm {
+    /// Convenience constructor.
+    pub fn new(action: ActionId, object: ObjectId) -> Self {
+        Perm { action, object }
+    }
+}
+
+/// A vertex drawn from `U ∪ R` — the `v` in reachability queries and in the
+/// privilege-ordering rules of Definition 8.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Entity {
+    /// A user.
+    User(UserId),
+    /// A role.
+    Role(RoleId),
+}
+
+impl Entity {
+    /// The role inside, if this is a role.
+    pub fn as_role(self) -> Option<RoleId> {
+        match self {
+            Entity::Role(r) => Some(r),
+            Entity::User(_) => None,
+        }
+    }
+
+    /// The user inside, if this is a user.
+    pub fn as_user(self) -> Option<UserId> {
+        match self {
+            Entity::User(u) => Some(u),
+            Entity::Role(_) => None,
+        }
+    }
+}
+
+impl From<UserId> for Entity {
+    fn from(u: UserId) -> Self {
+        Entity::User(u)
+    }
+}
+
+impl From<RoleId> for Entity {
+    fn from(r: RoleId) -> Self {
+        Entity::Role(r)
+    }
+}
+
+/// A vertex of the policy graph: `U ∪ R ∪ P†` (Definition 1 treats a policy
+/// as the digraph `UA ∪ RH ∪ PA`; privilege terms are sink vertices).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Node {
+    /// A user vertex.
+    User(UserId),
+    /// A role vertex.
+    Role(RoleId),
+    /// A privilege-term vertex (always a sink).
+    Priv(PrivId),
+}
+
+impl From<Entity> for Node {
+    fn from(e: Entity) -> Self {
+        match e {
+            Entity::User(u) => Node::User(u),
+            Entity::Role(r) => Node::Role(r),
+        }
+    }
+}
+
+impl From<UserId> for Node {
+    fn from(u: UserId) -> Self {
+        Node::User(u)
+    }
+}
+
+impl From<RoleId> for Node {
+    fn from(r: RoleId) -> Self {
+        Node::Role(r)
+    }
+}
+
+impl From<PrivId> for Node {
+    fn from(p: PrivId) -> Self {
+        Node::Priv(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_indexes() {
+        let r = RoleId::from_index(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(r, RoleId(7));
+    }
+
+    #[test]
+    fn entity_projections() {
+        let e: Entity = RoleId(3).into();
+        assert_eq!(e.as_role(), Some(RoleId(3)));
+        assert_eq!(e.as_user(), None);
+        let e: Entity = UserId(1).into();
+        assert_eq!(e.as_user(), Some(UserId(1)));
+        assert_eq!(e.as_role(), None);
+    }
+
+    #[test]
+    fn node_conversions() {
+        assert_eq!(Node::from(Entity::User(UserId(2))), Node::User(UserId(2)));
+        assert_eq!(Node::from(RoleId(4)), Node::Role(RoleId(4)));
+        assert_eq!(Node::from(PrivId(9)), Node::Priv(PrivId(9)));
+    }
+
+    #[test]
+    fn perm_is_ordered_pair() {
+        let p = Perm::new(ActionId(1), ObjectId(2));
+        let q = Perm::new(ActionId(2), ObjectId(1));
+        assert_ne!(p, q);
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", RoleId(5)), "RoleId(5)");
+        assert_eq!(format!("{:?}", PrivId(0)), "PrivId(0)");
+    }
+}

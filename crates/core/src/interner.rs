@@ -1,0 +1,109 @@
+//! String interning.
+//!
+//! Users, roles, actions and objects are referred to by name in the policy
+//! language and by dense `u32` ids everywhere else. The interner owns each
+//! distinct string once and hands out stable indexes; lookups in either
+//! direction are O(1).
+
+use std::collections::HashMap;
+
+/// Interns strings of one name-kind (e.g. all role names).
+///
+/// Ids are dense (`0..len`) and never invalidated; the interner is
+/// append-only.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    names: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.index.insert(boxed, id);
+        id
+    }
+
+    /// Returns the id for `name` if already interned.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("alice");
+        let b = i.intern("bob");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alice"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let id = i.intern("nurse");
+        assert_eq!(i.resolve(id), "nurse");
+        assert_eq!(i.get("nurse"), Some(id));
+        assert_eq!(i.get("doctor"), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        for (k, name) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(i.intern(name), k as u32);
+        }
+        let pairs: Vec<_> = i.iter().collect();
+        assert_eq!(pairs, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+
+    #[test]
+    fn empty() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Safety analysis over the administrative transition system: which
+//! policies — and hence which authorizations — are *reachable* from a
+//! given policy by some command queue?
+//!
+//! This is the paper's analogue of the classic ARBAC user-role
+//! reachability problem (cf. `adminref-baselines::arbac_reach`): instead
+//! of `can_assign` rules, reachability here is driven by the assigned
+//! administrative privileges and (optionally) everything `⊑`-weaker than
+//! them. The state space is exponential, so the analysis is bounded by
+//! step count and state count; positive answers come with a concrete
+//! witness queue.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::command::{Command, CommandQueue};
+use crate::enumerate::{enumerate_weaker, EnumerationConfig};
+use crate::ids::{Entity, Perm};
+use crate::ordering::OrderingMode;
+use crate::policy::Policy;
+use crate::reach::ReachIndex;
+use crate::simulation::command_alphabet;
+use crate::transition::{step, AuthMode};
+use crate::universe::Universe;
+
+/// Bounds for the reachability search.
+#[derive(Clone, Copy, Debug)]
+pub struct SafetyConfig {
+    /// Maximum queue length to explore.
+    pub max_steps: usize,
+    /// Maximum number of distinct policies to visit.
+    pub max_states: usize,
+    /// Authorization semantics commands run under.
+    pub auth_mode: AuthMode,
+    /// Depth bound for weaker-privilege expansion of the command alphabet
+    /// in ordered mode (ignored under explicit authorization). `None`
+    /// uses the Remark 2 bound (longest `RH` chain).
+    pub weaker_depth: Option<u32>,
+}
+
+impl Default for SafetyConfig {
+    fn default() -> Self {
+        SafetyConfig {
+            max_steps: 4,
+            max_states: 50_000,
+            auth_mode: AuthMode::Explicit,
+            weaker_depth: None,
+        }
+    }
+}
+
+/// Result of a bounded reachability question.
+#[derive(Clone, Debug)]
+pub enum ReachabilityAnswer {
+    /// A witness queue reaching the condition.
+    Reachable {
+        /// The queue, front first.
+        witness: CommandQueue,
+    },
+    /// Exhaustively refuted within the bounds.
+    Unreachable,
+    /// A bound was hit before exhaustion.
+    Unknown,
+}
+
+impl ReachabilityAnswer {
+    /// `true` for [`ReachabilityAnswer::Reachable`].
+    pub fn is_reachable(&self) -> bool {
+        matches!(self, ReachabilityAnswer::Reachable { .. })
+    }
+}
+
+/// Can `entity` come to hold the user privilege `perm` in some policy
+/// reachable from `policy`?
+pub fn perm_reachable(
+    universe: &mut Universe,
+    policy: &Policy,
+    entity: Entity,
+    perm: Perm,
+    config: SafetyConfig,
+) -> ReachabilityAnswer {
+    let target = universe.priv_perm(perm);
+    find_reachable(universe, policy, config, |uni, candidate| {
+        let idx = ReachIndex::build(uni, candidate);
+        idx.reach_priv(entity, target)
+    })
+}
+
+/// Breadth-first search for a reachable policy satisfying `goal`.
+///
+/// The alphabet is the finite relevant command set (see
+/// [`command_alphabet`]); under ordered authorization it is additionally
+/// expanded with commands for the edges of privileges `⊑`-weaker than any
+/// assigned vertex, up to the configured depth — those are exactly the
+/// extra commands ordered mode can authorize.
+pub fn find_reachable(
+    universe: &mut Universe,
+    policy: &Policy,
+    config: SafetyConfig,
+    goal: impl Fn(&Universe, &Policy) -> bool,
+) -> ReachabilityAnswer {
+    if goal(universe, policy) {
+        return ReachabilityAnswer::Reachable {
+            witness: CommandQueue::new(),
+        };
+    }
+    let alphabet = build_alphabet(universe, policy, config);
+    let mut seen: HashSet<Policy> = HashSet::new();
+    let mut parents: HashMap<Policy, (Policy, Command)> = HashMap::new();
+    let mut queue: VecDeque<(Policy, usize)> = VecDeque::new();
+    seen.insert(policy.clone());
+    queue.push_back((policy.clone(), 0));
+    let mut truncated = false;
+    while let Some((state, depth)) = queue.pop_front() {
+        if depth >= config.max_steps {
+            truncated = true;
+            continue;
+        }
+        for cmd in &alphabet {
+            let mut next = state.clone();
+            let outcome = step(universe, &mut next, cmd, config.auth_mode);
+            if !outcome.changed || seen.contains(&next) {
+                continue;
+            }
+            parents.insert(next.clone(), (state.clone(), *cmd));
+            if goal(universe, &next) {
+                return ReachabilityAnswer::Reachable {
+                    witness: rebuild_witness(&parents, policy, &next),
+                };
+            }
+            if seen.len() >= config.max_states {
+                truncated = true;
+                continue;
+            }
+            seen.insert(next.clone());
+            queue.push_back((next, depth + 1));
+        }
+    }
+    if truncated {
+        ReachabilityAnswer::Unknown
+    } else {
+        ReachabilityAnswer::Unreachable
+    }
+}
+
+fn rebuild_witness(
+    parents: &HashMap<Policy, (Policy, Command)>,
+    start: &Policy,
+    end: &Policy,
+) -> CommandQueue {
+    let mut commands = Vec::new();
+    let mut cursor = end.clone();
+    while &cursor != start {
+        let (parent, cmd) = parents
+            .get(&cursor)
+            .expect("every visited state has a parent");
+        commands.push(*cmd);
+        cursor = parent.clone();
+    }
+    commands.reverse();
+    CommandQueue::from_commands(commands)
+}
+
+fn build_alphabet(universe: &mut Universe, policy: &Policy, config: SafetyConfig) -> Vec<Command> {
+    let mut alphabet = command_alphabet(universe, &[policy]);
+    if let AuthMode::Ordered(mode) = config.auth_mode {
+        let depth = config
+            .weaker_depth
+            .unwrap_or_else(|| crate::enumerate::remark2_depth(universe, policy));
+        let vertices: Vec<_> = policy.priv_vertices().into_iter().collect();
+        let mut extra_edges = std::collections::BTreeSet::new();
+        for p in vertices {
+            if !universe.term(p).is_administrative() {
+                continue;
+            }
+            let set = enumerate_weaker(
+                universe,
+                policy,
+                p,
+                EnumerationConfig {
+                    max_depth: depth.max(1),
+                    max_results: 10_000,
+                    mode: match mode {
+                        OrderingMode::Strict => OrderingMode::Strict,
+                        other => other,
+                    },
+                },
+            );
+            for q in set.privileges {
+                if let Some(edge) = universe.term(q).edge() {
+                    extra_edges.insert(edge);
+                }
+            }
+        }
+        let actors: std::collections::BTreeSet<_> =
+            alphabet.iter().map(|c| c.actor).collect();
+        for &actor in &actors {
+            for &edge in &extra_edges {
+                alphabet.push(Command::grant(actor, edge));
+                alphabet.push(Command::revoke(actor, edge));
+            }
+        }
+        alphabet.sort_unstable();
+        alphabet.dedup();
+    }
+    alphabet
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyBuilder;
+    use crate::universe::Edge;
+
+    /// jane∈hr holds ¤(bob, staff); staff → dbusr2 → (write, t3).
+    fn fixture() -> (Universe, Policy) {
+        let mut b = PolicyBuilder::new()
+            .assign("jane", "hr")
+            .declare_user("bob")
+            .inherit("staff", "dbusr2")
+            .permit("dbusr2", "write", "t3")
+            .permit("staff", "prnt", "color");
+        let (bob, staff) = {
+            let u = b.universe_mut();
+            (u.find_user("bob").unwrap(), u.find_role("staff").unwrap())
+        };
+        let g = b.universe_mut().grant_user_role(bob, staff);
+        b = b.assign_priv("hr", g);
+        b.finish()
+    }
+
+    #[test]
+    fn bob_can_gain_write_t3_in_one_step() {
+        let (mut uni, policy) = fixture();
+        let bob = uni.find_user("bob").unwrap();
+        let write_t3 = uni.perm("write", "t3");
+        let answer = perm_reachable(
+            &mut uni,
+            &policy,
+            Entity::User(bob),
+            write_t3,
+            SafetyConfig::default(),
+        );
+        let ReachabilityAnswer::Reachable { witness } = answer else {
+            panic!("expected reachable, got {answer:?}");
+        };
+        assert_eq!(witness.len(), 1);
+        let jane = uni.find_user("jane").unwrap();
+        assert_eq!(witness.commands()[0].actor, jane);
+    }
+
+    #[test]
+    fn unreachable_without_admin_privileges() {
+        let (mut uni, mut policy) = fixture();
+        // Strip HR's privilege: nobody can change anything.
+        let hr = uni.find_role("hr").unwrap();
+        let p = policy.privs_of(hr).next().unwrap();
+        policy.remove_edge(Edge::RolePriv(hr, p));
+        let bob = uni.find_user("bob").unwrap();
+        let write_t3 = uni.perm("write", "t3");
+        let answer = perm_reachable(
+            &mut uni,
+            &policy,
+            Entity::User(bob),
+            write_t3,
+            SafetyConfig::default(),
+        );
+        assert!(matches!(answer, ReachabilityAnswer::Unreachable));
+    }
+
+    #[test]
+    fn already_satisfied_goal_returns_empty_witness() {
+        let (mut uni, policy) = fixture();
+        let jane = uni.find_user("jane").unwrap();
+        // Jane reaches nothing perm-wise; use a goal that's true at start.
+        let answer = find_reachable(&mut uni, &policy, SafetyConfig::default(), |_, p| {
+            p.edge_count() > 0
+        });
+        let ReachabilityAnswer::Reachable { witness } = answer else {
+            panic!();
+        };
+        assert!(witness.is_empty());
+        let _ = jane;
+    }
+
+    #[test]
+    fn unknown_on_tiny_bounds() {
+        let (mut uni, policy) = fixture();
+        let bob = uni.find_user("bob").unwrap();
+        let never = uni.perm("launch", "missiles");
+        let answer = perm_reachable(
+            &mut uni,
+            &policy,
+            Entity::User(bob),
+            never,
+            SafetyConfig {
+                max_steps: 1,
+                max_states: 1,
+                ..SafetyConfig::default()
+            },
+        );
+        assert!(matches!(answer, ReachabilityAnswer::Unknown), "{answer:?}");
+    }
+
+    #[test]
+    fn ordered_mode_reaches_strictly_more() {
+        // Give HR only ¤(bob, staff); ask whether a policy where bob is in
+        // dbusr2 *but not staff* is reachable. Explicit mode: no (only the
+        // exact edge can be granted). Ordered mode: yes, via the weaker
+        // command.
+        let (mut uni, policy) = fixture();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let dbusr2 = uni.find_role("dbusr2").unwrap();
+        let goal = |_: &Universe, p: &Policy| {
+            p.contains_edge(Edge::UserRole(bob, dbusr2))
+                && !p.contains_edge(Edge::UserRole(bob, staff))
+        };
+        let explicit = find_reachable(
+            &mut uni,
+            &policy,
+            SafetyConfig {
+                max_steps: 3,
+                ..SafetyConfig::default()
+            },
+            goal,
+        );
+        assert!(
+            matches!(explicit, ReachabilityAnswer::Unreachable),
+            "{explicit:?}"
+        );
+        let ordered = find_reachable(
+            &mut uni,
+            &policy,
+            SafetyConfig {
+                max_steps: 2,
+                auth_mode: AuthMode::Ordered(OrderingMode::Extended),
+                ..SafetyConfig::default()
+            },
+            goal,
+        );
+        assert!(ordered.is_reachable(), "{ordered:?}");
+    }
+
+    #[test]
+    fn witness_replays_to_a_goal_state() {
+        let (mut uni, policy) = fixture();
+        let bob = uni.find_user("bob").unwrap();
+        let write_t3 = uni.perm("write", "t3");
+        let answer = perm_reachable(
+            &mut uni,
+            &policy,
+            Entity::User(bob),
+            write_t3,
+            SafetyConfig::default(),
+        );
+        let ReachabilityAnswer::Reachable { witness } = answer else {
+            panic!();
+        };
+        let final_policy =
+            crate::transition::run_pure(&mut uni, &policy, &witness, AuthMode::Explicit);
+        let idx = ReachIndex::build(&uni, &final_policy);
+        let target = uni.priv_perm(write_t3);
+        assert!(idx.reach_priv(Entity::User(bob), target));
+    }
+}

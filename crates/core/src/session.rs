@@ -1,0 +1,234 @@
+//! RBAC sessions (§2 of the paper, following the ANSI standard).
+//!
+//! A user starts a session and activates roles in it; the reference monitor
+//! allows activating `r` iff `u →φ r`, and the session's privileges are
+//! those reachable from its *active* roles only. Sessions are the standard's
+//! least-privilege mechanism — the paper's Example 4 turns on the fact that
+//! users may fail to use it (Bob activating `staff` instead of `dbusr2`),
+//! which the privilege ordering lets Jane fix for him.
+
+use std::collections::BTreeSet;
+
+use crate::ids::{Entity, Node, Perm, RoleId, UserId};
+use crate::policy::Policy;
+use crate::reach::reaches;
+use crate::universe::Universe;
+
+/// Why a session operation was refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionError {
+    /// `u →φ r` does not hold: the user may not activate the role.
+    ActivationDenied {
+        /// The session's user.
+        user: UserId,
+        /// The role that was refused.
+        role: RoleId,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::ActivationDenied { user, role } => {
+                write!(f, "user {user:?} may not activate role {role:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// One user session with a set of activated roles.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Session {
+    user: UserId,
+    active: BTreeSet<RoleId>,
+}
+
+impl Session {
+    /// Starts a session for `user` with no active roles (and therefore no
+    /// privileges).
+    pub fn new(user: UserId) -> Self {
+        Session {
+            user,
+            active: BTreeSet::new(),
+        }
+    }
+
+    /// The session's user.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Currently active roles.
+    pub fn active_roles(&self) -> impl Iterator<Item = RoleId> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// Activates `role` if the policy allows it (`u →φ r`).
+    pub fn activate(&mut self, policy: &Policy, role: RoleId) -> Result<(), SessionError> {
+        if reaches(policy, Node::User(self.user), Node::Role(role)) {
+            self.active.insert(role);
+            Ok(())
+        } else {
+            Err(SessionError::ActivationDenied {
+                user: self.user,
+                role,
+            })
+        }
+    }
+
+    /// Deactivates `role`; returns `true` if it was active.
+    pub fn deactivate(&mut self, role: RoleId) -> bool {
+        self.active.remove(&role)
+    }
+
+    /// `true` iff the session's active roles reach the user privilege
+    /// `perm`.
+    pub fn check_access(&self, universe: &mut Universe, policy: &Policy, perm: Perm) -> bool {
+        let p = universe.priv_perm(perm);
+        self.active
+            .iter()
+            .any(|&r| reaches(policy, Node::Role(r), Node::Priv(p)))
+    }
+
+    /// All user privileges the session currently grants.
+    pub fn session_perms(&self, universe: &Universe, policy: &Policy) -> Vec<Perm> {
+        let idx = crate::reach::ReachIndex::build(universe, policy);
+        let mut out: Vec<Perm> = Vec::new();
+        for &r in &self.active {
+            out.extend(idx.perms_reachable(universe, policy, Entity::Role(r)));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyBuilder;
+
+    /// Example 1: Diana activates nurse (reads t1, t2) or staff (also
+    /// writes t3).
+    fn figure1() -> (Universe, Policy) {
+        PolicyBuilder::new()
+            .assign("diana", "nurse")
+            .assign("diana", "staff")
+            .inherit("staff", "nurse")
+            .inherit("nurse", "dbusr1")
+            .inherit("staff", "dbusr2")
+            .permit("dbusr1", "read", "t1")
+            .permit("dbusr1", "read", "t2")
+            .permit("dbusr2", "write", "t3")
+            .finish()
+    }
+
+    #[test]
+    fn example1_nurse_session() {
+        let (mut uni, policy) = figure1();
+        let diana = uni.find_user("diana").unwrap();
+        let nurse = uni.find_role("nurse").unwrap();
+        let mut session = Session::new(diana);
+        session.activate(&policy, nurse).unwrap();
+        let read_t1 = uni.perm("read", "t1");
+        let write_t3 = uni.perm("write", "t3");
+        assert!(session.check_access(&mut uni, &policy, read_t1));
+        assert!(
+            !session.check_access(&mut uni, &policy, write_t3),
+            "nurse session cannot write t3"
+        );
+    }
+
+    #[test]
+    fn example1_staff_session_can_write() {
+        let (mut uni, policy) = figure1();
+        let diana = uni.find_user("diana").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let mut session = Session::new(diana);
+        session.activate(&policy, staff).unwrap();
+        let write_t3 = uni.perm("write", "t3");
+        assert!(session.check_access(&mut uni, &policy, write_t3));
+    }
+
+    #[test]
+    fn activation_requires_reachability() {
+        let (mut uni, policy) = figure1();
+        let bob = uni.user("bob");
+        let staff = uni.find_role("staff").unwrap();
+        let mut session = Session::new(bob);
+        assert_eq!(
+            session.activate(&policy, staff),
+            Err(SessionError::ActivationDenied {
+                user: bob,
+                role: staff
+            })
+        );
+        assert_eq!(session.active_roles().count(), 0);
+    }
+
+    #[test]
+    fn inherited_roles_are_activatable() {
+        // diana →φ dbusr2 via staff, so she may activate dbusr2 directly —
+        // the least-privilege move Example 4 wants Bob to make.
+        let (uni, policy) = figure1();
+        let diana = uni.find_user("diana").unwrap();
+        let dbusr2 = uni.find_role("dbusr2").unwrap();
+        let mut session = Session::new(diana);
+        session.activate(&policy, dbusr2).unwrap();
+        assert_eq!(session.active_roles().collect::<Vec<_>>(), vec![dbusr2]);
+    }
+
+    #[test]
+    fn empty_session_has_no_privileges() {
+        let (mut uni, policy) = figure1();
+        let diana = uni.find_user("diana").unwrap();
+        let session = Session::new(diana);
+        let read_t1 = uni.perm("read", "t1");
+        assert!(!session.check_access(&mut uni, &policy, read_t1));
+        assert!(session.session_perms(&uni, &policy).is_empty());
+    }
+
+    #[test]
+    fn deactivation_drops_privileges() {
+        let (mut uni, policy) = figure1();
+        let diana = uni.find_user("diana").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let mut session = Session::new(diana);
+        session.activate(&policy, staff).unwrap();
+        let write_t3 = uni.perm("write", "t3");
+        assert!(session.check_access(&mut uni, &policy, write_t3));
+        assert!(session.deactivate(staff));
+        assert!(!session.deactivate(staff));
+        assert!(!session.check_access(&mut uni, &policy, write_t3));
+    }
+
+    #[test]
+    fn session_perms_unions_active_roles() {
+        let (uni, policy) = figure1();
+        let diana = uni.find_user("diana").unwrap();
+        let nurse = uni.find_role("nurse").unwrap();
+        let dbusr2 = uni.find_role("dbusr2").unwrap();
+        let mut session = Session::new(diana);
+        session.activate(&policy, nurse).unwrap();
+        session.activate(&policy, dbusr2).unwrap();
+        // nurse: read t1, read t2; dbusr2: write t3.
+        assert_eq!(session.session_perms(&uni, &policy).len(), 3);
+    }
+
+    #[test]
+    fn policy_change_affects_existing_sessions() {
+        // Sessions consult the live policy: revoking diana's staff role
+        // does not deactivate the role, but re-activation would fail and a
+        // fresh session cannot activate it.
+        let (uni, mut policy) = figure1();
+        let diana = uni.find_user("diana").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let mut session = Session::new(diana);
+        session.activate(&policy, staff).unwrap();
+        policy.remove_edge(crate::universe::Edge::UserRole(diana, staff));
+        let mut fresh = Session::new(diana);
+        assert!(fresh.activate(&policy, staff).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Abstract syntax of the policy language.
+//!
+//! ```text
+//! doc     ::= policy IDENT { decl* stmt* }
+//! decl    ::= users IDENT (, IDENT)* ;  |  roles IDENT (, IDENT)* ;
+//! stmt    ::= assign IDENT -> IDENT ;
+//!           | inherit IDENT -> IDENT ;
+//!           | perm IDENT -> priv ;
+//! priv    ::= ( IDENT , IDENT )                 -- user privilege
+//!           | grant ( IDENT , target )          -- ¤(v, v′)
+//!           | revoke ( IDENT , target )         -- ♦(v, v′)
+//! target  ::= IDENT | priv
+//! queue   ::= queue { qcmd* }
+//! qcmd    ::= cmd ( IDENT , grant|revoke , IDENT -> target ) ;
+//! ```
+
+use crate::token::Pos;
+
+/// A parsed policy document.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PolicyDoc {
+    /// The policy's name.
+    pub name: String,
+    /// Declared users.
+    pub users: Vec<String>,
+    /// Declared roles.
+    pub roles: Vec<String>,
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Stmt {
+    /// Statement payload.
+    pub kind: StmtKind,
+    /// Position of the statement keyword.
+    pub pos: Pos,
+}
+
+/// Statement payloads.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StmtKind {
+    /// `assign user -> role;`
+    Assign(String, String),
+    /// `inherit senior -> junior;`
+    Inherit(String, String),
+    /// `perm role -> priv;`
+    Perm(String, PrivExpr),
+}
+
+/// A privilege expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PrivExpr {
+    /// `(action, object)` — a user privilege.
+    Perm(String, String),
+    /// `grant(source, target)` — `¤(v, v′)`.
+    Grant(String, Box<TargetExpr>),
+    /// `revoke(source, target)` — `♦(v, v′)`.
+    Revoke(String, Box<TargetExpr>),
+}
+
+/// The second component of a grant/revoke.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TargetExpr {
+    /// A role name (user names cannot be edge targets).
+    Name(String),
+    /// A nested privilege.
+    Priv(PrivExpr),
+}
+
+/// A parsed command queue document.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueueDoc {
+    /// The commands, front first.
+    pub commands: Vec<CmdExpr>,
+}
+
+/// One `cmd(actor, grant|revoke, src -> target)` entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CmdExpr {
+    /// The acting user.
+    pub actor: String,
+    /// `true` for grant, `false` for revoke.
+    pub is_grant: bool,
+    /// Edge source name.
+    pub src: String,
+    /// Edge target.
+    pub target: TargetExpr,
+    /// Source position.
+    pub pos: Pos,
+}
+
+impl PrivExpr {
+    /// Connective-nesting depth of the expression.
+    pub fn depth(&self) -> u32 {
+        match self {
+            PrivExpr::Perm(..) => 0,
+            PrivExpr::Grant(_, t) | PrivExpr::Revoke(_, t) => {
+                1 + match t.as_ref() {
+                    TargetExpr::Name(_) => 0,
+                    TargetExpr::Priv(p) => p.depth(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_of_nested_expressions() {
+        let inner = PrivExpr::Grant("bob".into(), Box::new(TargetExpr::Name("staff".into())));
+        assert_eq!(inner.depth(), 1);
+        let outer = PrivExpr::Grant("hr".into(), Box::new(TargetExpr::Priv(inner)));
+        assert_eq!(outer.depth(), 2);
+        assert_eq!(PrivExpr::Perm("read".into(), "t1".into()).depth(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type shared by the lexer, parser and resolver.
+
+use crate::token::Pos;
+
+/// Which phase produced the error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Tokenisation.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Name resolution / well-formedness.
+    Resolve,
+}
+
+/// An error with position and message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LangError {
+    /// The phase that failed.
+    pub phase: Phase,
+    /// Source position (best effort for resolve errors).
+    pub pos: Pos,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl LangError {
+    /// A lexer error.
+    pub fn lex(pos: Pos, message: impl Into<String>) -> Self {
+        LangError {
+            phase: Phase::Lex,
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// A parser error.
+    pub fn parse(pos: Pos, message: impl Into<String>) -> Self {
+        LangError {
+            phase: Phase::Parse,
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// A resolver error.
+    pub fn resolve(pos: Pos, message: impl Into<String>) -> Self {
+        LangError {
+            phase: Phase::Resolve,
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Resolve => "resolve",
+        };
+        write!(f, "{phase} error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_position() {
+        let e = LangError::parse(Pos { line: 2, col: 5 }, "expected `;`");
+        assert_eq!(e.to_string(), "parse error at 2:5: expected `;`");
+    }
+}

@@ -1,0 +1,225 @@
+//! Hand-rolled lexer for the policy language.
+//!
+//! Identifiers are `[A-Za-z_][A-Za-z0-9_.-]*`; comments run from `#` or
+//! `//` to end of line; whitespace is insignificant.
+
+use crate::error::LangError;
+use crate::token::{Pos, Token, TokenKind};
+
+/// Lexes `input` into a token stream terminated by [`TokenKind::Eof`].
+pub fn lex(input: &str) -> Result<Vec<Token>, LangError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut pos = Pos::start();
+
+    let advance = |pos: &mut Pos, c: char| {
+        if c == '\n' {
+            pos.line += 1;
+            pos.col = 1;
+        } else {
+            pos.col += 1;
+        }
+    };
+
+    while let Some(&c) = chars.peek() {
+        let start = pos;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                chars.next();
+                advance(&mut pos, c);
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    chars.next();
+                    advance(&mut pos, c);
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '/' => {
+                chars.next();
+                advance(&mut pos, '/');
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        chars.next();
+                        advance(&mut pos, c);
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(LangError::lex(start, "expected `//` comment"));
+                }
+            }
+            '-' => {
+                chars.next();
+                advance(&mut pos, '-');
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    advance(&mut pos, '>');
+                    out.push(Token {
+                        kind: TokenKind::Arrow,
+                        pos: start,
+                    });
+                } else {
+                    return Err(LangError::lex(start, "expected `->`"));
+                }
+            }
+            '{' | '}' | '(' | ')' | ',' | ';' => {
+                chars.next();
+                advance(&mut pos, c);
+                let kind = match c {
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    ',' => TokenKind::Comma,
+                    _ => TokenKind::Semi,
+                };
+                out.push(Token { kind, pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-' {
+                        // `-` only continues an identifier when not
+                        // starting an arrow.
+                        if c == '-' {
+                            let mut look = chars.clone();
+                            look.next();
+                            if look.peek() == Some(&'>') {
+                                break;
+                            }
+                        }
+                        ident.push(c);
+                        chars.next();
+                        advance(&mut pos, c);
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match ident.as_str() {
+                    "policy" => TokenKind::Policy,
+                    "users" => TokenKind::Users,
+                    "roles" => TokenKind::Roles,
+                    "assign" => TokenKind::Assign,
+                    "inherit" => TokenKind::Inherit,
+                    "perm" => TokenKind::Perm,
+                    "grant" => TokenKind::Grant,
+                    "revoke" => TokenKind::Revoke,
+                    "queue" => TokenKind::Queue,
+                    "cmd" => TokenKind::Cmd,
+                    _ => TokenKind::Ident(ident),
+                };
+                out.push(Token { kind, pos: start });
+            }
+            other => {
+                return Err(LangError::lex(
+                    start,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_statement() {
+        assert_eq!(
+            kinds("assign diana -> nurse;"),
+            vec![
+                TokenKind::Assign,
+                TokenKind::Ident("diana".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("nurse".into()),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_recognized() {
+        assert_eq!(
+            kinds("policy users roles grant revoke queue cmd perm inherit"),
+            vec![
+                TokenKind::Policy,
+                TokenKind::Users,
+                TokenKind::Roles,
+                TokenKind::Grant,
+                TokenKind::Revoke,
+                TokenKind::Queue,
+                TokenKind::Cmd,
+                TokenKind::Perm,
+                TokenKind::Inherit,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("# a comment\nassign // another\n"),
+            vec![TokenKind::Assign, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn identifiers_allow_dots_and_dashes() {
+        assert_eq!(
+            kinds("dbusr1 t2.ehr unit-a"),
+            vec![
+                TokenKind::Ident("dbusr1".into()),
+                TokenKind::Ident("t2.ehr".into()),
+                TokenKind::Ident("unit-a".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dash_before_arrow_ends_identifier() {
+        assert_eq!(
+            kinds("a->b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("assign\n  perm").unwrap();
+        assert_eq!(toks[0].pos.line, 1);
+        assert_eq!(toks[1].pos.line, 2);
+        assert_eq!(toks[1].pos.col, 3);
+    }
+
+    #[test]
+    fn lone_dash_is_an_error() {
+        assert!(lex("a - b").is_err());
+    }
+
+    #[test]
+    fn stray_character_is_an_error() {
+        assert!(lex("assign @").is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # adminref-lang
+//!
+//! A small textual language for administrative RBAC policies and command
+//! queues, so the paper's figures live as readable fixtures:
+//!
+//! ```text
+//! policy hospital {
+//!     users diana, bob, jane;
+//!     roles nurse, staff, dbusr2, hr;
+//!     assign diana -> nurse;
+//!     inherit staff -> dbusr2;
+//!     perm dbusr2 -> (write, t3);
+//!     perm hr -> grant(bob, staff);          # ¤(bob, staff)
+//!     perm hr -> grant(staff, grant(bob, staff));
+//! }
+//! ```
+//!
+//! [`parse_policy`] + [`resolve_policy`] read documents;
+//! [`print_policy`] writes them back (round-trip stable). Queues use
+//! `queue { cmd(jane, grant, bob -> staff); … }`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod resolve;
+pub mod token;
+
+pub use error::LangError;
+pub use parser::{parse_policy, parse_priv_expr, parse_queue};
+pub use printer::{print_command, print_policy, print_queue};
+pub use resolve::{resolve_policy, resolve_policy_into, resolve_priv, resolve_queue};
+
+use adminref_core::policy::Policy;
+use adminref_core::universe::Universe;
+
+/// Parses and resolves a policy document in one call.
+pub fn load_policy(input: &str) -> Result<(Universe, Policy), LangError> {
+    let doc = parse_policy(input)?;
+    resolve_policy(&doc)
+}
+
+/// Parses and resolves a queue document against an existing universe.
+pub fn load_queue(
+    input: &str,
+    universe: &mut Universe,
+) -> Result<adminref_core::command::CommandQueue, LangError> {
+    let doc = parse_queue(input)?;
+    resolve_queue(&doc, universe)
+}

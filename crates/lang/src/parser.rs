@@ -1,0 +1,353 @@
+//! Recursive-descent parser for the policy language.
+
+use crate::ast::{CmdExpr, PolicyDoc, PrivExpr, QueueDoc, Stmt, StmtKind, TargetExpr};
+use crate::error::LangError;
+use crate::lexer::lex;
+use crate::token::{Pos, Token, TokenKind};
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.at]
+    }
+
+    fn pos(&self) -> Pos {
+        self.peek().pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.at].clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, LangError> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(LangError::parse(
+                self.pos(),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().kind.describe()
+                ),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Ok(name)
+            }
+            other => Err(LangError::parse(
+                self.pos(),
+                format!("expected identifier, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, LangError> {
+        let mut out = vec![self.ident()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            out.push(self.ident()?);
+        }
+        self.expect(TokenKind::Semi)?;
+        Ok(out)
+    }
+
+    fn priv_expr(&mut self) -> Result<PrivExpr, LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::LParen => {
+                self.bump();
+                let action = self.ident()?;
+                self.expect(TokenKind::Comma)?;
+                let object = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(PrivExpr::Perm(action, object))
+            }
+            TokenKind::Grant | TokenKind::Revoke => {
+                let is_grant = self.peek().kind == TokenKind::Grant;
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let src = self.ident()?;
+                self.expect(TokenKind::Comma)?;
+                let target = self.target_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(if is_grant {
+                    PrivExpr::Grant(src, Box::new(target))
+                } else {
+                    PrivExpr::Revoke(src, Box::new(target))
+                })
+            }
+            other => Err(LangError::parse(
+                self.pos(),
+                format!(
+                    "expected `(action, object)`, `grant(..)` or `revoke(..)`, found {}",
+                    other.describe()
+                ),
+            )),
+        }
+    }
+
+    fn target_expr(&mut self) -> Result<TargetExpr, LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(_) => Ok(TargetExpr::Name(self.ident()?)),
+            _ => Ok(TargetExpr::Priv(self.priv_expr()?)),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let pos = self.pos();
+        match self.peek().kind.clone() {
+            TokenKind::Assign => {
+                self.bump();
+                let user = self.ident()?;
+                self.expect(TokenKind::Arrow)?;
+                let role = self.ident()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Assign(user, role),
+                    pos,
+                })
+            }
+            TokenKind::Inherit => {
+                self.bump();
+                let senior = self.ident()?;
+                self.expect(TokenKind::Arrow)?;
+                let junior = self.ident()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Inherit(senior, junior),
+                    pos,
+                })
+            }
+            TokenKind::Perm => {
+                self.bump();
+                let role = self.ident()?;
+                self.expect(TokenKind::Arrow)?;
+                let privilege = self.priv_expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Perm(role, privilege),
+                    pos,
+                })
+            }
+            other => Err(LangError::parse(
+                pos,
+                format!(
+                    "expected `assign`, `inherit` or `perm`, found {}",
+                    other.describe()
+                ),
+            )),
+        }
+    }
+
+    fn policy_doc(&mut self) -> Result<PolicyDoc, LangError> {
+        self.expect(TokenKind::Policy)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut users = Vec::new();
+        let mut roles = Vec::new();
+        loop {
+            match self.peek().kind {
+                TokenKind::Users => {
+                    self.bump();
+                    users.extend(self.ident_list()?);
+                }
+                TokenKind::Roles => {
+                    self.bump();
+                    roles.extend(self.ident_list()?);
+                }
+                _ => break,
+            }
+        }
+        let mut stmts = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        self.expect(TokenKind::Eof)?;
+        Ok(PolicyDoc {
+            name,
+            users,
+            roles,
+            stmts,
+        })
+    }
+
+    fn queue_doc(&mut self) -> Result<QueueDoc, LangError> {
+        self.expect(TokenKind::Queue)?;
+        self.expect(TokenKind::LBrace)?;
+        let mut commands = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            let pos = self.pos();
+            self.expect(TokenKind::Cmd)?;
+            self.expect(TokenKind::LParen)?;
+            let actor = self.ident()?;
+            self.expect(TokenKind::Comma)?;
+            let is_grant = match self.peek().kind {
+                TokenKind::Grant => true,
+                TokenKind::Revoke => false,
+                _ => {
+                    return Err(LangError::parse(
+                        self.pos(),
+                        format!(
+                            "expected `grant` or `revoke`, found {}",
+                            self.peek().kind.describe()
+                        ),
+                    ))
+                }
+            };
+            self.bump();
+            self.expect(TokenKind::Comma)?;
+            let src = self.ident()?;
+            self.expect(TokenKind::Arrow)?;
+            let target = self.target_expr()?;
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Semi)?;
+            commands.push(CmdExpr {
+                actor,
+                is_grant,
+                src,
+                target,
+                pos,
+            });
+        }
+        self.expect(TokenKind::RBrace)?;
+        self.expect(TokenKind::Eof)?;
+        Ok(QueueDoc { commands })
+    }
+}
+
+/// Parses a policy document.
+pub fn parse_policy(input: &str) -> Result<PolicyDoc, LangError> {
+    let tokens = lex(input)?;
+    Parser { tokens, at: 0 }.policy_doc()
+}
+
+/// Parses a standalone privilege expression, e.g.
+/// `grant(staff, grant(bob, staff))` or `(read, t1)` — used by the CLI
+/// and by tools that accept privileges as arguments.
+pub fn parse_priv_expr(input: &str) -> Result<PrivExpr, LangError> {
+    let tokens = lex(input)?;
+    let mut parser = Parser { tokens, at: 0 };
+    let expr = parser.priv_expr()?;
+    parser.expect(TokenKind::Eof)?;
+    Ok(expr)
+}
+
+/// Parses a command-queue document.
+pub fn parse_queue(input: &str) -> Result<QueueDoc, LangError> {
+    let tokens = lex(input)?;
+    Parser { tokens, at: 0 }.queue_doc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOSPITAL: &str = r#"
+        policy hospital {
+            users diana, bob;
+            roles nurse, staff, dbusr1, hr;
+            assign diana -> nurse;
+            inherit staff -> nurse;
+            perm dbusr1 -> (read, t1);
+            perm hr -> grant(bob, staff);
+            perm hr -> revoke(bob, staff);
+            perm hr -> grant(staff, grant(bob, nurse));
+        }
+    "#;
+
+    #[test]
+    fn parses_full_policy() {
+        let doc = parse_policy(HOSPITAL).unwrap();
+        assert_eq!(doc.name, "hospital");
+        assert_eq!(doc.users, vec!["diana", "bob"]);
+        assert_eq!(doc.roles.len(), 4);
+        assert_eq!(doc.stmts.len(), 6);
+        assert!(matches!(
+            &doc.stmts[0].kind,
+            StmtKind::Assign(u, r) if u == "diana" && r == "nurse"
+        ));
+    }
+
+    #[test]
+    fn parses_nested_privileges() {
+        let doc = parse_policy(HOSPITAL).unwrap();
+        let StmtKind::Perm(role, privilege) = &doc.stmts[5].kind else {
+            panic!("expected perm");
+        };
+        assert_eq!(role, "hr");
+        assert_eq!(privilege.depth(), 2);
+    }
+
+    #[test]
+    fn parses_queue() {
+        let q = parse_queue(
+            r#"queue {
+                cmd(jane, grant, bob -> staff);
+                cmd(jane, revoke, joe -> nurse);
+                cmd(alice, grant, hr -> grant(bob, staff));
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(q.commands.len(), 3);
+        assert!(q.commands[0].is_grant);
+        assert!(!q.commands[1].is_grant);
+        assert!(matches!(q.commands[2].target, TargetExpr::Priv(_)));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_policy("policy p { assign diana nurse; }").unwrap_err();
+        assert!(err.to_string().contains("expected `->`"), "{err}");
+        assert_eq!(err.pos.line, 1);
+    }
+
+    #[test]
+    fn missing_semicolon() {
+        let err = parse_policy("policy p { assign a -> b }").unwrap_err();
+        assert!(err.to_string().contains("expected `;`"), "{err}");
+    }
+
+    #[test]
+    fn empty_policy_is_valid() {
+        let doc = parse_policy("policy p { }").unwrap();
+        assert!(doc.stmts.is_empty());
+        assert!(doc.users.is_empty());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_policy("policy p { } extra").is_err());
+    }
+
+    #[test]
+    fn declarations_accumulate() {
+        let doc = parse_policy("policy p { users a; users b, c; roles r; }").unwrap();
+        assert_eq!(doc.users, vec!["a", "b", "c"]);
+        assert_eq!(doc.roles, vec!["r"]);
+    }
+
+    #[test]
+    fn standalone_priv_expressions() {
+        let e = parse_priv_expr("grant(staff, grant(bob, staff))").unwrap();
+        assert_eq!(e.depth(), 2);
+        let e = parse_priv_expr("(read, t1)").unwrap();
+        assert_eq!(e.depth(), 0);
+        assert!(parse_priv_expr("grant(a, b) extra").is_err());
+        assert!(parse_priv_expr("grant(a)").is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Pretty-printer producing parseable policy text (round-trips with the
+//! parser and resolver).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use adminref_core::command::{Command, CommandKind, CommandQueue};
+use adminref_core::display::{priv_to_string, Notation};
+use adminref_core::ids::{RoleId, UserId};
+use adminref_core::policy::Policy;
+use adminref_core::universe::{Edge, Universe};
+
+/// Collects every user and role name mentioned by the policy, including
+/// names nested inside privilege terms.
+fn mentioned_names(universe: &Universe, policy: &Policy) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut users: BTreeSet<UserId> = BTreeSet::new();
+    let mut roles: BTreeSet<RoleId> = BTreeSet::new();
+    let mut note_edge = |edge: Edge| match edge {
+        Edge::UserRole(u, r) => {
+            users.insert(u);
+            roles.insert(r);
+        }
+        Edge::RoleRole(a, b) => {
+            roles.insert(a);
+            roles.insert(b);
+        }
+        Edge::RolePriv(r, _) => {
+            roles.insert(r);
+        }
+    };
+    for edge in policy.edges() {
+        note_edge(edge);
+        if let Edge::RolePriv(_, p) = edge {
+            for nested in universe.edges_within(p) {
+                note_edge(nested);
+            }
+        }
+    }
+    (
+        users
+            .into_iter()
+            .map(|u| universe.user_name(u).to_string())
+            .collect(),
+        roles
+            .into_iter()
+            .map(|r| universe.role_name(r).to_string())
+            .collect(),
+    )
+}
+
+/// Renders a policy as a parseable document named `name`.
+pub fn print_policy(universe: &Universe, policy: &Policy, name: &str) -> String {
+    let (users, roles) = mentioned_names(universe, policy);
+    let mut out = String::new();
+    let _ = writeln!(out, "policy {name} {{");
+    if !users.is_empty() {
+        let list: Vec<&str> = users.iter().map(String::as_str).collect();
+        let _ = writeln!(out, "    users {};", list.join(", "));
+    }
+    if !roles.is_empty() {
+        let list: Vec<&str> = roles.iter().map(String::as_str).collect();
+        let _ = writeln!(out, "    roles {};", list.join(", "));
+    }
+    // Sort each section by rendered text so printing is a fixpoint even
+    // across universes with different id assignments.
+    let mut lines: Vec<String> = policy
+        .ua()
+        .map(|(u, r)| {
+            format!(
+                "    assign {} -> {};",
+                universe.user_name(u),
+                universe.role_name(r)
+            )
+        })
+        .collect();
+    lines.sort_unstable();
+    for line in lines.drain(..) {
+        let _ = writeln!(out, "{line}");
+    }
+    let mut lines: Vec<String> = policy
+        .rh()
+        .map(|(a, b)| {
+            format!(
+                "    inherit {} -> {};",
+                universe.role_name(a),
+                universe.role_name(b)
+            )
+        })
+        .collect();
+    lines.sort_unstable();
+    for line in lines.drain(..) {
+        let _ = writeln!(out, "{line}");
+    }
+    let mut lines: Vec<String> = policy
+        .pa()
+        .map(|(r, p)| {
+            format!(
+                "    perm {} -> {};",
+                universe.role_name(r),
+                priv_to_string(universe, p, Notation::Ascii)
+            )
+        })
+        .collect();
+    lines.sort_unstable();
+    for line in lines {
+        let _ = writeln!(out, "{line}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a command queue as a parseable document.
+pub fn print_queue(universe: &Universe, queue: &CommandQueue) -> String {
+    let mut out = String::new();
+    out.push_str("queue {\n");
+    for cmd in queue.iter() {
+        out.push_str("    ");
+        out.push_str(&print_command(universe, cmd));
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders one command as a queue entry line.
+pub fn print_command(universe: &Universe, cmd: &Command) -> String {
+    let connective = match cmd.kind {
+        CommandKind::Grant => "grant",
+        CommandKind::Revoke => "revoke",
+    };
+    let (src, dst) = match cmd.edge {
+        Edge::UserRole(u, r) => (
+            universe.user_name(u).to_string(),
+            universe.role_name(r).to_string(),
+        ),
+        Edge::RoleRole(a, b) => (
+            universe.role_name(a).to_string(),
+            universe.role_name(b).to_string(),
+        ),
+        Edge::RolePriv(r, p) => (
+            universe.role_name(r).to_string(),
+            priv_to_string(universe, p, Notation::Ascii),
+        ),
+    };
+    format!(
+        "cmd({}, {}, {} -> {});",
+        universe.user_name(cmd.actor),
+        connective,
+        src,
+        dst
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_policy, parse_queue};
+    use crate::resolve::{resolve_policy, resolve_queue};
+    use adminref_core::policy::PolicyBuilder;
+
+    fn hospital() -> (Universe, Policy) {
+        let mut b = PolicyBuilder::new()
+            .assign("diana", "nurse")
+            .assign("jane", "hr")
+            .declare_user("bob")
+            .inherit("staff", "nurse")
+            .permit("dbusr1", "read", "t1");
+        let (bob, staff, nurse) = {
+            let u = b.universe_mut();
+            (
+                u.find_user("bob").unwrap(),
+                u.find_role("staff").unwrap(),
+                u.find_role("nurse").unwrap(),
+            )
+        };
+        let g = b.universe_mut().grant_user_role(bob, staff);
+        let nested = b.universe_mut().grant_role_priv(staff, g);
+        let _ = nurse;
+        b = b.assign_priv("hr", g).assign_priv("hr", nested);
+        b.finish()
+    }
+
+    #[test]
+    fn printed_policy_reparses() {
+        let (uni, policy) = hospital();
+        let text = print_policy(&uni, &policy, "hospital");
+        let doc = parse_policy(&text).expect("printer output must parse");
+        let (uni2, policy2) = resolve_policy(&doc).unwrap();
+        // Same shape after the round trip.
+        assert_eq!(policy.ua_len(), policy2.ua_len());
+        assert_eq!(policy.rh_len(), policy2.rh_len());
+        assert_eq!(policy.pa_len(), policy2.pa_len());
+        // And printing again is a fixpoint.
+        let text2 = print_policy(&uni2, &policy2, "hospital");
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn declarations_cover_nested_names() {
+        let (uni, policy) = hospital();
+        let text = print_policy(&uni, &policy, "p");
+        assert!(text.contains("users bob, diana, jane;"), "{text}");
+        assert!(text.contains("staff"), "{text}");
+    }
+
+    #[test]
+    fn queue_round_trip() {
+        let (mut uni, _) = hospital();
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let nurse = uni.find_role("nurse").unwrap();
+        let g = uni.grant_user_role(bob, nurse);
+        let queue: CommandQueue = [
+            Command::grant(jane, Edge::UserRole(bob, staff)),
+            Command::revoke(jane, Edge::RoleRole(staff, nurse)),
+            Command::grant(jane, Edge::RolePriv(staff, g)),
+        ]
+        .into_iter()
+        .collect();
+        let text = print_queue(&uni, &queue);
+        let doc = parse_queue(&text).expect("printer output must parse");
+        let queue2 = resolve_queue(&doc, &mut uni).unwrap();
+        assert_eq!(queue, queue2);
+    }
+
+    #[test]
+    fn empty_policy_prints_and_parses() {
+        let uni = Universe::new();
+        let policy = Policy::new(&uni);
+        let text = print_policy(&uni, &policy, "empty");
+        let doc = parse_policy(&text).unwrap();
+        assert!(doc.stmts.is_empty());
+    }
+}

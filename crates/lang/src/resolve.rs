@@ -1,0 +1,279 @@
+//! Name resolution: AST → `adminref-core` universe ids and policies.
+//!
+//! Users and roles must be declared (the `users`/`roles` sections) so the
+//! resolver can reject ill-formed edges (`grant(user, privilege)` has no
+//! reading in the grammar of Definition 2). Actions and objects need no
+//! declaration — the paper treats `A` and `O` as large fixed sets.
+
+use adminref_core::command::{Command, CommandQueue};
+use adminref_core::ids::{Entity, PrivId};
+use adminref_core::policy::Policy;
+use adminref_core::universe::{Edge, Universe};
+
+use crate::ast::{CmdExpr, PolicyDoc, PrivExpr, QueueDoc, StmtKind, TargetExpr};
+use crate::error::LangError;
+use crate::token::Pos;
+
+/// Resolves a document into a fresh universe.
+pub fn resolve_policy(doc: &PolicyDoc) -> Result<(Universe, Policy), LangError> {
+    let mut universe = Universe::new();
+    let policy = resolve_policy_into(doc, &mut universe)?;
+    Ok((universe, policy))
+}
+
+/// Resolves a document into an existing universe (declared names are
+/// interned; clashes with existing names of the other kind are rejected).
+pub fn resolve_policy_into(
+    doc: &PolicyDoc,
+    universe: &mut Universe,
+) -> Result<Policy, LangError> {
+    for name in &doc.users {
+        if universe.find_role(name).is_some() {
+            return Err(LangError::resolve(
+                Pos::start(),
+                format!("`{name}` declared as user but already a role"),
+            ));
+        }
+        universe.user(name);
+    }
+    for name in &doc.roles {
+        if universe.find_user(name).is_some() {
+            return Err(LangError::resolve(
+                Pos::start(),
+                format!("`{name}` declared as role but already a user"),
+            ));
+        }
+        universe.role(name);
+    }
+    let mut policy = Policy::new(universe);
+    for stmt in &doc.stmts {
+        match &stmt.kind {
+            StmtKind::Assign(user, role) => {
+                let u = lookup_user(universe, user, stmt.pos)?;
+                let r = lookup_role(universe, role, stmt.pos)?;
+                policy.add_edge(Edge::UserRole(u, r));
+            }
+            StmtKind::Inherit(senior, junior) => {
+                let s = lookup_role(universe, senior, stmt.pos)?;
+                let j = lookup_role(universe, junior, stmt.pos)?;
+                policy.add_edge(Edge::RoleRole(s, j));
+            }
+            StmtKind::Perm(role, privilege) => {
+                let r = lookup_role(universe, role, stmt.pos)?;
+                let p = resolve_priv(universe, privilege, stmt.pos)?;
+                policy.add_edge(Edge::RolePriv(r, p));
+            }
+        }
+    }
+    Ok(policy)
+}
+
+/// Resolves a privilege expression, interning the term.
+pub fn resolve_priv(
+    universe: &mut Universe,
+    expr: &PrivExpr,
+    pos: Pos,
+) -> Result<PrivId, LangError> {
+    match expr {
+        PrivExpr::Perm(action, object) => {
+            let perm = universe.perm(action, object);
+            Ok(universe.priv_perm(perm))
+        }
+        PrivExpr::Grant(src, target) => {
+            let edge = resolve_edge(universe, src, target, pos)?;
+            Ok(universe.priv_grant(edge))
+        }
+        PrivExpr::Revoke(src, target) => {
+            let edge = resolve_edge(universe, src, target, pos)?;
+            Ok(universe.priv_revoke(edge))
+        }
+    }
+}
+
+fn resolve_edge(
+    universe: &mut Universe,
+    src: &str,
+    target: &TargetExpr,
+    pos: Pos,
+) -> Result<Edge, LangError> {
+    let source = lookup_entity(universe, src, pos)?;
+    match (source, target) {
+        (Entity::User(u), TargetExpr::Name(role)) => {
+            let r = lookup_role(universe, role, pos)?;
+            Ok(Edge::UserRole(u, r))
+        }
+        (Entity::Role(a), TargetExpr::Name(role)) => {
+            let b = lookup_role(universe, role, pos)?;
+            Ok(Edge::RoleRole(a, b))
+        }
+        (Entity::Role(r), TargetExpr::Priv(p)) => {
+            let nested = resolve_priv(universe, p, pos)?;
+            Ok(Edge::RolePriv(r, nested))
+        }
+        (Entity::User(_), TargetExpr::Priv(_)) => Err(LangError::resolve(
+            pos,
+            format!("`{src}` is a user; privileges can only be granted to roles (Definition 2)"),
+        )),
+    }
+}
+
+/// Resolves a queue document against an existing universe.
+pub fn resolve_queue(doc: &QueueDoc, universe: &mut Universe) -> Result<CommandQueue, LangError> {
+    let mut out = CommandQueue::new();
+    for cmd in &doc.commands {
+        out.push(resolve_cmd(cmd, universe)?);
+    }
+    Ok(out)
+}
+
+fn resolve_cmd(cmd: &CmdExpr, universe: &mut Universe) -> Result<Command, LangError> {
+    let actor = lookup_user(universe, &cmd.actor, cmd.pos)?;
+    let edge = resolve_edge(universe, &cmd.src, &cmd.target, cmd.pos)?;
+    Ok(if cmd.is_grant {
+        Command::grant(actor, edge)
+    } else {
+        Command::revoke(actor, edge)
+    })
+}
+
+fn lookup_user(
+    universe: &Universe,
+    name: &str,
+    pos: Pos,
+) -> Result<adminref_core::ids::UserId, LangError> {
+    universe
+        .find_user(name)
+        .ok_or_else(|| LangError::resolve(pos, format!("undeclared user `{name}`")))
+}
+
+fn lookup_role(
+    universe: &Universe,
+    name: &str,
+    pos: Pos,
+) -> Result<adminref_core::ids::RoleId, LangError> {
+    universe
+        .find_role(name)
+        .ok_or_else(|| LangError::resolve(pos, format!("undeclared role `{name}`")))
+}
+
+fn lookup_entity(universe: &Universe, name: &str, pos: Pos) -> Result<Entity, LangError> {
+    if let Some(u) = universe.find_user(name) {
+        return Ok(Entity::User(u));
+    }
+    if let Some(r) = universe.find_role(name) {
+        return Ok(Entity::Role(r));
+    }
+    Err(LangError::resolve(
+        pos,
+        format!("undeclared name `{name}` (expected a user or role)"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_policy, parse_queue};
+    use adminref_core::universe::PrivTerm;
+
+    const HOSPITAL: &str = r#"
+        policy hospital {
+            users diana, bob, jane;
+            roles nurse, staff, dbusr1, hr;
+            assign diana -> nurse;
+            assign jane -> hr;
+            inherit staff -> nurse;
+            inherit nurse -> dbusr1;
+            perm dbusr1 -> (read, t1);
+            perm hr -> grant(bob, staff);
+            perm hr -> grant(staff, grant(bob, nurse));
+        }
+    "#;
+
+    #[test]
+    fn resolves_hospital() {
+        let doc = parse_policy(HOSPITAL).unwrap();
+        let (uni, policy) = resolve_policy(&doc).unwrap();
+        assert_eq!(policy.ua_len(), 2);
+        assert_eq!(policy.rh_len(), 2);
+        assert_eq!(policy.pa_len(), 3);
+        let hr = uni.find_role("hr").unwrap();
+        let depths: Vec<u32> = policy.privs_of(hr).map(|p| uni.depth(p)).collect();
+        assert!(depths.contains(&1) && depths.contains(&2));
+    }
+
+    #[test]
+    fn undeclared_names_are_rejected() {
+        let doc = parse_policy("policy p { roles r; assign ghost -> r; }").unwrap();
+        let err = resolve_policy(&doc).unwrap_err();
+        assert!(err.to_string().contains("undeclared user `ghost`"), "{err}");
+    }
+
+    #[test]
+    fn user_role_name_clash_rejected() {
+        let doc = parse_policy("policy p { users x; roles x; }").unwrap();
+        let err = resolve_policy(&doc).unwrap_err();
+        assert!(err.to_string().contains("already a user"), "{err}");
+    }
+
+    #[test]
+    fn grant_to_user_of_privilege_is_ill_formed() {
+        let doc = parse_policy(
+            "policy p { users u; roles r; perm r -> grant(u, grant(r, r)); }",
+        )
+        .unwrap();
+        let err = resolve_policy(&doc).unwrap_err();
+        assert!(err.to_string().contains("Definition 2"), "{err}");
+    }
+
+    #[test]
+    fn grant_source_may_be_user_or_role() {
+        let doc = parse_policy(
+            "policy p { users u; roles r, s; perm r -> grant(u, s); perm r -> grant(s, r); }",
+        )
+        .unwrap();
+        let (uni, policy) = resolve_policy(&doc).unwrap();
+        let r = uni.find_role("r").unwrap();
+        let terms: Vec<PrivTerm> = policy.privs_of(r).map(|p| uni.term(p)).collect();
+        assert!(terms
+            .iter()
+            .any(|t| matches!(t, PrivTerm::Grant(Edge::UserRole(..)))));
+        assert!(terms
+            .iter()
+            .any(|t| matches!(t, PrivTerm::Grant(Edge::RoleRole(..)))));
+    }
+
+    #[test]
+    fn queue_resolution() {
+        let doc = parse_policy(HOSPITAL).unwrap();
+        let (mut uni, _) = resolve_policy(&doc).unwrap();
+        let q = parse_queue(
+            r#"queue {
+                cmd(jane, grant, bob -> staff);
+                cmd(jane, revoke, bob -> staff);
+            }"#,
+        )
+        .unwrap();
+        let queue = resolve_queue(&q, &mut uni).unwrap();
+        assert_eq!(queue.len(), 2);
+        let jane = uni.find_user("jane").unwrap();
+        assert!(queue.iter().all(|c| c.actor == jane));
+    }
+
+    #[test]
+    fn queue_with_unknown_actor_fails() {
+        let doc = parse_policy(HOSPITAL).unwrap();
+        let (mut uni, _) = resolve_policy(&doc).unwrap();
+        let q = parse_queue("queue { cmd(mallory, grant, bob -> staff); }").unwrap();
+        assert!(resolve_queue(&q, &mut uni).is_err());
+    }
+
+    #[test]
+    fn resolve_into_existing_universe_shares_ids() {
+        let doc = parse_policy(HOSPITAL).unwrap();
+        let mut uni = Universe::new();
+        let pre_existing = uni.user("diana");
+        let policy = resolve_policy_into(&doc, &mut uni).unwrap();
+        assert_eq!(uni.find_user("diana"), Some(pre_existing));
+        assert!(policy.ua().any(|(u, _)| u == pre_existing));
+    }
+}

@@ -1,0 +1,119 @@
+//! Tokens and source positions for the policy language.
+
+/// A position in the source text (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Pos {
+    /// The start of the text.
+    pub fn start() -> Self {
+        Pos { line: 1, col: 1 }
+    }
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds of the policy language.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// An identifier (name of a user, role, action or object).
+    Ident(String),
+    /// `policy`
+    Policy,
+    /// `users`
+    Users,
+    /// `roles`
+    Roles,
+    /// `assign`
+    Assign,
+    /// `inherit`
+    Inherit,
+    /// `perm`
+    Perm,
+    /// `grant`
+    Grant,
+    /// `revoke`
+    Revoke,
+    /// `queue`
+    Queue,
+    /// `cmd`
+    Cmd,
+    /// `->`
+    Arrow,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Policy => "`policy`".into(),
+            TokenKind::Users => "`users`".into(),
+            TokenKind::Roles => "`roles`".into(),
+            TokenKind::Assign => "`assign`".into(),
+            TokenKind::Inherit => "`inherit`".into(),
+            TokenKind::Perm => "`perm`".into(),
+            TokenKind::Grant => "`grant`".into(),
+            TokenKind::Revoke => "`revoke`".into(),
+            TokenKind::Queue => "`queue`".into(),
+            TokenKind::Cmd => "`cmd`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display() {
+        assert_eq!(Pos { line: 3, col: 7 }.to_string(), "3:7");
+        assert_eq!(Pos::start().to_string(), "1:1");
+    }
+
+    #[test]
+    fn describe_is_quoted() {
+        assert_eq!(TokenKind::Arrow.describe(), "`->`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+    }
+}

@@ -1,0 +1,157 @@
+//! Audit log: a bounded ring of authorization decisions.
+//!
+//! Every administrative command the monitor processes — executed or
+//! refused — lands here, together with the privilege vertex that justified
+//! it (for ordered-mode decisions the held privilege generally differs
+//! from the requested one; auditors want to see both).
+
+use std::collections::VecDeque;
+
+use adminref_core::command::Command;
+use adminref_core::ids::PrivId;
+
+/// The decision recorded for one command.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// Authorized; `held` is the justifying vertex, `target` the required
+    /// privilege (equal under explicit authorization).
+    Executed {
+        /// The privilege vertex that authorized the command.
+        held: PrivId,
+        /// The privilege the command required.
+        target: PrivId,
+    },
+    /// Refused (consumed as a no-op per Definition 5).
+    Refused,
+}
+
+/// One audit event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AuditEvent {
+    /// Monotonic event number.
+    pub seq: u64,
+    /// The command.
+    pub command: Command,
+    /// The decision.
+    pub decision: Decision,
+    /// Whether the policy's edge set actually changed.
+    pub changed: bool,
+}
+
+/// Bounded in-memory audit log (oldest events are evicted first).
+#[derive(Debug)]
+pub struct AuditLog {
+    events: VecDeque<AuditEvent>,
+    capacity: usize,
+    next_seq: u64,
+    evicted: u64,
+}
+
+impl AuditLog {
+    /// Creates a log retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        AuditLog {
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            next_seq: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest if full. Returns its seq.
+    pub fn record(&mut self, command: Command, decision: Decision, changed: bool) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back(AuditEvent {
+            seq,
+            command,
+            decision,
+            changed,
+        });
+        seq
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &AuditEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Count of refused commands among retained events.
+    pub fn refused_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.decision == Decision::Refused)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adminref_core::ids::{RoleId, UserId};
+    use adminref_core::universe::Edge;
+
+    fn cmd(n: u32) -> Command {
+        Command::grant(UserId(n), Edge::UserRole(UserId(n), RoleId(0)))
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut log = AuditLog::new(10);
+        assert_eq!(log.record(cmd(1), Decision::Refused, false), 0);
+        assert_eq!(
+            log.record(
+                cmd(2),
+                Decision::Executed {
+                    held: PrivId(1),
+                    target: PrivId(1)
+                },
+                true
+            ),
+            1
+        );
+        let events: Vec<_> = log.events().collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(log.refused_count(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut log = AuditLog::new(3);
+        for i in 0..5 {
+            log.record(cmd(i), Decision::Refused, false);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.evicted(), 2);
+        let seqs: Vec<u64> = log.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut log = AuditLog::new(0);
+        log.record(cmd(0), Decision::Refused, false);
+        assert_eq!(log.len(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! # adminref-monitor
+//!
+//! The RBAC reference monitor of §2–§3 of the paper: sessions with role
+//! activation (least privilege), administrative command execution under
+//! Definition 5 — optionally with the §4.1 privilege-ordering implicit
+//! authorization — an audit trail of every decision, and an optional
+//! durable backend (`adminref-store`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod monitor;
+
+pub use audit::{AuditEvent, AuditLog, Decision};
+pub use monitor::{MonitorConfig, MonitorError, ReferenceMonitor, SessionId};

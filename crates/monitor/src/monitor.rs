@@ -1,0 +1,519 @@
+//! The RBAC reference monitor.
+//!
+//! One `ReferenceMonitor` owns the live administrative policy (either in
+//! memory or backed by a durable [`PolicyStore`]), manages user sessions
+//! (§2 of the paper), executes administrative commands under a configured
+//! [`AuthMode`] (Definition 5, optionally with the §4.1 ordering), and
+//! records every decision in the audit log.
+//!
+//! Thread safety: state sits behind a `parking_lot::RwLock`. Access checks
+//! and policy reads take the read lock; command execution takes the write
+//! lock. Ordered-mode authorization rebuilds the privilege order against
+//! the current snapshot on each command — the honest per-command cost of
+//! the paper's flexibility, measured in `benches/monitor.rs`.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+use adminref_core::command::{Command, CommandQueue};
+use adminref_core::ids::{Perm, RoleId, UserId};
+use adminref_core::policy::Policy;
+use adminref_core::session::{Session, SessionError};
+use adminref_core::transition::{step, AuthMode, StepOutcome};
+use adminref_core::universe::Universe;
+use adminref_store::{PolicyStore, StoreError};
+
+use crate::audit::{AuditLog, Decision};
+
+/// Monitor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// How administrative commands are authorized.
+    pub auth_mode: AuthMode,
+    /// Audit log retention.
+    pub audit_capacity: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            auth_mode: AuthMode::Explicit,
+            audit_capacity: 4096,
+        }
+    }
+}
+
+/// Errors surfaced by the monitor.
+#[derive(Debug)]
+pub enum MonitorError {
+    /// The session id is unknown (or was closed).
+    UnknownSession(SessionId),
+    /// Session-level refusal (e.g. role activation denied).
+    Session(SessionError),
+    /// Durable backend failure.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorError::UnknownSession(id) => write!(f, "unknown session {id:?}"),
+            MonitorError::Session(e) => write!(f, "session error: {e}"),
+            MonitorError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl From<SessionError> for MonitorError {
+    fn from(e: SessionError) -> Self {
+        MonitorError::Session(e)
+    }
+}
+
+impl From<StoreError> for MonitorError {
+    fn from(e: StoreError) -> Self {
+        MonitorError::Store(e)
+    }
+}
+
+/// Handle to a user session.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SessionId(pub u64);
+
+// The Memory variant is much larger than the boxed Durable variant; a
+// monitor holds exactly one Backend for its whole lifetime, so the size
+// difference has no practical cost.
+#[allow(clippy::large_enum_variant)]
+enum Backend {
+    Memory { universe: Universe, policy: Policy },
+    Durable(Box<PolicyStore>),
+}
+
+impl Backend {
+    fn universe(&self) -> &Universe {
+        match self {
+            Backend::Memory { universe, .. } => universe,
+            Backend::Durable(store) => store.universe(),
+        }
+    }
+
+    fn policy(&self) -> &Policy {
+        match self {
+            Backend::Memory { policy, .. } => policy,
+            Backend::Durable(store) => store.policy(),
+        }
+    }
+
+    fn execute(&mut self, cmd: &Command, mode: AuthMode) -> Result<StepOutcome, MonitorError> {
+        match self {
+            Backend::Memory { universe, policy } => Ok(step(universe, policy, cmd, mode)),
+            Backend::Durable(store) => {
+                debug_assert_eq!(store.auth_mode(), mode, "mode set at store creation");
+                Ok(store.execute(cmd)?)
+            }
+        }
+    }
+}
+
+struct Inner {
+    backend: Backend,
+    sessions: HashMap<SessionId, Session>,
+    next_session: u64,
+    audit: AuditLog,
+    version: u64,
+    config: MonitorConfig,
+}
+
+/// The reference monitor.
+pub struct ReferenceMonitor {
+    inner: RwLock<Inner>,
+}
+
+impl ReferenceMonitor {
+    /// An in-memory monitor over the given state.
+    pub fn new(universe: Universe, policy: Policy, config: MonitorConfig) -> Self {
+        policy.check_universe(&universe);
+        ReferenceMonitor {
+            inner: RwLock::new(Inner {
+                backend: Backend::Memory { universe, policy },
+                sessions: HashMap::new(),
+                next_session: 0,
+                audit: AuditLog::new(config.audit_capacity),
+                version: 0,
+                config,
+            }),
+        }
+    }
+
+    /// A monitor over a durable store (the store's auth mode wins).
+    pub fn with_store(store: PolicyStore, config: MonitorConfig) -> Self {
+        let config = MonitorConfig {
+            auth_mode: store.auth_mode(),
+            ..config
+        };
+        ReferenceMonitor {
+            inner: RwLock::new(Inner {
+                backend: Backend::Durable(Box::new(store)),
+                sessions: HashMap::new(),
+                next_session: 0,
+                audit: AuditLog::new(config.audit_capacity),
+                version: 0,
+                config,
+            }),
+        }
+    }
+
+    /// Submits one administrative command; records the decision in the
+    /// audit log.
+    pub fn submit(&self, cmd: &Command) -> Result<StepOutcome, MonitorError> {
+        let mut inner = self.inner.write();
+        let mode = inner.config.auth_mode;
+        let outcome = inner.backend.execute(cmd, mode)?;
+        let decision = match outcome.authorization {
+            Some(auth) => Decision::Executed {
+                held: auth.held,
+                target: auth.target,
+            },
+            None => Decision::Refused,
+        };
+        inner.audit.record(*cmd, decision, outcome.changed);
+        if outcome.changed {
+            inner.version += 1;
+        }
+        Ok(outcome)
+    }
+
+    /// Submits a whole queue, front to back.
+    pub fn submit_queue(&self, queue: &CommandQueue) -> Result<Vec<StepOutcome>, MonitorError> {
+        queue.iter().map(|cmd| self.submit(cmd)).collect()
+    }
+
+    /// Starts a session for `user`.
+    pub fn create_session(&self, user: UserId) -> SessionId {
+        let mut inner = self.inner.write();
+        let id = SessionId(inner.next_session);
+        inner.next_session += 1;
+        inner.sessions.insert(id, Session::new(user));
+        id
+    }
+
+    /// Activates a role in a session (`u →φ r` required).
+    pub fn activate_role(&self, session: SessionId, role: RoleId) -> Result<(), MonitorError> {
+        let mut inner = self.inner.write();
+        let Inner {
+            backend, sessions, ..
+        } = &mut *inner;
+        let s = sessions
+            .get_mut(&session)
+            .ok_or(MonitorError::UnknownSession(session))?;
+        s.activate(backend.policy(), role)?;
+        Ok(())
+    }
+
+    /// Deactivates a role; `Ok(true)` if it was active.
+    pub fn deactivate_role(&self, session: SessionId, role: RoleId) -> Result<bool, MonitorError> {
+        let mut inner = self.inner.write();
+        let s = inner
+            .sessions
+            .get_mut(&session)
+            .ok_or(MonitorError::UnknownSession(session))?;
+        Ok(s.deactivate(role))
+    }
+
+    /// Access check: do the session's active roles reach `perm`?
+    pub fn check_access(&self, session: SessionId, perm: Perm) -> Result<bool, MonitorError> {
+        let inner = self.inner.read();
+        let s = inner
+            .sessions
+            .get(&session)
+            .ok_or(MonitorError::UnknownSession(session))?;
+        // Non-mutating variant of Session::check_access: the perm term may
+        // not be interned yet, in which case no role reaches it.
+        let universe = inner.backend.universe();
+        let Some(p) = universe.find_term(adminref_core::universe::PrivTerm::Perm(perm)) else {
+            return Ok(false);
+        };
+        let policy = inner.backend.policy();
+        let allowed = s.active_roles().any(|r| {
+            adminref_core::reach::reaches(
+                policy,
+                adminref_core::ids::Node::Role(r),
+                adminref_core::ids::Node::Priv(p),
+            )
+        });
+        Ok(allowed)
+    }
+
+    /// Ends a session.
+    pub fn drop_session(&self, session: SessionId) -> bool {
+        self.inner.write().sessions.remove(&session).is_some()
+    }
+
+    /// Clones the current state for offline analysis.
+    pub fn snapshot(&self) -> (Universe, Policy) {
+        let inner = self.inner.read();
+        (
+            inner.backend.universe().clone(),
+            inner.backend.policy().clone(),
+        )
+    }
+
+    /// The number of policy-changing commands processed so far.
+    pub fn version(&self) -> u64 {
+        self.inner.read().version
+    }
+
+    /// Copies out the retained audit events.
+    pub fn audit_events(&self) -> Vec<crate::audit::AuditEvent> {
+        self.inner.read().audit.events().copied().collect()
+    }
+
+    /// The configured authorization mode.
+    pub fn auth_mode(&self) -> AuthMode {
+        self.inner.read().config.auth_mode
+    }
+
+    /// Runs a closure against the live universe and policy under the read
+    /// lock (for analyses that do not need a clone).
+    pub fn with_state<T>(&self, f: impl FnOnce(&Universe, &Policy) -> T) -> T {
+        let inner = self.inner.read();
+        f(inner.backend.universe(), inner.backend.policy())
+    }
+
+    /// For durable monitors: folds the command log into a fresh snapshot.
+    /// A no-op on in-memory monitors.
+    pub fn compact(&self) -> Result<(), MonitorError> {
+        let mut inner = self.inner.write();
+        match &mut inner.backend {
+            Backend::Memory { .. } => Ok(()),
+            Backend::Durable(store) => {
+                store.compact()?;
+                Ok(())
+            }
+        }
+    }
+
+    /// For durable monitors: forces the log to stable storage. A no-op on
+    /// in-memory monitors.
+    pub fn sync(&self) -> Result<(), MonitorError> {
+        let mut inner = self.inner.write();
+        match &mut inner.backend {
+            Backend::Memory { .. } => Ok(()),
+            Backend::Durable(store) => {
+                store.sync()?;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adminref_core::ordering::OrderingMode;
+    use adminref_core::policy::PolicyBuilder;
+    use adminref_core::universe::Edge;
+
+    fn hospital() -> (Universe, Policy) {
+        let mut b = PolicyBuilder::new()
+            .assign("jane", "hr")
+            .assign("diana", "staff")
+            .declare_user("bob")
+            .inherit("staff", "nurse")
+            .inherit("staff", "dbusr2")
+            .permit("dbusr2", "write", "t3")
+            .permit("nurse", "read", "t1");
+        let (bob, staff) = {
+            let u = b.universe_mut();
+            (u.find_user("bob").unwrap(), u.find_role("staff").unwrap())
+        };
+        let g = b.universe_mut().grant_user_role(bob, staff);
+        let r = b.universe_mut().revoke_user_role(bob, staff);
+        b = b.assign_priv("hr", g).assign_priv("hr", r);
+        b.finish()
+    }
+
+    fn monitor(mode: AuthMode) -> (ReferenceMonitor, Universe) {
+        let (uni, policy) = hospital();
+        let m = ReferenceMonitor::new(
+            uni.clone(),
+            policy,
+            MonitorConfig {
+                auth_mode: mode,
+                audit_capacity: 64,
+            },
+        );
+        (m, uni)
+    }
+
+    #[test]
+    fn submit_and_audit() {
+        let (m, uni) = monitor(AuthMode::Explicit);
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let out = m
+            .submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        assert!(out.executed());
+        assert_eq!(m.version(), 1);
+        let events = m.audit_events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0].decision, Decision::Executed { .. }));
+        // An unauthorized command is audited as refused and bumps nothing.
+        let out2 = m
+            .submit(&Command::grant(bob, Edge::UserRole(jane, staff)))
+            .unwrap();
+        assert!(!out2.executed());
+        assert_eq!(m.version(), 1);
+        assert_eq!(m.audit_events().len(), 2);
+    }
+
+    #[test]
+    fn sessions_follow_policy_changes() {
+        let (m, mut uni) = monitor(AuthMode::Explicit);
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let nurse = uni.find_role("nurse").unwrap();
+        let sid = m.create_session(bob);
+        assert!(m.activate_role(sid, staff).is_err(), "bob not yet assigned");
+        m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        m.activate_role(sid, staff).unwrap();
+        let read_t1 = uni.perm("read", "t1");
+        assert!(m.check_access(sid, read_t1).unwrap());
+        assert!(m.deactivate_role(sid, staff).unwrap());
+        assert!(!m.check_access(sid, read_t1).unwrap());
+        let _ = nurse;
+    }
+
+    #[test]
+    fn unknown_sessions_are_errors() {
+        let (m, mut uni) = monitor(AuthMode::Explicit);
+        let ghost = SessionId(999);
+        let nurse = uni.find_role("nurse").unwrap();
+        assert!(matches!(
+            m.activate_role(ghost, nurse),
+            Err(MonitorError::UnknownSession(_))
+        ));
+        let perm = uni.perm("read", "t1");
+        assert!(matches!(
+            m.check_access(ghost, perm),
+            Err(MonitorError::UnknownSession(_))
+        ));
+        assert!(!m.drop_session(ghost));
+    }
+
+    #[test]
+    fn ordered_mode_flexworker_flow() {
+        let (m, uni) = monitor(AuthMode::Ordered(OrderingMode::Extended));
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let dbusr2 = uni.find_role("dbusr2").unwrap();
+        // Jane holds only ¤(bob, staff); ordered mode lets her place Bob
+        // directly into dbusr2 (Example 4).
+        let out = m
+            .submit(&Command::grant(jane, Edge::UserRole(bob, dbusr2)))
+            .unwrap();
+        assert!(out.executed());
+        let auth = out.authorization.unwrap();
+        assert_ne!(auth.held, auth.target, "implicit authorization was used");
+        // The audit trail captures both privileges.
+        let events = m.audit_events();
+        assert!(matches!(
+            events[0].decision,
+            Decision::Executed { held, target } if held != target
+        ));
+    }
+
+    #[test]
+    fn explicit_mode_refuses_flexworker_flow() {
+        let (m, uni) = monitor(AuthMode::Explicit);
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let dbusr2 = uni.find_role("dbusr2").unwrap();
+        let out = m
+            .submit(&Command::grant(jane, Edge::UserRole(bob, dbusr2)))
+            .unwrap();
+        assert!(!out.executed());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let (m, mut uni) = monitor(AuthMode::Explicit);
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let diana = uni.find_user("diana").unwrap();
+        let read_t1 = uni.perm("read", "t1");
+        let sid = m.create_session(diana);
+        m.activate_role(sid, staff).unwrap();
+        crossbeam::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    for _ in 0..200 {
+                        let _ = m.check_access(sid, read_t1).unwrap();
+                        let _ = m.with_state(|_, p| p.edge_count());
+                    }
+                });
+            }
+            scope.spawn(|_| {
+                for _ in 0..50 {
+                    m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+                        .unwrap();
+                    m.submit(&Command::revoke(jane, Edge::UserRole(bob, staff)))
+                        .unwrap();
+                }
+            });
+        })
+        .unwrap();
+        // 100 policy-changing commands (50 grants + 50 revokes).
+        assert_eq!(m.version(), 100);
+        assert!(m.check_access(sid, read_t1).unwrap());
+    }
+
+    #[test]
+    fn durable_monitor_compacts_and_syncs() {
+        use adminref_store::{PolicyStore, TempDir};
+        let (uni, policy) = hospital();
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let dir = TempDir::new("monitor-compact").unwrap();
+        let store =
+            PolicyStore::create(dir.path(), uni.clone(), policy, AuthMode::Explicit).unwrap();
+        let m = ReferenceMonitor::with_store(store, MonitorConfig::default());
+        m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        m.sync().unwrap();
+        m.compact().unwrap();
+        drop(m);
+        let (store, report) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+        assert_eq!(report.replayed, 0, "log was compacted away");
+        assert!(store.policy().contains_edge(Edge::UserRole(bob, staff)));
+        // In-memory monitors: both calls are no-ops.
+        let (uni2, policy2) = hospital();
+        let mem = ReferenceMonitor::new(uni2, policy2, MonitorConfig::default());
+        mem.sync().unwrap();
+        mem.compact().unwrap();
+    }
+
+    #[test]
+    fn snapshot_is_isolated() {
+        let (m, uni) = monitor(AuthMode::Explicit);
+        let (uni2, policy2) = m.snapshot();
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        assert!(
+            !policy2.contains_edge(Edge::UserRole(bob, staff)),
+            "snapshot unaffected by later commands"
+        );
+        assert_eq!(uni2.tag(), uni.tag());
+    }
+}

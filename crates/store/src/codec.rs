@@ -1,0 +1,500 @@
+//! Binary codec for universes, policies and commands.
+//!
+//! Length-prefixed, varint-based, deterministic. The format is internal to
+//! the store (no cross-version guarantees beyond the header magic), but it
+//! is exercised hard by round-trip and corruption tests. Term tables
+//! serialize in id order, which is topologically valid: hash-consing
+//! interns children before parents, so nested [`PrivTerm`]s always
+//! reference earlier ids.
+
+use bytes::{Buf, BufMut};
+
+use adminref_core::command::{Command, CommandKind};
+use adminref_core::ids::{ActionId, ObjectId, Perm, PrivId, RoleId, UserId};
+use adminref_core::policy::Policy;
+use adminref_core::universe::{Edge, PrivTerm, Universe};
+
+/// Decoding failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// An enum tag byte was invalid.
+    BadTag(u8),
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// An id referenced a not-yet-decoded table entry.
+    DanglingId(u64),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::BadTag(t) => write!(f, "invalid tag byte {t:#04x}"),
+            CodecError::VarintOverflow => write!(f, "varint longer than 64 bits"),
+            CodecError::BadUtf8 => write!(f, "invalid utf-8 in string"),
+            CodecError::DanglingId(id) => write!(f, "dangling table reference {id}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ----- primitives ------------------------------------------------------
+
+/// Writes a LEB128 varint.
+pub fn put_varint(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint.
+pub fn get_varint(buf: &mut impl Buf) -> Result<u64, CodecError> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(CodecError::VarintOverflow);
+        }
+        out |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn put_string(buf: &mut impl BufMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn get_string(buf: &mut impl Buf) -> Result<String, CodecError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)
+}
+
+// ----- edges, terms, commands ------------------------------------------
+
+/// Writes an edge.
+pub fn put_edge(buf: &mut impl BufMut, edge: Edge) {
+    match edge {
+        Edge::UserRole(u, r) => {
+            buf.put_u8(0);
+            put_varint(buf, u.0 as u64);
+            put_varint(buf, r.0 as u64);
+        }
+        Edge::RoleRole(a, b) => {
+            buf.put_u8(1);
+            put_varint(buf, a.0 as u64);
+            put_varint(buf, b.0 as u64);
+        }
+        Edge::RolePriv(r, p) => {
+            buf.put_u8(2);
+            put_varint(buf, r.0 as u64);
+            put_varint(buf, p.0 as u64);
+        }
+    }
+}
+
+/// Reads an edge.
+pub fn get_edge(buf: &mut impl Buf) -> Result<Edge, CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let tag = buf.get_u8();
+    let a = get_varint(buf)? as u32;
+    let b = get_varint(buf)? as u32;
+    match tag {
+        0 => Ok(Edge::UserRole(UserId(a), RoleId(b))),
+        1 => Ok(Edge::RoleRole(RoleId(a), RoleId(b))),
+        2 => Ok(Edge::RolePriv(RoleId(a), PrivId(b))),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+/// Writes a privilege term (children as ids — table order guarantees they
+/// are already present on decode).
+pub fn put_term(buf: &mut impl BufMut, term: PrivTerm) {
+    match term {
+        PrivTerm::Perm(p) => {
+            buf.put_u8(0);
+            put_varint(buf, p.action.0 as u64);
+            put_varint(buf, p.object.0 as u64);
+        }
+        PrivTerm::Grant(e) => {
+            buf.put_u8(1);
+            put_edge(buf, e);
+        }
+        PrivTerm::Revoke(e) => {
+            buf.put_u8(2);
+            put_edge(buf, e);
+        }
+    }
+}
+
+/// Reads a privilege term.
+pub fn get_term(buf: &mut impl Buf) -> Result<PrivTerm, CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    match buf.get_u8() {
+        0 => {
+            let action = get_varint(buf)? as u32;
+            let object = get_varint(buf)? as u32;
+            Ok(PrivTerm::Perm(Perm::new(ActionId(action), ObjectId(object))))
+        }
+        1 => Ok(PrivTerm::Grant(get_edge(buf)?)),
+        2 => Ok(PrivTerm::Revoke(get_edge(buf)?)),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+/// Writes a command.
+pub fn put_command(buf: &mut impl BufMut, cmd: &Command) {
+    put_varint(buf, cmd.actor.0 as u64);
+    buf.put_u8(match cmd.kind {
+        CommandKind::Grant => 0,
+        CommandKind::Revoke => 1,
+    });
+    put_edge(buf, cmd.edge);
+}
+
+/// Reads a command.
+pub fn get_command(buf: &mut impl Buf) -> Result<Command, CodecError> {
+    let actor = UserId(get_varint(buf)? as u32);
+    if !buf.has_remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let kind = match buf.get_u8() {
+        0 => CommandKind::Grant,
+        1 => CommandKind::Revoke,
+        t => return Err(CodecError::BadTag(t)),
+    };
+    let edge = get_edge(buf)?;
+    Ok(Command { actor, kind, edge })
+}
+
+// ----- universe and policy snapshots ------------------------------------
+
+/// Writes the full universe (vocabulary + term table + identity tag).
+pub fn put_universe(buf: &mut impl BufMut, universe: &Universe) {
+    put_varint(buf, universe.tag().raw());
+    put_varint(buf, universe.user_count() as u64);
+    for u in universe.users() {
+        put_string(buf, universe.user_name(u));
+    }
+    put_varint(buf, universe.role_count() as u64);
+    for r in universe.roles() {
+        put_string(buf, universe.role_name(r));
+    }
+    // Actions and objects: walk the term table for perms and collect the
+    // maximal id, then emit names by probing. Simpler and robust: emit
+    // every action/object referenced by any term, as (id, name) pairs.
+    let mut actions: Vec<(u32, String)> = Vec::new();
+    let mut objects: Vec<(u32, String)> = Vec::new();
+    for p in universe.priv_ids() {
+        if let PrivTerm::Perm(perm) = universe.term(p) {
+            let a = (perm.action.0, universe.action_name(perm.action).to_string());
+            if !actions.contains(&a) {
+                actions.push(a);
+            }
+            let o = (perm.object.0, universe.object_name(perm.object).to_string());
+            if !objects.contains(&o) {
+                objects.push(o);
+            }
+        }
+    }
+    actions.sort_unstable_by_key(|(id, _)| *id);
+    objects.sort_unstable_by_key(|(id, _)| *id);
+    put_varint(buf, actions.len() as u64);
+    for (id, name) in &actions {
+        put_varint(buf, *id as u64);
+        put_string(buf, name);
+    }
+    put_varint(buf, objects.len() as u64);
+    for (id, name) in &objects {
+        put_varint(buf, *id as u64);
+        put_string(buf, name);
+    }
+    put_varint(buf, universe.term_count() as u64);
+    for p in universe.priv_ids() {
+        put_term(buf, universe.term(p));
+    }
+}
+
+/// Reads a universe written by [`put_universe`].
+///
+/// Ids are reassigned densely in the same order, so they coincide with the
+/// written ones (interning is deterministic append-order).
+pub fn get_universe(buf: &mut impl Buf) -> Result<Universe, CodecError> {
+    let mut universe = Universe::new();
+    // Reconstruction is deterministic (same names and terms in the same
+    // order yield the same ids), so the recovered universe *is* the saved
+    // one; adopt its identity tag so policies interoperate.
+    let tag = get_varint(buf)?;
+    universe.adopt_tag(adminref_core::universe::UniverseTag::from_raw(tag));
+    let users = get_varint(buf)?;
+    for _ in 0..users {
+        let name = get_string(buf)?;
+        universe.user(&name);
+    }
+    let roles = get_varint(buf)?;
+    for _ in 0..roles {
+        let name = get_string(buf)?;
+        universe.role(&name);
+    }
+    // Actions/objects arrive as sparse (id, name) pairs in id order; ids
+    // must come out identical, so intern placeholder names for gaps.
+    let actions = get_varint(buf)?;
+    let mut next_action = 0u64;
+    for _ in 0..actions {
+        let id = get_varint(buf)?;
+        let name = get_string(buf)?;
+        while next_action < id {
+            universe.action(&format!("__action_{next_action}"));
+            next_action += 1;
+        }
+        universe.action(&name);
+        next_action = id + 1;
+    }
+    let objects = get_varint(buf)?;
+    let mut next_object = 0u64;
+    for _ in 0..objects {
+        let id = get_varint(buf)?;
+        let name = get_string(buf)?;
+        while next_object < id {
+            universe.object(&format!("__object_{next_object}"));
+            next_object += 1;
+        }
+        universe.object(&name);
+        next_object = id + 1;
+    }
+    let terms = get_varint(buf)?;
+    for i in 0..terms {
+        let term = get_term(buf)?;
+        // Children must already exist.
+        if let PrivTerm::Grant(Edge::RolePriv(_, p)) | PrivTerm::Revoke(Edge::RolePriv(_, p)) =
+            term
+        {
+            if p.0 as u64 >= i {
+                return Err(CodecError::DanglingId(p.0 as u64));
+            }
+        }
+        match term {
+            PrivTerm::Perm(perm) => universe.priv_perm(perm),
+            PrivTerm::Grant(e) => universe.priv_grant(e),
+            PrivTerm::Revoke(e) => universe.priv_revoke(e),
+        };
+    }
+    Ok(universe)
+}
+
+/// Writes a policy's edge sets.
+pub fn put_policy(buf: &mut impl BufMut, policy: &Policy) {
+    put_varint(buf, policy.ua_len() as u64);
+    for (u, r) in policy.ua() {
+        put_varint(buf, u.0 as u64);
+        put_varint(buf, r.0 as u64);
+    }
+    put_varint(buf, policy.rh_len() as u64);
+    for (a, b) in policy.rh() {
+        put_varint(buf, a.0 as u64);
+        put_varint(buf, b.0 as u64);
+    }
+    put_varint(buf, policy.pa_len() as u64);
+    for (r, p) in policy.pa() {
+        put_varint(buf, r.0 as u64);
+        put_varint(buf, p.0 as u64);
+    }
+}
+
+/// Reads a policy written by [`put_policy`], bound to `universe`.
+pub fn get_policy(buf: &mut impl Buf, universe: &Universe) -> Result<Policy, CodecError> {
+    let mut policy = Policy::new(universe);
+    let ua = get_varint(buf)?;
+    for _ in 0..ua {
+        let u = get_varint(buf)? as u32;
+        let r = get_varint(buf)? as u32;
+        policy.add_edge(Edge::UserRole(UserId(u), RoleId(r)));
+    }
+    let rh = get_varint(buf)?;
+    for _ in 0..rh {
+        let a = get_varint(buf)? as u32;
+        let b = get_varint(buf)? as u32;
+        policy.add_edge(Edge::RoleRole(RoleId(a), RoleId(b)));
+    }
+    let pa = get_varint(buf)?;
+    for _ in 0..pa {
+        let r = get_varint(buf)? as u32;
+        let p = get_varint(buf)? as u32;
+        policy.add_edge(Edge::RolePriv(RoleId(r), PrivId(p)));
+    }
+    Ok(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adminref_core::policy::PolicyBuilder;
+    use bytes::BytesMut;
+
+    #[test]
+    fn varint_round_trip() {
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut r = buf.freeze();
+            assert_eq!(get_varint(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_eof() {
+        let mut buf = &[0x80u8][..]; // continuation bit but no next byte
+        assert_eq!(get_varint(&mut buf), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let mut buf = BytesMut::new();
+        put_string(&mut buf, "nurse-α");
+        let mut r = buf.freeze();
+        assert_eq!(get_string(&mut r).unwrap(), "nurse-α");
+    }
+
+    #[test]
+    fn string_bad_utf8() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        let mut r = buf.freeze();
+        assert_eq!(get_string(&mut r), Err(CodecError::BadUtf8));
+    }
+
+    fn sample() -> (Universe, Policy) {
+        let mut b = PolicyBuilder::new()
+            .assign("diana", "nurse")
+            .assign("jane", "hr")
+            .declare_user("bob")
+            .inherit("staff", "nurse")
+            .permit("dbusr1", "read", "t1")
+            .permit("dbusr1", "read", "t2");
+        let (bob, staff) = {
+            let u = b.universe_mut();
+            (u.find_user("bob").unwrap(), u.find_role("staff").unwrap())
+        };
+        let g = b.universe_mut().grant_user_role(bob, staff);
+        let nested = b.universe_mut().grant_role_priv(staff, g);
+        b = b.assign_priv("hr", g).assign_priv("hr", nested);
+        b.finish()
+    }
+
+    #[test]
+    fn universe_round_trip_preserves_ids_and_names() {
+        let (uni, _) = sample();
+        let mut buf = BytesMut::new();
+        put_universe(&mut buf, &uni);
+        let mut r = buf.freeze();
+        let uni2 = get_universe(&mut r).unwrap();
+        assert_eq!(uni2.user_count(), uni.user_count());
+        assert_eq!(uni2.role_count(), uni.role_count());
+        assert_eq!(uni2.term_count(), uni.term_count());
+        for u in uni.users() {
+            assert_eq!(uni.user_name(u), uni2.user_name(u));
+        }
+        for p in uni.priv_ids() {
+            assert_eq!(uni.term(p), uni2.term(p));
+            assert_eq!(uni.depth(p), uni2.depth(p));
+        }
+    }
+
+    #[test]
+    fn policy_round_trip_is_structural() {
+        let (uni, policy) = sample();
+        let mut buf = BytesMut::new();
+        put_universe(&mut buf, &uni);
+        put_policy(&mut buf, &policy);
+        let mut r = buf.freeze();
+        let uni2 = get_universe(&mut r).unwrap();
+        let policy2 = get_policy(&mut r, &uni2).unwrap();
+        assert_eq!(policy.edge_count(), policy2.edge_count());
+        let edges1: Vec<Edge> = policy.edges().collect();
+        let edges2: Vec<Edge> = policy2.edges().collect();
+        assert_eq!(edges1, edges2);
+    }
+
+    #[test]
+    fn command_round_trip() {
+        let cmds = [
+            Command::grant(UserId(3), Edge::UserRole(UserId(1), RoleId(2))),
+            Command::revoke(UserId(0), Edge::RoleRole(RoleId(5), RoleId(6))),
+            Command::grant(UserId(9), Edge::RolePriv(RoleId(1), PrivId(4))),
+        ];
+        for cmd in &cmds {
+            let mut buf = BytesMut::new();
+            put_command(&mut buf, cmd);
+            let mut r = buf.freeze();
+            assert_eq!(&get_command(&mut r).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let mut buf = &[9u8, 0, 0][..];
+        assert_eq!(get_edge(&mut buf), Err(CodecError::BadTag(9)));
+        let mut buf = &[7u8][..];
+        assert_eq!(get_term(&mut buf), Err(CodecError::BadTag(7)));
+    }
+
+    #[test]
+    fn dangling_term_reference_rejected() {
+        // A term table whose first term references priv id 5.
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 1); // tag
+        put_varint(&mut buf, 0); // users
+        put_varint(&mut buf, 1); // roles
+        put_string(&mut buf, "r");
+        put_varint(&mut buf, 0); // actions
+        put_varint(&mut buf, 0); // objects
+        put_varint(&mut buf, 1); // terms
+        put_term(&mut buf, PrivTerm::Grant(Edge::RolePriv(RoleId(0), PrivId(5))));
+        let mut r = buf.freeze();
+        assert!(matches!(
+            get_universe(&mut r),
+            Err(CodecError::DanglingId(5))
+        ));
+    }
+
+    #[test]
+    fn truncated_input_is_eof() {
+        let (uni, _) = sample();
+        let mut buf = BytesMut::new();
+        put_universe(&mut buf, &uni);
+        let bytes = buf.freeze();
+        let mut truncated = bytes.slice(0..bytes.len() / 2);
+        assert!(get_universe(&mut truncated).is_err());
+    }
+}

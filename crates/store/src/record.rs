@@ -1,0 +1,168 @@
+//! CRC-framed record I/O.
+//!
+//! Every record on disk is `[len: u32 LE][crc32: u32 LE][payload]`. Readers
+//! stop at the first frame that is truncated or fails its checksum — the
+//! classic write-ahead-log discipline: a torn tail loses at most the
+//! records that were never acknowledged.
+
+use std::io::{self, Read, Write};
+
+use crate::crc::crc32;
+
+/// Maximum accepted payload size (guards against reading garbage lengths
+/// from a corrupted header).
+pub const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// Writes one framed record.
+pub fn write_record(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Result of reading one record.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecordRead {
+    /// A complete, checksum-valid record.
+    Record(Vec<u8>),
+    /// Clean end of stream (no more bytes).
+    Eof,
+    /// A truncated or corrupted frame — recovery must stop here.
+    Corrupt {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+/// Reads one framed record.
+pub fn read_record(r: &mut impl Read) -> io::Result<RecordRead> {
+    let mut header = [0u8; 8];
+    match read_exact_or_eof(r, &mut header)? {
+        ReadStatus::Eof => return Ok(RecordRead::Eof),
+        ReadStatus::Partial => {
+            return Ok(RecordRead::Corrupt {
+                reason: "truncated header",
+            })
+        }
+        ReadStatus::Full => {}
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_RECORD_LEN {
+        return Ok(RecordRead::Corrupt {
+            reason: "length exceeds maximum",
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_or_eof(r, &mut payload)? {
+        ReadStatus::Full => {}
+        _ => {
+            return Ok(RecordRead::Corrupt {
+                reason: "truncated payload",
+            })
+        }
+    }
+    if crc32(&payload) != crc {
+        return Ok(RecordRead::Corrupt {
+            reason: "checksum mismatch",
+        });
+    }
+    Ok(RecordRead::Record(payload))
+}
+
+enum ReadStatus {
+    Full,
+    Partial,
+    Eof,
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadStatus> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..])? {
+            0 => {
+                return Ok(if filled == 0 {
+                    ReadStatus::Eof
+                } else {
+                    ReadStatus::Partial
+                })
+            }
+            n => filled += n,
+        }
+    }
+    Ok(ReadStatus::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_multiple_records() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"alpha").unwrap();
+        write_record(&mut buf, b"").unwrap();
+        write_record(&mut buf, b"gamma-gamma").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_record(&mut r).unwrap(), RecordRead::Record(b"alpha".to_vec()));
+        assert_eq!(read_record(&mut r).unwrap(), RecordRead::Record(Vec::new()));
+        assert_eq!(
+            read_record(&mut r).unwrap(),
+            RecordRead::Record(b"gamma-gamma".to_vec())
+        );
+        assert_eq!(read_record(&mut r).unwrap(), RecordRead::Eof);
+    }
+
+    #[test]
+    fn torn_header_detected() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"data").unwrap();
+        buf.extend_from_slice(&[1, 2, 3]); // partial next header
+        let mut r = Cursor::new(buf);
+        assert!(matches!(read_record(&mut r).unwrap(), RecordRead::Record(_)));
+        assert!(matches!(
+            read_record(&mut r).unwrap(),
+            RecordRead::Corrupt { reason: "truncated header" }
+        ));
+    }
+
+    #[test]
+    fn torn_payload_detected() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"0123456789").unwrap();
+        buf.truncate(buf.len() - 4);
+        let mut r = Cursor::new(buf);
+        assert!(matches!(
+            read_record(&mut r).unwrap(),
+            RecordRead::Corrupt { reason: "truncated payload" }
+        ));
+    }
+
+    #[test]
+    fn bit_flip_detected() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"sensitive").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let mut r = Cursor::new(buf);
+        assert!(matches!(
+            read_record(&mut r).unwrap(),
+            RecordRead::Corrupt { reason: "checksum mismatch" }
+        ));
+    }
+
+    #[test]
+    fn insane_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let mut r = Cursor::new(buf);
+        assert!(matches!(
+            read_record(&mut r).unwrap(),
+            RecordRead::Corrupt { reason: "length exceeds maximum" }
+        ));
+    }
+}

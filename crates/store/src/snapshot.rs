@@ -1,0 +1,165 @@
+//! Snapshot files: a universe + policy + base sequence number in one
+//! CRC-framed record, written atomically (write to a temp file, rename).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use bytes::{Buf, BytesMut};
+
+use adminref_core::policy::Policy;
+use adminref_core::universe::Universe;
+
+use crate::codec::{get_policy, get_universe, get_varint, put_policy, put_universe, put_varint};
+use crate::log::StoreError;
+use crate::record::{read_record, write_record, RecordRead};
+
+/// Magic bytes identifying a snapshot file.
+const MAGIC: &[u8; 8] = b"ADMREFS1";
+
+/// A loaded snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The universe at snapshot time.
+    pub universe: Universe,
+    /// The policy at snapshot time.
+    pub policy: Policy,
+    /// Sequence number the log restarts at after this snapshot.
+    pub base_seq: u64,
+}
+
+/// Writes a snapshot atomically (temp file + rename).
+pub fn write_snapshot(
+    path: &Path,
+    universe: &Universe,
+    policy: &Policy,
+    base_seq: u64,
+) -> Result<(), StoreError> {
+    let mut payload = BytesMut::new();
+    payload.extend_from_slice(MAGIC);
+    put_varint(&mut payload, base_seq);
+    put_universe(&mut payload, universe);
+    put_policy(&mut payload, policy);
+    let tmp = path.with_extension("tmp");
+    {
+        let file = File::create(&tmp)?;
+        let mut writer = BufWriter::new(file);
+        write_record(&mut writer, &payload)?;
+        use std::io::Write as _;
+        writer.flush()?;
+        writer.get_ref().sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a snapshot written by [`write_snapshot`].
+pub fn load_snapshot(path: &Path) -> Result<Snapshot, StoreError> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let payload = match read_record(&mut reader)? {
+        RecordRead::Record(p) => p,
+        RecordRead::Eof => return Err(StoreError::BadHeader("empty snapshot file")),
+        RecordRead::Corrupt { reason } => return Err(StoreError::BadHeader(reason)),
+    };
+    let mut buf = &payload[..];
+    if buf.remaining() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(StoreError::BadHeader("bad magic"));
+    }
+    buf.advance(MAGIC.len());
+    let base_seq = get_varint(&mut buf)?;
+    let universe = get_universe(&mut buf)?;
+    let policy = get_policy(&mut buf, &universe)?;
+    Ok(Snapshot {
+        universe,
+        policy,
+        base_seq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+    use adminref_core::policy::PolicyBuilder;
+
+    fn sample() -> (Universe, Policy) {
+        let mut b = PolicyBuilder::new()
+            .assign("diana", "nurse")
+            .inherit("staff", "nurse")
+            .permit("nurse", "read", "t1");
+        let (diana, staff) = {
+            let u = b.universe_mut();
+            (u.find_user("diana").unwrap(), u.find_role("staff").unwrap())
+        };
+        let g = b.universe_mut().grant_user_role(diana, staff);
+        b = b.assign_priv("staff", g);
+        b.finish()
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let dir = TempDir::new("snap").unwrap();
+        let path = dir.path().join("policy.snap");
+        let (uni, policy) = sample();
+        write_snapshot(&path, &uni, &policy, 42).unwrap();
+        let snap = load_snapshot(&path).unwrap();
+        assert_eq!(snap.base_seq, 42);
+        assert_eq!(snap.universe.user_count(), uni.user_count());
+        assert_eq!(snap.policy.edge_count(), policy.edge_count());
+        let edges1: Vec<_> = policy.edges().collect();
+        let edges2: Vec<_> = snap.policy.edges().collect();
+        assert_eq!(edges1, edges2);
+    }
+
+    #[test]
+    fn corrupted_snapshot_rejected() {
+        let dir = TempDir::new("snapbad").unwrap();
+        let path = dir.path().join("policy.snap");
+        let (uni, policy) = sample();
+        write_snapshot(&path, &uni, &policy, 0).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() - 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(StoreError::BadHeader("checksum mismatch"))
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let dir = TempDir::new("snapmagic").unwrap();
+        let path = dir.path().join("policy.snap");
+        let mut payload = Vec::new();
+        payload.extend_from_slice(b"NOTMAGIC");
+        let mut file = std::io::BufWriter::new(File::create(&path).unwrap());
+        write_record(&mut file, &payload).unwrap();
+        use std::io::Write as _;
+        file.flush().unwrap();
+        drop(file);
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(StoreError::BadHeader("bad magic"))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let dir = TempDir::new("snapnone").unwrap();
+        assert!(matches!(
+            load_snapshot(&dir.path().join("nope.snap")),
+            Err(StoreError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn no_tmp_file_left_behind() {
+        let dir = TempDir::new("snaptmp").unwrap();
+        let path = dir.path().join("policy.snap");
+        let (uni, policy) = sample();
+        write_snapshot(&path, &uni, &policy, 0).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+    }
+}

@@ -1,0 +1,303 @@
+//! The durable policy store: snapshot + command log + live state.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! <dir>/policy.snap    snapshot: universe + policy + base sequence
+//! <dir>/commands.log   CRC-framed commands appended since the snapshot
+//! ```
+//!
+//! Opening a store loads the snapshot and replays the log through the
+//! Definition-5 transition function, which is deterministic, so the
+//! recovered state is exactly the pre-crash state up to the last fully
+//! written record. `compact` folds the log into a fresh snapshot.
+
+use std::path::{Path, PathBuf};
+
+use adminref_core::command::Command;
+use adminref_core::policy::Policy;
+use adminref_core::transition::{step, AuthMode, StepOutcome};
+use adminref_core::universe::Universe;
+
+use crate::log::{CommandLog, LogEntry, StoreError};
+use crate::snapshot::{load_snapshot, write_snapshot};
+
+const SNAPSHOT_FILE: &str = "policy.snap";
+const LOG_FILE: &str = "commands.log";
+
+/// What recovery found when opening a store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RecoveryReport {
+    /// Entries replayed from the log.
+    pub replayed: usize,
+    /// Whether a torn tail was truncated.
+    pub truncated_tail: bool,
+    /// Entries whose recorded authorization outcome differed on replay
+    /// (should be zero; nonzero indicates the log and snapshot are from
+    /// different histories).
+    pub divergent: usize,
+}
+
+/// A durable administrative policy store.
+#[derive(Debug)]
+pub struct PolicyStore {
+    dir: PathBuf,
+    universe: Universe,
+    policy: Policy,
+    log: CommandLog,
+    auth_mode: AuthMode,
+}
+
+impl PolicyStore {
+    /// Creates a new store at `dir` with the given initial state, writing
+    /// the initial snapshot.
+    pub fn create(
+        dir: &Path,
+        universe: Universe,
+        policy: Policy,
+        auth_mode: AuthMode,
+    ) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        write_snapshot(&dir.join(SNAPSHOT_FILE), &universe, &policy, 0)?;
+        let recovered = CommandLog::open(&dir.join(LOG_FILE))?;
+        let mut log = recovered.log;
+        log.reset(0)?;
+        Ok(PolicyStore {
+            dir: dir.to_path_buf(),
+            universe,
+            policy,
+            log,
+            auth_mode,
+        })
+    }
+
+    /// Opens an existing store, replaying the log.
+    pub fn open(dir: &Path, auth_mode: AuthMode) -> Result<(Self, RecoveryReport), StoreError> {
+        let snap = load_snapshot(&dir.join(SNAPSHOT_FILE))?;
+        let recovered = CommandLog::open(&dir.join(LOG_FILE))?;
+        let mut universe = snap.universe;
+        let mut policy = snap.policy;
+        let mut report = RecoveryReport {
+            replayed: recovered.entries.len(),
+            truncated_tail: recovered.truncated_tail,
+            divergent: 0,
+        };
+        for LogEntry {
+            command, executed, ..
+        } in &recovered.entries
+        {
+            let outcome = step(&mut universe, &mut policy, command, auth_mode);
+            if outcome.executed() != *executed {
+                report.divergent += 1;
+            }
+        }
+        Ok((
+            PolicyStore {
+                dir: dir.to_path_buf(),
+                universe,
+                policy,
+                log: recovered.log,
+                auth_mode,
+            },
+            report,
+        ))
+    }
+
+    /// Executes a command against the live policy and logs it durably.
+    pub fn execute(&mut self, command: &Command) -> Result<StepOutcome, StoreError> {
+        let outcome = step(&mut self.universe, &mut self.policy, command, self.auth_mode);
+        self.log.append(command, outcome.executed())?;
+        Ok(outcome)
+    }
+
+    /// Forces the log to stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.log.sync()
+    }
+
+    /// Folds the log into a fresh snapshot and truncates it.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        let base = self.log.next_seq();
+        write_snapshot(
+            &self.dir.join(SNAPSHOT_FILE),
+            &self.universe,
+            &self.policy,
+            base,
+        )?;
+        self.log.reset(base)?;
+        Ok(())
+    }
+
+    /// The live universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Mutable access to the universe (interning new terms is append-only
+    /// and safe; the snapshot captures whatever exists at compaction).
+    pub fn universe_mut(&mut self) -> &mut Universe {
+        &mut self.universe
+    }
+
+    /// The live policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The authorization mode commands are executed under.
+    pub fn auth_mode(&self) -> AuthMode {
+        self.auth_mode
+    }
+
+    /// Entries in the log since the last snapshot.
+    pub fn log_len(&self) -> u64 {
+        self.log.len()
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+    use adminref_core::policy::PolicyBuilder;
+    use adminref_core::universe::Edge;
+
+    fn sample() -> (Universe, Policy) {
+        let mut b = PolicyBuilder::new()
+            .assign("jane", "hr")
+            .declare_user("bob")
+            .inherit("staff", "dbusr2")
+            .permit("dbusr2", "write", "t3");
+        let (bob, staff) = {
+            let u = b.universe_mut();
+            (u.find_user("bob").unwrap(), u.find_role("staff").unwrap())
+        };
+        let g = b.universe_mut().grant_user_role(bob, staff);
+        b = b.assign_priv("hr", g);
+        b.finish()
+    }
+
+    #[test]
+    fn create_execute_reopen() {
+        let dir = TempDir::new("store").unwrap();
+        let (uni, policy) = sample();
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        {
+            let mut store =
+                PolicyStore::create(dir.path(), uni, policy, AuthMode::Explicit).unwrap();
+            let out = store
+                .execute(&Command::grant(jane, Edge::UserRole(bob, staff)))
+                .unwrap();
+            assert!(out.executed());
+            store.sync().unwrap();
+        }
+        let (store, report) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.divergent, 0);
+        assert!(!report.truncated_tail);
+        assert!(store.policy().contains_edge(Edge::UserRole(bob, staff)));
+    }
+
+    #[test]
+    fn refused_commands_are_logged_too() {
+        let dir = TempDir::new("refused").unwrap();
+        let (uni, policy) = sample();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let mut store = PolicyStore::create(dir.path(), uni, policy, AuthMode::Explicit).unwrap();
+        // Bob has no authority yet.
+        let out = store
+            .execute(&Command::grant(bob, Edge::UserRole(bob, staff)))
+            .unwrap();
+        assert!(!out.executed());
+        assert_eq!(store.log_len(), 1);
+        drop(store);
+        let (_, report) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.divergent, 0);
+    }
+
+    #[test]
+    fn compact_folds_log_into_snapshot() {
+        let dir = TempDir::new("compact").unwrap();
+        let (uni, policy) = sample();
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let mut store = PolicyStore::create(dir.path(), uni, policy, AuthMode::Explicit).unwrap();
+        store
+            .execute(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        store.compact().unwrap();
+        assert_eq!(store.log_len(), 0);
+        drop(store);
+        let (store, report) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+        assert_eq!(report.replayed, 0, "log was folded into the snapshot");
+        assert!(store.policy().contains_edge(Edge::UserRole(bob, staff)));
+    }
+
+    #[test]
+    fn crash_recovery_keeps_durable_prefix() {
+        let dir = TempDir::new("crash").unwrap();
+        let (uni, policy) = sample();
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        {
+            let mut store =
+                PolicyStore::create(dir.path(), uni, policy, AuthMode::Explicit).unwrap();
+            store
+                .execute(&Command::grant(jane, Edge::UserRole(bob, staff)))
+                .unwrap();
+            store
+                .execute(&Command::revoke(jane, Edge::UserRole(bob, staff)))
+                .unwrap();
+            store.sync().unwrap();
+            // no clean shutdown: just drop
+        }
+        // Simulate a torn tail: chop bytes off the log.
+        let log_path = dir.path().join("commands.log");
+        let bytes = std::fs::read(&log_path).unwrap();
+        std::fs::write(&log_path, &bytes[..bytes.len() - 5]).unwrap();
+        let (store, report) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+        assert!(report.truncated_tail);
+        assert_eq!(report.replayed, 1, "second record was torn");
+        assert!(
+            store.policy().contains_edge(Edge::UserRole(bob, staff)),
+            "state reflects the surviving prefix only"
+        );
+    }
+
+    #[test]
+    fn ordered_mode_round_trips_through_recovery() {
+        use adminref_core::ordering::OrderingMode;
+        let dir = TempDir::new("ordered").unwrap();
+        let (uni, policy) = sample();
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let dbusr2 = uni.find_role("dbusr2").unwrap();
+        let mode = AuthMode::Ordered(OrderingMode::Extended);
+        {
+            let mut store = PolicyStore::create(dir.path(), uni, policy, mode).unwrap();
+            // Only authorized in ordered mode (weaker than ¤(bob, staff)).
+            let out = store
+                .execute(&Command::grant(jane, Edge::UserRole(bob, dbusr2)))
+                .unwrap();
+            assert!(out.executed());
+            store.sync().unwrap();
+        }
+        let (store, report) = PolicyStore::open(dir.path(), mode).unwrap();
+        assert_eq!(report.divergent, 0, "replay in the same mode agrees");
+        assert!(store.policy().contains_edge(Edge::UserRole(bob, dbusr2)));
+        // Replaying under a *different* mode diverges — detected.
+        let (_, report2) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+        assert_eq!(report2.divergent, 1);
+    }
+}

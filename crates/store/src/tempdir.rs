@@ -1,0 +1,63 @@
+//! Minimal temp-directory helper for tests and examples (std-only; the
+//! workspace takes no `tempfile` dependency).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely-named directory under the system temp dir, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `"$TMPDIR/adminref-<pid>-<n>-<label>"`.
+    pub fn new(label: &str) -> std::io::Result<Self> {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "adminref-{}-{}-{}",
+            std::process::id(),
+            n,
+            label
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let path;
+        {
+            let dir = TempDir::new("probe").unwrap();
+            path = dir.path().to_path_buf();
+            assert!(path.exists());
+            std::fs::write(path.join("f.txt"), b"x").unwrap();
+        }
+        assert!(!path.exists(), "dropped dirs are removed");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let a = TempDir::new("u").unwrap();
+        let b = TempDir::new("u").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

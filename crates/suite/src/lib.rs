@@ -1,0 +1,15 @@
+//! # adminref-suite
+//!
+//! Facade crate that wires the workspace-root `tests/` (cross-crate
+//! integration tests) and `examples/` (runnable binaries) into Cargo. It
+//! re-exports every workspace crate so tests and examples can reach the
+//! whole system through one dependency.
+
+#![forbid(unsafe_code)]
+
+pub use adminref_baselines as baselines;
+pub use adminref_core as core;
+pub use adminref_lang as lang;
+pub use adminref_monitor as monitor;
+pub use adminref_store as store;
+pub use adminref_workloads as workloads;

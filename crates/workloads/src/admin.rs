@@ -1,0 +1,178 @@
+//! Injecting administrative privileges into a generated policy.
+//!
+//! Benchmarks need policies whose `PA†` contains grant/revoke terms with a
+//! controlled nesting-depth distribution (deciding `⊑` on depth-`k` terms
+//! is the quantity Lemma 1 is about).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use adminref_core::ids::{PrivId, RoleId, UserId};
+use adminref_core::policy::Policy;
+use adminref_core::universe::{Edge, Universe};
+
+/// Parameters for privilege injection.
+#[derive(Clone, Copy, Debug)]
+pub struct AdminSpec {
+    /// Number of administrative privileges to assign.
+    pub count: usize,
+    /// Maximum connective nesting depth (≥ 1).
+    pub max_depth: u32,
+    /// Fraction of grants (the rest are revokes).
+    pub grant_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AdminSpec {
+    fn default() -> Self {
+        AdminSpec {
+            count: 16,
+            max_depth: 2,
+            grant_ratio: 0.8,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// Builds one random administrative privilege of exactly `depth` levels.
+pub fn random_admin_priv(
+    universe: &mut Universe,
+    users: &[UserId],
+    roles: &[RoleId],
+    depth: u32,
+    grant: bool,
+    rng: &mut StdRng,
+) -> PrivId {
+    assert!(depth >= 1, "administrative privileges have depth ≥ 1");
+    assert!(!roles.is_empty(), "need roles to build privileges");
+    let edge = if depth == 1 {
+        // Leaf: a user-role or role-role edge.
+        if !users.is_empty() && rng.random_bool(0.5) {
+            let u = users[rng.random_range(0..users.len())];
+            let r = roles[rng.random_range(0..roles.len())];
+            Edge::UserRole(u, r)
+        } else {
+            let a = roles[rng.random_range(0..roles.len())];
+            let b = roles[rng.random_range(0..roles.len())];
+            Edge::RoleRole(a, b)
+        }
+    } else {
+        let r = roles[rng.random_range(0..roles.len())];
+        let inner_grant = rng.random_bool(0.8);
+        let inner = random_admin_priv(universe, users, roles, depth - 1, inner_grant, rng);
+        Edge::RolePriv(r, inner)
+    };
+    if grant {
+        universe.priv_grant(edge)
+    } else {
+        universe.priv_revoke(edge)
+    }
+}
+
+/// Assigns `spec.count` random administrative privileges to random roles.
+/// Returns the `(role, privilege)` assignments made.
+pub fn inject_admin_privs(
+    universe: &mut Universe,
+    policy: &mut Policy,
+    users: &[UserId],
+    roles: &[RoleId],
+    spec: AdminSpec,
+) -> Vec<(RoleId, PrivId)> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut out = Vec::with_capacity(spec.count);
+    for _ in 0..spec.count {
+        let depth = rng.random_range(1..=spec.max_depth.max(1));
+        let grant = rng.random_bool(spec.grant_ratio.clamp(0.0, 1.0));
+        let p = random_admin_priv(universe, users, roles, depth, grant, &mut rng);
+        let holder = roles[rng.random_range(0..roles.len())];
+        policy.add_edge(Edge::RolePriv(holder, p));
+        out.push((holder, p));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{chain, populate_users};
+
+    #[test]
+    fn injection_is_deterministic() {
+        let mut h1 = chain(6);
+        let users1 = populate_users(&mut h1, 4, 1, 3);
+        let roles1: Vec<RoleId> = h1.layers.iter().flatten().copied().collect();
+        let a1 = inject_admin_privs(
+            &mut h1.universe,
+            &mut h1.policy,
+            &users1,
+            &roles1,
+            AdminSpec::default(),
+        );
+        let mut h2 = chain(6);
+        let users2 = populate_users(&mut h2, 4, 1, 3);
+        let roles2: Vec<RoleId> = h2.layers.iter().flatten().copied().collect();
+        let a2 = inject_admin_privs(
+            &mut h2.universe,
+            &mut h2.policy,
+            &users2,
+            &roles2,
+            AdminSpec::default(),
+        );
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn depths_respect_bound() {
+        let mut h = chain(5);
+        let users = populate_users(&mut h, 3, 1, 9);
+        let roles: Vec<RoleId> = h.layers.iter().flatten().copied().collect();
+        let spec = AdminSpec {
+            count: 40,
+            max_depth: 3,
+            ..AdminSpec::default()
+        };
+        let assigned = inject_admin_privs(&mut h.universe, &mut h.policy, &users, &roles, spec);
+        assert_eq!(assigned.len(), 40);
+        for (_, p) in assigned {
+            let d = h.universe.depth(p);
+            assert!((1..=3).contains(&d), "depth {d} out of range");
+        }
+    }
+
+    #[test]
+    fn exact_depth_generation() {
+        let mut h = chain(4);
+        let users = populate_users(&mut h, 2, 1, 1);
+        let roles: Vec<RoleId> = h.layers.iter().flatten().copied().collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        for depth in 1..=5 {
+            let p = random_admin_priv(&mut h.universe, &users, &roles, depth, true, &mut rng);
+            assert_eq!(h.universe.depth(p), depth);
+        }
+    }
+
+    #[test]
+    fn grant_ratio_extremes() {
+        let mut h = chain(4);
+        let users = populate_users(&mut h, 2, 1, 1);
+        let roles: Vec<RoleId> = h.layers.iter().flatten().copied().collect();
+        let all_grants = inject_admin_privs(
+            &mut h.universe,
+            &mut h.policy,
+            &users,
+            &roles,
+            AdminSpec {
+                count: 20,
+                grant_ratio: 1.0,
+                ..AdminSpec::default()
+            },
+        );
+        for (_, p) in all_grants {
+            assert!(matches!(
+                h.universe.term(p),
+                adminref_core::universe::PrivTerm::Grant(_)
+            ));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # adminref-workloads
+//!
+//! Seeded, deterministic policy and command-queue generators plus the
+//! paper's figures as canonical fixtures:
+//!
+//! * [`templates`] — Figures 1/2, Example 6, the Example 5 nesting;
+//! * [`hierarchy`] — layered / chain / random-DAG hierarchies at
+//!   “thousands of roles” scale, with user and permission population;
+//! * [`admin`] — administrative-privilege injection with controlled
+//!   nesting depth;
+//! * [`queues`] — command-queue generation with a valid/junk mix.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod admin;
+pub mod hierarchy;
+pub mod queues;
+pub mod templates;
+
+pub use admin::{inject_admin_privs, random_admin_priv, AdminSpec};
+pub use hierarchy::{chain, layered, populate_perms, populate_users, random_dag, Hierarchy, LayeredSpec};
+pub use queues::{generate_queue, QueueSpec};
+pub use templates::{example6, hospital_fig1, hospital_fig2, hospital_with_nested_delegation};

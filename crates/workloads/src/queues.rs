@@ -1,0 +1,174 @@
+//! Command-queue generation for throughput benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use adminref_core::command::{Command, CommandQueue};
+use adminref_core::ids::{RoleId, UserId};
+use adminref_core::policy::Policy;
+use adminref_core::universe::{Edge, PrivTerm, Universe};
+
+/// Parameters for queue generation.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueSpec {
+    /// Number of commands.
+    pub len: usize,
+    /// Fraction of commands drawn from privileges actually assigned in
+    /// the policy (the rest are random junk, exercising the refusal
+    /// path).
+    pub valid_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueueSpec {
+    fn default() -> Self {
+        QueueSpec {
+            len: 256,
+            valid_ratio: 0.7,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Generates a queue of commands against `policy`.
+///
+/// “Valid” commands take an assigned grant/revoke vertex and issue exactly
+/// its edge from a user that reaches the holding role (explicit-mode
+/// authorizable at the initial policy; interleaving may change that, which
+/// is realistic). Junk commands pick random users and edges.
+pub fn generate_queue(
+    universe: &Universe,
+    policy: &Policy,
+    users: &[UserId],
+    roles: &[RoleId],
+    spec: QueueSpec,
+) -> CommandQueue {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    // Collect (holder, term) pairs for assigned admin privileges and the
+    // users that reach each holder.
+    let reach = adminref_core::reach::ReachIndex::build(universe, policy);
+    let mut exercisable: Vec<(UserId, PrivTerm)> = Vec::new();
+    for (holder, p) in policy.pa() {
+        let term = universe.term(p);
+        if !term.is_administrative() {
+            continue;
+        }
+        for &u in users {
+            if reach.reach_entity(u.into(), holder.into()) {
+                exercisable.push((u, term));
+            }
+        }
+    }
+    let mut out = CommandQueue::new();
+    for _ in 0..spec.len {
+        let valid = !exercisable.is_empty() && rng.random_bool(spec.valid_ratio.clamp(0.0, 1.0));
+        let cmd = if valid {
+            let (actor, term) = exercisable[rng.random_range(0..exercisable.len())];
+            let edge = term.edge().expect("administrative terms carry edges");
+            match term {
+                PrivTerm::Grant(_) => Command::grant(actor, edge),
+                PrivTerm::Revoke(_) => Command::revoke(actor, edge),
+                PrivTerm::Perm(_) => unreachable!("filtered above"),
+            }
+        } else {
+            let actor = if users.is_empty() {
+                UserId(0)
+            } else {
+                users[rng.random_range(0..users.len())]
+            };
+            let a = roles[rng.random_range(0..roles.len())];
+            let b = roles[rng.random_range(0..roles.len())];
+            if rng.random_bool(0.5) {
+                Command::grant(actor, Edge::RoleRole(a, b))
+            } else {
+                Command::revoke(actor, Edge::RoleRole(a, b))
+            }
+        };
+        out.push(cmd);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admin::{inject_admin_privs, AdminSpec};
+    use crate::hierarchy::{chain, populate_users};
+
+    fn setup() -> (Universe, Policy, Vec<UserId>, Vec<RoleId>) {
+        let mut h = chain(6);
+        let users = populate_users(&mut h, 5, 2, 11);
+        let roles: Vec<RoleId> = h.layers.iter().flatten().copied().collect();
+        inject_admin_privs(
+            &mut h.universe,
+            &mut h.policy,
+            &users,
+            &roles,
+            AdminSpec::default(),
+        );
+        (h.universe, h.policy, users, roles)
+    }
+
+    #[test]
+    fn queue_has_requested_length_and_is_deterministic() {
+        let (uni, policy, users, roles) = setup();
+        let q1 = generate_queue(&uni, &policy, &users, &roles, QueueSpec::default());
+        let q2 = generate_queue(&uni, &policy, &users, &roles, QueueSpec::default());
+        assert_eq!(q1.len(), 256);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn valid_commands_are_initially_authorized() {
+        let (mut uni, policy, users, roles) = setup();
+        let q = generate_queue(
+            &uni,
+            &policy,
+            &users,
+            &roles,
+            QueueSpec {
+                len: 64,
+                valid_ratio: 1.0,
+                seed: 3,
+            },
+        );
+        let mut authorized = 0;
+        for cmd in q.iter() {
+            if adminref_core::transition::authorize(
+                &mut uni,
+                &policy,
+                cmd,
+                adminref_core::transition::AuthMode::Explicit,
+            )
+            .is_some()
+            {
+                authorized += 1;
+            }
+        }
+        assert_eq!(authorized, q.len(), "all-valid queue authorizes fully");
+    }
+
+    #[test]
+    fn junk_queue_mostly_refused() {
+        let (mut uni, mut policy, users, roles) = setup();
+        let q = generate_queue(
+            &uni,
+            &policy,
+            &users,
+            &roles,
+            QueueSpec {
+                len: 64,
+                valid_ratio: 0.0,
+                seed: 4,
+            },
+        );
+        let trace = adminref_core::transition::run(
+            &mut uni,
+            &mut policy,
+            &q,
+            adminref_core::transition::AuthMode::Explicit,
+        );
+        assert!(trace.refused_count() > trace.executed_count());
+    }
+}

@@ -1,0 +1,184 @@
+//! The paper's figures as canonical, reusable fixtures.
+//!
+//! The figure artwork in the source text is partially garbled; the
+//! reconstruction used throughout this repository (and documented in
+//! EXPERIMENTS.md) is:
+//!
+//! * **Figure 1** (non-administrative): `diana → {nurse, staff}`;
+//!   hierarchy `staff → nurse`, `nurse → {prntusr, dbusr1}`,
+//!   `staff → dbusr2`, `dbusr2 → dbusr1`; perms `prntusr → (prnt,black)`,
+//!   `staff → (prnt,color)`, `dbusr1 → (read,t1), (read,t2)`,
+//!   `dbusr2 → (write,t3)`. This satisfies Example 1: as *nurse* Diana
+//!   reads t1/t2; as *staff* she can also write t3.
+//! * **Figure 2** (administrative): Figure 1 plus users jane (HR), alice
+//!   (SO), bob and joe; `so → hr`; HR holds `¤(bob,staff)`, `¤(joe,nurse)`
+//!   and `♦(joe,nurse)`; dbusr3 holds the revocation privilege
+//!   `♦(dbusr2,dbusr1)` (“a revocation privilege about the role dbusr2”).
+//! * **Figure 3** is Figure 2 from Bob's perspective (the dashed/dotted
+//!   edges are the two commands Jane may issue); it needs no separate
+//!   fixture.
+//! * **Example 6**: roles `r1`, `r2` with `(r2, ¤(r1,r2)) ∈ PA`.
+
+use adminref_core::ids::PrivId;
+use adminref_core::policy::{Policy, PolicyBuilder};
+use adminref_core::universe::Universe;
+
+/// Figure 1: the non-administrative hospital policy.
+pub fn hospital_fig1() -> (Universe, Policy) {
+    PolicyBuilder::new()
+        .assign("diana", "nurse")
+        .assign("diana", "staff")
+        .inherit("staff", "nurse")
+        .inherit("nurse", "prntusr")
+        .inherit("nurse", "dbusr1")
+        .inherit("staff", "dbusr2")
+        .inherit("dbusr2", "dbusr1")
+        .permit("prntusr", "prnt", "black")
+        .permit("staff", "prnt", "color")
+        .permit("dbusr1", "read", "t1")
+        .permit("dbusr1", "read", "t2")
+        .permit("dbusr2", "write", "t3")
+        .finish()
+}
+
+/// Figure 2: Alice's administrative policy over the Figure 1 hospital.
+pub fn hospital_fig2() -> (Universe, Policy) {
+    let mut b = PolicyBuilder::new()
+        .assign("diana", "nurse")
+        .assign("diana", "staff")
+        .assign("jane", "hr")
+        .assign("alice", "so")
+        .declare_user("bob")
+        .declare_user("joe")
+        .inherit("staff", "nurse")
+        .inherit("nurse", "prntusr")
+        .inherit("nurse", "dbusr1")
+        .inherit("staff", "dbusr2")
+        .inherit("dbusr2", "dbusr1")
+        .inherit("so", "hr")
+        .declare_role("dbusr3")
+        .permit("prntusr", "prnt", "black")
+        .permit("staff", "prnt", "color")
+        .permit("dbusr1", "read", "t1")
+        .permit("dbusr1", "read", "t2")
+        .permit("dbusr2", "write", "t3");
+    let (bob, joe, staff, nurse, dbusr1, dbusr2) = {
+        let u = b.universe_mut();
+        (
+            u.find_user("bob").unwrap(),
+            u.find_user("joe").unwrap(),
+            u.find_role("staff").unwrap(),
+            u.find_role("nurse").unwrap(),
+            u.find_role("dbusr1").unwrap(),
+            u.find_role("dbusr2").unwrap(),
+        )
+    };
+    let g_bob_staff = b.universe_mut().grant_user_role(bob, staff);
+    let g_joe_nurse = b.universe_mut().grant_user_role(joe, nurse);
+    let r_joe_nurse = b.universe_mut().revoke_user_role(joe, nurse);
+    let r_dbusr2 = b.universe_mut().revoke_role_role(dbusr2, dbusr1);
+    b = b
+        .assign_priv("hr", g_bob_staff)
+        .assign_priv("hr", g_joe_nurse)
+        .assign_priv("hr", r_joe_nurse)
+        .assign_priv("dbusr3", r_dbusr2);
+    b.finish()
+}
+
+/// Example 6: `(r2, ¤(r1, r2)) ∈ PA`. Returns the policy and the assigned
+/// privilege `¤(r1, r2)`.
+pub fn example6() -> (Universe, Policy, PrivId) {
+    let mut b = PolicyBuilder::new().declare_role("r1").declare_role("r2");
+    let (r1, r2) = {
+        let u = b.universe_mut();
+        (u.find_role("r1").unwrap(), u.find_role("r2").unwrap())
+    };
+    let g = b.universe_mut().grant_role_role(r1, r2);
+    b = b.assign_priv("r2", g);
+    let (uni, policy) = b.finish();
+    (uni, policy, g)
+}
+
+/// Example 5's second scenario: Alice (so) holds the nested privilege
+/// `¤(staff, ¤(bob, staff))` on top of Figure 2.
+pub fn hospital_with_nested_delegation() -> (Universe, Policy) {
+    let (mut uni, mut policy) = hospital_fig2();
+    let bob = uni.find_user("bob").unwrap();
+    let staff = uni.find_role("staff").unwrap();
+    let so = uni.find_role("so").unwrap();
+    let inner = uni.grant_user_role(bob, staff);
+    let nested = uni.grant_role_priv(staff, inner);
+    policy.add_edge(adminref_core::universe::Edge::RolePriv(so, nested));
+    (uni, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adminref_core::ids::Entity;
+    use adminref_core::reach::ReachIndex;
+
+    #[test]
+    fn fig1_matches_example1() {
+        let (mut uni, policy) = hospital_fig1();
+        let idx = ReachIndex::build(&uni, &policy);
+        let diana = uni.find_user("diana").unwrap();
+        let nurse = uni.find_role("nurse").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        // As nurse: read t1, t2 but not write t3.
+        let nurse_perms = idx.perms_reachable(&uni, &policy, Entity::Role(nurse));
+        let read_t1 = uni.perm("read", "t1");
+        let read_t2 = uni.perm("read", "t2");
+        let write_t3 = uni.perm("write", "t3");
+        assert!(nurse_perms.contains(&read_t1));
+        assert!(nurse_perms.contains(&read_t2));
+        assert!(!nurse_perms.contains(&write_t3));
+        // As staff: also write t3.
+        let staff_perms = idx.perms_reachable(&uni, &policy, Entity::Role(staff));
+        assert!(staff_perms.contains(&write_t3));
+        // Diana reaches both roles.
+        assert!(idx.reach_entity(Entity::User(diana), Entity::Role(nurse)));
+        assert!(idx.reach_entity(Entity::User(diana), Entity::Role(staff)));
+    }
+
+    #[test]
+    fn fig2_is_administrative_and_fig1_is_not() {
+        let (uni1, p1) = hospital_fig1();
+        assert!(p1.is_non_administrative(&uni1));
+        let (uni2, p2) = hospital_fig2();
+        assert!(!p2.is_non_administrative(&uni2));
+    }
+
+    #[test]
+    fn fig2_delegations_are_as_described() {
+        // “Members of HR can assign and revoke certain users to staff and
+        // nurse roles.”
+        let (uni, policy) = hospital_fig2();
+        let hr = uni.find_role("hr").unwrap();
+        let dbusr3 = uni.find_role("dbusr3").unwrap();
+        assert_eq!(policy.privs_of(hr).count(), 3);
+        assert_eq!(policy.privs_of(dbusr3).count(), 1);
+        // Alice reaches HR's privileges through so → hr.
+        let idx = ReachIndex::build(&uni, &policy);
+        let alice = uni.find_user("alice").unwrap();
+        for p in policy.privs_of(hr) {
+            assert!(idx.reach_priv(Entity::User(alice), p));
+        }
+    }
+
+    #[test]
+    fn example6_shape() {
+        let (uni, policy, g) = example6();
+        assert_eq!(policy.pa_len(), 1);
+        assert!(policy.priv_vertices().contains(&g));
+        assert_eq!(uni.depth(g), 1);
+    }
+
+    #[test]
+    fn nested_delegation_fixture() {
+        let (uni, policy) = hospital_with_nested_delegation();
+        let so = uni.find_role("so").unwrap();
+        let depths: Vec<u32> = policy.privs_of(so).map(|p| uni.depth(p)).collect();
+        assert!(depths.contains(&2));
+    }
+}

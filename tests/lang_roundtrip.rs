@@ -1,0 +1,100 @@
+//! Property-based round-trip tests for the policy language: any generated
+//! policy prints to text that reparses and re-resolves to a semantically
+//! identical policy.
+
+use adminref_core::analysis::{authorization_matrix, stats};
+use adminref_core::ids::RoleId;
+use adminref_core::prelude::*;
+use adminref_lang::{load_policy, print_policy, print_queue};
+use adminref_workloads::{
+    generate_queue, inject_admin_privs, layered, populate_perms, populate_users, AdminSpec,
+    LayeredSpec, QueueSpec,
+};
+use proptest::prelude::*;
+
+fn build_workload(seed: u64, layers: usize, width: usize) -> (Universe, Policy) {
+    let mut h = layered(LayeredSpec {
+        layers,
+        width,
+        edge_prob: 0.35,
+        seed,
+    });
+    let users = populate_users(&mut h, 4, 2, seed);
+    populate_perms(&mut h, 2, 6, seed);
+    let roles: Vec<RoleId> = h.layers.iter().flatten().copied().collect();
+    inject_admin_privs(
+        &mut h.universe,
+        &mut h.policy,
+        &users,
+        &roles,
+        AdminSpec {
+            count: 8,
+            max_depth: 3,
+            grant_ratio: 0.7,
+            seed,
+        },
+    );
+    (h.universe, h.policy)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn policy_text_round_trip(seed in 0u64..500, layers in 2usize..4, width in 2usize..5) {
+        let (uni, policy) = build_workload(seed, layers, width);
+        let text = print_policy(&uni, &policy, "generated");
+        let (uni2, policy2) = load_policy(&text).expect("printer output parses");
+
+        // Same statistics…
+        prop_assert_eq!(stats(&uni, &policy), stats(&uni2, &policy2));
+        // …and the same authorization semantics: compare matrices by name.
+        let m1: Vec<(String, String, String)> = authorization_matrix(&uni, &policy)
+            .into_iter()
+            .map(|(e, p)| name_triple(&uni, e, p))
+            .collect();
+        let mut m2: Vec<(String, String, String)> = authorization_matrix(&uni2, &policy2)
+            .into_iter()
+            .map(|(e, p)| name_triple(&uni2, e, p))
+            .collect();
+        let mut m1 = m1;
+        m1.sort();
+        m2.sort();
+        prop_assert_eq!(m1, m2);
+
+        // Printing the reloaded policy is a fixpoint.
+        let text2 = print_policy(&uni2, &policy2, "generated");
+        prop_assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn queue_text_round_trip(seed in 0u64..200) {
+        let (mut uni, policy) = build_workload(seed, 3, 3);
+        let users: Vec<UserId> = uni.users().collect();
+        let roles: Vec<RoleId> = uni.roles().collect();
+        let queue = generate_queue(&uni, &policy, &users, &roles, QueueSpec {
+            len: 16,
+            valid_ratio: 0.5,
+            seed,
+        });
+        let text = print_queue(&uni, &queue);
+        let queue2 = adminref_lang::load_queue(&text, &mut uni).expect("queue reparses");
+        prop_assert_eq!(queue, queue2);
+    }
+}
+
+fn name_triple(
+    uni: &Universe,
+    e: Entity,
+    p: Perm,
+) -> (String, String, String) {
+    let who = match e {
+        Entity::User(u) => format!("u:{}", uni.user_name(u)),
+        Entity::Role(r) => format!("r:{}", uni.role_name(r)),
+    };
+    (
+        who,
+        uni.action_name(p.action).to_string(),
+        uni.object_name(p.object).to_string(),
+    )
+}

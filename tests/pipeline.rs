@@ -1,0 +1,160 @@
+//! Full-pipeline integration: policy text → parser/resolver → monitor →
+//! durable store → recovery → analysis → printer.
+
+use adminref_core::prelude::*;
+use adminref_lang::{load_policy, load_queue, print_policy};
+use adminref_monitor::{MonitorConfig, ReferenceMonitor};
+use adminref_store::{PolicyStore, TempDir};
+
+const HOSPITAL: &str = r#"
+    # Figure 2 of the paper, in the policy language.
+    policy hospital {
+        users diana, bob, joe, jane, alice;
+        roles nurse, staff, prntusr, dbusr1, dbusr2, dbusr3, hr, so;
+        assign diana -> nurse;
+        assign diana -> staff;
+        assign jane -> hr;
+        assign alice -> so;
+        inherit staff -> nurse;
+        inherit nurse -> prntusr;
+        inherit nurse -> dbusr1;
+        inherit staff -> dbusr2;
+        inherit dbusr2 -> dbusr1;
+        inherit so -> hr;
+        perm prntusr -> (prnt, black);
+        perm staff -> (prnt, color);
+        perm dbusr1 -> (read, t1);
+        perm dbusr1 -> (read, t2);
+        perm dbusr2 -> (write, t3);
+        perm hr -> grant(bob, staff);
+        perm hr -> grant(joe, nurse);
+        perm hr -> revoke(joe, nurse);
+        perm dbusr3 -> revoke(dbusr2, dbusr1);
+    }
+"#;
+
+#[test]
+fn text_to_monitor_to_store_and_back() {
+    // 1. Load from text.
+    let (mut uni, policy) = load_policy(HOSPITAL).expect("fixture parses");
+    assert_eq!(policy.pa_len(), 9);
+
+    // 2. The textual fixture matches the programmatic one semantically.
+    let (uni2, policy2) = adminref_workloads::hospital_fig2();
+    let s1 = adminref_core::analysis::stats(&uni, &policy);
+    let s2 = adminref_core::analysis::stats(&uni2, &policy2);
+    assert_eq!(s1, s2, "lang fixture ≡ programmatic fixture");
+
+    // 3. Run a textual command queue through a durable monitor.
+    let queue = load_queue(
+        r#"queue {
+            cmd(jane, grant, bob -> staff);
+            cmd(jane, grant, joe -> nurse);
+            cmd(bob, grant, joe -> staff);     # refused: bob holds nothing
+            cmd(jane, revoke, joe -> nurse);
+        }"#,
+        &mut uni,
+    )
+    .expect("queue parses");
+
+    let dir = TempDir::new("pipeline").unwrap();
+    let store = PolicyStore::create(dir.path(), uni, policy, AuthMode::Explicit).unwrap();
+    let monitor = ReferenceMonitor::with_store(store, MonitorConfig::default());
+    let outcomes = monitor.submit_queue(&queue).unwrap();
+    assert_eq!(
+        outcomes.iter().filter(|o| o.executed()).count(),
+        3,
+        "three of four commands are authorized"
+    );
+
+    // 4. State survives re-opening the store.
+    drop(monitor);
+    let (store, report) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+    assert_eq!(report.replayed, 4);
+    assert_eq!(report.divergent, 0);
+    let uni = store.universe().clone();
+    let recovered = store.policy().clone();
+    let bob = uni.find_user("bob").unwrap();
+    let joe = uni.find_user("joe").unwrap();
+    let staff = uni.find_role("staff").unwrap();
+    let nurse = uni.find_role("nurse").unwrap();
+    assert!(recovered.contains_edge(Edge::UserRole(bob, staff)));
+    assert!(
+        !recovered.contains_edge(Edge::UserRole(joe, nurse)),
+        "joe was revoked in the same queue"
+    );
+    assert!(!recovered.contains_edge(Edge::UserRole(joe, staff)));
+
+    // 5. Print the recovered policy and reload it: identical semantics.
+    let text = print_policy(&uni, &recovered, "recovered");
+    let (uni3, policy3) = load_policy(&text).unwrap();
+    let s3 = adminref_core::analysis::stats(&uni3, &policy3);
+    let s_rec = adminref_core::analysis::stats(&uni, &recovered);
+    assert_eq!(s3, s_rec);
+}
+
+#[test]
+fn ordered_monitor_pipeline_least_privilege() {
+    let (mut uni, policy) = load_policy(HOSPITAL).unwrap();
+    let queue = load_queue(
+        r#"queue { cmd(jane, grant, bob -> dbusr2); }"#,
+        &mut uni,
+    )
+    .unwrap();
+    let monitor = ReferenceMonitor::new(
+        uni,
+        policy,
+        MonitorConfig {
+            auth_mode: AuthMode::Ordered(OrderingMode::Extended),
+            ..MonitorConfig::default()
+        },
+    );
+    let outcomes = monitor.submit_queue(&queue).unwrap();
+    assert!(outcomes[0].executed(), "Example 4 through the full pipeline");
+    // The resulting policy is a refinement of what explicit-mode granting
+    // of the held privilege would have produced.
+    let (uni_after, after) = monitor.snapshot();
+    let bob = uni_after.find_user("bob").unwrap();
+    let staff = uni_after.find_role("staff").unwrap();
+    let mut with_staff = after.clone();
+    let dbusr2 = uni_after.find_role("dbusr2").unwrap();
+    with_staff.remove_edge(Edge::UserRole(bob, dbusr2));
+    with_staff.add_edge(Edge::UserRole(bob, staff));
+    assert!(refines(&uni_after, &with_staff, &after));
+    assert!(!refines(&uni_after, &after, &with_staff));
+}
+
+#[test]
+fn nested_delegation_through_text_and_simulation() {
+    // Alice delegates delegation: ¤(staff, ¤(bob, staff)) in text form.
+    let (mut uni, policy) = load_policy(
+        r#"policy nested {
+            users alice, bob, diana;
+            roles staff, dbusr2, so;
+            assign alice -> so;
+            assign diana -> staff;
+            inherit staff -> dbusr2;
+            perm dbusr2 -> (write, t3);
+            perm so -> grant(staff, grant(bob, staff));
+        }"#,
+    )
+    .unwrap();
+    let alice = uni.find_user("alice").unwrap();
+    let diana = uni.find_user("diana").unwrap();
+    let bob = uni.find_user("bob").unwrap();
+    let staff = uni.find_role("staff").unwrap();
+    let inner = uni.find_term(PrivTerm::Grant(Edge::UserRole(bob, staff))).unwrap();
+
+    // Two-step run: alice gives staff the inner privilege; diana (staff)
+    // exercises it.
+    let mut live = policy.clone();
+    let queue: CommandQueue = [
+        Command::grant(alice, Edge::RolePriv(staff, inner)),
+        Command::grant(diana, Edge::UserRole(bob, staff)),
+    ]
+    .into_iter()
+    .collect();
+    let trace = run(&mut uni, &mut live, &queue, AuthMode::Explicit);
+    assert_eq!(trace.executed_count(), 2);
+    assert!(live.contains_edge(Edge::UserRole(bob, staff)));
+}

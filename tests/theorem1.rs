@@ -1,0 +1,219 @@
+//! E8 — Theorem 1, validated empirically against the bounded
+//! administrative-refinement checker, case by case and end-to-end on
+//! generated policies. Also exercises the D2 design decision (the two
+//! quantifier readings of Definition 7).
+
+use adminref_core::prelude::*;
+use adminref_core::simulation::{SimulationConfig, SimulationDirection};
+use adminref_workloads::{hospital_fig2, inject_admin_privs, AdminSpec};
+
+fn check(uni: &Universe, phi: &Policy, psi: &Policy, len: usize) -> bool {
+    check_admin_refinement(
+        uni,
+        phi,
+        psi,
+        SimulationConfig {
+            max_queue_len: len,
+            ..SimulationConfig::default()
+        },
+    )
+    .holds()
+}
+
+/// Theorem 1, rule (2) case: ¤(v2,v3) replaced by ¤(v1,v4) with
+/// v1 →φ v2 and v3 →φ v4.
+#[test]
+fn rule2_case_user_role() {
+    let (mut uni, phi) = hospital_fig2();
+    let bob = uni.find_user("bob").unwrap();
+    let staff = uni.find_role("staff").unwrap();
+    let dbusr2 = uni.find_role("dbusr2").unwrap();
+    let hr = uni.find_role("hr").unwrap();
+    let p = uni.grant_user_role(bob, staff);
+    let q = uni.grant_user_role(bob, dbusr2);
+    let order = PrivilegeOrder::new(&uni, &phi, OrderingMode::Extended);
+    assert!(order.is_weaker(p, q));
+    drop(order);
+    let psi = weaken_assignment(&phi, (hr, p), q);
+    assert!(check(&uni, &phi, &psi, 2));
+}
+
+/// Theorem 1, rule (2) with a role-role source: ¤(r2,r3) ⊑ ¤(r1,r4).
+#[test]
+fn rule2_case_role_role() {
+    let (mut uni, mut phi) = hospital_fig2();
+    let staff = uni.find_role("staff").unwrap();
+    let nurse = uni.find_role("nurse").unwrap();
+    let prntusr = uni.find_role("prntusr").unwrap();
+    let hr = uni.find_role("hr").unwrap();
+    // φ: hr may add the RH edge staff → nurse.
+    let p = uni.grant_role_role(staff, nurse);
+    phi.add_edge(Edge::RolePriv(hr, p));
+    // ψ: the weaker ¤(staff, prntusr) instead (nurse →φ prntusr).
+    let q = uni.grant_role_role(staff, prntusr);
+    let order = PrivilegeOrder::new(&uni, &phi, OrderingMode::Extended);
+    assert!(order.is_weaker(p, q));
+    drop(order);
+    let psi = weaken_assignment(&phi, (hr, p), q);
+    assert!(check(&uni, &phi, &psi, 2));
+}
+
+/// Theorem 1, rule (3) case: nested privileges.
+#[test]
+fn rule3_case_nested() {
+    let (mut uni, mut phi) = hospital_fig2();
+    let bob = uni.find_user("bob").unwrap();
+    let staff = uni.find_role("staff").unwrap();
+    let dbusr2 = uni.find_role("dbusr2").unwrap();
+    let so = uni.find_role("so").unwrap();
+    let inner_p = uni.grant_user_role(bob, staff);
+    let inner_q = uni.grant_user_role(bob, dbusr2);
+    let p = uni.grant_role_priv(staff, inner_p);
+    let q = uni.grant_role_priv(staff, inner_q);
+    phi.add_edge(Edge::RolePriv(so, p));
+    let order = PrivilegeOrder::new(&uni, &phi, OrderingMode::Extended);
+    assert!(order.is_weaker(p, q));
+    drop(order);
+    let psi = weaken_assignment(&phi, (so, p), q);
+    // Depth-2 privileges need queue length 2 to expose two-step attacks;
+    // keep the policy small enough by bounding at 2.
+    assert!(check(&uni, &phi, &psi, 2));
+}
+
+/// The converse direction must fail: strengthening is refutable.
+#[test]
+fn strengthening_fails_with_witness() {
+    let (mut uni, mut phi) = hospital_fig2();
+    let bob = uni.find_user("bob").unwrap();
+    let staff = uni.find_role("staff").unwrap();
+    let dbusr2 = uni.find_role("dbusr2").unwrap();
+    let hr = uni.find_role("hr").unwrap();
+    // φ holds the weak privilege; ψ the strong one.
+    let weak = uni.grant_user_role(bob, dbusr2);
+    let strong = uni.grant_user_role(bob, staff);
+    phi.remove_edge(Edge::RolePriv(
+        hr,
+        uni.find_term(PrivTerm::Grant(Edge::UserRole(bob, staff))).unwrap(),
+    ));
+    phi.add_edge(Edge::RolePriv(hr, weak));
+    let psi = weaken_assignment(&phi, (hr, weak), strong);
+    let out = check_admin_refinement(
+        &uni,
+        &phi,
+        &psi,
+        SimulationConfig {
+            max_queue_len: 1,
+            ..SimulationConfig::default()
+        },
+    );
+    match out {
+        SimulationOutcome::Fails(ce) => {
+            assert_eq!(ce.queue.len(), 1);
+            let cmd = ce.queue.commands()[0];
+            assert_eq!(cmd.edge, Edge::UserRole(bob, staff));
+        }
+        SimulationOutcome::HoldsUpTo(_) => panic!("strengthening must be refuted"),
+    }
+}
+
+/// Theorem 1 on a batch of generated policies: every ⊑-weakening of every
+/// assigned grant passes the bounded check.
+#[test]
+fn random_weakenings_hold() {
+    use adminref_workloads::{chain, populate_users};
+    for seed in 0..4u64 {
+        let mut h = chain(4);
+        let users = populate_users(&mut h, 2, 1, seed);
+        let roles: Vec<RoleId> = h.layers.iter().flatten().copied().collect();
+        let assigned = inject_admin_privs(
+            &mut h.universe,
+            &mut h.policy,
+            &users,
+            &roles,
+            AdminSpec {
+                count: 3,
+                max_depth: 1,
+                grant_ratio: 1.0,
+                seed,
+            },
+        );
+        let mut uni = h.universe;
+        let phi = h.policy;
+        // Candidate weaker terms: one per assigned grant, shifting the
+        // target one role down the chain when possible.
+        for (holder, p) in assigned {
+            let PrivTerm::Grant(edge) = uni.term(p) else {
+                continue;
+            };
+            let weaker_edge = match edge {
+                Edge::UserRole(u, r) if (r.0 as usize) + 1 < roles.len() => {
+                    Edge::UserRole(u, RoleId(r.0 + 1))
+                }
+                Edge::RoleRole(a, b) if (b.0 as usize) + 1 < roles.len() => {
+                    Edge::RoleRole(a, RoleId(b.0 + 1))
+                }
+                _ => continue,
+            };
+            let q = uni.priv_grant(weaker_edge);
+            let order = PrivilegeOrder::new(&uni, &phi, OrderingMode::Extended);
+            let is_weaker = order.is_weaker(p, q);
+            drop(order);
+            if !is_weaker {
+                continue;
+            }
+            let psi = weaken_assignment(&phi, (holder, p), q);
+            assert!(
+                check(&uni, &phi, &psi, 2),
+                "Theorem 1 refuted at seed {seed} for {p:?} → {q:?}"
+            );
+        }
+    }
+}
+
+/// D2 — the two quantifier readings differ observably: dropping all of
+/// ψ's authority holds under both; the literal reading additionally
+/// accepts some ψ that the simulation reading rejects… and vice versa, a
+/// strengthened ψ is rejected by the simulation reading even when the
+/// literal reading accepts it.
+#[test]
+fn definition7_direction_comparison() {
+    let (mut uni, phi) = hospital_fig2();
+    let bob = uni.find_user("bob").unwrap();
+    let staff = uni.find_role("staff").unwrap();
+    let hr = uni.find_role("hr").unwrap();
+    let held = uni.find_term(PrivTerm::Grant(Edge::UserRole(bob, staff))).unwrap();
+    // ψ instead lets HR hand the (write, t3) permission to *nurse* — a
+    // policy change no φ-queue can mimic (nurses never reach write-t3 in
+    // any φ-reachable policy).
+    let nurse = uni.find_role("nurse").unwrap();
+    let write_t3 = uni.perm("write", "t3");
+    let perm_priv = uni.priv_perm(write_t3);
+    let strong = uni.grant_role_priv(nurse, perm_priv);
+    let psi = weaken_assignment(&phi, (hr, held), strong);
+    let simulation = check_admin_refinement(
+        &uni,
+        &phi,
+        &psi,
+        SimulationConfig {
+            max_queue_len: 1,
+            direction: SimulationDirection::Simulation,
+            allow_noop: true,
+        },
+    );
+    assert!(!simulation.holds(), "simulation reading rejects");
+    let literal = check_admin_refinement(
+        &uni,
+        &phi,
+        &psi,
+        SimulationConfig {
+            max_queue_len: 1,
+            direction: SimulationDirection::LiteralText,
+            allow_noop: true,
+        },
+    );
+    // Under the literal text, ψ only needs *some* queue staying below
+    // whatever φ does — it can always answer with a no-op, so the
+    // strengthened ψ is (vacuously) accepted. This is exactly why we read
+    // Definition 7 the other way (see DESIGN.md D2).
+    assert!(literal.holds(), "literal reading is too weak");
+}
