@@ -1,0 +1,237 @@
+//! Minimal, dependency-free stand-in for the `bytes` crate.
+//!
+//! Provides the reader/writer traits and the two buffer types the store's
+//! codec uses. Buffers are contiguous (`chunk()` always returns everything
+//! remaining), which keeps the provided `Buf` methods simple.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// Sequential reader over a byte buffer (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The remaining bytes (this implementation is always contiguous).
+    fn chunk(&self) -> &[u8];
+    /// Consumes `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// `true` iff any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte. Panics if empty.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 on empty buffer");
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Fills `dst` from the front of the buffer. Panics if short.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice out of bounds");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Sequential writer onto a growable buffer (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A growable byte buffer that freezes into an immutable [`Bytes`].
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Converts into an immutable, cheaply sliceable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.inner)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.inner.push(b);
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+/// An immutable, reference-counted byte buffer with a consuming cursor
+/// (subset of `bytes::Bytes`; also implements [`Buf`]).
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    fn from_vec(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Remaining length of this view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` iff the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view of the current view; shares the underlying storage.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::from_vec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_freeze() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_slice(&[2, 3, 4]);
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 1);
+        let mut rest = [0u8; 3];
+        r.copy_to_slice(&mut rest);
+        assert_eq!(rest, [2, 3, 4]);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slices_share_storage_and_are_relative() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"abcdef");
+        let bytes = b.freeze();
+        let mid = bytes.slice(2..5);
+        assert_eq!(&mid[..], b"cde");
+        let inner = mid.slice(1..);
+        assert_eq!(&inner[..], b"de");
+    }
+
+    #[test]
+    fn slice_of_slice_after_advance() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"0123456789");
+        let mut bytes = b.freeze();
+        bytes.advance(4);
+        assert_eq!(bytes.len(), 6);
+        assert_eq!(&bytes.slice(0..2)[..], b"45");
+    }
+}

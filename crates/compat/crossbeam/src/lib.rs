@@ -1,0 +1,55 @@
+//! Minimal, dependency-free stand-in for `crossbeam`'s scoped threads,
+//! implemented on `std::thread::scope` (stable since 1.63).
+//!
+//! Only the shape this workspace uses is provided: `crossbeam::scope(|s| {
+//! s.spawn(|_| ...); ... }).unwrap()`. The spawn closure's argument is a
+//! unit placeholder (callers here always write `|_|`), and a child panic
+//! propagates as a panic from `scope` rather than as `Err` — equivalent
+//! for tests, which unwrap the result anyway.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+use std::thread;
+
+/// A scope handle for spawning threads that may borrow from the caller.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure argument is a placeholder so
+    /// call sites written for crossbeam (`|_| ...`) compile unchanged.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Runs `f` with a scope; all spawned threads are joined before returning.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,93 @@
+//! Minimal, dependency-free stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` locks with parking_lot's non-poisoning API: `read()`
+//! / `write()` / `lock()` return guards directly, recovering the data if a
+//! previous holder panicked.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader-writer lock whose guards never surface poisoning.
+#[derive(Default, Debug)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A mutual-exclusion lock whose guard never surfaces poisoning.
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_read_write() {
+        let lock = RwLock::new(1);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 2);
+        assert_eq!(lock.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_lock() {
+        let m = Mutex::new(vec![1]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+}

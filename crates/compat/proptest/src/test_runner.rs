@@ -1,0 +1,66 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Reports the failing case's number and generated inputs if the test
+/// body panics (dropped during unwinding); silent on success.
+pub struct CaseGuard {
+    case: u32,
+    inputs: String,
+}
+
+impl CaseGuard {
+    /// Arms a guard for one generated case.
+    pub fn new(case: u32, inputs: String) -> Self {
+        CaseGuard { case, inputs }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("proptest: case #{} failed with inputs: {}", self.case, self.inputs);
+        }
+    }
+}
+
+/// The RNG handed to strategies; seeded deterministically per test.
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Seeds from the test name (FNV-1a), so each test has its own
+    /// reproducible stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The workspace builds fully offline, so instead of the real `rand` this
+//! path crate provides exactly the surface the generators use:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::random_bool` and
+//! `Rng::random_range` over integer ranges. The generator is SplitMix64:
+//! deterministic, seedable, and statistically fine for workload synthesis
+//! (nothing here is cryptographic).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Concrete generators.
+pub mod rngs {
+    /// A deterministic 64-bit generator (SplitMix64 under the hood).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed. Same seed, same stream.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// Random-value methods (subset of `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit output feeding every derived method.
+    fn next_u64(&mut self) -> u64;
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A uniform value in `range`. Panics on an empty range.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform value.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as u128) - (self.start as u128);
+                // Modulo bias is < 2^-64 * width: irrelevant for workloads.
+                self.start + (rng.next_u64() as u128 % width) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi as u128) - (lo as u128) + 1;
+                lo + (rng.next_u64() as u128 % width) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(1u32..=4);
+            assert!((1..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+    }
+}
