@@ -1,0 +1,250 @@
+//! Minimal, dependency-free stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches use (`Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `Bencher::iter`,
+//! `Bencher::iter_with_setup`, `criterion_group!`, `criterion_main!`)
+//! with a simple wall-clock measurement loop: a short warm-up, then a
+//! fixed batch of timed iterations, reporting mean ns/iter (and
+//! elements/s when a throughput was declared). No statistics, no HTML
+//! reports — but `cargo bench` runs and prints comparable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box to pessimize constant folding.
+pub use std::hint::black_box;
+
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("## {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (measurement time hint).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares how much work one iteration performs; subsequent
+    /// benchmarks report a rate alongside the time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { measured: None };
+        // The Bencher's own loop calibrates (one warm call) then measures.
+        f(&mut bencher);
+        report(&self.name, &id, bencher.measured, self.throughput);
+        self
+    }
+
+    /// Benchmarks a closure parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &BenchmarkId, measured: Option<(Duration, u64)>, tp: Option<Throughput>) {
+    match measured {
+        Some((elapsed, iters)) if iters > 0 => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            let rate = match tp {
+                Some(Throughput::Elements(n)) if ns > 0.0 => {
+                    format!("  ({:.0} elem/s)", n as f64 * 1e9 / ns)
+                }
+                Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                    format!("  ({:.0} B/s)", n as f64 * 1e9 / ns)
+                }
+                _ => String::new(),
+            };
+            eprintln!("{group}/{id}: {ns:.1} ns/iter{rate}");
+        }
+        _ => eprintln!("{group}/{id}: no measurement"),
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function-name + parameter id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm call (first-touch allocation, caches), then batches until
+        // the measurement target is reached, so fast routines still get a
+        // full measurement window.
+        black_box(routine());
+        let mut iters = 0u64;
+        let mut batch = 1u64;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+            if start.elapsed() >= MEASURE_TARGET {
+                break;
+            }
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+
+    /// Times `routine` on fresh setup output, excluding setup cost.
+    pub fn iter_with_setup<S, O, FS, F>(&mut self, mut setup: FS, mut routine: F)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        // Warm call, then one setup+measure per iteration (setup excluded
+        // from the timing) until the target window is filled. Setup can
+        // dwarf the routine, so also bound total wall clock.
+        let input = setup();
+        black_box(routine(input));
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while total < MEASURE_TARGET && wall.elapsed() < 4 * MEASURE_TARGET {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((total, iters.max(1)));
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group (for `[[bench]] harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("add", 3), &3u64, |b, &n| {
+            b.iter_with_setup(|| n, |n| n + 1)
+        });
+        group.finish();
+    }
+}
