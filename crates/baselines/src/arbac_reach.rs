@@ -8,18 +8,23 @@
 //! * [`reachable_roles_monotone`] — positive preconditions and no
 //!   revocation: role sets only grow, so a least fixpoint computes exact
 //!   reachability in polynomial time;
-//! * [`role_reachable_bounded`] — the general case, explored by BFS over
-//!   explicit-membership states with a state cap (sound for “reachable”
-//!   answers, bounded for “not found within the cap”).
+//! * [`role_reachable_bounded`] — the general case, explored on the
+//!   shared compact-state engine ([`adminref_core::search`]): membership
+//!   states are role bitsets interned in the state arena, frontier
+//!   expansion optionally fans out over worker threads, and the
+//!   paper-vs-ARBAC comparison benches therefore measure the same
+//!   machinery on both sides.
 //!
 //! Both make ARBAC's *separate administration* assumption: administrative
 //! memberships are fixed, so some administrator is always available to
 //! apply a rule whose target-user precondition is met.
 
-use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::collections::BTreeSet;
 
 use adminref_core::closure::RoleClosure;
 use adminref_core::ids::RoleId;
+use adminref_core::search::arena::{clear_bit, for_each_set_bit, set_bit, test_bit};
+use adminref_core::search::{search, CandidateSet, SearchLimits, SearchOutcome, StateSpace};
 
 use crate::arbac::{CanAssign, CanRevoke, Prereq};
 
@@ -33,7 +38,7 @@ pub enum BoundedAnswer {
     },
     /// Exhaustively refuted within the explored state space.
     Unreachable,
-    /// The state cap was hit before the space was exhausted.
+    /// A bound was hit before the space was exhausted.
     Unknown,
 }
 
@@ -48,7 +53,7 @@ fn implicit(closure: &RoleClosure, explicit: &BTreeSet<RoleId>) -> BTreeSet<Role
     out
 }
 
-fn prereq_holds(prereq: &Prereq, closure: &RoleClosure, explicit: &BTreeSet<RoleId>) -> bool {
+fn prereq_holds(prereq: &Prereq, closure: &RoleClosure, explicit: &[RoleId]) -> bool {
     let member = |r: RoleId| explicit.iter().any(|&d| closure.reaches(d.0, r.0));
     prereq.eval(&member)
 }
@@ -81,8 +86,12 @@ pub fn reachable_roles_monotone(
     let mut explicit = initial.clone();
     loop {
         let mut grew = false;
+        // One snapshot per pass: a rule enabled by a role added later in
+        // the same pass simply fires on the next pass (`grew` keeps the
+        // loop going), so the fixpoint is unchanged.
+        let snapshot: Vec<RoleId> = explicit.iter().copied().collect();
         for rule in rules {
-            if !prereq_holds(&rule.prereq, closure, &explicit) {
+            if !prereq_holds(&rule.prereq, closure, &snapshot) {
                 continue;
             }
             // The rule lets us add any role in its range.
@@ -99,9 +108,132 @@ pub fn reachable_roles_monotone(
     }
 }
 
-/// Bounded BFS for the general case: can the user's membership evolve so
-/// that `goal` is held (implicitly)?
+/// One assignment or revocation step in an ARBAC plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct ArbacStep {
+    role: RoleId,
+    assign: bool,
+}
+
+/// The ARBAC membership state space: a state is the bitset of the
+/// user's *explicit* roles.
+struct ArbacSpace<'a> {
+    closure: &'a RoleClosure,
+    can_assign: &'a [CanAssign],
+    can_revoke: &'a [CanRevoke],
+    initial: &'a BTreeSet<RoleId>,
+    goal: RoleId,
+}
+
+impl ArbacSpace<'_> {
+    fn decode(&self, words: &[u64]) -> Vec<RoleId> {
+        let mut out = Vec::new();
+        for_each_set_bit(words, |b| out.push(RoleId(b as u32)));
+        out
+    }
+}
+
+impl StateSpace for ArbacSpace<'_> {
+    type Label = ArbacStep;
+
+    fn state_bits(&self) -> usize {
+        self.closure.len()
+    }
+
+    fn write_root(&self, out: &mut [u64]) {
+        for &r in self.initial {
+            set_bit(out, r.index());
+        }
+    }
+
+    fn expand(&self, state: &[u64], out: &mut CandidateSet<ArbacStep>) {
+        let explicit = self.decode(state);
+        let mut scratch = state.to_vec();
+        for rule in self.can_assign {
+            if !prereq_holds(&rule.prereq, self.closure, &explicit) {
+                continue;
+            }
+            for r in 0..self.closure.len() {
+                let role = RoleId(r as u32);
+                if !rule.range.contains(self.closure, role) || test_bit(state, r) {
+                    continue;
+                }
+                set_bit(&mut scratch, r);
+                // Incremental goal: the parent fails the goal (engine
+                // invariant), so only the newly assigned role can make
+                // the implicit closure cover it.
+                let goal = self.closure.reaches(role.0, self.goal.0);
+                out.push(
+                    ArbacStep {
+                        role,
+                        assign: true,
+                    },
+                    goal,
+                    &scratch,
+                );
+                clear_bit(&mut scratch, r);
+            }
+        }
+        for rule in self.can_revoke {
+            for &role in &explicit {
+                if !rule.range.contains(self.closure, role) {
+                    continue;
+                }
+                let r = role.index();
+                clear_bit(&mut scratch, r);
+                // Revocation shrinks the implicit closure: it can never
+                // newly satisfy the goal.
+                out.push(
+                    ArbacStep {
+                        role,
+                        assign: false,
+                    },
+                    false,
+                    &scratch,
+                );
+                set_bit(&mut scratch, r);
+            }
+        }
+    }
+}
+
+/// Bounded search for the general case: can the user's membership evolve
+/// so that `goal` is held (implicitly)?
+///
+/// Runs on the same compact-state engine as the paper-side safety
+/// analysis ([`adminref_core::safety`]): membership states are interned
+/// bitsets, and `limits.jobs` fans frontier expansion out over worker
+/// threads without changing the answer.
 pub fn role_reachable_bounded(
+    closure: &RoleClosure,
+    can_assign: &[CanAssign],
+    can_revoke: &[CanRevoke],
+    initial: &BTreeSet<RoleId>,
+    goal: RoleId,
+    limits: SearchLimits,
+) -> BoundedAnswer {
+    if implicit(closure, initial).contains(&goal) {
+        return BoundedAnswer::Reachable { steps: 0 };
+    }
+    let space = ArbacSpace {
+        closure,
+        can_assign,
+        can_revoke,
+        initial,
+        goal,
+    };
+    match search(&space, limits).0 {
+        SearchOutcome::Found { witness } => BoundedAnswer::Reachable {
+            steps: witness.len(),
+        },
+        SearchOutcome::Exhausted => BoundedAnswer::Unreachable,
+        SearchOutcome::Truncated => BoundedAnswer::Unknown,
+    }
+}
+
+/// [`role_reachable_bounded`] with the historical signature: a state cap
+/// only, sequential, unbounded depth.
+pub fn role_reachable_capped(
     closure: &RoleClosure,
     can_assign: &[CanAssign],
     can_revoke: &[CanRevoke],
@@ -109,60 +241,17 @@ pub fn role_reachable_bounded(
     goal: RoleId,
     max_states: usize,
 ) -> BoundedAnswer {
-    let start = initial.clone();
-    if implicit(closure, &start).contains(&goal) {
-        return BoundedAnswer::Reachable { steps: 0 };
-    }
-    let mut seen: HashSet<BTreeSet<RoleId>> = HashSet::new();
-    seen.insert(start.clone());
-    let mut queue: VecDeque<(BTreeSet<RoleId>, usize)> = VecDeque::new();
-    queue.push_back((start, 0));
-    let mut truncated = false;
-    while let Some((state, depth)) = queue.pop_front() {
-        // Successors: every applicable assignment and revocation.
-        let mut successors: Vec<BTreeSet<RoleId>> = Vec::new();
-        for rule in can_assign {
-            if !prereq_holds(&rule.prereq, closure, &state) {
-                continue;
-            }
-            for r in 0..closure.len() as u32 {
-                let role = RoleId(r);
-                if rule.range.contains(closure, role) && !state.contains(&role) {
-                    let mut next = state.clone();
-                    next.insert(role);
-                    successors.push(next);
-                }
-            }
-        }
-        for rule in can_revoke {
-            for &role in &state {
-                if rule.range.contains(closure, role) {
-                    let mut next = state.clone();
-                    next.remove(&role);
-                    successors.push(next);
-                }
-            }
-        }
-        for next in successors {
-            if seen.contains(&next) {
-                continue;
-            }
-            if implicit(closure, &next).contains(&goal) {
-                return BoundedAnswer::Reachable { steps: depth + 1 };
-            }
-            if seen.len() >= max_states {
-                truncated = true;
-                continue;
-            }
-            seen.insert(next.clone());
-            queue.push_back((next, depth + 1));
-        }
-    }
-    if truncated {
-        BoundedAnswer::Unknown
-    } else {
-        BoundedAnswer::Unreachable
-    }
+    role_reachable_bounded(
+        closure,
+        can_assign,
+        can_revoke,
+        initial,
+        goal,
+        SearchLimits {
+            max_states,
+            ..SearchLimits::default()
+        },
+    )
 }
 
 #[cfg(test)]
@@ -172,6 +261,13 @@ mod tests {
     use adminref_core::policy::PolicyBuilder;
     use adminref_core::reach::ReachIndex;
     use adminref_core::universe::Universe;
+
+    fn states(max_states: usize) -> SearchLimits {
+        SearchLimits {
+            max_states,
+            ..SearchLimits::default()
+        }
+    }
 
     /// Chain hierarchy pl → e1 → eng → ed plus an unrelated role q.
     fn setup() -> (Universe, RoleClosure) {
@@ -260,10 +356,17 @@ mod tests {
             range: RoleRange::closed(q, q),
         }];
         let initial: BTreeSet<RoleId> = [ed, q].into_iter().collect();
-        let ans = role_reachable_bounded(&closure, &can_assign, &can_revoke, &initial, e1, 10_000);
+        let ans = role_reachable_bounded(
+            &closure,
+            &can_assign,
+            &can_revoke,
+            &initial,
+            e1,
+            states(10_000),
+        );
         assert_eq!(ans, BoundedAnswer::Reachable { steps: 2 });
         // Without the revoke rule the goal is unreachable.
-        let ans2 = role_reachable_bounded(&closure, &can_assign, &[], &initial, e1, 10_000);
+        let ans2 = role_reachable_bounded(&closure, &can_assign, &[], &initial, e1, states(10_000));
         assert_eq!(ans2, BoundedAnswer::Unreachable);
     }
 
@@ -274,7 +377,7 @@ mod tests {
         let eng = role(&uni, "eng");
         let initial: BTreeSet<RoleId> = [eng].into_iter().collect();
         // eng implies ed via the hierarchy.
-        let ans = role_reachable_bounded(&closure, &[], &[], &initial, ed, 100);
+        let ans = role_reachable_bounded(&closure, &[], &[], &initial, ed, states(100));
         assert_eq!(ans, BoundedAnswer::Reachable { steps: 0 });
     }
 
@@ -294,8 +397,97 @@ mod tests {
             range: RoleRange::closed(q, q),
         }];
         let initial: BTreeSet<RoleId> = [ed, q].into_iter().collect();
-        let ans = role_reachable_bounded(&closure, &can_assign, &can_revoke, &initial, e1, 1);
+        let ans =
+            role_reachable_bounded(&closure, &can_assign, &can_revoke, &initial, e1, states(1));
         assert_eq!(ans, BoundedAnswer::Unknown);
+        // The historical-signature wrapper behaves identically.
+        let ans2 = role_reachable_capped(&closure, &can_assign, &can_revoke, &initial, e1, 1);
+        assert_eq!(ans2, BoundedAnswer::Unknown);
+    }
+
+    #[test]
+    fn parallel_jobs_agree_with_sequential() {
+        let (uni, closure) = setup();
+        let e1 = role(&uni, "e1");
+        let q = role(&uni, "q");
+        let ed = role(&uni, "ed");
+        let can_assign = vec![CanAssign {
+            admin_role: role(&uni, "pl"),
+            prereq: Prereq::and_not(ed, q),
+            range: RoleRange::closed(e1, e1),
+        }];
+        let can_revoke = vec![CanRevoke {
+            admin_role: role(&uni, "pl"),
+            range: RoleRange::closed(q, q),
+        }];
+        let initial: BTreeSet<RoleId> = [ed, q].into_iter().collect();
+        let seq = role_reachable_bounded(
+            &closure,
+            &can_assign,
+            &can_revoke,
+            &initial,
+            e1,
+            states(10_000),
+        );
+        for jobs in [2usize, 4] {
+            let par = role_reachable_bounded(
+                &closure,
+                &can_assign,
+                &can_revoke,
+                &initial,
+                e1,
+                SearchLimits {
+                    max_states: 10_000,
+                    jobs,
+                    ..SearchLimits::default()
+                },
+            );
+            assert_eq!(seq, par, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn depth_bound_distinguishes_cutoff_from_exhaustion() {
+        // The two-step plan (revoke q, then assign e1) needs depth 2:
+        // depth 1 cuts it off (Unknown), depth ≥ 2 finds it.
+        let (uni, closure) = setup();
+        let e1 = role(&uni, "e1");
+        let q = role(&uni, "q");
+        let ed = role(&uni, "ed");
+        let can_assign = vec![CanAssign {
+            admin_role: role(&uni, "pl"),
+            prereq: Prereq::and_not(ed, q),
+            range: RoleRange::closed(e1, e1),
+        }];
+        let can_revoke = vec![CanRevoke {
+            admin_role: role(&uni, "pl"),
+            range: RoleRange::closed(q, q),
+        }];
+        let initial: BTreeSet<RoleId> = [ed, q].into_iter().collect();
+        let shallow = role_reachable_bounded(
+            &closure,
+            &can_assign,
+            &can_revoke,
+            &initial,
+            e1,
+            SearchLimits {
+                max_depth: 1,
+                ..SearchLimits::default()
+            },
+        );
+        assert_eq!(shallow, BoundedAnswer::Unknown);
+        let deep = role_reachable_bounded(
+            &closure,
+            &can_assign,
+            &can_revoke,
+            &initial,
+            e1,
+            SearchLimits {
+                max_depth: 2,
+                ..SearchLimits::default()
+            },
+        );
+        assert_eq!(deep, BoundedAnswer::Reachable { steps: 2 });
     }
 
     #[test]
@@ -321,7 +513,7 @@ mod tests {
         for r in 0..closure.len() as u32 {
             let goal = RoleId(r);
             let bounded =
-                role_reachable_bounded(&closure, &rules, &[], &initial, goal, 100_000);
+                role_reachable_bounded(&closure, &rules, &[], &initial, goal, states(100_000));
             let in_fixpoint = implicit(&closure, &fixpoint).contains(&goal);
             match bounded {
                 BoundedAnswer::Reachable { .. } => assert!(in_fixpoint, "role {r}"),

@@ -1,0 +1,145 @@
+//! S1 — Safety-search engine cost: the compact-state parallel engine of
+//! `adminref_core::search` against the seed's clone-based BFS
+//! (`find_reachable_clone`), and sequential vs parallel frontier
+//! expansion. The question asked is an unreachable `perm_reachable`, so
+//! every series pays for the same full bounded exploration instead of
+//! short-circuiting on a witness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adminref_bench::{sized, table_row};
+use adminref_core::ids::Entity;
+use adminref_core::reach::ReachIndex;
+use adminref_core::safety::{find_reachable_clone, perm_reachable, SafetyConfig};
+use adminref_workloads::{deep_delegation, DelegationSpec};
+
+/// Clone-based vs compact-state on the sized layered workloads: one
+/// full frontier round (`max_steps = 1`) over the complete command
+/// alphabet — the per-candidate cost gap (policy clone + full-policy
+/// hash + per-command graph walk vs one index per state + bit flips).
+fn compact_vs_clone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("S1_compact_vs_clone");
+    group.sample_size(10);
+    for &roles in &[128usize, 512] {
+        let mut w = sized(roles, 11);
+        let user = w.users[0];
+        let never = w.universe.perm("open", "no-such-vault");
+        let target = w.universe.priv_perm(never);
+        let config = SafetyConfig {
+            max_steps: 1,
+            max_states: 100_000,
+            ..SafetyConfig::default()
+        };
+        table_row(
+            "S1a",
+            &format!("roles={roles}"),
+            &format!("edges={}", w.policy.edge_count()),
+        );
+        group.bench_with_input(BenchmarkId::new("clone", roles), &roles, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(find_reachable_clone(
+                    &mut w.universe,
+                    &w.policy,
+                    config,
+                    |u, p| ReachIndex::build(u, p).reach_priv(Entity::User(user), target),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("compact_seq", roles), &roles, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(perm_reachable(
+                    &mut w.universe,
+                    &w.policy,
+                    Entity::User(user),
+                    never,
+                    config,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("compact_par", roles), &roles, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(perm_reachable(
+                    &mut w.universe,
+                    &w.policy,
+                    Entity::User(user),
+                    never,
+                    SafetyConfig { jobs: 0, ..config },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Sequential vs parallel frontier expansion where the frontier is wide
+/// enough to matter: two rounds over the sized(128) workload under a
+/// state cap, and a deep-delegation chain whose frontier growth is
+/// combinatorial.
+fn sequential_vs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("S1_seq_vs_par");
+    group.sample_size(10);
+    {
+        let mut w = sized(128, 11);
+        let user = w.users[0];
+        let never = w.universe.perm("open", "no-such-vault");
+        let base = SafetyConfig {
+            max_steps: 2,
+            max_states: 192,
+            ..SafetyConfig::default()
+        };
+        for &jobs in &[1usize, 0] {
+            let label = if jobs == 1 { "jobs1" } else { "jobsN" };
+            group.bench_with_input(
+                BenchmarkId::new(label, "sized128"),
+                &jobs,
+                |b, &jobs| {
+                    b.iter(|| {
+                        std::hint::black_box(perm_reachable(
+                            &mut w.universe,
+                            &w.policy,
+                            Entity::User(user),
+                            never,
+                            SafetyConfig { jobs, ..base },
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    {
+        let mut w = deep_delegation(DelegationSpec {
+            depth: 4,
+            fanout: 4,
+        });
+        let worker = w.workers[0];
+        let never = w.universe.perm("launch", "missiles");
+        let base = SafetyConfig {
+            max_steps: 5,
+            max_states: 20_000,
+            ..SafetyConfig::default()
+        };
+        table_row("S1b", "deep_delegation d=4 f=4", "arena-stress series");
+        for &jobs in &[1usize, 0] {
+            let label = if jobs == 1 { "jobs1" } else { "jobsN" };
+            group.bench_with_input(
+                BenchmarkId::new(label, "delegation"),
+                &jobs,
+                |b, &jobs| {
+                    b.iter(|| {
+                        std::hint::black_box(perm_reachable(
+                            &mut w.universe,
+                            &w.policy,
+                            Entity::User(worker),
+                            never,
+                            SafetyConfig { jobs, ..base },
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, compact_vs_clone, sequential_vs_parallel);
+criterion_main!(benches);

@@ -10,6 +10,7 @@
 //! adminref run      <policy.rbac> <queue.rbacq> [--ordered] [--store DIR]
 //! adminref refines  <policy-a.rbac> <policy-b.rbac>
 //! adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
+//!                   [--max-states N] [--jobs N]
 //! ```
 //!
 //! Policies use the `adminref-lang` syntax; privileges on the command
@@ -49,7 +50,8 @@ const USAGE: &str = "usage:
   adminref weaker   <policy.rbac> '<priv>' [--depth N]
   adminref run      <policy.rbac> <queue.rbacq> [--ordered] [--store DIR]
   adminref refines  <policy-a.rbac> <policy-b.rbac>
-  adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]";
+  adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
+                    [--max-states N] [--jobs N]   (--jobs 0 = all cores)";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -275,6 +277,14 @@ fn cmd_reach(rest: &[&String]) -> Result<(), String> {
         Some(v) => v.parse::<usize>().map_err(|e| e.to_string())?,
         None => 3,
     };
+    let max_states = match flag_value(rest, "--max-states") {
+        Some(v) => v.parse::<usize>().map_err(|e| e.to_string())?,
+        None => SafetyConfig::default().max_states,
+    };
+    let jobs = match flag_value(rest, "--jobs") {
+        Some(v) => v.parse::<usize>().map_err(|e| e.to_string())?,
+        None => SafetyConfig::default().jobs,
+    };
     let mode = if flag(rest, "--ordered") {
         AuthMode::Ordered(OrderingMode::Extended)
     } else {
@@ -287,7 +297,9 @@ fn cmd_reach(rest: &[&String]) -> Result<(), String> {
         perm,
         SafetyConfig {
             max_steps: steps,
+            max_states,
             auth_mode: mode,
+            jobs,
             ..SafetyConfig::default()
         },
     );
@@ -304,11 +316,11 @@ fn cmd_reach(rest: &[&String]) -> Result<(), String> {
             Ok(())
         }
         ReachabilityAnswer::Unreachable => {
-            println!("UNREACHABLE within {steps} steps (exhaustive)");
+            println!("UNREACHABLE: the whole reachable space was explored (within {steps} step(s))");
             Ok(())
         }
         ReachabilityAnswer::Unknown => {
-            println!("UNKNOWN: bounds exhausted before the space was");
+            println!("UNKNOWN: a bound cut the search off before the space was exhausted");
             Ok(())
         }
     }

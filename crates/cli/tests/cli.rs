@@ -124,6 +124,36 @@ fn reach_finds_witness() {
 }
 
 #[test]
+fn reach_parallel_jobs_and_bounds() {
+    // --jobs fans frontier expansion out over worker threads without
+    // changing the answer or the witness.
+    let out = bin()
+        .args(["reach", &hospital(), "bob", "write", "t3", "--jobs", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REACHABLE in 1 step(s)"), "{text}");
+    assert!(text.contains("cmd(jane, grant, bob -> staff);"), "{text}");
+    // A tiny state cap forces an inconclusive answer.
+    let out = bin()
+        .args([
+            "reach",
+            &hospital(),
+            "bob",
+            "launch",
+            "missiles",
+            "--max-states",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("UNKNOWN"), "{text}");
+}
+
+#[test]
 fn weaker_lists_downset() {
     let out = bin()
         .args(["weaker", &hospital(), "grant(bob, staff)", "--depth", "1"])

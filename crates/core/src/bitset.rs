@@ -114,6 +114,16 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Grows the capacity to at least `len` bits, keeping contents.
+    /// Shrinking requests are ignored — capacity never decreases.
+    pub fn grow(&mut self, len: usize) {
+        if len <= self.len {
+            return;
+        }
+        self.words.resize(len.div_ceil(WORD_BITS), 0);
+        self.len = len;
+    }
+
     /// Iterates set bits in increasing order.
     pub fn iter(&self) -> BitIter<'_> {
         BitIter {
@@ -263,6 +273,20 @@ mod tests {
         assert_eq!(s.capacity(), 8);
         assert!(s.contains(7) && s.contains(1) && s.contains(3));
         assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn grow_keeps_contents() {
+        let mut s = BitSet::new(3);
+        s.insert(2);
+        s.grow(200);
+        assert_eq!(s.capacity(), 200);
+        assert!(s.contains(2));
+        assert!(s.insert(199));
+        s.grow(10); // shrinking request: no-op
+        assert_eq!(s.capacity(), 200);
+        assert!(s.contains(199));
+        assert_eq!(s.count(), 2);
     }
 
     #[test]

@@ -46,8 +46,10 @@
 //! assert!(order.is_weaker(held, weaker));
 //! ```
 //!
-//! The crate has no dependencies; every substrate (interning, bitsets,
-//! SCC/closure, reachability) is implemented here.
+//! Every substrate (interning, bitsets, SCC/closure, reachability, the
+//! compact-state search engine) is implemented here; the only
+//! dependencies are the workspace's vendored `crossbeam`/`parking_lot`
+//! shims used for the parallel frontier expansion in [`search`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -65,6 +67,7 @@ pub mod policy;
 pub mod reach;
 pub mod refinement;
 pub mod safety;
+pub mod search;
 pub mod session;
 pub mod simulation;
 pub mod transition;
@@ -85,7 +88,10 @@ pub mod prelude {
     pub use crate::refinement::{
         equivalent, refinement_violations, refines, weaken_assignment, RefinementViolation,
     };
-    pub use crate::safety::{find_reachable, perm_reachable, ReachabilityAnswer, SafetyConfig};
+    pub use crate::safety::{
+        find_reachable, find_reachable_clone, perm_reachable, ReachabilityAnswer, SafetyConfig,
+    };
+    pub use crate::search::{SearchLimits, SearchOutcome, SearchStats};
     pub use crate::session::{Session, SessionError};
     pub use crate::simulation::{
         check_admin_refinement, command_alphabet, SimulationConfig, SimulationDirection,

@@ -33,11 +33,16 @@ pub fn reaches(policy: &Policy, from: Node, to: Node) -> bool {
     if matches!(to, Node::User(_)) {
         return false;
     }
-    let mut seen_roles: Vec<RoleId> = Vec::new();
+    // Visited roles as a bitset keyed by role index, grown on demand:
+    // `Vec::contains` here made the walk O(V²) on thousands-of-roles
+    // hierarchies.
+    let mut seen_roles = BitSet::new(0);
     let mut queue: Vec<RoleId> = Vec::new();
-    let push = |r: RoleId, seen: &mut Vec<RoleId>, queue: &mut Vec<RoleId>| {
-        if !seen.contains(&r) {
-            seen.push(r);
+    let push = |r: RoleId, seen: &mut BitSet, queue: &mut Vec<RoleId>| {
+        if r.index() >= seen.capacity() {
+            seen.grow(r.index() + 1);
+        }
+        if seen.insert(r.index()) {
             queue.push(r);
         }
     };

@@ -9,17 +9,47 @@
 //! them. The state space is exponential, so the analysis is bounded by
 //! step count and state count; positive answers come with a concrete
 //! witness queue.
+//!
+//! # Engine
+//!
+//! The search runs on [`crate::search`]: every reachable policy differs
+//! from the root only on the finite edge alphabet, so states are encoded
+//! as **edge bitsets** interned in a state arena — `seen` and the parent
+//! links hold `u32` indices, not policy clones, and witnesses are
+//! rebuilt by walking parent indices. Each frontier policy is
+//! materialised once per expansion: one [`ReachIndex`] (plus one
+//! privilege order under ordered authorization) answers authorization
+//! for the whole alphabet, and the `perm_reachable` goal is evaluated
+//! incrementally from the parent's index instead of rebuilding an index
+//! per candidate. Frontier expansion fans out over scoped worker
+//! threads ([`SafetyConfig::jobs`]); answers and witnesses are
+//! identical for every `jobs` setting.
+//!
+//! # Answer semantics
+//!
+//! * [`ReachabilityAnswer::Reachable`] — a shortest witness queue was
+//!   found within the bounds.
+//! * [`ReachabilityAnswer::Unreachable`] — the *entire* reachable space
+//!   was explored without hitting the goal. This is exact, not bounded:
+//!   it is reported even when the bounds were just large enough.
+//! * [`ReachabilityAnswer::Unknown`] — an unseen successor was actually
+//!   cut off by `max_steps` or `max_states` before exhaustion.
+//!
+//! The clone-based breadth-first search the engine replaced is kept as
+//! [`find_reachable_clone`] — same answers, same witnesses — as the
+//! differential-testing and benchmarking baseline.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::command::{Command, CommandQueue};
 use crate::enumerate::{enumerate_weaker, EnumerationConfig};
-use crate::ids::{Entity, Perm};
+use crate::ids::{Entity, Perm, PrivId};
 use crate::ordering::OrderingMode;
 use crate::policy::Policy;
 use crate::reach::ReachIndex;
+use crate::search::{search, PolicySearch, SearchGoal, SearchLimits, SearchOutcome};
 use crate::simulation::command_alphabet;
-use crate::transition::{step, AuthMode};
+use crate::transition::{required_privilege, step, AuthMode};
 use crate::universe::Universe;
 
 /// Bounds for the reachability search.
@@ -35,6 +65,9 @@ pub struct SafetyConfig {
     /// in ordered mode (ignored under explicit authorization). `None`
     /// uses the Remark 2 bound (longest `RH` chain).
     pub weaker_depth: Option<u32>,
+    /// Worker threads for frontier expansion: `1` is sequential, `0`
+    /// uses all available cores. Answers are identical either way.
+    pub jobs: usize,
 }
 
 impl Default for SafetyConfig {
@@ -44,6 +77,18 @@ impl Default for SafetyConfig {
             max_states: 50_000,
             auth_mode: AuthMode::Explicit,
             weaker_depth: None,
+            jobs: 1,
+        }
+    }
+}
+
+impl SafetyConfig {
+    /// The search-engine limits this configuration induces.
+    fn limits(&self) -> SearchLimits {
+        SearchLimits {
+            max_depth: self.max_steps,
+            max_states: self.max_states,
+            jobs: self.jobs,
         }
     }
 }
@@ -56,9 +101,9 @@ pub enum ReachabilityAnswer {
         /// The queue, front first.
         witness: CommandQueue,
     },
-    /// Exhaustively refuted within the bounds.
+    /// Exhaustively refuted: the whole reachable space was explored.
     Unreachable,
-    /// A bound was hit before exhaustion.
+    /// An unseen successor was cut off by a bound before exhaustion.
     Unknown,
 }
 
@@ -79,10 +124,22 @@ pub fn perm_reachable(
     config: SafetyConfig,
 ) -> ReachabilityAnswer {
     let target = universe.priv_perm(perm);
-    find_reachable(universe, policy, config, |uni, candidate| {
-        let idx = ReachIndex::build(uni, candidate);
-        idx.reach_priv(entity, target)
-    })
+    let root_index = ReachIndex::build(universe, policy);
+    if root_index.reach_priv(entity, target) {
+        return ReachabilityAnswer::Reachable {
+            witness: CommandQueue::new(),
+        };
+    }
+    let alphabet = prepare_alphabet(universe, policy, config);
+    let space = PolicySearch::new(
+        universe,
+        policy,
+        &alphabet,
+        config.auth_mode,
+        SearchGoal::Priv { entity, target },
+        root_index,
+    );
+    run_engine(&space, config)
 }
 
 /// Breadth-first search for a reachable policy satisfying `goal`.
@@ -93,6 +150,63 @@ pub fn perm_reachable(
 /// assigned vertex, up to the configured depth — those are exactly the
 /// extra commands ordered mode can authorize.
 pub fn find_reachable(
+    universe: &mut Universe,
+    policy: &Policy,
+    config: SafetyConfig,
+    goal: impl Fn(&Universe, &Policy) -> bool + Sync,
+) -> ReachabilityAnswer {
+    if goal(universe, policy) {
+        return ReachabilityAnswer::Reachable {
+            witness: CommandQueue::new(),
+        };
+    }
+    let alphabet = prepare_alphabet(universe, policy, config);
+    let root_index = ReachIndex::build(universe, policy);
+    let space = PolicySearch::new(
+        universe,
+        policy,
+        &alphabet,
+        config.auth_mode,
+        SearchGoal::Custom(&goal),
+        root_index,
+    );
+    run_engine(&space, config)
+}
+
+fn run_engine(space: &PolicySearch<'_>, config: SafetyConfig) -> ReachabilityAnswer {
+    match search(space, config.limits()).0 {
+        SearchOutcome::Found { witness } => ReachabilityAnswer::Reachable {
+            witness: CommandQueue::from_commands(witness),
+        },
+        SearchOutcome::Exhausted => ReachabilityAnswer::Unreachable,
+        SearchOutcome::Truncated => ReachabilityAnswer::Unknown,
+    }
+}
+
+/// Builds the alphabet and pre-interns each command's required
+/// privilege term, so the search itself runs on `&Universe`.
+fn prepare_alphabet(
+    universe: &mut Universe,
+    policy: &Policy,
+    config: SafetyConfig,
+) -> Vec<(Command, PrivId)> {
+    let alphabet = build_alphabet(universe, policy, config);
+    alphabet
+        .into_iter()
+        .map(|cmd| {
+            let target = required_privilege(universe, &cmd);
+            (cmd, target)
+        })
+        .collect()
+}
+
+/// The seed's clone-based breadth-first search, kept as the reference
+/// implementation: full policies in `seen`, authorization by on-the-fly
+/// graph walks. Returns the same answers (and equally long witnesses)
+/// as the compact-state engine — a property test enforces that — at a
+/// much higher per-candidate cost. Benchmarked in
+/// `benches/safety_search.rs`.
+pub fn find_reachable_clone(
     universe: &mut Universe,
     policy: &Policy,
     config: SafetyConfig,
@@ -112,7 +226,16 @@ pub fn find_reachable(
     let mut truncated = false;
     while let Some((state, depth)) = queue.pop_front() {
         if depth >= config.max_steps {
-            truncated = true;
+            // Depth bound: the state is not expanded, but only an
+            // actually cut-off (unseen) successor makes the search
+            // inconclusive — a fully explored space stays exhaustive.
+            if !truncated {
+                truncated = alphabet.iter().any(|cmd| {
+                    let mut next = state.clone();
+                    step(universe, &mut next, cmd, config.auth_mode).changed
+                        && !seen.contains(&next)
+                });
+            }
             continue;
         }
         for cmd in &alphabet {
@@ -121,17 +244,22 @@ pub fn find_reachable(
             if !outcome.changed || seen.contains(&next) {
                 continue;
             }
-            parents.insert(next.clone(), (state.clone(), *cmd));
             if goal(universe, &next) {
+                let mut witness = rebuild_witness(&parents, policy, &state);
+                witness.push(*cmd);
                 return ReachabilityAnswer::Reachable {
-                    witness: rebuild_witness(&parents, policy, &next),
+                    witness: CommandQueue::from_commands(witness),
                 };
             }
             if seen.len() >= config.max_states {
+                // Cut off by the state cap. Dropped states are *not*
+                // recorded in `parents` (the seed did, growing memory
+                // without bound past the cap).
                 truncated = true;
                 continue;
             }
             seen.insert(next.clone());
+            parents.insert(next.clone(), (state.clone(), *cmd));
             queue.push_back((next, depth + 1));
         }
     }
@@ -142,22 +270,23 @@ pub fn find_reachable(
     }
 }
 
+/// Commands leading from `start` to `end` (both retained states).
 fn rebuild_witness(
     parents: &HashMap<Policy, (Policy, Command)>,
     start: &Policy,
     end: &Policy,
-) -> CommandQueue {
+) -> Vec<Command> {
     let mut commands = Vec::new();
     let mut cursor = end.clone();
     while &cursor != start {
         let (parent, cmd) = parents
             .get(&cursor)
-            .expect("every visited state has a parent");
+            .expect("every retained state has a parent");
         commands.push(*cmd);
         cursor = parent.clone();
     }
     commands.reverse();
-    CommandQueue::from_commands(commands)
+    commands
 }
 
 fn build_alphabet(universe: &mut Universe, policy: &Policy, config: SafetyConfig) -> Vec<Command> {
@@ -209,6 +338,7 @@ fn build_alphabet(universe: &mut Universe, policy: &Policy, config: SafetyConfig
 mod tests {
     use super::*;
     use crate::policy::PolicyBuilder;
+    use crate::transition::run_pure;
     use crate::universe::Edge;
 
     /// jane∈hr holds ¤(bob, staff); staff → dbusr2 → (write, t3).
@@ -302,6 +432,108 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_search_is_unreachable_at_exact_step_bound() {
+        // Regression for the seed's truncation accounting: the only
+        // reachable change is jane granting (bob, staff); the whole
+        // space (two policies) is explored by max_steps = 1, so an
+        // unreachable goal must answer Unreachable — the seed reported
+        // Unknown whenever any state sat at the depth bound, even with
+        // every successor already seen.
+        let (mut uni, policy) = fixture();
+        let bob = uni.find_user("bob").unwrap();
+        let never = uni.perm("launch", "missiles");
+        for max_steps in [1usize, 2, 3] {
+            let answer = perm_reachable(
+                &mut uni,
+                &policy,
+                Entity::User(bob),
+                never,
+                SafetyConfig {
+                    max_steps,
+                    ..SafetyConfig::default()
+                },
+            );
+            assert!(
+                matches!(answer, ReachabilityAnswer::Unreachable),
+                "max_steps={max_steps}: {answer:?}"
+            );
+        }
+        // One step short of the only change: genuinely cut off.
+        let answer = perm_reachable(
+            &mut uni,
+            &policy,
+            Entity::User(bob),
+            never,
+            SafetyConfig {
+                max_steps: 0,
+                ..SafetyConfig::default()
+            },
+        );
+        assert!(matches!(answer, ReachabilityAnswer::Unknown), "{answer:?}");
+    }
+
+    #[test]
+    fn reference_engine_agrees_on_the_fixture() {
+        let (mut uni, policy) = fixture();
+        let bob = uni.find_user("bob").unwrap();
+        let write_t3 = uni.perm("write", "t3");
+        let target = uni.priv_perm(write_t3);
+        let reference = find_reachable_clone(
+            &mut uni,
+            &policy,
+            SafetyConfig::default(),
+            |u, p| ReachIndex::build(u, p).reach_priv(Entity::User(bob), target),
+        );
+        let engine = perm_reachable(
+            &mut uni,
+            &policy,
+            Entity::User(bob),
+            write_t3,
+            SafetyConfig::default(),
+        );
+        match (&reference, &engine) {
+            (
+                ReachabilityAnswer::Reachable { witness: a },
+                ReachabilityAnswer::Reachable { witness: b },
+            ) => assert_eq!(a.commands(), b.commands()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_jobs_do_not_change_answers() {
+        let (mut uni, policy) = fixture();
+        let bob = uni.find_user("bob").unwrap();
+        let write_t3 = uni.perm("write", "t3");
+        let baseline = perm_reachable(
+            &mut uni,
+            &policy,
+            Entity::User(bob),
+            write_t3,
+            SafetyConfig::default(),
+        );
+        for jobs in [2usize, 4, 0] {
+            let answer = perm_reachable(
+                &mut uni,
+                &policy,
+                Entity::User(bob),
+                write_t3,
+                SafetyConfig {
+                    jobs,
+                    ..SafetyConfig::default()
+                },
+            );
+            match (&baseline, &answer) {
+                (
+                    ReachabilityAnswer::Reachable { witness: a },
+                    ReachabilityAnswer::Reachable { witness: b },
+                ) => assert_eq!(a.commands(), b.commands(), "jobs={jobs}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn ordered_mode_reaches_strictly_more() {
         // Give HR only ¤(bob, staff); ask whether a policy where bob is in
         // dbusr2 *but not staff* is reachable. Explicit mode: no (only the
@@ -356,10 +588,50 @@ mod tests {
         let ReachabilityAnswer::Reachable { witness } = answer else {
             panic!();
         };
-        let final_policy =
-            crate::transition::run_pure(&mut uni, &policy, &witness, AuthMode::Explicit);
+        let final_policy = run_pure(&mut uni, &policy, &witness, AuthMode::Explicit);
         let idx = ReachIndex::build(&uni, &final_policy);
         let target = uni.priv_perm(write_t3);
         assert!(idx.reach_priv(Entity::User(bob), target));
+    }
+
+    #[test]
+    fn multi_step_witness_through_delegation() {
+        // Chained delegation exercises parent-link witness rebuilding:
+        // jane puts bob into hr2; hr2 holds ¤(joe, staff); joe then
+        // holds (write, t3) — two steps, two distinct actors.
+        let mut b = PolicyBuilder::new()
+            .assign("jane", "hr")
+            .declare_user("bob")
+            .declare_user("joe")
+            .inherit("staff", "dbusr2")
+            .permit("dbusr2", "write", "t3");
+        let (bob, joe, staff, hr2) = {
+            let u = b.universe_mut();
+            let bob = u.find_user("bob").unwrap();
+            let joe = u.find_user("joe").unwrap();
+            let staff = u.find_role("staff").unwrap();
+            let hr2 = u.role("hr2");
+            (bob, joe, staff, hr2)
+        };
+        let g1 = b.universe_mut().grant_user_role(bob, hr2);
+        let g2 = b.universe_mut().grant_user_role(joe, staff);
+        b = b.assign_priv("hr", g1);
+        let (mut uni, mut policy) = b.finish();
+        policy.add_edge(Edge::RolePriv(hr2, g2));
+        let write_t3 = uni.perm("write", "t3");
+        let answer = perm_reachable(
+            &mut uni,
+            &policy,
+            Entity::User(joe),
+            write_t3,
+            SafetyConfig::default(),
+        );
+        let ReachabilityAnswer::Reachable { witness } = answer else {
+            panic!("expected reachable");
+        };
+        assert_eq!(witness.len(), 2, "{witness:?}");
+        let final_policy = run_pure(&mut uni, &policy, &witness, AuthMode::Explicit);
+        let target = uni.priv_perm(write_t3);
+        assert!(ReachIndex::build(&uni, &final_policy).reach_priv(Entity::User(joe), target));
     }
 }

@@ -1,0 +1,264 @@
+//! Interned compact search states.
+//!
+//! A search state is a fixed-width bitset (`words_per_state` 64-bit
+//! words). The arena stores every distinct state exactly once in a single
+//! contiguous pool and hands out dense `u32` indices, so the engine's
+//! `seen` set and parent links cost four bytes per state instead of a
+//! full policy clone. Deduplication runs through a hash table from a
+//! 64-bit fingerprint to the (rarely more than one) pool indices sharing
+//! it, with full word-for-word comparison on candidates — no state is
+//! ever confused with another.
+
+use std::collections::HashMap;
+
+/// Number of 64-bit words needed to hold `bits` bits (at least one, so a
+/// zero-bit space still has a representable — empty — state).
+pub fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64).max(1)
+}
+
+/// `true` iff `bit` is set in the raw state words.
+#[inline]
+pub fn test_bit(words: &[u64], bit: usize) -> bool {
+    words[bit / 64] & (1 << (bit % 64)) != 0
+}
+
+/// Sets `bit` in the raw state words.
+#[inline]
+pub fn set_bit(words: &mut [u64], bit: usize) {
+    words[bit / 64] |= 1 << (bit % 64);
+}
+
+/// Clears `bit` in the raw state words.
+#[inline]
+pub fn clear_bit(words: &mut [u64], bit: usize) {
+    words[bit / 64] &= !(1u64 << (bit % 64));
+}
+
+/// Flips `bit` in the raw state words.
+#[inline]
+pub fn toggle_bit(words: &mut [u64], bit: usize) {
+    words[bit / 64] ^= 1 << (bit % 64);
+}
+
+/// Calls `f` with each set bit of the raw state words, lowest first.
+#[inline]
+pub fn for_each_set_bit(words: &[u64], mut f: impl FnMut(usize)) {
+    for (wi, &w) in words.iter().enumerate() {
+        let mut bits = w;
+        while bits != 0 {
+            f(wi * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// FNV-1a-style fingerprint over whole words, with a final avalanche so
+/// single-bit state deltas spread across the table.
+fn fingerprint(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+/// Outcome of [`StateArena::intern_capped`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InternOutcome {
+    /// The state was already in the arena.
+    Existing(u32),
+    /// The state was new and has been retained.
+    Interned(u32),
+    /// The state was new but the retention cap is already full.
+    CapHit,
+}
+
+/// Deduplicating store of fixed-width bitset states.
+#[derive(Debug, Clone)]
+pub struct StateArena {
+    words_per_state: usize,
+    /// All states back to back: state `i` is
+    /// `pool[i*words_per_state..(i+1)*words_per_state]`.
+    pool: Vec<u64>,
+    /// Fingerprint → indices of states with that fingerprint.
+    index: HashMap<u64, Vec<u32>>,
+}
+
+impl StateArena {
+    /// Creates an empty arena for states of `state_bits` bits.
+    pub fn new(state_bits: usize) -> Self {
+        StateArena {
+            words_per_state: words_for(state_bits),
+            pool: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Width of one state in 64-bit words.
+    pub fn words_per_state(&self) -> usize {
+        self.words_per_state
+    }
+
+    /// Number of distinct states interned.
+    pub fn len(&self) -> usize {
+        self.pool.len() / self.words_per_state
+    }
+
+    /// `true` iff no state has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// The words of state `ix`.
+    pub fn get(&self, ix: u32) -> &[u64] {
+        let start = ix as usize * self.words_per_state;
+        &self.pool[start..start + self.words_per_state]
+    }
+
+    /// Index of `words` if it was interned before.
+    pub fn lookup(&self, words: &[u64]) -> Option<u32> {
+        debug_assert_eq!(words.len(), self.words_per_state);
+        let list = self.index.get(&fingerprint(words))?;
+        list.iter().copied().find(|&ix| self.get(ix) == words)
+    }
+
+    /// Interns `words`, returning its index and whether it was new.
+    pub fn intern(&mut self, words: &[u64]) -> (u32, bool) {
+        match self.intern_capped(words, usize::MAX) {
+            InternOutcome::Existing(ix) => (ix, false),
+            InternOutcome::Interned(ix) => (ix, true),
+            InternOutcome::CapHit => unreachable!("usize::MAX cap"),
+        }
+    }
+
+    /// One-shot lookup-or-intern under a retention cap: a single
+    /// fingerprint and bucket scan decides whether the state is already
+    /// known, newly retained, or dropped because `max_states` states
+    /// are already held — the engine's hottest commit-loop operation.
+    pub fn intern_capped(&mut self, words: &[u64], max_states: usize) -> InternOutcome {
+        debug_assert_eq!(words.len(), self.words_per_state);
+        let h = fingerprint(words);
+        if let Some(list) = self.index.get(&h) {
+            if let Some(ix) = list.iter().copied().find(|&ix| self.get(ix) == words) {
+                return InternOutcome::Existing(ix);
+            }
+        }
+        if self.len() >= max_states {
+            return InternOutcome::CapHit;
+        }
+        let ix = u32::try_from(self.len()).expect("state arena overflow");
+        self.pool.extend_from_slice(words);
+        self.index.entry(h).or_default().push(ix);
+        InternOutcome::Interned(ix)
+    }
+
+    /// Bytes held by the state pool (diagnostics).
+    pub fn pool_bytes(&self) -> usize {
+        self.pool.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_sizing() {
+        assert_eq!(words_for(0), 1);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+        assert_eq!(words_for(129), 3);
+    }
+
+    #[test]
+    fn bit_helpers_round_trip() {
+        let mut words = vec![0u64; 3];
+        for bit in [0usize, 63, 64, 130] {
+            assert!(!test_bit(&words, bit));
+            set_bit(&mut words, bit);
+            assert!(test_bit(&words, bit));
+        }
+        clear_bit(&mut words, 64);
+        assert!(!test_bit(&words, 64));
+        toggle_bit(&mut words, 64);
+        assert!(test_bit(&words, 64));
+        toggle_bit(&mut words, 64);
+        let mut seen = Vec::new();
+        for_each_set_bit(&words, |b| seen.push(b));
+        assert_eq!(seen, vec![0, 63, 130]);
+    }
+
+    #[test]
+    fn intern_deduplicates() {
+        let mut a = StateArena::new(100);
+        assert!(a.is_empty());
+        let s1 = [0b1011u64, 0];
+        let s2 = [0b1011u64, 1];
+        let (i1, new1) = a.intern(&s1);
+        let (i2, new2) = a.intern(&s2);
+        let (i3, new3) = a.intern(&s1);
+        assert!(new1 && new2 && !new3);
+        assert_eq!(i1, i3);
+        assert_ne!(i1, i2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(i2), &s2);
+        assert_eq!(a.lookup(&s1), Some(i1));
+        assert_eq!(a.lookup(&[7, 7]), None);
+    }
+
+    #[test]
+    fn single_bit_deltas_are_distinct() {
+        // Many states differing in one bit each — the shape the policy
+        // search produces — must all intern distinctly.
+        let mut a = StateArena::new(256);
+        let base = [0u64; 4];
+        let (root, _) = a.intern(&base);
+        let mut seen = vec![root];
+        for bit in 0..256usize {
+            let mut s = base;
+            s[bit / 64] |= 1 << (bit % 64);
+            let (ix, new) = a.intern(&s);
+            assert!(new, "bit {bit}");
+            seen.push(ix);
+        }
+        assert_eq!(a.len(), 257);
+        // Everything still looks itself up.
+        for bit in 0..256usize {
+            let mut s = base;
+            s[bit / 64] |= 1 << (bit % 64);
+            assert_eq!(a.lookup(&s), Some(seen[bit + 1]));
+        }
+        assert!(a.pool_bytes() >= 257 * 4 * 8);
+    }
+
+    #[test]
+    fn capped_intern_decides_all_three_cases() {
+        let mut a = StateArena::new(64);
+        let s1 = [1u64];
+        let s2 = [2u64];
+        let s3 = [3u64];
+        assert_eq!(a.intern_capped(&s1, 2), InternOutcome::Interned(0));
+        assert_eq!(a.intern_capped(&s2, 2), InternOutcome::Interned(1));
+        assert_eq!(a.intern_capped(&s1, 2), InternOutcome::Existing(0));
+        assert_eq!(a.intern_capped(&s3, 2), InternOutcome::CapHit);
+        // An already-known state is still reported Existing at the cap.
+        assert_eq!(a.intern_capped(&s2, 2), InternOutcome::Existing(1));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn zero_bit_space_has_one_state() {
+        let mut a = StateArena::new(0);
+        assert_eq!(a.words_per_state(), 1);
+        let (ix, new) = a.intern(&[0]);
+        assert!(new);
+        assert_eq!(a.intern(&[0]), (ix, false));
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -314,3 +314,120 @@ proptest! {
         prop_assert!(s.hierarchy_sccs <= uni.role_count());
     }
 }
+
+/// The answer variants of two reachability results, for comparison.
+fn answer_tag(a: &ReachabilityAnswer) -> &'static str {
+    match a {
+        ReachabilityAnswer::Reachable { .. } => "reachable",
+        ReachabilityAnswer::Unreachable => "unreachable",
+        ReachabilityAnswer::Unknown => "unknown",
+    }
+}
+
+/// Replays `witness` from `policy` and checks the entity really reaches
+/// the target privilege in the final policy.
+fn witness_is_valid(
+    uni: &mut Universe,
+    policy: &Policy,
+    witness: &CommandQueue,
+    entity: Entity,
+    target: PrivId,
+    mode: AuthMode,
+) -> bool {
+    let final_policy = run_pure(uni, policy, witness, mode);
+    ReachIndex::build(uni, &final_policy).reach_priv(entity, target)
+}
+
+// The search-engine equivalence suite runs whole bounded searches per
+// case, so it gets a smaller case budget than the algebraic laws above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The compact-state engine (sequential and parallel) and the
+    /// clone-based reference BFS agree on the answer variant, produce
+    /// equally long witnesses, and every witness replays to a policy
+    /// where the target is reached.
+    #[test]
+    fn search_engines_agree(spec in policy_spec(), ui in 0u8..USERS as u8, pi in 0u8..3) {
+        let (mut uni, policy, users, _) = build(&spec);
+        let entity = Entity::User(users[ui as usize]);
+        let perm = uni.perm(["read", "write", "prnt"][pi as usize], "obj");
+        let target = uni.priv_perm(perm);
+        let config = SafetyConfig {
+            max_steps: 2,
+            max_states: 300,
+            jobs: 1,
+            ..SafetyConfig::default()
+        };
+        let reference = find_reachable_clone(&mut uni, &policy, config, |u, p| {
+            ReachIndex::build(u, p).reach_priv(entity, target)
+        });
+        let sequential = perm_reachable(&mut uni, &policy, entity, perm, config);
+        let parallel = perm_reachable(
+            &mut uni,
+            &policy,
+            entity,
+            perm,
+            SafetyConfig { jobs: 4, ..config },
+        );
+        prop_assert_eq!(answer_tag(&reference), answer_tag(&sequential));
+        prop_assert_eq!(answer_tag(&sequential), answer_tag(&parallel));
+        if let ReachabilityAnswer::Reachable { witness: reference_witness } = &reference {
+            let ReachabilityAnswer::Reachable { witness: seq_witness } = &sequential else {
+                unreachable!("variants already matched");
+            };
+            let ReachabilityAnswer::Reachable { witness: par_witness } = &parallel else {
+                unreachable!("variants already matched");
+            };
+            // Equally long (shortest) witnesses, all of them valid.
+            prop_assert_eq!(reference_witness.len(), seq_witness.len());
+            // jobs = 1 vs jobs = N is bit-for-bit deterministic.
+            prop_assert_eq!(seq_witness.commands(), par_witness.commands());
+            for w in [reference_witness, seq_witness] {
+                prop_assert!(witness_is_valid(
+                    &mut uni, &policy, w, entity, target, config.auth_mode,
+                ));
+            }
+        }
+    }
+
+    /// Same equivalence under ordered authorization, where the alphabet
+    /// is expanded with ⊑-weaker commands and authorization runs
+    /// through the privilege order.
+    #[test]
+    fn search_engines_agree_ordered(spec in policy_spec(), ui in 0u8..USERS as u8) {
+        let (mut uni, policy, users, _) = build(&spec);
+        let entity = Entity::User(users[ui as usize]);
+        let perm = uni.perm("write", "obj");
+        let target = uni.priv_perm(perm);
+        let config = SafetyConfig {
+            max_steps: 2,
+            max_states: 150,
+            auth_mode: AuthMode::Ordered(OrderingMode::Extended),
+            weaker_depth: Some(1),
+            jobs: 1,
+        };
+        let reference = find_reachable_clone(&mut uni, &policy, config, |u, p| {
+            ReachIndex::build(u, p).reach_priv(entity, target)
+        });
+        let engine = perm_reachable(
+            &mut uni,
+            &policy,
+            entity,
+            perm,
+            SafetyConfig { jobs: 2, ..config },
+        );
+        prop_assert_eq!(answer_tag(&reference), answer_tag(&engine));
+        if let (
+            ReachabilityAnswer::Reachable { witness: a },
+            ReachabilityAnswer::Reachable { witness: b },
+        ) = (&reference, &engine) {
+            prop_assert_eq!(a.len(), b.len());
+            for w in [a, b] {
+                prop_assert!(witness_is_valid(
+                    &mut uni, &policy, w, entity, target, config.auth_mode,
+                ));
+            }
+        }
+    }
+}

@@ -16,8 +16,9 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 
 use adminref_core::command::{Command, CommandQueue};
-use adminref_core::ids::{Perm, RoleId, UserId};
+use adminref_core::ids::{Entity, Perm, RoleId, UserId};
 use adminref_core::policy::Policy;
+use adminref_core::safety::{perm_reachable, ReachabilityAnswer, SafetyConfig};
 use adminref_core::session::{Session, SessionError};
 use adminref_core::transition::{step, AuthMode, StepOutcome};
 use adminref_core::universe::Universe;
@@ -282,6 +283,30 @@ impl ReferenceMonitor {
         f(inner.backend.universe(), inner.backend.policy())
     }
 
+    /// Bounded safety analysis against a snapshot of the live policy:
+    /// can `entity` come to hold `perm` under the monitor's own
+    /// authorization semantics?
+    ///
+    /// The analysis runs on the compact-state search engine
+    /// (`adminref_core::search`); `config.jobs` fans frontier expansion
+    /// out over worker threads, and `config.auth_mode` is overridden
+    /// with the monitor's configured mode so the answer reflects what
+    /// this monitor would actually authorize. Runs on a snapshot, so
+    /// the monitor stays live while the (possibly long) search runs.
+    pub fn analyze_perm_reachable(
+        &self,
+        entity: Entity,
+        perm: Perm,
+        config: SafetyConfig,
+    ) -> ReachabilityAnswer {
+        let (mut universe, policy) = self.snapshot();
+        let config = SafetyConfig {
+            auth_mode: self.auth_mode(),
+            ..config
+        };
+        perm_reachable(&mut universe, &policy, entity, perm, config)
+    }
+
     /// For durable monitors: folds the command log into a fresh snapshot.
     /// A no-op on in-memory monitors.
     pub fn compact(&self) -> Result<(), MonitorError> {
@@ -499,6 +524,54 @@ mod tests {
         let mem = ReferenceMonitor::new(uni2, policy2, MonitorConfig::default());
         mem.sync().unwrap();
         mem.compact().unwrap();
+    }
+
+    #[test]
+    fn analysis_entry_point_finds_witness() {
+        // The caller's auth_mode is overridden with the monitor's own
+        // mode (the answer must reflect what this monitor would
+        // authorize); the witness is minimal and identical under
+        // parallel expansion.
+        let (m_explicit, mut uni) = monitor(AuthMode::Explicit);
+        let bob = uni.find_user("bob").unwrap();
+        let write_t3 = uni.perm("write", "t3");
+        let config = SafetyConfig {
+            max_steps: 2,
+            auth_mode: AuthMode::Ordered(OrderingMode::Extended), // overridden
+            ..SafetyConfig::default()
+        };
+        let answer = m_explicit.analyze_perm_reachable(Entity::User(bob), write_t3, config);
+        let ReachabilityAnswer::Reachable { witness } = answer else {
+            panic!("bob can reach (write, t3) via staff");
+        };
+        assert_eq!(witness.len(), 1);
+        // Parallel expansion returns the identical witness.
+        let par = m_explicit.analyze_perm_reachable(
+            Entity::User(bob),
+            write_t3,
+            SafetyConfig { jobs: 4, ..config },
+        );
+        let ReachabilityAnswer::Reachable { witness: par_witness } = par else {
+            panic!("parallel analysis changed the variant");
+        };
+        assert_eq!(witness.commands(), par_witness.commands());
+    }
+
+    #[test]
+    fn analysis_runs_on_a_snapshot() {
+        // The search must not observe commands submitted after it
+        // snapshotted, and the monitor stays usable afterwards.
+        let (m, mut uni) = monitor(AuthMode::Explicit);
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let read_t1 = uni.perm("read", "t1");
+        let answer =
+            m.analyze_perm_reachable(Entity::User(bob), read_t1, SafetyConfig::default());
+        assert!(answer.is_reachable());
+        m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        assert_eq!(m.version(), 1);
     }
 
     #[test]

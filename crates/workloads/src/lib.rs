@@ -8,7 +8,9 @@
 //!   “thousands of roles” scale, with user and permission population;
 //! * [`admin`] — administrative-privilege injection with controlled
 //!   nesting depth;
-//! * [`queues`] — command-queue generation with a valid/junk mix.
+//! * [`queues`] — command-queue generation with a valid/junk mix;
+//! * [`scenarios`] — named stress shapes (deep delegation chains whose
+//!   reachable-policy count is combinatorial).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -16,9 +18,11 @@
 pub mod admin;
 pub mod hierarchy;
 pub mod queues;
+pub mod scenarios;
 pub mod templates;
 
 pub use admin::{inject_admin_privs, random_admin_priv, AdminSpec};
 pub use hierarchy::{chain, layered, populate_perms, populate_users, random_dag, Hierarchy, LayeredSpec};
 pub use queues::{generate_queue, QueueSpec};
+pub use scenarios::{deep_delegation, DelegationSpec, DelegationWorkload};
 pub use templates::{example6, hospital_fig1, hospital_fig2, hospital_with_nested_delegation};

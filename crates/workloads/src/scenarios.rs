@@ -1,0 +1,208 @@
+//! Named analysis scenarios: policies shaped to stress specific parts
+//! of the toolkit rather than to match a statistical profile.
+//!
+//! [`deep_delegation`] builds a *delegation chain*: an administrator can
+//! place workers into stage 0, members of stage `i` can place workers
+//! into stage `i + 1`, and only the last stage carries the sensitive
+//! permission. Reaching the permission therefore needs a witness of
+//! exactly `depth` commands, and the intermediate policies — one per
+//! subset of grantable memberships whose prerequisites are met — grow
+//! combinatorially with `fanout`. That makes the scenario the canonical
+//! stress test for the compact state arena of `adminref_core::search`:
+//! clone-based state sets blow up in memory long before the bitset
+//! arena does.
+
+use adminref_core::ids::{Perm, RoleId, UserId};
+use adminref_core::policy::Policy;
+use adminref_core::universe::{Edge, Universe};
+
+/// Shape of a [`deep_delegation`] scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct DelegationSpec {
+    /// Number of delegation stages (witness length to the permission).
+    pub depth: usize,
+    /// Workers each stage may delegate to.
+    pub fanout: usize,
+}
+
+impl Default for DelegationSpec {
+    fn default() -> Self {
+        DelegationSpec {
+            depth: 4,
+            fanout: 3,
+        }
+    }
+}
+
+/// A generated delegation-chain workload.
+#[derive(Debug)]
+pub struct DelegationWorkload {
+    /// The universe.
+    pub universe: Universe,
+    /// The policy.
+    pub policy: Policy,
+    /// The administrator seeded into the `admins` role.
+    pub admin: UserId,
+    /// The delegation stages, entry stage first.
+    pub stages: Vec<RoleId>,
+    /// The delegatable workers.
+    pub workers: Vec<UserId>,
+    /// The permission held only by the last stage.
+    pub vault_perm: Perm,
+}
+
+/// Builds a deep-delegation policy (deterministic by construction).
+///
+/// * `admins` holds `¤(w, stage_0)` for every worker `w`;
+/// * `stage_i` holds `¤(w, stage_{i+1})` for every worker;
+/// * only `stage_{depth-1}` holds `(open, vault)`.
+///
+/// `perm_reachable(worker, (open, vault))` is reachable with a witness
+/// of exactly `depth` commands; the reachable policy count is
+/// exponential in `fanout · depth`.
+pub fn deep_delegation(spec: DelegationSpec) -> DelegationWorkload {
+    assert!(spec.depth >= 1, "need at least one stage");
+    assert!(spec.fanout >= 1, "need at least one worker");
+    let mut universe = Universe::new();
+    let admin = universe.user("admin0");
+    let admins = universe.role("admins");
+    let stages: Vec<RoleId> = (0..spec.depth)
+        .map(|i| universe.role(&format!("stage{i}")))
+        .collect();
+    let workers: Vec<UserId> = (0..spec.fanout)
+        .map(|j| universe.user(&format!("worker{j}")))
+        .collect();
+    let mut policy = Policy::new(&universe);
+    policy.add_edge(Edge::UserRole(admin, admins));
+    for &w in &workers {
+        let p = universe.grant_user_role(w, stages[0]);
+        policy.add_edge(Edge::RolePriv(admins, p));
+    }
+    for i in 0..spec.depth - 1 {
+        for &w in &workers {
+            let p = universe.grant_user_role(w, stages[i + 1]);
+            policy.add_edge(Edge::RolePriv(stages[i], p));
+        }
+    }
+    let vault_perm = universe.perm("open", "vault");
+    let vault = universe.priv_perm(vault_perm);
+    policy.add_edge(Edge::RolePriv(stages[spec.depth - 1], vault));
+    DelegationWorkload {
+        universe,
+        policy,
+        admin,
+        stages,
+        workers,
+        vault_perm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adminref_core::ids::Entity;
+    use adminref_core::reach::ReachIndex;
+    use adminref_core::safety::{perm_reachable, ReachabilityAnswer, SafetyConfig};
+    use adminref_core::transition::{run_pure, AuthMode};
+
+    #[test]
+    fn vault_needs_exactly_depth_steps() {
+        let mut w = deep_delegation(DelegationSpec {
+            depth: 3,
+            fanout: 2,
+        });
+        let worker = w.workers[0];
+        let config = SafetyConfig {
+            max_steps: 3,
+            max_states: 100_000,
+            ..SafetyConfig::default()
+        };
+        let answer = perm_reachable(
+            &mut w.universe,
+            &w.policy,
+            Entity::User(worker),
+            w.vault_perm,
+            config,
+        );
+        let ReachabilityAnswer::Reachable { witness } = answer else {
+            panic!("expected reachable");
+        };
+        assert_eq!(witness.len(), 3, "{witness:?}");
+        // The witness replays: the worker really opens the vault.
+        let final_policy = run_pure(&mut w.universe, &w.policy, &witness, AuthMode::Explicit);
+        let target = w.universe.priv_perm(w.vault_perm);
+        assert!(ReachIndex::build(&w.universe, &final_policy)
+            .reach_priv(Entity::User(worker), target));
+        // One step short: the plan is genuinely cut off, not refuted.
+        let short = perm_reachable(
+            &mut w.universe,
+            &w.policy,
+            Entity::User(worker),
+            w.vault_perm,
+            SafetyConfig {
+                max_steps: 2,
+                ..config
+            },
+        );
+        assert!(matches!(short, ReachabilityAnswer::Unknown), "{short:?}");
+    }
+
+    #[test]
+    fn state_space_grows_with_fanout() {
+        // fanout=3, depth=2: enough distinct reachable membership
+        // subsets that a small cap truncates — the arena-stress shape.
+        let mut w = deep_delegation(DelegationSpec {
+            depth: 2,
+            fanout: 3,
+        });
+        let worker = w.workers[0];
+        let never = w.universe.perm("launch", "missiles");
+        let answer = perm_reachable(
+            &mut w.universe,
+            &w.policy,
+            Entity::User(worker),
+            never,
+            SafetyConfig {
+                max_steps: 6,
+                max_states: 8,
+                ..SafetyConfig::default()
+            },
+        );
+        assert!(matches!(answer, ReachabilityAnswer::Unknown), "{answer:?}");
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_on_the_chain() {
+        let mut w = deep_delegation(DelegationSpec {
+            depth: 3,
+            fanout: 2,
+        });
+        let worker = w.workers[1];
+        let config = SafetyConfig {
+            max_steps: 3,
+            max_states: 100_000,
+            ..SafetyConfig::default()
+        };
+        let seq = perm_reachable(
+            &mut w.universe,
+            &w.policy,
+            Entity::User(worker),
+            w.vault_perm,
+            config,
+        );
+        let par = perm_reachable(
+            &mut w.universe,
+            &w.policy,
+            Entity::User(worker),
+            w.vault_perm,
+            SafetyConfig { jobs: 4, ..config },
+        );
+        match (&seq, &par) {
+            (
+                ReachabilityAnswer::Reachable { witness: a },
+                ReachabilityAnswer::Reachable { witness: b },
+            ) => assert_eq!(a.commands(), b.commands()),
+            other => panic!("{other:?}"),
+        }
+    }
+}
