@@ -509,11 +509,7 @@ mod tests {
         assert!(!Prereq::Role(pl).eval(&member));
         assert!(Prereq::True.eval(&member));
         assert!(Prereq::Not(Box::new(Prereq::Role(pl))).eval(&member));
-        assert!(Prereq::Or(
-            Box::new(Prereq::Role(pl)),
-            Box::new(Prereq::Role(eng))
-        )
-        .eval(&member));
+        assert!(Prereq::Or(Box::new(Prereq::Role(pl)), Box::new(Prereq::Role(eng))).eval(&member));
         assert!(!Prereq::and_not(eng, ed).eval(&member));
     }
 }

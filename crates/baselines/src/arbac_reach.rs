@@ -163,14 +163,7 @@ impl StateSpace for ArbacSpace<'_> {
                 // invariant), so only the newly assigned role can make
                 // the implicit closure cover it.
                 let goal = self.closure.reaches(role.0, self.goal.0);
-                out.push(
-                    ArbacStep {
-                        role,
-                        assign: true,
-                    },
-                    goal,
-                    &scratch,
-                );
+                out.push(ArbacStep { role, assign: true }, goal, &scratch);
                 clear_bit(&mut scratch, r);
             }
         }

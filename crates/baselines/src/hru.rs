@@ -282,9 +282,10 @@ impl System {
         }
         // Parameters bound by a create op need no pre-binding; give them a
         // placeholder (any live object, or Obj(0) if none).
-        let created = command.ops.iter().any(|op| {
-            matches!(op, PrimOp::CreateSubject(x) | PrimOp::CreateObject(x) if *x == i)
-        });
+        let created = command
+            .ops
+            .iter()
+            .any(|op| matches!(op, PrimOp::CreateSubject(x) | PrimOp::CreateObject(x) if *x == i));
         if created {
             args[i] = Obj(u32::MAX); // placeholder, rebound on apply
             self.enumerate_bindings(matrix, command, objects, i + 1, args, out);
@@ -477,7 +478,9 @@ mod tests {
     fn guarded_command_application() {
         let (sys, m, _own, read, alice, bob, file) = owner_grant();
         let cmd = &sys.commands[0];
-        let next = sys.apply(&m, cmd, &[alice, bob, file]).expect("guard holds");
+        let next = sys
+            .apply(&m, cmd, &[alice, bob, file])
+            .expect("guard holds");
         assert!(next.has(read, bob, file));
         // Bob does not own the file; the guard fails.
         assert!(sys.apply(&m, cmd, &[bob, alice, file]).is_none());

@@ -57,10 +57,7 @@ pub struct AdminDomains {
 impl AdminDomains {
     /// Builds a partition from `(admin, members)` groups over `role_count`
     /// roles.
-    pub fn build(
-        role_count: usize,
-        groups: &[(RoleId, Vec<RoleId>)],
-    ) -> Result<Self, DomainError> {
+    pub fn build(role_count: usize, groups: &[(RoleId, Vec<RoleId>)]) -> Result<Self, DomainError> {
         let mut domain_of: Vec<Option<DomainId>> = vec![None; role_count];
         let mut admin_of = Vec::with_capacity(groups.len());
         for (i, (admin, members)) in groups.iter().enumerate() {
@@ -110,10 +107,8 @@ impl AdminDomains {
     /// *role graph*; user assignment inherits the target role's domain),
     /// and privilege endpoints inherit their source role's domain.
     pub fn can_modify(&self, admin: RoleId, edge: Edge) -> bool {
-        let admins = |r: RoleId| -> bool {
-            self.domain_of(r)
-                .is_some_and(|d| self.admin_of(d) == admin)
-        };
+        let admins =
+            |r: RoleId| -> bool { self.domain_of(r).is_some_and(|d| self.admin_of(d) == admin) };
         match edge {
             Edge::UserRole(_, r) => admins(r),
             Edge::RoleRole(a, b) => admins(a) && admins(b),
@@ -159,7 +154,10 @@ mod tests {
         let domains = AdminDomains::build(
             uni.role_count(),
             &[
-                (r("med_admin"), vec![r("med_admin"), r("nurse"), r("doctor")]),
+                (
+                    r("med_admin"),
+                    vec![r("med_admin"), r("nurse"), r("doctor")],
+                ),
                 (r("it_admin"), vec![r("it_admin"), r("dbusr"), r("prntusr")]),
             ],
         )
@@ -217,11 +215,8 @@ mod tests {
     fn admin_must_be_member() {
         let (uni, _) = setup();
         let r = |n: &str| uni.find_role(n).unwrap();
-        let err = AdminDomains::build(
-            uni.role_count(),
-            &[(r("med_admin"), vec![r("nurse")])],
-        )
-        .unwrap_err();
+        let err = AdminDomains::build(uni.role_count(), &[(r("med_admin"), vec![r("nurse")])])
+            .unwrap_err();
         assert!(matches!(err, DomainError::AdminOutsideDomain { .. }));
     }
 

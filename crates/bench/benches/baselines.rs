@@ -50,17 +50,21 @@ fn per_check_costs(c: &mut Criterion) {
             prereq: Prereq::True,
             range: RoleRange::closed(bottom, top),
         });
-        group.bench_with_input(BenchmarkId::new("arbac_can_assign", roles), &roles, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(arbac.check_assign(
-                    &w.policy,
-                    &closure,
-                    admin_user,
-                    target_user,
-                    bottom,
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("arbac_can_assign", roles),
+            &roles,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(arbac.check_assign(
+                        &w.policy,
+                        &closure,
+                        admin_user,
+                        target_user,
+                        bottom,
+                    ))
+                })
+            },
+        );
 
         // Administrative scope: membership test.
         let scope = AdminScope::build(&w.universe, &w.policy);
@@ -73,9 +77,7 @@ fn per_check_costs(c: &mut Criterion) {
             AdminDomains::build(w.universe.role_count(), &[(top, w.roles.clone())]).unwrap();
         group.bench_with_input(BenchmarkId::new("role_graph", roles), &roles, |b, _| {
             b.iter(|| {
-                std::hint::black_box(
-                    domains.can_modify(top, Edge::UserRole(target_user, bottom)),
-                )
+                std::hint::black_box(domains.can_modify(top, Edge::UserRole(target_user, bottom)))
             })
         });
     }
@@ -124,9 +126,7 @@ fn hru_safety_reference(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("bounded_bfs", subjects),
             &subjects,
-            |b, _| {
-                b.iter(|| std::hint::black_box(sys.leaks_bounded(&m, read, 20_000)))
-            },
+            |b, _| b.iter(|| std::hint::black_box(sys.leaks_bounded(&m, read, 20_000))),
         );
     }
     group.finish();

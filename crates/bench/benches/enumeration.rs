@@ -66,26 +66,22 @@ fn remark2_bound_vs_fixed(c: &mut Criterion) {
         for (label, depth) in [("remark2", n), ("fixed6", 6), ("fixed8", 8)] {
             let mut uni = w.universe.clone();
             let policy = w.policy.clone();
-            group.bench_with_input(
-                BenchmarkId::new(label, roles),
-                &depth,
-                |b, &d| {
-                    b.iter(|| {
-                        let mut uni_local = uni.clone();
-                        let set = enumerate_weaker(
-                            &mut uni_local,
-                            &policy,
-                            p,
-                            EnumerationConfig {
-                                max_depth: d,
-                                max_results: 50_000,
-                                mode: OrderingMode::Extended,
-                            },
-                        );
-                        std::hint::black_box(set.privileges.len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, roles), &depth, |b, &d| {
+                b.iter(|| {
+                    let mut uni_local = uni.clone();
+                    let set = enumerate_weaker(
+                        &mut uni_local,
+                        &policy,
+                        p,
+                        EnumerationConfig {
+                            max_depth: d,
+                            max_results: 50_000,
+                            mode: OrderingMode::Extended,
+                        },
+                    );
+                    std::hint::black_box(set.privileges.len())
+                })
+            });
             let set = enumerate_weaker(
                 &mut uni,
                 &policy,
@@ -99,7 +95,11 @@ fn remark2_bound_vs_fixed(c: &mut Criterion) {
             table_row(
                 "B3b",
                 &format!("roles={roles} bound={label}({depth})"),
-                &format!("weaker={} truncated={}", set.privileges.len(), set.truncated),
+                &format!(
+                    "weaker={} truncated={}",
+                    set.privileges.len(),
+                    set.truncated
+                ),
             );
         }
     }

@@ -1,0 +1,161 @@
+//! B8 — Monitor read throughput under concurrent admin writes: the
+//! epoch-snapshot read path versus the single-`RwLock` baseline it
+//! replaced.
+//!
+//! Matrix: {locked, epoch} × {1, 4, 16} reader threads × {idle, churn}
+//! write load. Each iteration runs every reader through a fixed count
+//! of alternating granted/denied `check_access` probes (denials are the
+//! expensive case for the closure-walking baseline); under `churn` an
+//! admin writer concurrently cycles 32-command batches the whole time.
+//! Throughput is reported in reads/s (`elem/s`), so the locked-vs-epoch
+//! ratio at equal parameters is the read-path speedup — the acceptance
+//! target is ≥5x at 4 readers under churn.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use adminref_core::command::Command;
+use adminref_core::ids::{Perm, RoleId, UserId};
+use adminref_monitor::{LockedMonitor, MonitorConfig, ReferenceMonitor, SessionId};
+use adminref_workloads::{churn, ChurnSpec, ChurnWorkload};
+
+/// check_access pairs (one hit + one miss) per reader per iteration.
+const PAIRS_PER_READER: u64 = 500;
+
+enum Subject {
+    Epoch(ReferenceMonitor),
+    Locked(LockedMonitor),
+}
+
+impl Subject {
+    fn build(kind: &str, w: &ChurnWorkload) -> Subject {
+        match kind {
+            "locked" => Subject::Locked(LockedMonitor::new(
+                w.universe.clone(),
+                w.policy.clone(),
+                MonitorConfig::default(),
+            )),
+            _ => Subject::Epoch(ReferenceMonitor::new(
+                w.universe.clone(),
+                w.policy.clone(),
+                MonitorConfig::default(),
+            )),
+        }
+    }
+
+    fn create_session(&self, user: UserId, role: RoleId) -> SessionId {
+        match self {
+            Subject::Epoch(m) => {
+                let sid = m.create_session(user);
+                m.activate_role(sid, role).unwrap();
+                sid
+            }
+            Subject::Locked(m) => {
+                let sid = m.create_session(user);
+                m.activate_role(sid, role).unwrap();
+                sid
+            }
+        }
+    }
+
+    fn check_access(&self, sid: SessionId, perm: Perm) -> bool {
+        match self {
+            Subject::Epoch(m) => m.check_access(sid, perm).unwrap(),
+            Subject::Locked(m) => m.check_access(sid, perm).unwrap(),
+        }
+    }
+
+    fn submit_batch(&self, batch: &[Command]) {
+        match self {
+            Subject::Epoch(m) => {
+                m.submit_batch(batch).unwrap();
+            }
+            Subject::Locked(m) => {
+                for cmd in batch {
+                    m.submit(cmd).unwrap();
+                }
+            }
+        }
+    }
+}
+
+fn read_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B8_monitor_read_throughput");
+    group.sample_size(10);
+    let w = churn(ChurnSpec {
+        roles: 256,
+        readers: 16,
+        batch_len: 32,
+        batches: 8,
+        valid_ratio: 0.7,
+        seed: 0xB8,
+    });
+    for write_load in ["idle", "churn"] {
+        for &readers in &[1usize, 4, 16] {
+            for kind in ["locked", "epoch"] {
+                let subject = Subject::build(kind, &w);
+                let sessions: Vec<(SessionId, Perm, Perm)> = (0..readers)
+                    .map(|i| {
+                        let p = w.readers[i % w.readers.len()];
+                        (
+                            subject.create_session(p.user, p.role),
+                            p.perm_hit,
+                            p.perm_miss,
+                        )
+                    })
+                    .collect();
+                group.throughput(Throughput::Elements(readers as u64 * PAIRS_PER_READER * 2));
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{kind}/{write_load}"), readers),
+                    &readers,
+                    |b, _| {
+                        b.iter(|| {
+                            let stop = AtomicBool::new(false);
+                            crossbeam::scope(|scope| {
+                                if write_load == "churn" {
+                                    let (subject, stop, w) = (&subject, &stop, &w);
+                                    scope.spawn(move |_| {
+                                        for batch in w.batches.iter().cycle() {
+                                            if stop.load(Ordering::Relaxed) {
+                                                break;
+                                            }
+                                            subject.submit_batch(batch);
+                                        }
+                                    });
+                                }
+                                let readers: Vec<_> = sessions
+                                    .iter()
+                                    .map(|&(sid, hit, miss)| {
+                                        let subject = &subject;
+                                        scope.spawn(move |_| {
+                                            for _ in 0..PAIRS_PER_READER {
+                                                std::hint::black_box(
+                                                    subject.check_access(sid, hit),
+                                                );
+                                                std::hint::black_box(
+                                                    subject.check_access(sid, miss),
+                                                );
+                                            }
+                                        })
+                                    })
+                                    .collect();
+                                for handle in readers {
+                                    handle.join().unwrap();
+                                }
+                                // Readers done: release the churn writer,
+                                // whose tail batch the scope then joins.
+                                stop.store(true, Ordering::Relaxed);
+                            })
+                            .unwrap();
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, read_throughput);
+criterion_main!(benches);

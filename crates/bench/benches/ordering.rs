@@ -28,19 +28,14 @@ fn decision_vs_policy_size(c: &mut Criterion) {
         let index = ReachIndex::build(&w.universe, &w.policy);
         for mode in [OrderingMode::Strict, OrderingMode::Extended] {
             let label = format!("{mode:?}");
-            group.bench_with_input(
-                BenchmarkId::new(label.clone(), roles),
-                &roles,
-                |b, _| {
-                    b.iter(|| {
-                        // Fresh order per iteration: measures the decision
-                        // without memo warm-up, sharing the reach index.
-                        let order =
-                            PrivilegeOrder::with_index(&w.universe, &w.policy, &index, mode);
-                        std::hint::black_box(order.is_weaker(p, q))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label.clone(), roles), &roles, |b, _| {
+                b.iter(|| {
+                    // Fresh order per iteration: measures the decision
+                    // without memo warm-up, sharing the reach index.
+                    let order = PrivilegeOrder::with_index(&w.universe, &w.policy, &index, mode);
+                    std::hint::black_box(order.is_weaker(p, q))
+                })
+            });
             let order = PrivilegeOrder::with_index(&w.universe, &w.policy, &index, mode);
             table_row(
                 "B1a",

@@ -59,13 +59,7 @@ fn bfs_vs_index_single_query(c: &mut Criterion) {
         let user = w.users[0];
         let bottom = Entity::Role(*w.roles.last().unwrap());
         group.bench_with_input(BenchmarkId::new("bfs", roles), &roles, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(reaches_entity(
-                    &w.policy,
-                    Entity::User(user),
-                    bottom,
-                ))
-            })
+            b.iter(|| std::hint::black_box(reaches_entity(&w.policy, Entity::User(user), bottom)))
         });
         let index = ReachIndex::build(&w.universe, &w.policy);
         group.bench_with_input(BenchmarkId::new("indexed", roles), &roles, |b, _| {
@@ -75,5 +69,10 @@ fn bfs_vs_index_single_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, closure_build, indexed_queries, bfs_vs_index_single_query);
+criterion_group!(
+    benches,
+    closure_build,
+    indexed_queries,
+    bfs_vs_index_single_query
+);
 criterion_main!(benches);

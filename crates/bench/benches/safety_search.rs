@@ -89,21 +89,17 @@ fn sequential_vs_parallel(c: &mut Criterion) {
         };
         for &jobs in &[1usize, 0] {
             let label = if jobs == 1 { "jobs1" } else { "jobsN" };
-            group.bench_with_input(
-                BenchmarkId::new(label, "sized128"),
-                &jobs,
-                |b, &jobs| {
-                    b.iter(|| {
-                        std::hint::black_box(perm_reachable(
-                            &mut w.universe,
-                            &w.policy,
-                            Entity::User(user),
-                            never,
-                            SafetyConfig { jobs, ..base },
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, "sized128"), &jobs, |b, &jobs| {
+                b.iter(|| {
+                    std::hint::black_box(perm_reachable(
+                        &mut w.universe,
+                        &w.policy,
+                        Entity::User(user),
+                        never,
+                        SafetyConfig { jobs, ..base },
+                    ))
+                })
+            });
         }
     }
     {
@@ -121,21 +117,17 @@ fn sequential_vs_parallel(c: &mut Criterion) {
         table_row("S1b", "deep_delegation d=4 f=4", "arena-stress series");
         for &jobs in &[1usize, 0] {
             let label = if jobs == 1 { "jobs1" } else { "jobsN" };
-            group.bench_with_input(
-                BenchmarkId::new(label, "delegation"),
-                &jobs,
-                |b, &jobs| {
-                    b.iter(|| {
-                        std::hint::black_box(perm_reachable(
-                            &mut w.universe,
-                            &w.policy,
-                            Entity::User(worker),
-                            never,
-                            SafetyConfig { jobs, ..base },
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, "delegation"), &jobs, |b, &jobs| {
+                b.iter(|| {
+                    std::hint::black_box(perm_reachable(
+                        &mut w.universe,
+                        &w.policy,
+                        Entity::User(worker),
+                        never,
+                        SafetyConfig { jobs, ..base },
+                    ))
+                })
+            });
         }
     }
     group.finish();

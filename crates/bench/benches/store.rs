@@ -82,8 +82,7 @@ fn recovery_vs_log_length(c: &mut Criterion) {
         group.throughput(Throughput::Elements(len as u64));
         group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
             b.iter(|| {
-                let (store, report) =
-                    PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+                let (store, report) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
                 assert_eq!(report.replayed, len);
                 std::hint::black_box(store.policy().edge_count())
             })
@@ -110,5 +109,10 @@ fn snapshot_round_trip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, append_throughput, recovery_vs_log_length, snapshot_round_trip);
+criterion_group!(
+    benches,
+    append_throughput,
+    recovery_vs_log_length,
+    snapshot_round_trip
+);
 criterion_main!(benches);

@@ -1,0 +1,407 @@
+//! `adminref bench-monitor` — reference-monitor read-throughput
+//! measurement and the CI perf-smoke gate.
+//!
+//! Runs the `churn` workload (concurrent `check_access` readers + one
+//! admin writer cycling command batches) against both monitor
+//! implementations — the epoch-published [`ReferenceMonitor`] and the
+//! single-lock [`LockedMonitor`] baseline — at several reader counts,
+//! and emits the throughput numbers as JSON (stable schema, consumed by
+//! CI as a workflow artifact).
+//!
+//! With `--baseline FILE` the measured epoch-path read throughput is
+//! gated against checked-in floors: the run fails if any reader count
+//! regresses more than 2x below its floor. Floors are intentionally
+//! conservative (set far below healthy-machine numbers) so the gate
+//! catches architecture regressions — a read path that re-acquires the
+//! write lock, an index rebuild per query — not CI-runner noise.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use adminref_core::command::Command;
+use adminref_monitor::{LockedMonitor, MonitorConfig, ReferenceMonitor, SessionId};
+use adminref_workloads::{churn, ChurnSpec, ChurnWorkload};
+
+/// Parsed `bench-monitor` options.
+pub struct BenchOptions {
+    /// Reader thread counts to measure.
+    pub readers: Vec<usize>,
+    /// Seconds per (implementation × readers) cell.
+    pub secs: f64,
+    /// Approximate role count of the generated policy.
+    pub roles: usize,
+    /// Emit JSON on stdout (otherwise a human table).
+    pub json: bool,
+    /// Baseline file with throughput floors to gate against.
+    pub baseline: Option<String>,
+}
+
+impl BenchOptions {
+    /// The `--quick` shape used by the CI perf-smoke job.
+    pub fn quick() -> Self {
+        BenchOptions {
+            readers: vec![1, 4],
+            secs: 0.25,
+            roles: 128,
+            json: false,
+            baseline: None,
+        }
+    }
+
+    /// The full default shape.
+    pub fn full() -> Self {
+        BenchOptions {
+            readers: vec![1, 4, 16],
+            secs: 1.0,
+            roles: 256,
+            json: false,
+            baseline: None,
+        }
+    }
+}
+
+/// One measured cell.
+struct Cell {
+    implementation: &'static str,
+    readers: usize,
+    read_ops_per_sec: f64,
+    write_cmds_per_sec: f64,
+}
+
+/// Which monitor implementation a measurement drives.
+enum Subject {
+    Epoch(ReferenceMonitor),
+    Locked(LockedMonitor),
+}
+
+impl Subject {
+    fn create_session(&self, user: adminref_core::ids::UserId) -> SessionId {
+        match self {
+            Subject::Epoch(m) => m.create_session(user),
+            Subject::Locked(m) => m.create_session(user),
+        }
+    }
+
+    fn activate_role(&self, sid: SessionId, role: adminref_core::ids::RoleId) {
+        match self {
+            Subject::Epoch(m) => m.activate_role(sid, role).expect("reader role activates"),
+            Subject::Locked(m) => m.activate_role(sid, role).expect("reader role activates"),
+        }
+    }
+
+    fn check_access(&self, sid: SessionId, perm: adminref_core::ids::Perm) -> bool {
+        match self {
+            Subject::Epoch(m) => m.check_access(sid, perm).expect("session stays live"),
+            Subject::Locked(m) => m.check_access(sid, perm).expect("session stays live"),
+        }
+    }
+
+    fn submit_batch(&self, batch: &[Command]) -> usize {
+        match self {
+            // The batched write path: one lock, one index rebuild, one
+            // published epoch per batch.
+            Subject::Epoch(m) => m.submit_batch(batch).expect("in-memory submit").len(),
+            // The baseline's write path: one write-lock acquisition per
+            // command (the design being replaced).
+            Subject::Locked(m) => {
+                for cmd in batch {
+                    m.submit(cmd).expect("in-memory submit");
+                }
+                batch.len()
+            }
+        }
+    }
+}
+
+/// Measures one cell: `readers` check_access threads + one admin writer
+/// cycling the workload's batches, for `secs` wall seconds.
+fn measure(w: &ChurnWorkload, subject: &Subject, readers: usize, secs: f64) -> (f64, f64) {
+    type Probe = (
+        SessionId,
+        adminref_core::ids::Perm,
+        adminref_core::ids::Perm,
+    );
+    let sessions: Vec<Probe> = (0..readers)
+        .map(|i| {
+            let profile = w.readers[i % w.readers.len()];
+            let sid = subject.create_session(profile.user);
+            subject.activate_role(sid, profile.role);
+            (sid, profile.perm_hit, profile.perm_miss)
+        })
+        .collect();
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let writes = AtomicU64::new(0);
+    let start = Instant::now();
+    crossbeam::scope(|scope| {
+        for &(sid, hit, miss) in &sessions {
+            let (stop, reads) = (&stop, &reads);
+            scope.spawn(move |_| {
+                let mut local = 0u64;
+                // Alternate a granted and a denied probe: denials are
+                // the expensive case for closure-walking checkers.
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(subject.check_access(sid, hit));
+                    std::hint::black_box(subject.check_access(sid, miss));
+                    local += 2;
+                }
+                reads.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        scope.spawn(|_| {
+            let mut local = 0u64;
+            for batch in w.batches.iter().cycle() {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                local += subject.submit_batch(batch) as u64;
+            }
+            writes.fetch_add(local, Ordering::Relaxed);
+        });
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+    })
+    .expect("bench threads join");
+    let elapsed = start.elapsed().as_secs_f64();
+    (
+        reads.load(Ordering::Relaxed) as f64 / elapsed,
+        writes.load(Ordering::Relaxed) as f64 / elapsed,
+    )
+}
+
+/// Runs the full measurement matrix and handles output + gating.
+pub fn run(opts: &BenchOptions) -> Result<(), String> {
+    let w = churn(ChurnSpec {
+        roles: opts.roles,
+        readers: opts.readers.iter().copied().max().unwrap_or(1).max(1),
+        batch_len: 32,
+        batches: 8,
+        valid_ratio: 0.7,
+        seed: 0xBE7C,
+    });
+    let mut cells: Vec<Cell> = Vec::new();
+    for implementation in ["locked", "epoch"] {
+        for &readers in &opts.readers {
+            let subject = match implementation {
+                "locked" => Subject::Locked(LockedMonitor::new(
+                    w.universe.clone(),
+                    w.policy.clone(),
+                    MonitorConfig::default(),
+                )),
+                _ => Subject::Epoch(ReferenceMonitor::new(
+                    w.universe.clone(),
+                    w.policy.clone(),
+                    MonitorConfig::default(),
+                )),
+            };
+            // Short warmup so first-touch costs don't skew short runs.
+            measure(&w, &subject, readers, opts.secs.min(0.05));
+            let (read_ops, write_cmds) = measure(&w, &subject, readers, opts.secs);
+            eprintln!(
+                "bench-monitor: {implementation:>6} readers={readers:<2} \
+                 {read_ops:>12.0} reads/s  {write_cmds:>9.0} write-cmds/s"
+            );
+            cells.push(Cell {
+                implementation,
+                readers,
+                read_ops_per_sec: read_ops,
+                write_cmds_per_sec: write_cmds,
+            });
+        }
+    }
+    if opts.json {
+        println!("{}", render_json(opts, &cells));
+    } else {
+        render_table(&cells);
+    }
+    if let Some(path) = &opts.baseline {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading baseline {path}: {e}"))?;
+        let floors = parse_floors(&text)?;
+        gate(&cells, &floors)?;
+        eprintln!(
+            "bench-monitor: perf-smoke gate passed ({} floors)",
+            floors.len()
+        );
+    }
+    Ok(())
+}
+
+fn speedup(cells: &[Cell], readers: usize) -> Option<f64> {
+    let locked = cells
+        .iter()
+        .find(|c| c.implementation == "locked" && c.readers == readers)?;
+    let epoch = cells
+        .iter()
+        .find(|c| c.implementation == "epoch" && c.readers == readers)?;
+    if locked.read_ops_per_sec > 0.0 {
+        Some(epoch.read_ops_per_sec / locked.read_ops_per_sec)
+    } else {
+        None
+    }
+}
+
+fn render_table(cells: &[Cell]) {
+    println!(
+        "{:<8} {:>8} {:>16} {:>16}",
+        "impl", "readers", "reads/s", "write-cmds/s"
+    );
+    for c in cells {
+        println!(
+            "{:<8} {:>8} {:>16.0} {:>16.0}",
+            c.implementation, c.readers, c.read_ops_per_sec, c.write_cmds_per_sec
+        );
+    }
+    let mut reader_counts: Vec<usize> = cells.iter().map(|c| c.readers).collect();
+    reader_counts.sort_unstable();
+    reader_counts.dedup();
+    for r in reader_counts {
+        if let Some(s) = speedup(cells, r) {
+            println!("epoch/locked read speedup at {r} readers: {s:.1}x");
+        }
+    }
+}
+
+fn render_json(opts: &BenchOptions, cells: &[Cell]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"roles\": {},\n", opts.roles));
+    out.push_str(&format!("  \"secs_per_cell\": {},\n", opts.secs));
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"impl\": \"{}\", \"readers\": {}, \"read_ops_per_sec\": {:.0}, \
+             \"write_cmds_per_sec\": {:.0}}}{}\n",
+            c.implementation,
+            c.readers,
+            c.read_ops_per_sec,
+            c.write_cmds_per_sec,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"epoch_read_speedup\": {");
+    let mut reader_counts: Vec<usize> = cells.iter().map(|c| c.readers).collect();
+    reader_counts.sort_unstable();
+    reader_counts.dedup();
+    let entries: Vec<String> = reader_counts
+        .iter()
+        .filter_map(|&r| speedup(cells, r).map(|s| format!("\"{r}\": {s:.2}")))
+        .collect();
+    out.push_str(&entries.join(", "));
+    out.push_str("}\n}");
+    out
+}
+
+/// Extracts the `"floors_read_ops_per_sec": { "N": F, ... }` object from
+/// the baseline JSON. Deliberately tiny: the baseline is a checked-in
+/// file with a fixed shape, not arbitrary JSON.
+pub fn parse_floors(text: &str) -> Result<Vec<(usize, f64)>, String> {
+    let key = "\"floors_read_ops_per_sec\"";
+    let at = text
+        .find(key)
+        .ok_or_else(|| format!("baseline is missing {key}"))?;
+    let rest = &text[at + key.len()..];
+    let open = rest
+        .find('{')
+        .ok_or("baseline: expected { after floors key")?;
+    let close = rest[open..]
+        .find('}')
+        .ok_or("baseline: unterminated floors object")?;
+    let body = &rest[open + 1..open + close];
+    let mut floors = Vec::new();
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("baseline: malformed floor entry `{pair}`"))?;
+        let readers: usize = k
+            .trim()
+            .trim_matches('"')
+            .parse()
+            .map_err(|e| format!("baseline: bad reader count in `{pair}`: {e}"))?;
+        let floor: f64 = v
+            .trim()
+            .parse()
+            .map_err(|e| format!("baseline: bad floor in `{pair}`: {e}"))?;
+        floors.push((readers, floor));
+    }
+    if floors.is_empty() {
+        return Err("baseline: floors object is empty".into());
+    }
+    Ok(floors)
+}
+
+/// Fails if the epoch read path regresses more than 2x below any floor
+/// it was measured against.
+fn gate(cells: &[Cell], floors: &[(usize, f64)]) -> Result<(), String> {
+    let mut violations = Vec::new();
+    for &(readers, floor) in floors {
+        let Some(cell) = cells
+            .iter()
+            .find(|c| c.implementation == "epoch" && c.readers == readers)
+        else {
+            continue; // floor for a reader count this run didn't measure
+        };
+        let minimum = floor / 2.0;
+        if cell.read_ops_per_sec < minimum {
+            violations.push(format!(
+                "epoch read throughput at {readers} readers: {:.0}/s is >2x below \
+                 the {floor:.0}/s floor (minimum {minimum:.0}/s)",
+                cell.read_ops_per_sec
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "perf-smoke regression:\n  {}",
+            violations.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floors_parse_from_baseline_shape() {
+        let text = r#"{
+          "schema": 1,
+          "note": "conservative",
+          "floors_read_ops_per_sec": { "1": 50000, "4": 100000.5 }
+        }"#;
+        let floors = parse_floors(text).unwrap();
+        assert_eq!(floors, vec![(1, 50_000.0), (4, 100_000.5)]);
+        assert!(parse_floors("{}").is_err());
+        assert!(parse_floors(r#"{"floors_read_ops_per_sec": {}}"#).is_err());
+    }
+
+    #[test]
+    fn gate_trips_only_below_half_floor() {
+        let cells = vec![
+            Cell {
+                implementation: "epoch",
+                readers: 1,
+                read_ops_per_sec: 60_000.0,
+                write_cmds_per_sec: 0.0,
+            },
+            Cell {
+                implementation: "epoch",
+                readers: 4,
+                read_ops_per_sec: 40_000.0,
+                write_cmds_per_sec: 0.0,
+            },
+        ];
+        // 60k vs floor 100k: above half, passes. 40k vs floor 100k: fails.
+        assert!(gate(&cells, &[(1, 100_000.0)]).is_ok());
+        assert!(gate(&cells, &[(4, 100_000.0)]).is_err());
+        // Floors for unmeasured reader counts are skipped.
+        assert!(gate(&cells, &[(16, 1e12)]).is_ok());
+    }
+}

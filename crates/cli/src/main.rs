@@ -11,10 +11,14 @@
 //! adminref refines  <policy-a.rbac> <policy-b.rbac>
 //! adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
 //!                   [--max-states N] [--jobs N]
+//! adminref bench-monitor [--quick] [--json] [--readers 1,4,16] [--secs S]
+//!                   [--roles N] [--baseline BENCH_BASELINE.json]
 //! ```
 //!
 //! Policies use the `adminref-lang` syntax; privileges on the command
 //! line use the same expression syntax, quoted.
+
+mod bench_monitor;
 
 use std::process::ExitCode;
 
@@ -51,7 +55,9 @@ const USAGE: &str = "usage:
   adminref run      <policy.rbac> <queue.rbacq> [--ordered] [--store DIR]
   adminref refines  <policy-a.rbac> <policy-b.rbac>
   adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
-                    [--max-states N] [--jobs N]   (--jobs 0 = all cores)";
+                    [--max-states N] [--jobs N]   (--jobs 0 = all cores)
+  adminref bench-monitor [--quick] [--json] [--readers 1,4,16] [--secs S]
+                    [--roles N] [--baseline BENCH_BASELINE.json]";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -66,11 +72,20 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "run" => cmd_run(&rest),
         "refines" => cmd_refines(&rest),
         "reach" => cmd_reach(&rest),
+        "bench-monitor" => cmd_bench_monitor(&rest),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
 
-fn read_policy(path: &str) -> Result<(adminref_core::universe::Universe, adminref_core::policy::Policy), String> {
+fn read_policy(
+    path: &str,
+) -> Result<
+    (
+        adminref_core::universe::Universe,
+        adminref_core::policy::Policy,
+    ),
+    String,
+> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     load_policy(&text).map_err(|e| format!("{path}: {e}"))
 }
@@ -196,8 +211,8 @@ fn cmd_weaker(rest: &[&String]) -> Result<(), String> {
 
 fn cmd_run(rest: &[&String]) -> Result<(), String> {
     let (mut uni, policy) = read_policy(positional(rest, 0)?)?;
-    let queue_text = std::fs::read_to_string(positional(rest, 1)?)
-        .map_err(|e| format!("reading queue: {e}"))?;
+    let queue_text =
+        std::fs::read_to_string(positional(rest, 1)?).map_err(|e| format!("reading queue: {e}"))?;
     let queue = load_queue(&queue_text, &mut uni).map_err(|e| e.to_string())?;
     let mode = if flag(rest, "--ordered") {
         AuthMode::Ordered(OrderingMode::Extended)
@@ -212,7 +227,11 @@ fn cmd_run(rest: &[&String]) -> Result<(), String> {
             println!(
                 "{:60} {}",
                 print_command(store.universe(), cmd),
-                if out.executed() { "executed" } else { "refused" }
+                if out.executed() {
+                    "executed"
+                } else {
+                    "refused"
+                }
             );
         }
         store.sync().map_err(|e| e.to_string())?;
@@ -224,7 +243,11 @@ fn cmd_run(rest: &[&String]) -> Result<(), String> {
             println!(
                 "{:60} {}",
                 print_command(&uni, &s.command),
-                if s.outcome.executed() { "executed" } else { "refused" }
+                if s.outcome.executed() {
+                    "executed"
+                } else {
+                    "refused"
+                }
             );
         }
         println!(
@@ -265,11 +288,44 @@ fn cmd_refines(rest: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_bench_monitor(rest: &[&String]) -> Result<(), String> {
+    let mut opts = if flag(rest, "--quick") {
+        bench_monitor::BenchOptions::quick()
+    } else {
+        bench_monitor::BenchOptions::full()
+    };
+    opts.json = flag(rest, "--json");
+    if let Some(readers) = flag_value(rest, "--readers") {
+        opts.readers = readers
+            .split(',')
+            .map(|r| {
+                r.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("--readers: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if opts.readers.is_empty() || opts.readers.contains(&0) {
+            return Err("--readers needs a comma-separated list of positive counts".into());
+        }
+    }
+    if let Some(secs) = flag_value(rest, "--secs") {
+        opts.secs = secs.parse::<f64>().map_err(|e| format!("--secs: {e}"))?;
+        if opts.secs.is_nan() || opts.secs <= 0.0 {
+            return Err("--secs must be positive".into());
+        }
+    }
+    if let Some(roles) = flag_value(rest, "--roles") {
+        opts.roles = roles
+            .parse::<usize>()
+            .map_err(|e| format!("--roles: {e}"))?;
+    }
+    opts.baseline = flag_value(rest, "--baseline");
+    bench_monitor::run(&opts)
+}
+
 fn cmd_reach(rest: &[&String]) -> Result<(), String> {
     let (mut uni, policy) = read_policy(positional(rest, 0)?)?;
-    let user = uni
-        .find_user(positional(rest, 1)?)
-        .ok_or("unknown user")?;
+    let user = uni.find_user(positional(rest, 1)?).ok_or("unknown user")?;
     let action = positional(rest, 2)?.to_string();
     let object = positional(rest, 3)?.to_string();
     let perm = uni.perm(&action, &object);
@@ -316,7 +372,9 @@ fn cmd_reach(rest: &[&String]) -> Result<(), String> {
             Ok(())
         }
         ReachabilityAnswer::Unreachable => {
-            println!("UNREACHABLE: the whole reachable space was explored (within {steps} step(s))");
+            println!(
+                "UNREACHABLE: the whole reachable space was explored (within {steps} step(s))"
+            );
             Ok(())
         }
         ReachabilityAnswer::Unknown => {

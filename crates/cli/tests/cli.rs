@@ -171,3 +171,73 @@ fn unknown_subcommand_fails_with_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }
+
+#[test]
+fn bench_monitor_emits_json_and_gates_against_baseline() {
+    // Tiny run: one reader, 50ms cells, small policy — exercises the
+    // full measure/emit/gate path without a real measurement window.
+    let dir = std::env::temp_dir().join(format!("adminref-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.json");
+    std::fs::write(
+        &baseline,
+        r#"{"schema": 1, "floors_read_ops_per_sec": {"1": 1}}"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "bench-monitor",
+            "--readers",
+            "1",
+            "--secs",
+            "0.05",
+            "--roles",
+            "32",
+            "--json",
+            "--baseline",
+            &baseline.to_string_lossy(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"schema\": 1"), "{json}");
+    assert!(json.contains("\"impl\": \"locked\""), "{json}");
+    assert!(json.contains("\"impl\": \"epoch\""), "{json}");
+    assert!(json.contains("\"epoch_read_speedup\""), "{json}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("perf-smoke gate passed"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // An unreachable floor trips the gate.
+    std::fs::write(
+        &baseline,
+        r#"{"schema": 1, "floors_read_ops_per_sec": {"1": 99000000000}}"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "bench-monitor",
+            "--readers",
+            "1",
+            "--secs",
+            "0.05",
+            "--roles",
+            "32",
+            "--baseline",
+            &baseline.to_string_lossy(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("perf-smoke regression"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

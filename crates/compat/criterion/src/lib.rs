@@ -90,7 +90,12 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn report(group: &str, id: &BenchmarkId, measured: Option<(Duration, u64)>, tp: Option<Throughput>) {
+fn report(
+    group: &str,
+    id: &BenchmarkId,
+    measured: Option<(Duration, u64)>,
+    tp: Option<Throughput>,
+) {
     match measured {
         Some((elapsed, iters)) if iters > 0 => {
             let ns = elapsed.as_nanos() as f64 / iters as f64;
@@ -139,7 +144,9 @@ impl Display for BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { label: s.to_string() }
+        BenchmarkId {
+            label: s.to_string(),
+        }
     }
 }
 

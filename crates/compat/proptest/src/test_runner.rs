@@ -40,7 +40,10 @@ impl CaseGuard {
 impl Drop for CaseGuard {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            eprintln!("proptest: case #{} failed with inputs: {}", self.case, self.inputs);
+            eprintln!(
+                "proptest: case #{} failed with inputs: {}",
+                self.case, self.inputs
+            );
         }
     }
 }

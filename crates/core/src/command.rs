@@ -162,7 +162,9 @@ mod tests {
         .collect();
         assert_eq!(q1.actor_signature(), vec![UserId(1), UserId(2)]);
         assert!(q1.same_actors(&q2), "same actors, different commands");
-        let q3: CommandQueue = [Command::grant(UserId(1), edge(1, 2))].into_iter().collect();
+        let q3: CommandQueue = [Command::grant(UserId(1), edge(1, 2))]
+            .into_iter()
+            .collect();
         assert!(!q1.same_actors(&q3), "length differs");
         let q4: CommandQueue = [
             Command::grant(UserId(2), edge(1, 2)),

@@ -140,7 +140,9 @@ impl Enumerator<'_> {
         let term = self.universe.term(p);
         let (edge, revocation) = match term {
             PrivTerm::Grant(e) => (Some(e), false),
-            PrivTerm::Revoke(e) if matches!(self.config.mode, OrderingMode::ExtendedWithRevocation) => {
+            PrivTerm::Revoke(e)
+                if matches!(self.config.mode, OrderingMode::ExtendedWithRevocation) =>
+            {
                 (Some(e), true)
             }
             _ => (None, false),
@@ -432,7 +434,8 @@ mod tests {
             let generated = set.privileges.contains(&q);
             let weaker = order.is_weaker(g, q);
             assert_eq!(
-                generated, weaker,
+                generated,
+                weaker,
                 "mismatch on {}",
                 crate::display::priv_to_string(&uni, q, crate::display::Notation::Ascii)
             );

@@ -70,6 +70,7 @@ pub mod safety;
 pub mod search;
 pub mod session;
 pub mod simulation;
+pub mod snapshot;
 pub mod transition;
 pub mod universe;
 
@@ -97,9 +98,10 @@ pub mod prelude {
         check_admin_refinement, command_alphabet, SimulationConfig, SimulationDirection,
         SimulationOutcome,
     };
+    pub use crate::snapshot::PolicySnapshot;
     pub use crate::transition::{
-        authorize, authorize_explicit, authorize_with_order, required_privilege, run, run_pure,
-        step, AuthMode, Authorization, RunTrace, StepOutcome, StepRecord,
+        apply_edge, authorize, authorize_explicit, authorize_with_order, required_privilege, run,
+        run_pure, step, AuthMode, Authorization, RunTrace, StepOutcome, StepRecord,
     };
     pub use crate::universe::{Edge, EdgeTarget, PrivTerm, Universe, UniverseTag};
 }

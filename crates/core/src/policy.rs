@@ -367,10 +367,7 @@ mod tests {
     fn roles_of_uses_range_scan() {
         let (uni, policy) = small();
         let diana = uni.find_user("diana").unwrap();
-        let mut roles: Vec<&str> = policy
-            .roles_of(diana)
-            .map(|r| uni.role_name(r))
-            .collect();
+        let mut roles: Vec<&str> = policy.roles_of(diana).map(|r| uni.role_name(r)).collect();
         roles.sort_unstable();
         assert_eq!(roles, vec!["nurse", "staff"]);
     }

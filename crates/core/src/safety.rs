@@ -320,8 +320,7 @@ fn build_alphabet(universe: &mut Universe, policy: &Policy, config: SafetyConfig
                 }
             }
         }
-        let actors: std::collections::BTreeSet<_> =
-            alphabet.iter().map(|c| c.actor).collect();
+        let actors: std::collections::BTreeSet<_> = alphabet.iter().map(|c| c.actor).collect();
         for &actor in &actors {
             for &edge in &extra_edges {
                 alphabet.push(Command::grant(actor, edge));
@@ -478,12 +477,9 @@ mod tests {
         let bob = uni.find_user("bob").unwrap();
         let write_t3 = uni.perm("write", "t3");
         let target = uni.priv_perm(write_t3);
-        let reference = find_reachable_clone(
-            &mut uni,
-            &policy,
-            SafetyConfig::default(),
-            |u, p| ReachIndex::build(u, p).reach_priv(Entity::User(bob), target),
-        );
+        let reference = find_reachable_clone(&mut uni, &policy, SafetyConfig::default(), |u, p| {
+            ReachIndex::build(u, p).reach_priv(Entity::User(bob), target)
+        });
         let engine = perm_reachable(
             &mut uni,
             &policy,

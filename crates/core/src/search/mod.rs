@@ -139,7 +139,11 @@ impl<L: Copy> CandidateSet<L> {
     fn candidate(&self, i: usize) -> (L, bool, &[u64]) {
         let (label, goal) = self.meta[i];
         let start = i * self.words_per_state;
-        (label, goal, &self.words[start..start + self.words_per_state])
+        (
+            label,
+            goal,
+            &self.words[start..start + self.words_per_state],
+        )
     }
 
     /// Iterates `(label, goal, words)` in emission order.
@@ -175,7 +179,10 @@ pub trait StateSpace: Sync {
 ///
 /// The root state must already have been checked against the goal by
 /// the caller — the engine only evaluates goals on successors.
-pub fn search<S: StateSpace>(space: &S, limits: SearchLimits) -> (SearchOutcome<S::Label>, SearchStats) {
+pub fn search<S: StateSpace>(
+    space: &S,
+    limits: SearchLimits,
+) -> (SearchOutcome<S::Label>, SearchStats) {
     let words_per_state = words_for(space.state_bits());
     let mut arena = StateArena::new(space.state_bits());
     let mut root = vec![0u64; words_per_state];
@@ -423,10 +430,9 @@ mod tests {
                 },
             );
             match (&seq, &par) {
-                (
-                    SearchOutcome::Found { witness: a },
-                    SearchOutcome::Found { witness: b },
-                ) => assert_eq!(a, b, "jobs={jobs}"),
+                (SearchOutcome::Found { witness: a }, SearchOutcome::Found { witness: b }) => {
+                    assert_eq!(a, b, "jobs={jobs}")
+                }
                 other => panic!("{other:?}"),
             }
         }

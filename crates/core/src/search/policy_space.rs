@@ -237,9 +237,12 @@ impl StateSpace for PolicySearch<'_> {
         // answers every command (the seed rebuilt it per command).
         let order = match self.auth_mode {
             AuthMode::Explicit => None,
-            AuthMode::Ordered(mode) => {
-                Some(PrivilegeOrder::with_index(self.universe, &policy, idx, mode))
-            }
+            AuthMode::Ordered(mode) => Some(PrivilegeOrder::with_index(
+                self.universe,
+                &policy,
+                idx,
+                mode,
+            )),
         };
         let mut scratch = state.to_vec();
         for pc in &self.alphabet {

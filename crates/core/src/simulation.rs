@@ -405,7 +405,10 @@ mod tests {
         let hr = uni.find_role("hr").unwrap();
         let p = psi.privs_of(hr).next().unwrap();
         psi.remove_edge(Edge::RolePriv(hr, p));
-        for direction in [SimulationDirection::Simulation, SimulationDirection::LiteralText] {
+        for direction in [
+            SimulationDirection::Simulation,
+            SimulationDirection::LiteralText,
+        ] {
             let out = check_admin_refinement(
                 &uni,
                 &phi,

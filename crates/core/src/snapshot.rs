@@ -1,0 +1,177 @@
+//! Immutable, versioned policy snapshots for serving reads.
+//!
+//! The paper separates rare administrative refinement steps from the
+//! high-frequency authorization checks they govern. A [`PolicySnapshot`]
+//! is the read-side artifact of that separation: one frozen
+//! `(universe, policy)` pair together with the derived [`ReachIndex`],
+//! stamped with the epoch that published it. A reference monitor builds
+//! one snapshot per *batch* of administrative commands and publishes it
+//! atomically; readers then answer `check_access` and analysis queries
+//! against the index in O(1)–O(holders) without taking any lock or
+//! re-walking the policy graph.
+//!
+//! Snapshots are plain owned data (`Send + Sync`), so they can sit behind
+//! an epoch cell, be shipped to analysis threads, or be diffed across
+//! epochs.
+
+use crate::ids::{Entity, Node, Perm, PrivId, RoleId};
+use crate::ordering::{OrderingMode, PrivilegeOrder};
+use crate::policy::Policy;
+use crate::reach::ReachIndex;
+use crate::universe::{PrivTerm, Universe};
+
+/// One frozen policy state plus its derived read indexes.
+///
+/// Construction cost is one [`ReachIndex::build`] (`O(|R|²/64 + |E|)`);
+/// that is paid once per published batch, never per query.
+#[derive(Debug, Clone)]
+pub struct PolicySnapshot {
+    /// The epoch that published this snapshot (0 = initial state).
+    pub epoch: u64,
+    universe: Universe,
+    policy: Policy,
+    reach: ReachIndex,
+}
+
+impl PolicySnapshot {
+    /// Freezes `(universe, policy)` as epoch `epoch`, building the
+    /// reachability index.
+    pub fn build(universe: Universe, policy: Policy, epoch: u64) -> Self {
+        let reach = ReachIndex::build(&universe, &policy);
+        PolicySnapshot {
+            epoch,
+            universe,
+            policy,
+            reach,
+        }
+    }
+
+    /// The frozen universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The frozen policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The prebuilt reachability index over this snapshot.
+    pub fn reach(&self) -> &ReachIndex {
+        &self.reach
+    }
+
+    /// `true` iff any of `roles` reaches the user privilege `perm` in
+    /// this snapshot — the hot path of a session access check. Terms
+    /// never interned in this epoch's universe are unreachable by
+    /// definition.
+    pub fn roles_reach_perm(&self, roles: impl IntoIterator<Item = RoleId>, perm: Perm) -> bool {
+        let Some(p) = self.universe.find_term(PrivTerm::Perm(perm)) else {
+            return false;
+        };
+        roles
+            .into_iter()
+            .any(|r| self.reach.reach_priv(Entity::Role(r), p))
+    }
+
+    /// `true` iff `entity` reaches the privilege vertex `p` (`v →φ p`).
+    pub fn entity_reaches_priv(&self, entity: Entity, p: PrivId) -> bool {
+        self.reach.reach_priv(entity, p)
+    }
+
+    /// General node-to-node reachability against the index.
+    pub fn reaches(&self, from: Node, to: Node) -> bool {
+        self.reach.reach_node(from, to)
+    }
+
+    /// Builds the privilege ordering `⊑φ` for this snapshot on demand,
+    /// reusing the snapshot's prebuilt reachability index.
+    ///
+    /// The order borrows the snapshot (it memoises against the frozen
+    /// policy), so derive it once per task, not per query.
+    pub fn privilege_order(&self, mode: OrderingMode) -> PrivilegeOrder<'_> {
+        PrivilegeOrder::with_index(&self.universe, &self.policy, &self.reach, mode)
+    }
+
+    /// Clones out the `(universe, policy)` pair for offline analysis or
+    /// as the seed of a writer's working state.
+    pub fn clone_state(&self) -> (Universe, Policy) {
+        (self.universe.clone(), self.policy.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyBuilder;
+    use crate::reach::reaches;
+
+    fn figure1() -> (Universe, Policy) {
+        PolicyBuilder::new()
+            .assign("diana", "nurse")
+            .assign("diana", "staff")
+            .inherit("staff", "nurse")
+            .inherit("nurse", "dbusr1")
+            .inherit("staff", "dbusr2")
+            .permit("dbusr1", "read", "t1")
+            .permit("dbusr2", "write", "t3")
+            .finish()
+    }
+
+    #[test]
+    fn roles_reach_perm_matches_bfs() {
+        let (mut uni, policy) = figure1();
+        let nurse = uni.find_role("nurse").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let read_t1 = uni.perm("read", "t1");
+        let write_t3 = uni.perm("write", "t3");
+        let p1 = uni.priv_perm(read_t1);
+        let snap = PolicySnapshot::build(uni, policy.clone(), 7);
+        assert_eq!(snap.epoch, 7);
+        assert!(snap.roles_reach_perm([nurse], read_t1));
+        assert!(!snap.roles_reach_perm([nurse], write_t3));
+        assert!(snap.roles_reach_perm([nurse, staff], write_t3));
+        assert!(snap.roles_reach_perm([staff], write_t3));
+        assert_eq!(
+            snap.reaches(Node::Role(nurse), Node::Priv(p1)),
+            reaches(&policy, Node::Role(nurse), Node::Priv(p1))
+        );
+    }
+
+    #[test]
+    fn uninterned_perm_is_unreachable() {
+        let (uni, policy) = figure1();
+        let mut probe = uni.clone();
+        let ghost = probe.perm("erase", "t9");
+        let snap = PolicySnapshot::build(uni, policy, 0);
+        let staff = snap.universe().find_role("staff").unwrap();
+        assert!(!snap.roles_reach_perm([staff], ghost));
+    }
+
+    #[test]
+    fn snapshot_is_frozen_against_later_mutation() {
+        let (uni, policy) = figure1();
+        let snap = PolicySnapshot::build(uni.clone(), policy.clone(), 1);
+        let (mut u2, mut p2) = snap.clone_state();
+        let diana = u2.find_user("diana").unwrap();
+        let staff = u2.find_role("staff").unwrap();
+        p2.remove_edge(crate::universe::Edge::UserRole(diana, staff));
+        // The snapshot still answers from its frozen state.
+        let write_t3 = u2.perm("write", "t3");
+        assert!(snap.roles_reach_perm([staff], write_t3));
+        assert!(snap
+            .reach()
+            .reach_entity(Entity::User(diana), Entity::Role(staff)));
+    }
+
+    #[test]
+    fn privilege_order_is_derivable_on_demand() {
+        let (mut uni, policy) = figure1();
+        let diana = uni.find_user("diana").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let held = uni.grant_user_role(diana, staff);
+        let snap = PolicySnapshot::build(uni, policy, 0);
+        let order = snap.privilege_order(OrderingMode::Extended);
+        assert!(order.is_weaker(held, held));
+    }
+}

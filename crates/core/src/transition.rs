@@ -128,6 +128,19 @@ pub fn authorize(
     }
 }
 
+/// The mutation half of [`step`]: applies an already-authorized
+/// command's edge change to `policy`. Returns whether the edge set
+/// actually changed. Callers that need to interpose between the
+/// authorization decision and the state change (e.g. a write-ahead log
+/// that must persist the decision before applying it) use
+/// [`authorize`] + `apply_edge`; everyone else uses [`step`].
+pub fn apply_edge(policy: &mut Policy, cmd: &Command) -> bool {
+    match cmd.kind {
+        CommandKind::Grant => policy.add_edge(cmd.edge),
+        CommandKind::Revoke => policy.remove_edge(cmd.edge),
+    }
+}
+
 /// One step of `⇒`: authorizes and applies `cmd` to `policy`.
 pub fn step(
     universe: &mut Universe,
@@ -136,14 +149,7 @@ pub fn step(
     mode: AuthMode,
 ) -> StepOutcome {
     let authorization = authorize(universe, policy, cmd, mode);
-    let changed = if authorization.is_some() {
-        match cmd.kind {
-            CommandKind::Grant => policy.add_edge(cmd.edge),
-            CommandKind::Revoke => policy.remove_edge(cmd.edge),
-        }
-    } else {
-        false
-    };
+    let changed = authorization.is_some() && apply_edge(policy, cmd);
     StepOutcome {
         authorization,
         changed,
@@ -336,7 +342,9 @@ mod tests {
         let out = step(&mut uni, &mut policy, &cmd, mode);
         assert!(out.executed(), "Jane applies least privilege for Bob");
         let auth = out.authorization.unwrap();
-        let held = uni.find_term(PrivTerm::Grant(Edge::UserRole(bob, staff))).unwrap();
+        let held = uni
+            .find_term(PrivTerm::Grant(Edge::UserRole(bob, staff)))
+            .unwrap();
         assert_eq!(auth.held, held);
         assert_ne!(auth.held, auth.target);
         assert!(policy.contains_edge(Edge::UserRole(bob, dbusr2)));

@@ -103,7 +103,12 @@ fn build(spec: &PolicySpec) -> (Universe, Policy, Vec<UserId>, Vec<RoleId>) {
 }
 
 /// All policy-relevant terms: assigned vertices plus a few fresh ones.
-fn term_pool(uni: &mut Universe, policy: &Policy, users: &[UserId], roles: &[RoleId]) -> Vec<PrivId> {
+fn term_pool(
+    uni: &mut Universe,
+    policy: &Policy,
+    users: &[UserId],
+    roles: &[RoleId],
+) -> Vec<PrivId> {
     let mut terms: Vec<PrivId> = policy.priv_vertices().into_iter().collect();
     terms.push(uni.grant_user_role(users[0], roles[0]));
     terms.push(uni.grant_user_role(users[1], roles[ROLES - 1]));

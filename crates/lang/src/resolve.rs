@@ -23,10 +23,7 @@ pub fn resolve_policy(doc: &PolicyDoc) -> Result<(Universe, Policy), LangError> 
 
 /// Resolves a document into an existing universe (declared names are
 /// interned; clashes with existing names of the other kind are rejected).
-pub fn resolve_policy_into(
-    doc: &PolicyDoc,
-    universe: &mut Universe,
-) -> Result<Policy, LangError> {
+pub fn resolve_policy_into(doc: &PolicyDoc, universe: &mut Universe) -> Result<Policy, LangError> {
     for name in &doc.users {
         if universe.find_role(name).is_some() {
             return Err(LangError::resolve(
@@ -217,10 +214,8 @@ mod tests {
 
     #[test]
     fn grant_to_user_of_privilege_is_ill_formed() {
-        let doc = parse_policy(
-            "policy p { users u; roles r; perm r -> grant(u, grant(r, r)); }",
-        )
-        .unwrap();
+        let doc = parse_policy("policy p { users u; roles r; perm r -> grant(u, grant(r, r)); }")
+            .unwrap();
         let err = resolve_policy(&doc).unwrap_err();
         assert!(err.to_string().contains("Definition 2"), "{err}");
     }

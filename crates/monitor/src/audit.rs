@@ -80,6 +80,39 @@ impl AuditLog {
         self.events.iter()
     }
 
+    /// Copies out at most the last `max` retained events, oldest first.
+    /// Bounded: callers polling a long-lived monitor pay O(max), not
+    /// O(history).
+    pub fn tail(&self, max: usize) -> Vec<AuditEvent> {
+        let skip = self.events.len().saturating_sub(max);
+        self.events.iter().skip(skip).copied().collect()
+    }
+
+    /// Copies out up to `max` retained events with `seq > after`, oldest
+    /// first. Sequence numbers are dense, so the cursor position is
+    /// found by offset arithmetic, not a scan.
+    pub fn events_since(&self, after: u64, max: usize) -> Vec<AuditEvent> {
+        let Some(first) = self.events.front().map(|e| e.seq) else {
+            return Vec::new();
+        };
+        // Events with seq <= after are skipped; `after` may predate the
+        // ring (everything retained qualifies) or postdate it (nothing,
+        // including the `u64::MAX` everything-seen sentinel).
+        let skip = after
+            .saturating_add(1)
+            .saturating_sub(first)
+            .min(self.events.len() as u64) as usize;
+        self.events.iter().skip(skip).take(max).copied().collect()
+    }
+
+    /// Takes all retained events out of the log, oldest first, leaving it
+    /// empty. Sequence numbering continues where it left off; the drained
+    /// events count as evicted for bookkeeping.
+    pub fn drain(&mut self) -> Vec<AuditEvent> {
+        self.evicted += self.events.len() as u64;
+        std::mem::take(&mut self.events).into()
+    }
+
     /// Number of retained events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -146,6 +179,56 @@ mod tests {
         assert_eq!(log.evicted(), 2);
         let seqs: Vec<u64> = log.events().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn tail_and_since_are_bounded_windows() {
+        let mut log = AuditLog::new(4);
+        for i in 0..6 {
+            log.record(cmd(i), Decision::Refused, false);
+        }
+        // Retained: seqs 2..=5.
+        assert_eq!(
+            log.tail(2).iter().map(|e| e.seq).collect::<Vec<_>>(),
+            [4, 5]
+        );
+        assert_eq!(log.tail(100).len(), 4);
+        assert_eq!(
+            log.events_since(2, 10)
+                .iter()
+                .map(|e| e.seq)
+                .collect::<Vec<_>>(),
+            [3, 4, 5]
+        );
+        assert_eq!(
+            log.events_since(0, 2)
+                .iter()
+                .map(|e| e.seq)
+                .collect::<Vec<_>>(),
+            [2, 3],
+            "a cursor older than the ring starts at the oldest retained"
+        );
+        assert!(log.events_since(5, 10).is_empty());
+        assert!(log.events_since(99, 10).is_empty());
+        assert!(
+            log.events_since(u64::MAX, 10).is_empty(),
+            "the everything-seen sentinel must not overflow"
+        );
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_numbering() {
+        let mut log = AuditLog::new(8);
+        for i in 0..3 {
+            log.record(cmd(i), Decision::Refused, false);
+        }
+        let drained = log.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(log.is_empty());
+        assert_eq!(log.evicted(), 3);
+        let seq = log.record(cmd(9), Decision::Refused, false);
+        assert_eq!(seq, 3, "numbering continues across a drain");
+        assert!(log.events_since(1, 10).iter().all(|e| e.seq > 1));
     }
 
     #[test]

@@ -5,12 +5,20 @@
 //! Definition 5 — optionally with the §4.1 privilege-ordering implicit
 //! authorization — an audit trail of every decision, and an optional
 //! durable backend (`adminref-store`).
+//!
+//! Reads are served lock-free from immutable epoch-published
+//! [`PolicySnapshot`](adminref_core::snapshot::PolicySnapshot)s while a
+//! batched single writer applies admin commands (see [`monitor`]); the
+//! pre-epoch single-lock design survives as [`locked::LockedMonitor`]
+//! for differential testing and benchmarking.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod locked;
 pub mod monitor;
 
 pub use audit::{AuditEvent, AuditLog, Decision};
+pub use locked::LockedMonitor;
 pub use monitor::{MonitorConfig, MonitorError, ReferenceMonitor, SessionId};

@@ -6,25 +6,57 @@
 //! [`AuthMode`] (Definition 5, optionally with the §4.1 ordering), and
 //! records every decision in the audit log.
 //!
-//! Thread safety: state sits behind a `parking_lot::RwLock`. Access checks
-//! and policy reads take the read lock; command execution takes the write
-//! lock. Ordered-mode authorization rebuilds the privilege order against
-//! the current snapshot on each command — the honest per-command cost of
-//! the paper's flexibility, measured in `benches/monitor.rs`.
+//! # Architecture: batched single writer, lock-free readers
+//!
+//! The paper separates rare administrative refinement steps from the
+//! high-frequency authorization checks they govern, and the monitor's
+//! concurrency model mirrors that split:
+//!
+//! * **Read path** — [`check_access`](ReferenceMonitor::check_access),
+//!   [`snapshot`](ReferenceMonitor::snapshot),
+//!   [`with_state`](ReferenceMonitor::with_state) and
+//!   [`read_snapshot`](ReferenceMonitor::read_snapshot) never take the
+//!   write path's lock. The current policy lives in an immutable,
+//!   versioned [`PolicySnapshot`] (universe + policy + prebuilt
+//!   [`ReachIndex`](adminref_core::reach::ReachIndex)) published through
+//!   a lock-free epoch cell (`arc_swap`); a read pins the current epoch,
+//!   clones the `Arc`, and answers from the index — no graph walk, no
+//!   contention with the admin writer. Session lookups go through a
+//!   separate sessions `RwLock` that administrative commands never touch.
+//! * **Write path** — [`submit`](ReferenceMonitor::submit) and
+//!   [`submit_queue`](ReferenceMonitor::submit_queue) funnel through one
+//!   writer mutex. A whole queue is applied as **one batch**: commands
+//!   execute serially under Definition 5 (so outcomes and the audit
+//!   sequence are identical to a serial monitor), the durable backend
+//!   syncs its WAL once per batch, the derived index is rebuilt once per
+//!   batch, and the new snapshot is published atomically with
+//!   `epoch = version() + 1`. Readers therefore observe only whole
+//!   batches: every concurrent read agrees with either the pre- or the
+//!   post-batch policy, never a torn intermediate state.
+//!
+//! The previous single-`RwLock` design is preserved unchanged as
+//! [`LockedMonitor`](crate::locked::LockedMonitor) for differential
+//! testing and as the baseline of the `monitor_throughput` benchmark and
+//! `adminref bench-monitor`.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use arc_swap::ArcSwap;
+use parking_lot::{Mutex, RwLock};
 
 use adminref_core::command::{Command, CommandQueue};
 use adminref_core::ids::{Entity, Perm, RoleId, UserId};
 use adminref_core::policy::Policy;
 use adminref_core::safety::{perm_reachable, ReachabilityAnswer, SafetyConfig};
 use adminref_core::session::{Session, SessionError};
+use adminref_core::snapshot::PolicySnapshot;
 use adminref_core::transition::{step, AuthMode, StepOutcome};
 use adminref_core::universe::Universe;
 use adminref_store::{PolicyStore, StoreError};
 
-use crate::audit::{AuditLog, Decision};
+use crate::audit::{AuditEvent, AuditLog, Decision};
 
 /// Monitor configuration.
 #[derive(Clone, Copy, Debug)]
@@ -107,44 +139,73 @@ impl Backend {
         }
     }
 
-    fn execute(&mut self, cmd: &Command, mode: AuthMode) -> Result<StepOutcome, MonitorError> {
+    /// Applies one batch: serial Definition-5 execution per command, one
+    /// WAL sync per batch on the durable backend. Returns the outcomes
+    /// of every command that executed plus the first backend error, if
+    /// any — on a mid-batch store failure the applied prefix is exactly
+    /// `outcomes` (the store's log-before-apply discipline guarantees
+    /// the failing command changed nothing), so the caller can audit
+    /// and publish it before surfacing the error.
+    fn execute_batch(
+        &mut self,
+        commands: &[Command],
+        mode: AuthMode,
+    ) -> (Vec<StepOutcome>, Option<MonitorError>) {
         match self {
-            Backend::Memory { universe, policy } => Ok(step(universe, policy, cmd, mode)),
+            Backend::Memory { universe, policy } => (
+                commands
+                    .iter()
+                    .map(|cmd| step(universe, policy, cmd, mode))
+                    .collect(),
+                None,
+            ),
             Backend::Durable(store) => {
                 debug_assert_eq!(store.auth_mode(), mode, "mode set at store creation");
-                Ok(store.execute(cmd)?)
+                let (outcomes, status) = store.execute_batch(commands.iter());
+                (outcomes, status.err().map(MonitorError::from))
             }
         }
     }
 }
 
-struct Inner {
+/// Write-side state: the live backend plus the publication counter. Only
+/// the batched writer (and `compact`/`sync`) ever locks this.
+struct Writer {
     backend: Backend,
-    sessions: HashMap<SessionId, Session>,
-    next_session: u64,
-    audit: AuditLog,
-    version: u64,
-    config: MonitorConfig,
+    epoch: u64,
 }
 
 /// The reference monitor.
 pub struct ReferenceMonitor {
-    inner: RwLock<Inner>,
+    /// Published read-side state; see the module docs.
+    snapshot: ArcSwap<PolicySnapshot>,
+    /// Serialized write-side state.
+    writer: Mutex<Writer>,
+    /// Sessions, decoupled from the policy state (admin commands never
+    /// lock this; session churn never blocks the writer).
+    sessions: RwLock<HashMap<SessionId, Session>>,
+    next_session: AtomicU64,
+    /// The audit ring under its own short-critical-section lock, so
+    /// auditors reading history don't stall command execution.
+    audit: Mutex<AuditLog>,
+    config: MonitorConfig,
 }
 
 impl ReferenceMonitor {
     /// An in-memory monitor over the given state.
     pub fn new(universe: Universe, policy: Policy, config: MonitorConfig) -> Self {
         policy.check_universe(&universe);
+        let snapshot = PolicySnapshot::build(universe.clone(), policy.clone(), 0);
         ReferenceMonitor {
-            inner: RwLock::new(Inner {
+            snapshot: ArcSwap::from_pointee(snapshot),
+            writer: Mutex::new(Writer {
                 backend: Backend::Memory { universe, policy },
-                sessions: HashMap::new(),
-                next_session: 0,
-                audit: AuditLog::new(config.audit_capacity),
-                version: 0,
-                config,
+                epoch: 0,
             }),
+            sessions: RwLock::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            audit: Mutex::new(AuditLog::new(config.audit_capacity)),
+            config,
         }
     }
 
@@ -154,133 +215,196 @@ impl ReferenceMonitor {
             auth_mode: store.auth_mode(),
             ..config
         };
+        let snapshot = PolicySnapshot::build(store.universe().clone(), store.policy().clone(), 0);
         ReferenceMonitor {
-            inner: RwLock::new(Inner {
+            snapshot: ArcSwap::from_pointee(snapshot),
+            writer: Mutex::new(Writer {
                 backend: Backend::Durable(Box::new(store)),
-                sessions: HashMap::new(),
-                next_session: 0,
-                audit: AuditLog::new(config.audit_capacity),
-                version: 0,
-                config,
+                epoch: 0,
             }),
+            sessions: RwLock::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            audit: Mutex::new(AuditLog::new(config.audit_capacity)),
+            config,
         }
     }
 
-    /// Submits one administrative command; records the decision in the
-    /// audit log.
+    /// Submits one administrative command (a batch of one); records the
+    /// decision in the audit log.
     pub fn submit(&self, cmd: &Command) -> Result<StepOutcome, MonitorError> {
-        let mut inner = self.inner.write();
-        let mode = inner.config.auth_mode;
-        let outcome = inner.backend.execute(cmd, mode)?;
-        let decision = match outcome.authorization {
-            Some(auth) => Decision::Executed {
-                held: auth.held,
-                target: auth.target,
-            },
-            None => Decision::Refused,
-        };
-        inner.audit.record(*cmd, decision, outcome.changed);
-        if outcome.changed {
-            inner.version += 1;
-        }
-        Ok(outcome)
+        let outcomes = self.submit_batch(std::slice::from_ref(cmd))?;
+        Ok(outcomes[0])
     }
 
-    /// Submits a whole queue, front to back.
+    /// Submits a whole queue, front to back, as **one batch**: outcomes
+    /// and audit records are identical to submitting each command
+    /// individually, but the WAL is synced once, the read index is
+    /// rebuilt once, and exactly one new epoch is published — concurrent
+    /// readers see either the pre- or the post-queue policy, never an
+    /// intermediate step.
     pub fn submit_queue(&self, queue: &CommandQueue) -> Result<Vec<StepOutcome>, MonitorError> {
-        queue.iter().map(|cmd| self.submit(cmd)).collect()
+        let commands: Vec<Command> = queue.iter().copied().collect();
+        self.submit_batch(&commands)
+    }
+
+    /// Submits a slice of commands as one batch. See
+    /// [`submit_queue`](Self::submit_queue).
+    ///
+    /// On a durable-backend failure mid-batch the applied prefix is
+    /// still audited and published (the store's log-before-apply
+    /// discipline keeps state, WAL, audit, and the published snapshot
+    /// agreeing on exactly that prefix) and the error is returned.
+    pub fn submit_batch(&self, commands: &[Command]) -> Result<Vec<StepOutcome>, MonitorError> {
+        if commands.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut writer = self.writer.lock();
+        let terms_before = writer.backend.universe().term_count();
+        let (outcomes, error) = writer
+            .backend
+            .execute_batch(commands, self.config.auth_mode);
+        // Audit while still holding the writer lock, so the global audit
+        // order equals the execution (and WAL) order across batches.
+        {
+            let mut audit = self.audit.lock();
+            for (cmd, outcome) in commands.iter().zip(&outcomes) {
+                let decision = match outcome.authorization {
+                    Some(auth) => Decision::Executed {
+                        held: auth.held,
+                        target: auth.target,
+                    },
+                    None => Decision::Refused,
+                };
+                audit.record(*cmd, decision, outcome.changed);
+            }
+        }
+        // Publish one new epoch iff the batch had any observable effect:
+        // an edge change, or a newly interned privilege term (ordered-
+        // mode authorization interns targets; audit rendering needs them
+        // resolvable in the published universe).
+        let changed = outcomes.iter().any(|o| o.changed)
+            || writer.backend.universe().term_count() != terms_before;
+        if changed {
+            writer.epoch += 1;
+            let snapshot = PolicySnapshot::build(
+                writer.backend.universe().clone(),
+                writer.backend.policy().clone(),
+                writer.epoch,
+            );
+            self.snapshot.store(Arc::new(snapshot));
+        }
+        match error {
+            Some(e) => Err(e),
+            None => Ok(outcomes),
+        }
     }
 
     /// Starts a session for `user`.
     pub fn create_session(&self, user: UserId) -> SessionId {
-        let mut inner = self.inner.write();
-        let id = SessionId(inner.next_session);
-        inner.next_session += 1;
-        inner.sessions.insert(id, Session::new(user));
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        self.sessions.write().insert(id, Session::new(user));
         id
     }
 
-    /// Activates a role in a session (`u →φ r` required).
+    /// Activates a role in a session (`u →φ r` against the current
+    /// published epoch).
     pub fn activate_role(&self, session: SessionId, role: RoleId) -> Result<(), MonitorError> {
-        let mut inner = self.inner.write();
-        let Inner {
-            backend, sessions, ..
-        } = &mut *inner;
+        let snapshot = self.read_snapshot();
+        let mut sessions = self.sessions.write();
         let s = sessions
             .get_mut(&session)
             .ok_or(MonitorError::UnknownSession(session))?;
-        s.activate(backend.policy(), role)?;
+        s.activate(snapshot.policy(), role)?;
         Ok(())
     }
 
     /// Deactivates a role; `Ok(true)` if it was active.
     pub fn deactivate_role(&self, session: SessionId, role: RoleId) -> Result<bool, MonitorError> {
-        let mut inner = self.inner.write();
-        let s = inner
-            .sessions
+        let mut sessions = self.sessions.write();
+        let s = sessions
             .get_mut(&session)
             .ok_or(MonitorError::UnknownSession(session))?;
         Ok(s.deactivate(role))
     }
 
     /// Access check: do the session's active roles reach `perm`?
+    ///
+    /// Lock-free against the write path: one epoch-cell load plus an
+    /// index probe per active role. A perm term never interned in the
+    /// published universe is unreachable by definition.
     pub fn check_access(&self, session: SessionId, perm: Perm) -> Result<bool, MonitorError> {
-        let inner = self.inner.read();
-        let s = inner
-            .sessions
+        let snapshot = self.read_snapshot();
+        let sessions = self.sessions.read();
+        let s = sessions
             .get(&session)
             .ok_or(MonitorError::UnknownSession(session))?;
-        // Non-mutating variant of Session::check_access: the perm term may
-        // not be interned yet, in which case no role reaches it.
-        let universe = inner.backend.universe();
-        let Some(p) = universe.find_term(adminref_core::universe::PrivTerm::Perm(perm)) else {
-            return Ok(false);
-        };
-        let policy = inner.backend.policy();
-        let allowed = s.active_roles().any(|r| {
-            adminref_core::reach::reaches(
-                policy,
-                adminref_core::ids::Node::Role(r),
-                adminref_core::ids::Node::Priv(p),
-            )
-        });
-        Ok(allowed)
+        Ok(snapshot.roles_reach_perm(s.active_roles(), perm))
     }
 
     /// Ends a session.
     pub fn drop_session(&self, session: SessionId) -> bool {
-        self.inner.write().sessions.remove(&session).is_some()
+        self.sessions.write().remove(&session).is_some()
+    }
+
+    /// The currently published snapshot (immutable; shared, not cloned).
+    /// Epochs observed through consecutive loads are monotone.
+    pub fn read_snapshot(&self) -> Arc<PolicySnapshot> {
+        self.snapshot.load_full()
     }
 
     /// Clones the current state for offline analysis.
     pub fn snapshot(&self) -> (Universe, Policy) {
-        let inner = self.inner.read();
-        (
-            inner.backend.universe().clone(),
-            inner.backend.policy().clone(),
-        )
+        self.read_snapshot().clone_state()
     }
 
-    /// The number of policy-changing commands processed so far.
+    /// The published epoch id: the number of snapshot publications so
+    /// far, i.e. the number of *batches* that changed the policy state
+    /// (with single-command submits, exactly the number of
+    /// policy-changing commands).
     pub fn version(&self) -> u64 {
-        self.inner.read().version
+        self.read_snapshot().epoch
     }
 
-    /// Copies out the retained audit events.
-    pub fn audit_events(&self) -> Vec<crate::audit::AuditEvent> {
-        self.inner.read().audit.events().copied().collect()
+    /// Copies out all retained audit events. For long-running monitors
+    /// prefer the bounded [`audit_tail`](Self::audit_tail) /
+    /// [`audit_events_since`](Self::audit_events_since) or the O(1)
+    /// [`drain_audit_events`](Self::drain_audit_events), which don't
+    /// copy the whole ring under the lock.
+    pub fn audit_events(&self) -> Vec<AuditEvent> {
+        self.audit.lock().events().copied().collect()
+    }
+
+    /// Copies out at most the last `max` retained audit events (oldest
+    /// first), bounding the time the audit lock is held.
+    pub fn audit_tail(&self, max: usize) -> Vec<AuditEvent> {
+        self.audit.lock().tail(max)
+    }
+
+    /// Copies out up to `max` retained events with `seq > after`, oldest
+    /// first — the incremental shipping pattern: keep the last seq you
+    /// saw and poll for what's new.
+    pub fn audit_events_since(&self, after: u64, max: usize) -> Vec<AuditEvent> {
+        self.audit.lock().events_since(after, max)
+    }
+
+    /// Takes all retained events out of the ring (oldest first), leaving
+    /// it empty but preserving sequence numbering. O(1) lock hold: the
+    /// backing buffer is moved, not copied.
+    pub fn drain_audit_events(&self) -> Vec<AuditEvent> {
+        self.audit.lock().drain()
     }
 
     /// The configured authorization mode.
     pub fn auth_mode(&self) -> AuthMode {
-        self.inner.read().config.auth_mode
+        self.config.auth_mode
     }
 
-    /// Runs a closure against the live universe and policy under the read
-    /// lock (for analyses that do not need a clone).
+    /// Runs a closure against the published universe and policy (for
+    /// analyses that do not need a clone). Lock-free; the state is the
+    /// snapshot current at the call.
     pub fn with_state<T>(&self, f: impl FnOnce(&Universe, &Policy) -> T) -> T {
-        let inner = self.inner.read();
-        f(inner.backend.universe(), inner.backend.policy())
+        let snapshot = self.read_snapshot();
+        f(snapshot.universe(), snapshot.policy())
     }
 
     /// Bounded safety analysis against a snapshot of the live policy:
@@ -310,8 +434,8 @@ impl ReferenceMonitor {
     /// For durable monitors: folds the command log into a fresh snapshot.
     /// A no-op on in-memory monitors.
     pub fn compact(&self) -> Result<(), MonitorError> {
-        let mut inner = self.inner.write();
-        match &mut inner.backend {
+        let mut writer = self.writer.lock();
+        match &mut writer.backend {
             Backend::Memory { .. } => Ok(()),
             Backend::Durable(store) => {
                 store.compact()?;
@@ -321,10 +445,11 @@ impl ReferenceMonitor {
     }
 
     /// For durable monitors: forces the log to stable storage. A no-op on
-    /// in-memory monitors.
+    /// in-memory monitors. Batches are already synced on publication;
+    /// this remains for explicit flush points.
     pub fn sync(&self) -> Result<(), MonitorError> {
-        let mut inner = self.inner.write();
-        match &mut inner.backend {
+        let mut writer = self.writer.lock();
+        match &mut writer.backend {
             Backend::Memory { .. } => Ok(()),
             Backend::Durable(store) => {
                 store.sync()?;
@@ -446,12 +571,16 @@ mod tests {
         assert!(out.executed());
         let auth = out.authorization.unwrap();
         assert_ne!(auth.held, auth.target, "implicit authorization was used");
-        // The audit trail captures both privileges.
+        // The audit trail captures both privileges, and the published
+        // universe can render them (the target term was interned during
+        // this batch).
         let events = m.audit_events();
         assert!(matches!(
             events[0].decision,
             Decision::Executed { held, target } if held != target
         ));
+        let (uni_now, _) = m.snapshot();
+        assert!(uni_now.term_count() > uni.term_count());
     }
 
     #[test]
@@ -495,9 +624,68 @@ mod tests {
             });
         })
         .unwrap();
-        // 100 policy-changing commands (50 grants + 50 revokes).
+        // 100 policy-changing commands (50 grants + 50 revokes), each its
+        // own batch → 100 published epochs.
         assert_eq!(m.version(), 100);
         assert!(m.check_access(sid, read_t1).unwrap());
+    }
+
+    #[test]
+    fn batched_queue_publishes_one_epoch() {
+        let (m, uni) = monitor(AuthMode::Explicit);
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let queue: CommandQueue = [
+            Command::grant(jane, Edge::UserRole(bob, staff)),
+            Command::grant(bob, Edge::UserRole(jane, staff)), // refused
+            Command::revoke(jane, Edge::UserRole(bob, staff)),
+            Command::grant(jane, Edge::UserRole(bob, staff)),
+        ]
+        .into_iter()
+        .collect();
+        let outcomes = m.submit_queue(&queue).unwrap();
+        assert_eq!(outcomes.iter().filter(|o| o.executed()).count(), 3);
+        assert_eq!(m.version(), 1, "one batch, one epoch");
+        assert_eq!(m.audit_events().len(), 4, "audit still sees every command");
+        let snap = m.read_snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert!(snap.policy().contains_edge(Edge::UserRole(bob, staff)));
+        // An all-refused batch publishes nothing.
+        let noop: CommandQueue = [Command::grant(bob, Edge::UserRole(jane, staff))]
+            .into_iter()
+            .collect();
+        m.submit_queue(&noop).unwrap();
+        assert_eq!(m.version(), 1);
+    }
+
+    #[test]
+    fn audit_tail_since_and_drain() {
+        let (m, uni) = monitor(AuthMode::Explicit);
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        for _ in 0..5 {
+            m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+                .unwrap();
+            m.submit(&Command::revoke(jane, Edge::UserRole(bob, staff)))
+                .unwrap();
+        }
+        assert_eq!(m.audit_events().len(), 10);
+        let tail = m.audit_tail(3);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[2].seq, 9);
+        assert_eq!(tail[0].seq, 7);
+        let since = m.audit_events_since(6, 2);
+        assert_eq!(since.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![7, 8]);
+        assert!(m.audit_events_since(9, 100).is_empty());
+        // Drain takes everything and leaves numbering intact.
+        let drained = m.drain_audit_events();
+        assert_eq!(drained.len(), 10);
+        assert!(m.audit_events().is_empty());
+        m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        assert_eq!(m.audit_events()[0].seq, 10, "seq continues after drain");
     }
 
     #[test]
@@ -527,6 +715,31 @@ mod tests {
     }
 
     #[test]
+    fn durable_batches_are_synced_on_publication() {
+        use adminref_store::{PolicyStore, TempDir};
+        let (uni, policy) = hospital();
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let dir = TempDir::new("monitor-batch-sync").unwrap();
+        let store =
+            PolicyStore::create(dir.path(), uni.clone(), policy, AuthMode::Explicit).unwrap();
+        let m = ReferenceMonitor::with_store(store, MonitorConfig::default());
+        let queue: CommandQueue = [
+            Command::grant(jane, Edge::UserRole(bob, staff)),
+            Command::revoke(jane, Edge::UserRole(bob, staff)),
+        ]
+        .into_iter()
+        .collect();
+        m.submit_queue(&queue).unwrap();
+        // No explicit sync: the batch synced itself. Drop and recover.
+        drop(m);
+        let (store, report) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+        assert_eq!(report.replayed, 2);
+        assert!(!store.policy().contains_edge(Edge::UserRole(bob, staff)));
+    }
+
+    #[test]
     fn analysis_entry_point_finds_witness() {
         // The caller's auth_mode is overridden with the monitor's own
         // mode (the answer must reflect what this monitor would
@@ -551,7 +764,10 @@ mod tests {
             write_t3,
             SafetyConfig { jobs: 4, ..config },
         );
-        let ReachabilityAnswer::Reachable { witness: par_witness } = par else {
+        let ReachabilityAnswer::Reachable {
+            witness: par_witness,
+        } = par
+        else {
             panic!("parallel analysis changed the variant");
         };
         assert_eq!(witness.commands(), par_witness.commands());
@@ -566,8 +782,7 @@ mod tests {
         let bob = uni.find_user("bob").unwrap();
         let staff = uni.find_role("staff").unwrap();
         let read_t1 = uni.perm("read", "t1");
-        let answer =
-            m.analyze_perm_reachable(Entity::User(bob), read_t1, SafetyConfig::default());
+        let answer = m.analyze_perm_reachable(Entity::User(bob), read_t1, SafetyConfig::default());
         assert!(answer.is_reachable());
         m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
             .unwrap();

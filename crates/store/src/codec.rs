@@ -163,7 +163,10 @@ pub fn get_term(buf: &mut impl Buf) -> Result<PrivTerm, CodecError> {
         0 => {
             let action = get_varint(buf)? as u32;
             let object = get_varint(buf)? as u32;
-            Ok(PrivTerm::Perm(Perm::new(ActionId(action), ObjectId(object))))
+            Ok(PrivTerm::Perm(Perm::new(
+                ActionId(action),
+                ObjectId(object),
+            )))
         }
         1 => Ok(PrivTerm::Grant(get_edge(buf)?)),
         2 => Ok(PrivTerm::Revoke(get_edge(buf)?)),
@@ -295,8 +298,7 @@ pub fn get_universe(buf: &mut impl Buf) -> Result<Universe, CodecError> {
     for i in 0..terms {
         let term = get_term(buf)?;
         // Children must already exist.
-        if let PrivTerm::Grant(Edge::RolePriv(_, p)) | PrivTerm::Revoke(Edge::RolePriv(_, p)) =
-            term
+        if let PrivTerm::Grant(Edge::RolePriv(_, p)) | PrivTerm::Revoke(Edge::RolePriv(_, p)) = term
         {
             if p.0 as u64 >= i {
                 return Err(CodecError::DanglingId(p.0 as u64));
@@ -480,7 +482,10 @@ mod tests {
         put_varint(&mut buf, 0); // actions
         put_varint(&mut buf, 0); // objects
         put_varint(&mut buf, 1); // terms
-        put_term(&mut buf, PrivTerm::Grant(Edge::RolePriv(RoleId(0), PrivId(5))));
+        put_term(
+            &mut buf,
+            PrivTerm::Grant(Edge::RolePriv(RoleId(0), PrivId(5))),
+        );
         let mut r = buf.freeze();
         assert!(matches!(
             get_universe(&mut r),

@@ -107,7 +107,10 @@ mod tests {
         write_record(&mut buf, b"").unwrap();
         write_record(&mut buf, b"gamma-gamma").unwrap();
         let mut r = Cursor::new(buf);
-        assert_eq!(read_record(&mut r).unwrap(), RecordRead::Record(b"alpha".to_vec()));
+        assert_eq!(
+            read_record(&mut r).unwrap(),
+            RecordRead::Record(b"alpha".to_vec())
+        );
         assert_eq!(read_record(&mut r).unwrap(), RecordRead::Record(Vec::new()));
         assert_eq!(
             read_record(&mut r).unwrap(),
@@ -122,10 +125,15 @@ mod tests {
         write_record(&mut buf, b"data").unwrap();
         buf.extend_from_slice(&[1, 2, 3]); // partial next header
         let mut r = Cursor::new(buf);
-        assert!(matches!(read_record(&mut r).unwrap(), RecordRead::Record(_)));
         assert!(matches!(
             read_record(&mut r).unwrap(),
-            RecordRead::Corrupt { reason: "truncated header" }
+            RecordRead::Record(_)
+        ));
+        assert!(matches!(
+            read_record(&mut r).unwrap(),
+            RecordRead::Corrupt {
+                reason: "truncated header"
+            }
         ));
     }
 
@@ -137,7 +145,9 @@ mod tests {
         let mut r = Cursor::new(buf);
         assert!(matches!(
             read_record(&mut r).unwrap(),
-            RecordRead::Corrupt { reason: "truncated payload" }
+            RecordRead::Corrupt {
+                reason: "truncated payload"
+            }
         ));
     }
 
@@ -150,7 +160,9 @@ mod tests {
         let mut r = Cursor::new(buf);
         assert!(matches!(
             read_record(&mut r).unwrap(),
-            RecordRead::Corrupt { reason: "checksum mismatch" }
+            RecordRead::Corrupt {
+                reason: "checksum mismatch"
+            }
         ));
     }
 
@@ -162,7 +174,9 @@ mod tests {
         let mut r = Cursor::new(buf);
         assert!(matches!(
             read_record(&mut r).unwrap(),
-            RecordRead::Corrupt { reason: "length exceeds maximum" }
+            RecordRead::Corrupt {
+                reason: "length exceeds maximum"
+            }
         ));
     }
 }

@@ -103,11 +103,70 @@ impl PolicyStore {
         ))
     }
 
-    /// Executes a command against the live policy and logs it durably.
+    /// One command through the WAL discipline: authorize, **append the
+    /// decision to the log, then apply** the state change — so a failed
+    /// append never leaves the live policy ahead of the log.
+    fn execute_logged(&mut self, command: &Command) -> Result<StepOutcome, StoreError> {
+        let authorization = adminref_core::transition::authorize(
+            &mut self.universe,
+            &self.policy,
+            command,
+            self.auth_mode,
+        );
+        self.log.append(command, authorization.is_some())?;
+        let changed = authorization.is_some()
+            && adminref_core::transition::apply_edge(&mut self.policy, command);
+        Ok(StepOutcome {
+            authorization,
+            changed,
+        })
+    }
+
+    /// Executes a command against the live policy and logs it durably
+    /// (log-before-apply: on an append error the live state is
+    /// unchanged).
     pub fn execute(&mut self, command: &Command) -> Result<StepOutcome, StoreError> {
-        let outcome = step(&mut self.universe, &mut self.policy, command, self.auth_mode);
-        self.log.append(command, outcome.executed())?;
-        Ok(outcome)
+        self.execute_logged(command)
+    }
+
+    /// Executes a batch of commands, appending each to the log in order
+    /// and forcing the log to stable storage **once** at the end.
+    ///
+    /// This is the write path for batched monitors: per-command WAL
+    /// ordering is identical to calling [`execute`](Self::execute) in a
+    /// loop (recovery replays the same sequence), but the fsync cost is
+    /// amortized over the whole batch, and the batch is durable when the
+    /// call returns.
+    ///
+    /// Returns the outcomes of every command that executed plus the
+    /// first error, if any. On error the live state and log hold
+    /// exactly the commands whose outcomes were returned (the failing
+    /// command changed nothing), so callers can audit/publish the
+    /// applied prefix and surface the failure.
+    pub fn execute_batch<'a>(
+        &mut self,
+        commands: impl IntoIterator<Item = &'a Command>,
+    ) -> (Vec<StepOutcome>, Result<(), StoreError>) {
+        let mut outcomes = Vec::new();
+        for command in commands {
+            match self.execute_logged(command) {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(e) => return (outcomes, self.sync_after(Err(e))),
+            }
+        }
+        let status = if outcomes.is_empty() {
+            Ok(())
+        } else {
+            self.log.sync()
+        };
+        (outcomes, status)
+    }
+
+    /// Best-effort sync of the applied prefix after a mid-batch failure;
+    /// the original error wins over a subsequent sync error.
+    fn sync_after(&mut self, failure: Result<(), StoreError>) -> Result<(), StoreError> {
+        let _ = self.log.sync();
+        failure
     }
 
     /// Forces the log to stable storage.
@@ -202,6 +261,48 @@ mod tests {
         assert_eq!(report.replayed, 1);
         assert_eq!(report.divergent, 0);
         assert!(!report.truncated_tail);
+        assert!(store.policy().contains_edge(Edge::UserRole(bob, staff)));
+    }
+
+    #[test]
+    fn execute_batch_matches_serial_execution_and_is_durable() {
+        let (uni, policy) = sample();
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let batch = [
+            Command::grant(jane, Edge::UserRole(bob, staff)),
+            Command::grant(bob, Edge::UserRole(jane, staff)), // refused
+            Command::revoke(jane, Edge::UserRole(bob, staff)), // refused: jane holds no ♦
+        ];
+
+        let dir_batch = TempDir::new("batch").unwrap();
+        let dir_serial = TempDir::new("serial").unwrap();
+        let mut batched = PolicyStore::create(
+            dir_batch.path(),
+            uni.clone(),
+            policy.clone(),
+            AuthMode::Explicit,
+        )
+        .unwrap();
+        let mut serial =
+            PolicyStore::create(dir_serial.path(), uni, policy, AuthMode::Explicit).unwrap();
+
+        let (batch_outcomes, status) = batched.execute_batch(batch.iter());
+        status.unwrap();
+        let serial_outcomes: Vec<StepOutcome> =
+            batch.iter().map(|c| serial.execute(c).unwrap()).collect();
+        serial.sync().unwrap();
+        assert_eq!(batch_outcomes, serial_outcomes);
+        assert_eq!(batched.policy(), serial.policy());
+        assert_eq!(batched.log_len(), 3);
+
+        // The batch is durable without a further sync (recovery replays
+        // the identical sequence).
+        drop(batched);
+        let (store, report) = PolicyStore::open(dir_batch.path(), AuthMode::Explicit).unwrap();
+        assert_eq!(report.replayed, 3);
+        assert_eq!(report.divergent, 0);
         assert!(store.policy().contains_edge(Edge::UserRole(bob, staff)));
     }
 

@@ -16,12 +16,8 @@ impl TempDir {
     /// Creates `"$TMPDIR/adminref-<pid>-<n>-<label>"`.
     pub fn new(label: &str) -> std::io::Result<Self> {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "adminref-{}-{}-{}",
-            std::process::id(),
-            n,
-            label
-        ));
+        let path =
+            std::env::temp_dir().join(format!("adminref-{}-{}-{}", std::process::id(), n, label));
         std::fs::create_dir_all(&path)?;
         Ok(TempDir { path })
     }

@@ -173,10 +173,7 @@ mod tests {
         let ea: Vec<_> = a.policy.edges().collect();
         let eb: Vec<_> = b.policy.edges().collect();
         assert_eq!(ea, eb, "same seed, same hierarchy");
-        let c = layered(LayeredSpec {
-            seed: 999,
-            ..spec
-        });
+        let c = layered(LayeredSpec { seed: 999, ..spec });
         let ec: Vec<_> = c.policy.edges().collect();
         assert_ne!(ea, ec, "different seed, different hierarchy");
     }

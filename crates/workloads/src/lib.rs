@@ -10,7 +10,8 @@
 //!   nesting depth;
 //! * [`queues`] — command-queue generation with a valid/junk mix;
 //! * [`scenarios`] — named stress shapes (deep delegation chains whose
-//!   reachable-policy count is combinatorial).
+//!   reachable-policy count is combinatorial; the mixed read/write
+//!   `churn` workload behind the monitor throughput bench).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,7 +23,12 @@ pub mod scenarios;
 pub mod templates;
 
 pub use admin::{inject_admin_privs, random_admin_priv, AdminSpec};
-pub use hierarchy::{chain, layered, populate_perms, populate_users, random_dag, Hierarchy, LayeredSpec};
+pub use hierarchy::{
+    chain, layered, populate_perms, populate_users, random_dag, Hierarchy, LayeredSpec,
+};
 pub use queues::{generate_queue, QueueSpec};
-pub use scenarios::{deep_delegation, DelegationSpec, DelegationWorkload};
+pub use scenarios::{
+    churn, deep_delegation, ChurnReader, ChurnSpec, ChurnWorkload, DelegationSpec,
+    DelegationWorkload,
+};
 pub use templates::{example6, hospital_fig1, hospital_fig2, hospital_with_nested_delegation};

@@ -12,9 +12,22 @@
 //! clone-based state sets blow up in memory long before the bitset
 //! arena does.
 
-use adminref_core::ids::{Perm, RoleId, UserId};
+//! [`churn`] builds the mixed read/write monitor workload: a sized
+//! hierarchy, a population of reader sessions (each a user with an
+//! activatable role and a perm to probe), and a stream of pregenerated
+//! administrative command batches for a concurrent writer. It is the
+//! input of `adminref bench-monitor` and the `monitor_throughput`
+//! bench, which measure `check_access` throughput while the admin
+//! writer churns.
+
+use adminref_core::ids::{Entity, Perm, RoleId, UserId};
 use adminref_core::policy::Policy;
-use adminref_core::universe::{Edge, Universe};
+use adminref_core::reach::ReachIndex;
+use adminref_core::universe::{Edge, PrivTerm, Universe};
+
+use crate::admin::{inject_admin_privs, AdminSpec};
+use crate::hierarchy::{layered, populate_perms, populate_users, LayeredSpec};
+use crate::queues::{generate_queue, QueueSpec};
 
 /// Shape of a [`deep_delegation`] scenario.
 #[derive(Clone, Copy, Debug)]
@@ -97,6 +110,154 @@ pub fn deep_delegation(spec: DelegationSpec) -> DelegationWorkload {
     }
 }
 
+/// Shape of a [`churn`] scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnSpec {
+    /// Approximate role count of the layered hierarchy.
+    pub roles: usize,
+    /// Reader sessions to prepare (users cycling over the population).
+    pub readers: usize,
+    /// Commands per pregenerated writer batch.
+    pub batch_len: usize,
+    /// Number of pregenerated batches (cycled by long-running writers).
+    pub batches: usize,
+    /// Fraction of writer commands drawn from exercisable privileges.
+    pub valid_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnSpec {
+    fn default() -> Self {
+        ChurnSpec {
+            roles: 256,
+            readers: 16,
+            batch_len: 32,
+            batches: 8,
+            valid_ratio: 0.7,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// One prepared reader session: `user` activates `role` (their
+/// largest-closure assignment — the senior-role sessions that make
+/// access checks expensive) and alternates probing `perm_hit`
+/// (reachable at the initial policy) and `perm_miss` (a real interned
+/// perm the role does *not* reach — the denial path, which forces a
+/// naive checker to exhaust the whole closure before answering).
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnReader {
+    /// The session's user (assigned to `role` in the initial policy).
+    pub user: UserId,
+    /// The role the session activates.
+    pub role: RoleId,
+    /// A perm reachable from `role` at the initial policy.
+    pub perm_hit: Perm,
+    /// A perm not reachable from `role` at the initial policy.
+    pub perm_miss: Perm,
+}
+
+/// A generated mixed read/write monitor workload.
+#[derive(Debug)]
+pub struct ChurnWorkload {
+    /// The universe.
+    pub universe: Universe,
+    /// The initial policy.
+    pub policy: Policy,
+    /// Prepared reader sessions.
+    pub readers: Vec<ChurnReader>,
+    /// Pregenerated admin batches for the writer to cycle through.
+    pub batches: Vec<Vec<adminref_core::command::Command>>,
+}
+
+/// Builds a churn workload: deterministic in `spec` (same spec, same
+/// policy, same batches), sized like the bench harness's layered
+/// policies.
+pub fn churn(spec: ChurnSpec) -> ChurnWorkload {
+    assert!(spec.readers >= 1, "need at least one reader");
+    let layers = 4;
+    let width = spec.roles.div_ceil(layers).max(1);
+    let mut h = layered(LayeredSpec {
+        layers,
+        width,
+        edge_prob: (8.0 / width as f64).min(1.0),
+        seed: spec.seed,
+    });
+    let users = populate_users(&mut h, (spec.roles / 8).max(4), 2, spec.seed);
+    populate_perms(&mut h, 2, spec.roles.max(8), spec.seed);
+    let all_roles: Vec<RoleId> = h.layers.iter().flatten().copied().collect();
+    inject_admin_privs(
+        &mut h.universe,
+        &mut h.policy,
+        &users,
+        &all_roles,
+        AdminSpec {
+            count: (spec.roles / 4).max(8),
+            max_depth: 2,
+            grant_ratio: 0.8,
+            seed: spec.seed,
+        },
+    );
+    // Reader profiles: each user activates their largest-closure role
+    // (senior sessions are the expensive ones) and probes one reachable
+    // and one unreachable perm — the deepest hit and the first miss in
+    // PA edge order, both deterministic.
+    let reach = ReachIndex::build(&h.universe, &h.policy);
+    let fallback = h.universe.perm("read", "obj0");
+    let mut readers = Vec::with_capacity(spec.readers);
+    for i in 0..spec.readers {
+        let user = users[i % users.len()];
+        let role = h
+            .policy
+            .roles_of(user)
+            .max_by_key(|&r| reach.roles_reachable(Entity::Role(r)).count())
+            .unwrap_or_else(|| all_roles[i % all_roles.len()]);
+        let mut perm_hit = None;
+        let mut perm_miss = None;
+        for (holder, p) in h.policy.pa() {
+            let PrivTerm::Perm(q) = h.universe.term(p) else {
+                continue;
+            };
+            if reach.reach_entity(Entity::Role(role), Entity::Role(holder)) {
+                perm_hit = Some(q); // keep the last (deepest-listed) hit
+            } else if perm_miss.is_none() && !reach.reach_priv(Entity::Role(role), p) {
+                perm_miss = Some(q);
+            }
+        }
+        readers.push(ChurnReader {
+            user,
+            role,
+            perm_hit: perm_hit.unwrap_or(fallback),
+            perm_miss: perm_miss.unwrap_or(fallback),
+        });
+    }
+    let batches = (0..spec.batches)
+        .map(|b| {
+            generate_queue(
+                &h.universe,
+                &h.policy,
+                &users,
+                &all_roles,
+                QueueSpec {
+                    len: spec.batch_len,
+                    valid_ratio: spec.valid_ratio,
+                    seed: spec.seed.wrapping_add(b as u64).wrapping_mul(0x9E37_79B9),
+                },
+            )
+            .iter()
+            .copied()
+            .collect()
+        })
+        .collect();
+    ChurnWorkload {
+        universe: h.universe,
+        policy: h.policy,
+        readers,
+        batches,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,8 +292,9 @@ mod tests {
         // The witness replays: the worker really opens the vault.
         let final_policy = run_pure(&mut w.universe, &w.policy, &witness, AuthMode::Explicit);
         let target = w.universe.priv_perm(w.vault_perm);
-        assert!(ReachIndex::build(&w.universe, &final_policy)
-            .reach_priv(Entity::User(worker), target));
+        assert!(
+            ReachIndex::build(&w.universe, &final_policy).reach_priv(Entity::User(worker), target)
+        );
         // One step short: the plan is genuinely cut off, not refuted.
         let short = perm_reachable(
             &mut w.universe,
@@ -145,6 +307,44 @@ mod tests {
             },
         );
         assert!(matches!(short, ReachabilityAnswer::Unknown), "{short:?}");
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_readable() {
+        let spec = ChurnSpec {
+            roles: 64,
+            readers: 8,
+            batch_len: 16,
+            batches: 3,
+            ..ChurnSpec::default()
+        };
+        let a = churn(spec);
+        let b = churn(spec);
+        assert_eq!(a.readers.len(), 8);
+        assert_eq!(a.batches.len(), 3);
+        assert!(a.batches.iter().all(|q| q.len() == 16));
+        assert_eq!(
+            a.policy.edges().collect::<Vec<_>>(),
+            b.policy.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(a.batches, b.batches);
+        // Readers can really activate their role; the hit probe answers
+        // `true` and the miss probe `false` at the initial policy (for
+        // at least most readers — tiny hierarchies may lack one side).
+        let reach = ReachIndex::build(&a.universe, &a.policy);
+        let mut uni = a.universe.clone();
+        let (mut hits, mut misses) = (0, 0);
+        for r in &a.readers {
+            assert!(reach.reach_entity(Entity::User(r.user), Entity::Role(r.role)));
+            if reach.reach_priv(Entity::Role(r.role), uni.priv_perm(r.perm_hit)) {
+                hits += 1;
+            }
+            if !reach.reach_priv(Entity::Role(r.role), uni.priv_perm(r.perm_miss)) {
+                misses += 1;
+            }
+        }
+        assert!(hits > 0, "no reader ever hits its perm");
+        assert!(misses > 0, "no reader ever exercises the denial path");
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! ```
 
 use adminref_core::analysis::{diff, stats};
-use adminref_core::prelude::*;
 use adminref_core::ids::RoleId;
+use adminref_core::prelude::*;
 use adminref_monitor::{MonitorConfig, ReferenceMonitor};
 use adminref_store::{PolicyStore, TempDir};
 use adminref_workloads::{
@@ -75,10 +75,13 @@ fn main() {
         AuthMode::Explicit,
     )
     .unwrap();
-    let monitor = ReferenceMonitor::with_store(store, MonitorConfig {
-        auth_mode: AuthMode::Explicit,
-        audit_capacity: 4096,
-    });
+    let monitor = ReferenceMonitor::with_store(
+        store,
+        MonitorConfig {
+            auth_mode: AuthMode::Explicit,
+            audit_capacity: 4096,
+        },
+    );
     let t0 = Instant::now();
     let outcomes = monitor.submit_queue(&queue).unwrap();
     let executed = outcomes.iter().filter(|o| o.executed()).count();

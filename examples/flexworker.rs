@@ -34,7 +34,11 @@ fn main() {
     println!(
         "explicit monitor, {}: {}",
         command_to_string(&uni, &direct, Notation::Ascii),
-        if out.executed() { "executed" } else { "REFUSED" }
+        if out.executed() {
+            "executed"
+        } else {
+            "REFUSED"
+        }
     );
     println!("Jane's only option is the dashed edge of Figure 3:");
     let dashed = Command::grant(jane, Edge::UserRole(bob, staff));
@@ -61,7 +65,11 @@ fn main() {
     println!(
         "ordered monitor, {}: {}",
         command_to_string(&uni, &direct, Notation::Ascii),
-        if out.executed() { "executed (dotted edge)" } else { "refused" }
+        if out.executed() {
+            "executed (dotted edge)"
+        } else {
+            "refused"
+        }
     );
     // The monitor interned the target term in its own universe; render
     // audit events against its snapshot.

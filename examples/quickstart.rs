@@ -28,7 +28,10 @@ fn main() {
     let held = builder.universe_mut().grant_user_role(bob, staff);
     let (mut uni, policy) = builder.assign_priv("hr", held).finish();
 
-    println!("policy:\n{}", policy_to_string(&uni, &policy, Notation::Ascii));
+    println!(
+        "policy:\n{}",
+        policy_to_string(&uni, &policy, Notation::Ascii)
+    );
 
     // The privilege ordering (Definition 8): ¤(bob, staff) ⊑ ¤(bob, dbusr2)
     // because staff →φ dbusr2.
@@ -51,7 +54,10 @@ fn main() {
     let hr = uni.find_role("hr").unwrap();
     let psi = weaken_assignment(&policy, (hr, held), weaker);
     let outcome = check_admin_refinement(&uni, &policy, &psi, SimulationConfig::default());
-    println!("weakened policy refines the original (bounded check): {:?}", outcome.holds());
+    println!(
+        "weakened policy refines the original (bounded check): {:?}",
+        outcome.holds()
+    );
 
     // Executing the weaker command directly, under ordered authorization:
     let jane = uni.find_user("jane").unwrap();

@@ -3,9 +3,7 @@
 //! scope, role-graph domains) on the same hospital hierarchy, plus an
 //! HRU encoding of the flexworker scenario.
 
-use adminref_baselines::{
-    AdminDomains, AdminScope, Arbac97, CanAssign, Prereq, RoleRange,
-};
+use adminref_baselines::{AdminDomains, AdminScope, Arbac97, CanAssign, Prereq, RoleRange};
 use adminref_core::prelude::*;
 use adminref_core::reach::ReachIndex;
 use adminref_workloads::hospital_fig2;
@@ -33,9 +31,13 @@ fn arbac97_expresses_flexworker_with_explicit_ranges() {
         prereq: Prereq::True,
         range: RoleRange::closed(staff, staff),
     });
-    assert!(narrow.check_assign(&policy, &closure, jane, bob, staff).is_some());
+    assert!(narrow
+        .check_assign(&policy, &closure, jane, bob, staff)
+        .is_some());
     assert!(
-        narrow.check_assign(&policy, &closure, jane, bob, dbusr2).is_none(),
+        narrow
+            .check_assign(&policy, &closure, jane, bob, dbusr2)
+            .is_none(),
         "narrow ARBAC range refuses the least-privilege assignment"
     );
 
@@ -47,7 +49,9 @@ fn arbac97_expresses_flexworker_with_explicit_ranges() {
         prereq: Prereq::True,
         range: RoleRange::closed(dbusr1, staff),
     });
-    assert!(wide.check_assign(&policy, &closure, jane, bob, dbusr2).is_some());
+    assert!(wide
+        .check_assign(&policy, &closure, jane, bob, dbusr2)
+        .is_some());
 
     // The paper's ordering derives the same set from one privilege.
     let mut uni2 = uni.clone();
@@ -167,7 +171,10 @@ fn hru_encoding_of_delegation() {
     m.enter(admin, jane, t3);
 
     assert!(sys.leaks_mono_operational(&m, write), "bob can get write");
-    assert!(!sys.leaks_mono_operational(&m, admin), "authority itself never leaks");
+    assert!(
+        !sys.leaks_mono_operational(&m, admin),
+        "authority itself never leaks"
+    );
 
     // Footnote 5's point: HRU cannot distinguish *which* user acts in
     // what order — any subject with admin could act. The paper's

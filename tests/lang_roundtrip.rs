@@ -83,11 +83,7 @@ proptest! {
     }
 }
 
-fn name_triple(
-    uni: &Universe,
-    e: Entity,
-    p: Perm,
-) -> (String, String, String) {
+fn name_triple(uni: &Universe, e: Entity, p: Perm) -> (String, String, String) {
     let who = match e {
         Entity::User(u) => format!("u:{}", uni.user_name(u)),
         Entity::Role(r) => format!("r:{}", uni.role_name(r)),

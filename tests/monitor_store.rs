@@ -1,8 +1,8 @@
 //! Durability and concurrency integration: monitors over stores, crash
 //! recovery mid-workload, compaction under load, and concurrent access.
 
-use adminref_core::prelude::*;
 use adminref_core::ids::RoleId;
+use adminref_core::prelude::*;
 use adminref_monitor::{MonitorConfig, ReferenceMonitor};
 use adminref_store::{PolicyStore, TempDir};
 use adminref_workloads::{
@@ -38,11 +38,17 @@ fn workload(seed: u64) -> (Universe, Policy, Vec<UserId>, Vec<RoleId>) {
 #[test]
 fn replayed_store_matches_live_state() {
     let (uni, policy, users, roles) = workload(1);
-    let queue = generate_queue(&uni, &policy, &users, &roles, QueueSpec {
-        len: 200,
-        valid_ratio: 0.6,
-        seed: 1,
-    });
+    let queue = generate_queue(
+        &uni,
+        &policy,
+        &users,
+        &roles,
+        QueueSpec {
+            len: 200,
+            valid_ratio: 0.6,
+            seed: 1,
+        },
+    );
     let dir = TempDir::new("replay").unwrap();
     let live_policy;
     {
@@ -60,11 +66,17 @@ fn replayed_store_matches_live_state() {
 #[test]
 fn compaction_mid_workload_preserves_state() {
     let (uni, policy, users, roles) = workload(2);
-    let queue = generate_queue(&uni, &policy, &users, &roles, QueueSpec {
-        len: 100,
-        valid_ratio: 0.7,
-        seed: 2,
-    });
+    let queue = generate_queue(
+        &uni,
+        &policy,
+        &users,
+        &roles,
+        QueueSpec {
+            len: 100,
+            valid_ratio: 0.7,
+            seed: 2,
+        },
+    );
     let dir = TempDir::new("compact-mid").unwrap();
     let mut store = PolicyStore::create(dir.path(), uni, policy, AuthMode::Explicit).unwrap();
     let cmds: Vec<Command> = queue.iter().copied().collect();
@@ -84,11 +96,17 @@ fn compaction_mid_workload_preserves_state() {
 #[test]
 fn recovery_after_partial_write_is_a_prefix_state() {
     let (uni, policy, users, roles) = workload(3);
-    let queue = generate_queue(&uni, &policy, &users, &roles, QueueSpec {
-        len: 50,
-        valid_ratio: 0.8,
-        seed: 3,
-    });
+    let queue = generate_queue(
+        &uni,
+        &policy,
+        &users,
+        &roles,
+        QueueSpec {
+            len: 50,
+            valid_ratio: 0.8,
+            seed: 3,
+        },
+    );
     let dir = TempDir::new("crash-mid").unwrap();
     let mut states: Vec<Policy> = Vec::new();
     {
@@ -192,9 +210,13 @@ fn ordered_and_explicit_stores_diverge_observably() {
     assert!(store_ord.execute(&weaker_cmd).unwrap().executed());
 
     let dir_exp = TempDir::new("exp").unwrap();
-    let mut store_exp =
-        PolicyStore::create(dir_exp.path(), uni.clone(), policy.clone(), AuthMode::Explicit)
-            .unwrap();
+    let mut store_exp = PolicyStore::create(
+        dir_exp.path(),
+        uni.clone(),
+        policy.clone(),
+        AuthMode::Explicit,
+    )
+    .unwrap();
     assert!(store_exp.execute(&held_cmd).unwrap().executed());
 
     // ordered-result ⊑ explicit-result (Theorem 1 in action, durably).

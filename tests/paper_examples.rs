@@ -124,9 +124,7 @@ fn example3_nonadministrative_refinement() {
     psi.add_edge(Edge::RoleRole(nurse, dbusr2));
     assert!(!refines(&uni, &policy, &psi));
     let violations = refinement_violations(&uni, &policy, &psi);
-    assert!(violations
-        .iter()
-        .any(|v| v.entity == Entity::Role(nurse)));
+    assert!(violations.iter().any(|v| v.entity == Entity::Role(nurse)));
 }
 
 /// E5 — Figure 3 + Example 4: the flexworker. Jane holds ¤(bob, staff);

@@ -96,11 +96,7 @@ fn text_to_monitor_to_store_and_back() {
 #[test]
 fn ordered_monitor_pipeline_least_privilege() {
     let (mut uni, policy) = load_policy(HOSPITAL).unwrap();
-    let queue = load_queue(
-        r#"queue { cmd(jane, grant, bob -> dbusr2); }"#,
-        &mut uni,
-    )
-    .unwrap();
+    let queue = load_queue(r#"queue { cmd(jane, grant, bob -> dbusr2); }"#, &mut uni).unwrap();
     let monitor = ReferenceMonitor::new(
         uni,
         policy,
@@ -110,7 +106,10 @@ fn ordered_monitor_pipeline_least_privilege() {
         },
     );
     let outcomes = monitor.submit_queue(&queue).unwrap();
-    assert!(outcomes[0].executed(), "Example 4 through the full pipeline");
+    assert!(
+        outcomes[0].executed(),
+        "Example 4 through the full pipeline"
+    );
     // The resulting policy is a refinement of what explicit-mode granting
     // of the held privilege would have produced.
     let (uni_after, after) = monitor.snapshot();
@@ -143,7 +142,9 @@ fn nested_delegation_through_text_and_simulation() {
     let diana = uni.find_user("diana").unwrap();
     let bob = uni.find_user("bob").unwrap();
     let staff = uni.find_role("staff").unwrap();
-    let inner = uni.find_term(PrivTerm::Grant(Edge::UserRole(bob, staff))).unwrap();
+    let inner = uni
+        .find_term(PrivTerm::Grant(Edge::UserRole(bob, staff)))
+        .unwrap();
 
     // Two-step run: alice gives staff the inner privilege; diana (staff)
     // exercises it.

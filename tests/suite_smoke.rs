@@ -28,10 +28,7 @@ fn trivial_policy_parse_check_print_round_trip() {
     let idx = core::reach::ReachIndex::build(&uni, &policy);
     let ada = uni.find_user("ada").unwrap();
     let staff = uni.find_role("staff").unwrap();
-    assert!(idx.reach_entity(
-        core::ids::Entity::User(ada),
-        core::ids::Entity::Role(staff)
-    ));
+    assert!(idx.reach_entity(core::ids::Entity::User(ada), core::ids::Entity::Role(staff)));
 
     // Print: output reparses to the same shape, and printing is a fixpoint.
     let printed = lang::print_policy(&uni, &policy, "tiny");

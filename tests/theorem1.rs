@@ -93,7 +93,8 @@ fn strengthening_fails_with_witness() {
     let strong = uni.grant_user_role(bob, staff);
     phi.remove_edge(Edge::RolePriv(
         hr,
-        uni.find_term(PrivTerm::Grant(Edge::UserRole(bob, staff))).unwrap(),
+        uni.find_term(PrivTerm::Grant(Edge::UserRole(bob, staff)))
+            .unwrap(),
     ));
     phi.add_edge(Edge::RolePriv(hr, weak));
     let psi = weaken_assignment(&phi, (hr, weak), strong);
@@ -181,7 +182,9 @@ fn definition7_direction_comparison() {
     let bob = uni.find_user("bob").unwrap();
     let staff = uni.find_role("staff").unwrap();
     let hr = uni.find_role("hr").unwrap();
-    let held = uni.find_term(PrivTerm::Grant(Edge::UserRole(bob, staff))).unwrap();
+    let held = uni
+        .find_term(PrivTerm::Grant(Edge::UserRole(bob, staff)))
+        .unwrap();
     // ψ instead lets HR hand the (write, t3) permission to *nurse* — a
     // policy change no φ-queue can mimic (nurses never reach write-t3 in
     // any φ-reachable policy).
