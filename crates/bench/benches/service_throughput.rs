@@ -1,0 +1,156 @@
+//! B9 — Service write throughput: the group-commit write path versus
+//! per-call writer locking, and the multi-tenant router.
+//!
+//! Matrix: {percall, group} × {1, 2, 4} writer threads over the
+//! `write_storm` workload (per-writer grant/revoke toggle streams where
+//! **every** command changes the policy), plus a router cell fanning 4
+//! single-writer tenants of the `multi_tenant_churn` scenario out over
+//! a `ServiceRouter`. Each iteration pushes a fixed count of
+//! single-command requests per writer through the `PolicyService`
+//! protocol; the per-call path pays one writer-lock acquisition, one
+//! `ReachIndex` rebuild, and one published epoch *per command*, while
+//! group commit coalesces whatever is in flight into one batch and pays
+//! those costs once per drain. Throughput is write commands/s
+//! (`elem/s`), so the percall-vs-group ratio at equal writers is the
+//! group-commit speedup — the `bench-service` CI gate wants ≥2x at 4
+//! writers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use adminref_core::command::Command;
+use adminref_monitor::{MonitorConfig, ReferenceMonitor};
+use adminref_service::{
+    MonitorService, PolicyService, RouterConfig, ServiceRouter, TenantStateFactory,
+};
+use adminref_workloads::{
+    multi_tenant_churn, write_storm, ChurnSpec, MultiTenantSpec, WriteStormSpec,
+};
+
+/// Commands per writer per iteration.
+const CMDS_PER_WRITER: u64 = 64;
+
+/// Runs one thread per stream, each submitting `CMDS_PER_WRITER`
+/// single-command requests through `service`.
+fn drive(service: &impl PolicyService, streams: &[Vec<Command>]) {
+    crossbeam::scope(|scope| {
+        for stream in streams {
+            let service = &service;
+            scope.spawn(move |_| {
+                for (i, cmd) in stream.iter().cycle().enumerate() {
+                    if i as u64 >= CMDS_PER_WRITER {
+                        break;
+                    }
+                    std::hint::black_box(service.submit_one(*cmd).expect("in-memory submit"));
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+fn write_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B9_service_write_throughput");
+    group.sample_size(10);
+    let w = write_storm(WriteStormSpec {
+        roles: 128,
+        writers: 4,
+        seed: 0xB9,
+    });
+    for &writers in &[1usize, 2, 4] {
+        group.throughput(Throughput::Elements(writers as u64 * CMDS_PER_WRITER));
+        let streams = &w.streams[..writers];
+        for kind in ["percall", "group"] {
+            group.bench_with_input(BenchmarkId::new(kind, writers), &writers, |b, _| {
+                b.iter(|| match kind {
+                    "percall" => {
+                        let service = ReferenceMonitor::new(
+                            w.universe.clone(),
+                            w.policy.clone(),
+                            MonitorConfig::default(),
+                        );
+                        drive(&service, streams);
+                    }
+                    _ => {
+                        let service = MonitorService::in_memory(
+                            w.universe.clone(),
+                            w.policy.clone(),
+                            MonitorConfig::default(),
+                        );
+                        drive(&service, streams);
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn router_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B9_router_write_throughput");
+    group.sample_size(10);
+    let tenants = 4usize;
+    let mt = multi_tenant_churn(MultiTenantSpec {
+        tenants,
+        churn: ChurnSpec {
+            roles: 128,
+            readers: 4,
+            batch_len: 32,
+            batches: 8,
+            valid_ratio: 0.7,
+            seed: 0xB9,
+        },
+    });
+    // One writer per tenant; each drives its own tenant's command
+    // stream through the shared router.
+    let streams: Vec<(String, Vec<Command>)> = mt
+        .tenants
+        .iter()
+        .map(|t| {
+            (
+                t.id.clone(),
+                t.workload.batches.iter().flatten().copied().collect(),
+            )
+        })
+        .collect();
+    group.throughput(Throughput::Elements(tenants as u64 * CMDS_PER_WRITER));
+    group.bench_function(BenchmarkId::new("group", tenants), |b| {
+        b.iter(|| {
+            let factory: TenantStateFactory = {
+                let states: Vec<_> = mt
+                    .tenants
+                    .iter()
+                    .map(|t| {
+                        (
+                            t.id.clone(),
+                            t.workload.universe.clone(),
+                            t.workload.policy.clone(),
+                        )
+                    })
+                    .collect();
+                Box::new(move |id: &str| {
+                    let (_, u, p) = states.iter().find(|(tid, _, _)| tid == id).unwrap();
+                    (u.clone(), p.clone())
+                })
+            };
+            let router = ServiceRouter::new(RouterConfig::default(), factory);
+            crossbeam::scope(|scope| {
+                for (tenant, commands) in &streams {
+                    let router = &router;
+                    scope.spawn(move |_| {
+                        let service = router.tenant(tenant).expect("tenant opens");
+                        for cmd in commands.iter().take(CMDS_PER_WRITER as usize) {
+                            std::hint::black_box(
+                                service.submit_one(*cmd).expect("in-memory submit"),
+                            );
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, write_throughput, router_throughput);
+criterion_main!(benches);

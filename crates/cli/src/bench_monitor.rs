@@ -294,12 +294,18 @@ fn render_json(opts: &BenchOptions, cells: &[Cell]) -> String {
 }
 
 /// Extracts the `"floors_read_ops_per_sec": { "N": F, ... }` object from
-/// the baseline JSON. Deliberately tiny: the baseline is a checked-in
-/// file with a fixed shape, not arbitrary JSON.
+/// the baseline JSON.
 pub fn parse_floors(text: &str) -> Result<Vec<(usize, f64)>, String> {
-    let key = "\"floors_read_ops_per_sec\"";
+    parse_floor_map(text, "floors_read_ops_per_sec")
+}
+
+/// Extracts a `"<key>": { "N": F, ... }` object from the baseline JSON.
+/// Deliberately tiny: the baseline is a checked-in file with a fixed
+/// shape, not arbitrary JSON.
+pub fn parse_floor_map(text: &str, key_name: &str) -> Result<Vec<(usize, f64)>, String> {
+    let key = format!("\"{key_name}\"");
     let at = text
-        .find(key)
+        .find(&key)
         .ok_or_else(|| format!("baseline is missing {key}"))?;
     let rest = &text[at + key.len()..];
     let open = rest

@@ -1,0 +1,390 @@
+//! `adminref bench-service` (alias `serve-bench`) — multi-writer
+//! **write**-throughput measurement for the `PolicyService` protocol,
+//! and the second CI perf-smoke gate.
+//!
+//! Runs the `write_storm` workload — per-writer grant/revoke toggle
+//! streams where **every** command changes the policy, so every command
+//! forces the full write cost (WAL, `ReachIndex` rebuild, epoch
+//! publication) — as concurrent single-command `Submit` requests
+//! through two servers over identical monitors:
+//!
+//! * `percall` — `impl PolicyService for ReferenceMonitor`: every
+//!   request takes the writer mutex itself and pays a full publication
+//!   (WAL sync, `ReachIndex` rebuild, epoch) per command — per-call
+//!   writer locking, the design group commit replaces;
+//! * `group` — [`MonitorService`]: concurrent submitters coalesce into
+//!   one in-flight batch drained by a leader, paying those costs once
+//!   per drain.
+//!
+//! A third cell (`router`, not gated) fans one writer per tenant out
+//! over a [`ServiceRouter`] hosting independent per-tenant monitors.
+//!
+//! With `--baseline FILE` the run is gated twice: the group/percall
+//! speedup at each floored writer count must meet
+//! `floors_service_group_speedup` (the acceptance bar — ≥2x at 4
+//! writers), and the group path's absolute write throughput must stay
+//! within 2x of `floors_service_write_cmds_per_sec` (conservative
+//! floors that catch architecture regressions, not runner noise).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use adminref_core::command::Command;
+use adminref_monitor::{MonitorConfig, ReferenceMonitor};
+use adminref_service::{MonitorService, PolicyService, RouterConfig, ServiceRouter};
+use adminref_workloads::{tenant_seed, write_storm, WriteStormSpec, WriteStormWorkload};
+
+use crate::bench_monitor::parse_floor_map;
+
+/// Parsed `bench-service` options.
+pub struct BenchOptions {
+    /// Writer thread counts to measure.
+    pub writers: Vec<usize>,
+    /// Seconds per (path × writers) cell.
+    pub secs: f64,
+    /// Approximate role count of the generated policy.
+    pub roles: usize,
+    /// Tenants (= writers) in the router cell; 0 skips it.
+    pub tenants: usize,
+    /// Emit JSON on stdout (otherwise a human table).
+    pub json: bool,
+    /// Baseline file with floors to gate against.
+    pub baseline: Option<String>,
+}
+
+impl BenchOptions {
+    /// The `--quick` shape used by the CI perf-smoke job. Cells are
+    /// longer than `bench-monitor --quick`'s because the speedup gate
+    /// divides two measurements (noise compounds); 0.5 s/cell keeps the
+    /// whole matrix under ~5 s.
+    pub fn quick() -> Self {
+        BenchOptions {
+            writers: vec![1, 4],
+            secs: 0.5,
+            roles: 128,
+            tenants: 4,
+            json: false,
+            baseline: None,
+        }
+    }
+
+    /// The full default shape.
+    pub fn full() -> Self {
+        BenchOptions {
+            writers: vec![1, 2, 4],
+            secs: 1.0,
+            roles: 256,
+            tenants: 4,
+            json: false,
+            baseline: None,
+        }
+    }
+}
+
+/// One measured cell.
+struct Cell {
+    path: &'static str,
+    writers: usize,
+    write_cmds_per_sec: f64,
+}
+
+/// Runs one writer thread per `(service, stream)` pair for `secs` wall
+/// seconds, each cycling its own toggle stream, and returns commands/s.
+/// The single-monitor cells pass the same service for every stream; the
+/// router cell passes each tenant's own handle.
+fn measure_workers<S: PolicyService>(workers: &[(S, Vec<Command>)], secs: f64) -> f64 {
+    let stop = AtomicBool::new(false);
+    let submitted = AtomicU64::new(0);
+    let start = Instant::now();
+    crossbeam::scope(|scope| {
+        for (service, stream) in workers {
+            let (stop, submitted) = (&stop, &submitted);
+            scope.spawn(move |_| {
+                let mut local = 0u64;
+                for cmd in stream.iter().cycle() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::hint::black_box(service.submit_one(*cmd).expect("in-memory submit"));
+                    local += 1;
+                }
+                submitted.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+    })
+    .expect("bench threads join");
+    submitted.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// `measure_workers` with one shared service across all streams.
+fn measure(service: &dyn PolicyService, streams: &[Vec<Command>], secs: f64) -> f64 {
+    let workers: Vec<(&dyn PolicyService, Vec<Command>)> = streams
+        .iter()
+        .map(|stream| (service, stream.clone()))
+        .collect();
+    measure_workers(&workers, secs)
+}
+
+/// Runs the measurement matrix and handles output + gating.
+pub fn run(opts: &BenchOptions) -> Result<(), String> {
+    let max_writers = opts.writers.iter().copied().max().unwrap_or(1).max(1);
+    let w = write_storm(WriteStormSpec {
+        roles: opts.roles,
+        writers: max_writers,
+        seed: 0x5E4C,
+    });
+    let mut cells: Vec<Cell> = Vec::new();
+    for path in ["percall", "group"] {
+        for &writers in &opts.writers {
+            let streams = &w.streams[..writers];
+            // A fresh monitor per cell, so earlier cells' toggles don't
+            // shift the policy under later ones; only the server over
+            // it differs between the paths.
+            let monitor = ReferenceMonitor::new(
+                w.universe.clone(),
+                w.policy.clone(),
+                MonitorConfig::default(),
+            );
+            let group_server;
+            let service: &dyn PolicyService = match path {
+                "percall" => &monitor,
+                _ => {
+                    group_server = MonitorService::new(monitor);
+                    &group_server
+                }
+            };
+            measure(service, streams, opts.secs.min(0.05));
+            let rate = measure(service, streams, opts.secs);
+            eprintln!("bench-service: {path:>7} writers={writers:<2} {rate:>10.0} write-cmds/s");
+            cells.push(Cell {
+                path,
+                writers,
+                write_cmds_per_sec: rate,
+            });
+        }
+    }
+    if opts.tenants > 0 {
+        let rate = measure_router(opts);
+        eprintln!(
+            "bench-service: {:>7} writers={:<2} {rate:>10.0} write-cmds/s ({} tenants)",
+            "router", opts.tenants, opts.tenants
+        );
+        cells.push(Cell {
+            path: "router",
+            writers: opts.tenants,
+            write_cmds_per_sec: rate,
+        });
+    }
+    if opts.json {
+        println!("{}", render_json(opts, &cells));
+    } else {
+        render_table(&cells);
+    }
+    if let Some(path) = &opts.baseline {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading baseline {path}: {e}"))?;
+        gate(&cells, &text)?;
+        eprintln!("bench-service: perf-smoke gate passed");
+    }
+    Ok(())
+}
+
+/// One single-writer tenant per thread over a shared router: each
+/// tenant is an independent write_storm policy, so this measures
+/// aggregate multi-policy write throughput in one process.
+fn measure_router(opts: &BenchOptions) -> f64 {
+    let tenants: Vec<(String, WriteStormWorkload)> = (0..opts.tenants)
+        .map(|i| {
+            (
+                format!("tenant{i}"),
+                write_storm(WriteStormSpec {
+                    roles: opts.roles,
+                    writers: 1,
+                    seed: tenant_seed(0x5E4C, i),
+                }),
+            )
+        })
+        .collect();
+    let states: Vec<_> = tenants
+        .iter()
+        .map(|(id, w)| (id.clone(), w.universe.clone(), w.policy.clone()))
+        .collect();
+    let router = ServiceRouter::new(
+        RouterConfig::default(),
+        Box::new(move |id: &str| {
+            let (_, u, p) = states
+                .iter()
+                .find(|(tid, _, _)| tid == id)
+                .expect("known tenant");
+            (u.clone(), p.clone())
+        }),
+    );
+    let workers: Vec<_> = tenants
+        .iter()
+        .map(|(id, w)| {
+            (
+                router.tenant(id).expect("tenant opens"),
+                w.streams[0].clone(),
+            )
+        })
+        .collect();
+    measure_workers(&workers, opts.secs)
+}
+
+fn speedup(cells: &[Cell], writers: usize) -> Option<f64> {
+    let percall = cells
+        .iter()
+        .find(|c| c.path == "percall" && c.writers == writers)?;
+    let group = cells
+        .iter()
+        .find(|c| c.path == "group" && c.writers == writers)?;
+    if percall.write_cmds_per_sec > 0.0 {
+        Some(group.write_cmds_per_sec / percall.write_cmds_per_sec)
+    } else {
+        None
+    }
+}
+
+fn writer_counts(cells: &[Cell]) -> Vec<usize> {
+    let mut counts: Vec<usize> = cells
+        .iter()
+        .filter(|c| c.path != "router")
+        .map(|c| c.writers)
+        .collect();
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn render_table(cells: &[Cell]) {
+    println!("{:<8} {:>8} {:>16}", "path", "writers", "write-cmds/s");
+    for c in cells {
+        println!(
+            "{:<8} {:>8} {:>16.0}",
+            c.path, c.writers, c.write_cmds_per_sec
+        );
+    }
+    for writers in writer_counts(cells) {
+        if let Some(s) = speedup(cells, writers) {
+            println!("group/percall write speedup at {writers} writers: {s:.1}x");
+        }
+    }
+}
+
+fn render_json(opts: &BenchOptions, cells: &[Cell]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"roles\": {},\n", opts.roles));
+    out.push_str(&format!("  \"tenants\": {},\n", opts.tenants));
+    out.push_str(&format!("  \"secs_per_cell\": {},\n", opts.secs));
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"writers\": {}, \"write_cmds_per_sec\": {:.0}}}{}\n",
+            c.path,
+            c.writers,
+            c.write_cmds_per_sec,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"group_write_speedup\": {");
+    let entries: Vec<String> = writer_counts(cells)
+        .iter()
+        .filter_map(|&n| speedup(cells, n).map(|s| format!("\"{n}\": {s:.2}")))
+        .collect();
+    out.push_str(&entries.join(", "));
+    out.push_str("}\n}");
+    out
+}
+
+/// Gates the run: group/percall speedup against
+/// `floors_service_group_speedup` (direct ≥), and the group path's
+/// absolute throughput against `floors_service_write_cmds_per_sec`
+/// (fails only >2x below the floor, like `bench-monitor`).
+fn gate(cells: &[Cell], baseline: &str) -> Result<(), String> {
+    let mut violations = Vec::new();
+    for (writers, min_speedup) in parse_floor_map(baseline, "floors_service_group_speedup")? {
+        let Some(measured) = speedup(cells, writers) else {
+            continue; // floor for a writer count this run didn't measure
+        };
+        if measured < min_speedup {
+            violations.push(format!(
+                "group-commit write speedup at {writers} writers: {measured:.2}x is below \
+                 the {min_speedup:.1}x floor"
+            ));
+        }
+    }
+    for (writers, floor) in parse_floor_map(baseline, "floors_service_write_cmds_per_sec")? {
+        let Some(cell) = cells
+            .iter()
+            .find(|c| c.path == "group" && c.writers == writers)
+        else {
+            continue;
+        };
+        let minimum = floor / 2.0;
+        if cell.write_cmds_per_sec < minimum {
+            violations.push(format!(
+                "group write throughput at {writers} writers: {:.0}/s is >2x below the \
+                 {floor:.0}/s floor (minimum {minimum:.0}/s)",
+                cell.write_cmds_per_sec
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "perf-smoke regression:\n  {}",
+            violations.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(path: &'static str, writers: usize, rate: f64) -> Cell {
+        Cell {
+            path,
+            writers,
+            write_cmds_per_sec: rate,
+        }
+    }
+
+    #[test]
+    fn speedup_and_gate_logic() {
+        let cells = vec![
+            cell("percall", 4, 10_000.0),
+            cell("group", 4, 45_000.0),
+            cell("router", 4, 40_000.0),
+        ];
+        assert_eq!(speedup(&cells, 4), Some(4.5));
+        let baseline = r#"{
+          "floors_service_group_speedup": { "4": 2.0 },
+          "floors_service_write_cmds_per_sec": { "4": 20000 }
+        }"#;
+        assert!(gate(&cells, baseline).is_ok());
+        // Speedup below the bar trips the gate directly…
+        let slow = vec![cell("percall", 4, 10_000.0), cell("group", 4, 15_000.0)];
+        let err = gate(&slow, baseline).unwrap_err();
+        assert!(err.contains("speedup"), "{err}");
+        // …and absolute throughput only trips >2x below its floor.
+        let low = vec![cell("percall", 4, 100.0), cell("group", 4, 9_000.0)];
+        let err = gate(&low, baseline).unwrap_err();
+        assert!(err.contains("throughput"), "{err}");
+        // Floors for unmeasured writer counts are skipped.
+        let partial = vec![cell("percall", 1, 100.0), cell("group", 1, 500.0)];
+        assert!(gate(&partial, baseline).is_ok());
+    }
+
+    #[test]
+    fn router_cells_do_not_feed_speedup() {
+        let cells = vec![cell("router", 4, 99_999.0)];
+        assert_eq!(speedup(&cells, 4), None);
+        assert!(writer_counts(&cells).is_empty());
+    }
+}

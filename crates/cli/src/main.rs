@@ -8,17 +8,25 @@
 //! adminref order    <policy.rbac> "<held priv>" "<requested priv>" [--strict]
 //! adminref weaker   <policy.rbac> "<priv>" [--depth N]
 //! adminref run      <policy.rbac> <queue.rbacq> [--ordered] [--store DIR]
-//! adminref refines  <policy-a.rbac> <policy-b.rbac>
+//! adminref refines  <policy-a.rbac> <policy-b.rbac> [--witnesses N]
 //! adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
 //!                   [--max-states N] [--jobs N]
 //! adminref bench-monitor [--quick] [--json] [--readers 1,4,16] [--secs S]
 //!                   [--roles N] [--baseline BENCH_BASELINE.json]
+//! adminref bench-service [--quick] [--json] [--writers 1,2,4] [--secs S]
+//!                   [--roles N] [--tenants T] [--baseline BENCH_BASELINE.json]
 //! ```
+//!
+//! `refines` is scriptable: it prints the violation count and the first
+//! witnesses, and exits nonzero (without usage noise) when refinement
+//! fails. `bench-service` (alias `serve-bench`) measures multi-writer
+//! group-commit throughput against per-call writer locking.
 //!
 //! Policies use the `adminref-lang` syntax; privileges on the command
 //! line use the same expression syntax, quoted.
 
 mod bench_monitor;
+mod bench_service;
 
 use std::process::ExitCode;
 
@@ -27,7 +35,7 @@ use adminref_core::display::{priv_to_string, Notation};
 use adminref_core::enumerate::{enumerate_weaker, remark2_depth, EnumerationConfig};
 use adminref_core::ids::Entity;
 use adminref_core::ordering::{OrderingMode, PrivilegeOrder};
-use adminref_core::refinement::{refinement_violations, refines};
+use adminref_core::refinement::refinement_violations;
 use adminref_core::safety::{perm_reachable, ReachabilityAnswer, SafetyConfig};
 use adminref_core::transition::AuthMode;
 use adminref_lang::{load_policy, load_queue, parse_priv_expr, print_command, print_policy};
@@ -36,7 +44,7 @@ use adminref_store::PolicyStore;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -53,26 +61,34 @@ const USAGE: &str = "usage:
   adminref order    <policy.rbac> '<held priv>' '<requested priv>' [--strict]
   adminref weaker   <policy.rbac> '<priv>' [--depth N]
   adminref run      <policy.rbac> <queue.rbacq> [--ordered] [--store DIR]
-  adminref refines  <policy-a.rbac> <policy-b.rbac>
+  adminref refines  <policy-a.rbac> <policy-b.rbac> [--witnesses N]
   adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
                     [--max-states N] [--jobs N]   (--jobs 0 = all cores)
   adminref bench-monitor [--quick] [--json] [--readers 1,4,16] [--secs S]
-                    [--roles N] [--baseline BENCH_BASELINE.json]";
+                    [--roles N] [--baseline BENCH_BASELINE.json]
+  adminref bench-service [--quick] [--json] [--writers 1,2,4] [--secs S]
+                    [--roles N] [--tenants T] [--baseline BENCH_BASELINE.json]";
 
-fn dispatch(args: &[String]) -> Result<(), String> {
+/// Dispatches to a subcommand. `Ok(code)` is a completed run (possibly
+/// a scriptable nonzero exit, e.g. `refines` on a failed refinement or
+/// a bench whose perf gate tripped); `Err` is a usage error and prints
+/// the help text.
+fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter();
     let cmd = it.next().ok_or("missing subcommand")?;
     let rest: Vec<&String> = it.collect();
+    let done = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match cmd.as_str() {
-        "stats" => cmd_stats(&rest),
-        "validate" => cmd_validate(&rest),
-        "print" => cmd_print(&rest),
+        "stats" => done(cmd_stats(&rest)),
+        "validate" => done(cmd_validate(&rest)),
+        "print" => done(cmd_print(&rest)),
         "order" => cmd_order(&rest),
-        "weaker" => cmd_weaker(&rest),
-        "run" => cmd_run(&rest),
+        "weaker" => done(cmd_weaker(&rest)),
+        "run" => done(cmd_run(&rest)),
         "refines" => cmd_refines(&rest),
-        "reach" => cmd_reach(&rest),
+        "reach" => done(cmd_reach(&rest)),
         "bench-monitor" => cmd_bench_monitor(&rest),
+        "bench-service" | "serve-bench" => cmd_bench_service(&rest),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -148,7 +164,7 @@ fn cmd_print(rest: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_order(rest: &[&String]) -> Result<(), String> {
+fn cmd_order(rest: &[&String]) -> Result<ExitCode, String> {
     let (mut uni, policy) = read_policy(positional(rest, 0)?)?;
     let held_expr = parse_priv_expr(positional(rest, 1)?).map_err(|e| e.to_string())?;
     let req_expr = parse_priv_expr(positional(rest, 2)?).map_err(|e| e.to_string())?;
@@ -171,11 +187,13 @@ fn cmd_order(rest: &[&String]) -> Result<(), String> {
     if let Some(d) = order.derive(held, req) {
         println!("derivation: {}", d.render(&uni));
     }
-    if weaker {
-        Ok(())
+    // Scriptable: the answer is the exit code; `false` is a completed
+    // run, not a usage error.
+    Ok(if weaker {
+        ExitCode::SUCCESS
     } else {
-        Err("not weaker".into())
-    }
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_weaker(rest: &[&String]) -> Result<(), String> {
@@ -260,7 +278,10 @@ fn cmd_run(rest: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_refines(rest: &[&String]) -> Result<(), String> {
+/// Scriptable refinement check: prints `violations: N` plus the first
+/// `(entity, perm)` witnesses (`--witnesses N`, default 10) and exits
+/// nonzero — without usage noise — when refinement fails.
+fn cmd_refines(rest: &[&String]) -> Result<ExitCode, String> {
     // Both policies must resolve in one shared universe for comparison.
     let text_a = std::fs::read_to_string(positional(rest, 0)?).map_err(|e| e.to_string())?;
     let text_b = std::fs::read_to_string(positional(rest, 1)?).map_err(|e| e.to_string())?;
@@ -269,26 +290,38 @@ fn cmd_refines(rest: &[&String]) -> Result<(), String> {
     let mut uni = adminref_core::universe::Universe::new();
     let a = adminref_lang::resolve_policy_into(&doc_a, &mut uni).map_err(|e| e.to_string())?;
     let b = adminref_lang::resolve_policy_into(&doc_b, &mut uni).map_err(|e| e.to_string())?;
-    let holds = refines(&uni, &a, &b);
+    let max_witnesses = match flag_value(rest, "--witnesses") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|e| format!("--witnesses: {e}"))?,
+        None => 10,
+    };
+    let violations = refinement_violations(&uni, &a, &b);
+    let holds = violations.is_empty();
     println!("A ⊒ B (B is a non-administrative refinement of A): {holds}");
-    if !holds {
-        for v in refinement_violations(&uni, &a, &b).iter().take(10) {
-            let who = match v.entity {
-                Entity::User(u) => format!("user {}", uni.user_name(u)),
-                Entity::Role(r) => format!("role {}", uni.role_name(r)),
-            };
-            println!(
-                "  violation: {who} gains ({}, {})",
-                uni.action_name(v.perm.action),
-                uni.object_name(v.perm.object)
-            );
-        }
-        return Err("refinement does not hold".into());
+    println!("violations: {}", violations.len());
+    for v in violations.iter().take(max_witnesses) {
+        let who = match v.entity {
+            Entity::User(u) => format!("user {}", uni.user_name(u)),
+            Entity::Role(r) => format!("role {}", uni.role_name(r)),
+        };
+        println!(
+            "  {who} gains ({}, {})",
+            uni.action_name(v.perm.action),
+            uni.object_name(v.perm.object)
+        );
     }
-    Ok(())
+    if violations.len() > max_witnesses {
+        println!("  … and {} more", violations.len() - max_witnesses);
+    }
+    Ok(if holds {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
-fn cmd_bench_monitor(rest: &[&String]) -> Result<(), String> {
+fn cmd_bench_monitor(rest: &[&String]) -> Result<ExitCode, String> {
     let mut opts = if flag(rest, "--quick") {
         bench_monitor::BenchOptions::quick()
     } else {
@@ -320,7 +353,60 @@ fn cmd_bench_monitor(rest: &[&String]) -> Result<(), String> {
             .map_err(|e| format!("--roles: {e}"))?;
     }
     opts.baseline = flag_value(rest, "--baseline");
-    bench_monitor::run(&opts)
+    finish_bench(bench_monitor::run(&opts))
+}
+
+/// A bench that measured and then failed its gate (or couldn't read
+/// its baseline) is a completed run, not a usage error: report the
+/// failure and exit nonzero without the help text.
+fn finish_bench(run: Result<(), String>) -> Result<ExitCode, String> {
+    Ok(match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    })
+}
+
+fn cmd_bench_service(rest: &[&String]) -> Result<ExitCode, String> {
+    let mut opts = if flag(rest, "--quick") {
+        bench_service::BenchOptions::quick()
+    } else {
+        bench_service::BenchOptions::full()
+    };
+    opts.json = flag(rest, "--json");
+    if let Some(writers) = flag_value(rest, "--writers") {
+        opts.writers = writers
+            .split(',')
+            .map(|w| {
+                w.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("--writers: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if opts.writers.is_empty() || opts.writers.contains(&0) {
+            return Err("--writers needs a comma-separated list of positive counts".into());
+        }
+    }
+    if let Some(secs) = flag_value(rest, "--secs") {
+        opts.secs = secs.parse::<f64>().map_err(|e| format!("--secs: {e}"))?;
+        if opts.secs.is_nan() || opts.secs <= 0.0 {
+            return Err("--secs must be positive".into());
+        }
+    }
+    if let Some(roles) = flag_value(rest, "--roles") {
+        opts.roles = roles
+            .parse::<usize>()
+            .map_err(|e| format!("--roles: {e}"))?;
+    }
+    if let Some(tenants) = flag_value(rest, "--tenants") {
+        opts.tenants = tenants
+            .parse::<usize>()
+            .map_err(|e| format!("--tenants: {e}"))?;
+    }
+    opts.baseline = flag_value(rest, "--baseline");
+    finish_bench(bench_service::run(&opts))
 }
 
 fn cmd_reach(rest: &[&String]) -> Result<(), String> {

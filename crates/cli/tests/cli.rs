@@ -241,3 +241,144 @@ fn bench_monitor_emits_json_and_gates_against_baseline() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+#[test]
+fn refines_is_scriptable() {
+    // A policy refines itself: exit 0, zero violations.
+    let out = bin()
+        .args(["refines", &hospital(), &hospital()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("violations: 0"), "{text}");
+    // A candidate that grants more: nonzero exit, a violation count and
+    // witnesses on stdout, and NO usage spam on stderr (the answer is
+    // the exit code, not a usage error).
+    let dir = std::env::temp_dir().join(format!("adminref-refines-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let wider = dir.join("wider.rbac");
+    std::fs::write(
+        &wider,
+        "policy wider { users diana; roles nurse; assign diana -> nurse; \
+         perm nurse -> (read, t1); perm nurse -> (read, t9); }",
+    )
+    .unwrap();
+    let narrow = dir.join("narrow.rbac");
+    std::fs::write(
+        &narrow,
+        "policy narrow { users diana; roles nurse; assign diana -> nurse; \
+         perm nurse -> (read, t1); }",
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "refines",
+            &narrow.to_string_lossy(),
+            &wider.to_string_lossy(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("violations: 2"), "{text}");
+    assert!(text.contains("gains (read, t9)"), "{text}");
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("usage:"),
+        "scriptable failure must not print usage"
+    );
+    // --witnesses caps the listing but not the count.
+    let out = bin()
+        .args([
+            "refines",
+            &narrow.to_string_lossy(),
+            &wider.to_string_lossy(),
+            "--witnesses",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("violations: 2"), "{text}");
+    assert!(text.contains("… and 1 more"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_service_emits_json_and_gates_against_baseline() {
+    // Tiny run: one writer, 50ms cells, small policy, no router cell —
+    // exercises the full measure/emit/gate path quickly.
+    let dir = std::env::temp_dir().join(format!("adminref-bench-svc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.json");
+    std::fs::write(
+        &baseline,
+        r#"{"schema": 1,
+            "floors_service_group_speedup": {"4": 2.0},
+            "floors_service_write_cmds_per_sec": {"1": 1}}"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "bench-service",
+            "--writers",
+            "1",
+            "--secs",
+            "0.05",
+            "--roles",
+            "32",
+            "--tenants",
+            "0",
+            "--json",
+            "--baseline",
+            &baseline.to_string_lossy(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"schema\": 1"), "{json}");
+    assert!(json.contains("\"path\": \"percall\""), "{json}");
+    assert!(json.contains("\"path\": \"group\""), "{json}");
+    assert!(json.contains("\"group_write_speedup\""), "{json}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("perf-smoke gate passed"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // An unreachable absolute floor trips the gate.
+    std::fs::write(
+        &baseline,
+        r#"{"schema": 1,
+            "floors_service_group_speedup": {"4": 2.0},
+            "floors_service_write_cmds_per_sec": {"1": 99000000000}}"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "serve-bench",
+            "--writers",
+            "1",
+            "--secs",
+            "0.05",
+            "--roles",
+            "32",
+            "--tenants",
+            "0",
+            "--baseline",
+            &baseline.to_string_lossy(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("perf-smoke regression"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

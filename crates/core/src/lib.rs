@@ -87,7 +87,8 @@ pub mod prelude {
     pub use crate::policy::{Policy, PolicyBuilder};
     pub use crate::reach::{reaches, reaches_entity, ReachIndex};
     pub use crate::refinement::{
-        equivalent, refinement_violations, refines, weaken_assignment, RefinementViolation,
+        equivalent, refinement_violations, refines, violations_between, weaken_assignment,
+        RefinementViolation,
     };
     pub use crate::safety::{
         find_reachable, find_reachable_clone, perm_reachable, ReachabilityAnswer, SafetyConfig,

@@ -63,6 +63,28 @@ impl Policy {
         self.tag
     }
 
+    /// `true` iff every id this policy's edges mention is interned in
+    /// `universe` — the non-panicking containment check for policies
+    /// that cross a trust boundary. [`check_universe`](Self::check_universe)
+    /// only compares tags, which clones preserve (and only in debug
+    /// builds), so a policy built on a client-extended clone of a
+    /// universe carries the right tag but out-of-range ids; indexing
+    /// with those panics. Servers must check this before building
+    /// indexes over a caller-supplied policy.
+    pub fn ids_in_bounds(&self, universe: &Universe) -> bool {
+        self.edges().all(|edge| match edge {
+            Edge::UserRole(u, r) => {
+                u.index() < universe.user_count() && r.index() < universe.role_count()
+            }
+            Edge::RoleRole(a, b) => {
+                a.index() < universe.role_count() && b.index() < universe.role_count()
+            }
+            Edge::RolePriv(r, p) => {
+                r.index() < universe.role_count() && p.index() < universe.term_count()
+            }
+        })
+    }
+
     /// Asserts (in debug builds) that `universe` is the one this policy was
     /// built against.
     #[inline]

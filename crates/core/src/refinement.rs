@@ -46,6 +46,23 @@ fn violations_impl(
     psi.check_universe(universe);
     let phi_idx = ReachIndex::build(universe, phi);
     let psi_idx = ReachIndex::build(universe, psi);
+    violations_between(universe, phi, &phi_idx, psi, &psi_idx, stop_at_first)
+}
+
+/// The `φ ⊒ ψ` check against caller-supplied indexes, so a caller
+/// comparing both directions (like [`equivalent`]), or many candidates
+/// against one live policy (like a refinement service answering from a
+/// snapshot with a prebuilt index), builds each [`ReachIndex`] exactly
+/// once. With `stop_at_first` the scan returns at the first violation
+/// (the boolean [`refines`] question); otherwise it is exhaustive.
+pub fn violations_between(
+    universe: &Universe,
+    phi: &Policy,
+    phi_idx: &ReachIndex,
+    psi: &Policy,
+    psi_idx: &ReachIndex,
+    stop_at_first: bool,
+) -> Vec<RefinementViolation> {
     let mut out = Vec::new();
     let entities = universe
         .users()
@@ -76,8 +93,16 @@ fn violations_impl(
 
 /// `true` iff the two policies authorize exactly the same user privileges
 /// (`φ ⊒ ψ` and `ψ ⊒ φ`).
+///
+/// Each policy's [`ReachIndex`] is built once and shared across both
+/// directions (calling [`refines`] twice would rebuild both).
 pub fn equivalent(universe: &Universe, a: &Policy, b: &Policy) -> bool {
-    refines(universe, a, b) && refines(universe, b, a)
+    a.check_universe(universe);
+    b.check_universe(universe);
+    let a_idx = ReachIndex::build(universe, a);
+    let b_idx = ReachIndex::build(universe, b);
+    violations_between(universe, a, &a_idx, b, &b_idx, true).is_empty()
+        && violations_between(universe, b, &b_idx, a, &a_idx, true).is_empty()
 }
 
 /// Theorem 1's construction: `ψ = (φ \ (r, p)) ∪ (r, q)` — replace one

@@ -93,7 +93,7 @@ impl LockedMonitor {
     /// Starts a session for `user`.
     pub fn create_session(&self, user: UserId) -> SessionId {
         let mut inner = self.inner.write();
-        let id = SessionId(inner.next_session);
+        let id = SessionId::from_raw(inner.next_session);
         inner.next_session += 1;
         inner.sessions.insert(id, Session::new(user));
         id

@@ -112,8 +112,31 @@ impl From<StoreError> for MonitorError {
 }
 
 /// Handle to a user session.
+///
+/// The inner id is private: the only way to obtain a live handle is
+/// [`ReferenceMonitor::create_session`] (or the service protocol's
+/// `CreateSession` request), so a `SessionId` in circulation always
+/// names a session some monitor actually issued. For serialization
+/// boundaries (wire protocols, logs) use [`raw`](Self::raw) /
+/// [`from_raw`](Self::from_raw) — reconstructing a handle is an
+/// explicit, greppable act, not an incidental struct literal.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct SessionId(pub u64);
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// Reconstructs a handle from its raw id (e.g. deserialized from a
+    /// wire protocol). The id is only meaningful to the monitor that
+    /// issued it; a forged or stale id is refused as
+    /// [`MonitorError::UnknownSession`] at the next use.
+    pub fn from_raw(raw: u64) -> Self {
+        SessionId(raw)
+    }
+
+    /// The raw id, for serialization.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 // The Memory variant is much larger than the boxed Durable variant; a
 // monitor holds exactly one Backend for its whole lifetime, so the size
@@ -255,8 +278,29 @@ impl ReferenceMonitor {
     /// discipline keeps state, WAL, audit, and the published snapshot
     /// agreeing on exactly that prefix) and the error is returned.
     pub fn submit_batch(&self, commands: &[Command]) -> Result<Vec<StepOutcome>, MonitorError> {
+        let (outcomes, error) = self.submit_batch_outcomes(commands);
+        match error {
+            Some(e) => Err(e),
+            None => Ok(outcomes),
+        }
+    }
+
+    /// Submits a slice of commands as one batch, returning the outcomes
+    /// of the **applied prefix** alongside the first backend error (if
+    /// any) instead of discarding them.
+    ///
+    /// This is the write primitive group-commit servers build on: when a
+    /// durable backend fails mid-batch, `outcomes.len()` tells the
+    /// caller exactly how many leading commands executed (and were
+    /// audited and published), so per-request results can still be
+    /// distributed to the submitters whose commands lie inside the
+    /// prefix. `error.is_none()` iff the whole batch was applied.
+    pub fn submit_batch_outcomes(
+        &self,
+        commands: &[Command],
+    ) -> (Vec<StepOutcome>, Option<MonitorError>) {
         if commands.is_empty() {
-            return Ok(Vec::new());
+            return (Vec::new(), None);
         }
         let mut writer = self.writer.lock();
         let terms_before = writer.backend.universe().term_count();
@@ -293,15 +337,12 @@ impl ReferenceMonitor {
             );
             self.snapshot.store(Arc::new(snapshot));
         }
-        match error {
-            Some(e) => Err(e),
-            None => Ok(outcomes),
-        }
+        (outcomes, error)
     }
 
     /// Starts a session for `user`.
     pub fn create_session(&self, user: UserId) -> SessionId {
-        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        let id = SessionId::from_raw(self.next_session.fetch_add(1, Ordering::Relaxed));
         self.sessions.write().insert(id, Session::new(user));
         id
     }
@@ -344,6 +385,16 @@ impl ReferenceMonitor {
     /// Ends a session.
     pub fn drop_session(&self, session: SessionId) -> bool {
         self.sessions.write().remove(&session).is_some()
+    }
+
+    /// Number of currently live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// Number of audit events currently retained in the ring.
+    pub fn audit_len(&self) -> usize {
+        self.audit.lock().len()
     }
 
     /// The currently published snapshot (immutable; shared, not cloned).
@@ -543,7 +594,7 @@ mod tests {
     #[test]
     fn unknown_sessions_are_errors() {
         let (m, mut uni) = monitor(AuthMode::Explicit);
-        let ghost = SessionId(999);
+        let ghost = SessionId::from_raw(999);
         let nurse = uni.find_role("nurse").unwrap();
         assert!(matches!(
             m.activate_role(ghost, nurse),

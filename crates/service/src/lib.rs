@@ -1,0 +1,50 @@
+//! # adminref-service
+//!
+//! The typed serving surface over the reference monitor: every monitor
+//! capability — access checks, session lifecycle, administrative
+//! batches, reachability and refinement analyses, audit reads,
+//! version/stats — is one variant of a [`Request`]/[`Response`] enum
+//! pair, answered through one [`PolicyService::call`] entry point with
+//! one unified [`ServiceError`]. The paper's reference monitor mediates
+//! every access and administrative step; this crate is that mediation
+//! as an API.
+//!
+//! Three layers:
+//!
+//! * **Protocol** ([`protocol`]) — the `Request`/`Response` alphabet,
+//!   the error, and the [`PolicyService`] trait whose typed convenience
+//!   methods are thin wrappers over `call`.
+//! * **Group commit** ([`group_commit`]) — the write path of
+//!   [`MonitorService`]: concurrent submitters enqueue into a shared
+//!   in-flight batch; a self-elected leader drains it as **one**
+//!   monitor batch (one Definition-5 serial execution, one WAL sync,
+//!   one `ReachIndex` rebuild, one published epoch) and hands each
+//!   submitter its own [`StepOutcome`](adminref_core::transition::StepOutcome)s
+//!   through a completion slot. Serial semantics are preserved —
+//!   outcomes equal *some* serial interleaving of the submitters, which
+//!   the suite verifies differentially against the single-lock monitor.
+//! * **Routing** ([`router`]) — [`ServiceRouter`] maps tenant ids to
+//!   independent monitors (per-tenant store directories in durable
+//!   mode, lazy open, LRU eviction cap), so one process serves many
+//!   coexisting policies — the precondition for refinement workflows
+//!   that compare and migrate across policy versions.
+//!
+//! `adminref bench-service` measures the group-commit write path
+//! against per-call writer locking; the CI perf-smoke job gates its
+//! multi-writer speedup against checked-in floors.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod group_commit;
+pub mod protocol;
+pub mod router;
+pub mod service;
+
+pub use group_commit::GroupCommit;
+pub use protocol::{
+    PolicyService, RefinementDirection, RefinementReply, Request, Response, ServiceError,
+    ServiceStats,
+};
+pub use router::{RouterConfig, ServiceRouter, TenantStateFactory};
+pub use service::MonitorService;

@@ -1,0 +1,375 @@
+//! [`ServiceRouter`]: one process, many policies.
+//!
+//! The router maps tenant ids to independent [`MonitorService`]s —
+//! separate universes, policies, sessions, audit logs, and (in durable
+//! mode) separate store directories under one root. Tenants are opened
+//! lazily on first use and evicted least-recently-used once more than
+//! `max_open` are live, so a process can serve far more tenants than it
+//! keeps resident.
+//!
+//! Isolation is structural: a request routed to tenant `a` executes
+//! against a monitor that shares no mutable state with tenant `b`'s, so
+//! no protocol request can observe or affect another tenant. Eviction
+//! is invisible to correctness: an evicted durable tenant reopens from
+//! its store (batches are synced at publication), and a tenant whose
+//! handle from [`tenant`](ServiceRouter::tenant) is still held is
+//! never evicted — otherwise a later open could create a second writer
+//! over the same store directory while the old handle still serves.
+//! The `max_open` cap is therefore soft with respect to outstanding
+//! handles.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use adminref_core::policy::Policy;
+use adminref_core::universe::Universe;
+use adminref_monitor::{MonitorConfig, ReferenceMonitor};
+use adminref_store::PolicyStore;
+
+use crate::protocol::{PolicyService, Request, Response, ServiceError};
+use crate::service::MonitorService;
+
+/// Produces a tenant's initial `(universe, policy)` when it is first
+/// created (durable tenants only pay this on creation, not reopen).
+pub type TenantStateFactory = Box<dyn Fn(&str) -> (Universe, Policy) + Send + Sync>;
+
+/// Router configuration.
+pub struct RouterConfig {
+    /// Cap on concurrently open tenant monitors (≥ 1); the
+    /// least-recently-used tenant beyond the cap is evicted.
+    pub max_open: usize,
+    /// Monitor configuration applied to every tenant.
+    pub monitor: MonitorConfig,
+    /// When set, tenants are durable: tenant `t` lives in
+    /// `<durable_root>/<t>` and survives eviction and restarts. When
+    /// `None`, tenants are in-memory and eviction discards their state.
+    pub durable_root: Option<PathBuf>,
+    /// When `false`, only tenants that already exist (open, or present
+    /// under `durable_root`) are served; missing tenants answer
+    /// [`ServiceError::UnknownTenant`] instead of being created.
+    pub create_missing: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_open: 64,
+            monitor: MonitorConfig::default(),
+            durable_root: None,
+            create_missing: true,
+        }
+    }
+}
+
+struct RouterInner {
+    open: HashMap<String, Arc<MonitorService>>,
+    /// Open tenant ids, least-recently-used first.
+    lru: Vec<String>,
+    evictions: u64,
+}
+
+/// The multi-tenant router; see the module docs.
+pub struct ServiceRouter {
+    config: RouterConfig,
+    factory: TenantStateFactory,
+    inner: Mutex<RouterInner>,
+}
+
+impl ServiceRouter {
+    /// A router whose tenants start from `factory(tenant_id)`.
+    pub fn new(config: RouterConfig, factory: TenantStateFactory) -> Self {
+        assert!(config.max_open >= 1, "need room for at least one tenant");
+        ServiceRouter {
+            config,
+            factory,
+            inner: Mutex::new(RouterInner {
+                open: HashMap::new(),
+                lru: Vec::new(),
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Routes one request to `tenant`.
+    pub fn call(&self, tenant: &str, request: Request) -> Result<Response, ServiceError> {
+        self.tenant(tenant)?.call(request)
+    }
+
+    /// The tenant's service, opening it if necessary. The returned
+    /// handle stays valid across eviction (eviction only drops the
+    /// router's own reference).
+    pub fn tenant(&self, tenant: &str) -> Result<Arc<MonitorService>, ServiceError> {
+        validate_tenant_id(tenant)?;
+        let mut inner = self.inner.lock();
+        if let Some(service) = inner.open.get(tenant) {
+            let service = Arc::clone(service);
+            touch(&mut inner.lru, tenant);
+            return Ok(service);
+        }
+        // Opening under the router lock keeps the cap exact and
+        // deduplicates concurrent first requests to one open; tenant
+        // opens are rare (cold start, post-eviction) and bounded by
+        // snapshot-load cost.
+        let service = Arc::new(self.open_tenant(tenant)?);
+        inner.open.insert(tenant.to_string(), Arc::clone(&service));
+        inner.lru.push(tenant.to_string());
+        let RouterInner {
+            open,
+            lru,
+            evictions,
+        } = &mut *inner;
+        while open.len() > self.config.max_open {
+            // Evict the least-recently-used tenant *nobody else holds*:
+            // dropping a service with live handles would let a later
+            // open create a second monitor (and, durable, a second
+            // writer on the same store directory — split brain) while
+            // the old handle still serves. Handle-holding tenants are
+            // skipped, so the cap is soft while handles are
+            // outstanding; clones only happen under this lock or from
+            // an existing handle, so the count check cannot race. The
+            // just-opened tenant is pinned by `service` itself. Durable
+            // state is synced best-effort (publication already synced
+            // every batch).
+            let Some(at) = lru
+                .iter()
+                .position(|t| open.get(t).is_some_and(|s| Arc::strong_count(s) == 1))
+            else {
+                break;
+            };
+            let victim = lru.remove(at);
+            if let Some(evicted) = open.remove(&victim) {
+                let _ = evicted.monitor().sync();
+                *evictions += 1;
+            }
+        }
+        Ok(service)
+    }
+
+    /// Number of currently open tenant monitors.
+    pub fn open_count(&self) -> usize {
+        self.inner.lock().open.len()
+    }
+
+    /// Total evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
+    }
+
+    fn open_tenant(&self, tenant: &str) -> Result<MonitorService, ServiceError> {
+        match &self.config.durable_root {
+            None => {
+                if !self.config.create_missing {
+                    return Err(ServiceError::UnknownTenant(tenant.to_string()));
+                }
+                let (universe, policy) = (self.factory)(tenant);
+                Ok(MonitorService::new(ReferenceMonitor::new(
+                    universe,
+                    policy,
+                    self.config.monitor,
+                )))
+            }
+            Some(root) => {
+                let dir = root.join(tenant);
+                let store = if dir.join("policy.snap").exists() {
+                    let (store, _report) = PolicyStore::open(&dir, self.config.monitor.auth_mode)?;
+                    store
+                } else if self.config.create_missing {
+                    let (universe, policy) = (self.factory)(tenant);
+                    PolicyStore::create(&dir, universe, policy, self.config.monitor.auth_mode)?
+                } else {
+                    return Err(ServiceError::UnknownTenant(tenant.to_string()));
+                };
+                Ok(MonitorService::new(ReferenceMonitor::with_store(
+                    store,
+                    self.config.monitor,
+                )))
+            }
+        }
+    }
+}
+
+/// Moves `tenant` to the most-recently-used end.
+fn touch(lru: &mut Vec<String>, tenant: &str) {
+    if let Some(at) = lru.iter().position(|t| t == tenant) {
+        let t = lru.remove(at);
+        lru.push(t);
+    }
+}
+
+/// Tenant ids become directory names in durable mode, so they are
+/// restricted to a safe alphabet: 1–64 chars of `[A-Za-z0-9_-]`.
+fn validate_tenant_id(tenant: &str) -> Result<(), ServiceError> {
+    let ok = !tenant.is_empty()
+        && tenant.len() <= 64
+        && tenant
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-');
+    if ok {
+        Ok(())
+    } else {
+        Err(ServiceError::InvalidTenant(tenant.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adminref_core::command::Command;
+    use adminref_core::policy::PolicyBuilder;
+    use adminref_core::universe::Edge;
+    use adminref_store::TempDir;
+
+    fn tenant_factory() -> TenantStateFactory {
+        Box::new(|tenant| {
+            let mut b = PolicyBuilder::new()
+                .assign("admin", "ops")
+                .declare_user(&format!("user_{tenant}"))
+                .declare_role("staff");
+            let (user, staff) = {
+                let u = b.universe_mut();
+                (
+                    u.find_user(&format!("user_{tenant}")).unwrap(),
+                    u.find_role("staff").unwrap(),
+                )
+            };
+            let g = b.universe_mut().grant_user_role(user, staff);
+            b.assign_priv("ops", g).finish()
+        })
+    }
+
+    fn grant_own_user(service: &MonitorService) -> bool {
+        let snap = service.monitor().read_snapshot();
+        let uni = snap.universe();
+        let admin = uni.find_user("admin").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let user = uni
+            .users()
+            .find(|&u| uni.user_name(u).starts_with("user_"))
+            .unwrap();
+        service
+            .submit(vec![Command::grant(admin, Edge::UserRole(user, staff))])
+            .unwrap()[0]
+            .executed()
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let router = ServiceRouter::new(RouterConfig::default(), tenant_factory());
+        assert!(grant_own_user(&router.tenant("acme").unwrap()));
+        assert!(grant_own_user(&router.tenant("globex").unwrap()));
+        let acme = router.tenant("acme").unwrap();
+        let globex = router.tenant("globex").unwrap();
+        // Each tenant's universe only knows its own user; versions and
+        // audit logs advanced independently.
+        assert_eq!(acme.version().unwrap(), 1);
+        assert_eq!(globex.version().unwrap(), 1);
+        assert!(acme
+            .monitor()
+            .read_snapshot()
+            .universe()
+            .find_user("user_globex")
+            .is_none());
+        assert_eq!(router.open_count(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_caps_open_tenants() {
+        let router = ServiceRouter::new(
+            RouterConfig {
+                max_open: 2,
+                ..RouterConfig::default()
+            },
+            tenant_factory(),
+        );
+        router.tenant("a").unwrap();
+        router.tenant("b").unwrap();
+        router.tenant("a").unwrap(); // touch: a is now most-recent
+        router.tenant("c").unwrap(); // evicts b
+        assert_eq!(router.open_count(), 2);
+        assert_eq!(router.evictions(), 1);
+        // b reopens fresh (in-memory mode: state restarts).
+        router.tenant("b").unwrap();
+        assert_eq!(router.evictions(), 2);
+    }
+
+    #[test]
+    fn eviction_skips_tenants_with_live_handles() {
+        let router = ServiceRouter::new(
+            RouterConfig {
+                max_open: 1,
+                ..RouterConfig::default()
+            },
+            tenant_factory(),
+        );
+        // Holding a's handle pins it: opening b exceeds the (soft) cap
+        // without evicting a — evicting would let a later open create a
+        // second monitor behind the live handle's back.
+        let a = router.tenant("a").unwrap();
+        router.tenant("b").unwrap();
+        assert_eq!(router.open_count(), 2, "a is pinned by its handle");
+        assert_eq!(router.evictions(), 0);
+        // The same epoch counter answers through old handle and router:
+        // still one monitor.
+        a.submit(Vec::new()).unwrap();
+        assert_eq!(
+            Arc::as_ptr(&a),
+            Arc::as_ptr(&router.tenant("a").unwrap()),
+            "router still serves the pinned instance"
+        );
+        // Dropping the handle makes a evictable again.
+        drop(a);
+        router.tenant("c").unwrap();
+        assert_eq!(router.open_count(), 1);
+        assert_eq!(router.evictions(), 2, "a and b both evicted");
+    }
+
+    #[test]
+    fn durable_tenants_survive_eviction() {
+        let dir = TempDir::new("router-durable").unwrap();
+        let router = ServiceRouter::new(
+            RouterConfig {
+                max_open: 1,
+                durable_root: Some(dir.path().to_path_buf()),
+                ..RouterConfig::default()
+            },
+            tenant_factory(),
+        );
+        assert!(grant_own_user(&router.tenant("acme").unwrap()));
+        // Opening a second tenant evicts acme (cap 1)...
+        router.tenant("globex").unwrap();
+        assert_eq!(router.open_count(), 1);
+        // ...but reopening acme recovers the granted edge from its store.
+        let acme = router.tenant("acme").unwrap();
+        let snap = acme.monitor().read_snapshot();
+        let uni = snap.universe();
+        let user = uni.find_user("user_acme").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        assert!(snap.policy().contains_edge(Edge::UserRole(user, staff)));
+    }
+
+    #[test]
+    fn tenant_ids_are_validated_and_existence_gated() {
+        let router = ServiceRouter::new(
+            RouterConfig {
+                create_missing: false,
+                ..RouterConfig::default()
+            },
+            tenant_factory(),
+        );
+        assert!(matches!(
+            router.tenant("../escape"),
+            Err(ServiceError::InvalidTenant(_))
+        ));
+        assert!(matches!(
+            router.tenant(""),
+            Err(ServiceError::InvalidTenant(_))
+        ));
+        assert!(matches!(
+            router.tenant("ghost"),
+            Err(ServiceError::UnknownTenant(_))
+        ));
+    }
+}

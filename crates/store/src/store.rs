@@ -46,6 +46,11 @@ pub struct PolicyStore {
     policy: Policy,
     log: CommandLog,
     auth_mode: AuthMode,
+    /// Testing hook: when `Some(n)`, the append after `n` more
+    /// successful appends fails with an injected I/O error (once).
+    fail_append_after: Option<u64>,
+    /// Testing hook: when `true`, the next batch-final sync fails once.
+    fail_next_sync: bool,
 }
 
 impl PolicyStore {
@@ -68,6 +73,8 @@ impl PolicyStore {
             policy,
             log,
             auth_mode,
+            fail_append_after: None,
+            fail_next_sync: false,
         })
     }
 
@@ -98,6 +105,8 @@ impl PolicyStore {
                 policy,
                 log: recovered.log,
                 auth_mode,
+                fail_append_after: None,
+                fail_next_sync: false,
             },
             report,
         ))
@@ -113,6 +122,16 @@ impl PolicyStore {
             command,
             self.auth_mode,
         );
+        match self.fail_append_after {
+            Some(0) => {
+                self.fail_append_after = None;
+                return Err(StoreError::Io(std::io::Error::other(
+                    "injected append failure",
+                )));
+            }
+            Some(n) => self.fail_append_after = Some(n - 1),
+            None => {}
+        }
         self.log.append(command, authorization.is_some())?;
         let changed = authorization.is_some()
             && adminref_core::transition::apply_edge(&mut self.policy, command);
@@ -156,6 +175,11 @@ impl PolicyStore {
         }
         let status = if outcomes.is_empty() {
             Ok(())
+        } else if self.fail_next_sync {
+            self.fail_next_sync = false;
+            Err(StoreError::Io(std::io::Error::other(
+                "injected sync failure",
+            )))
         } else {
             self.log.sync()
         };
@@ -172,6 +196,25 @@ impl PolicyStore {
     /// Forces the log to stable storage.
     pub fn sync(&mut self) -> Result<(), StoreError> {
         self.log.sync()
+    }
+
+    /// Failure-injection hook for crash/partial-batch tests: the append
+    /// after `appends` more successful appends fails once with a
+    /// synthetic I/O error, exercising the log-before-apply discipline
+    /// and the applied-prefix semantics of
+    /// [`execute_batch`](Self::execute_batch) without real disk faults.
+    /// Not intended for production use.
+    pub fn inject_append_failure_after(&mut self, appends: u64) {
+        self.fail_append_after = Some(appends);
+    }
+
+    /// Failure-injection hook for durability tests: the next
+    /// *batch-final* sync in [`execute_batch`](Self::execute_batch)
+    /// fails once with a synthetic I/O error after every command
+    /// applied — the "executed but durability in doubt" case. Not
+    /// intended for production use.
+    pub fn inject_sync_failure(&mut self) {
+        self.fail_next_sync = true;
     }
 
     /// Folds the log into a fresh snapshot and truncates it.

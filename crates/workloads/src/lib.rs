@@ -28,7 +28,8 @@ pub use hierarchy::{
 };
 pub use queues::{generate_queue, QueueSpec};
 pub use scenarios::{
-    churn, deep_delegation, ChurnReader, ChurnSpec, ChurnWorkload, DelegationSpec,
-    DelegationWorkload,
+    churn, deep_delegation, multi_tenant_churn, tenant_seed, write_storm, ChurnReader, ChurnSpec,
+    ChurnWorkload, DelegationSpec, DelegationWorkload, MultiTenantSpec, MultiTenantWorkload,
+    TenantWorkload, WriteStormSpec, WriteStormWorkload,
 };
 pub use templates::{example6, hospital_fig1, hospital_fig2, hospital_with_nested_delegation};

@@ -19,6 +19,22 @@
 //! input of `adminref bench-monitor` and the `monitor_throughput`
 //! bench, which measure `check_access` throughput while the admin
 //! writer churns.
+//!
+//! [`multi_tenant_churn`] stamps out several *independent* churn
+//! workloads — distinct universes, policies, reader populations, and
+//! writer batches per tenant, derived from per-tenant seeds — and is
+//! the input of the multi-tenant cells of `adminref bench-service` and
+//! the `service_throughput` bench, which drive a `ServiceRouter`
+//! hosting every tenant in one process.
+//!
+//! [`write_storm`] builds the write-path stress: per-writer
+//! grant/revoke *toggle* streams over disjoint edges of one sized
+//! policy, where — unlike `churn`'s mixed stream, which converges to
+//! no-ops — **every** command is authorized and changes the policy, so
+//! every command forces the full write cost (WAL, `ReachIndex` rebuild,
+//! epoch publication). This is the input of `adminref bench-service`
+//! and the `service_throughput` bench, which compare group-commit
+//! against per-call writer locking.
 
 use adminref_core::ids::{Entity, Perm, RoleId, UserId};
 use adminref_core::policy::Policy;
@@ -258,6 +274,147 @@ pub fn churn(spec: ChurnSpec) -> ChurnWorkload {
     }
 }
 
+/// Shape of a [`write_storm`] scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteStormSpec {
+    /// Approximate role count of the layered hierarchy.
+    pub roles: usize,
+    /// Number of independent writer streams (disjoint toggled edges).
+    pub writers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WriteStormSpec {
+    fn default() -> Self {
+        WriteStormSpec {
+            roles: 128,
+            writers: 4,
+            seed: 0x57_04_11,
+        }
+    }
+}
+
+/// A generated write-storm workload.
+#[derive(Debug)]
+pub struct WriteStormWorkload {
+    /// The universe.
+    pub universe: Universe,
+    /// The initial policy (no toggled edge present, so every stream
+    /// starts with an effective grant).
+    pub policy: Policy,
+    /// The administrator authorized for every toggle.
+    pub admin: UserId,
+    /// One `[grant, revoke]` toggle pair per writer, over that writer's
+    /// own `(user, role)` edge; cycling a stream keeps every command
+    /// authorized *and* policy-changing regardless of how streams
+    /// interleave, because the edges are disjoint.
+    pub streams: Vec<Vec<adminref_core::command::Command>>,
+}
+
+/// Builds a write-storm workload (deterministic in `spec`): a sized
+/// layered hierarchy plus one dedicated `(user, role)` toggle edge per
+/// writer, all grantable/revocable by a single `storm_ops`
+/// administrator.
+pub fn write_storm(spec: WriteStormSpec) -> WriteStormWorkload {
+    use adminref_core::command::Command;
+    assert!(spec.writers >= 1, "need at least one writer");
+    let layers = 4;
+    let width = spec.roles.div_ceil(layers).max(1);
+    let mut h = layered(LayeredSpec {
+        layers,
+        width,
+        edge_prob: (8.0 / width as f64).min(1.0),
+        seed: spec.seed,
+    });
+    populate_users(&mut h, (spec.roles / 8).max(4), 2, spec.seed);
+    populate_perms(&mut h, 2, spec.roles.max(8), spec.seed);
+    let all_roles: Vec<RoleId> = h.layers.iter().flatten().copied().collect();
+    let admin = h.universe.user("storm_admin");
+    let ops = h.universe.role("storm_ops");
+    h.policy.add_edge(Edge::UserRole(admin, ops));
+    let streams = (0..spec.writers)
+        .map(|i| {
+            let user = h.universe.user(&format!("storm_user{i}"));
+            let role = all_roles[(spec.seed as usize).wrapping_add(i * 7) % all_roles.len()];
+            let edge = Edge::UserRole(user, role);
+            let grant = h.universe.grant_user_role(user, role);
+            let revoke = h.universe.revoke_user_role(user, role);
+            h.policy.add_edge(Edge::RolePriv(ops, grant));
+            h.policy.add_edge(Edge::RolePriv(ops, revoke));
+            vec![Command::grant(admin, edge), Command::revoke(admin, edge)]
+        })
+        .collect();
+    WriteStormWorkload {
+        universe: h.universe,
+        policy: h.policy,
+        admin,
+        streams,
+    }
+}
+
+/// Shape of a [`multi_tenant_churn`] scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiTenantSpec {
+    /// Number of tenants to stamp out.
+    pub tenants: usize,
+    /// The per-tenant churn shape (each tenant gets a distinct seed
+    /// derived from `churn.seed` and its index).
+    pub churn: ChurnSpec,
+}
+
+impl Default for MultiTenantSpec {
+    fn default() -> Self {
+        MultiTenantSpec {
+            tenants: 4,
+            churn: ChurnSpec::default(),
+        }
+    }
+}
+
+/// One tenant of a [`multi_tenant_churn`] workload.
+#[derive(Debug)]
+pub struct TenantWorkload {
+    /// The tenant id (valid for `ServiceRouter` routing: `tenant0`,
+    /// `tenant1`, …).
+    pub id: String,
+    /// The tenant's own churn workload (independent universe/policy).
+    pub workload: ChurnWorkload,
+}
+
+/// A generated multi-tenant workload: `tenants` fully independent
+/// churn workloads, deterministic in `spec`.
+#[derive(Debug)]
+pub struct MultiTenantWorkload {
+    /// The tenants, in id order.
+    pub tenants: Vec<TenantWorkload>,
+}
+
+/// Derives tenant `index`'s seed from a base seed — the shared mixing
+/// rule for every multi-tenant workload (scenario generators and
+/// benches must agree on it, or "tenant i" means different workloads
+/// in different tools).
+pub fn tenant_seed(base: u64, index: usize) -> u64 {
+    base.wrapping_add(index as u64)
+        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Builds `spec.tenants` independent [`churn`] workloads with
+/// per-tenant seeds, for routers serving many policies in one process.
+pub fn multi_tenant_churn(spec: MultiTenantSpec) -> MultiTenantWorkload {
+    assert!(spec.tenants >= 1, "need at least one tenant");
+    let tenants = (0..spec.tenants)
+        .map(|i| TenantWorkload {
+            id: format!("tenant{i}"),
+            workload: churn(ChurnSpec {
+                seed: tenant_seed(spec.churn.seed, i),
+                ..spec.churn
+            }),
+        })
+        .collect();
+    MultiTenantWorkload { tenants }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +526,60 @@ mod tests {
             },
         );
         assert!(matches!(answer, ReachabilityAnswer::Unknown), "{answer:?}");
+    }
+
+    #[test]
+    fn write_storm_toggles_always_execute_and_change() {
+        let w = write_storm(WriteStormSpec {
+            roles: 32,
+            writers: 3,
+            ..WriteStormSpec::default()
+        });
+        assert_eq!(w.streams.len(), 3);
+        // Any interleaving of whole streams keeps every command
+        // authorized and policy-changing; check the serial worst case:
+        // each stream cycled twice, streams round-robined.
+        let mut uni = w.universe.clone();
+        let mut policy = w.policy.clone();
+        for round in 0..4 {
+            for stream in &w.streams {
+                let cmd = stream[round % 2];
+                let out = adminref_core::transition::step(
+                    &mut uni,
+                    &mut policy,
+                    &cmd,
+                    AuthMode::Explicit,
+                );
+                assert!(out.executed(), "round {round}: {cmd:?} refused");
+                assert!(out.changed, "round {round}: {cmd:?} was a no-op");
+            }
+        }
+        assert_eq!(policy.edges().count(), w.policy.edges().count());
+    }
+
+    #[test]
+    fn multi_tenant_churn_is_deterministic_and_independent() {
+        let spec = MultiTenantSpec {
+            tenants: 3,
+            churn: ChurnSpec {
+                roles: 32,
+                readers: 4,
+                batch_len: 8,
+                batches: 2,
+                ..ChurnSpec::default()
+            },
+        };
+        let a = multi_tenant_churn(spec);
+        let b = multi_tenant_churn(spec);
+        assert_eq!(a.tenants.len(), 3);
+        assert_eq!(a.tenants[0].id, "tenant0");
+        for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(ta.id, tb.id);
+            assert_eq!(ta.workload.batches, tb.workload.batches);
+        }
+        // Per-tenant seeds differ, so tenants are genuinely distinct
+        // workloads, not copies.
+        assert_ne!(a.tenants[0].workload.batches, a.tenants[1].workload.batches);
     }
 
     #[test]
