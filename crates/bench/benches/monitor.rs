@@ -41,6 +41,7 @@ fn command_throughput(c: &mut Criterion) {
                             MonitorConfig {
                                 auth_mode: mode,
                                 audit_capacity: 1 << 16,
+                                ..MonitorConfig::default()
                             },
                         )
                     },

@@ -1,0 +1,98 @@
+//! B10 — Incremental epoch publication: deriving a child
+//! `PolicySnapshot` by delta maintenance versus rebuilding the read
+//! index from scratch.
+//!
+//! Matrix: universe size (roles) × batch size (edge deltas per
+//! publish). Each cell derives the same child snapshot two ways:
+//!
+//! * `full` — `PolicySnapshot::next` under `PublishMode::FullRebuild`:
+//!   one `ReachIndex::build` (`O(|R|²/64 + |E|)`) per publish — the
+//!   pre-incremental cost model;
+//! * `incremental` — `PublishMode::Incremental`: `Arc`-shared universe
+//!   and closure rows plus `ReachIndex::apply_delta` over the batch's
+//!   edge deltas.
+//!
+//! The ratio at batch size 1 on the widest universe is the headline the
+//! `wide_universe_trickle` perf-smoke gate enforces (≥3x); sweeping the
+//! batch axis shows where amortization hands the advantage back to the
+//! rebuild (many-edge batches touch most rows anyway).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use adminref_core::reach::EdgeDelta;
+use adminref_core::snapshot::{PolicySnapshot, PublishMode};
+use adminref_workloads::{wide_universe_trickle, TrickleSpec};
+
+/// One prepared cell: the parent snapshot and one batch's worth of
+/// post-state + deltas.
+struct PublishCase {
+    parent: PolicySnapshot,
+    policy_after: adminref_core::policy::Policy,
+    deltas: Vec<EdgeDelta>,
+}
+
+fn prepare(roles: usize, batch: usize) -> PublishCase {
+    let w = wide_universe_trickle(TrickleSpec {
+        roles,
+        toggles: batch.max(1),
+        // Membership-only toggles here: every delta must apply
+        // incrementally so the two modes derive identical children and
+        // the comparison is pure index-derivation cost.
+        rh_toggle_per_mille: 0,
+        ..TrickleSpec::default()
+    });
+    let parent = PolicySnapshot::build(w.universe.clone(), w.policy.clone(), 0);
+    let mut policy_after = w.policy.clone();
+    let mut deltas = Vec::with_capacity(batch);
+    for single in w.batches.iter().take(batch) {
+        let cmd = single[0];
+        assert!(policy_after.add_edge(cmd.edge), "toggle edges start absent");
+        deltas.push(EdgeDelta {
+            edge: cmd.edge,
+            added: true,
+        });
+    }
+    PublishCase {
+        parent,
+        policy_after,
+        deltas,
+    }
+}
+
+fn publish_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B10_snapshot_delta");
+    group.sample_size(10);
+    for &roles in &[256usize, 1024, 2048] {
+        for &batch in &[1usize, 16, 128] {
+            let case = prepare(roles, batch);
+            group.throughput(Throughput::Elements(1));
+            for mode in ["full", "incremental"] {
+                let publish_mode = match mode {
+                    "full" => PublishMode::FullRebuild,
+                    _ => PublishMode::Incremental,
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{mode}/roles{roles}"), batch),
+                    &batch,
+                    |b, _| {
+                        b.iter(|| {
+                            let (snapshot, _path) = PolicySnapshot::next(
+                                &case.parent,
+                                case.parent.universe(),
+                                &case.policy_after,
+                                &case.deltas,
+                                1,
+                                publish_mode,
+                            );
+                            snapshot.epoch
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, publish_derivation);
+criterion_main!(benches);

@@ -8,19 +8,33 @@
 //! and emits the throughput numbers as JSON (stable schema, consumed by
 //! CI as a workflow artifact).
 //!
+//! The matrix also measures the **publish path**: the
+//! `wide_universe_trickle` workload (thousands of roles, single-edge
+//! batches) is driven through a single writer twice — once with
+//! `PublishMode::FullRebuild` (re-derive the read index per batch, the
+//! pre-incremental behavior) and once with `PublishMode::Incremental`
+//! (delta-maintained index + structurally shared snapshots) — and the
+//! publishes/s ratio is reported as the publish speedup.
+//!
 //! With `--baseline FILE` the measured epoch-path read throughput is
 //! gated against checked-in floors: the run fails if any reader count
 //! regresses more than 2x below its floor. Floors are intentionally
 //! conservative (set far below healthy-machine numbers) so the gate
 //! catches architecture regressions — a read path that re-acquires the
-//! write lock, an index rebuild per query — not CI-runner noise.
+//! write lock, an index rebuild per query — not CI-runner noise. The
+//! publish speedup is gated directly against
+//! `floors_publish_speedup` (the ≥3x acceptance bar itself): a ratio is
+//! already noise-normalized, so no slack factor is applied.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use adminref_core::command::Command;
+use adminref_core::snapshot::PublishMode;
 use adminref_monitor::{LockedMonitor, MonitorConfig, ReferenceMonitor, SessionId};
-use adminref_workloads::{churn, ChurnSpec, ChurnWorkload};
+use adminref_workloads::{
+    churn, wide_universe_trickle, ChurnSpec, ChurnWorkload, TrickleSpec, TrickleWorkload,
+};
 
 /// Parsed `bench-monitor` options.
 pub struct BenchOptions {
@@ -30,6 +44,9 @@ pub struct BenchOptions {
     pub secs: f64,
     /// Approximate role count of the generated policy.
     pub roles: usize,
+    /// Role count of the wide-universe trickle policy driven through
+    /// the publish-latency cells (0 skips them).
+    pub trickle_roles: usize,
     /// Emit JSON on stdout (otherwise a human table).
     pub json: bool,
     /// Baseline file with throughput floors to gate against.
@@ -43,6 +60,7 @@ impl BenchOptions {
             readers: vec![1, 4],
             secs: 0.25,
             roles: 128,
+            trickle_roles: 2048,
             json: false,
             baseline: None,
         }
@@ -54,9 +72,76 @@ impl BenchOptions {
             readers: vec![1, 4, 16],
             secs: 1.0,
             roles: 256,
+            trickle_roles: 2048,
             json: false,
             baseline: None,
         }
+    }
+}
+
+/// Measured publish-path cells: single-edge batches over the trickle
+/// workload, publishes/s per mode.
+#[derive(Clone)]
+struct PublishCells {
+    roles: usize,
+    full_per_sec: f64,
+    incremental_per_sec: f64,
+    /// Publications the incremental monitor still rebuilt from scratch
+    /// (structural fallbacks; should be a small minority).
+    incremental_fallbacks: u64,
+}
+
+impl PublishCells {
+    fn speedup(&self) -> Option<f64> {
+        (self.full_per_sec > 0.0).then(|| self.incremental_per_sec / self.full_per_sec)
+    }
+}
+
+/// One publish cell: a single writer cycling the trickle workload's
+/// single-edge batches for `secs` wall seconds under `mode`. Every
+/// batch changes the policy, so publishes/s == batches/s.
+fn measure_publish(w: &TrickleWorkload, mode: PublishMode, secs: f64) -> (f64, u64) {
+    let m = ReferenceMonitor::new(
+        w.universe.clone(),
+        w.policy.clone(),
+        MonitorConfig {
+            publish_mode: mode,
+            ..MonitorConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let deadline = Duration::from_secs_f64(secs);
+    let mut published = 0u64;
+    'outer: loop {
+        for batch in &w.batches {
+            if start.elapsed() >= deadline {
+                break 'outer;
+            }
+            m.submit_batch(batch).expect("in-memory submit");
+            published += 1;
+        }
+    }
+    let rate = published as f64 / start.elapsed().as_secs_f64();
+    let (_, full_rebuilds) = m.publish_counts();
+    (rate, full_rebuilds)
+}
+
+fn measure_publish_cells(opts: &BenchOptions) -> PublishCells {
+    let w = wide_universe_trickle(TrickleSpec {
+        roles: opts.trickle_roles,
+        ..TrickleSpec::default()
+    });
+    let warmup = opts.secs.min(0.05);
+    measure_publish(&w, PublishMode::FullRebuild, warmup);
+    let (full_per_sec, _) = measure_publish(&w, PublishMode::FullRebuild, opts.secs);
+    measure_publish(&w, PublishMode::Incremental, warmup);
+    let (incremental_per_sec, incremental_fallbacks) =
+        measure_publish(&w, PublishMode::Incremental, opts.secs);
+    PublishCells {
+        roles: opts.trickle_roles,
+        full_per_sec,
+        incremental_per_sec,
+        incremental_fallbacks,
     }
 }
 
@@ -209,20 +294,67 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
             });
         }
     }
+    let publish = (opts.trickle_roles > 0).then(|| {
+        let p = measure_publish_cells(opts);
+        eprintln!(
+            "bench-monitor: publish(wide_universe_trickle roles={}) \
+             full {:>8.0}/s  incremental {:>8.0}/s  speedup {:.1}x  ({} fallbacks)",
+            p.roles,
+            p.full_per_sec,
+            p.incremental_per_sec,
+            p.speedup().unwrap_or(0.0),
+            p.incremental_fallbacks,
+        );
+        p
+    });
     if opts.json {
-        println!("{}", render_json(opts, &cells));
+        println!("{}", render_json(opts, &cells, publish.as_ref()));
     } else {
-        render_table(&cells);
+        render_table(&cells, publish.as_ref());
     }
     if let Some(path) = &opts.baseline {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("reading baseline {path}: {e}"))?;
         let floors = parse_floors(&text)?;
         gate(&cells, &floors)?;
+        gate_publish(publish.as_ref(), &text)?;
         eprintln!(
             "bench-monitor: perf-smoke gate passed ({} floors)",
             floors.len()
         );
+    }
+    Ok(())
+}
+
+/// Gates the incremental/full publish speedup directly against
+/// `floors_publish_speedup` (keyed by trickle role count; floors for
+/// other sizes — or runs that skipped the publish cells — are skipped).
+fn gate_publish(publish: Option<&PublishCells>, baseline: &str) -> Result<(), String> {
+    let Some(p) = publish else {
+        return Ok(());
+    };
+    // The key is optional so older baselines keep working — but a
+    // *present* key that fails to parse must fail the run, not silently
+    // disable the gate.
+    if !baseline.contains("\"floors_publish_speedup\"") {
+        return Ok(());
+    }
+    let floors = parse_floor_map(baseline, "floors_publish_speedup")?;
+    for (roles, floor) in floors {
+        if roles != p.roles {
+            continue;
+        }
+        let Some(speedup) = p.speedup() else {
+            return Err("publish gate: full-rebuild cell measured zero publishes".into());
+        };
+        if speedup < floor {
+            return Err(format!(
+                "perf-smoke regression:\n  incremental publish speedup on \
+                 wide_universe_trickle({roles} roles): {speedup:.2}x is below the {floor:.1}x floor \
+                 (full {:.0}/s, incremental {:.0}/s)",
+                p.full_per_sec, p.incremental_per_sec
+            ));
+        }
     }
     Ok(())
 }
@@ -241,7 +373,7 @@ fn speedup(cells: &[Cell], readers: usize) -> Option<f64> {
     }
 }
 
-fn render_table(cells: &[Cell]) {
+fn render_table(cells: &[Cell], publish: Option<&PublishCells>) {
     println!(
         "{:<8} {:>8} {:>16} {:>16}",
         "impl", "readers", "reads/s", "write-cmds/s"
@@ -260,9 +392,18 @@ fn render_table(cells: &[Cell]) {
             println!("epoch/locked read speedup at {r} readers: {s:.1}x");
         }
     }
+    if let Some(p) = publish {
+        println!(
+            "publish (trickle, {} roles): full {:.0}/s, incremental {:.0}/s, speedup {:.1}x",
+            p.roles,
+            p.full_per_sec,
+            p.incremental_per_sec,
+            p.speedup().unwrap_or(0.0)
+        );
+    }
 }
 
-fn render_json(opts: &BenchOptions, cells: &[Cell]) -> String {
+fn render_json(opts: &BenchOptions, cells: &[Cell], publish: Option<&PublishCells>) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": 1,\n");
     out.push_str(&format!("  \"roles\": {},\n", opts.roles));
@@ -289,7 +430,22 @@ fn render_json(opts: &BenchOptions, cells: &[Cell]) -> String {
         .filter_map(|&r| speedup(cells, r).map(|s| format!("\"{r}\": {s:.2}")))
         .collect();
     out.push_str(&entries.join(", "));
-    out.push_str("}\n}");
+    out.push('}');
+    if let Some(p) = publish {
+        out.push_str(",\n  \"publish\": {");
+        out.push_str(&format!(
+            "\"workload\": \"wide_universe_trickle\", \"roles\": {}, \
+             \"full_publishes_per_sec\": {:.0}, \"incremental_publishes_per_sec\": {:.0}, \
+             \"incremental_fallbacks\": {}, \"speedup\": {:.2}",
+            p.roles,
+            p.full_per_sec,
+            p.incremental_per_sec,
+            p.incremental_fallbacks,
+            p.speedup().unwrap_or(0.0)
+        ));
+        out.push('}');
+    }
+    out.push_str("\n}");
     out
 }
 
@@ -386,6 +542,36 @@ mod tests {
         assert_eq!(floors, vec![(1, 50_000.0), (4, 100_000.5)]);
         assert!(parse_floors("{}").is_err());
         assert!(parse_floors(r#"{"floors_read_ops_per_sec": {}}"#).is_err());
+    }
+
+    #[test]
+    fn publish_gate_compares_speedup_directly() {
+        let baseline = r#"{ "floors_publish_speedup": { "2048": 3.0 } }"#;
+        let fast = PublishCells {
+            roles: 2048,
+            full_per_sec: 1_000.0,
+            incremental_per_sec: 4_000.0,
+            incremental_fallbacks: 3,
+        };
+        assert!(gate_publish(Some(&fast), baseline).is_ok());
+        let slow = PublishCells {
+            incremental_per_sec: 2_500.0,
+            ..fast
+        };
+        let err = gate_publish(Some(&slow), baseline).unwrap_err();
+        assert!(err.contains("below the 3.0x floor"), "{err}");
+        // Floors for other sizes, runs without publish cells, and
+        // baselines without the key are all skipped.
+        let other_size = PublishCells {
+            roles: 64,
+            ..slow.clone()
+        };
+        assert!(gate_publish(Some(&other_size), baseline).is_ok());
+        assert!(gate_publish(None, baseline).is_ok());
+        assert!(gate_publish(Some(&slow), "{}").is_ok());
+        // A present-but-malformed key fails the run rather than
+        // silently disabling the gate.
+        assert!(gate_publish(Some(&fast), r#"{ "floors_publish_speedup": {} }"#).is_err());
     }
 
     #[test]

@@ -4,20 +4,26 @@
 //!
 //! Runs the `write_storm` workload — per-writer grant/revoke toggle
 //! streams where **every** command changes the policy, so every command
-//! forces the full write cost (WAL, `ReachIndex` rebuild, epoch
+//! forces the full write cost (WAL append + sync, index delta, epoch
 //! publication) — as concurrent single-command `Submit` requests
-//! through two servers over identical monitors:
+//! through two servers over identical **durable** monitors (real
+//! stores under a scratch dir: with the read index delta-maintained,
+//! the per-batch WAL sync is the dominant fixed cost group commit
+//! exists to amortize, so in-memory cells would measure only combiner
+//! overhead):
 //!
 //! * `percall` — `impl PolicyService for ReferenceMonitor`: every
-//!   request takes the writer mutex itself and pays a full publication
-//!   (WAL sync, `ReachIndex` rebuild, epoch) per command — per-call
-//!   writer locking, the design group commit replaces;
+//!   request takes the writer mutex itself and pays the batch costs
+//!   (WAL sync, publication) for its single command — per-call writer
+//!   locking, the design group commit replaces;
 //! * `group` — [`MonitorService`]: concurrent submitters coalesce into
 //!   one in-flight batch drained by a leader, paying those costs once
 //!   per drain.
 //!
 //! A third cell (`router`, not gated) fans one writer per tenant out
-//! over a [`ServiceRouter`] hosting independent per-tenant monitors.
+//! over a [`ServiceRouter`] hosting independent **in-memory**
+//! per-tenant monitors — aggregate multi-policy publication throughput,
+//! not comparable to the durable percall/group cells.
 //!
 //! With `--baseline FILE` the run is gated twice: the group/percall
 //! speedup at each floored writer count must meet
@@ -32,6 +38,7 @@ use std::time::{Duration, Instant};
 use adminref_core::command::Command;
 use adminref_monitor::{MonitorConfig, ReferenceMonitor};
 use adminref_service::{MonitorService, PolicyService, RouterConfig, ServiceRouter};
+use adminref_store::{PolicyStore, TempDir};
 use adminref_workloads::{tenant_seed, write_storm, WriteStormSpec, WriteStormWorkload};
 
 use crate::bench_monitor::parse_floor_map;
@@ -105,7 +112,7 @@ fn measure_workers<S: PolicyService>(workers: &[(S, Vec<Command>)], secs: f64) -
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    std::hint::black_box(service.submit_one(*cmd).expect("in-memory submit"));
+                    std::hint::black_box(service.submit_one(*cmd).expect("bench submit"));
                     local += 1;
                 }
                 submitted.fetch_add(local, Ordering::Relaxed);
@@ -135,18 +142,27 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
         writers: max_writers,
         seed: 0x5E4C,
     });
+    let scratch = TempDir::new("bench-service").map_err(|e| format!("bench scratch dir: {e}"))?;
     let mut cells: Vec<Cell> = Vec::new();
     for path in ["percall", "group"] {
         for &writers in &opts.writers {
             let streams = &w.streams[..writers];
-            // A fresh monitor per cell, so earlier cells' toggles don't
-            // shift the policy under later ones; only the server over
-            // it differs between the paths.
-            let monitor = ReferenceMonitor::new(
+            // A fresh **durable** monitor per cell (so earlier cells'
+            // toggles don't shift the policy under later ones; only the
+            // server over it differs between the paths). Durability is
+            // the point of the comparison: with the read index now
+            // delta-maintained, the dominant per-batch fixed cost group
+            // commit amortizes is the WAL sync — one fsync per drain
+            // versus one per command — so an in-memory monitor would
+            // measure only combiner overhead, not the design.
+            let store = PolicyStore::create(
+                &scratch.path().join(format!("{path}-{writers}")),
                 w.universe.clone(),
                 w.policy.clone(),
-                MonitorConfig::default(),
-            );
+                adminref_core::transition::AuthMode::Explicit,
+            )
+            .map_err(|e| format!("bench store: {e}"))?;
+            let monitor = ReferenceMonitor::with_store(store, MonitorConfig::default());
             let group_server;
             let service: &dyn PolicyService = match path {
                 "percall" => &monitor,

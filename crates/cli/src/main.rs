@@ -8,19 +8,25 @@
 //! adminref order    <policy.rbac> "<held priv>" "<requested priv>" [--strict]
 //! adminref weaker   <policy.rbac> "<priv>" [--depth N]
 //! adminref run      <policy.rbac> <queue.rbacq> [--ordered] [--store DIR]
+//! adminref compact  <store-dir> [--ordered]
 //! adminref refines  <policy-a.rbac> <policy-b.rbac> [--witnesses N]
 //! adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
 //!                   [--max-states N] [--jobs N]
 //! adminref bench-monitor [--quick] [--json] [--readers 1,4,16] [--secs S]
-//!                   [--roles N] [--baseline BENCH_BASELINE.json]
+//!                   [--roles N] [--trickle-roles N] [--baseline BENCH_BASELINE.json]
 //! adminref bench-service [--quick] [--json] [--writers 1,2,4] [--secs S]
 //!                   [--roles N] [--tenants T] [--baseline BENCH_BASELINE.json]
 //! ```
 //!
 //! `refines` is scriptable: it prints the violation count and the first
 //! witnesses, and exits nonzero (without usage noise) when refinement
-//! fails. `bench-service` (alias `serve-bench`) measures multi-writer
-//! group-commit throughput against per-call writer locking.
+//! fails. `compact` folds a durable store's command log into a fresh
+//! snapshot (reporting what recovery replayed first), so reopening the
+//! store replays nothing. `bench-service` (alias `serve-bench`)
+//! measures multi-writer group-commit throughput against per-call
+//! writer locking; `bench-monitor` additionally measures incremental
+//! vs full-rebuild publish latency on the wide-universe trickle
+//! workload.
 //!
 //! Policies use the `adminref-lang` syntax; privileges on the command
 //! line use the same expression syntax, quoted.
@@ -61,11 +67,12 @@ const USAGE: &str = "usage:
   adminref order    <policy.rbac> '<held priv>' '<requested priv>' [--strict]
   adminref weaker   <policy.rbac> '<priv>' [--depth N]
   adminref run      <policy.rbac> <queue.rbacq> [--ordered] [--store DIR]
+  adminref compact  <store-dir> [--ordered]
   adminref refines  <policy-a.rbac> <policy-b.rbac> [--witnesses N]
   adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
                     [--max-states N] [--jobs N]   (--jobs 0 = all cores)
   adminref bench-monitor [--quick] [--json] [--readers 1,4,16] [--secs S]
-                    [--roles N] [--baseline BENCH_BASELINE.json]
+                    [--roles N] [--trickle-roles N] [--baseline BENCH_BASELINE.json]
   adminref bench-service [--quick] [--json] [--writers 1,2,4] [--secs S]
                     [--roles N] [--tenants T] [--baseline BENCH_BASELINE.json]";
 
@@ -85,6 +92,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "order" => cmd_order(&rest),
         "weaker" => done(cmd_weaker(&rest)),
         "run" => done(cmd_run(&rest)),
+        "compact" => done(cmd_compact(&rest)),
         "refines" => cmd_refines(&rest),
         "reach" => done(cmd_reach(&rest)),
         "bench-monitor" => cmd_bench_monitor(&rest),
@@ -278,6 +286,49 @@ fn cmd_run(rest: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Folds a durable store's command log into a fresh snapshot, so the
+/// next open replays nothing. Prints the recovery report of the open
+/// (replayed entries, torn tail, divergence) and the result.
+fn cmd_compact(rest: &[&String]) -> Result<(), String> {
+    let dir = positional(rest, 0)?;
+    let mode = if flag(rest, "--ordered") {
+        AuthMode::Ordered(OrderingMode::Extended)
+    } else {
+        AuthMode::Explicit
+    };
+    let (mut store, report) =
+        PolicyStore::open(std::path::Path::new(dir), mode).map_err(|e| e.to_string())?;
+    println!(
+        "opened {dir}: replayed {} entr{}{}{}",
+        report.replayed,
+        if report.replayed == 1 { "y" } else { "ies" },
+        if report.truncated_tail {
+            ", truncated a torn tail"
+        } else {
+            ""
+        },
+        if report.divergent > 0 {
+            ", DIVERGENT replay"
+        } else {
+            ""
+        },
+    );
+    if report.divergent > 0 {
+        return Err(format!(
+            "{} divergent entr{}: the log and snapshot are from different histories; \
+             refusing to compact (rerun with the auth mode the log was written under)",
+            report.divergent,
+            if report.divergent == 1 { "y" } else { "ies" }
+        ));
+    }
+    store.compact().map_err(|e| e.to_string())?;
+    println!(
+        "compacted: log folded into snapshot ({} edges), reopen replays 0 entries",
+        store.policy().edge_count()
+    );
+    Ok(())
+}
+
 /// Scriptable refinement check: prints `violations: N` plus the first
 /// `(entity, perm)` witnesses (`--witnesses N`, default 10) and exits
 /// nonzero — without usage noise — when refinement fails.
@@ -351,6 +402,11 @@ fn cmd_bench_monitor(rest: &[&String]) -> Result<ExitCode, String> {
         opts.roles = roles
             .parse::<usize>()
             .map_err(|e| format!("--roles: {e}"))?;
+    }
+    if let Some(roles) = flag_value(rest, "--trickle-roles") {
+        opts.trickle_roles = roles
+            .parse::<usize>()
+            .map_err(|e| format!("--trickle-roles: {e}"))?;
     }
     opts.baseline = flag_value(rest, "--baseline");
     finish_bench(bench_monitor::run(&opts))

@@ -193,6 +193,8 @@ fn bench_monitor_emits_json_and_gates_against_baseline() {
             "0.05",
             "--roles",
             "32",
+            "--trickle-roles",
+            "64",
             "--json",
             "--baseline",
             &baseline.to_string_lossy(),
@@ -209,6 +211,8 @@ fn bench_monitor_emits_json_and_gates_against_baseline() {
     assert!(json.contains("\"impl\": \"locked\""), "{json}");
     assert!(json.contains("\"impl\": \"epoch\""), "{json}");
     assert!(json.contains("\"epoch_read_speedup\""), "{json}");
+    assert!(json.contains("\"publish\""), "{json}");
+    assert!(json.contains("\"wide_universe_trickle\""), "{json}");
     assert!(
         String::from_utf8_lossy(&out.stderr).contains("perf-smoke gate passed"),
         "{}",
@@ -229,6 +233,8 @@ fn bench_monitor_emits_json_and_gates_against_baseline() {
             "0.05",
             "--roles",
             "32",
+            "--trickle-roles",
+            "0",
             "--baseline",
             &baseline.to_string_lossy(),
         ])
@@ -380,5 +386,60 @@ fn bench_service_emits_json_and_gates_against_baseline() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compact_folds_a_store_created_by_run() {
+    let dir = std::env::temp_dir().join(format!("adminref-compact-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_dir = dir.join("store");
+    // `run --store` creates a durable store and logs the queue.
+    let out = bin()
+        .args([
+            "run",
+            &hospital(),
+            &fixture("appointments.rbacq").to_string_lossy(),
+            "--store",
+            &store_dir.to_string_lossy(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Compact reports what it replayed, then folds the log away…
+    let out = bin()
+        .args(["compact", &store_dir.to_string_lossy()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("replayed 4 entries"), "{text}");
+    assert!(text.contains("reopen replays 0 entries"), "{text}");
+    // …so a second compact replays nothing.
+    let out = bin()
+        .args(["compact", &store_dir.to_string_lossy()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("replayed 0 entries"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // A missing store is a completed-run failure, not a usage error.
+    let out = bin()
+        .args(["compact", &dir.join("nope").to_string_lossy()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -6,21 +6,50 @@
 //! the reverse-topological order Tarjan naturally emits. The longest chain
 //! of `RH` (needed for the Remark 2 enumeration bound) is a longest-path
 //! computation on the condensation.
+//!
+//! Closure rows are stored once per SCC behind an [`Arc`], so cloning a
+//! closure is `O(|SCC|)` reference bumps and the incremental maintenance
+//! entry points ([`add_edge_incremental`](RoleClosure::add_edge_incremental),
+//! [`remove_edge_incremental`](RoleClosure::remove_edge_incremental))
+//! copy-on-write only the rows an edge delta actually changes — the
+//! substrate of the snapshot publisher's delta path.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use crate::bitset::BitSet;
 
+/// Whether an incremental closure update applied, or the structure
+/// changed in a way that needs a from-scratch rebuild.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClosureDelta {
+    /// The delta was applied in place; the closure is exact.
+    Applied,
+    /// The delta would merge or split SCCs (a cycle formed or an
+    /// intra-SCC edge vanished) or exceed the fan-out cap; the caller
+    /// must rebuild with [`RoleClosure::build`].
+    Rebuild,
+}
+
 /// Transitive-closure index over a role graph with `n` roles.
 ///
-/// Closure rows are stored once per SCC and shared by its members.
+/// Closure rows are stored once per SCC and shared by its members (and,
+/// via [`Arc`], across snapshot epochs).
 #[derive(Debug, Clone)]
 pub struct RoleClosure {
     n: usize,
-    /// SCC id of each role (SCC ids are in reverse topological order:
-    /// sinks have low ids).
-    scc_of: Vec<u32>,
+    /// SCC id of each role. `build` emits SCC ids in reverse topological
+    /// order (sinks have low ids); incremental edge additions may relax
+    /// that ordering, so maintenance code never relies on it. Behind an
+    /// `Arc` because the partition only ever changes on a full rebuild —
+    /// delta-derived closures share it with their parent outright.
+    scc_of: Arc<Vec<u32>>,
     /// Closure row per SCC: all roles reachable from (any member of) the
-    /// SCC, members included.
-    rows: Vec<BitSet>,
+    /// SCC, members included. The outer `Arc` makes cloning free for
+    /// batches with no role-edge deltas; the inner `Arc`s share
+    /// individual untouched rows across epochs when a delta does copy
+    /// the table.
+    rows: Arc<Vec<Arc<BitSet>>>,
     /// Longest chain measured in *roles* along any path of the condensation
     /// (an SCC of size k contributes k).
     longest_chain_roles: u32,
@@ -146,10 +175,159 @@ impl RoleClosure {
 
         RoleClosure {
             n,
-            scc_of,
-            rows,
+            scc_of: Arc::new(scc_of),
+            rows: Arc::new(rows.into_iter().map(Arc::new).collect()),
             longest_chain_roles,
         }
+    }
+
+    // ----- incremental maintenance (the snapshot delta path) -----------
+
+    /// Applies the addition of edge `a → b` in place.
+    ///
+    /// **Add-edge split lemma** (the same argument the bounded search's
+    /// incremental goal check rests on): after adding `(a, b)`, a path
+    /// `x →' y` exists iff `x → y` already held, or `x → a ∧ b → y` —
+    /// every new path must cross the new edge exactly at `(a, b)` the
+    /// first time it uses it. At closure-row granularity that is
+    /// `row'(s) = row(s) ∪ row(scc(b))` for exactly the SCCs `s` whose
+    /// row contains `a` (the reverse-reachability frontier of the new
+    /// edge's source); all other rows are untouched and keep sharing
+    /// their allocation with the parent epoch.
+    ///
+    /// Returns [`ClosureDelta::Rebuild`] when `b → a` already holds in a
+    /// *different* SCC: the edge closes a new cycle, the SCC partition
+    /// changes, and only a from-scratch build renumbers it correctly.
+    /// An intra-SCC addition is a no-op (`Applied`): members of one SCC
+    /// already reach one another.
+    pub fn add_edge_incremental(&mut self, a: u32, b: u32) -> ClosureDelta {
+        let (ai, bi) = (a as usize, b as usize);
+        if ai >= self.n || bi >= self.n {
+            return ClosureDelta::Rebuild;
+        }
+        if self.scc_of[ai] == self.scc_of[bi] {
+            return ClosureDelta::Applied;
+        }
+        if self.rows[self.scc_of[bi] as usize].contains(ai) {
+            // b already reaches a: the new edge merges SCCs.
+            return ClosureDelta::Rebuild;
+        }
+        let row_b = Arc::clone(&self.rows[self.scc_of[bi] as usize]);
+        for row in Arc::make_mut(&mut self.rows) {
+            if row.contains(ai) && !row_b.is_subset(row) {
+                Arc::make_mut(row).union_with(&row_b);
+            }
+        }
+        ClosureDelta::Applied
+    }
+
+    /// Applies the removal of edge `a → b` in place, given `succ` — the
+    /// role adjacency **after** the removal.
+    ///
+    /// Removal can only shrink rows of SCCs that currently reach `a`
+    /// (every lost path crossed the removed edge). Each affected row is
+    /// recomputed exactly by a BFS from the SCC's members over `succ`;
+    /// unaffected rows keep sharing their allocation. When more than
+    /// `max_affected` rows would need recomputing the targeted pass
+    /// costs about as much as a rebuild, so the caller is told to
+    /// rebuild instead ([`ClosureDelta::Rebuild`]); likewise when the
+    /// removed edge was *inside* an SCC, since the SCC may split.
+    pub fn remove_edge_incremental(
+        &mut self,
+        a: u32,
+        b: u32,
+        succ: &[BTreeSet<u32>],
+        max_affected: usize,
+    ) -> ClosureDelta {
+        let (ai, bi) = (a as usize, b as usize);
+        if ai >= self.n || bi >= self.n {
+            return ClosureDelta::Rebuild;
+        }
+        if self.scc_of[ai] == self.scc_of[bi] {
+            return ClosureDelta::Rebuild;
+        }
+        let affected: Vec<usize> = (0..self.rows.len())
+            .filter(|&s| self.rows[s].contains(ai))
+            .collect();
+        if affected.len() > max_affected {
+            return ClosureDelta::Rebuild;
+        }
+        let mut members_of: Vec<Vec<u32>> = vec![Vec::new(); self.rows.len()];
+        for v in 0..self.n {
+            members_of[self.scc_of[v] as usize].push(v as u32);
+        }
+        let rows = Arc::make_mut(&mut self.rows);
+        for s in affected {
+            let mut row = BitSet::new(self.n);
+            let mut queue: Vec<u32> = Vec::new();
+            for &m in &members_of[s] {
+                if row.insert(m as usize) {
+                    queue.push(m);
+                }
+            }
+            while let Some(v) = queue.pop() {
+                for &w in &succ[v as usize] {
+                    if row.insert(w as usize) {
+                        queue.push(w);
+                    }
+                }
+            }
+            rows[s] = Arc::new(row);
+        }
+        ClosureDelta::Applied
+    }
+
+    /// Recomputes [`longest_chain_roles`](Self::longest_chain_roles)
+    /// from `succ` (the current role adjacency) after a batch of
+    /// incremental edge deltas. `O(|R| + |E| + |SCC|)`: a Kahn pass over
+    /// the condensation plus the chain DP — no bitset traffic.
+    pub fn recompute_longest_chain(&mut self, succ: &[BTreeSet<u32>]) {
+        let c = self.rows.len();
+        if c == 0 {
+            self.longest_chain_roles = 0;
+            return;
+        }
+        let mut scc_size = vec![0u32; c];
+        for v in 0..self.n {
+            scc_size[self.scc_of[v] as usize] += 1;
+        }
+        // Condensation edges (with multiplicity — Kahn only needs the
+        // indegree bookkeeping to match).
+        let mut scc_succ: Vec<Vec<u32>> = vec![Vec::new(); c];
+        let mut indegree = vec![0u32; c];
+        for (v, targets) in succ.iter().enumerate().take(self.n) {
+            let sv = self.scc_of[v];
+            for &w in targets {
+                let sw = self.scc_of[w as usize];
+                if sv != sw {
+                    scc_succ[sv as usize].push(sw);
+                    indegree[sw as usize] += 1;
+                }
+            }
+        }
+        let mut order: Vec<u32> = (0..c as u32)
+            .filter(|&s| indegree[s as usize] == 0)
+            .collect();
+        let mut head = 0;
+        while head < order.len() {
+            let s = order[head] as usize;
+            head += 1;
+            for &t in &scc_succ[s] {
+                indegree[t as usize] -= 1;
+                if indegree[t as usize] == 0 {
+                    order.push(t);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), c, "condensation must be acyclic");
+        // Sinks-first DP: process the topological order in reverse.
+        let mut chain = vec![0u32; c];
+        for &s in order.iter().rev() {
+            let s = s as usize;
+            let best_succ = scc_succ[s].iter().map(|&t| chain[t as usize]).max();
+            chain[s] = scc_size[s] + best_succ.unwrap_or(0);
+        }
+        self.longest_chain_roles = chain.iter().copied().max().unwrap_or(0);
     }
 
     /// Number of roles indexed.
@@ -339,5 +517,124 @@ mod tests {
         assert_eq!(c.row(0).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
         assert_eq!(c.row(1).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
         assert_eq!(c.row(2).iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    fn adjacency(n: usize, edges: &[(u32, u32)]) -> Vec<BTreeSet<u32>> {
+        let mut succ = vec![BTreeSet::new(); n];
+        for &(a, b) in edges {
+            succ[a as usize].insert(b);
+        }
+        succ
+    }
+
+    /// Same reachability answers and observables, independent of SCC
+    /// numbering.
+    fn assert_equivalent(a: &RoleClosure, b: &RoleClosure, n: usize) {
+        for x in 0..n as u32 {
+            assert_eq!(a.row(x), b.row(x), "row of {x}");
+        }
+        assert_eq!(a.scc_count(), b.scc_count());
+        assert_eq!(a.longest_chain_roles(), b.longest_chain_roles());
+    }
+
+    #[test]
+    fn incremental_add_matches_rebuild() {
+        // 0 -> 1 -> 2, 3 -> 4; add 2 -> 3 (joins the chains).
+        let base = vec![(0, 1), (1, 2), (3, 4)];
+        let mut inc = closure(5, &base);
+        assert_eq!(inc.add_edge_incremental(2, 3), ClosureDelta::Applied);
+        let mut edges = base.clone();
+        edges.push((2, 3));
+        let succ = adjacency(5, &edges);
+        inc.recompute_longest_chain(&succ);
+        assert_equivalent(&inc, &closure(5, &edges), 5);
+        assert_eq!(inc.longest_chain_roles(), 5);
+        // Untouched rows still share their allocation with... the edge
+        // only fans out to 0, 1, 2; role 4's row is the same Arc.
+        assert!(inc.reaches(0, 4));
+        assert!(!inc.reaches(4, 0));
+    }
+
+    #[test]
+    fn incremental_add_detects_new_cycle() {
+        let mut inc = closure(3, &[(0, 1), (1, 2)]);
+        // 2 -> 0 closes a cycle: SCCs merge, rebuild required.
+        assert_eq!(inc.add_edge_incremental(2, 0), ClosureDelta::Rebuild);
+        // Intra-SCC additions are no-ops.
+        let mut cyc = closure(3, &[(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(cyc.add_edge_incremental(0, 1), ClosureDelta::Applied);
+        assert_equivalent(&cyc, &closure(3, &[(0, 1), (1, 0), (1, 2)]), 3);
+    }
+
+    #[test]
+    fn incremental_remove_matches_rebuild() {
+        // Diamond 0 -> {1, 2} -> 3; removing 1 -> 3 keeps 0 -> 3 via 2.
+        let base = vec![(0, 1), (0, 2), (1, 3), (2, 3)];
+        let mut inc = closure(4, &base);
+        let after: Vec<(u32, u32)> = base.iter().copied().filter(|&e| e != (1, 3)).collect();
+        let succ = adjacency(4, &after);
+        assert_eq!(
+            inc.remove_edge_incremental(1, 3, &succ, usize::MAX),
+            ClosureDelta::Applied
+        );
+        inc.recompute_longest_chain(&succ);
+        assert_equivalent(&inc, &closure(4, &after), 4);
+        assert!(inc.reaches(0, 3), "still reachable via 2");
+        assert!(!inc.reaches(1, 3));
+    }
+
+    #[test]
+    fn incremental_remove_refuses_intra_scc_and_caps_fanout() {
+        let mut cyc = closure(3, &[(0, 1), (1, 0), (1, 2)]);
+        let succ = adjacency(3, &[(0, 1), (1, 2)]);
+        assert_eq!(
+            cyc.remove_edge_incremental(1, 0, &succ, usize::MAX),
+            ClosureDelta::Rebuild,
+            "intra-SCC removal may split the SCC"
+        );
+        // Fan-out cap: a chain removal affects every upstream row.
+        let base = vec![(0, 1), (1, 2), (2, 3)];
+        let mut chain = closure(4, &base);
+        let succ = adjacency(4, &[(0, 1), (1, 2)]);
+        assert_eq!(
+            chain.remove_edge_incremental(2, 3, &succ, 1),
+            ClosureDelta::Rebuild,
+            "three affected rows exceed the cap of 1"
+        );
+    }
+
+    #[test]
+    fn incremental_sequence_stays_exact_without_canonical_scc_order() {
+        // Interleave adds and removes so SCC ids drift from Tarjan's
+        // canonical numbering, then compare against rebuilds throughout.
+        let mut edges: Vec<(u32, u32)> = vec![(0, 1), (2, 3), (4, 5)];
+        let mut inc = closure(6, &edges);
+        let script: &[(u32, u32, bool)] = &[
+            (1, 2, true),
+            (5, 0, true),
+            (3, 4, true), // closes the 6-cycle: forces the rebuild path
+            (2, 3, false),
+            (1, 2, false),
+            (0, 3, true),
+        ];
+        for &(a, b, add) in script {
+            if add {
+                edges.push((a, b));
+                if inc.add_edge_incremental(a, b) == ClosureDelta::Rebuild {
+                    inc = closure(6, &edges);
+                } else {
+                    inc.recompute_longest_chain(&adjacency(6, &edges));
+                }
+            } else {
+                edges.retain(|&e| e != (a, b));
+                let succ = adjacency(6, &edges);
+                if inc.remove_edge_incremental(a, b, &succ, usize::MAX) == ClosureDelta::Rebuild {
+                    inc = closure(6, &edges);
+                } else {
+                    inc.recompute_longest_chain(&succ);
+                }
+            }
+            assert_equivalent(&inc, &closure(6, &edges), 6);
+        }
     }
 }

@@ -85,7 +85,7 @@ pub mod prelude {
     pub use crate::ids::{ActionId, Entity, Node, ObjectId, Perm, PrivId, RoleId, UserId};
     pub use crate::ordering::{Derivation, OrderingMode, PrivilegeOrder};
     pub use crate::policy::{Policy, PolicyBuilder};
-    pub use crate::reach::{reaches, reaches_entity, ReachIndex};
+    pub use crate::reach::{reaches, reaches_entity, EdgeDelta, ReachIndex};
     pub use crate::refinement::{
         equivalent, refinement_violations, refines, violations_between, weaken_assignment,
         RefinementViolation,
@@ -99,7 +99,7 @@ pub mod prelude {
         check_admin_refinement, command_alphabet, SimulationConfig, SimulationDirection,
         SimulationOutcome,
     };
-    pub use crate::snapshot::PolicySnapshot;
+    pub use crate::snapshot::{batch_deltas, PolicySnapshot, PublishMode, PublishPath};
     pub use crate::transition::{
         apply_edge, authorize, authorize_explicit, authorize_with_order, required_privilege, run,
         run_pure, step, AuthMode, Authorization, RunTrace, StepOutcome, StepRecord,

@@ -6,8 +6,18 @@
 //! cheap structural hashing (the bounded refinement checker memoises on
 //! whole policies) and `O(log n)` mutation, which is the access pattern of
 //! the transition system.
+//!
+//! Each relation lives behind an [`Arc`], so `Policy::clone` is three
+//! reference-count bumps — the epoch publisher snapshots the live policy
+//! per batch, and a deep copy per publication was the dominant fixed
+//! cost of small batches. Mutation goes through [`Arc::make_mut`]:
+//! uniquely-owned policies (the writer's live copy, search states)
+//! mutate in place for free, while a policy that shares structure with
+//! a published snapshot copies **only the relation the batch touches**
+//! (a membership-churn batch never copies `RH` or `PA†`).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use crate::ids::{Node, Perm, PrivId, RoleId, UserId};
 use crate::universe::{Edge, PrivTerm, Universe, UniverseTag};
@@ -26,14 +36,19 @@ use crate::universe::{Edge, PrivTerm, Universe, UniverseTag};
 #[derive(Clone, Debug)]
 pub struct Policy {
     tag: UniverseTag,
-    ua: BTreeSet<(UserId, RoleId)>,
-    rh: BTreeSet<(RoleId, RoleId)>,
-    pa: BTreeSet<(RoleId, PrivId)>,
+    ua: Arc<BTreeSet<(UserId, RoleId)>>,
+    rh: Arc<BTreeSet<(RoleId, RoleId)>>,
+    pa: Arc<BTreeSet<(RoleId, PrivId)>>,
 }
 
 impl PartialEq for Policy {
     fn eq(&self, other: &Self) -> bool {
-        self.ua == other.ua && self.rh == other.rh && self.pa == other.pa
+        // Snapshots and their writers share relations until one of them
+        // mutates, so pointer equality settles most comparisons without
+        // walking the trees.
+        (Arc::ptr_eq(&self.ua, &other.ua) || self.ua == other.ua)
+            && (Arc::ptr_eq(&self.rh, &other.rh) || self.rh == other.rh)
+            && (Arc::ptr_eq(&self.pa, &other.pa) || self.pa == other.pa)
     }
 }
 
@@ -52,9 +67,9 @@ impl Policy {
     pub fn new(universe: &Universe) -> Self {
         Policy {
             tag: universe.tag(),
-            ua: BTreeSet::new(),
-            rh: BTreeSet::new(),
-            pa: BTreeSet::new(),
+            ua: Arc::new(BTreeSet::new()),
+            rh: Arc::new(BTreeSet::new()),
+            pa: Arc::new(BTreeSet::new()),
         }
     }
 
@@ -98,21 +113,54 @@ impl Policy {
 
     // ----- mutation (the `φ ∪ (v,v′)` / `φ \ (v,v′)` of Definition 5) ----
 
-    /// Adds an edge; returns `true` if the policy changed.
+    /// Adds an edge; returns `true` if the policy changed. Copy-on-write:
+    /// only the touched relation is copied, and only when shared.
     pub fn add_edge(&mut self, edge: Edge) -> bool {
         match edge {
-            Edge::UserRole(u, r) => self.ua.insert((u, r)),
-            Edge::RoleRole(r, s) => self.rh.insert((r, s)),
-            Edge::RolePriv(r, p) => self.pa.insert((r, p)),
+            Edge::UserRole(u, r) => {
+                if self.ua.contains(&(u, r)) {
+                    return false;
+                }
+                Arc::make_mut(&mut self.ua).insert((u, r))
+            }
+            Edge::RoleRole(r, s) => {
+                if self.rh.contains(&(r, s)) {
+                    return false;
+                }
+                Arc::make_mut(&mut self.rh).insert((r, s))
+            }
+            Edge::RolePriv(r, p) => {
+                if self.pa.contains(&(r, p)) {
+                    return false;
+                }
+                Arc::make_mut(&mut self.pa).insert((r, p))
+            }
         }
     }
 
-    /// Removes an edge; returns `true` if the policy changed.
+    /// Removes an edge; returns `true` if the policy changed. Copy-on-write
+    /// like [`add_edge`](Self::add_edge); removing an absent edge copies
+    /// nothing.
     pub fn remove_edge(&mut self, edge: Edge) -> bool {
         match edge {
-            Edge::UserRole(u, r) => self.ua.remove(&(u, r)),
-            Edge::RoleRole(r, s) => self.rh.remove(&(r, s)),
-            Edge::RolePriv(r, p) => self.pa.remove(&(r, p)),
+            Edge::UserRole(u, r) => {
+                if !self.ua.contains(&(u, r)) {
+                    return false;
+                }
+                Arc::make_mut(&mut self.ua).remove(&(u, r))
+            }
+            Edge::RoleRole(r, s) => {
+                if !self.rh.contains(&(r, s)) {
+                    return false;
+                }
+                Arc::make_mut(&mut self.rh).remove(&(r, s))
+            }
+            Edge::RolePriv(r, p) => {
+                if !self.pa.contains(&(r, p)) {
+                    return false;
+                }
+                Arc::make_mut(&mut self.pa).remove(&(r, p))
+            }
         }
     }
 
@@ -188,7 +236,7 @@ impl Policy {
     pub fn roles_mentioned(&self) -> BTreeSet<RoleId> {
         let mut out: BTreeSet<RoleId> = BTreeSet::new();
         out.extend(self.ua.iter().map(|&(_, r)| r));
-        for &(r, s) in &self.rh {
+        for &(r, s) in self.rh.iter() {
             out.insert(r);
             out.insert(s);
         }
@@ -446,6 +494,27 @@ mod tests {
         let staff = uni.find_role("staff").unwrap();
         other.remove_edge(Edge::UserRole(diana, staff));
         assert!(!set.contains(&other));
+    }
+
+    #[test]
+    fn clones_share_until_mutated() {
+        let (uni, policy) = small();
+        let mut writer = policy.clone();
+        assert_eq!(writer, policy);
+        let diana = uni.find_user("diana").unwrap();
+        let nurse = uni.find_role("nurse").unwrap();
+        // Mutating the clone copies only the touched relation; the
+        // original keeps its view of every relation.
+        assert!(writer.remove_edge(Edge::UserRole(diana, nurse)));
+        assert!(policy.contains_edge(Edge::UserRole(diana, nurse)));
+        assert!(!writer.contains_edge(Edge::UserRole(diana, nurse)));
+        assert_eq!(writer.rh_len(), policy.rh_len());
+        assert_eq!(writer.pa_len(), policy.pa_len());
+        // No-op mutations never copy (and report no change).
+        let mut reader = policy.clone();
+        assert!(!reader.add_edge(Edge::UserRole(diana, nurse)));
+        assert!(!reader.remove_edge(Edge::UserRole(diana, RoleId(999))));
+        assert_eq!(reader, policy);
     }
 
     #[test]

@@ -13,13 +13,14 @@
 //!
 //! Both agree everywhere; a property test in this module checks that.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use crate::bitset::BitSet;
-use crate::closure::RoleClosure;
+use crate::closure::{ClosureDelta, RoleClosure};
 use crate::ids::{Entity, Node, Perm, PrivId, RoleId, UserId};
 use crate::policy::Policy;
-use crate::universe::{PrivTerm, Universe};
+use crate::universe::{Edge, PrivTerm, Universe};
 
 /// On-the-fly BFS reachability on the policy graph. Reflexive.
 pub fn reaches(policy: &Policy, from: Node, to: Node) -> bool {
@@ -87,11 +88,34 @@ pub fn reaches_entity(policy: &Policy, from: Entity, to: Entity) -> bool {
 #[derive(Debug, Clone)]
 pub struct ReachIndex {
     closure: RoleClosure,
-    /// Direct role memberships per user (dense by user id).
-    user_roles: Vec<Vec<RoleId>>,
-    /// Roles directly holding each privilege vertex.
-    holders: HashMap<PrivId, Vec<RoleId>>,
+    /// Direct role memberships per user (dense by user id). The outer
+    /// `Arc` makes cloning free for batches without membership deltas;
+    /// when one does copy the table, the inner `Arc`s still share every
+    /// untouched user's row across epochs.
+    user_roles: Arc<Vec<Arc<Vec<RoleId>>>>,
+    /// Roles directly holding each privilege vertex (`Arc`-shared like
+    /// the membership table).
+    holders: Arc<HashMap<PrivId, Arc<Vec<RoleId>>>>,
     role_count: usize,
+}
+
+/// One applied edge change, in execution order — the unit the
+/// incremental snapshot publisher consumes. Produced from the
+/// `changed == true` outcomes of a batch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EdgeDelta {
+    /// The edge that changed.
+    pub edge: Edge,
+    /// `true` for an addition, `false` for a removal.
+    pub added: bool,
+}
+
+/// Cap on closure rows a single RH-edge removal may recompute before
+/// the targeted pass costs as much as a rebuild (see
+/// [`RoleClosure::remove_edge_incremental`]). A quarter of the SCCs,
+/// floored so tiny hierarchies always take the targeted path.
+fn removal_fanout_cap(scc_count: usize) -> usize {
+    (scc_count / 4).max(8)
 }
 
 impl ReachIndex {
@@ -110,10 +134,114 @@ impl ReachIndex {
         }
         ReachIndex {
             closure,
-            user_roles,
-            holders,
+            user_roles: Arc::new(user_roles.into_iter().map(Arc::new).collect()),
+            holders: Arc::new(holders.into_iter().map(|(p, v)| (p, Arc::new(v))).collect()),
             role_count,
         }
+    }
+
+    /// Derives the index of a *child* policy from this one by applying
+    /// the batch's edge deltas, sharing every untouched row with the
+    /// parent. Returns `None` when the batch needs a from-scratch
+    /// [`build`](Self::build): the universe's role/user population grew
+    /// under the index, an RH addition closed a new cycle (SCC merge),
+    /// an RH removal hit an edge inside an SCC (possible split), or a
+    /// removal's row fan-out exceeded the cost cap.
+    ///
+    /// `policy_before` must be the policy this index was built for and
+    /// `deltas` the exact sequence of applied changes leading from it
+    /// to the child policy — i.e. an `added` delta's edge was absent
+    /// when it executed, a removal's present (the monitor gets this for
+    /// free from the `changed` flags of a batch's outcomes).
+    pub fn apply_delta(
+        &self,
+        universe: &Universe,
+        policy_before: &Policy,
+        deltas: &[EdgeDelta],
+    ) -> Option<ReachIndex> {
+        if universe.role_count() != self.role_count
+            || universe.user_count() != self.user_roles.len()
+        {
+            return None;
+        }
+        let mut next = self.clone();
+        // Role adjacency, materialized lazily on the first RH delta and
+        // kept in step with the sequence (UA/PA-only batches never pay
+        // for it).
+        let mut succ: Option<Vec<BTreeSet<u32>>> = None;
+        let mut rh_changed = false;
+        for delta in deltas {
+            match (delta.edge, delta.added) {
+                (Edge::UserRole(u, r), added) => {
+                    let table = Arc::make_mut(&mut next.user_roles);
+                    let row = Arc::make_mut(&mut table[u.index()]);
+                    match (row.binary_search(&r), added) {
+                        (Err(at), true) => row.insert(at, r),
+                        (Ok(at), false) => {
+                            row.remove(at);
+                        }
+                        // A delta that disagrees with the row means the
+                        // sequence precondition was violated; the exact
+                        // path is a rebuild away.
+                        _ => return None,
+                    }
+                }
+                (Edge::RolePriv(r, p), true) => {
+                    let table = Arc::make_mut(&mut next.holders);
+                    let row = Arc::make_mut(table.entry(p).or_default());
+                    match row.binary_search(&r) {
+                        Err(at) => row.insert(at, r),
+                        Ok(_) => return None,
+                    }
+                }
+                (Edge::RolePriv(r, p), false) => {
+                    let table = Arc::make_mut(&mut next.holders);
+                    let entry = table.get_mut(&p)?;
+                    let row = Arc::make_mut(entry);
+                    match row.binary_search(&r) {
+                        Ok(at) => {
+                            row.remove(at);
+                        }
+                        Err(_) => return None,
+                    }
+                    if entry.is_empty() {
+                        // Parity with `build`, which never materializes
+                        // holderless vertices.
+                        table.remove(&p);
+                    }
+                }
+                (Edge::RoleRole(a, b), added) => {
+                    let succ = succ.get_or_insert_with(|| {
+                        let mut adj = vec![BTreeSet::new(); self.role_count];
+                        for (s, t) in policy_before.rh() {
+                            adj[s.index()].insert(t.0);
+                        }
+                        adj
+                    });
+                    rh_changed = true;
+                    let outcome = if added {
+                        if !succ[a.index()].insert(b.0) {
+                            return None;
+                        }
+                        next.closure.add_edge_incremental(a.0, b.0)
+                    } else {
+                        if !succ[a.index()].remove(&b.0) {
+                            return None;
+                        }
+                        let cap = removal_fanout_cap(next.closure.scc_count());
+                        next.closure.remove_edge_incremental(a.0, b.0, succ, cap)
+                    };
+                    if outcome == ClosureDelta::Rebuild {
+                        return None;
+                    }
+                }
+            }
+        }
+        if rh_changed {
+            next.closure
+                .recompute_longest_chain(succ.as_deref().expect("built on first RH delta"));
+        }
+        Some(next)
     }
 
     /// The underlying role-hierarchy closure.
@@ -211,7 +339,7 @@ impl ReachIndex {
     fn direct_roles(&self, u: UserId) -> &[RoleId] {
         self.user_roles
             .get(u.index())
-            .map(Vec::as_slice)
+            .map(|row| row.as_slice())
             .unwrap_or(&[])
     }
 }
@@ -356,6 +484,87 @@ mod tests {
         assert!(idx.reach_entity(nurse.into(), staff.into()));
         assert!(idx.reach_entity(staff.into(), nurse.into()));
         assert!(reaches_entity(&policy, nurse.into(), staff.into()));
+    }
+
+    /// Same observable answers, whatever the internal SCC numbering.
+    fn assert_equiv(uni: &Universe, policy: &Policy, a: &ReachIndex, b: &ReachIndex) {
+        let entities: Vec<Entity> = uni
+            .users()
+            .map(Entity::User)
+            .chain(uni.roles().map(Entity::Role))
+            .collect();
+        for &e in &entities {
+            assert_eq!(a.roles_reachable(e), b.roles_reachable(e), "{e:?}");
+            for p in policy.priv_vertices() {
+                assert_eq!(a.reach_priv(e, p), b.reach_priv(e, p), "{e:?} -> {p:?}");
+            }
+        }
+        assert_eq!(
+            a.role_closure().longest_chain_roles(),
+            b.role_closure().longest_chain_roles()
+        );
+        assert_eq!(a.role_closure().scc_count(), b.role_closure().scc_count());
+    }
+
+    #[test]
+    fn delta_chain_matches_rebuild_for_every_edge_kind() {
+        let (mut uni, mut policy) = figure1();
+        let diana = uni.find_user("diana").unwrap();
+        let nurse = uni.find_role("nurse").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let dbusr1 = uni.find_role("dbusr1").unwrap();
+        let dbusr2 = uni.find_role("dbusr2").unwrap();
+        let prntusr = uni.find_role("prntusr").unwrap();
+        let perm = uni.perm("audit", "t9");
+        let p9 = uni.priv_perm(perm);
+        let mut idx = ReachIndex::build(&uni, &policy);
+        let script = [
+            (Edge::UserRole(diana, dbusr1), true),
+            (Edge::RolePriv(nurse, p9), true),
+            (Edge::RoleRole(prntusr, dbusr2), true), // new RH edge, acyclic
+            (Edge::UserRole(diana, staff), false),
+            (Edge::RoleRole(staff, dbusr2), false), // RH removal, inter-SCC
+            (Edge::RolePriv(nurse, p9), false),
+        ];
+        for (edge, added) in script {
+            let before = policy.clone();
+            let changed = if added {
+                policy.add_edge(edge)
+            } else {
+                policy.remove_edge(edge)
+            };
+            assert!(changed, "script edges flip state: {edge:?}");
+            let delta = [EdgeDelta { edge, added }];
+            idx = idx
+                .apply_delta(&uni, &before, &delta)
+                .expect("acyclic deltas apply incrementally");
+            assert_equiv(&uni, &policy, &idx, &ReachIndex::build(&uni, &policy));
+        }
+    }
+
+    #[test]
+    fn delta_falls_back_on_new_cycles_and_population_growth() {
+        let (uni, policy) = figure1();
+        let nurse = uni.find_role("nurse").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let idx = ReachIndex::build(&uni, &policy);
+        // staff -> nurse exists; nurse -> staff closes a cycle.
+        let mut cyclic = policy.clone();
+        assert!(cyclic.add_edge(Edge::RoleRole(nurse, staff)));
+        assert!(idx
+            .apply_delta(
+                &uni,
+                &policy,
+                &[EdgeDelta {
+                    edge: Edge::RoleRole(nurse, staff),
+                    added: true,
+                }],
+            )
+            .is_none());
+        // A universe that grew roles under the index also rebuilds.
+        let mut grown = uni.clone();
+        grown.role("intern");
+        assert!(idx.apply_delta(&grown, &policy, &[]).is_none());
     }
 
     #[test]

@@ -219,9 +219,12 @@ mod tests {
 
     #[test]
     fn policy_change_affects_existing_sessions() {
-        // Sessions consult the live policy: revoking diana's staff role
-        // does not deactivate the role, but re-activation would fail and a
-        // fresh session cannot activate it.
+        // A bare `Session` consults whatever policy it is given: revoking
+        // diana's staff role does not deactivate the role here, but
+        // re-activation would fail and a fresh session cannot activate
+        // it. The monitors close the remaining gap at publish time by
+        // force-deactivating roles a batch's revocations severed (see
+        // `adminref-monitor`'s session revalidation).
         let (uni, mut policy) = figure1();
         let diana = uni.find_user("diana").unwrap();
         let staff = uni.find_role("staff").unwrap();

@@ -242,6 +242,31 @@ impl Universe {
         self.terms.len()
     }
 
+    /// Number of interned action names.
+    pub fn action_count(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Number of interned object names.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The sizes of every intern table, as one comparable stamp.
+    /// Interning is append-only, so two universes descended from the
+    /// same lineage are identical iff their stamps are equal — the
+    /// cheap "did this batch grow the universe?" test the snapshot
+    /// publisher uses to share one allocation across epochs.
+    pub fn population_stamp(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.users.len(),
+            self.roles.len(),
+            self.actions.len(),
+            self.objects.len(),
+            self.terms.len(),
+        )
+    }
+
     /// Iterates all users.
     pub fn users(&self) -> impl Iterator<Item = UserId> {
         (0..self.users.len() as u32).map(UserId)

@@ -4,11 +4,19 @@
 //! refused — lands here, together with the privilege vertex that justified
 //! it (for ordered-mode decisions the held privilege generally differs
 //! from the requested one; auditors want to see both).
+//!
+//! A second bounded ring records [`SessionRevocation`]s: publish-time
+//! forced deactivations of session roles whose `u →φ r` justification a
+//! batch's revocations severed. The streams number independently (each
+//! stays dense, so cursor arithmetic keeps working on both), and the
+//! revocation total is monotone even after eviction.
 
 use std::collections::VecDeque;
 
 use adminref_core::command::Command;
-use adminref_core::ids::PrivId;
+use adminref_core::ids::{PrivId, RoleId, UserId};
+
+use crate::monitor::SessionId;
 
 /// The decision recorded for one command.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -38,12 +46,30 @@ pub struct AuditEvent {
     pub changed: bool,
 }
 
+/// One publish-time forced deactivation: the epoch's policy no longer
+/// satisfies `u →φ r`, so the monitor dropped `role` from the session.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SessionRevocation {
+    /// Monotonic revocation number (independent of command seqs).
+    pub seq: u64,
+    /// The affected session.
+    pub session: SessionId,
+    /// The session's user.
+    pub user: UserId,
+    /// The role that was force-deactivated.
+    pub role: RoleId,
+    /// The epoch whose publication severed the activation.
+    pub epoch: u64,
+}
+
 /// Bounded in-memory audit log (oldest events are evicted first).
 #[derive(Debug)]
 pub struct AuditLog {
     events: VecDeque<AuditEvent>,
+    revocations: VecDeque<SessionRevocation>,
     capacity: usize,
     next_seq: u64,
+    next_revocation_seq: u64,
     evicted: u64,
 }
 
@@ -52,8 +78,10 @@ impl AuditLog {
     pub fn new(capacity: usize) -> Self {
         AuditLog {
             events: VecDeque::with_capacity(capacity.min(1024)),
+            revocations: VecDeque::new(),
             capacity: capacity.max(1),
             next_seq: 0,
+            next_revocation_seq: 0,
             evicted: 0,
         }
     }
@@ -134,6 +162,48 @@ impl AuditLog {
             .iter()
             .filter(|e| e.decision == Decision::Refused)
             .count()
+    }
+
+    /// Records a publish-time forced deactivation, evicting the oldest
+    /// if full. Returns its (stream-local) seq.
+    pub fn record_revocation(
+        &mut self,
+        session: SessionId,
+        user: UserId,
+        role: RoleId,
+        epoch: u64,
+    ) -> u64 {
+        let seq = self.next_revocation_seq;
+        self.next_revocation_seq += 1;
+        if self.revocations.len() == self.capacity {
+            self.revocations.pop_front();
+        }
+        self.revocations.push_back(SessionRevocation {
+            seq,
+            session,
+            user,
+            role,
+            epoch,
+        });
+        seq
+    }
+
+    /// Retained forced deactivations, oldest first.
+    pub fn revocations(&self) -> impl Iterator<Item = &SessionRevocation> {
+        self.revocations.iter()
+    }
+
+    /// Copies out at most the last `max` retained forced deactivations,
+    /// oldest first.
+    pub fn revocations_tail(&self, max: usize) -> Vec<SessionRevocation> {
+        let skip = self.revocations.len().saturating_sub(max);
+        self.revocations.iter().skip(skip).copied().collect()
+    }
+
+    /// Total forced deactivations ever recorded (monotone across
+    /// eviction).
+    pub fn revocations_total(&self) -> u64 {
+        self.next_revocation_seq
     }
 }
 
@@ -236,5 +306,24 @@ mod tests {
         let mut log = AuditLog::new(0);
         log.record(cmd(0), Decision::Refused, false);
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn revocations_number_independently_and_stay_bounded() {
+        let mut log = AuditLog::new(2);
+        log.record(cmd(0), Decision::Refused, false);
+        let sid = SessionId::from_raw(7);
+        for i in 0..3 {
+            let seq = log.record_revocation(sid, UserId(1), RoleId(i), 5);
+            assert_eq!(seq, i as u64);
+        }
+        assert_eq!(log.revocations().count(), 2, "ring bounded");
+        assert_eq!(log.revocations_total(), 3);
+        let tail = log.revocations_tail(1);
+        assert_eq!(tail[0].seq, 2);
+        assert_eq!(tail[0].role, RoleId(2));
+        assert_eq!(tail[0].epoch, 5);
+        // The command stream's numbering is untouched.
+        assert_eq!(log.record(cmd(1), Decision::Refused, false), 1);
     }
 }

@@ -64,7 +64,11 @@ impl LockedMonitor {
     }
 
     /// Submits one administrative command; records the decision in the
-    /// audit log.
+    /// audit log. A revocation that changes the policy immediately
+    /// revalidates every session under the same write lock: an active
+    /// role whose `u →φ r` justification the command severed is
+    /// force-deactivated and recorded, like the epoch monitor's
+    /// publish-time sweep.
     pub fn submit(&self, cmd: &Command) -> Result<StepOutcome, MonitorError> {
         let mut inner = self.inner.write();
         let mode = inner.config.auth_mode;
@@ -80,6 +84,23 @@ impl LockedMonitor {
         inner.audit.record(*cmd, decision, outcome.changed);
         if outcome.changed {
             inner.version += 1;
+            let added = matches!(cmd.kind, adminref_core::command::CommandKind::Grant);
+            if crate::monitor::severs_activation(cmd.edge, added) {
+                let Inner {
+                    policy,
+                    sessions,
+                    audit,
+                    version,
+                    ..
+                } = inner;
+                crate::monitor::sweep_stale_activations(sessions, audit, *version, |user, role| {
+                    adminref_core::reach::reaches(
+                        policy,
+                        adminref_core::ids::Node::User(user),
+                        adminref_core::ids::Node::Role(role),
+                    )
+                });
+            }
         }
         Ok(outcome)
     }
@@ -167,6 +188,17 @@ impl LockedMonitor {
     /// Copies out the retained audit events.
     pub fn audit_events(&self) -> Vec<AuditEvent> {
         self.inner.read().audit.events().copied().collect()
+    }
+
+    /// Copies out at most the last `max` forced deactivations (oldest
+    /// first).
+    pub fn session_revocations_tail(&self, max: usize) -> Vec<crate::audit::SessionRevocation> {
+        self.inner.read().audit.revocations_tail(max)
+    }
+
+    /// Total forced deactivations so far.
+    pub fn session_revocations_total(&self) -> u64 {
+        self.inner.read().audit.revocations_total()
     }
 
     /// The configured authorization mode.

@@ -28,13 +28,22 @@
 //!   writer mutex. A whole queue is applied as **one batch**: commands
 //!   execute serially under Definition 5 (so outcomes and the audit
 //!   sequence are identical to a serial monitor), the durable backend
-//!   syncs its WAL once per batch, the derived index is rebuilt once per
-//!   batch, and the new snapshot is published atomically with
-//!   `epoch = version() + 1`. Readers therefore observe only whole
-//!   batches: every concurrent read agrees with either the pre- or the
-//!   post-batch policy, never a torn intermediate state.
+//!   syncs its WAL once per batch, the derived index is **delta-derived
+//!   from the parent epoch** once per batch
+//!   ([`PolicySnapshot::next`] — structural sharing plus the batch's
+//!   edge deltas, with a from-scratch rebuild fallback for
+//!   SCC-restructuring batches or via
+//!   [`PublishMode::FullRebuild`]), and the new snapshot is published
+//!   atomically with `epoch = version() + 1`. Readers therefore observe
+//!   only whole batches: every concurrent read agrees with either the
+//!   pre- or the post-batch policy, never a torn intermediate state.
+//!   After a batch containing revocations publishes, sessions are
+//!   revalidated: an active role whose `u →φ r` justification the batch
+//!   severed is force-deactivated (and recorded as a
+//!   [`SessionRevocation`]) — a stale session can no longer keep
+//!   granting through a revoked role.
 //!
-//! The previous single-`RwLock` design is preserved unchanged as
+//! The previous single-`RwLock` design is preserved as
 //! [`LockedMonitor`](crate::locked::LockedMonitor) for differential
 //! testing and as the baseline of the `monitor_throughput` benchmark and
 //! `adminref bench-monitor`.
@@ -51,12 +60,12 @@ use adminref_core::ids::{Entity, Perm, RoleId, UserId};
 use adminref_core::policy::Policy;
 use adminref_core::safety::{perm_reachable, ReachabilityAnswer, SafetyConfig};
 use adminref_core::session::{Session, SessionError};
-use adminref_core::snapshot::PolicySnapshot;
+use adminref_core::snapshot::{batch_deltas, PolicySnapshot, PublishMode, PublishPath};
 use adminref_core::transition::{step, AuthMode, StepOutcome};
-use adminref_core::universe::Universe;
-use adminref_store::{PolicyStore, StoreError};
+use adminref_core::universe::{Edge, Universe};
+use adminref_store::{PolicyStore, RecoveryReport, StoreError};
 
-use crate::audit::{AuditEvent, AuditLog, Decision};
+use crate::audit::{AuditEvent, AuditLog, Decision, SessionRevocation};
 
 /// Monitor configuration.
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +74,14 @@ pub struct MonitorConfig {
     pub auth_mode: AuthMode,
     /// Audit log retention.
     pub audit_capacity: usize,
+    /// How published snapshots are derived from their parent epoch
+    /// (defaults to the process-wide [`PublishMode::from_env`]).
+    pub publish_mode: PublishMode,
+    /// Auto-compaction threshold for durable backends: after a batch,
+    /// if the WAL holds at least this many entries it is folded into a
+    /// fresh snapshot, so a long-running monitor never replays an
+    /// unbounded log on reopen. `None` disables auto-compaction.
+    pub autocompact_log_len: Option<u64>,
 }
 
 impl Default for MonitorConfig {
@@ -72,6 +89,8 @@ impl Default for MonitorConfig {
         MonitorConfig {
             auth_mode: AuthMode::Explicit,
             audit_capacity: 4096,
+            publish_mode: PublishMode::default(),
+            autocompact_log_len: Some(4096),
         }
     }
 }
@@ -198,6 +217,38 @@ struct Writer {
     epoch: u64,
 }
 
+/// `true` iff this applied edge delta can sever some session's `u →φ r`
+/// justification: only *removals* of `UA`/`RH` edges can — additions
+/// are monotone, and `PA†` edges play no part in activation.
+pub(crate) fn severs_activation(edge: Edge, added: bool) -> bool {
+    !added && !matches!(edge, Edge::RolePriv(..))
+}
+
+/// The revalidation sweep both monitors run after a policy-changing
+/// revocation: force-deactivates every active role whose `u →φ r` no
+/// longer holds (per `reaches`), recording each forced deactivation at
+/// `epoch`. One shared implementation keeps the epoch monitor and the
+/// differential [`LockedMonitor`](crate::locked::LockedMonitor)
+/// baseline in lockstep as the semantics evolve.
+pub(crate) fn sweep_stale_activations(
+    sessions: &mut HashMap<SessionId, Session>,
+    audit: &mut AuditLog,
+    epoch: u64,
+    reaches: impl Fn(UserId, RoleId) -> bool,
+) {
+    for (&id, session) in sessions.iter_mut() {
+        let user = session.user();
+        let stale: Vec<RoleId> = session
+            .active_roles()
+            .filter(|&r| !reaches(user, r))
+            .collect();
+        for role in stale {
+            session.deactivate(role);
+            audit.record_revocation(id, user, role, epoch);
+        }
+    }
+}
+
 /// The reference monitor.
 pub struct ReferenceMonitor {
     /// Published read-side state; see the module docs.
@@ -211,6 +262,16 @@ pub struct ReferenceMonitor {
     /// The audit ring under its own short-critical-section lock, so
     /// auditors reading history don't stall command execution.
     audit: Mutex<AuditLog>,
+    /// Publications that took the incremental derivation path.
+    publishes_incremental: AtomicU64,
+    /// Publications that rebuilt the index from scratch.
+    publishes_full: AtomicU64,
+    /// Auto-compactions that failed (best-effort maintenance; the
+    /// batch itself was already durable).
+    autocompact_failures: AtomicU64,
+    /// What recovery found when the durable backend was opened (`None`
+    /// for in-memory monitors and freshly created stores).
+    recovery: Option<RecoveryReport>,
     config: MonitorConfig,
 }
 
@@ -228,12 +289,30 @@ impl ReferenceMonitor {
             sessions: RwLock::new(HashMap::new()),
             next_session: AtomicU64::new(0),
             audit: Mutex::new(AuditLog::new(config.audit_capacity)),
+            publishes_incremental: AtomicU64::new(0),
+            publishes_full: AtomicU64::new(0),
+            autocompact_failures: AtomicU64::new(0),
+            recovery: None,
             config,
         }
     }
 
     /// A monitor over a durable store (the store's auth mode wins).
     pub fn with_store(store: PolicyStore, config: MonitorConfig) -> Self {
+        Self::with_store_recovered(store, None, config)
+    }
+
+    /// A monitor over a durable store whose open-time
+    /// [`RecoveryReport`] is retained and queryable
+    /// ([`recovery_report`](Self::recovery_report)) — operators reading
+    /// `Stats` see whether recovery truncated a torn tail or replayed
+    /// divergent entries, instead of the report being dropped on the
+    /// floor at open.
+    pub fn with_store_recovered(
+        store: PolicyStore,
+        recovery: Option<RecoveryReport>,
+        config: MonitorConfig,
+    ) -> Self {
         let config = MonitorConfig {
             auth_mode: store.auth_mode(),
             ..config
@@ -248,6 +327,10 @@ impl ReferenceMonitor {
             sessions: RwLock::new(HashMap::new()),
             next_session: AtomicU64::new(0),
             audit: Mutex::new(AuditLog::new(config.audit_capacity)),
+            publishes_incremental: AtomicU64::new(0),
+            publishes_full: AtomicU64::new(0),
+            autocompact_failures: AtomicU64::new(0),
+            recovery,
             config,
         }
     }
@@ -330,14 +413,57 @@ impl ReferenceMonitor {
             || writer.backend.universe().term_count() != terms_before;
         if changed {
             writer.epoch += 1;
-            let snapshot = PolicySnapshot::build(
-                writer.backend.universe().clone(),
-                writer.backend.policy().clone(),
+            // The child snapshot is derived from the published parent:
+            // the universe Arc is reused unless the batch interned new
+            // names, the policy clone is three Arc bumps, and the read
+            // index is delta-maintained from the batch's edge deltas
+            // (with a from-scratch fallback; see PolicySnapshot::next).
+            let parent = self.snapshot.load_full();
+            let deltas = batch_deltas(commands, &outcomes);
+            let (snapshot, path) = PolicySnapshot::next(
+                &parent,
+                writer.backend.universe(),
+                writer.backend.policy(),
+                &deltas,
                 writer.epoch,
+                self.config.publish_mode,
             );
-            self.snapshot.store(Arc::new(snapshot));
+            match path {
+                PublishPath::Incremental => &self.publishes_incremental,
+                PublishPath::FullRebuild => &self.publishes_full,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+            let snapshot = Arc::new(snapshot);
+            self.snapshot.store(Arc::clone(&snapshot));
+            if deltas.iter().any(|d| severs_activation(d.edge, d.added)) {
+                self.revalidate_sessions(&snapshot);
+            }
+        }
+        // Post-publish WAL maintenance: fold an overgrown log into a
+        // fresh snapshot so reopen never replays unbounded history.
+        // Best-effort — the batch is already durable either way, and a
+        // later batch retries; failures are counted for operators.
+        if let Some(threshold) = self.config.autocompact_log_len {
+            if let Backend::Durable(store) = &mut writer.backend {
+                if store.log_len() >= threshold && store.compact().is_err() {
+                    self.autocompact_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         (outcomes, error)
+    }
+
+    /// Drops every active session role whose `u →φ r` justification no
+    /// longer holds in `snapshot`, recording each forced deactivation.
+    /// Called after publishing a batch that removed UA/RH edges.
+    fn revalidate_sessions(&self, snapshot: &PolicySnapshot) {
+        let mut sessions = self.sessions.write();
+        let mut audit = self.audit.lock();
+        sweep_stale_activations(&mut sessions, &mut audit, snapshot.epoch, |user, role| {
+            snapshot
+                .reach()
+                .reach_entity(Entity::User(user), Entity::Role(role))
+        });
     }
 
     /// Starts a session for `user`.
@@ -350,8 +476,16 @@ impl ReferenceMonitor {
     /// Activates a role in a session (`u →φ r` against the current
     /// published epoch).
     pub fn activate_role(&self, session: SessionId, role: RoleId) -> Result<(), MonitorError> {
-        let snapshot = self.read_snapshot();
         let mut sessions = self.sessions.write();
+        // Load the snapshot *under* the sessions lock: a snapshot read
+        // before acquiring it could predate a concurrent revoke batch
+        // whose revalidation sweep (which takes this same lock) has
+        // already run — the activation would then be validated against
+        // the stale epoch and survive unswept. Ordered this way, either
+        // the activation sees the post-revoke epoch (and is refused) or
+        // it completes before the sweep acquires the lock (and is
+        // swept).
+        let snapshot = self.read_snapshot();
         let s = sessions
             .get_mut(&session)
             .ok_or(MonitorError::UnknownSession(session))?;
@@ -443,6 +577,42 @@ impl ReferenceMonitor {
     /// backing buffer is moved, not copied.
     pub fn drain_audit_events(&self) -> Vec<AuditEvent> {
         self.audit.lock().drain()
+    }
+
+    /// Copies out at most the last `max` forced deactivations (oldest
+    /// first) — the audit trail of publish-time session revalidation.
+    pub fn session_revocations_tail(&self, max: usize) -> Vec<SessionRevocation> {
+        self.audit.lock().revocations_tail(max)
+    }
+
+    /// Total forced deactivations so far (monotone across eviction).
+    pub fn session_revocations_total(&self) -> u64 {
+        self.audit.lock().revocations_total()
+    }
+
+    /// How published epochs were derived so far:
+    /// `(incremental, full_rebuild)` counts. The sum is the number of
+    /// publications since construction.
+    pub fn publish_counts(&self) -> (u64, u64) {
+        (
+            self.publishes_incremental.load(Ordering::Relaxed),
+            self.publishes_full.load(Ordering::Relaxed),
+        )
+    }
+
+    /// What recovery found when this monitor's durable store was opened
+    /// (`None` for in-memory monitors, fresh stores, or callers that
+    /// used [`with_store`](Self::with_store) without threading the
+    /// report).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// Auto-compactions that failed (best-effort post-publish
+    /// maintenance; nonzero values deserve operator attention even
+    /// though every batch remains durable in the WAL).
+    pub fn autocompact_failures(&self) -> u64 {
+        self.autocompact_failures.load(Ordering::Relaxed)
     }
 
     /// The configured authorization mode.
@@ -544,6 +714,7 @@ mod tests {
             MonitorConfig {
                 auth_mode: mode,
                 audit_capacity: 64,
+                ..MonitorConfig::default()
             },
         );
         (m, uni)
@@ -838,6 +1009,194 @@ mod tests {
         m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
             .unwrap();
         assert_eq!(m.version(), 1);
+    }
+
+    #[test]
+    fn revocation_deactivates_stale_session_roles() {
+        // The regression the serving path shipped with: grant →
+        // activate → revoke → check_access kept granting through the
+        // revoked role, because nothing revalidated active sessions.
+        let (m, mut uni) = monitor(AuthMode::Explicit);
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let read_t1 = uni.perm("read", "t1");
+        m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        let sid = m.create_session(bob);
+        m.activate_role(sid, staff).unwrap();
+        assert!(m.check_access(sid, read_t1).unwrap());
+        m.submit(&Command::revoke(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        assert!(
+            !m.check_access(sid, read_t1).unwrap(),
+            "revoked membership must not keep granting"
+        );
+        // The forced deactivation was audited.
+        let revocations = m.session_revocations_tail(10);
+        assert_eq!(revocations.len(), 1);
+        assert_eq!(revocations[0].user, bob);
+        assert_eq!(revocations[0].role, staff);
+        assert_eq!(revocations[0].session, sid);
+        assert_eq!(revocations[0].epoch, m.version());
+        assert_eq!(m.session_revocations_total(), 1);
+        // Unrelated sessions are untouched: diana's nurse activation
+        // rides on her own assignment.
+        let diana = uni.find_user("diana").unwrap();
+        let nurse = uni.find_role("nurse").unwrap();
+        let did = m.create_session(diana);
+        m.activate_role(did, staff).unwrap();
+        m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        m.submit(&Command::revoke(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        assert!(m.check_access(did, read_t1).unwrap());
+        let _ = nurse;
+    }
+
+    #[test]
+    fn locked_monitor_also_deactivates_stale_sessions() {
+        let (uni, policy) = hospital();
+        let mut probe = uni.clone();
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let read_t1 = probe.perm("read", "t1");
+        let m = crate::locked::LockedMonitor::new(uni, policy, MonitorConfig::default());
+        m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        let sid = m.create_session(bob);
+        m.activate_role(sid, staff).unwrap();
+        assert!(m.check_access(sid, read_t1).unwrap());
+        m.submit(&Command::revoke(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        assert!(!m.check_access(sid, read_t1).unwrap());
+        assert_eq!(m.session_revocations_total(), 1);
+        assert_eq!(m.session_revocations_tail(10)[0].role, staff);
+    }
+
+    #[test]
+    fn incremental_publication_is_the_default_and_counted() {
+        let (m, uni) = monitor(AuthMode::Explicit);
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        for _ in 0..3 {
+            m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+                .unwrap();
+            m.submit(&Command::revoke(jane, Edge::UserRole(bob, staff)))
+                .unwrap();
+        }
+        let (incremental, full) = m.publish_counts();
+        assert_eq!(incremental + full, 6, "one publication per toggle");
+        if m.auth_mode() == AuthMode::Explicit
+            && MonitorConfig::default().publish_mode
+                == adminref_core::snapshot::PublishMode::Incremental
+        {
+            assert_eq!(full, 0, "membership toggles never force a rebuild");
+        }
+        // Forced full rebuild is always available via config and
+        // produces the same answers.
+        let (uni2, policy2) = hospital();
+        let m_full = ReferenceMonitor::new(
+            uni2,
+            policy2,
+            MonitorConfig {
+                publish_mode: adminref_core::snapshot::PublishMode::FullRebuild,
+                ..MonitorConfig::default()
+            },
+        );
+        m_full
+            .submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        let (incremental, full) = m_full.publish_counts();
+        assert_eq!((incremental, full), (0, 1));
+        assert!(m_full
+            .read_snapshot()
+            .policy()
+            .contains_edge(Edge::UserRole(bob, staff)));
+    }
+
+    #[test]
+    fn autocompaction_bounds_the_wal() {
+        use adminref_store::{PolicyStore, TempDir};
+        let (uni, policy) = hospital();
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let dir = TempDir::new("monitor-autocompact").unwrap();
+        let store =
+            PolicyStore::create(dir.path(), uni.clone(), policy, AuthMode::Explicit).unwrap();
+        let m = ReferenceMonitor::with_store(
+            store,
+            MonitorConfig {
+                autocompact_log_len: Some(4),
+                ..MonitorConfig::default()
+            },
+        );
+        // 6 commands: the threshold trips at the 4th append and folds
+        // the log; the remaining 2 stay in the (short) tail.
+        for _ in 0..3 {
+            m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+                .unwrap();
+            m.submit(&Command::revoke(jane, Edge::UserRole(bob, staff)))
+                .unwrap();
+        }
+        assert_eq!(m.autocompact_failures(), 0);
+        drop(m);
+        let (store, report) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+        assert!(
+            report.replayed < 4,
+            "auto-compaction folded the log ({} replayed)",
+            report.replayed
+        );
+        assert!(!store.policy().contains_edge(Edge::UserRole(bob, staff)));
+        // With the exact threshold cadence, reopen replays zero: one
+        // more batch lands on a compacted log and compacts again.
+        drop(store);
+        let (store2, _) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+        let m = ReferenceMonitor::with_store(
+            store2,
+            MonitorConfig {
+                autocompact_log_len: Some(1),
+                ..MonitorConfig::default()
+            },
+        );
+        m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        drop(m);
+        let (_, report) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+        assert_eq!(report.replayed, 0, "threshold 1 compacts after every batch");
+    }
+
+    #[test]
+    fn recovery_report_is_retained() {
+        use adminref_store::{PolicyStore, TempDir};
+        let (uni, policy) = hospital();
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let dir = TempDir::new("monitor-recovery").unwrap();
+        {
+            let store =
+                PolicyStore::create(dir.path(), uni.clone(), policy, AuthMode::Explicit).unwrap();
+            let m = ReferenceMonitor::with_store(
+                store,
+                MonitorConfig {
+                    autocompact_log_len: None,
+                    ..MonitorConfig::default()
+                },
+            );
+            assert_eq!(m.recovery_report(), None, "fresh store: nothing recovered");
+            m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+                .unwrap();
+        }
+        let (store, report) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+        let m =
+            ReferenceMonitor::with_store_recovered(store, Some(report), MonitorConfig::default());
+        let retained = m.recovery_report().expect("report threaded through");
+        assert_eq!(retained.replayed, 1);
+        assert_eq!(retained.divergent, 0);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use adminref_core::safety::{ReachabilityAnswer, SafetyConfig};
 use adminref_core::session::SessionError;
 use adminref_core::transition::StepOutcome;
 use adminref_monitor::{AuditEvent, MonitorError, SessionId};
-use adminref_store::StoreError;
+use adminref_store::{RecoveryReport, StoreError};
 
 /// One request over the monitor alphabet.
 ///
@@ -136,6 +136,11 @@ pub enum Request {
     Version,
     /// Cheap live counters (epoch, population, sessions, audit).
     Stats,
+    /// Admin op: folds a durable backend's WAL into a fresh snapshot
+    /// (a no-op on in-memory monitors). Complements the monitor's
+    /// automatic post-publish compaction for operator-driven
+    /// maintenance windows.
+    Compact,
 }
 
 /// Which direction a [`Request::CheckRefinement`] runs.
@@ -174,6 +179,14 @@ pub struct ServiceStats {
     pub sessions: usize,
     /// Audit events currently retained.
     pub audit_retained: usize,
+    /// Publish-time forced deactivations so far (stale-session
+    /// revalidation; see the monitor's session revocation audit).
+    pub forced_deactivations: u64,
+    /// What recovery found when the backing store was opened (`None`
+    /// for in-memory tenants and freshly created stores) — surfaced so
+    /// a truncated torn tail or divergent replay is operator-visible
+    /// instead of silently discarded.
+    pub recovery: Option<RecoveryReport>,
 }
 
 /// One response; each [`Request`] variant is answered by exactly one
@@ -238,6 +251,8 @@ pub enum Response {
     Version(u64),
     /// Answer to [`Request::Stats`].
     Stats(ServiceStats),
+    /// Answer to [`Request::Compact`].
+    Compacted,
 }
 
 /// The unified error type of the protocol.
@@ -271,6 +286,17 @@ pub enum ServiceError {
     /// The tenant does not exist and the router is not configured to
     /// create missing tenants.
     UnknownTenant(String),
+    /// Recovery of the tenant's store replayed entries whose recorded
+    /// authorization outcome diverged — the log and snapshot are from
+    /// different histories — and the router is configured to refuse
+    /// such tenants (`fail_on_divergence`). Serving would answer from a
+    /// state no serial history produced.
+    Recovery {
+        /// The tenant whose store diverged.
+        tenant: String,
+        /// Number of divergent log entries.
+        divergent: usize,
+    },
     /// A typed wrapper received a response variant that does not answer
     /// its request — a server bug, never the caller's fault.
     Protocol {
@@ -300,6 +326,11 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::InvalidTenant(t) => write!(f, "invalid tenant id {t:?}"),
             ServiceError::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
+            ServiceError::Recovery { tenant, divergent } => write!(
+                f,
+                "tenant {tenant:?} refused: recovery replayed {divergent} divergent entr{}",
+                if *divergent == 1 { "y" } else { "ies" }
+            ),
             ServiceError::Protocol { expected } => {
                 write!(f, "protocol violation: expected {expected} response")
             }
@@ -347,6 +378,7 @@ impl From<StoreError> for ServiceError {
 /// | `AuditTail` / `AuditSince` | `Audit` | [`audit_tail`](Self::audit_tail) / [`audit_since`](Self::audit_since) |
 /// | `Version` | `Version` | [`version`](Self::version) |
 /// | `Stats` | `Stats` | [`stats`](Self::stats) |
+/// | `Compact` | `Compacted` | [`compact`](Self::compact) |
 pub trait PolicyService: Send + Sync {
     /// Serves one request.
     fn call(&self, request: Request) -> Result<Response, ServiceError>;
@@ -484,6 +516,16 @@ pub trait PolicyService: Send + Sync {
         match self.call(Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             _ => Err(ServiceError::Protocol { expected: "Stats" }),
+        }
+    }
+
+    /// Typed wrapper for [`Request::Compact`].
+    fn compact(&self) -> Result<(), ServiceError> {
+        match self.call(Request::Compact)? {
+            Response::Compacted => Ok(()),
+            _ => Err(ServiceError::Protocol {
+                expected: "Compacted",
+            }),
         }
     }
 }

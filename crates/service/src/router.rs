@@ -51,6 +51,13 @@ pub struct RouterConfig {
     /// under `durable_root`) are served; missing tenants answer
     /// [`ServiceError::UnknownTenant`] instead of being created.
     pub create_missing: bool,
+    /// When `true` (the default), a durable tenant whose recovery
+    /// replayed divergent log entries (`RecoveryReport::divergent > 0`
+    /// — the log and snapshot are from different histories) is refused
+    /// with [`ServiceError::Recovery`] rather than served from a state
+    /// no serial history produced. Set `false` to serve it anyway; the
+    /// report stays visible through `Response::Stats` either way.
+    pub fail_on_divergence: bool,
 }
 
 impl Default for RouterConfig {
@@ -60,6 +67,7 @@ impl Default for RouterConfig {
             monitor: MonitorConfig::default(),
             durable_root: None,
             create_missing: true,
+            fail_on_divergence: true,
         }
     }
 }
@@ -173,17 +181,27 @@ impl ServiceRouter {
             }
             Some(root) => {
                 let dir = root.join(tenant);
-                let store = if dir.join("policy.snap").exists() {
-                    let (store, _report) = PolicyStore::open(&dir, self.config.monitor.auth_mode)?;
-                    store
+                let (store, report) = if dir.join("policy.snap").exists() {
+                    let (store, report) = PolicyStore::open(&dir, self.config.monitor.auth_mode)?;
+                    if report.divergent > 0 && self.config.fail_on_divergence {
+                        return Err(ServiceError::Recovery {
+                            tenant: tenant.to_string(),
+                            divergent: report.divergent,
+                        });
+                    }
+                    (store, Some(report))
                 } else if self.config.create_missing {
                     let (universe, policy) = (self.factory)(tenant);
-                    PolicyStore::create(&dir, universe, policy, self.config.monitor.auth_mode)?
+                    (
+                        PolicyStore::create(&dir, universe, policy, self.config.monitor.auth_mode)?,
+                        None,
+                    )
                 } else {
                     return Err(ServiceError::UnknownTenant(tenant.to_string()));
                 };
-                Ok(MonitorService::new(ReferenceMonitor::with_store(
+                Ok(MonitorService::new(ReferenceMonitor::with_store_recovered(
                     store,
+                    report,
                     self.config.monitor,
                 )))
             }
@@ -348,6 +366,90 @@ mod tests {
         let user = uni.find_user("user_acme").unwrap();
         let staff = uni.find_role("staff").unwrap();
         assert!(snap.policy().contains_edge(Edge::UserRole(user, staff)));
+    }
+
+    /// Seeds `<root>/<tenant>` with a store whose log only replays
+    /// faithfully under ordered authorization, so reopening in explicit
+    /// mode reports divergence.
+    fn seed_divergent_tenant(root: &std::path::Path, tenant: &str) {
+        use adminref_core::ordering::OrderingMode;
+        use adminref_core::transition::AuthMode;
+        let mut b = PolicyBuilder::new()
+            .assign("jane", "hr")
+            .declare_user("bob")
+            .inherit("staff", "dbusr2")
+            .permit("dbusr2", "write", "t3");
+        let (bob, staff) = {
+            let u = b.universe_mut();
+            (u.find_user("bob").unwrap(), u.find_role("staff").unwrap())
+        };
+        let g = b.universe_mut().grant_user_role(bob, staff);
+        let (uni, policy) = b.assign_priv("hr", g).finish();
+        let jane = uni.find_user("jane").unwrap();
+        let dbusr2 = uni.find_role("dbusr2").unwrap();
+        let mode = AuthMode::Ordered(OrderingMode::Extended);
+        let mut store = PolicyStore::create(&root.join(tenant), uni, policy, mode).unwrap();
+        // Authorized only in ordered mode: replaying under explicit
+        // authorization records a different outcome → divergent.
+        let out = store
+            .execute(&adminref_core::command::Command::grant(
+                jane,
+                Edge::UserRole(bob, dbusr2),
+            ))
+            .unwrap();
+        assert!(out.executed());
+        store.sync().unwrap();
+    }
+
+    #[test]
+    fn divergent_recovery_is_refused_by_default_and_surfaced_when_allowed() {
+        let dir = TempDir::new("router-divergent").unwrap();
+        seed_divergent_tenant(dir.path(), "corrupt");
+        let strict = ServiceRouter::new(
+            RouterConfig {
+                durable_root: Some(dir.path().to_path_buf()),
+                ..RouterConfig::default()
+            },
+            tenant_factory(),
+        );
+        match strict.tenant("corrupt").map(|_| ()) {
+            Err(ServiceError::Recovery { tenant, divergent }) => {
+                assert_eq!(tenant, "corrupt");
+                assert_eq!(divergent, 1);
+            }
+            other => panic!("expected Recovery refusal, got {other:?}"),
+        }
+        // Configured to serve anyway, the report is visible in Stats
+        // instead of silently discarded.
+        let permissive = ServiceRouter::new(
+            RouterConfig {
+                durable_root: Some(dir.path().to_path_buf()),
+                fail_on_divergence: false,
+                ..RouterConfig::default()
+            },
+            tenant_factory(),
+        );
+        let service = permissive.tenant("corrupt").unwrap();
+        let stats = crate::protocol::PolicyService::stats(&service.as_ref()).unwrap();
+        let report = stats.recovery.expect("report threaded to stats");
+        assert_eq!(report.divergent, 1);
+        assert_eq!(report.replayed, 1);
+        // A clean tenant reports its (zero-divergence) recovery too.
+        let clean = permissive.tenant("clean").unwrap();
+        assert!(grant_own_user(&clean));
+        drop(clean);
+        drop(permissive);
+        let reopened = ServiceRouter::new(
+            RouterConfig {
+                durable_root: Some(dir.path().to_path_buf()),
+                ..RouterConfig::default()
+            },
+            tenant_factory(),
+        );
+        let clean = reopened.tenant("clean").unwrap();
+        let stats = crate::protocol::PolicyService::stats(&clean.as_ref()).unwrap();
+        let report = stats.recovery.expect("reopened store reports recovery");
+        assert_eq!(report.divergent, 0);
     }
 
     #[test]

@@ -129,6 +129,10 @@ fn dispatch(monitor: &ReferenceMonitor, request: Request) -> Result<Response, Se
         }
         Request::Version => Ok(Response::Version(monitor.version())),
         Request::Stats => Ok(Response::Stats(stats(monitor))),
+        Request::Compact => {
+            monitor.compact()?;
+            Ok(Response::Compacted)
+        }
     }
 }
 
@@ -191,5 +195,7 @@ fn stats(monitor: &ReferenceMonitor) -> ServiceStats {
         edges: snapshot.policy().edge_count(),
         sessions: monitor.session_count(),
         audit_retained: monitor.audit_len(),
+        forced_deactivations: monitor.session_revocations_total(),
+        recovery: monitor.recovery_report(),
     }
 }

@@ -353,6 +353,138 @@ pub fn write_storm(spec: WriteStormSpec) -> WriteStormWorkload {
     }
 }
 
+/// Shape of a [`wide_universe_trickle`] scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct TrickleSpec {
+    /// Approximate role count of the layered hierarchy ("thousands of
+    /// roles" is the point: the from-scratch read-index rebuild is
+    /// `O(|R|²/64 + |E|)`, so width is what the incremental publisher
+    /// amortizes away).
+    pub roles: usize,
+    /// Users populating the initial policy.
+    pub users: usize,
+    /// Distinct toggle edges the admin cycles (each toggled by its own
+    /// single-command batch).
+    pub toggles: usize,
+    /// Fraction (per mille) of toggles that are RH edges rather than UA
+    /// memberships — role-edge deltas exercise the closure fan-out and
+    /// the targeted removal recompute, membership deltas the row-only
+    /// path.
+    pub rh_toggle_per_mille: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrickleSpec {
+    fn default() -> Self {
+        TrickleSpec {
+            roles: 2048,
+            users: 256,
+            toggles: 256,
+            rh_toggle_per_mille: 250,
+            seed: 0x71C_C7E,
+        }
+    }
+}
+
+/// A generated wide-universe trickle workload.
+#[derive(Debug)]
+pub struct TrickleWorkload {
+    /// The universe.
+    pub universe: Universe,
+    /// The initial policy (no toggle edge present).
+    pub policy: Policy,
+    /// The administrator authorized for every toggle.
+    pub admin: UserId,
+    /// Single-command batches: one full round of grants over every
+    /// toggle edge, then one full round of revokes — cycling the list
+    /// keeps every command authorized *and* policy-changing, forever.
+    pub batches: Vec<Vec<adminref_core::command::Command>>,
+}
+
+/// Builds the wide-universe trickle workload (deterministic in `spec`):
+/// a thousands-of-roles layered hierarchy whose write traffic is a
+/// stream of **single-edge batches** — the worst case for a publisher
+/// that re-derives the whole read index per batch, and the showcase for
+/// delta-maintained publication (`adminref bench-monitor`'s
+/// publish-latency cells and the `snapshot_delta` criterion bench both
+/// run it).
+///
+/// UA toggles flip a dedicated `(trickle_user, role)` membership; RH
+/// toggles flip an extra cross-layer role edge that always points to a
+/// strictly deeper layer, so additions never create a cycle and both
+/// incremental closure paths (add fan-out, targeted removal recompute)
+/// are exercised without rebuild fallbacks.
+pub fn wide_universe_trickle(spec: TrickleSpec) -> TrickleWorkload {
+    use adminref_core::command::Command;
+    assert!(spec.roles >= 8, "need a real hierarchy");
+    assert!(spec.toggles >= 1, "need at least one toggle edge");
+    let layers = 4;
+    let width = spec.roles.div_ceil(layers).max(1);
+    let mut h = layered(LayeredSpec {
+        layers,
+        width,
+        edge_prob: (8.0 / width as f64).min(1.0),
+        seed: spec.seed,
+    });
+    populate_users(&mut h, spec.users.max(1), 2, spec.seed);
+    populate_perms(&mut h, 1, spec.roles.max(8), spec.seed);
+    let all_roles: Vec<RoleId> = h.layers.iter().flatten().copied().collect();
+    let admin = h.universe.user("trickle_admin");
+    let ops = h.universe.role("trickle_ops");
+    h.policy.add_edge(Edge::UserRole(admin, ops));
+    let mut mix = spec.seed | 1;
+    let mut next = move || {
+        // xorshift64*: cheap, deterministic, dependency-free.
+        mix ^= mix << 13;
+        mix ^= mix >> 7;
+        mix ^= mix << 17;
+        mix
+    };
+    let mut grants = Vec::with_capacity(spec.toggles);
+    let mut revokes = Vec::with_capacity(spec.toggles);
+    let mut chosen_rh: std::collections::BTreeSet<(RoleId, RoleId)> =
+        std::collections::BTreeSet::new();
+    for i in 0..spec.toggles {
+        let rh_edge = ((next() % 1000) as usize) < spec.rh_toggle_per_mille;
+        let edge = if rh_edge {
+            // Source strictly above target layer: adding can never
+            // close a cycle in a layered DAG. Linear-probe past edges
+            // already present (or already chosen) so every toggle
+            // starts absent and stays distinct.
+            let mut probe = next() as usize;
+            loop {
+                let src_layer = probe % (layers - 1);
+                let dst_layer = src_layer + 1 + (probe / 7) % (layers - 1 - src_layer);
+                let src = h.layers[src_layer][probe % h.layers[src_layer].len()];
+                let dst = h.layers[dst_layer][(probe / 3) % h.layers[dst_layer].len()];
+                let candidate = Edge::RoleRole(src, dst);
+                if !h.policy.contains_edge(candidate) && chosen_rh.insert((src, dst)) {
+                    break candidate;
+                }
+                probe = probe.wrapping_add(1);
+            }
+        } else {
+            let user = h.universe.user(&format!("trickle_user{i}"));
+            let role = all_roles[next() as usize % all_roles.len()];
+            Edge::UserRole(user, role)
+        };
+        let grant = h.universe.priv_grant(edge);
+        let revoke = h.universe.priv_revoke(edge);
+        h.policy.add_edge(Edge::RolePriv(ops, grant));
+        h.policy.add_edge(Edge::RolePriv(ops, revoke));
+        grants.push(vec![Command::grant(admin, edge)]);
+        revokes.push(vec![Command::revoke(admin, edge)]);
+    }
+    let batches = grants.into_iter().chain(revokes).collect();
+    TrickleWorkload {
+        universe: h.universe,
+        policy: h.policy,
+        admin,
+        batches,
+    }
+}
+
 /// Shape of a [`multi_tenant_churn`] scenario.
 #[derive(Clone, Copy, Debug)]
 pub struct MultiTenantSpec {
@@ -555,6 +687,45 @@ mod tests {
             }
         }
         assert_eq!(policy.edges().count(), w.policy.edges().count());
+    }
+
+    #[test]
+    fn trickle_batches_always_execute_change_and_cycle() {
+        let spec = TrickleSpec {
+            roles: 64,
+            users: 16,
+            toggles: 12,
+            ..TrickleSpec::default()
+        };
+        let w = wide_universe_trickle(spec);
+        let again = wide_universe_trickle(spec);
+        assert_eq!(w.batches, again.batches, "deterministic in the spec");
+        assert_eq!(w.batches.len(), 24, "a grant and a revoke per toggle");
+        assert!(
+            w.batches.iter().all(|b| b.len() == 1),
+            "single-edge batches"
+        );
+        // Two full cycles: every command is authorized and changes the
+        // policy, and a full cycle returns to the initial edge count.
+        let mut uni = w.universe.clone();
+        let mut policy = w.policy.clone();
+        let mut saw_rh = false;
+        for (i, batch) in w
+            .batches
+            .iter()
+            .cycle()
+            .take(w.batches.len() * 2)
+            .enumerate()
+        {
+            let cmd = batch[0];
+            saw_rh |= matches!(cmd.edge, Edge::RoleRole(..));
+            let out =
+                adminref_core::transition::step(&mut uni, &mut policy, &cmd, AuthMode::Explicit);
+            assert!(out.executed(), "batch {i}: {cmd:?} refused");
+            assert!(out.changed, "batch {i}: {cmd:?} was a no-op");
+        }
+        assert!(saw_rh, "the mix includes RH toggles");
+        assert_eq!(policy.edge_count(), w.policy.edge_count());
     }
 
     #[test]

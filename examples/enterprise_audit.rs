@@ -80,6 +80,7 @@ fn main() {
         MonitorConfig {
             auth_mode: AuthMode::Explicit,
             audit_capacity: 4096,
+            ..MonitorConfig::default()
         },
     );
     let t0 = Instant::now();

@@ -93,6 +93,7 @@ fn check_equivalence(mode: AuthMode, specs: &[CmdSpec], cuts: &[u8]) {
     let config = MonitorConfig {
         auth_mode: mode,
         audit_capacity: 1024,
+        ..MonitorConfig::default()
     };
     let epoch = ReferenceMonitor::new(uni.clone(), policy.clone(), config);
     let locked = LockedMonitor::new(uni, policy, config);
@@ -257,6 +258,99 @@ proptest! {
     ) {
         run_epoch_isolation(rounds, readers);
     }
+}
+
+/// Session revocation under interleaving: while readers hammer
+/// `check_access`, a writer revokes the session's justifying membership.
+/// Once the revoke's epoch publishes, the monitor force-deactivates the
+/// role — and later re-grants must NOT resurrect the session's access
+/// (activation is an explicit session step, not a side effect of
+/// membership).
+#[test]
+fn forced_deactivation_interleaves_with_concurrent_readers() {
+    let (uni, policy) = toggle_fixture();
+    let jane = uni.find_user("jane").unwrap();
+    let bob = uni.find_user("bob").unwrap();
+    let staff = uni.find_role("staff").unwrap();
+    let mut probe = uni.clone();
+    let read_t1 = probe.perm("read", "t1");
+    let m = ReferenceMonitor::new(uni, policy, MonitorConfig::default());
+    let grant = [Command::grant(jane, Edge::UserRole(bob, staff))];
+    let revoke = [Command::revoke(jane, Edge::UserRole(bob, staff))];
+    m.submit_batch(&grant).unwrap();
+    let sid = m.create_session(bob);
+    m.activate_role(sid, staff).unwrap();
+    assert!(m.check_access(sid, read_t1).unwrap());
+    let done = AtomicBool::new(false);
+    crossbeam::scope(|scope| {
+        for _ in 0..3 {
+            let (m, done) = (&m, &done);
+            scope.spawn(move |_| {
+                // Readers must never error, whatever the interleaving;
+                // results flip from granted to denied at the revoke.
+                while !done.load(Ordering::Relaxed) {
+                    let _ = m.check_access(sid, read_t1).unwrap();
+                }
+            });
+        }
+        // Toggle the membership; every round ends revoked.
+        for _ in 0..50 {
+            m.submit_batch(&grant).unwrap();
+            m.submit_batch(&revoke).unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+    })
+    .unwrap();
+    assert!(
+        !m.check_access(sid, read_t1).unwrap(),
+        "after the final revoke the session must be denied"
+    );
+    // Exactly one forced deactivation: the first published revoke found
+    // the role active; bob never re-activated, so later revokes had
+    // nothing to sever.
+    assert_eq!(m.session_revocations_total(), 1);
+    let events = m.session_revocations_tail(10);
+    assert_eq!((events[0].user, events[0].role), (bob, staff));
+    // Re-granting restores *activatability*, not access: the session
+    // must explicitly re-activate.
+    m.submit_batch(&grant).unwrap();
+    assert!(!m.check_access(sid, read_t1).unwrap());
+    m.activate_role(sid, staff).unwrap();
+    assert!(m.check_access(sid, read_t1).unwrap());
+}
+
+/// A transitive severing: revoking an `RH` edge (not the user's own
+/// membership) also invalidates sessions that activated the
+/// now-unreachable junior role.
+#[test]
+fn rh_revocation_deactivates_transitively_activated_roles() {
+    let mut b = PolicyBuilder::new()
+        .assign("jane", "hr")
+        .assign("diana", "staff")
+        .inherit("staff", "nurse")
+        .permit("nurse", "read", "t1");
+    let (staff, nurse) = {
+        let u = b.universe_mut();
+        (u.find_role("staff").unwrap(), u.find_role("nurse").unwrap())
+    };
+    let r = b.universe_mut().priv_revoke(Edge::RoleRole(staff, nurse));
+    b = b.assign_priv("hr", r);
+    let (mut uni, policy) = b.finish();
+    let jane = uni.find_user("jane").unwrap();
+    let diana = uni.find_user("diana").unwrap();
+    let read_t1 = uni.perm("read", "t1");
+    let m = ReferenceMonitor::new(uni, policy, MonitorConfig::default());
+    let sid = m.create_session(diana);
+    // Diana activates nurse *via* staff → nurse inheritance.
+    m.activate_role(sid, nurse).unwrap();
+    assert!(m.check_access(sid, read_t1).unwrap());
+    m.submit(&Command::revoke(jane, Edge::RoleRole(staff, nurse)))
+        .unwrap();
+    assert!(
+        !m.check_access(sid, read_t1).unwrap(),
+        "severed inheritance invalidates the transitive activation"
+    );
+    assert_eq!(m.session_revocations_total(), 1);
 }
 
 /// `check_access` itself (one snapshot per call) stays consistent under

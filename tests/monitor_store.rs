@@ -154,6 +154,7 @@ fn concurrent_monitor_sessions_and_admin() {
         MonitorConfig {
             auth_mode: AuthMode::Ordered(OrderingMode::Extended),
             audit_capacity: 100_000,
+            ..MonitorConfig::default()
         },
     );
     let sid = monitor.create_session(diana);

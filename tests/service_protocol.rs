@@ -360,6 +360,27 @@ fn protocol_round_trips_every_variant() {
     assert!(stats.users >= ACTORS + SUBJECTS);
     assert!(stats.roles > ROLES);
     assert!(stats.edges > 0);
+    assert_eq!(
+        stats.forced_deactivations, 0,
+        "the session was dropped before the revoke"
+    );
+    assert!(stats.recovery.is_none(), "in-memory: nothing recovered");
+
+    // Compact is total: a no-op acknowledgment on in-memory monitors.
+    service.compact().unwrap();
+
+    // A forced deactivation is visible through Stats: activate, then
+    // revoke the justifying membership out from under the session.
+    let sid = service.create_session(subj).unwrap();
+    service
+        .submit(vec![Command::grant(actor, Edge::UserRole(subj, r0))])
+        .unwrap();
+    service.activate_role(sid, r0).unwrap();
+    service
+        .submit(vec![Command::revoke(actor, Edge::UserRole(subj, r0))])
+        .unwrap();
+    assert!(!service.check_access(sid, granted).unwrap());
+    assert_eq!(service.stats().unwrap().forced_deactivations, 1);
 }
 
 /// Multi-tenant routing through the protocol: per-tenant isolation of
