@@ -1,0 +1,86 @@
+//! V1 — Unbounded vs bounded engine cost on grow-only instances: the
+//! monotone saturation engine (definitive, frontier-free) against the
+//! compact-state bounded BFS and the seed's clone-based BFS (both
+//! truncated, `escalate: false`). The grow-only workload's reachable
+//! space has `2^(members × tiers)` states, so the bounded engines are
+//! benched at a fixed two-round budget — already far more work than the
+//! fixpoint — while saturation closes the instance outright.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adminref_bench::table_row;
+use adminref_core::ids::Entity;
+use adminref_core::reach::ReachIndex;
+use adminref_core::safety::{find_reachable_clone, perm_reachable, SafetyConfig};
+use adminref_core::verify::verify_perm_reachable;
+use adminref_workloads::{grow_only, GrowOnlySpec};
+
+fn saturation_vs_bounded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("V1_saturation_vs_bounded");
+    group.sample_size(10);
+    for &width in &[16usize, 64] {
+        let mut w = grow_only(GrowOnlySpec {
+            width,
+            ..GrowOnlySpec::default()
+        });
+        let member = w.members[0];
+        let entity = Entity::User(member);
+        let goal = w.goal_perm;
+        let target = w.universe.priv_perm(goal);
+        table_row(
+            "V1",
+            &format!("width={width}"),
+            &format!("edges={}", w.policy.edge_count()),
+        );
+        // Saturation: unbounded and definitive — `max_states: 0` would
+        // starve both bounded engines immediately.
+        group.bench_with_input(BenchmarkId::new("saturation", width), &width, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(verify_perm_reachable(
+                    &mut w.universe,
+                    &w.policy,
+                    entity,
+                    goal,
+                    SafetyConfig {
+                        max_steps: 0,
+                        max_states: 0,
+                        ..SafetyConfig::default()
+                    },
+                ))
+            })
+        });
+        // The bounded engines get a fixed two-round budget; neither is
+        // definitive on this space, so this is pure per-state cost.
+        let bounded = SafetyConfig {
+            max_steps: 2,
+            max_states: 2_000,
+            escalate: false,
+            ..SafetyConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("engine_bfs", width), &width, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(perm_reachable(
+                    &mut w.universe,
+                    &w.policy,
+                    entity,
+                    goal,
+                    bounded,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("clone_bfs", width), &width, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(find_reachable_clone(
+                    &mut w.universe,
+                    &w.policy,
+                    bounded,
+                    |u, p| ReachIndex::build(u, p).reach_priv(entity, target),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, saturation_vs_bounded);
+criterion_main!(benches);

@@ -4,6 +4,8 @@
 //! policies on every run, so Criterion's statistics measure the
 //! algorithms, not the generator.
 
+#![forbid(unsafe_code)]
+
 use adminref_core::ids::{PrivId, RoleId, UserId};
 use adminref_core::policy::Policy;
 use adminref_core::universe::Universe;

@@ -11,7 +11,11 @@
 //! adminref compact  <store-dir> [--ordered]
 //! adminref refines  <policy-a.rbac> <policy-b.rbac> [--witnesses N]
 //! adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
-//!                   [--max-states N] [--jobs N]
+//!                   [--max-states N] [--jobs N] [--no-escalate]
+//! adminref verify   <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
+//!                   [--max-states N]
+//! adminref verify   <policy.rbac> --oracle <queue.rbacq> [--ordered]
+//! adminref verify   --oracle-churn [--ordered]
 //! adminref bench-monitor [--quick] [--json] [--readers 1,4,16] [--secs S]
 //!                   [--roles N] [--trickle-roles N] [--baseline BENCH_BASELINE.json]
 //! adminref bench-service [--quick] [--json] [--writers 1,2,4] [--secs S]
@@ -20,7 +24,12 @@
 //!
 //! `refines` is scriptable: it prints the violation count and the first
 //! witnesses, and exits nonzero (without usage noise) when refinement
-//! fails. `compact` folds a durable store's command log into a fresh
+//! fails. `verify` is the unbounded analysis front door: it dispatches
+//! to the saturation engine on grow-only instances, to bounded BFS with
+//! DPLL-based bounded model checking otherwise, and in `--oracle` mode
+//! replays a command queue through a reference monitor and checks the
+//! audit trace against the declarative invariant suite. `compact`
+//! folds a durable store's command log into a fresh
 //! snapshot (reporting what recovery replayed first), so reopening the
 //! store replays nothing. `bench-service` (alias `serve-bench`)
 //! measures multi-writer group-commit throughput against per-call
@@ -30,6 +39,8 @@
 //!
 //! Policies use the `adminref-lang` syntax; privileges on the command
 //! line use the same expression syntax, quoted.
+
+#![forbid(unsafe_code)]
 
 mod bench_monitor;
 mod bench_service;
@@ -44,7 +55,9 @@ use adminref_core::ordering::{OrderingMode, PrivilegeOrder};
 use adminref_core::refinement::refinement_violations;
 use adminref_core::safety::{perm_reachable, ReachabilityAnswer, SafetyConfig};
 use adminref_core::transition::AuthMode;
+use adminref_core::verify::{specs::InvariantSuite, verify_perm_reachable};
 use adminref_lang::{load_policy, load_queue, parse_priv_expr, print_command, print_policy};
+use adminref_monitor::{MonitorConfig, ReferenceMonitor};
 use adminref_store::PolicyStore;
 
 fn main() -> ExitCode {
@@ -70,7 +83,11 @@ const USAGE: &str = "usage:
   adminref compact  <store-dir> [--ordered]
   adminref refines  <policy-a.rbac> <policy-b.rbac> [--witnesses N]
   adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
-                    [--max-states N] [--jobs N]   (--jobs 0 = all cores)
+                    [--max-states N] [--jobs N] [--no-escalate]   (--jobs 0 = all cores)
+  adminref verify   <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
+                    [--max-states N]
+  adminref verify   <policy.rbac> --oracle <queue.rbacq> [--ordered]
+  adminref verify   --oracle-churn [--ordered]
   adminref bench-monitor [--quick] [--json] [--readers 1,4,16] [--secs S]
                     [--roles N] [--trickle-roles N] [--baseline BENCH_BASELINE.json]
   adminref bench-service [--quick] [--json] [--writers 1,2,4] [--secs S]
@@ -95,6 +112,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "compact" => done(cmd_compact(&rest)),
         "refines" => cmd_refines(&rest),
         "reach" => done(cmd_reach(&rest)),
+        "verify" => cmd_verify(&rest),
         "bench-monitor" => cmd_bench_monitor(&rest),
         "bench-service" | "serve-bench" => cmd_bench_service(&rest),
         other => Err(format!("unknown subcommand `{other}`")),
@@ -498,6 +516,7 @@ fn cmd_reach(rest: &[&String]) -> Result<(), String> {
             max_states,
             auth_mode: mode,
             jobs,
+            escalate: !flag(rest, "--no-escalate"),
             ..SafetyConfig::default()
         },
     );
@@ -519,9 +538,161 @@ fn cmd_reach(rest: &[&String]) -> Result<(), String> {
             );
             Ok(())
         }
-        ReachabilityAnswer::Unknown => {
+        ReachabilityAnswer::Unknown { truncation } => {
             println!("UNKNOWN: a bound cut the search off before the space was exhausted");
+            println!(
+                "  explored {} state(s) to depth {}",
+                truncation.states, truncation.depth
+            );
+            if truncation.cap_hit {
+                println!("  the state cap dropped successors: retry with a larger --max-states");
+            } else {
+                println!("  only the step bound cut the search off: retry with a larger --steps");
+            }
             Ok(())
         }
+    }
+}
+
+/// `adminref verify` — the unbounded front door. Reachability mode
+/// picks the best engine per instance (saturation / BFS / DPLL-BMC) and
+/// reports which one decided; oracle mode replays a queue through a
+/// reference monitor and checks the audit trace against the declarative
+/// invariant suite. Scriptable exits: `UNKNOWN` and oracle violations
+/// are completed runs with a nonzero code, not usage errors.
+fn cmd_verify(rest: &[&String]) -> Result<ExitCode, String> {
+    let mode = if flag(rest, "--ordered") {
+        AuthMode::Ordered(OrderingMode::Extended)
+    } else {
+        AuthMode::Explicit
+    };
+    if let Some(queue_path) = flag_value(rest, "--oracle") {
+        let (mut uni, policy) = read_policy(positional(rest, 0)?)?;
+        let queue_text = std::fs::read_to_string(&queue_path)
+            .map_err(|e| format!("reading {queue_path}: {e}"))?;
+        let queue = load_queue(&queue_text, &mut uni).map_err(|e| e.to_string())?;
+        let monitor = ReferenceMonitor::new(
+            uni.clone(),
+            policy.clone(),
+            MonitorConfig {
+                auth_mode: mode,
+                audit_capacity: queue.len().max(1),
+                ..MonitorConfig::default()
+            },
+        );
+        monitor.submit_queue(&queue).map_err(|e| e.to_string())?;
+        return oracle_verdict(&uni, &policy, &monitor, mode);
+    }
+    if flag(rest, "--oracle-churn") {
+        let w = adminref_workloads::churn(adminref_workloads::ChurnSpec {
+            roles: 64,
+            readers: 8,
+            batch_len: 16,
+            batches: 4,
+            ..adminref_workloads::ChurnSpec::default()
+        });
+        let monitor = ReferenceMonitor::new(
+            w.universe.clone(),
+            w.policy.clone(),
+            MonitorConfig {
+                auth_mode: mode,
+                audit_capacity: w.batches.iter().map(Vec::len).sum::<usize>().max(1),
+                ..MonitorConfig::default()
+            },
+        );
+        for r in &w.readers {
+            let sid = monitor.create_session(r.user);
+            monitor
+                .activate_role(sid, r.role)
+                .map_err(|e| e.to_string())?;
+        }
+        for batch in &w.batches {
+            monitor.submit_batch(batch).map_err(|e| e.to_string())?;
+        }
+        return oracle_verdict(&w.universe, &w.policy, &monitor, mode);
+    }
+    let (mut uni, policy) = read_policy(positional(rest, 0)?)?;
+    let user = uni.find_user(positional(rest, 1)?).ok_or("unknown user")?;
+    let action = positional(rest, 2)?.to_string();
+    let object = positional(rest, 3)?.to_string();
+    let perm = uni.perm(&action, &object);
+    let config = SafetyConfig {
+        max_steps: match flag_value(rest, "--steps") {
+            Some(v) => v.parse::<usize>().map_err(|e| e.to_string())?,
+            None => SafetyConfig::default().max_steps,
+        },
+        max_states: match flag_value(rest, "--max-states") {
+            Some(v) => v.parse::<usize>().map_err(|e| e.to_string())?,
+            None => SafetyConfig::default().max_states,
+        },
+        auth_mode: mode,
+        ..SafetyConfig::default()
+    };
+    let report = verify_perm_reachable(&mut uni, &policy, Entity::User(user), perm, config);
+    println!(
+        "engine: {}{}",
+        report.engine.name(),
+        if report.monotone {
+            " (instance is grow-only)"
+        } else {
+            ""
+        }
+    );
+    if let Some(bmc) = &report.bmc {
+        println!(
+            "bmc: bound {}, {} variable(s), {} clause(s)",
+            bmc.bound, bmc.variables, bmc.clauses
+        );
+    }
+    match report.answer {
+        ReachabilityAnswer::Reachable { witness } => {
+            println!(
+                "REACHABLE in {} step(s): {} can come to hold ({action}, {object})",
+                witness.len(),
+                uni.user_name(user)
+            );
+            for cmd in witness.iter() {
+                println!("  {}", print_command(&uni, cmd));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        ReachabilityAnswer::Unreachable => {
+            println!("UNREACHABLE: no reachable policy grants ({action}, {object})");
+            Ok(ExitCode::SUCCESS)
+        }
+        ReachabilityAnswer::Unknown { truncation } => {
+            println!(
+                "UNKNOWN: {} state(s) to depth {}, no unbounded engine closed the instance",
+                truncation.states, truncation.depth
+            );
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Replays a monitor's audit trace through the standard invariant suite
+/// and prints the verdict; violations exit nonzero.
+fn oracle_verdict(
+    uni: &adminref_core::universe::Universe,
+    root: &adminref_core::policy::Policy,
+    monitor: &ReferenceMonitor,
+    mode: AuthMode,
+) -> Result<ExitCode, String> {
+    let trace = monitor.audit_trace();
+    let suite = InvariantSuite::standard(mode);
+    let violations = suite.replay(uni, root, &trace, &monitor.session_views());
+    if violations.is_empty() {
+        println!(
+            "oracle: {} step(s) replayed, {} invariant(s) hold",
+            trace.len(),
+            suite.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &violations {
+            println!("VIOLATION {} at step {}: {}", v.invariant, v.seq, v.message);
+        }
+        println!("oracle: {} violation(s)", violations.len());
+        Ok(ExitCode::FAILURE)
     }
 }

@@ -135,7 +135,28 @@ fn reach_parallel_jobs_and_bounds() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("REACHABLE in 1 step(s)"), "{text}");
     assert!(text.contains("cmd(jane, grant, bob -> staff);"), "{text}");
-    // A tiny state cap forces an inconclusive answer.
+    // A tiny state cap forces an inconclusive answer from the raw
+    // bounded search, and the diagnostics name the binding knob.
+    let out = bin()
+        .args([
+            "reach",
+            &hospital(),
+            "bob",
+            "launch",
+            "missiles",
+            "--max-states",
+            "1",
+            "--no-escalate",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("UNKNOWN"), "{text}");
+    assert!(text.contains("--max-states"), "{text}");
+    // Without --no-escalate the same starved bounds escalate: the
+    // hospital policy grants revoke privileges, so the refutation comes
+    // from the bounded model checker's diameter closure, not saturation.
     let out = bin()
         .args([
             "reach",
@@ -150,7 +171,65 @@ fn reach_parallel_jobs_and_bounds() {
         .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("UNKNOWN"), "{text}");
+    assert!(text.contains("UNREACHABLE"), "{text}");
+}
+
+#[test]
+fn verify_reports_engine_and_witness() {
+    let out = bin()
+        .args(["verify", &hospital(), "bob", "write", "t3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("engine: bfs"), "{text}");
+    assert!(text.contains("REACHABLE in 1 step(s)"), "{text}");
+    assert!(text.contains("cmd(jane, grant, bob -> staff);"), "{text}");
+    // Starving the bounded search hands the instance to the bounded
+    // model checker, which still refutes it definitively — and the
+    // output accounts for the grounding it solved.
+    let out = bin()
+        .args([
+            "verify",
+            &hospital(),
+            "bob",
+            "launch",
+            "missiles",
+            "--max-states",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("engine: bmc"), "{text}");
+    assert!(text.contains("UNREACHABLE"), "{text}");
+    assert!(text.contains("bmc: bound"), "{text}");
+}
+
+#[test]
+fn verify_oracle_checks_a_monitor_trace() {
+    let out = bin()
+        .args([
+            "verify",
+            &hospital(),
+            "--oracle",
+            &fixture("appointments.rbacq").to_string_lossy(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("4 step(s) replayed"), "{text}");
+    assert!(text.contains("invariant(s) hold"), "{text}");
+}
+
+#[test]
+fn verify_oracle_churn_holds_on_a_generated_workload() {
+    let out = bin().args(["verify", "--oracle-churn"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("invariant(s) hold"), "{text}");
 }
 
 #[test]

@@ -1,0 +1,498 @@
+//! Offline stand-in for a SAT solver.
+//!
+//! A small, deterministic DPLL: two-watched-literal unit propagation,
+//! chronological backtracking, lowest-index branching with false-first
+//! phase. No clause learning, no restarts, no activity heuristics — the
+//! callers in this workspace ground bounded model-checking instances
+//! whose size is capped *before* encoding, so a predictable solver that
+//! is obviously correct beats a clever one.
+//!
+//! The API mirrors the subset of minisat-style solvers the workspace
+//! uses: create variables, add clauses, solve (optionally under a
+//! decision budget), read the model back.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A propositional variable, created by [`Solver::new_var`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+/// A literal: a variable with a sign. Encoded as `2·var + sign` so it
+/// can index watch lists directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn positive(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn negative(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// The literal of `v` with the given sign (`true` = positive).
+    pub fn new(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::positive(v)
+        } else {
+            Lit::negative(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` iff this is the positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The literal's index into sign-interleaved tables.
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+/// The outcome of a budgeted [`Solver::solve_within`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveOutcome {
+    /// A satisfying assignment was found (read it with [`Solver::value`]).
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The decision budget ran out before an answer.
+    BudgetExceeded,
+}
+
+#[derive(Debug)]
+struct Clause {
+    /// Literals; positions 0 and 1 are the watched pair once the clause
+    /// has at least two literals.
+    lits: Vec<Lit>,
+}
+
+/// One decision point on the trail.
+#[derive(Debug)]
+struct Decision {
+    /// The literal assigned at this decision (first phase tried).
+    lit: Lit,
+    /// Trail length just before the decision.
+    trail_len: usize,
+    /// Whether the opposite phase has already been tried.
+    flipped: bool,
+}
+
+/// A DPLL solver over clauses added with [`Solver::add_clause`].
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// `watches[lit.code()]`: indices of clauses currently watching `lit`.
+    watches: Vec<Vec<usize>>,
+    /// Current assignment per variable (`None` = unassigned).
+    assigns: Vec<Option<bool>>,
+    /// Assigned literals in order.
+    trail: Vec<Lit>,
+    /// Next trail position to propagate from.
+    prop_head: usize,
+    /// Open decisions, in order.
+    decisions: Vec<Decision>,
+    /// Set once an empty clause is added; the instance is trivially unsat.
+    contradiction: bool,
+    /// Decisions made during the last `solve` call.
+    last_decisions: u64,
+}
+
+impl Solver {
+    /// An empty solver.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(None);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of variables created.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses retained (tautologies are dropped at add time).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Decisions made by the most recent solve call.
+    pub fn decisions_made(&self) -> u64 {
+        self.last_decisions
+    }
+
+    /// The value of a literal under the current assignment.
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.assigns[lit.var().0 as usize].map(|v| v == lit.is_positive())
+    }
+
+    /// Adds a clause. Returns `false` iff the clause is empty (the
+    /// instance is now trivially unsatisfiable). Tautologies are dropped;
+    /// duplicate literals are merged. Must be called before `solve`; the
+    /// solver does not support incremental solving under assumptions.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(
+            self.decisions.is_empty(),
+            "clauses must be added before solving"
+        );
+        let mut lits: Vec<Lit> = lits.to_vec();
+        lits.sort_unstable();
+        lits.dedup();
+        // A clause containing both l and ¬l is always true: adjacent
+        // after the sort because codes differ only in the low bit.
+        if lits.windows(2).any(|w| w[0] == !w[1]) {
+            return true;
+        }
+        match lits.len() {
+            0 => {
+                self.contradiction = true;
+                false
+            }
+            1 => {
+                // Top-level unit: assign immediately (conflicts surface
+                // as a contradiction right here or during propagation).
+                match self.lit_value(lits[0]) {
+                    Some(false) => {
+                        self.contradiction = true;
+                        false
+                    }
+                    Some(true) => true,
+                    None => {
+                        self.enqueue(lits[0]);
+                        true
+                    }
+                }
+            }
+            _ => {
+                let index = self.clauses.len();
+                self.watches[lits[0].code()].push(index);
+                self.watches[lits[1].code()].push(index);
+                self.clauses.push(Clause { lits });
+                true
+            }
+        }
+    }
+
+    /// Records `lit` as true and queues it for propagation.
+    fn enqueue(&mut self, lit: Lit) {
+        debug_assert!(self.lit_value(lit).is_none());
+        self.assigns[lit.var().0 as usize] = Some(lit.is_positive());
+        self.trail.push(lit);
+    }
+
+    /// Propagates all queued assignments. Returns `false` on conflict.
+    fn propagate(&mut self) -> bool {
+        while self.prop_head < self.trail.len() {
+            let lit = self.trail[self.prop_head];
+            self.prop_head += 1;
+            // `lit` just became true, so ¬lit became false: every clause
+            // watching ¬lit must find a new watch or resolve to a unit.
+            let falsified = !lit;
+            let mut watchers = std::mem::take(&mut self.watches[falsified.code()]);
+            let mut kept = 0;
+            let mut conflict = false;
+            let mut index = 0;
+            while index < watchers.len() {
+                let clause_index = watchers[index];
+                index += 1;
+                let clause = &mut self.clauses[clause_index];
+                // Normalize so position 1 holds the falsified watch.
+                if clause.lits[0] == falsified {
+                    clause.lits.swap(0, 1);
+                }
+                let other = clause.lits[0];
+                if self.assigns[other.var().0 as usize] == Some(other.is_positive()) {
+                    // Clause already satisfied by its other watch.
+                    watchers[kept] = clause_index;
+                    kept += 1;
+                    continue;
+                }
+                // Look for an unfalsified literal to watch instead.
+                let mut moved = false;
+                for pos in 2..clause.lits.len() {
+                    let candidate = clause.lits[pos];
+                    let falsy =
+                        self.assigns[candidate.var().0 as usize] == Some(!candidate.is_positive());
+                    if !falsy {
+                        clause.lits.swap(1, pos);
+                        self.watches[candidate.code()].push(clause_index);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // No replacement: clause is unit (on `other`) or conflicting.
+                watchers[kept] = clause_index;
+                kept += 1;
+                match self.lit_value(other) {
+                    None => self.enqueue(other),
+                    Some(true) => unreachable!("satisfied clauses are skipped above"),
+                    Some(false) => {
+                        // Keep the remaining watchers registered, then fail.
+                        while index < watchers.len() {
+                            watchers[kept] = watchers[index];
+                            kept += 1;
+                            index += 1;
+                        }
+                        conflict = true;
+                    }
+                }
+            }
+            watchers.truncate(kept);
+            // Re-register watchers that stayed on the falsified literal
+            // (new ones may have landed there while we propagated).
+            let slot = &mut self.watches[falsified.code()];
+            if slot.is_empty() {
+                *slot = watchers;
+            } else {
+                slot.extend(watchers);
+            }
+            if conflict {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Undoes the trail down to `len`. Everything at or below a decision
+    /// point was fully propagated before the decision was made, so the
+    /// propagation head lands on the new trail end.
+    fn backtrack_to(&mut self, len: usize) {
+        while self.trail.len() > len {
+            let lit = self.trail.pop().expect("trail shrinks to len");
+            self.assigns[lit.var().0 as usize] = None;
+        }
+        self.prop_head = self.trail.len();
+    }
+
+    /// The lowest-index unassigned variable, if any.
+    fn pick_branch(&self) -> Option<Var> {
+        self.assigns
+            .iter()
+            .position(|a| a.is_none())
+            .map(|i| Var(i as u32))
+    }
+
+    /// Solves without a budget. Returns `true` iff satisfiable.
+    pub fn solve(&mut self) -> bool {
+        match self.solve_within(u64::MAX) {
+            SolveOutcome::Sat => true,
+            SolveOutcome::Unsat => false,
+            SolveOutcome::BudgetExceeded => unreachable!("unbounded budget"),
+        }
+    }
+
+    /// Solves under a decision budget. Deterministic: branching picks the
+    /// lowest-index unassigned variable and tries `false` first.
+    pub fn solve_within(&mut self, max_decisions: u64) -> SolveOutcome {
+        self.last_decisions = 0;
+        if self.contradiction {
+            return SolveOutcome::Unsat;
+        }
+        loop {
+            if self.propagate() {
+                let Some(var) = self.pick_branch() else {
+                    return SolveOutcome::Sat;
+                };
+                if self.last_decisions >= max_decisions {
+                    return SolveOutcome::BudgetExceeded;
+                }
+                self.last_decisions += 1;
+                let lit = Lit::negative(var);
+                self.decisions.push(Decision {
+                    lit,
+                    trail_len: self.trail.len(),
+                    flipped: false,
+                });
+                self.enqueue(lit);
+            } else {
+                // Conflict: flip the deepest decision not yet flipped.
+                loop {
+                    let Some(mut decision) = self.decisions.pop() else {
+                        return SolveOutcome::Unsat;
+                    };
+                    self.backtrack_to(decision.trail_len);
+                    if !decision.flipped {
+                        let flipped_lit = !decision.lit;
+                        decision.flipped = true;
+                        self.decisions.push(decision);
+                        self.enqueue(flipped_lit);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The model value of `v` after a satisfiable solve. Variables the
+    /// search never constrained default to `false`.
+    pub fn value(&self, v: Var) -> bool {
+        self.assigns[v.0 as usize].unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver_vars: &[Var], spec: &[i32]) -> Vec<Lit> {
+        spec.iter()
+            .map(|&l| {
+                let v = solver_vars[(l.unsigned_abs() - 1) as usize];
+                Lit::new(v, l > 0)
+            })
+            .collect()
+    }
+
+    fn mk(n: usize) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        (s, vars)
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let (mut s, _) = mk(0);
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn unit_conflict_is_unsat() {
+        let (mut s, v) = mk(1);
+        assert!(s.add_clause(&lits(&v, &[1])));
+        assert!(!s.add_clause(&lits(&v, &[-1])));
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn simple_sat_with_model() {
+        let (mut s, v) = mk(3);
+        s.add_clause(&lits(&v, &[1, 2]));
+        s.add_clause(&lits(&v, &[-1, 3]));
+        s.add_clause(&lits(&v, &[-2, -3]));
+        assert!(s.solve());
+        // Check the model satisfies each clause.
+        let model = |l: i32| {
+            let val = s.value(v[(l.unsigned_abs() - 1) as usize]);
+            if l > 0 {
+                val
+            } else {
+                !val
+            }
+        };
+        assert!(model(1) || model(2));
+        assert!(model(-1) || model(3));
+        assert!(model(-2) || model(-3));
+    }
+
+    #[test]
+    fn pigeonhole_two_pigeons_one_hole_is_unsat() {
+        // p1h1, p2h1; both pigeons need the hole, hole takes one.
+        let (mut s, v) = mk(2);
+        s.add_clause(&lits(&v, &[1]));
+        s.add_clause(&lits(&v, &[2]));
+        s.add_clause(&lits(&v, &[-1, -2]));
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn pigeonhole_three_pigeons_two_holes_is_unsat() {
+        // Var (p,h) for p in 0..3, h in 0..2 → index 2p+h+1.
+        let (mut s, v) = mk(6);
+        let idx = |p: i32, h: i32| 2 * p + h + 1;
+        for p in 0..3 {
+            s.add_clause(&lits(&v, &[idx(p, 0), idx(p, 1)]));
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    s.add_clause(&lits(&v, &[-idx(p1, h), -idx(p2, h)]));
+                }
+            }
+        }
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let (mut s, v) = mk(1);
+        assert!(s.add_clause(&lits(&v, &[1, -1])));
+        assert_eq!(s.num_clauses(), 0);
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn empty_clause_is_contradiction() {
+        let (mut s, _) = mk(2);
+        assert!(!s.add_clause(&[]));
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn budget_exceeded_is_reported() {
+        // A formula needing at least one decision, budget zero.
+        let (mut s, v) = mk(2);
+        s.add_clause(&lits(&v, &[1, 2]));
+        assert_eq!(s.solve_within(0), SolveOutcome::BudgetExceeded);
+    }
+
+    #[test]
+    fn chain_of_implications_propagates() {
+        let n = 50;
+        let (mut s, v) = mk(n);
+        s.add_clause(&lits(&v, &[1]));
+        for i in 1..n as i32 {
+            s.add_clause(&lits(&v, &[-i, i + 1]));
+        }
+        assert!(s.solve());
+        for var in &v {
+            assert!(s.value(*var));
+        }
+        // The chain is pure propagation: no decisions needed.
+        assert_eq!(s.decisions_made(), 0);
+    }
+
+    #[test]
+    fn exactly_one_constraints_solve() {
+        // 8 slots, exactly one true, forced to slot 5 by negating others.
+        let (mut s, v) = mk(8);
+        let all: Vec<i32> = (1..=8).collect();
+        s.add_clause(&lits(&v, &all));
+        for a in 1..=8 {
+            for b in (a + 1)..=8 {
+                s.add_clause(&lits(&v, &[-a, -b]));
+            }
+        }
+        for x in [1, 2, 3, 4, 6, 7, 8] {
+            s.add_clause(&lits(&v, &[-x]));
+        }
+        assert!(s.solve());
+        assert!(s.value(v[4]));
+    }
+}

@@ -73,6 +73,7 @@ pub mod simulation;
 pub mod snapshot;
 pub mod transition;
 pub mod universe;
+pub mod verify;
 
 /// The items nearly every consumer wants.
 pub mod prelude {
@@ -92,6 +93,7 @@ pub mod prelude {
     };
     pub use crate::safety::{
         find_reachable, find_reachable_clone, perm_reachable, ReachabilityAnswer, SafetyConfig,
+        Truncation,
     };
     pub use crate::search::{SearchLimits, SearchOutcome, SearchStats};
     pub use crate::session::{Session, SessionError};
@@ -105,4 +107,10 @@ pub mod prelude {
         run_pure, step, AuthMode, Authorization, RunTrace, StepOutcome, StepRecord,
     };
     pub use crate::universe::{Edge, EdgeTarget, PrivTerm, Universe, UniverseTag};
+    pub use crate::verify::{
+        bmc::{BmcConfig, BmcOutcome, BmcReport},
+        saturation::{saturate, DerivationStep, SaturationOutcome},
+        specs::{record_trace, InvariantSuite, SessionView, TraceDecision, TraceStep, Violation},
+        verify_perm_reachable, EngineUsed, VerifyReport,
+    };
 }

@@ -27,17 +27,33 @@
 //!
 //! # Answer semantics
 //!
-//! * [`ReachabilityAnswer::Reachable`] — a shortest witness queue was
-//!   found within the bounds.
-//! * [`ReachabilityAnswer::Unreachable`] — the *entire* reachable space
-//!   was explored without hitting the goal. This is exact, not bounded:
-//!   it is reported even when the bounds were just large enough.
+//! * [`ReachabilityAnswer::Reachable`] — a witness queue was found. When
+//!   the bounded search finds it, the witness is shortest; an escalated
+//!   engine (below) may return a longer but still replayable witness.
+//! * [`ReachabilityAnswer::Unreachable`] — exhaustively refuted, either
+//!   by exploring the whole reachable space or by an unbounded engine.
 //! * [`ReachabilityAnswer::Unknown`] — an unseen successor was actually
-//!   cut off by `max_steps` or `max_states` before exhaustion.
+//!   cut off by `max_steps` or `max_states` before exhaustion, and no
+//!   escalation engine could close the instance. The carried
+//!   [`Truncation`] says exactly which bound bit and how far the search
+//!   got, so the caller knows which knob to raise.
+//!
+//! # Escalation
+//!
+//! With [`SafetyConfig::escalate`] (the default), an inconclusive
+//! bounded search hands the instance to [`crate::verify`]:
+//!
+//! * **grow-only instances** (no revoke rule anywhere in the edge
+//!   universe) are decided *definitively* by the saturation engine,
+//!   independent of `max_states` — even `max_states = 0` gets a real
+//!   answer;
+//! * general explicit-mode instances within the grounding budget go to
+//!   the DPLL-backed bounded model checker, which closes many of them
+//!   unboundedly via a recurrence-diameter check.
 //!
 //! The clone-based breadth-first search the engine replaced is kept as
-//! [`find_reachable_clone`] — same answers, same witnesses — as the
-//! differential-testing and benchmarking baseline.
+//! [`find_reachable_clone`] — same answers, same witnesses, no
+//! escalation — as the differential-testing and benchmarking baseline.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -68,6 +84,13 @@ pub struct SafetyConfig {
     /// Worker threads for frontier expansion: `1` is sequential, `0`
     /// uses all available cores. Answers are identical either way.
     pub jobs: usize,
+    /// Escalate an inconclusive bounded search to the unbounded engines
+    /// in [`crate::verify`] (saturation for grow-only instances, DPLL
+    /// bounded model checking in the general explicit-mode case). A
+    /// definitive escalated answer replaces `Unknown`; its witness may
+    /// be longer than `max_steps` (still replayable, not necessarily
+    /// shortest). `false` reports the raw bounded answer.
+    pub escalate: bool,
 }
 
 impl Default for SafetyConfig {
@@ -78,6 +101,7 @@ impl Default for SafetyConfig {
             auth_mode: AuthMode::Explicit,
             weaker_depth: None,
             jobs: 1,
+            escalate: true,
         }
     }
 }
@@ -93,6 +117,20 @@ impl SafetyConfig {
     }
 }
 
+/// What an inconclusive bounded search looked like when it was cut off
+/// — the accounting that makes an `Unknown` actionable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Truncation {
+    /// Distinct states interned when the search stopped (root included).
+    pub states: usize,
+    /// Deepest fully generated frontier depth.
+    pub depth: usize,
+    /// Whether the state cap dropped an unseen successor. `false` means
+    /// only the depth bound cut the search off — raising `max_states`
+    /// alone cannot turn this answer definitive.
+    pub cap_hit: bool,
+}
+
 /// Result of a bounded reachability question.
 #[derive(Clone, Debug)]
 pub enum ReachabilityAnswer {
@@ -104,7 +142,10 @@ pub enum ReachabilityAnswer {
     /// Exhaustively refuted: the whole reachable space was explored.
     Unreachable,
     /// An unseen successor was cut off by a bound before exhaustion.
-    Unknown,
+    Unknown {
+        /// Where and why the search was cut off.
+        truncation: Truncation,
+    },
 }
 
 impl ReachabilityAnswer {
@@ -131,15 +172,23 @@ pub fn perm_reachable(
         };
     }
     let alphabet = prepare_alphabet(universe, policy, config);
-    let space = PolicySearch::new(
-        universe,
-        policy,
-        &alphabet,
-        config.auth_mode,
-        SearchGoal::Priv { entity, target },
-        root_index,
-    );
-    run_engine(&space, config)
+    let answer = {
+        let space = PolicySearch::new(
+            universe,
+            policy,
+            &alphabet,
+            config.auth_mode,
+            SearchGoal::Priv { entity, target },
+            root_index,
+        );
+        run_engine(&space, config)
+    };
+    match answer {
+        ReachabilityAnswer::Unknown { truncation } if config.escalate => crate::verify::escalate(
+            universe, policy, &alphabet, config, entity, target, truncation,
+        ),
+        other => other,
+    }
 }
 
 /// Breadth-first search for a reachable policy satisfying `goal`.
@@ -173,19 +222,28 @@ pub fn find_reachable(
     run_engine(&space, config)
 }
 
-fn run_engine(space: &PolicySearch<'_>, config: SafetyConfig) -> ReachabilityAnswer {
-    match search(space, config.limits()).0 {
+pub(crate) fn run_engine(space: &PolicySearch<'_>, config: SafetyConfig) -> ReachabilityAnswer {
+    let (outcome, stats) = search(space, config.limits());
+    match outcome {
         SearchOutcome::Found { witness } => ReachabilityAnswer::Reachable {
             witness: CommandQueue::from_commands(witness),
         },
         SearchOutcome::Exhausted => ReachabilityAnswer::Unreachable,
-        SearchOutcome::Truncated => ReachabilityAnswer::Unknown,
+        SearchOutcome::Truncated => ReachabilityAnswer::Unknown {
+            truncation: Truncation {
+                states: stats.states,
+                depth: stats.depth,
+                cap_hit: stats.cap_hit,
+            },
+        },
     }
 }
 
 /// Builds the alphabet and pre-interns each command's required
-/// privilege term, so the search itself runs on `&Universe`.
-fn prepare_alphabet(
+/// privilege term, so the search itself runs on `&Universe`. Public so
+/// the unbounded engines ([`crate::verify`]) can be driven directly
+/// against the exact alphabet the bounded search would explore.
+pub fn prepare_alphabet(
     universe: &mut Universe,
     policy: &Policy,
     config: SafetyConfig,
@@ -202,10 +260,10 @@ fn prepare_alphabet(
 
 /// The seed's clone-based breadth-first search, kept as the reference
 /// implementation: full policies in `seen`, authorization by on-the-fly
-/// graph walks. Returns the same answers (and equally long witnesses)
-/// as the compact-state engine — a property test enforces that — at a
-/// much higher per-candidate cost. Benchmarked in
-/// `benches/safety_search.rs`.
+/// graph walks, no escalation. Returns the same answers (and equally
+/// long witnesses) as the compact-state engine run with
+/// `escalate: false` — a property test enforces that — at a much higher
+/// per-candidate cost. Benchmarked in `benches/safety_search.rs`.
 pub fn find_reachable_clone(
     universe: &mut Universe,
     policy: &Policy,
@@ -224,7 +282,10 @@ pub fn find_reachable_clone(
     seen.insert(policy.clone());
     queue.push_back((policy.clone(), 0));
     let mut truncated = false;
+    let mut cap_hit = false;
+    let mut deepest = 0usize;
     while let Some((state, depth)) = queue.pop_front() {
+        deepest = deepest.max(depth);
         if depth >= config.max_steps {
             // Depth bound: the state is not expanded, but only an
             // actually cut-off (unseen) successor makes the search
@@ -256,6 +317,7 @@ pub fn find_reachable_clone(
                 // recorded in `parents` (the seed did, growing memory
                 // without bound past the cap).
                 truncated = true;
+                cap_hit = true;
                 continue;
             }
             seen.insert(next.clone());
@@ -264,7 +326,13 @@ pub fn find_reachable_clone(
         }
     }
     if truncated {
-        ReachabilityAnswer::Unknown
+        ReachabilityAnswer::Unknown {
+            truncation: Truncation {
+                states: seen.len(),
+                depth: deepest,
+                cap_hit,
+            },
+        }
     } else {
         ReachabilityAnswer::Unreachable
     }
@@ -412,7 +480,9 @@ mod tests {
     }
 
     #[test]
-    fn unknown_on_tiny_bounds() {
+    fn tiny_bounds_with_escalation_are_still_definitive() {
+        // The fixture is grow-only, so even absurd bounds escalate to
+        // saturation and come back with a real answer.
         let (mut uni, policy) = fixture();
         let bob = uni.find_user("bob").unwrap();
         let never = uni.perm("launch", "missiles");
@@ -427,7 +497,36 @@ mod tests {
                 ..SafetyConfig::default()
             },
         );
-        assert!(matches!(answer, ReachabilityAnswer::Unknown), "{answer:?}");
+        assert!(
+            matches!(answer, ReachabilityAnswer::Unreachable),
+            "{answer:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_on_tiny_bounds_without_escalation() {
+        let (mut uni, policy) = fixture();
+        let bob = uni.find_user("bob").unwrap();
+        let never = uni.perm("launch", "missiles");
+        let answer = perm_reachable(
+            &mut uni,
+            &policy,
+            Entity::User(bob),
+            never,
+            SafetyConfig {
+                max_steps: 1,
+                max_states: 1,
+                escalate: false,
+                ..SafetyConfig::default()
+            },
+        );
+        let ReachabilityAnswer::Unknown { truncation } = answer else {
+            panic!("{answer:?}");
+        };
+        // The state cap (not the depth bound) dropped a successor, and
+        // only the root was interned.
+        assert!(truncation.cap_hit);
+        assert_eq!(truncation.states, 1);
     }
 
     #[test]
@@ -457,7 +556,9 @@ mod tests {
                 "max_steps={max_steps}: {answer:?}"
             );
         }
-        // One step short of the only change: genuinely cut off.
+        // One step short of the only change: the bounded search is
+        // genuinely cut off, but escalation (the fixture is grow-only)
+        // still closes the instance…
         let answer = perm_reachable(
             &mut uni,
             &policy,
@@ -468,7 +569,27 @@ mod tests {
                 ..SafetyConfig::default()
             },
         );
-        assert!(matches!(answer, ReachabilityAnswer::Unknown), "{answer:?}");
+        assert!(
+            matches!(answer, ReachabilityAnswer::Unreachable),
+            "{answer:?}"
+        );
+        // …and without escalation the truncation shows the depth bound
+        // (not the state cap) did the cutting.
+        let answer = perm_reachable(
+            &mut uni,
+            &policy,
+            Entity::User(bob),
+            never,
+            SafetyConfig {
+                max_steps: 0,
+                escalate: false,
+                ..SafetyConfig::default()
+            },
+        );
+        let ReachabilityAnswer::Unknown { truncation } = answer else {
+            panic!("{answer:?}");
+        };
+        assert!(!truncation.cap_hit);
     }
 
     #[test]

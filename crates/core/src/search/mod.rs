@@ -97,6 +97,10 @@ pub struct SearchStats {
     pub states: usize,
     /// Deepest fully generated frontier depth.
     pub depth: usize,
+    /// Whether the state cap dropped at least one unseen successor.
+    /// `false` on a truncated outcome means only the depth bound cut
+    /// the search off — raising `max_states` alone won't help.
+    pub cap_hit: bool,
 }
 
 /// Successor candidates emitted by expanding one state.
@@ -194,6 +198,7 @@ pub fn search<S: StateSpace>(
     let jobs = effective_jobs(limits.jobs);
     let mut frontier: Vec<u32> = vec![0];
     let mut truncated = false;
+    let mut cap_hit = false;
     let mut depth = 0usize;
 
     while !frontier.is_empty() {
@@ -215,6 +220,7 @@ pub fn search<S: StateSpace>(
                     let stats = SearchStats {
                         states: arena.len(),
                         depth: depth + 1,
+                        cap_hit,
                     };
                     return (
                         SearchOutcome::Found {
@@ -230,6 +236,7 @@ pub fn search<S: StateSpace>(
                         // without recording a parent link, so memory
                         // stays bounded by the cap.
                         truncated = true;
+                        cap_hit = true;
                     }
                     InternOutcome::Interned(ix) => {
                         parents.push((parent, label));
@@ -245,6 +252,7 @@ pub fn search<S: StateSpace>(
     let stats = SearchStats {
         states: arena.len(),
         depth,
+        cap_hit,
     };
     if truncated {
         (SearchOutcome::Truncated, stats)
@@ -458,7 +466,7 @@ mod tests {
         assert!(matches!(out, SearchOutcome::Exhausted), "{out:?}");
         assert_eq!(stats.states, 8, "all subsets of the 3 free bits");
         // One level short: unseen successors are cut off.
-        let (out, _) = search(
+        let (out, stats) = search(
             &space,
             SearchLimits {
                 max_depth: 2,
@@ -466,6 +474,10 @@ mod tests {
             },
         );
         assert!(matches!(out, SearchOutcome::Truncated), "{out:?}");
+        assert!(
+            !stats.cap_hit,
+            "the depth bound, not the state cap, truncated this search"
+        );
     }
 
     #[test]
@@ -484,6 +496,7 @@ mod tests {
         );
         assert!(matches!(out, SearchOutcome::Truncated), "{out:?}");
         assert!(stats.states <= 5, "cap respected: {}", stats.states);
+        assert!(stats.cap_hit, "the state cap is what truncated: {stats:?}");
     }
 
     #[test]

@@ -1,0 +1,490 @@
+//! Declarative invariant oracle: TLA-style safety invariants as Rust
+//! predicate combinators, replayed against recorded traces.
+//!
+//! The reference monitor records every command it sees together with
+//! its decision (see the monitor crate's audit log). This module treats
+//! such a trace as a behaviour of the paper's transition system and
+//! checks it against a suite of declarative invariants — the same
+//! properties `specs/admin_policy.tla` states mathematically:
+//!
+//! * **NoUnauthorizedAccess** — every executed command was actually
+//!   authorized in its pre-state: the actor reached the justifying
+//!   privilege vertex, and that vertex authorizes the command's
+//!   required privilege under the trace's authorization mode.
+//! * **AuditTrailComplete** — the recorded `changed` flags are exactly
+//!   what replaying each command against the reconstructed pre-state
+//!   yields: the log omits no mutation and invents none.
+//! * **SessionRolesAssigned** — every role active in a session is one
+//!   its user holds (directly or by inheritance) in the final policy.
+//! * **Separation of duty** — for each declared pair of conflicting
+//!   roles, no user reaches both (a state invariant, checked on the
+//!   initial policy and after every step).
+//!
+//! Invariants come in three kinds — per-step, per-state, and
+//! final-sessions — so a suite can be extended with plain closures; the
+//! replay driver reconstructs each intermediate policy and reports
+//! every [`Violation`] rather than stopping at the first.
+
+use std::sync::Arc;
+
+use crate::command::Command;
+use crate::ids::{Entity, Node, PrivId, RoleId, UserId};
+use crate::ordering::PrivilegeOrder;
+use crate::policy::Policy;
+use crate::reach::{reaches, ReachIndex};
+use crate::transition::{apply_edge, authorize_with_order, AuthMode};
+use crate::universe::Universe;
+
+/// What the monitor decided about one command.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceDecision {
+    /// The command was authorized and applied.
+    Executed {
+        /// The privilege vertex that justified it.
+        held: PrivId,
+        /// The privilege the command required.
+        target: PrivId,
+        /// Whether applying it changed the policy.
+        changed: bool,
+    },
+    /// The command was refused (consumed as a no-op).
+    Refused,
+}
+
+/// One recorded step: a command and the decision it drew.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceStep {
+    /// The command presented to the monitor.
+    pub command: Command,
+    /// The monitor's decision.
+    pub decision: TraceDecision,
+}
+
+/// A user session: the roles a user chose to activate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SessionView {
+    /// The session's user.
+    pub user: UserId,
+    /// The activated roles.
+    pub active: Vec<RoleId>,
+}
+
+/// One invariant failure, located in the trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// The violated invariant's name.
+    pub invariant: &'static str,
+    /// The step index the violation is attached to (state invariants
+    /// report the index of the step that *produced* the state; `0` is
+    /// the initial policy).
+    pub seq: usize,
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+/// A step invariant sees the pre-state policy and the recorded step.
+pub type StepCheck =
+    Arc<dyn Fn(&Universe, &Policy, &TraceStep) -> Result<(), String> + Send + Sync>;
+/// A state invariant sees a reconstructed policy.
+pub type StateCheck = Arc<dyn Fn(&Universe, &Policy) -> Result<(), String> + Send + Sync>;
+/// A sessions invariant sees the final policy and the open sessions.
+pub type SessionsCheck =
+    Arc<dyn Fn(&Universe, &Policy, &[SessionView]) -> Result<(), String> + Send + Sync>;
+
+/// When and over what an invariant is evaluated.
+#[derive(Clone)]
+pub enum InvariantKind {
+    /// Checked once per recorded step, against the pre-state.
+    Step(StepCheck),
+    /// Checked on the initial policy and after every step.
+    State(StateCheck),
+    /// Checked once, on the final policy and the open sessions.
+    Sessions(SessionsCheck),
+}
+
+/// A named invariant.
+#[derive(Clone)]
+pub struct Invariant {
+    /// Stable name, reported in violations.
+    pub name: &'static str,
+    /// The predicate and its evaluation schedule.
+    pub kind: InvariantKind,
+}
+
+/// `NoUnauthorizedAccess`: an executed command's actor reached the
+/// recorded justifying vertex in the pre-state, and that justification
+/// is valid under `mode`.
+pub fn no_unauthorized_access(mode: AuthMode) -> Invariant {
+    Invariant {
+        name: "NoUnauthorizedAccess",
+        kind: InvariantKind::Step(Arc::new(move |universe, policy, step| {
+            let TraceDecision::Executed { held, target, .. } = step.decision else {
+                return Ok(());
+            };
+            let idx = ReachIndex::build(universe, policy);
+            let actor = step.command.actor;
+            if !idx.reach_priv(Entity::User(actor), held) {
+                return Err(format!(
+                    "actor {:?} does not reach the recorded justification {:?}",
+                    actor, held
+                ));
+            }
+            let justified = match mode {
+                AuthMode::Explicit => held == target && idx.reach_priv(Entity::User(actor), target),
+                AuthMode::Ordered(ordering) => {
+                    let order = PrivilegeOrder::with_index(universe, policy, &idx, ordering);
+                    authorize_with_order(&order, actor, target).is_some()
+                }
+            };
+            if justified {
+                Ok(())
+            } else {
+                Err(format!(
+                    "held vertex {:?} does not authorize required privilege {:?}",
+                    held, target
+                ))
+            }
+        })),
+    }
+}
+
+/// `AuditTrailComplete`: each executed step's `changed` flag matches a
+/// replay of the command against the reconstructed pre-state.
+pub fn audit_trail_complete() -> Invariant {
+    Invariant {
+        name: "AuditTrailComplete",
+        kind: InvariantKind::Step(Arc::new(|_universe, policy, step| {
+            let TraceDecision::Executed { changed, .. } = step.decision else {
+                return Ok(());
+            };
+            let mut replayed = policy.clone();
+            let actually = apply_edge(&mut replayed, &step.command);
+            if actually == changed {
+                Ok(())
+            } else {
+                Err(format!(
+                    "recorded changed={changed} but replay says {actually} for {:?} on {:?}",
+                    step.command.kind, step.command.edge
+                ))
+            }
+        })),
+    }
+}
+
+/// `SessionRolesAssigned`: every active role of every session is held
+/// by its user (directly or via inheritance) in the final policy.
+pub fn session_roles_assigned() -> Invariant {
+    Invariant {
+        name: "SessionRolesAssigned",
+        kind: InvariantKind::Sessions(Arc::new(|_universe, policy, sessions| {
+            for session in sessions {
+                for &role in &session.active {
+                    if !reaches(policy, Node::User(session.user), Node::Role(role)) {
+                        return Err(format!(
+                            "session user {:?} has role {:?} active but no longer holds it",
+                            session.user, role
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// Static separation of duty over the declared conflicting-role pairs:
+/// no user may reach both roles of a pair, in any state along the
+/// trace.
+pub fn separation_of_duty(pairs: Vec<(RoleId, RoleId)>) -> Invariant {
+    Invariant {
+        name: "SeparationOfDuty",
+        kind: InvariantKind::State(Arc::new(move |universe, policy| {
+            let idx = ReachIndex::build(universe, policy);
+            for user in universe.users() {
+                for &(a, b) in &pairs {
+                    if idx.reach_entity(Entity::User(user), Entity::Role(a))
+                        && idx.reach_entity(Entity::User(user), Entity::Role(b))
+                    {
+                        return Err(format!(
+                            "user {:?} reaches both conflicting roles {:?} and {:?}",
+                            user, a, b
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// An ordered collection of invariants with a replay driver.
+#[derive(Clone, Default)]
+pub struct InvariantSuite {
+    invariants: Vec<Invariant>,
+}
+
+impl InvariantSuite {
+    /// The empty suite.
+    pub fn new() -> Self {
+        InvariantSuite::default()
+    }
+
+    /// The standard suite for traces recorded under `mode`:
+    /// `NoUnauthorizedAccess`, `AuditTrailComplete`,
+    /// `SessionRolesAssigned`.
+    pub fn standard(mode: AuthMode) -> Self {
+        InvariantSuite::new()
+            .with(no_unauthorized_access(mode))
+            .with(audit_trail_complete())
+            .with(session_roles_assigned())
+    }
+
+    /// Adds an invariant, builder style.
+    pub fn with(mut self, invariant: Invariant) -> Self {
+        self.invariants.push(invariant);
+        self
+    }
+
+    /// Number of invariants in the suite.
+    pub fn len(&self) -> usize {
+        self.invariants.len()
+    }
+
+    /// Whether the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.invariants.is_empty()
+    }
+
+    /// Replays `trace` from `root`, evaluating every invariant on its
+    /// schedule, and returns all violations (empty means the trace
+    /// conforms).
+    ///
+    /// The policy is reconstructed exactly as the monitor evolved it:
+    /// executed steps apply their edge, refused steps are no-ops.
+    pub fn replay(
+        &self,
+        universe: &Universe,
+        root: &Policy,
+        trace: &[TraceStep],
+        sessions: &[SessionView],
+    ) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let mut policy = root.clone();
+        self.check_state(universe, &policy, 0, &mut violations);
+        for (i, step) in trace.iter().enumerate() {
+            let seq = i + 1;
+            for invariant in &self.invariants {
+                if let InvariantKind::Step(check) = &invariant.kind {
+                    if let Err(message) = check(universe, &policy, step) {
+                        violations.push(Violation {
+                            invariant: invariant.name,
+                            seq,
+                            message,
+                        });
+                    }
+                }
+            }
+            if matches!(step.decision, TraceDecision::Executed { .. }) {
+                apply_edge(&mut policy, &step.command);
+            }
+            self.check_state(universe, &policy, seq, &mut violations);
+        }
+        for invariant in &self.invariants {
+            if let InvariantKind::Sessions(check) = &invariant.kind {
+                if let Err(message) = check(universe, &policy, sessions) {
+                    violations.push(Violation {
+                        invariant: invariant.name,
+                        seq: trace.len(),
+                        message,
+                    });
+                }
+            }
+        }
+        violations
+    }
+
+    fn check_state(
+        &self,
+        universe: &Universe,
+        policy: &Policy,
+        seq: usize,
+        violations: &mut Vec<Violation>,
+    ) {
+        for invariant in &self.invariants {
+            if let InvariantKind::State(check) = &invariant.kind {
+                if let Err(message) = check(universe, policy) {
+                    violations.push(Violation {
+                        invariant: invariant.name,
+                        seq,
+                        message,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Builds a conforming trace by actually running `queue` through the
+/// transition semantics — the honest recorder the oracle's tests and
+/// the monitor replicate.
+pub fn record_trace(
+    universe: &mut Universe,
+    root: &Policy,
+    commands: &[Command],
+    mode: AuthMode,
+) -> (Vec<TraceStep>, Policy) {
+    let mut policy = root.clone();
+    let mut trace = Vec::with_capacity(commands.len());
+    for cmd in commands {
+        let outcome = crate::transition::step(universe, &mut policy, cmd, mode);
+        let decision = match outcome.authorization {
+            Some(auth) => TraceDecision::Executed {
+                held: auth.held,
+                target: auth.target,
+                changed: outcome.changed,
+            },
+            None => TraceDecision::Refused,
+        };
+        trace.push(TraceStep {
+            command: *cmd,
+            decision,
+        });
+    }
+    (trace, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyBuilder;
+
+    /// jane∈hr holds ¤(bob, staff) and ♦(bob, staff); staff → dbusr2 →
+    /// (write, t3).
+    fn fixture() -> (Universe, Policy, Vec<Command>) {
+        let mut b = PolicyBuilder::new()
+            .assign("jane", "hr")
+            .declare_user("bob")
+            .inherit("staff", "dbusr2")
+            .permit("dbusr2", "write", "t3");
+        let (jane, bob, staff) = {
+            let u = b.universe_mut();
+            (
+                u.find_user("jane").unwrap(),
+                u.find_user("bob").unwrap(),
+                u.find_role("staff").unwrap(),
+            )
+        };
+        let g = b.universe_mut().grant_user_role(bob, staff);
+        let r = b.universe_mut().revoke_user_role(bob, staff);
+        b = b.assign_priv("hr", g);
+        b = b.assign_priv("hr", r);
+        let (uni, policy) = b.finish();
+        let commands = vec![
+            Command::grant(jane, crate::universe::Edge::UserRole(bob, staff)),
+            Command::revoke(jane, crate::universe::Edge::UserRole(bob, staff)),
+            // bob has no administrative privilege: refused.
+            Command::grant(bob, crate::universe::Edge::UserRole(bob, staff)),
+        ];
+        (uni, policy, commands)
+    }
+
+    #[test]
+    fn honest_traces_conform() {
+        let (mut uni, policy, commands) = fixture();
+        let (trace, _final) = record_trace(&mut uni, &policy, &commands, AuthMode::Explicit);
+        assert_eq!(trace.len(), 3);
+        assert!(matches!(trace[2].decision, TraceDecision::Refused));
+        let suite = InvariantSuite::standard(AuthMode::Explicit);
+        let violations = suite.replay(&uni, &policy, &trace, &[]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn forged_execution_is_flagged() {
+        let (mut uni, policy, commands) = fixture();
+        let (mut trace, _final) = record_trace(&mut uni, &policy, &commands, AuthMode::Explicit);
+        // Forge: pretend bob's refused command executed, justified by
+        // the same vertex jane used.
+        let TraceDecision::Executed { held, target, .. } = trace[0].decision else {
+            panic!("first step should have executed");
+        };
+        trace[2].decision = TraceDecision::Executed {
+            held,
+            target,
+            changed: true,
+        };
+        let suite = InvariantSuite::standard(AuthMode::Explicit);
+        let violations = suite.replay(&uni, &policy, &trace, &[]);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "NoUnauthorizedAccess"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_changed_flag_is_flagged() {
+        let (mut uni, policy, commands) = fixture();
+        let (mut trace, _final) = record_trace(&mut uni, &policy, &commands, AuthMode::Explicit);
+        let TraceDecision::Executed { held, target, .. } = trace[0].decision else {
+            panic!("first step should have executed");
+        };
+        trace[0].decision = TraceDecision::Executed {
+            held,
+            target,
+            changed: false,
+        };
+        let suite = InvariantSuite::standard(AuthMode::Explicit);
+        let violations = suite.replay(&uni, &policy, &trace, &[]);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "AuditTrailComplete"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn stale_session_roles_are_flagged() {
+        let (mut uni, policy, commands) = fixture();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        // Grant then revoke bob's membership; a session still holding
+        // staff active is stale.
+        let (trace, _final) = record_trace(&mut uni, &policy, &commands[..2], AuthMode::Explicit);
+        let sessions = vec![SessionView {
+            user: bob,
+            active: vec![staff],
+        }];
+        let suite = InvariantSuite::standard(AuthMode::Explicit);
+        let violations = suite.replay(&uni, &policy, &trace, &sessions);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "SessionRolesAssigned"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn separation_of_duty_catches_the_granting_step() {
+        let (mut uni, policy, commands) = fixture();
+        let staff = uni.find_role("staff").unwrap();
+        let dbusr2 = uni.find_role("dbusr2").unwrap();
+        // Declare (staff, dbusr2) conflicting: bob reaching staff also
+        // reaches dbusr2 by inheritance, so the first grant trips the
+        // invariant on the state it produces.
+        let (trace, _final) = record_trace(&mut uni, &policy, &commands[..1], AuthMode::Explicit);
+        let suite = InvariantSuite::standard(AuthMode::Explicit)
+            .with(separation_of_duty(vec![(staff, dbusr2)]));
+        let violations = suite.replay(&uni, &policy, &trace, &[]);
+        let sod: Vec<_> = violations
+            .iter()
+            .filter(|v| v.invariant == "SeparationOfDuty")
+            .collect();
+        assert_eq!(sod.len(), 1, "{violations:?}");
+        // Attached to step 1 (the state the grant produced), not the root.
+        assert_eq!(sod[0].seq, 1);
+    }
+}

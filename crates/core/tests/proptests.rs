@@ -325,7 +325,7 @@ fn answer_tag(a: &ReachabilityAnswer) -> &'static str {
     match a {
         ReachabilityAnswer::Reachable { .. } => "reachable",
         ReachabilityAnswer::Unreachable => "unreachable",
-        ReachabilityAnswer::Unknown => "unknown",
+        ReachabilityAnswer::Unknown { .. } => "unknown",
     }
 }
 
@@ -358,10 +358,15 @@ proptest! {
         let entity = Entity::User(users[ui as usize]);
         let perm = uni.perm(["read", "write", "prnt"][pi as usize], "obj");
         let target = uni.priv_perm(perm);
+        // `escalate: false`: the clone-based reference never escalates,
+        // so the equality discipline here is over the raw bounded
+        // answers (escalation agreement has its own suite in
+        // `tests/verify_unbounded.rs`).
         let config = SafetyConfig {
             max_steps: 2,
             max_states: 300,
             jobs: 1,
+            escalate: false,
             ..SafetyConfig::default()
         };
         let reference = find_reachable_clone(&mut uni, &policy, config, |u, p| {
@@ -411,6 +416,7 @@ proptest! {
             auth_mode: AuthMode::Ordered(OrderingMode::Extended),
             weaker_depth: Some(1),
             jobs: 1,
+            escalate: false,
         };
         let reference = find_reachable_clone(&mut uni, &policy, config, |u, p| {
             ReachIndex::build(u, p).reach_priv(entity, target)

@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 
 use adminref_core::command::Command;
 use adminref_core::ids::{PrivId, RoleId, UserId};
+use adminref_core::verify::specs::{TraceDecision, TraceStep};
 
 use crate::monitor::SessionId;
 
@@ -60,6 +61,28 @@ pub struct SessionRevocation {
     pub role: RoleId,
     /// The epoch whose publication severed the activation.
     pub epoch: u64,
+}
+
+/// Maps an audit stream to an oracle trace
+/// ([`adminref_core::verify::specs`]): each event becomes one
+/// [`TraceStep`], ready for
+/// [`InvariantSuite::replay`](adminref_core::verify::specs::InvariantSuite::replay)
+/// against the policy the stream started from.
+pub fn trace_of(events: &[AuditEvent]) -> Vec<TraceStep> {
+    events
+        .iter()
+        .map(|e| TraceStep {
+            command: e.command,
+            decision: match e.decision {
+                Decision::Executed { held, target } => TraceDecision::Executed {
+                    held,
+                    target,
+                    changed: e.changed,
+                },
+                Decision::Refused => TraceDecision::Refused,
+            },
+        })
+        .collect()
 }
 
 /// Bounded in-memory audit log (oldest events are evicted first).

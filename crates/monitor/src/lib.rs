@@ -19,6 +19,6 @@ pub mod audit;
 pub mod locked;
 pub mod monitor;
 
-pub use audit::{AuditEvent, AuditLog, Decision, SessionRevocation};
+pub use audit::{trace_of, AuditEvent, AuditLog, Decision, SessionRevocation};
 pub use locked::LockedMonitor;
 pub use monitor::{MonitorConfig, MonitorError, ReferenceMonitor, SessionId};

@@ -63,6 +63,7 @@ use adminref_core::session::{Session, SessionError};
 use adminref_core::snapshot::{batch_deltas, PolicySnapshot, PublishMode, PublishPath};
 use adminref_core::transition::{step, AuthMode, StepOutcome};
 use adminref_core::universe::{Edge, Universe};
+use adminref_core::verify::specs::SessionView;
 use adminref_store::{PolicyStore, RecoveryReport, StoreError};
 
 use crate::audit::{AuditEvent, AuditLog, Decision, SessionRevocation};
@@ -269,6 +270,11 @@ pub struct ReferenceMonitor {
     /// Auto-compactions that failed (best-effort maintenance; the
     /// batch itself was already durable).
     autocompact_failures: AtomicU64,
+    /// Safety analyses served ([`analyze_perm_reachable`](Self::analyze_perm_reachable)).
+    analyses_run: AtomicU64,
+    /// Of those, how many came back `Unknown` — truncated with no
+    /// unbounded engine able to close the instance.
+    analyses_indefinite: AtomicU64,
     /// What recovery found when the durable backend was opened (`None`
     /// for in-memory monitors and freshly created stores).
     recovery: Option<RecoveryReport>,
@@ -292,6 +298,8 @@ impl ReferenceMonitor {
             publishes_incremental: AtomicU64::new(0),
             publishes_full: AtomicU64::new(0),
             autocompact_failures: AtomicU64::new(0),
+            analyses_run: AtomicU64::new(0),
+            analyses_indefinite: AtomicU64::new(0),
             recovery: None,
             config,
         }
@@ -330,6 +338,8 @@ impl ReferenceMonitor {
             publishes_incremental: AtomicU64::new(0),
             publishes_full: AtomicU64::new(0),
             autocompact_failures: AtomicU64::new(0),
+            analyses_run: AtomicU64::new(0),
+            analyses_indefinite: AtomicU64::new(0),
             recovery,
             config,
         }
@@ -579,6 +589,30 @@ impl ReferenceMonitor {
         self.audit.lock().drain()
     }
 
+    /// The retained audit stream as an oracle trace (see
+    /// [`adminref_core::verify::specs`]): replay it with an
+    /// [`InvariantSuite`](adminref_core::verify::specs::InvariantSuite)
+    /// against the policy the monitor started from to check the
+    /// executable semantics against the declarative invariants. Only
+    /// valid as a full trace while nothing has been evicted from the
+    /// ring (the oracle needs every step to reconstruct states).
+    pub fn audit_trace(&self) -> Vec<adminref_core::verify::specs::TraceStep> {
+        crate::audit::trace_of(&self.audit_events())
+    }
+
+    /// The live sessions as oracle [`SessionView`]s (user plus active
+    /// roles), for the `SessionRolesAssigned` invariant.
+    pub fn session_views(&self) -> Vec<SessionView> {
+        self.sessions
+            .read()
+            .values()
+            .map(|s| SessionView {
+                user: s.user(),
+                active: s.active_roles().collect(),
+            })
+            .collect()
+    }
+
     /// Copies out at most the last `max` forced deactivations (oldest
     /// first) — the audit trail of publish-time session revalidation.
     pub fn session_revocations_tail(&self, max: usize) -> Vec<SessionRevocation> {
@@ -649,7 +683,23 @@ impl ReferenceMonitor {
             auth_mode: self.auth_mode(),
             ..config
         };
-        perm_reachable(&mut universe, &policy, entity, perm, config)
+        let answer = perm_reachable(&mut universe, &policy, entity, perm, config);
+        self.analyses_run.fetch_add(1, Ordering::Relaxed);
+        if matches!(answer, ReachabilityAnswer::Unknown { .. }) {
+            self.analyses_indefinite.fetch_add(1, Ordering::Relaxed);
+        }
+        answer
+    }
+
+    /// Safety analyses served so far: `(total, indefinite)`, where
+    /// `indefinite` counts `Unknown` answers — truncated searches no
+    /// unbounded engine could close. A growing indefinite share means
+    /// the configured analysis bounds are too small for the live policy.
+    pub fn analysis_counts(&self) -> (u64, u64) {
+        (
+            self.analyses_run.load(Ordering::Relaxed),
+            self.analyses_indefinite.load(Ordering::Relaxed),
+        )
     }
 
     /// For durable monitors: folds the command log into a fresh snapshot.
@@ -993,6 +1043,61 @@ mod tests {
             panic!("parallel analysis changed the variant");
         };
         assert_eq!(witness.commands(), par_witness.commands());
+    }
+
+    #[test]
+    fn audit_trace_satisfies_the_invariant_oracle() {
+        use adminref_core::verify::specs::InvariantSuite;
+        // Run a mixed accepted/refused/revoking history with a live
+        // session, then replay the audit trail through the declarative
+        // invariant suite against the root policy.
+        let (root_uni, root_policy) = hospital();
+        let (m, uni) = monitor(AuthMode::Explicit);
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let diana = uni.find_user("diana").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        m.submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        // Unauthorized: recorded as refused, must replay as a no-op.
+        m.submit(&Command::grant(bob, Edge::UserRole(jane, staff)))
+            .unwrap();
+        let sid = m.create_session(diana);
+        m.activate_role(sid, staff).unwrap();
+        // Revocation forces publish-time session revalidation, so the
+        // final session views stay consistent with the final policy.
+        m.submit(&Command::revoke(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        let trace = m.audit_trace();
+        assert_eq!(trace.len(), 3);
+        let suite = InvariantSuite::standard(m.auth_mode());
+        let violations = suite.replay(&root_uni, &root_policy, &trace, &m.session_views());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn analysis_counters_track_indefinite_answers() {
+        let (m, mut uni) = monitor(AuthMode::Explicit);
+        let bob = uni.find_user("bob").unwrap();
+        let write_t3 = uni.perm("write", "t3");
+        assert_eq!(m.analysis_counts(), (0, 0));
+        let answer = m.analyze_perm_reachable(Entity::User(bob), write_t3, SafetyConfig::default());
+        assert!(answer.is_reachable());
+        assert_eq!(m.analysis_counts(), (1, 0));
+        // Starved bounds with escalation disabled: the truncated answer
+        // is counted as indefinite.
+        let answer = m.analyze_perm_reachable(
+            Entity::User(bob),
+            write_t3,
+            SafetyConfig {
+                max_steps: 0,
+                max_states: 1,
+                escalate: false,
+                ..SafetyConfig::default()
+            },
+        );
+        assert!(matches!(answer, ReachabilityAnswer::Unknown { .. }));
+        assert_eq!(m.analysis_counts(), (2, 1));
     }
 
     #[test]

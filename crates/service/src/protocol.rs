@@ -182,6 +182,12 @@ pub struct ServiceStats {
     /// Publish-time forced deactivations so far (stale-session
     /// revalidation; see the monitor's session revocation audit).
     pub forced_deactivations: u64,
+    /// Safety analyses served so far.
+    pub analyses_run: u64,
+    /// Of those, how many ended `Unknown` — truncated with no unbounded
+    /// engine able to close the instance. A growing share means the
+    /// analysis bounds are too small for the live policy.
+    pub analyses_indefinite: u64,
     /// What recovery found when the backing store was opened (`None`
     /// for in-memory tenants and freshly created stores) — surfaced so
     /// a truncated torn tail or divergent replay is operator-visible

@@ -188,6 +188,7 @@ fn check_refinement(
 
 fn stats(monitor: &ReferenceMonitor) -> ServiceStats {
     let snapshot = monitor.read_snapshot();
+    let (analyses_run, analyses_indefinite) = monitor.analysis_counts();
     ServiceStats {
         epoch: snapshot.epoch,
         users: snapshot.universe().user_count(),
@@ -196,6 +197,8 @@ fn stats(monitor: &ReferenceMonitor) -> ServiceStats {
         sessions: monitor.session_count(),
         audit_retained: monitor.audit_len(),
         forced_deactivations: monitor.session_revocations_total(),
+        analyses_run,
+        analyses_indefinite,
         recovery: monitor.recovery_report(),
     }
 }

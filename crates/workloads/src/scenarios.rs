@@ -126,6 +126,95 @@ pub fn deep_delegation(spec: DelegationSpec) -> DelegationWorkload {
     }
 }
 
+/// Shape of a [`grow_only`] scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct GrowOnlySpec {
+    /// Roles in the wide inheritance chain.
+    pub width: usize,
+    /// Users the administrators may place anywhere in the chain.
+    pub users: usize,
+}
+
+impl Default for GrowOnlySpec {
+    fn default() -> Self {
+        GrowOnlySpec {
+            width: 32,
+            users: 4,
+        }
+    }
+}
+
+/// A generated grow-only (monotone) workload.
+#[derive(Debug)]
+pub struct GrowOnlyWorkload {
+    /// The universe.
+    pub universe: Universe,
+    /// The policy.
+    pub policy: Policy,
+    /// The administrator seeded into the `admins` role.
+    pub admin: UserId,
+    /// The placeable members.
+    pub members: Vec<UserId>,
+    /// The inheritance chain, senior first.
+    pub tier: Vec<RoleId>,
+    /// A permission held by the most junior role (reachable for every
+    /// member in one grant).
+    pub goal_perm: Perm,
+    /// An interned permission no role ever holds (unreachable — but only
+    /// an unbounded engine can say so).
+    pub absent_perm: Perm,
+}
+
+/// Builds a **grow-only** wide-universe workload: `admins` holds
+/// `¤(u, r)` for every member × chain role, no revoke privilege exists
+/// anywhere, and the chain funnels every role into the junior role
+/// holding [`GrowOnlyWorkload::goal_perm`].
+///
+/// The reachable-policy count is `2^(users · width)` — hopeless for any
+/// bounded search on an [`GrowOnlyWorkload::absent_perm`] query — while
+/// the instance is monotone by construction, so the saturation engine
+/// answers both queries definitively in a couple of fixpoint rounds.
+/// This is the canonical fixture for the "grow-only is never `Unknown`,
+/// regardless of `max_states`" guarantee.
+pub fn grow_only(spec: GrowOnlySpec) -> GrowOnlyWorkload {
+    assert!(spec.width >= 1, "need at least one role");
+    assert!(spec.users >= 1, "need at least one member");
+    let mut universe = Universe::new();
+    let admin = universe.user("admin0");
+    let admins = universe.role("admins");
+    let tier: Vec<RoleId> = (0..spec.width)
+        .map(|i| universe.role(&format!("tier{i}")))
+        .collect();
+    let members: Vec<UserId> = (0..spec.users)
+        .map(|j| universe.user(&format!("member{j}")))
+        .collect();
+    let mut policy = Policy::new(&universe);
+    policy.add_edge(Edge::UserRole(admin, admins));
+    for w in tier.windows(2) {
+        policy.add_edge(Edge::RoleRole(w[0], w[1]));
+    }
+    for &u in &members {
+        for &r in &tier {
+            let p = universe.grant_user_role(u, r);
+            policy.add_edge(Edge::RolePriv(admins, p));
+        }
+    }
+    let goal_perm = universe.perm("open", "vault");
+    let goal = universe.priv_perm(goal_perm);
+    policy.add_edge(Edge::RolePriv(tier[spec.width - 1], goal));
+    let absent_perm = universe.perm("launch", "missiles");
+    universe.priv_perm(absent_perm); // interned, never assigned
+    GrowOnlyWorkload {
+        universe,
+        policy,
+        admin,
+        members,
+        tier,
+        goal_perm,
+        absent_perm,
+    }
+}
+
 /// Shape of a [`churn`] scenario.
 #[derive(Clone, Copy, Debug)]
 pub struct ChurnSpec {
@@ -584,8 +673,26 @@ mod tests {
         assert!(
             ReachIndex::build(&w.universe, &final_policy).reach_priv(Entity::User(worker), target)
         );
-        // One step short: the plan is genuinely cut off, not refuted.
+        // One step short: the raw bounded search is genuinely cut off,
+        // not refuted…
         let short = perm_reachable(
+            &mut w.universe,
+            &w.policy,
+            Entity::User(worker),
+            w.vault_perm,
+            SafetyConfig {
+                max_steps: 2,
+                escalate: false,
+                ..config
+            },
+        );
+        assert!(
+            matches!(short, ReachabilityAnswer::Unknown { .. }),
+            "{short:?}"
+        );
+        // …but the workload is grow-only, so escalation (the default)
+        // still finds a replayable plan past the depth bound.
+        let escalated = perm_reachable(
             &mut w.universe,
             &w.policy,
             Entity::User(worker),
@@ -595,7 +702,81 @@ mod tests {
                 ..config
             },
         );
-        assert!(matches!(short, ReachabilityAnswer::Unknown), "{short:?}");
+        let ReachabilityAnswer::Reachable { witness } = escalated else {
+            panic!("expected escalated reachable");
+        };
+        let final_policy = run_pure(&mut w.universe, &w.policy, &witness, AuthMode::Explicit);
+        assert!(
+            ReachIndex::build(&w.universe, &final_policy).reach_priv(Entity::User(worker), target)
+        );
+    }
+
+    #[test]
+    fn grow_only_is_never_unknown_regardless_of_max_states() {
+        // The acceptance guarantee of the verify layer: a monotone
+        // instance answers definitively even with the bounded search
+        // fully starved (max_states = 0), for both polarities.
+        let mut w = grow_only(GrowOnlySpec {
+            width: 16,
+            users: 3,
+        });
+        let member = w.members[0];
+        for max_states in [0usize, 1, 50] {
+            let config = SafetyConfig {
+                max_steps: 2,
+                max_states,
+                ..SafetyConfig::default()
+            };
+            let goal = perm_reachable(
+                &mut w.universe,
+                &w.policy,
+                Entity::User(member),
+                w.goal_perm,
+                config,
+            );
+            let ReachabilityAnswer::Reachable { witness } = goal else {
+                panic!("max_states={max_states}: {goal:?}");
+            };
+            let final_policy = run_pure(&mut w.universe, &w.policy, &witness, AuthMode::Explicit);
+            let target = w.universe.priv_perm(w.goal_perm);
+            assert!(ReachIndex::build(&w.universe, &final_policy)
+                .reach_priv(Entity::User(member), target));
+            let absent = perm_reachable(
+                &mut w.universe,
+                &w.policy,
+                Entity::User(member),
+                w.absent_perm,
+                config,
+            );
+            assert!(
+                matches!(absent, ReachabilityAnswer::Unreachable),
+                "max_states={max_states}: {absent:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn grow_only_dispatches_to_the_saturation_engine() {
+        use adminref_core::verify::{verify_perm_reachable, EngineUsed};
+        let mut w = grow_only(GrowOnlySpec::default());
+        let member = w.members[1];
+        let report = verify_perm_reachable(
+            &mut w.universe,
+            &w.policy,
+            Entity::User(member),
+            w.absent_perm,
+            SafetyConfig::default(),
+        );
+        assert!(report.monotone);
+        assert_eq!(report.engine, EngineUsed::Saturation);
+        assert!(matches!(report.answer, ReachabilityAnswer::Unreachable));
+        // The derivation is the whole saturated closure: every grant any
+        // actor can ever effect — members × tier roles.
+        assert_eq!(
+            report.derivation.len(),
+            w.members.len() * w.tier.len(),
+            "closure should apply every grantable edge"
+        );
     }
 
     #[test]
@@ -646,18 +827,44 @@ mod tests {
         });
         let worker = w.workers[0];
         let never = w.universe.perm("launch", "missiles");
+        let tight = SafetyConfig {
+            max_steps: 6,
+            max_states: 8,
+            ..SafetyConfig::default()
+        };
         let answer = perm_reachable(
             &mut w.universe,
             &w.policy,
             Entity::User(worker),
             never,
             SafetyConfig {
-                max_steps: 6,
-                max_states: 8,
-                ..SafetyConfig::default()
+                escalate: false,
+                ..tight
             },
         );
-        assert!(matches!(answer, ReachabilityAnswer::Unknown), "{answer:?}");
+        let ReachabilityAnswer::Unknown { truncation } = answer else {
+            panic!("{answer:?}");
+        };
+        assert!(truncation.cap_hit, "{truncation:?}");
+        // Grow-only regression: with escalation on, the same starved
+        // bounds never answer Unknown — saturation closes the instance
+        // no matter how small max_states is.
+        for max_states in [8usize, 1, 0] {
+            let answer = perm_reachable(
+                &mut w.universe,
+                &w.policy,
+                Entity::User(worker),
+                never,
+                SafetyConfig {
+                    max_states,
+                    ..tight
+                },
+            );
+            assert!(
+                matches!(answer, ReachabilityAnswer::Unreachable),
+                "max_states={max_states}: {answer:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,100 @@
+---------------------------- MODULE admin_policy ----------------------------
+(***************************************************************************)
+(* Declarative safety invariants for the administrative-policy transition  *)
+(* system of Dekker & Etalle, "Refinement for Administrative Policies".    *)
+(*                                                                         *)
+(* A policy is a finite digraph over users, roles and privilege terms:     *)
+(*   UA  \subseteq Users x Roles          (user-role assignment)           *)
+(*   RH  \subseteq Roles x Roles          (role hierarchy, r1 inherits r2) *)
+(*   PA  \subseteq Roles x Privs          (privilege assignment)           *)
+(* Privilege terms are perms (a, o), grants  ¤e  and revokes  ♦e  over    *)
+(* edges e, nested arbitrarily (Definition 2).  A command  cmd(u, +, e)    *)
+(* or cmd(u, -, e) executes iff its actor reaches a justifying privilege   *)
+(* vertex in the current policy (Definition 5); executed commands add or   *)
+(* remove exactly their edge, refused commands are no-ops.                 *)
+(*                                                                         *)
+(* This module is the mathematical statement of the invariants the         *)
+(* executable oracle (crates/core/src/verify/specs.rs) replays against     *)
+(* recorded monitor traces.  The Rust combinators are the mechanised       *)
+(* counterparts of the definitions below, checked per step / per state /   *)
+(* on the final sessions respectively.                                     *)
+(***************************************************************************)
+
+EXTENDS Naturals, Sequences
+
+CONSTANTS Users, Roles, Privs,      \* finite vocabularies
+          Conflicts                 \* \subseteq Roles x Roles, SoD pairs
+
+VARIABLES policy,                   \* the current edge set
+          trace,                    \* sequence of <<cmd, decision>> records
+          sessions                  \* set of [user |-> u, active |-> S]
+
+(***************************************************************************)
+(* Reachability in the policy digraph: Reach(p, x, y) holds iff there is   *)
+(* a directed path from vertex x to vertex y through UA \cup RH \cup PA    *)
+(* edges of p.  Authorized(p, u, q) holds iff u reaches a privilege        *)
+(* vertex h with h \sqsupseteq q — under explicit authorization h = q;     *)
+(* under ordered authorization h may be any \sqsubseteq-stronger term      *)
+(* (the paper's  \sqsubseteq  of section 4.1).                             *)
+(***************************************************************************)
+
+Reach(p, x, y)      == TRUE \* graph reachability, elided
+Authorized(p, u, q) == \E h \in Privs : Reach(p, u, h) /\ Weaker(q, h)
+Weaker(q, h)        == TRUE \* the privilege ordering \sqsubseteq, elided
+Apply(p, cmd)       == p   \* edge addition/removal, elided
+
+(***************************************************************************)
+(* The step relation: a recorded step either executed (and was authorized  *)
+(* in its pre-state, with the recorded `changed` flag telling the truth    *)
+(* about whether the edge was new/present) or was refused (and the policy  *)
+(* is unchanged).                                                          *)
+(***************************************************************************)
+
+Step(rec) ==
+  \/ /\ rec.decision.executed
+     /\ Authorized(policy, rec.cmd.actor, rec.cmd.required)
+     /\ policy' = Apply(policy, rec.cmd)
+     /\ rec.decision.changed = (policy' /= policy)
+  \/ /\ ~rec.decision.executed
+     /\ policy' = policy
+
+(***************************************************************************)
+(* Invariants.  These are the properties `InvariantSuite::standard` (and   *)
+(* `separation_of_duty`) check over a recorded trace:                      *)
+(***************************************************************************)
+
+\* Every executed step was authorized in its pre-state, justified by a
+\* vertex its actor actually reached.
+NoUnauthorizedAccess ==
+  \A i \in 1..Len(trace) :
+    trace[i].decision.executed =>
+      Authorized(PolicyBefore(i), trace[i].cmd.actor, trace[i].cmd.required)
+
+\* The audit trail neither omits nor invents mutations: each recorded
+\* `changed` flag equals what replaying the command yields.
+AuditTrailComplete ==
+  \A i \in 1..Len(trace) :
+    trace[i].decision.executed =>
+      trace[i].decision.changed =
+        (Apply(PolicyBefore(i), trace[i].cmd) /= PolicyBefore(i))
+
+\* Least privilege for sessions: every activated role is still held by
+\* the session's user (directly or via inheritance) in the final policy.
+SessionRolesAssigned ==
+  \A s \in sessions : \A r \in s.active : Reach(policy, s.user, r)
+
+\* Static separation of duty: no user reaches both roles of a declared
+\* conflicting pair, in any state along the trace.
+SeparationOfDuty ==
+  \A u \in Users : \A c \in Conflicts :
+    ~(Reach(policy, u, c[1]) /\ Reach(policy, u, c[2]))
+
+\* PolicyBefore(i): the policy reconstructed by applying the executed
+\* prefix trace[1..i-1] to the root — exactly what the oracle's replay
+\* driver computes.
+PolicyBefore(i) == policy \* fold of Apply over the executed prefix, elided
+
+Safety == NoUnauthorizedAccess /\ AuditTrailComplete
+          /\ SessionRolesAssigned /\ SeparationOfDuty
+
+=============================================================================

@@ -1,0 +1,341 @@
+//! Differential tests for the unbounded verification engines.
+//!
+//! The bounded breadth-first search is the executable ground truth
+//! wherever it is definite (a `Reachable` witness, or `Unreachable`
+//! after exhausting the whole reachable space). These properties pin
+//! the unbounded engines to it:
+//!
+//! * monotone saturation agrees with bounded BFS on grow-only instances
+//!   and is *always* definitive there, independent of the bounds;
+//! * the DPLL-grounded bounded model checker never contradicts a
+//!   definite BFS answer on general (revocation-capable) instances, and
+//!   matches it whenever the BFS finds a witness within the BMC bound;
+//! * the `perm_reachable` escalation path gives the same answers as the
+//!   engines invoked directly;
+//! * grow-only workloads are never `Unknown`, no matter how starved the
+//!   bounded search is (`max_states = 0` included).
+
+use adminref_core::prelude::*;
+use adminref_core::safety::prepare_alphabet;
+use adminref_core::verify::{bmc, is_monotone, saturation::saturate};
+use adminref_workloads::{grow_only, GrowOnlySpec};
+use proptest::prelude::*;
+
+const USERS: usize = 4;
+const ROLES: usize = 5;
+
+/// Blueprint for one random policy (index lists shrink well).
+#[derive(Clone, Debug)]
+struct PolicySpec {
+    ua: Vec<(u8, u8)>,
+    rh: Vec<(u8, u8)>,
+    /// (role, privilege blueprint)
+    pa: Vec<(u8, PrivSpec)>,
+}
+
+#[derive(Clone, Debug)]
+enum PrivSpec {
+    Perm(u8),
+    GrantUserRole(u8, u8),
+    GrantRoleRole(u8, u8),
+    RevokeUserRole(u8, u8),
+}
+
+/// `with_revokes: false` generates only grow-only instances (no `♦`
+/// privilege anywhere in the edge universe).
+fn priv_spec(with_revokes: bool) -> BoxedStrategy<PrivSpec> {
+    let grants = prop_oneof![
+        (0u8..3).prop_map(PrivSpec::Perm),
+        ((0u8..USERS as u8), (0u8..ROLES as u8)).prop_map(|(u, r)| PrivSpec::GrantUserRole(u, r)),
+        ((0u8..ROLES as u8), (0u8..ROLES as u8)).prop_map(|(a, b)| PrivSpec::GrantRoleRole(a, b)),
+    ];
+    if with_revokes {
+        prop_oneof![
+            3 => grants,
+            1 => ((0u8..USERS as u8), (0u8..ROLES as u8))
+                .prop_map(|(u, r)| PrivSpec::RevokeUserRole(u, r)),
+        ]
+        .boxed()
+    } else {
+        grants.boxed()
+    }
+}
+
+fn policy_spec(with_revokes: bool) -> impl Strategy<Value = PolicySpec> {
+    (
+        prop::collection::vec(((0u8..USERS as u8), (0u8..ROLES as u8)), 0..4),
+        prop::collection::vec(((0u8..ROLES as u8), (0u8..ROLES as u8)), 0..5),
+        prop::collection::vec(((0u8..ROLES as u8), priv_spec(with_revokes)), 0..5),
+    )
+        .prop_map(|(ua, rh, pa)| PolicySpec { ua, rh, pa })
+}
+
+fn build(spec: &PolicySpec) -> (Universe, Policy, Vec<UserId>) {
+    let mut uni = Universe::new();
+    let users: Vec<UserId> = (0..USERS).map(|i| uni.user(&format!("u{i}"))).collect();
+    let roles: Vec<RoleId> = (0..ROLES).map(|i| uni.role(&format!("r{i}"))).collect();
+    let mut policy = Policy::new(&uni);
+    for &(u, r) in &spec.ua {
+        policy.add_edge(Edge::UserRole(users[u as usize], roles[r as usize]));
+    }
+    for &(a, b) in &spec.rh {
+        policy.add_edge(Edge::RoleRole(roles[a as usize], roles[b as usize]));
+    }
+    for (r, ps) in &spec.pa {
+        let p = match ps {
+            PrivSpec::Perm(i) => {
+                let perm = uni.perm(["read", "write", "prnt"][*i as usize % 3], "obj");
+                uni.priv_perm(perm)
+            }
+            PrivSpec::GrantUserRole(u, r) => {
+                uni.grant_user_role(users[*u as usize], roles[*r as usize])
+            }
+            PrivSpec::GrantRoleRole(a, b) => {
+                uni.grant_role_role(roles[*a as usize], roles[*b as usize])
+            }
+            PrivSpec::RevokeUserRole(u, r) => {
+                uni.revoke_user_role(users[*u as usize], roles[*r as usize])
+            }
+        };
+        policy.add_edge(Edge::RolePriv(roles[*r as usize], p));
+    }
+    (uni, policy, users)
+}
+
+fn answer_tag(a: &ReachabilityAnswer) -> &'static str {
+    match a {
+        ReachabilityAnswer::Reachable { .. } => "reachable",
+        ReachabilityAnswer::Unreachable => "unreachable",
+        ReachabilityAnswer::Unknown { .. } => "unknown",
+    }
+}
+
+/// Replays `witness` from `root` and checks the target is reached in
+/// the final policy.
+fn witness_is_valid(
+    uni: &mut Universe,
+    root: &Policy,
+    witness: &CommandQueue,
+    entity: Entity,
+    target: PrivId,
+    mode: AuthMode,
+) -> bool {
+    let final_policy = run_pure(uni, root, witness, mode);
+    ReachIndex::build(uni, &final_policy).reach_priv(entity, target)
+}
+
+/// Bounds generous enough that the bounded search is definite on most
+/// generated instances, without ever being *required* to be.
+fn generous() -> SafetyConfig {
+    SafetyConfig {
+        max_steps: 3,
+        max_states: 4_000,
+        jobs: 1,
+        escalate: false,
+        ..SafetyConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On grow-only instances saturation is always definitive and,
+    /// wherever the bounded BFS is definite too, the two agree. Every
+    /// saturation witness replays to a policy reaching the target.
+    #[test]
+    fn saturation_agrees_with_bfs_on_monotone_instances(
+        spec in policy_spec(false),
+        ui in 0u8..USERS as u8,
+        pi in 0u8..3,
+    ) {
+        let (mut uni, policy, users) = build(&spec);
+        let entity = Entity::User(users[ui as usize]);
+        let perm = uni.perm(["read", "write", "prnt"][pi as usize], "obj");
+        let target = uni.priv_perm(perm);
+        let config = generous();
+        let alphabet = prepare_alphabet(&mut uni, &policy, config);
+        prop_assert!(is_monotone(&uni, &policy, &alphabet), "generator must be grow-only");
+        let outcome = saturate(&uni, &policy, &alphabet, config.auth_mode, entity, target);
+        prop_assert_ne!(answer_tag(&outcome.answer), "unknown", "saturation is definitive");
+        let bfs = perm_reachable(&mut uni, &policy, entity, perm, config);
+        if answer_tag(&bfs) != "unknown" {
+            prop_assert_eq!(answer_tag(&bfs), answer_tag(&outcome.answer));
+        }
+        if let ReachabilityAnswer::Reachable { witness } = &outcome.answer {
+            prop_assert!(witness_is_valid(
+                &mut uni, &policy, witness, entity, target, config.auth_mode,
+            ));
+        }
+    }
+
+    /// Same agreement under ordered authorization, where the alphabet
+    /// is expanded with ⊑-weaker commands: the monotonicity check and
+    /// the saturation fixpoint are sound in every mode.
+    #[test]
+    fn saturation_agrees_with_bfs_under_ordered_mode(
+        spec in policy_spec(false),
+        ui in 0u8..USERS as u8,
+    ) {
+        let (mut uni, policy, users) = build(&spec);
+        let entity = Entity::User(users[ui as usize]);
+        let perm = uni.perm("write", "obj");
+        let target = uni.priv_perm(perm);
+        let config = SafetyConfig {
+            auth_mode: AuthMode::Ordered(OrderingMode::Extended),
+            weaker_depth: Some(1),
+            max_states: 1_500,
+            ..generous()
+        };
+        let alphabet = prepare_alphabet(&mut uni, &policy, config);
+        prop_assert!(is_monotone(&uni, &policy, &alphabet));
+        let outcome = saturate(&uni, &policy, &alphabet, config.auth_mode, entity, target);
+        prop_assert_ne!(answer_tag(&outcome.answer), "unknown");
+        let bfs = perm_reachable(&mut uni, &policy, entity, perm, config);
+        if answer_tag(&bfs) != "unknown" {
+            prop_assert_eq!(answer_tag(&bfs), answer_tag(&outcome.answer));
+        }
+        if let ReachabilityAnswer::Reachable { witness } = &outcome.answer {
+            prop_assert!(witness_is_valid(
+                &mut uni, &policy, witness, entity, target, config.auth_mode,
+            ));
+        }
+    }
+
+    /// On general (revocation-capable) explicit-mode instances the
+    /// model checker never contradicts a definite BFS answer: a BFS
+    /// witness within the bound forces SAT (with a valid witness), and
+    /// a BFS exhaustion refutation forbids SAT at any bound.
+    #[test]
+    fn bmc_never_contradicts_a_definite_bfs_answer(
+        spec in policy_spec(true),
+        ui in 0u8..USERS as u8,
+        pi in 0u8..3,
+    ) {
+        let (mut uni, policy, users) = build(&spec);
+        let entity = Entity::User(users[ui as usize]);
+        let perm = uni.perm(["read", "write", "prnt"][pi as usize], "obj");
+        let target = uni.priv_perm(perm);
+        let config = generous();
+        if ReachIndex::build(&uni, &policy).reach_priv(entity, target) {
+            // Root-reachable: nothing to check, both engines short-circuit.
+            return;
+        }
+        let alphabet = prepare_alphabet(&mut uni, &policy, config);
+        let bfs = perm_reachable(&mut uni, &policy, entity, perm, config);
+        let report = bmc::check(&uni, &policy, &alphabet, entity, target, BmcConfig::default());
+        match (&bfs, &report.outcome) {
+            // max_steps = 3 ≤ the default BMC bound, so the model
+            // checker must find this (or a shorter) witness.
+            (ReachabilityAnswer::Reachable { witness }, BmcOutcome::Reachable { witness: w }) => {
+                prop_assert!(w.len() <= witness.len(), "BMC deepens iteratively");
+                prop_assert!(witness_is_valid(
+                    &mut uni, &policy, w, entity, target, config.auth_mode,
+                ));
+            }
+            (ReachabilityAnswer::Reachable { witness }, outcome) => {
+                prop_assert!(
+                    false,
+                    "BFS witness of {} step(s) but BMC said {:?}",
+                    witness.len(),
+                    outcome
+                );
+            }
+            (ReachabilityAnswer::Unreachable, BmcOutcome::Reachable { witness }) => {
+                prop_assert!(false, "BFS exhausted the space but BMC found {:?}", witness);
+            }
+            // BMC `Unreachable` comes from the recurrence-diameter
+            // closure and so is definitive; it must not contradict a
+            // BFS witness (covered above). `Inconclusive` is always
+            // allowed against a definite refutation.
+            _ => {}
+        }
+    }
+
+    /// The `perm_reachable` escalation path (bounded search starved to
+    /// `max_states = 2`, then the unbounded engines) agrees with a
+    /// generously-bounded definite BFS, and `verify_perm_reachable`
+    /// reports the same answer as the escalating search.
+    #[test]
+    fn escalation_agrees_with_generous_bfs(
+        spec in policy_spec(true),
+        ui in 0u8..USERS as u8,
+        pi in 0u8..3,
+    ) {
+        let (mut uni, policy, users) = build(&spec);
+        let entity = Entity::User(users[ui as usize]);
+        let perm = uni.perm(["read", "write", "prnt"][pi as usize], "obj");
+        let target = uni.priv_perm(perm);
+        let reference = perm_reachable(&mut uni, &policy, entity, perm, generous());
+        let starved = SafetyConfig {
+            max_states: 2,
+            escalate: true,
+            ..generous()
+        };
+        let escalated = perm_reachable(&mut uni, &policy, entity, perm, starved);
+        let report = verify_perm_reachable(&mut uni, &policy, entity, perm, starved);
+        if answer_tag(&reference) != "unknown" && answer_tag(&escalated) != "unknown" {
+            prop_assert_eq!(answer_tag(&reference), answer_tag(&escalated));
+        }
+        if answer_tag(&escalated) != "unknown" && answer_tag(&report.answer) != "unknown" {
+            prop_assert_eq!(answer_tag(&escalated), answer_tag(&report.answer));
+        }
+        for answer in [&escalated, &report.answer] {
+            if let ReachabilityAnswer::Reachable { witness } = answer {
+                prop_assert!(witness_is_valid(
+                    &mut uni, &policy, witness, entity, target, starved.auth_mode,
+                ));
+            }
+        }
+    }
+}
+
+/// Regression: a wide grow-only workload is never `Unknown`, no matter
+/// how starved the bounded search is — `max_states = 0` starves BFS
+/// immediately and the saturation engine still closes both polarities.
+#[test]
+fn wide_grow_only_workloads_are_never_unknown() {
+    let mut w = grow_only(GrowOnlySpec {
+        width: 64,
+        users: 3,
+    });
+    let admin = w.admin;
+    let member = w.members[0];
+    for max_states in [0usize, 1, 4] {
+        let config = SafetyConfig {
+            max_steps: 1,
+            max_states,
+            ..SafetyConfig::default()
+        };
+        let hit = perm_reachable(
+            &mut w.universe,
+            &w.policy,
+            Entity::User(member),
+            w.goal_perm,
+            config,
+        );
+        assert!(
+            matches!(hit, ReachabilityAnswer::Reachable { .. }),
+            "max_states={max_states}: {hit:?}"
+        );
+        let miss = perm_reachable(
+            &mut w.universe,
+            &w.policy,
+            Entity::User(member),
+            w.absent_perm,
+            config,
+        );
+        assert!(
+            matches!(miss, ReachabilityAnswer::Unreachable),
+            "max_states={max_states}: {miss:?}"
+        );
+        // The admin's own grant privileges are not the goal permission.
+        let admin_miss = perm_reachable(
+            &mut w.universe,
+            &w.policy,
+            Entity::User(admin),
+            w.absent_perm,
+            config,
+        );
+        assert!(matches!(admin_miss, ReachabilityAnswer::Unreachable));
+    }
+}
