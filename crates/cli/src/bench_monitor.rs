@@ -30,10 +30,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use adminref_core::command::Command;
+use adminref_core::ids::Entity;
+use adminref_core::safety::{perm_reachable, SafetyConfig};
 use adminref_core::snapshot::PublishMode;
 use adminref_monitor::{LockedMonitor, MonitorConfig, ReferenceMonitor, SessionId};
 use adminref_workloads::{
-    churn, wide_universe_trickle, ChurnSpec, ChurnWorkload, TrickleSpec, TrickleWorkload,
+    churn, cone, wide_universe_trickle, ChurnSpec, ChurnWorkload, ConeSpec, TrickleSpec,
+    TrickleWorkload,
 };
 
 /// Parsed `bench-monitor` options.
@@ -142,6 +145,61 @@ fn measure_publish_cells(opts: &BenchOptions) -> PublishCells {
         full_per_sec,
         incremental_per_sec,
         incremental_fallbacks,
+    }
+}
+
+/// Measured analysis-path cells: the goal-directed bounded search over
+/// the [`cone`] workload, with and without cone-of-influence slicing
+/// (`SafetyConfig::slice`). Both runs return the same `Reachable`
+/// answer; the time ratio is the slicing speedup the gate checks.
+#[derive(Clone)]
+struct SliceCells {
+    departments: usize,
+    full_ms: f64,
+    sliced_ms: f64,
+}
+
+impl SliceCells {
+    fn speedup(&self) -> Option<f64> {
+        (self.sliced_ms > 0.0).then(|| self.full_ms / self.sliced_ms)
+    }
+}
+
+/// One slice cell: `perm_reachable` on a fresh cone workload. The
+/// search is deterministic, so the minimum of two runs filters
+/// scheduler noise without averaging in warmup effects.
+fn measure_slice_cells() -> SliceCells {
+    let spec = ConeSpec::default();
+    let config = |slice| SafetyConfig {
+        max_steps: 3,
+        max_states: 200_000,
+        jobs: 1,
+        escalate: false,
+        slice,
+        ..SafetyConfig::default()
+    };
+    let time = |slice: bool| -> f64 {
+        (0..2)
+            .map(|_| {
+                let mut w = cone(spec);
+                let worker = w.workers[0];
+                let start = Instant::now();
+                let answer = perm_reachable(
+                    &mut w.universe,
+                    &w.policy,
+                    Entity::User(worker),
+                    w.goal_perm,
+                    config(slice),
+                );
+                assert!(answer.is_reachable(), "cone goal must be reachable");
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    SliceCells {
+        departments: spec.departments,
+        full_ms: time(false),
+        sliced_ms: time(true),
     }
 }
 
@@ -307,10 +365,19 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
         );
         p
     });
+    let slice = measure_slice_cells();
+    eprintln!(
+        "bench-monitor: slice(cone departments={}) \
+         full {:>8.1}ms  sliced {:>8.1}ms  speedup {:.1}x",
+        slice.departments,
+        slice.full_ms,
+        slice.sliced_ms,
+        slice.speedup().unwrap_or(0.0),
+    );
     if opts.json {
-        println!("{}", render_json(opts, &cells, publish.as_ref()));
+        println!("{}", render_json(opts, &cells, publish.as_ref(), &slice));
     } else {
-        render_table(&cells, publish.as_ref());
+        render_table(&cells, publish.as_ref(), &slice);
     }
     if let Some(path) = &opts.baseline {
         let text =
@@ -318,6 +385,7 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
         let floors = parse_floors(&text)?;
         gate(&cells, &floors)?;
         gate_publish(publish.as_ref(), &text)?;
+        gate_slice(&slice, &text)?;
         eprintln!(
             "bench-monitor: perf-smoke gate passed ({} floors)",
             floors.len()
@@ -359,6 +427,35 @@ fn gate_publish(publish: Option<&PublishCells>, baseline: &str) -> Result<(), St
     Ok(())
 }
 
+/// Gates the sliced/full search speedup directly against
+/// `floors_slice_speedup` (keyed by cone department count; floors for
+/// other sizes are skipped, like the publish gate).
+fn gate_slice(slice: &SliceCells, baseline: &str) -> Result<(), String> {
+    // Optional so older baselines keep working — but a *present* key
+    // that fails to parse must fail the run, not disable the gate.
+    if !baseline.contains("\"floors_slice_speedup\"") {
+        return Ok(());
+    }
+    let floors = parse_floor_map(baseline, "floors_slice_speedup")?;
+    for (departments, floor) in floors {
+        if departments != slice.departments {
+            continue;
+        }
+        let Some(speedup) = slice.speedup() else {
+            return Err("slice gate: sliced cell measured zero elapsed time".into());
+        };
+        if speedup < floor {
+            return Err(format!(
+                "perf-smoke regression:\n  sliced perm_reachable speedup on \
+                 cone({departments} departments): {speedup:.2}x is below the {floor:.1}x floor \
+                 (full {:.1}ms, sliced {:.1}ms)",
+                slice.full_ms, slice.sliced_ms
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn speedup(cells: &[Cell], readers: usize) -> Option<f64> {
     let locked = cells
         .iter()
@@ -373,7 +470,7 @@ fn speedup(cells: &[Cell], readers: usize) -> Option<f64> {
     }
 }
 
-fn render_table(cells: &[Cell], publish: Option<&PublishCells>) {
+fn render_table(cells: &[Cell], publish: Option<&PublishCells>, slice: &SliceCells) {
     println!(
         "{:<8} {:>8} {:>16} {:>16}",
         "impl", "readers", "reads/s", "write-cmds/s"
@@ -401,9 +498,21 @@ fn render_table(cells: &[Cell], publish: Option<&PublishCells>) {
             p.speedup().unwrap_or(0.0)
         );
     }
+    println!(
+        "slice (cone, {} departments): full {:.1}ms, sliced {:.1}ms, speedup {:.1}x",
+        slice.departments,
+        slice.full_ms,
+        slice.sliced_ms,
+        slice.speedup().unwrap_or(0.0)
+    );
 }
 
-fn render_json(opts: &BenchOptions, cells: &[Cell], publish: Option<&PublishCells>) -> String {
+fn render_json(
+    opts: &BenchOptions,
+    cells: &[Cell],
+    publish: Option<&PublishCells>,
+    slice: &SliceCells,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": 1,\n");
     out.push_str(&format!("  \"roles\": {},\n", opts.roles));
@@ -445,6 +554,16 @@ fn render_json(opts: &BenchOptions, cells: &[Cell], publish: Option<&PublishCell
         ));
         out.push('}');
     }
+    out.push_str(",\n  \"slice\": {");
+    out.push_str(&format!(
+        "\"workload\": \"cone\", \"departments\": {}, \"full_ms\": {:.2}, \
+         \"sliced_ms\": {:.2}, \"speedup\": {:.2}",
+        slice.departments,
+        slice.full_ms,
+        slice.sliced_ms,
+        slice.speedup().unwrap_or(0.0)
+    ));
+    out.push('}');
     out.push_str("\n}");
     out
 }
@@ -572,6 +691,32 @@ mod tests {
         // A present-but-malformed key fails the run rather than
         // silently disabling the gate.
         assert!(gate_publish(Some(&fast), r#"{ "floors_publish_speedup": {} }"#).is_err());
+    }
+
+    #[test]
+    fn slice_gate_compares_speedup_directly() {
+        let baseline = r#"{ "floors_slice_speedup": { "6": 2.0 } }"#;
+        let fast = SliceCells {
+            departments: 6,
+            full_ms: 120.0,
+            sliced_ms: 10.0,
+        };
+        assert!(gate_slice(&fast, baseline).is_ok());
+        let slow = SliceCells {
+            sliced_ms: 100.0,
+            ..fast
+        };
+        let err = gate_slice(&slow, baseline).unwrap_err();
+        assert!(err.contains("below the 2.0x floor"), "{err}");
+        // Floors for other department counts and baselines without the
+        // key are skipped; a malformed present key fails the run.
+        let other_size = SliceCells {
+            departments: 2,
+            ..slow.clone()
+        };
+        assert!(gate_slice(&other_size, baseline).is_ok());
+        assert!(gate_slice(&slow, "{}").is_ok());
+        assert!(gate_slice(&fast, r#"{ "floors_slice_speedup": {} }"#).is_err());
     }
 
     #[test]

@@ -5,15 +5,17 @@
 //! adminref stats    <policy.rbac>
 //! adminref validate <policy.rbac>
 //! adminref print    <policy.rbac> [--paper]
+//! adminref lint     <policy.rbac> [--json] [--deny note|warning|error]
+//!                   [--sod r1,r2[,r3,r4…]] [--ordered]
 //! adminref order    <policy.rbac> "<held priv>" "<requested priv>" [--strict]
 //! adminref weaker   <policy.rbac> "<priv>" [--depth N]
 //! adminref run      <policy.rbac> <queue.rbacq> [--ordered] [--store DIR]
 //! adminref compact  <store-dir> [--ordered]
 //! adminref refines  <policy-a.rbac> <policy-b.rbac> [--witnesses N]
 //! adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
-//!                   [--max-states N] [--jobs N] [--no-escalate]
+//!                   [--max-states N] [--jobs N] [--no-escalate] [--no-slice]
 //! adminref verify   <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
-//!                   [--max-states N]
+//!                   [--max-states N] [--no-slice]
 //! adminref verify   <policy.rbac> --oracle <queue.rbacq> [--ordered]
 //! adminref verify   --oracle-churn [--ordered]
 //! adminref bench-monitor [--quick] [--json] [--readers 1,4,16] [--secs S]
@@ -24,7 +26,12 @@
 //!
 //! `refines` is scriptable: it prints the violation count and the first
 //! witnesses, and exits nonzero (without usage noise) when refinement
-//! fails. `verify` is the unbounded analysis front door: it dispatches
+//! fails. `lint` is the search-free static analyzer: it prints the
+//! typed findings (or stable `--json` for CI diffing) and exits nonzero
+//! when anything at or above the `--deny` floor (default `error`)
+//! fires. `reach` and `verify` slice the command alphabet to the goal's
+//! cone of influence by default — sound, often dramatically smaller —
+//! and report the reduction; `--no-slice` searches the full alphabet. `verify` is the unbounded analysis front door: it dispatches
 //! to the saturation engine on grow-only instances, to bounded BFS with
 //! DPLL-based bounded model checking otherwise, and in `--oracle` mode
 //! replays a command queue through a reference monitor and checks the
@@ -51,10 +58,12 @@ use adminref_core::analysis;
 use adminref_core::display::{priv_to_string, Notation};
 use adminref_core::enumerate::{enumerate_weaker, remark2_depth, EnumerationConfig};
 use adminref_core::ids::Entity;
+use adminref_core::lint::{lint_policy, slice_alphabet, LintConfig, Severity};
 use adminref_core::ordering::{OrderingMode, PrivilegeOrder};
 use adminref_core::refinement::refinement_violations;
-use adminref_core::safety::{perm_reachable, ReachabilityAnswer, SafetyConfig};
+use adminref_core::safety::{perm_reachable, prepare_alphabet, ReachabilityAnswer, SafetyConfig};
 use adminref_core::transition::AuthMode;
+use adminref_core::verify::bmc::{BmcOutcome, Inconclusive};
 use adminref_core::verify::{specs::InvariantSuite, verify_perm_reachable};
 use adminref_lang::{load_policy, load_queue, parse_priv_expr, print_command, print_policy};
 use adminref_monitor::{MonitorConfig, ReferenceMonitor};
@@ -77,15 +86,18 @@ const USAGE: &str = "usage:
   adminref stats    <policy.rbac>
   adminref validate <policy.rbac>
   adminref print    <policy.rbac> [--paper]
+  adminref lint     <policy.rbac> [--json] [--deny note|warning|error]
+                    [--sod r1,r2[,r3,r4...]] [--ordered]
   adminref order    <policy.rbac> '<held priv>' '<requested priv>' [--strict]
   adminref weaker   <policy.rbac> '<priv>' [--depth N]
   adminref run      <policy.rbac> <queue.rbacq> [--ordered] [--store DIR]
   adminref compact  <store-dir> [--ordered]
   adminref refines  <policy-a.rbac> <policy-b.rbac> [--witnesses N]
   adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
-                    [--max-states N] [--jobs N] [--no-escalate]   (--jobs 0 = all cores)
+                    [--max-states N] [--jobs N] [--no-escalate] [--no-slice]
+                    (--jobs 0 = all cores)
   adminref verify   <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
-                    [--max-states N]
+                    [--max-states N] [--no-slice]
   adminref verify   <policy.rbac> --oracle <queue.rbacq> [--ordered]
   adminref verify   --oracle-churn [--ordered]
   adminref bench-monitor [--quick] [--json] [--readers 1,4,16] [--secs S]
@@ -106,6 +118,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "stats" => done(cmd_stats(&rest)),
         "validate" => done(cmd_validate(&rest)),
         "print" => done(cmd_print(&rest)),
+        "lint" => cmd_lint(&rest),
         "order" => cmd_order(&rest),
         "weaker" => done(cmd_weaker(&rest)),
         "run" => done(cmd_run(&rest)),
@@ -188,6 +201,81 @@ fn cmd_print(rest: &[&String]) -> Result<(), String> {
         print!("{}", print_policy(&uni, &policy, "policy"));
     }
     Ok(())
+}
+
+/// `adminref lint` — the search-free static analyzer. Prints the typed
+/// findings (stable JSON with `--json`) and exits nonzero when anything
+/// at or above the `--deny` floor (default `error`) fires, so CI lanes
+/// can gate on policy hygiene without running a search.
+fn cmd_lint(rest: &[&String]) -> Result<ExitCode, String> {
+    let path = positional(rest, 0)?;
+    let (uni, policy) = read_policy(path)?;
+    let mode = if flag(rest, "--ordered") {
+        AuthMode::Ordered(OrderingMode::Extended)
+    } else {
+        AuthMode::Explicit
+    };
+    let deny = match flag_value(rest, "--deny") {
+        Some(v) => Severity::parse(&v)
+            .ok_or_else(|| format!("--deny: unknown severity `{v}` (note|warning|error)"))?,
+        None => Severity::Error,
+    };
+    let sod_pairs = match flag_value(rest, "--sod") {
+        Some(spec) => parse_sod_pairs(&uni, &spec)?,
+        None => Vec::new(),
+    };
+    let report = lint_policy(
+        &uni,
+        &policy,
+        &LintConfig {
+            auth_mode: mode,
+            sod_pairs,
+        },
+    );
+    if flag(rest, "--json") {
+        println!("{}", report.to_json(&uni, path));
+    } else {
+        println!(
+            "# {path}: {} rule site(s), {} edge(s) in the may-add closure",
+            report.rules_checked, report.closure_edges
+        );
+        for f in &report.findings {
+            println!("{}[{}]: {}", f.severity.name(), f.kind.name(), f.message);
+        }
+        println!(
+            "# {} note(s), {} warning(s), {} error(s)",
+            report.count_of(Severity::Note),
+            report.count_of(Severity::Warning),
+            report.count_of(Severity::Error)
+        );
+    }
+    // Scriptable: findings at or above the floor are the exit code;
+    // a noisy-but-tolerated policy is still a completed run.
+    Ok(if report.count_at_or_above(deny) > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Parses `--sod r1,r2[,r3,r4…]` into role pairs against the policy's
+/// universe. Every named role must exist; the list length must be even.
+fn parse_sod_pairs(
+    uni: &adminref_core::universe::Universe,
+    spec: &str,
+) -> Result<Vec<(adminref_core::ids::RoleId, adminref_core::ids::RoleId)>, String> {
+    let roles = spec
+        .split(',')
+        .map(|name| {
+            let name = name.trim();
+            uni.find_role(name)
+                .ok_or_else(|| format!("--sod: unknown role `{name}`"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if roles.is_empty() || roles.len() % 2 != 0 {
+        return Err("--sod needs a comma-separated list of role pairs (an even count)".into());
+    }
+    Ok(roles.chunks(2).map(|c| (c[0], c[1])).collect())
 }
 
 fn cmd_order(rest: &[&String]) -> Result<ExitCode, String> {
@@ -483,6 +571,37 @@ fn cmd_bench_service(rest: &[&String]) -> Result<ExitCode, String> {
     finish_bench(bench_service::run(&opts))
 }
 
+/// Prints the alphabet before/after line when cone-of-influence slicing
+/// is on and actually removed commands. The search recomputes the slice
+/// itself — this costs one extra closure pass, paid only on the CLI.
+fn report_slice(
+    uni: &mut adminref_core::universe::Universe,
+    policy: &adminref_core::policy::Policy,
+    user: adminref_core::ids::UserId,
+    perm: adminref_core::ids::Perm,
+    config: SafetyConfig,
+) {
+    if !config.slice {
+        return;
+    }
+    let target = uni.priv_perm(perm);
+    let alphabet = prepare_alphabet(uni, policy, config);
+    let outcome = slice_alphabet(
+        uni,
+        policy,
+        &alphabet,
+        Entity::User(user),
+        target,
+        config.auth_mode,
+    );
+    if outcome.shrunk() {
+        println!(
+            "slice: alphabet {} -> {} command(s) in the goal's cone of influence",
+            outcome.before, outcome.after
+        );
+    }
+}
+
 fn cmd_reach(rest: &[&String]) -> Result<(), String> {
     let (mut uni, policy) = read_policy(positional(rest, 0)?)?;
     let user = uni.find_user(positional(rest, 1)?).ok_or("unknown user")?;
@@ -506,20 +625,17 @@ fn cmd_reach(rest: &[&String]) -> Result<(), String> {
     } else {
         AuthMode::Explicit
     };
-    let answer = perm_reachable(
-        &mut uni,
-        &policy,
-        Entity::User(user),
-        perm,
-        SafetyConfig {
-            max_steps: steps,
-            max_states,
-            auth_mode: mode,
-            jobs,
-            escalate: !flag(rest, "--no-escalate"),
-            ..SafetyConfig::default()
-        },
-    );
+    let config = SafetyConfig {
+        max_steps: steps,
+        max_states,
+        auth_mode: mode,
+        jobs,
+        escalate: !flag(rest, "--no-escalate"),
+        slice: !flag(rest, "--no-slice"),
+        ..SafetyConfig::default()
+    };
+    report_slice(&mut uni, &policy, user, perm, config);
+    let answer = perm_reachable(&mut uni, &policy, Entity::User(user), perm, config);
     match answer {
         ReachabilityAnswer::Reachable { witness } => {
             println!(
@@ -626,8 +742,10 @@ fn cmd_verify(rest: &[&String]) -> Result<ExitCode, String> {
             None => SafetyConfig::default().max_states,
         },
         auth_mode: mode,
+        slice: !flag(rest, "--no-slice"),
         ..SafetyConfig::default()
     };
+    report_slice(&mut uni, &policy, user, perm, config);
     let report = verify_perm_reachable(&mut uni, &policy, Entity::User(user), perm, config);
     println!(
         "engine: {}{}",
@@ -643,6 +761,19 @@ fn cmd_verify(rest: &[&String]) -> Result<ExitCode, String> {
             "bmc: bound {}, {} variable(s), {} clause(s)",
             bmc.bound, bmc.variables, bmc.clauses
         );
+        if let BmcOutcome::Inconclusive(Inconclusive::GroundingTooLarge { estimated, budget }) =
+            bmc.outcome
+        {
+            println!(
+                "bmc: grounding bound {} needs ~{estimated} variable(s), over the {budget} budget",
+                bmc.bound
+            );
+            if config.slice {
+                println!("  the instance is too wide even sliced: reduce the policy or --steps");
+            } else {
+                println!("  drop --no-slice so the grounding only covers the goal's cone");
+            }
+        }
     }
     match report.answer {
         ReachabilityAnswer::Reachable { witness } => {

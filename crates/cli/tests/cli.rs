@@ -36,6 +36,59 @@ fn validate_accepts_fixture() {
 }
 
 #[test]
+fn lint_is_clean_on_hospital_and_flags_the_demo() {
+    // The paper's own policy is lint-clean even at the strictest floor.
+    let out = bin()
+        .args(["lint", &hospital(), "--deny", "note"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("0 note(s), 0 warning(s), 0 error(s)"),
+        "{text}"
+    );
+    // The seeded-defect fixture trips every class; the SoD error makes
+    // the default --deny error floor exit nonzero.
+    let demo = fixture("lint_demo.rbac").to_string_lossy().into_owned();
+    let out = bin()
+        .args(["lint", &demo, "--sod", "pay,audit"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for kind in [
+        "dead-command",
+        "unauthorizable",
+        "redundant-grant",
+        "shadowed-grant",
+        "non-monotone-island",
+        "sod-conflict",
+    ] {
+        assert!(text.contains(kind), "missing {kind}: {text}");
+    }
+    // Without the SoD pair the worst finding is a warning, so the
+    // default error floor passes while --deny warning still trips.
+    let out = bin().args(["lint", &demo]).output().unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["lint", &demo, "--deny", "warning"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // --json matches the pinned expectation byte for byte, modulo the
+    // policy label (the CLI embeds the path it was given).
+    let out = bin()
+        .args(["lint", &demo, "--sod", "pay,audit", "--json"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    let expected = std::fs::read_to_string(fixture("lint_demo.expected.json")).unwrap();
+    let relabeled = expected.replace("fixtures/lint_demo.rbac", &demo.replace('\\', "\\\\"));
+    assert_eq!(text, relabeled);
+}
+
+#[test]
 fn order_decides_flexworker_pair() {
     let out = bin()
         .args([
@@ -137,6 +190,29 @@ fn reach_parallel_jobs_and_bounds() {
     assert!(text.contains("cmd(jane, grant, bob -> staff);"), "{text}");
     // A tiny state cap forces an inconclusive answer from the raw
     // bounded search, and the diagnostics name the binding knob.
+    // --no-slice keeps the full alphabet: no command can ever grant
+    // (launch, missiles), so slicing alone would refute the goal.
+    let out = bin()
+        .args([
+            "reach",
+            &hospital(),
+            "bob",
+            "launch",
+            "missiles",
+            "--max-states",
+            "1",
+            "--no-escalate",
+            "--no-slice",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("UNKNOWN"), "{text}");
+    assert!(text.contains("--max-states"), "{text}");
+    // With slicing (the default) the same starved bounds don't matter:
+    // the goal's cone of influence is empty, the sliced alphabet is
+    // empty, and the search refutes immediately.
     let out = bin()
         .args([
             "reach",
@@ -152,9 +228,10 @@ fn reach_parallel_jobs_and_bounds() {
         .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("UNKNOWN"), "{text}");
-    assert!(text.contains("--max-states"), "{text}");
-    // Without --no-escalate the same starved bounds escalate: the
+    assert!(text.contains("slice: alphabet"), "{text}");
+    assert!(text.contains("-> 0 command(s)"), "{text}");
+    assert!(text.contains("UNREACHABLE"), "{text}");
+    // Without --no-escalate the starved unsliced bounds escalate: the
     // hospital policy grants revoke privileges, so the refutation comes
     // from the bounded model checker's diameter closure, not saturation.
     let out = bin()
@@ -166,6 +243,7 @@ fn reach_parallel_jobs_and_bounds() {
             "missiles",
             "--max-states",
             "1",
+            "--no-slice",
         ])
         .output()
         .unwrap();
@@ -185,9 +263,10 @@ fn verify_reports_engine_and_witness() {
     assert!(text.contains("engine: bfs"), "{text}");
     assert!(text.contains("REACHABLE in 1 step(s)"), "{text}");
     assert!(text.contains("cmd(jane, grant, bob -> staff);"), "{text}");
-    // Starving the bounded search hands the instance to the bounded
-    // model checker, which still refutes it definitively — and the
-    // output accounts for the grounding it solved.
+    // Starving the unsliced bounded search hands the instance to the
+    // bounded model checker, which still refutes it definitively — and
+    // the output accounts for the grounding it solved. (With slicing
+    // left on, the empty cone refutes before any engine is needed.)
     let out = bin()
         .args([
             "verify",
@@ -197,6 +276,7 @@ fn verify_reports_engine_and_witness() {
             "missiles",
             "--max-states",
             "1",
+            "--no-slice",
         ])
         .output()
         .unwrap();

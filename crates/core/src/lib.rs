@@ -62,6 +62,7 @@ pub mod display;
 pub mod enumerate;
 pub mod ids;
 pub mod interner;
+pub mod lint;
 pub mod ordering;
 pub mod policy;
 pub mod reach;
@@ -84,6 +85,10 @@ pub mod prelude {
     };
     pub use crate::enumerate::{enumerate_weaker, remark2_depth, EnumerationConfig, WeakerSet};
     pub use crate::ids::{ActionId, Entity, Node, ObjectId, Perm, PrivId, RoleId, UserId};
+    pub use crate::lint::{
+        lint_policy, rule_sites, slice_alphabet, DependencyGraph, Finding, FindingKind, LintConfig,
+        LintReport, Potential, RuleSite, Severity, SliceOutcome,
+    };
     pub use crate::ordering::{Derivation, OrderingMode, PrivilegeOrder};
     pub use crate::policy::{Policy, PolicyBuilder};
     pub use crate::reach::{reaches, reaches_entity, EdgeDelta, ReachIndex};

@@ -1,0 +1,178 @@
+//! Rule sites, per-rule may-add/may-remove summaries, and the static
+//! privilege-dependency graph.
+//!
+//! A *rule site* is one occurrence of an administrative term in the
+//! policy: either a `(role, term)` privilege assignment, or a term
+//! nested inside one (e.g. the `¤(u, r)` inside `¤(aud → ¤(u, r))`).
+//! Each site denotes a family of commands (one per actor) with a fixed
+//! effect edge, so edge-level diagnostics attach naturally to sites.
+//!
+//! The dependency graph records, per administrative term:
+//!
+//! * `may_add` / `may_remove` — the effect edges executing the term (and
+//!   the rules it transitively introduces) can add or remove;
+//! * `enables` — the administrative terms whose *assignment* the term
+//!   can create, i.e. `t enables u` iff some may-add edge of `t` is
+//!   `RolePriv(_, u)` with `u` administrative.
+//!
+//! Both are purely syntactic over the finite edge universe — no search.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ids::{PrivId, RoleId};
+use crate::policy::Policy;
+use crate::universe::{Edge, PrivTerm, Universe};
+
+/// One occurrence of an administrative term in the policy.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct RuleSite {
+    /// The role whose assignment the occurrence sits under.
+    pub role: RoleId,
+    /// The top-level assigned term (equals `term` at depth 0).
+    pub assigned: PrivId,
+    /// The administrative term this site denotes.
+    pub term: PrivId,
+    /// Nesting depth: 0 for the assignment itself.
+    pub depth: u32,
+}
+
+/// Enumerates every rule site of `root`, outermost first, in the
+/// deterministic `(role, assigned)` iteration order of the policy.
+pub fn rule_sites(universe: &Universe, root: &Policy) -> Vec<RuleSite> {
+    let mut sites = Vec::new();
+    for (role, assigned) in root.pa() {
+        if !universe.term(assigned).is_administrative() {
+            continue;
+        }
+        let mut stack = vec![(assigned, 0u32)];
+        while let Some((term, depth)) = stack.pop() {
+            sites.push(RuleSite {
+                role,
+                assigned,
+                term,
+                depth,
+            });
+            if let Some(Edge::RolePriv(_, inner)) = universe.term(term).edge() {
+                if universe.term(inner).is_administrative() {
+                    stack.push((inner, depth + 1));
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// The static privilege-dependency graph over the policy's rules.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    /// Per administrative term: edges it may (transitively) add.
+    pub may_add: BTreeMap<PrivId, BTreeSet<Edge>>,
+    /// Per administrative term: edges it may (transitively) remove.
+    pub may_remove: BTreeMap<PrivId, BTreeSet<Edge>>,
+    /// `t → {u}`: executing `t`'s rules can make `u` assigned.
+    pub enables: BTreeMap<PrivId, BTreeSet<PrivId>>,
+}
+
+impl DependencyGraph {
+    /// Builds the graph for every administrative term occurring in
+    /// `root` (at any nesting depth).
+    pub fn build(universe: &Universe, root: &Policy) -> DependencyGraph {
+        let mut graph = DependencyGraph::default();
+        for site in rule_sites(universe, root) {
+            graph.close_term(universe, site.term);
+        }
+        graph
+    }
+
+    /// The terms that can (transitively) introduce an assignment of
+    /// `target` — the reverse of `enables`, plus `target`'s own sites.
+    pub fn enablers_of(&self, target: PrivId) -> BTreeSet<PrivId> {
+        self.enables
+            .iter()
+            .filter(|(_, enabled)| enabled.contains(&target))
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    /// Computes (and memoizes) the summaries for `term` and everything
+    /// it transitively introduces.
+    fn close_term(&mut self, universe: &Universe, term: PrivId) {
+        if self.may_add.contains_key(&term) {
+            return;
+        }
+        // Seed the entry first so nested cycles terminate (term ids are
+        // hash-consed; a term cannot strictly contain itself, but two
+        // mutually nesting grants are representable through the stack).
+        self.may_add.insert(term, BTreeSet::new());
+        self.may_remove.insert(term, BTreeSet::new());
+        self.enables.insert(term, BTreeSet::new());
+        let mut adds = BTreeSet::new();
+        let mut removes = BTreeSet::new();
+        let mut enables = BTreeSet::new();
+        match universe.term(term) {
+            PrivTerm::Perm(_) => {}
+            PrivTerm::Grant(edge) => {
+                adds.insert(edge);
+                if let Edge::RolePriv(_, inner) = edge {
+                    if universe.term(inner).is_administrative() {
+                        enables.insert(inner);
+                        self.close_term(universe, inner);
+                        if let Some(inner_adds) = self.may_add.get(&inner) {
+                            adds.extend(inner_adds.iter().copied());
+                        }
+                        if let Some(inner_removes) = self.may_remove.get(&inner) {
+                            removes.extend(inner_removes.iter().copied());
+                        }
+                        if let Some(inner_enables) = self.enables.get(&inner) {
+                            enables.extend(inner_enables.iter().copied());
+                        }
+                    }
+                }
+            }
+            PrivTerm::Revoke(edge) => {
+                removes.insert(edge);
+            }
+        }
+        self.may_add.insert(term, adds);
+        self.may_remove.insert(term, removes);
+        self.enables.insert(term, enables);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyBuilder;
+
+    #[test]
+    fn nested_grant_summaries_are_transitive() {
+        // ops holds ¤(aud → ¤(erin, temps)): executing it may add the
+        // assignment edge and, transitively, (erin, temps); it enables
+        // the inner grant term.
+        let mut b = PolicyBuilder::new()
+            .assign("olga", "ops")
+            .declare_user("erin");
+        let (erin, temps, aud) = {
+            let u = b.universe_mut();
+            (u.find_user("erin").unwrap(), u.role("temps"), u.role("aud"))
+        };
+        let inner = b.universe_mut().grant_user_role(erin, temps);
+        let outer = b.universe_mut().priv_grant(Edge::RolePriv(aud, inner));
+        b = b.assign_priv("ops", outer);
+        let (uni, policy) = b.finish();
+
+        let sites = rule_sites(&uni, &policy);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        assert_eq!(sites[0].depth, 0);
+        assert_eq!(sites[1].depth, 1);
+        assert_eq!(sites[1].term, inner);
+
+        let graph = DependencyGraph::build(&uni, &policy);
+        let adds = &graph.may_add[&outer];
+        assert!(adds.contains(&Edge::RolePriv(aud, inner)));
+        assert!(adds.contains(&Edge::UserRole(erin, temps)));
+        assert!(graph.enables[&outer].contains(&inner));
+        assert_eq!(graph.enablers_of(inner).len(), 1);
+        assert!(graph.may_remove[&outer].is_empty());
+    }
+}

@@ -91,6 +91,15 @@ pub struct SafetyConfig {
     /// be longer than `max_steps` (still replayable, not necessarily
     /// shortest). `false` reports the raw bounded answer.
     pub escalate: bool,
+    /// Slice the command alphabet to the goal's cone of influence
+    /// before searching (see [`crate::lint::slice_alphabet`]). Sound —
+    /// the answer is unchanged — and on wide instances dramatically
+    /// faster; `false` searches the full alphabet (the `--no-slice`
+    /// escape hatch, and what differential tests compare against).
+    /// Applies only to the goal-directed entry points
+    /// ([`perm_reachable`], [`crate::verify::verify_perm_reachable`]);
+    /// custom-goal searches always use the full alphabet.
+    pub slice: bool,
 }
 
 impl Default for SafetyConfig {
@@ -102,6 +111,7 @@ impl Default for SafetyConfig {
             weaker_depth: None,
             jobs: 1,
             escalate: true,
+            slice: true,
         }
     }
 }
@@ -171,7 +181,18 @@ pub fn perm_reachable(
             witness: CommandQueue::new(),
         };
     }
-    let alphabet = prepare_alphabet(universe, policy, config);
+    let mut alphabet = prepare_alphabet(universe, policy, config);
+    if config.slice {
+        alphabet = crate::lint::slice_alphabet(
+            universe,
+            policy,
+            &alphabet,
+            entity,
+            target,
+            config.auth_mode,
+        )
+        .alphabet;
+    }
     let answer = {
         let space = PolicySearch::new(
             universe,
@@ -517,6 +538,9 @@ mod tests {
                 max_steps: 1,
                 max_states: 1,
                 escalate: false,
+                // Sliced, the goal's empty cone would refute outright;
+                // this test is about the raw truncation accounting.
+                slice: false,
                 ..SafetyConfig::default()
             },
         );
@@ -583,6 +607,9 @@ mod tests {
             SafetyConfig {
                 max_steps: 0,
                 escalate: false,
+                // As above: keep the full alphabet so the depth bound
+                // genuinely cuts the search off.
+                slice: false,
                 ..SafetyConfig::default()
             },
         );

@@ -62,7 +62,12 @@ impl Default for BmcConfig {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Inconclusive {
     /// The estimated grounding exceeded [`BmcConfig::max_variables`].
-    GroundingTooLarge,
+    GroundingTooLarge {
+        /// Variables the next bound was estimated to need.
+        estimated: u64,
+        /// The configured [`BmcConfig::max_variables`] ceiling it broke.
+        budget: usize,
+    },
     /// A solver query ran out of decisions.
     BudgetExceeded,
     /// Every bound up to [`BmcConfig::max_bound`] was refuted but the
@@ -119,6 +124,13 @@ struct Ground {
     table: EdgeTable,
     root_bits: Vec<bool>,
     commands: Vec<GroundCommand>,
+    /// Per table bit: is the edge toggled by some kept command? Frozen
+    /// (immutable) bits keep their root value at every time step and
+    /// ground to constant literals — no per-step variables, no frame
+    /// axioms, no contribution to the pairwise-distinct constraints.
+    /// Alphabet slicing ([`crate::lint::slice_alphabet`]) makes this
+    /// partition bite: sliced-away commands freeze their edges.
+    mutable_bits: Vec<bool>,
     /// Role-to-role edges as `(from, to, bit)`.
     rh: Vec<(usize, usize, usize)>,
     /// `UserRole` bits keyed by `(user raw id, role index)`.
@@ -151,9 +163,13 @@ pub fn check(
     }
     let mut last = (0usize, 0usize);
     for k in 1..=config.max_bound {
-        if estimate_variables(&ground, k) > config.max_variables as u64 {
+        let estimated = estimate_variables(&ground, k);
+        if estimated > config.max_variables as u64 {
             return BmcReport {
-                outcome: BmcOutcome::Inconclusive(Inconclusive::GroundingTooLarge),
+                outcome: BmcOutcome::Inconclusive(Inconclusive::GroundingTooLarge {
+                    estimated,
+                    budget: config.max_variables,
+                }),
                 bound: k,
                 variables: last.0,
                 clauses: last.1,
@@ -263,11 +279,16 @@ fn prepare(universe: &Universe, root: &Policy, alphabet: &[(Command, PrivId)]) -
                 auth,
             })
         })
-        .collect();
+        .collect::<Vec<GroundCommand>>();
+    let mut mutable_bits = vec![false; table.len()];
+    for gc in &commands {
+        mutable_bits[gc.edge_bit] = true;
+    }
     Ground {
         table,
         root_bits,
         commands,
+        mutable_bits,
         rh,
         ua,
         role_count,
@@ -278,7 +299,9 @@ fn prepare(universe: &Universe, root: &Policy, alphabet: &[(Command, PrivId)]) -
 /// only to refuse oversized groundings before building them.
 fn estimate_variables(ground: &Ground, k: usize) -> u64 {
     let steps = (k + 1) as u64; // diameter query is the larger of the two
-    let e = ground.table.len() as u64;
+                                // Only mutable edges get per-step variables; frozen edges are
+                                // constants (see [`Instance::new`]).
+    let e = ground.mutable_bits.iter().filter(|&&m| m).count() as u64;
     let c = ground.commands.len() as u64;
     let r = ground.role_count as u64;
     let rh = ground.rh.len() as u64;
@@ -325,15 +348,31 @@ impl<'g> Instance<'g> {
         let mut solver = Solver::new();
         let true_lit = Lit::positive(solver.new_var());
         solver.add_clause(&[true_lit]);
+        // Frozen bits (edges no kept command toggles) hold their root
+        // value forever: ground them to constant literals at every time
+        // step instead of fresh variables. The Tseitin helpers
+        // short-circuit on constants, so downstream authorization and
+        // goal encodings shrink with them.
         let state: Vec<Vec<Lit>> = (0..=steps)
             .map(|_| {
                 (0..ground.table.len())
-                    .map(|_| Lit::positive(solver.new_var()))
+                    .map(|e| {
+                        if ground.mutable_bits[e] {
+                            Lit::positive(solver.new_var())
+                        } else if ground.root_bits[e] {
+                            true_lit
+                        } else {
+                            !true_lit
+                        }
+                    })
                     .collect()
             })
             .collect();
-        // Time 0 is the root policy.
+        // Time 0 is the root policy (frozen bits are constants already).
         for (e, &present) in ground.root_bits.iter().enumerate() {
+            if !ground.mutable_bits[e] {
+                continue;
+            }
             let lit = if present { state[0][e] } else { !state[0][e] };
             solver.add_clause(&[lit]);
         }
@@ -435,7 +474,7 @@ impl<'g> Instance<'g> {
                 self.solver.add_clause(&[!s, forced_pre]);
             }
             for e in 0..self.ground.table.len() {
-                if e == gc.edge_bit {
+                if e == gc.edge_bit || !self.ground.mutable_bits[e] {
                     continue;
                 }
                 self.frame_edge(s, t, e);
@@ -444,7 +483,9 @@ impl<'g> Instance<'g> {
         if style == StepStyle::WithSkip {
             let skip = sels[command_count];
             for e in 0..self.ground.table.len() {
-                self.frame_edge(skip, t, e);
+                if self.ground.mutable_bits[e] {
+                    self.frame_edge(skip, t, e);
+                }
             }
         }
         self.selectors.push(sels);
@@ -543,6 +584,10 @@ impl<'g> Instance<'g> {
             for b in (a + 1)..=self.steps {
                 let mut diffs = Vec::with_capacity(edge_count);
                 for e in 0..edge_count {
+                    // Frozen edges are equal at all times by construction.
+                    if !self.ground.mutable_bits[e] {
+                        continue;
+                    }
                     let xa = self.state[a][e];
                     let xb = self.state[b][e];
                     // d ⇔ xa ⊕ xb
@@ -725,9 +770,56 @@ mod tests {
                 ..BmcConfig::default()
             },
         );
-        assert!(matches!(
-            report.outcome,
-            BmcOutcome::Inconclusive(Inconclusive::GroundingTooLarge)
-        ));
+        let BmcOutcome::Inconclusive(Inconclusive::GroundingTooLarge { estimated, budget }) =
+            report.outcome
+        else {
+            panic!("{:?}", report.outcome);
+        };
+        assert_eq!(budget, 1);
+        assert!(estimated > 1, "{estimated}");
+    }
+
+    #[test]
+    fn frozen_edges_shrink_the_grounding() {
+        // The same instance grounded against the full alphabet vs the
+        // goal-sliced one: slicing freezes every edge its dropped
+        // commands would have toggled, so the CNF estimate drops too.
+        // The revocable fixture plus an irrelevant wing (mike can put
+        // ann into aud) whose edge the slice freezes.
+        let (mut uni, mut policy) = revocable_fixture();
+        let (ann, aud, itops) = { (uni.user("ann"), uni.role("aud"), uni.role("itops")) };
+        let mike = uni.user("mike");
+        policy.add_edge(Edge::UserRole(mike, itops));
+        let g2 = uni.grant_user_role(ann, aud);
+        policy.add_edge(Edge::RolePriv(itops, g2));
+        let bob = uni.find_user("bob").unwrap();
+        let write_t3 = uni.perm("write", "t3");
+        let target = uni.priv_perm(write_t3);
+        let alphabet = prepared(&mut uni, &policy);
+        let sliced = crate::lint::slice_alphabet(
+            &uni,
+            &policy,
+            &alphabet,
+            Entity::User(bob),
+            target,
+            AuthMode::Explicit,
+        )
+        .alphabet;
+        assert!(sliced.len() < alphabet.len());
+        let full = prepare(&uni, &policy, &alphabet);
+        let lean = prepare(&uni, &policy, &sliced);
+        let mutable = |g: &Ground| g.mutable_bits.iter().filter(|&&m| m).count();
+        assert!(mutable(&lean) < mutable(&full));
+        assert!(estimate_variables(&lean, 4) < estimate_variables(&full, 4));
+        // And the lean instance still answers correctly.
+        let report = check(
+            &uni,
+            &policy,
+            &sliced,
+            Entity::User(bob),
+            target,
+            BmcConfig::default(),
+        );
+        assert!(matches!(report.outcome, BmcOutcome::Reachable { .. }));
     }
 }

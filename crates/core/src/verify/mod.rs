@@ -132,7 +132,22 @@ pub fn verify_perm_reachable(
             bmc: None,
         };
     }
-    let alphabet = crate::safety::prepare_alphabet(universe, policy, config);
+    let mut alphabet = crate::safety::prepare_alphabet(universe, policy, config);
+    if config.slice {
+        // Slicing before the monotonicity check is deliberate: sliced
+        // alphabets contain no revoke commands, so instances that were
+        // non-monotone only through revoke rules take the saturation
+        // fast path below.
+        alphabet = crate::lint::slice_alphabet(
+            universe,
+            policy,
+            &alphabet,
+            entity,
+            target,
+            config.auth_mode,
+        )
+        .alphabet;
+    }
     if is_monotone(universe, policy, &alphabet) {
         let outcome = saturation::saturate(
             universe,

@@ -362,11 +362,15 @@ proptest! {
         // so the equality discipline here is over the raw bounded
         // answers (escalation agreement has its own suite in
         // `tests/verify_unbounded.rs`).
+        // `slice: false`: the reference explores the full alphabet, so
+        // the compared engines must too (a sliced search may say
+        // Unreachable where the truncated full search says Unknown).
         let config = SafetyConfig {
             max_steps: 2,
             max_states: 300,
             jobs: 1,
             escalate: false,
+            slice: false,
             ..SafetyConfig::default()
         };
         let reference = find_reachable_clone(&mut uni, &policy, config, |u, p| {
@@ -417,6 +421,7 @@ proptest! {
             weaker_depth: Some(1),
             jobs: 1,
             escalate: false,
+            slice: false,
         };
         let reference = find_reachable_clone(&mut uni, &policy, config, |u, p| {
             ReachIndex::build(u, p).reach_priv(entity, target)

@@ -14,6 +14,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Serving-path hygiene: no unwrap/expect/panic! outside tests (the
+// test exemption lives in the workspace clippy.toml).
+#![warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 pub mod audit;
 pub mod locked;

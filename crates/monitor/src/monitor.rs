@@ -57,6 +57,7 @@ use parking_lot::{Mutex, RwLock};
 
 use adminref_core::command::{Command, CommandQueue};
 use adminref_core::ids::{Entity, Perm, RoleId, UserId};
+use adminref_core::lint::{lint_policy, LintConfig, LintReport};
 use adminref_core::policy::Policy;
 use adminref_core::safety::{perm_reachable, ReachabilityAnswer, SafetyConfig};
 use adminref_core::session::{Session, SessionError};
@@ -275,6 +276,10 @@ pub struct ReferenceMonitor {
     /// Of those, how many came back `Unknown` — truncated with no
     /// unbounded engine able to close the instance.
     analyses_indefinite: AtomicU64,
+    /// Lint passes served ([`lint_policy`](Self::lint_policy)).
+    lints_run: AtomicU64,
+    /// Total findings those passes produced.
+    lint_findings: AtomicU64,
     /// What recovery found when the durable backend was opened (`None`
     /// for in-memory monitors and freshly created stores).
     recovery: Option<RecoveryReport>,
@@ -300,6 +305,8 @@ impl ReferenceMonitor {
             autocompact_failures: AtomicU64::new(0),
             analyses_run: AtomicU64::new(0),
             analyses_indefinite: AtomicU64::new(0),
+            lints_run: AtomicU64::new(0),
+            lint_findings: AtomicU64::new(0),
             recovery: None,
             config,
         }
@@ -340,6 +347,8 @@ impl ReferenceMonitor {
             autocompact_failures: AtomicU64::new(0),
             analyses_run: AtomicU64::new(0),
             analyses_indefinite: AtomicU64::new(0),
+            lints_run: AtomicU64::new(0),
+            lint_findings: AtomicU64::new(0),
             recovery,
             config,
         }
@@ -699,6 +708,33 @@ impl ReferenceMonitor {
         (
             self.analyses_run.load(Ordering::Relaxed),
             self.analyses_indefinite.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Static lint pass over the live policy
+    /// (`adminref_core::lint::lint_policy`): search-free diagnostics —
+    /// dead rules, unauthorizable rules, shadowed or redundant grants,
+    /// non-monotone islands, and separation-of-duty conflicts for the
+    /// given role pairs. The pass is overridden to the monitor's own
+    /// authorization mode and runs lock-free against the published
+    /// snapshot.
+    pub fn lint_policy(&self, sod_pairs: Vec<(RoleId, RoleId)>) -> LintReport {
+        let config = LintConfig {
+            auth_mode: self.auth_mode(),
+            sod_pairs,
+        };
+        let report = self.with_state(|universe, policy| lint_policy(universe, policy, &config));
+        self.lints_run.fetch_add(1, Ordering::Relaxed);
+        self.lint_findings
+            .fetch_add(report.findings.len() as u64, Ordering::Relaxed);
+        report
+    }
+
+    /// Lint passes served so far: `(runs, total findings)`.
+    pub fn lint_counts(&self) -> (u64, u64) {
+        (
+            self.lints_run.load(Ordering::Relaxed),
+            self.lint_findings.load(Ordering::Relaxed),
         )
     }
 
@@ -1098,6 +1134,40 @@ mod tests {
         );
         assert!(matches!(answer, ReachabilityAnswer::Unknown { .. }));
         assert_eq!(m.analysis_counts(), (2, 1));
+    }
+
+    #[test]
+    fn lint_entry_point_runs_on_the_live_policy_and_counts() {
+        use adminref_core::lint::FindingKind;
+        // The hospital fixture is clean: a run is counted, no findings.
+        let (m, _uni) = monitor(AuthMode::Explicit);
+        assert_eq!(m.lint_counts(), (0, 0));
+        let report = m.lint_policy(Vec::new());
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(m.lint_counts(), (1, 0));
+        // A monitor over a policy with a dead revoke rule — the edge is
+        // never present — reports it, and the counters track findings.
+        let mut b = PolicyBuilder::new()
+            .assign("jane", "hr")
+            .declare_user("eve");
+        let (eve, temps) = {
+            let u = b.universe_mut();
+            (u.find_user("eve").unwrap(), u.role("temps"))
+        };
+        let dead = b.universe_mut().revoke_user_role(eve, temps);
+        b = b.assign_priv("hr", dead);
+        let (uni2, policy2) = b.finish();
+        let m2 = ReferenceMonitor::new(uni2, policy2, MonitorConfig::default());
+        let report = m2.lint_policy(Vec::new());
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.kind == FindingKind::DeadCommand),
+            "{:?}",
+            report.findings
+        );
+        assert_eq!(m2.lint_counts(), (1, report.findings.len() as u64));
     }
 
     #[test]

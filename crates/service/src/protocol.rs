@@ -188,6 +188,11 @@ pub struct ServiceStats {
     /// engine able to close the instance. A growing share means the
     /// analysis bounds are too small for the live policy.
     pub analyses_indefinite: u64,
+    /// Static lint passes served so far (the monitor's
+    /// `lint_policy` entry point).
+    pub lints_run: u64,
+    /// Total findings those passes produced.
+    pub lint_findings: u64,
     /// What recovery found when the backing store was opened (`None`
     /// for in-memory tenants and freshly created stores) — surfaced so
     /// a truncated torn tail or divergent replay is operator-visible

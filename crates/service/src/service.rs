@@ -189,6 +189,7 @@ fn check_refinement(
 fn stats(monitor: &ReferenceMonitor) -> ServiceStats {
     let snapshot = monitor.read_snapshot();
     let (analyses_run, analyses_indefinite) = monitor.analysis_counts();
+    let (lints_run, lint_findings) = monitor.lint_counts();
     ServiceStats {
         epoch: snapshot.epoch,
         users: snapshot.universe().user_count(),
@@ -199,6 +200,8 @@ fn stats(monitor: &ReferenceMonitor) -> ServiceStats {
         forced_deactivations: monitor.session_revocations_total(),
         analyses_run,
         analyses_indefinite,
+        lints_run,
+        lint_findings,
         recovery: monitor.recovery_report(),
     }
 }

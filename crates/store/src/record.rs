@@ -48,8 +48,11 @@ pub fn read_record(r: &mut impl Read) -> io::Result<RecordRead> {
         }
         ReadStatus::Full => {}
     }
-    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
-    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let mut word = [0u8; 4];
+    word.copy_from_slice(&header[0..4]);
+    let len = u32::from_le_bytes(word);
+    word.copy_from_slice(&header[4..8]);
+    let crc = u32::from_le_bytes(word);
     if len > MAX_RECORD_LEN {
         return Ok(RecordRead::Corrupt {
             reason: "length exceeds maximum",

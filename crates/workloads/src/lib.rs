@@ -28,9 +28,10 @@ pub use hierarchy::{
 };
 pub use queues::{generate_queue, QueueSpec};
 pub use scenarios::{
-    churn, deep_delegation, grow_only, multi_tenant_churn, tenant_seed, wide_universe_trickle,
-    write_storm, ChurnReader, ChurnSpec, ChurnWorkload, DelegationSpec, DelegationWorkload,
-    GrowOnlySpec, GrowOnlyWorkload, MultiTenantSpec, MultiTenantWorkload, TenantWorkload,
-    TrickleSpec, TrickleWorkload, WriteStormSpec, WriteStormWorkload,
+    churn, cone, deep_delegation, grow_only, multi_tenant_churn, seeded_defects, tenant_seed,
+    wide_universe_trickle, write_storm, ChurnReader, ChurnSpec, ChurnWorkload, ConeSpec,
+    ConeWorkload, DelegationSpec, DelegationWorkload, GrowOnlySpec, GrowOnlyWorkload,
+    MultiTenantSpec, MultiTenantWorkload, SeededDefectsWorkload, TenantWorkload, TrickleSpec,
+    TrickleWorkload, WriteStormSpec, WriteStormWorkload,
 };
 pub use templates::{example6, hospital_fig1, hospital_fig2, hospital_with_nested_delegation};

@@ -215,6 +215,190 @@ pub fn grow_only(spec: GrowOnlySpec) -> GrowOnlyWorkload {
     }
 }
 
+/// Shape of a [`cone`] scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct ConeSpec {
+    /// Independent delegation departments (only department 0 reaches
+    /// the goal permission).
+    pub departments: usize,
+    /// Delegation stages per department (witness length to the goal).
+    pub depth: usize,
+    /// Workers each stage may delegate to.
+    pub fanout: usize,
+}
+
+impl Default for ConeSpec {
+    fn default() -> Self {
+        ConeSpec {
+            departments: 6,
+            depth: 3,
+            fanout: 2,
+        }
+    }
+}
+
+/// A generated cone workload.
+#[derive(Debug)]
+pub struct ConeWorkload {
+    /// The universe.
+    pub universe: Universe,
+    /// The policy.
+    pub policy: Policy,
+    /// The administrator seeded into the `admins` role.
+    pub admin: UserId,
+    /// Per-department delegation stages, entry stage first.
+    pub departments: Vec<Vec<RoleId>>,
+    /// The delegatable workers (shared across departments).
+    pub workers: Vec<UserId>,
+    /// The permission held only by department 0's last stage.
+    pub goal_perm: Perm,
+}
+
+/// Builds the **cone** workload: `departments` structurally identical
+/// delegation chains (each shaped like [`deep_delegation`]) sharing one
+/// administrator and worker pool, where only department 0's last stage
+/// holds the goal permission.
+///
+/// The goal's cone of influence is exactly department 0's chain —
+/// `1/departments` of the command alphabet — so this is the canonical
+/// fixture for goal-directed alphabet slicing
+/// (`adminref_core::lint::slice_alphabet`): the unsliced bounded search
+/// explores grant combinations across every department, the sliced one
+/// only department 0's. With the default shape the sliced search visits
+/// orders of magnitude fewer states for the same (identical) answer.
+pub fn cone(spec: ConeSpec) -> ConeWorkload {
+    assert!(spec.departments >= 1, "need at least one department");
+    assert!(spec.depth >= 1, "need at least one stage");
+    assert!(spec.fanout >= 1, "need at least one worker");
+    let mut universe = Universe::new();
+    let admin = universe.user("admin0");
+    let admins = universe.role("admins");
+    let departments: Vec<Vec<RoleId>> = (0..spec.departments)
+        .map(|d| {
+            (0..spec.depth)
+                .map(|i| universe.role(&format!("dept{d}_stage{i}")))
+                .collect()
+        })
+        .collect();
+    let workers: Vec<UserId> = (0..spec.fanout)
+        .map(|j| universe.user(&format!("worker{j}")))
+        .collect();
+    let mut policy = Policy::new(&universe);
+    policy.add_edge(Edge::UserRole(admin, admins));
+    for stages in &departments {
+        for &w in &workers {
+            let p = universe.grant_user_role(w, stages[0]);
+            policy.add_edge(Edge::RolePriv(admins, p));
+        }
+        for i in 0..spec.depth - 1 {
+            for &w in &workers {
+                let p = universe.grant_user_role(w, stages[i + 1]);
+                policy.add_edge(Edge::RolePriv(stages[i], p));
+            }
+        }
+    }
+    let goal_perm = universe.perm("open", "vault");
+    let goal = universe.priv_perm(goal_perm);
+    policy.add_edge(Edge::RolePriv(departments[0][spec.depth - 1], goal));
+    ConeWorkload {
+        universe,
+        policy,
+        admin,
+        departments,
+        workers,
+        goal_perm,
+    }
+}
+
+/// A generated lint-bait workload: see [`seeded_defects`].
+#[derive(Debug)]
+pub struct SeededDefectsWorkload {
+    /// The universe.
+    pub universe: Universe,
+    /// The policy, seeded with one instance of each defect class.
+    pub policy: Policy,
+    /// The separation-of-duty pair a user violates via a grantable edge.
+    pub sod_pair: (RoleId, RoleId),
+}
+
+/// Builds a policy with one deliberate instance of every lint defect
+/// class (`adminref_core::lint`):
+///
+/// * a **dead grant** — `hr` re-grants an edge already in the root that
+///   nothing can remove;
+/// * a **dead revoke** — `hr` revokes an edge that is never present
+///   (also a *dead non-monotone island*);
+/// * an **unauthorizable** nested rule — a grant reachable only through
+///   a revoke term, which the may-add closure never assigns;
+/// * a **shadowed grant** — `sec` can strip `hr`'s working grant rule;
+/// * a **redundant grant** — `senior` directly holds a permission it
+///   already inherits from `junior`;
+/// * a **separation-of-duty conflict** — `admins` can place a payment
+///   clerk into the audit role ([`SeededDefectsWorkload::sod_pair`]).
+///
+/// The linted report over this policy must flag all six classes; clean
+/// scenarios ([`grow_only`], [`deep_delegation`], [`cone`]) must stay
+/// finding-free. Both directions are CI-gated.
+pub fn seeded_defects() -> SeededDefectsWorkload {
+    let mut universe = Universe::new();
+    let admin = universe.user("admin0");
+    let admins = universe.role("admins");
+    let hr = universe.role("hr");
+    let sec = universe.role("sec");
+    let jane = universe.user("jane");
+    let mike = universe.user("mike");
+    let bob = universe.user("bob");
+    let staff = universe.role("staff");
+    let temps = universe.role("temps");
+    let aud = universe.role("aud");
+    let senior = universe.role("senior");
+    let junior = universe.role("junior");
+    let pay = universe.role("pay");
+    let audit = universe.role("audit");
+    let clerk = universe.user("clerk");
+
+    let mut policy = Policy::new(&universe);
+    policy.add_edge(Edge::UserRole(admin, admins));
+    policy.add_edge(Edge::UserRole(jane, hr));
+    policy.add_edge(Edge::UserRole(mike, sec));
+    policy.add_edge(Edge::UserRole(bob, staff));
+
+    // Dead grant: (bob, staff) is a root edge and nothing revokes it.
+    let dead_grant = universe.grant_user_role(bob, staff);
+    policy.add_edge(Edge::RolePriv(hr, dead_grant));
+    // Dead revoke (and dead island): (bob, temps) is never present.
+    let dead_revoke = universe.revoke_user_role(bob, temps);
+    policy.add_edge(Edge::RolePriv(hr, dead_revoke));
+    // Unauthorizable nested rule: the inner grant sits inside a revoke
+    // term, so no reachable policy ever assigns it.
+    let nested = universe.grant_user_role(bob, aud);
+    let outer = universe.priv_revoke(Edge::RolePriv(aud, nested));
+    policy.add_edge(Edge::RolePriv(hr, outer));
+    // Shadowed grant: hr's working grant rule, strippable by sec.
+    let working = universe.grant_user_role(jane, temps);
+    policy.add_edge(Edge::RolePriv(hr, working));
+    let strip = universe.priv_revoke(Edge::RolePriv(hr, working));
+    policy.add_edge(Edge::RolePriv(sec, strip));
+    // Redundant grant: senior inherits (read, logs) from junior yet
+    // also holds it directly.
+    policy.add_edge(Edge::RoleRole(senior, junior));
+    let read_logs = universe.perm("read", "logs");
+    let read_logs_priv = universe.priv_perm(read_logs);
+    policy.add_edge(Edge::RolePriv(junior, read_logs_priv));
+    policy.add_edge(Edge::RolePriv(senior, read_logs_priv));
+    // SoD conflict: the clerk is in pay, and admins can add them to
+    // audit.
+    policy.add_edge(Edge::UserRole(clerk, pay));
+    let cross = universe.grant_user_role(clerk, audit);
+    policy.add_edge(Edge::RolePriv(admins, cross));
+
+    SeededDefectsWorkload {
+        universe,
+        policy,
+        sod_pair: (pay, audit),
+    }
+}
+
 /// Shape of a [`churn`] scenario.
 #[derive(Clone, Copy, Debug)]
 pub struct ChurnSpec {
@@ -765,7 +949,13 @@ mod tests {
             &w.policy,
             Entity::User(member),
             w.absent_perm,
-            SafetyConfig::default(),
+            SafetyConfig {
+                // The derivation-length assertion below is about the
+                // *full* saturated closure; slicing would empty the
+                // alphabet for the absent goal first.
+                slice: false,
+                ..SafetyConfig::default()
+            },
         );
         assert!(report.monotone);
         assert_eq!(report.engine, EngineUsed::Saturation);
@@ -830,6 +1020,10 @@ mod tests {
         let tight = SafetyConfig {
             max_steps: 6,
             max_states: 8,
+            // Sliced, the absent goal's empty cone refutes without ever
+            // searching; this test is about cap-hit truncation, so keep
+            // the full alphabet.
+            slice: false,
             ..SafetyConfig::default()
         };
         let answer = perm_reachable(
@@ -958,6 +1152,97 @@ mod tests {
         // Per-tenant seeds differ, so tenants are genuinely distinct
         // workloads, not copies.
         assert_ne!(a.tenants[0].workload.batches, a.tenants[1].workload.batches);
+    }
+
+    #[test]
+    fn cone_slicing_prunes_to_one_department_with_the_same_answer() {
+        use adminref_core::lint::slice_alphabet;
+        use adminref_core::safety::prepare_alphabet;
+        let mut w = cone(ConeSpec::default());
+        let worker = w.workers[0];
+        let config = SafetyConfig {
+            max_steps: 3,
+            max_states: 200_000,
+            ..SafetyConfig::default()
+        };
+        let target = w.universe.priv_perm(w.goal_perm);
+        let alphabet = prepare_alphabet(&mut w.universe, &w.policy, config);
+        let outcome = slice_alphabet(
+            &w.universe,
+            &w.policy,
+            &alphabet,
+            Entity::User(worker),
+            target,
+            config.auth_mode,
+        );
+        // The goal's cone is department 0's chain: at most half (here a
+        // sixth) of the alphabet survives.
+        assert!(
+            outcome.after * 2 <= outcome.before,
+            "{} -> {}",
+            outcome.before,
+            outcome.after
+        );
+        // Same answer, same witness length, sliced or not.
+        for slice in [true, false] {
+            let answer = perm_reachable(
+                &mut w.universe,
+                &w.policy,
+                Entity::User(worker),
+                w.goal_perm,
+                SafetyConfig { slice, ..config },
+            );
+            let ReachabilityAnswer::Reachable { witness } = answer else {
+                panic!("slice={slice}: expected reachable");
+            };
+            assert_eq!(witness.len(), 3, "slice={slice}");
+        }
+    }
+
+    #[test]
+    fn seeded_defects_flags_every_class_and_clean_scenarios_stay_clean() {
+        use adminref_core::lint::{lint_policy, FindingKind, LintConfig};
+        let w = seeded_defects();
+        let report = lint_policy(
+            &w.universe,
+            &w.policy,
+            &LintConfig {
+                sod_pairs: vec![w.sod_pair],
+                ..LintConfig::default()
+            },
+        );
+        for kind in [
+            FindingKind::DeadCommand,
+            FindingKind::Unauthorizable,
+            FindingKind::RedundantGrant,
+            FindingKind::ShadowedGrant,
+            FindingKind::NonMonotoneIsland,
+            FindingKind::SodConflict,
+        ] {
+            assert!(
+                report.findings.iter().any(|f| f.kind == kind),
+                "missing {kind:?}: {:?}",
+                report.findings
+            );
+        }
+        // Clean scenarios produce zero findings.
+        for (universe, policy) in [
+            {
+                let w = grow_only(GrowOnlySpec::default());
+                (w.universe, w.policy)
+            },
+            {
+                let w = deep_delegation(DelegationSpec::default());
+                (w.universe, w.policy)
+            },
+            {
+                let w = cone(ConeSpec::default());
+                (w.universe, w.policy)
+            },
+        ] {
+            let report = lint_policy(&universe, &policy, &LintConfig::default());
+            assert!(report.findings.is_empty(), "{:?}", report.findings);
+        }
     }
 
     #[test]
