@@ -20,24 +20,42 @@
 //!   one in-flight batch drained by a leader, paying those costs once
 //!   per drain.
 //!
-//! A third cell (`router`, not gated) fans one writer per tenant out
+//! Two more cells repeat the same comparison **over the wire**: a
+//! [`Daemon`] serves each server on a local socket (Unix where
+//! available), and all writer threads share one pipelined
+//! [`WireClient`], so concurrent in-flight requests land in the
+//! daemon's per-connection worker pool and — on the `wire-group` path —
+//! coalesce in the group-commit combiner exactly as local submitters
+//! do. `wire-percall` serializes on the monitor's writer mutex instead.
+//! The pair isolates whether group commit survives the transport: the
+//! socket adds identical framing/syscall overhead to both sides of the
+//! ratio.
+//!
+//! A further cell (`router`, not gated) fans one writer per tenant out
 //! over a [`ServiceRouter`] hosting independent **in-memory**
 //! per-tenant monitors — aggregate multi-policy publication throughput,
 //! not comparable to the durable percall/group cells.
 //!
-//! With `--baseline FILE` the run is gated twice: the group/percall
-//! speedup at each floored writer count must meet
+//! With `--baseline FILE` the run is gated three ways: the
+//! group/percall speedup at each floored writer count must meet
 //! `floors_service_group_speedup` (the acceptance bar — ≥2x at 4
-//! writers), and the group path's absolute write throughput must stay
-//! within 2x of `floors_service_write_cmds_per_sec` (conservative
-//! floors that catch architecture regressions, not runner noise).
+//! writers), the wire-group/wire-percall speedup must meet
+//! `floors_wire_group_speedup` (≥2x at 4 writers — group commit must
+//! hold up over the socket), and the group path's absolute write
+//! throughput must stay within 2x of
+//! `floors_service_write_cmds_per_sec` (conservative floors that catch
+//! architecture regressions, not runner noise).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adminref_core::command::Command;
+use adminref_core::universe::Universe;
 use adminref_monitor::{MonitorConfig, ReferenceMonitor};
-use adminref_service::{MonitorService, PolicyService, RouterConfig, ServiceRouter};
+use adminref_service::{
+    Daemon, MonitorService, PolicyService, RouterConfig, ServiceRouter, WireClient, WireListener,
+};
 use adminref_store::{PolicyStore, TempDir};
 use adminref_workloads::{tenant_seed, write_storm, WriteStormSpec, WriteStormWorkload};
 
@@ -144,7 +162,7 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
     });
     let scratch = TempDir::new("bench-service").map_err(|e| format!("bench scratch dir: {e}"))?;
     let mut cells: Vec<Cell> = Vec::new();
-    for path in ["percall", "group"] {
+    for path in ["percall", "group", "wire-percall", "wire-group"] {
         for &writers in &opts.writers {
             let streams = &w.streams[..writers];
             // A fresh **durable** monitor per cell (so earlier cells'
@@ -164,16 +182,40 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
             .map_err(|e| format!("bench store: {e}"))?;
             let monitor = ReferenceMonitor::with_store(store, MonitorConfig::default());
             let group_server;
+            let wire;
             let service: &dyn PolicyService = match path {
                 "percall" => &monitor,
-                _ => {
+                "group" => {
                     group_server = MonitorService::new(monitor);
                     &group_server
                 }
+                // The wire cells serve the same two servers through a
+                // daemon on a local socket; all writer threads share ONE
+                // pipelined client, so their in-flight requests fill the
+                // daemon's per-connection worker pool and feed the
+                // combiner concurrently.
+                _ => {
+                    let served: Arc<dyn PolicyService> = if path == "wire-percall" {
+                        Arc::new(monitor)
+                    } else {
+                        Arc::new(
+                            MonitorService::new(monitor)
+                                .with_write_gather(std::time::Duration::from_micros(50)),
+                        )
+                    };
+                    wire = spawn_wire(served, w.universe.clone(), &scratch, path, writers)?;
+                    &wire.1
+                }
             };
             measure(service, streams, opts.secs.min(0.05));
-            let rate = measure(service, streams, opts.secs);
-            eprintln!("bench-service: {path:>7} writers={writers:<2} {rate:>10.0} write-cmds/s");
+            // Best of two runs, like the slice gate's min-of-2 timing:
+            // the gated values are ratios of two cells measured seconds
+            // apart, so a scheduler hiccup inside either cell shows up
+            // as a phantom (de)regression. The max is the cell's real
+            // capability; the hiccup is not.
+            let rate =
+                measure(service, streams, opts.secs).max(measure(service, streams, opts.secs));
+            eprintln!("bench-service: {path:>12} writers={writers:<2} {rate:>10.0} write-cmds/s");
             cells.push(Cell {
                 path,
                 writers,
@@ -184,7 +226,7 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
     if opts.tenants > 0 {
         let rate = measure_router(opts);
         eprintln!(
-            "bench-service: {:>7} writers={:<2} {rate:>10.0} write-cmds/s ({} tenants)",
+            "bench-service: {:>12} writers={:<2} {rate:>10.0} write-cmds/s ({} tenants)",
             "router", opts.tenants, opts.tenants
         );
         cells.push(Cell {
@@ -205,6 +247,44 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
         eprintln!("bench-service: perf-smoke gate passed");
     }
     Ok(())
+}
+
+/// Serves `service` through a [`Daemon`] on a fresh local socket (Unix
+/// domain where available, TCP loopback otherwise) and connects one
+/// [`WireClient`] to it. Returned as a pair so the daemon outlives the
+/// client for the whole cell and both tear down when the cell ends.
+fn spawn_wire(
+    service: Arc<dyn PolicyService>,
+    universe: Universe,
+    scratch: &TempDir,
+    path: &str,
+    writers: usize,
+) -> Result<(Daemon, WireClient), String> {
+    #[cfg(unix)]
+    {
+        let sock = scratch.path().join(format!("{path}-{writers}.sock"));
+        let listener =
+            WireListener::unix(&sock).map_err(|e| format!("bench wire listener: {e}"))?;
+        let daemon = Daemon::spawn(service, universe, listener)
+            .map_err(|e| format!("bench wire daemon: {e}"))?;
+        let client =
+            WireClient::connect_unix(&sock).map_err(|e| format!("bench wire client: {e}"))?;
+        Ok((daemon, client))
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (scratch, path, writers);
+        let listener =
+            WireListener::tcp("127.0.0.1:0").map_err(|e| format!("bench wire listener: {e}"))?;
+        let daemon = Daemon::spawn(service, universe, listener)
+            .map_err(|e| format!("bench wire daemon: {e}"))?;
+        let addr = daemon
+            .local_addr()
+            .ok_or_else(|| "bench wire daemon has no local addr".to_string())?;
+        let client =
+            WireClient::connect_tcp(addr).map_err(|e| format!("bench wire client: {e}"))?;
+        Ok((daemon, client))
+    }
 }
 
 /// One single-writer tenant per thread over a shared router: each
@@ -249,18 +329,34 @@ fn measure_router(opts: &BenchOptions) -> f64 {
     measure_workers(&workers, opts.secs)
 }
 
-fn speedup(cells: &[Cell], writers: usize) -> Option<f64> {
+/// group-path / percall-path throughput ratio at one writer count; the
+/// local cells pass (`"group"`, `"percall"`), the socket cells
+/// (`"wire-group"`, `"wire-percall"`).
+fn speedup_between(
+    cells: &[Cell],
+    group_path: &str,
+    percall_path: &str,
+    writers: usize,
+) -> Option<f64> {
     let percall = cells
         .iter()
-        .find(|c| c.path == "percall" && c.writers == writers)?;
+        .find(|c| c.path == percall_path && c.writers == writers)?;
     let group = cells
         .iter()
-        .find(|c| c.path == "group" && c.writers == writers)?;
+        .find(|c| c.path == group_path && c.writers == writers)?;
     if percall.write_cmds_per_sec > 0.0 {
         Some(group.write_cmds_per_sec / percall.write_cmds_per_sec)
     } else {
         None
     }
+}
+
+fn speedup(cells: &[Cell], writers: usize) -> Option<f64> {
+    speedup_between(cells, "group", "percall", writers)
+}
+
+fn wire_speedup(cells: &[Cell], writers: usize) -> Option<f64> {
+    speedup_between(cells, "wire-group", "wire-percall", writers)
 }
 
 fn writer_counts(cells: &[Cell]) -> Vec<usize> {
@@ -275,16 +371,19 @@ fn writer_counts(cells: &[Cell]) -> Vec<usize> {
 }
 
 fn render_table(cells: &[Cell]) {
-    println!("{:<8} {:>8} {:>16}", "path", "writers", "write-cmds/s");
+    println!("{:<12} {:>8} {:>16}", "path", "writers", "write-cmds/s");
     for c in cells {
         println!(
-            "{:<8} {:>8} {:>16.0}",
+            "{:<12} {:>8} {:>16.0}",
             c.path, c.writers, c.write_cmds_per_sec
         );
     }
     for writers in writer_counts(cells) {
         if let Some(s) = speedup(cells, writers) {
             println!("group/percall write speedup at {writers} writers: {s:.1}x");
+        }
+        if let Some(s) = wire_speedup(cells, writers) {
+            println!("wire-group/wire-percall write speedup at {writers} writers: {s:.1}x");
         }
     }
 }
@@ -312,12 +411,20 @@ fn render_json(opts: &BenchOptions, cells: &[Cell]) -> String {
         .filter_map(|&n| speedup(cells, n).map(|s| format!("\"{n}\": {s:.2}")))
         .collect();
     out.push_str(&entries.join(", "));
+    out.push_str("},\n");
+    out.push_str("  \"wire_group_speedup\": {");
+    let entries: Vec<String> = writer_counts(cells)
+        .iter()
+        .filter_map(|&n| wire_speedup(cells, n).map(|s| format!("\"{n}\": {s:.2}")))
+        .collect();
+    out.push_str(&entries.join(", "));
     out.push_str("}\n}");
     out
 }
 
-/// Gates the run: group/percall speedup against
-/// `floors_service_group_speedup` (direct ≥), and the group path's
+/// Gates the run: group/percall and wire-group/wire-percall speedups
+/// against `floors_service_group_speedup` /
+/// `floors_wire_group_speedup` (direct ≥), and the group path's
 /// absolute throughput against `floors_service_write_cmds_per_sec`
 /// (fails only >2x below the floor, like `bench-monitor`).
 fn gate(cells: &[Cell], baseline: &str) -> Result<(), String> {
@@ -330,6 +437,17 @@ fn gate(cells: &[Cell], baseline: &str) -> Result<(), String> {
             violations.push(format!(
                 "group-commit write speedup at {writers} writers: {measured:.2}x is below \
                  the {min_speedup:.1}x floor"
+            ));
+        }
+    }
+    for (writers, min_speedup) in parse_floor_map(baseline, "floors_wire_group_speedup")? {
+        let Some(measured) = wire_speedup(cells, writers) else {
+            continue;
+        };
+        if measured < min_speedup {
+            violations.push(format!(
+                "over-the-wire group-commit write speedup at {writers} writers: {measured:.2}x \
+                 is below the {min_speedup:.1}x floor"
             ));
         }
     }
@@ -376,11 +494,15 @@ mod tests {
         let cells = vec![
             cell("percall", 4, 10_000.0),
             cell("group", 4, 45_000.0),
+            cell("wire-percall", 4, 5_000.0),
+            cell("wire-group", 4, 20_000.0),
             cell("router", 4, 40_000.0),
         ];
         assert_eq!(speedup(&cells, 4), Some(4.5));
+        assert_eq!(wire_speedup(&cells, 4), Some(4.0));
         let baseline = r#"{
           "floors_service_group_speedup": { "4": 2.0 },
+          "floors_wire_group_speedup": { "4": 2.0 },
           "floors_service_write_cmds_per_sec": { "4": 20000 }
         }"#;
         assert!(gate(&cells, baseline).is_ok());
@@ -388,6 +510,15 @@ mod tests {
         let slow = vec![cell("percall", 4, 10_000.0), cell("group", 4, 15_000.0)];
         let err = gate(&slow, baseline).unwrap_err();
         assert!(err.contains("speedup"), "{err}");
+        // …the wire pair is gated the same way…
+        let wire_slow = vec![
+            cell("percall", 4, 10_000.0),
+            cell("group", 4, 45_000.0),
+            cell("wire-percall", 4, 10_000.0),
+            cell("wire-group", 4, 15_000.0),
+        ];
+        let err = gate(&wire_slow, baseline).unwrap_err();
+        assert!(err.contains("over-the-wire"), "{err}");
         // …and absolute throughput only trips >2x below its floor.
         let low = vec![cell("percall", 4, 100.0), cell("group", 4, 9_000.0)];
         let err = gate(&low, baseline).unwrap_err();

@@ -22,6 +22,10 @@
 //!                   [--roles N] [--trickle-roles N] [--baseline BENCH_BASELINE.json]
 //! adminref bench-service [--quick] [--json] [--writers 1,2,4] [--secs S]
 //!                   [--roles N] [--tenants T] [--baseline BENCH_BASELINE.json]
+//! adminref serve    <store-dir> (--listen HOST:PORT | --unix PATH)
+//!                   [--init policy.rbac] [--ordered] [--stop-file PATH] [--workers N]
+//! adminref client   (<host:port> | --unix PATH) <verb> ...
+//!                   verbs: check | reach | lint | submit | compact | stats | version
 //! ```
 //!
 //! `refines` is scriptable: it prints the violation count and the first
@@ -42,7 +46,11 @@
 //! measures multi-writer group-commit throughput against per-call
 //! writer locking; `bench-monitor` additionally measures incremental
 //! vs full-rebuild publish latency on the wide-universe trickle
-//! workload.
+//! workload. `serve` runs the `adminrefd` network daemon over a
+//! durable store (TCP or Unix socket, wire protocol in
+//! `specs/wire_protocol.md`), and `client` drives a running daemon
+//! with remote twins of the local verbs — see [`remote`] for the
+//! name-resolution model.
 //!
 //! Policies use the `adminref-lang` syntax; privileges on the command
 //! line use the same expression syntax, quoted.
@@ -51,6 +59,7 @@
 
 mod bench_monitor;
 mod bench_service;
+mod remote;
 
 use std::process::ExitCode;
 
@@ -103,7 +112,16 @@ const USAGE: &str = "usage:
   adminref bench-monitor [--quick] [--json] [--readers 1,4,16] [--secs S]
                     [--roles N] [--trickle-roles N] [--baseline BENCH_BASELINE.json]
   adminref bench-service [--quick] [--json] [--writers 1,2,4] [--secs S]
-                    [--roles N] [--tenants T] [--baseline BENCH_BASELINE.json]";
+                    [--roles N] [--tenants T] [--baseline BENCH_BASELINE.json]
+  adminref serve    <store-dir> (--listen HOST:PORT | --unix PATH)
+                    [--init policy.rbac] [--ordered] [--stop-file PATH] [--workers N]
+  adminref client   (<host:port> | --unix PATH) <verb> ...
+                    check  <policy.rbac> <user> <action> <object> --roles r1[,r2...]
+                    reach  <policy.rbac> <user> <action> <object> [--steps N]
+                           [--max-states N] [--jobs N] [--no-escalate] [--no-slice]
+                    lint   <policy.rbac> [--json] [--deny note|warning|error] [--sod ...]
+                    submit <policy.rbac> <queue.rbacq>
+                    compact | stats | version";
 
 /// Dispatches to a subcommand. `Ok(code)` is a completed run (possibly
 /// a scriptable nonzero exit, e.g. `refines` on a failed refinement or
@@ -128,6 +146,8 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "verify" => cmd_verify(&rest),
         "bench-monitor" => cmd_bench_monitor(&rest),
         "bench-service" | "serve-bench" => cmd_bench_service(&rest),
+        "serve" => remote::cmd_serve(&rest),
+        "client" => remote::cmd_client(&rest),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }

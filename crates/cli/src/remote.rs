@@ -1,0 +1,431 @@
+//! The networked CLI surface: `adminref serve` runs `adminrefd` over a
+//! durable store; `adminref client` drives a running daemon through
+//! [`WireClient`], reusing the same verbs (`check`, `reach`, `lint`,
+//! `compact`, `stats`, `version`, `submit`) that exist locally.
+//!
+//! Name resolution on the client side is deliberately store-free: the
+//! client loads the *same* `.rbac` policy source the serving store was
+//! initialized from, and deterministic interning guarantees the ids it
+//! derives match the server's. The server still bounds-checks every id
+//! at the wire boundary, so a mismatched policy file produces a typed
+//! transport error, not a panic.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use adminref_core::ids::Entity;
+use adminref_core::lint::Severity;
+use adminref_core::ordering::OrderingMode;
+use adminref_core::safety::{ReachabilityAnswer, SafetyConfig};
+use adminref_core::transition::AuthMode;
+use adminref_lang::{load_queue, print_command};
+use adminref_monitor::{MonitorConfig, ReferenceMonitor};
+use adminref_service::daemon::{Daemon, DaemonConfig, WireListener};
+use adminref_service::{MonitorService, PolicyService, WireClient};
+use adminref_store::PolicyStore;
+
+use crate::{flag, flag_value, parse_sod_pairs, read_policy};
+
+/// Flags that consume the following argument; their values must not be
+/// mistaken for positionals when a caller interleaves them.
+const VALUE_FLAGS: &[&str] = &[
+    "--listen",
+    "--unix",
+    "--init",
+    "--stop-file",
+    "--workers",
+    "--sod",
+    "--deny",
+    "--steps",
+    "--max-states",
+    "--jobs",
+    "--roles",
+    "--witnesses",
+];
+
+/// Positional arguments with the values of [`VALUE_FLAGS`] stripped, so
+/// `client --unix /tmp/a.sock check …` parses the same as
+/// `client check … --unix /tmp/a.sock`.
+fn positionals<'a>(rest: &'a [&String]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for arg in rest {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            skip = true;
+            continue;
+        }
+        if !arg.starts_with("--") {
+            out.push(arg.as_str());
+        }
+    }
+    out
+}
+
+fn positional<'a>(pos: &[&'a str], n: usize, what: &str) -> Result<&'a str, String> {
+    pos.get(n).copied().ok_or_else(|| format!("missing {what}"))
+}
+
+fn auth_mode(rest: &[&String]) -> AuthMode {
+    if flag(rest, "--ordered") {
+        AuthMode::Ordered(OrderingMode::Extended)
+    } else {
+        AuthMode::Explicit
+    }
+}
+
+// ----- adminref serve --------------------------------------------------
+
+/// `adminref serve <store-dir> (--listen HOST:PORT | --unix PATH)
+/// [--init policy.rbac] [--ordered] [--stop-file PATH] [--workers N]`
+///
+/// Serves a durable store over the wire protocol until the stop file
+/// appears (or forever without one — the process is then stopped
+/// externally; the WAL makes hard kills safe, at the cost of dropping
+/// in-memory sessions).
+pub fn cmd_serve(rest: &[&String]) -> Result<ExitCode, String> {
+    let pos = positionals(rest);
+    let dir = positional(&pos, 0, "store directory")?;
+    let mode = auth_mode(rest);
+
+    let (store, recovery) = if let Some(policy_path) = flag_value(rest, "--init") {
+        let (uni, policy) = read_policy(&policy_path)?;
+        let store = PolicyStore::create(Path::new(dir), uni, policy, mode)
+            .map_err(|e| format!("creating store in {dir}: {e}"))?;
+        println!("initialized {dir} from {policy_path}");
+        (store, None)
+    } else {
+        let (store, report) =
+            PolicyStore::open(Path::new(dir), mode).map_err(|e| format!("opening {dir}: {e}"))?;
+        println!(
+            "opened {dir}: replayed {} entr{}{}",
+            report.replayed,
+            if report.replayed == 1 { "y" } else { "ies" },
+            if report.truncated_tail {
+                ", truncated a torn tail"
+            } else {
+                ""
+            },
+        );
+        if report.divergent > 0 {
+            return Err(format!(
+                "{} divergent entr{}: the log and snapshot are from different histories; \
+                 refusing to serve (rerun with the auth mode the log was written under)",
+                report.divergent,
+                if report.divergent == 1 { "y" } else { "ies" }
+            ));
+        }
+        (store, Some(report))
+    };
+
+    // The serving universe doubles as the wire-decode context.
+    let universe = store.universe().clone();
+    // Thread the recovery report through so remote `client stats`
+    // surfaces what replay found, same as the local monitor would.
+    let monitor = ReferenceMonitor::with_store_recovered(store, recovery, MonitorConfig::default());
+    // Network serving: a small write-gather window lets one pipelined
+    // round-trip's submissions coalesce into one group-commit batch.
+    let service: Arc<dyn PolicyService> = Arc::new(
+        MonitorService::new(monitor).with_write_gather(std::time::Duration::from_micros(50)),
+    );
+
+    let listen = flag_value(rest, "--listen");
+    let unix = flag_value(rest, "--unix");
+    let listener = match (&listen, &unix) {
+        (Some(addr), None) => {
+            WireListener::tcp(addr.as_str()).map_err(|e| format!("binding {addr}: {e}"))?
+        }
+        (None, Some(path)) => {
+            WireListener::unix(path).map_err(|e| format!("binding {path}: {e}"))?
+        }
+        _ => return Err("serve needs exactly one of --listen HOST:PORT or --unix PATH".into()),
+    };
+
+    let mut config = DaemonConfig::default();
+    if let Some(w) = flag_value(rest, "--workers") {
+        config.workers_per_connection = w
+            .parse::<usize>()
+            .map_err(|e| format!("--workers: {e}"))?
+            .max(1);
+    }
+
+    let daemon = Daemon::spawn_with(service, universe, listener, config)
+        .map_err(|e| format!("starting daemon: {e}"))?;
+    match (daemon.local_addr(), &unix) {
+        (Some(addr), _) => println!("serving {dir} on tcp {addr}"),
+        (None, Some(path)) => println!("serving {dir} on unix {path}"),
+        (None, None) => println!("serving {dir}"),
+    }
+
+    // std cannot catch signals without unsafe; a stop file gives
+    // scripts (and the CI smoke lane) a portable graceful shutdown.
+    let stop_file = flag_value(rest, "--stop-file");
+    match stop_file {
+        Some(stop_path) => {
+            println!("stopping when {stop_path} exists");
+            while !Path::new(&stop_path).exists() {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            daemon.shutdown();
+            let _ = std::fs::remove_file(&stop_path);
+            println!("shutdown complete");
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ----- adminref client -------------------------------------------------
+
+/// `adminref client (<host:port> | --unix PATH) <verb> …` — the remote
+/// twins of the local verbs. See the module docs for name resolution.
+pub fn cmd_client(rest: &[&String]) -> Result<ExitCode, String> {
+    let unix = flag_value(rest, "--unix");
+    let pos = positionals(rest);
+    let (client, verb_at) = match &unix {
+        Some(path) => {
+            let client =
+                WireClient::connect_unix(path).map_err(|e| format!("connecting to {path}: {e}"))?;
+            (client, 0)
+        }
+        None => {
+            let addr = positional(&pos, 0, "server address (host:port or --unix PATH)")?;
+            let client =
+                WireClient::connect_tcp(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+            (client, 1)
+        }
+    };
+    let verb = positional(&pos, verb_at, "client verb")?;
+    let args = &pos[verb_at + 1..];
+    match verb {
+        "check" => client_check(&client, rest, args),
+        "reach" => client_reach(&client, rest, args),
+        "lint" => client_lint(&client, rest, args),
+        "submit" => client_submit(&client, args),
+        "compact" => {
+            client.compact().map_err(|e| e.to_string())?;
+            println!("compacted: log folded into snapshot, reopen replays 0 entries");
+            Ok(ExitCode::SUCCESS)
+        }
+        "stats" => client_stats(&client),
+        "version" => {
+            println!("epoch {}", client.version().map_err(|e| e.to_string())?);
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!(
+            "unknown client verb `{other}` (check|reach|lint|submit|compact|stats|version)"
+        )),
+    }
+}
+
+/// `client … check <policy.rbac> <user> <action> <object> --roles r1[,r2…]`
+///
+/// Creates a session, activates the named roles, asks the access
+/// question, and drops the session. Scriptable: granted exits 0,
+/// denied exits 1.
+fn client_check(client: &WireClient, rest: &[&String], args: &[&str]) -> Result<ExitCode, String> {
+    let (mut uni, _policy) = read_policy(positional(args, 0, "policy file")?)?;
+    let user_name = positional(args, 1, "user")?;
+    let user = uni
+        .find_user(user_name)
+        .ok_or_else(|| format!("unknown user `{user_name}`"))?;
+    let action = positional(args, 2, "action")?.to_string();
+    let object = positional(args, 3, "object")?.to_string();
+    let perm = uni.perm(&action, &object);
+    let roles = match flag_value(rest, "--roles") {
+        Some(spec) => spec
+            .split(',')
+            .map(|name| {
+                let name = name.trim();
+                uni.find_role(name)
+                    .ok_or_else(|| format!("--roles: unknown role `{name}`"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        None => return Err("check needs --roles r1[,r2…] to activate".into()),
+    };
+
+    let session = client.create_session(user).map_err(|e| e.to_string())?;
+    for role in &roles {
+        client
+            .activate_role(session, *role)
+            .map_err(|e| format!("activating {}: {e}", uni.role_name(*role)))?;
+    }
+    let granted = client
+        .check_access(session, perm)
+        .map_err(|e| e.to_string())?;
+    let _ = client.drop_session(session);
+    println!(
+        "ACCESS {}: {user_name} with {} role(s) on ({action}, {object})",
+        if granted { "granted" } else { "denied" },
+        roles.len()
+    );
+    Ok(if granted {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `client … reach <policy.rbac> <user> <action> <object> [--steps N]
+/// [--max-states N] [--jobs N] [--no-escalate] [--no-slice]`
+///
+/// The remote twin of `adminref reach`: the server analyzes a snapshot
+/// of its *live* policy (which may have moved past the local file) and
+/// overrides the auth mode with its own.
+fn client_reach(client: &WireClient, rest: &[&String], args: &[&str]) -> Result<ExitCode, String> {
+    let (mut uni, _policy) = read_policy(positional(args, 0, "policy file")?)?;
+    let user_name = positional(args, 1, "user")?;
+    let user = uni
+        .find_user(user_name)
+        .ok_or_else(|| format!("unknown user `{user_name}`"))?;
+    let action = positional(args, 2, "action")?.to_string();
+    let object = positional(args, 3, "object")?.to_string();
+    let perm = uni.perm(&action, &object);
+    let config = SafetyConfig {
+        max_steps: match flag_value(rest, "--steps") {
+            Some(v) => v.parse::<usize>().map_err(|e| format!("--steps: {e}"))?,
+            None => 3,
+        },
+        max_states: match flag_value(rest, "--max-states") {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|e| format!("--max-states: {e}"))?,
+            None => SafetyConfig::default().max_states,
+        },
+        jobs: match flag_value(rest, "--jobs") {
+            Some(v) => v.parse::<usize>().map_err(|e| format!("--jobs: {e}"))?,
+            None => SafetyConfig::default().jobs,
+        },
+        escalate: !flag(rest, "--no-escalate"),
+        slice: !flag(rest, "--no-slice"),
+        ..SafetyConfig::default()
+    };
+    let answer = client
+        .analyze_reach(Entity::User(user), perm, config)
+        .map_err(|e| e.to_string())?;
+    match answer {
+        ReachabilityAnswer::Reachable { witness } => {
+            println!(
+                "REACHABLE in {} step(s): {user_name} can come to hold ({action}, {object})",
+                witness.len()
+            );
+            for cmd in witness.iter() {
+                println!("  {}", print_command(&uni, cmd));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        ReachabilityAnswer::Unreachable => {
+            println!("UNREACHABLE: the whole reachable space was explored");
+            Ok(ExitCode::SUCCESS)
+        }
+        ReachabilityAnswer::Unknown { truncation } => {
+            println!(
+                "UNKNOWN: {} state(s) to depth {}, a bound cut the search off",
+                truncation.states, truncation.depth
+            );
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `client … lint <policy.rbac> [--json] [--deny note|warning|error]
+/// [--sod r1,r2[,…]]` — the remote twin of `adminref lint`, answered
+/// from the server's live policy with the same output and exit-code
+/// contract.
+fn client_lint(client: &WireClient, rest: &[&String], args: &[&str]) -> Result<ExitCode, String> {
+    let path = positional(args, 0, "policy file")?;
+    let (uni, _policy) = read_policy(path)?;
+    let deny = match flag_value(rest, "--deny") {
+        Some(v) => Severity::parse(&v)
+            .ok_or_else(|| format!("--deny: unknown severity `{v}` (note|warning|error)"))?,
+        None => Severity::Error,
+    };
+    let sod_pairs = match flag_value(rest, "--sod") {
+        Some(spec) => parse_sod_pairs(&uni, &spec)?,
+        None => Vec::new(),
+    };
+    let report = client.lint(sod_pairs).map_err(|e| e.to_string())?;
+    if flag(rest, "--json") {
+        println!("{}", report.to_json(&uni, path));
+    } else {
+        println!(
+            "# {path} (served): {} rule site(s), {} edge(s) in the may-add closure",
+            report.rules_checked, report.closure_edges
+        );
+        for f in &report.findings {
+            println!("{}[{}]: {}", f.severity.name(), f.kind.name(), f.message);
+        }
+        println!(
+            "# {} note(s), {} warning(s), {} error(s)",
+            report.count_of(Severity::Note),
+            report.count_of(Severity::Warning),
+            report.count_of(Severity::Error)
+        );
+    }
+    Ok(if report.count_at_or_above(deny) > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// `client … submit <policy.rbac> <queue.rbacq>` — submits the queue as
+/// one atomic batch and prints the per-command outcomes.
+fn client_submit(client: &WireClient, args: &[&str]) -> Result<ExitCode, String> {
+    let (mut uni, _policy) = read_policy(positional(args, 0, "policy file")?)?;
+    let queue_path = positional(args, 1, "queue file")?;
+    let queue_text =
+        std::fs::read_to_string(queue_path).map_err(|e| format!("reading {queue_path}: {e}"))?;
+    let queue = load_queue(&queue_text, &mut uni).map_err(|e| e.to_string())?;
+    let commands = queue.commands().to_vec();
+    let outcomes = client.submit(commands.clone()).map_err(|e| e.to_string())?;
+    for (cmd, out) in commands.iter().zip(&outcomes) {
+        println!(
+            "{:60} {}",
+            print_command(&uni, cmd),
+            if out.executed() {
+                "executed"
+            } else {
+                "refused"
+            }
+        );
+    }
+    let executed = outcomes.iter().filter(|o| o.executed()).count();
+    println!(
+        "# {} executed, {} refused, server epoch {}",
+        executed,
+        outcomes.len() - executed,
+        client.version().map_err(|e| e.to_string())?
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn client_stats(client: &WireClient) -> Result<ExitCode, String> {
+    let s = client.stats().map_err(|e| e.to_string())?;
+    println!("epoch                {}", s.epoch);
+    println!("users                {}", s.users);
+    println!("roles                {}", s.roles);
+    println!("edges                {}", s.edges);
+    println!("sessions             {}", s.sessions);
+    println!("audit retained       {}", s.audit_retained);
+    println!("forced deactivations {}", s.forced_deactivations);
+    println!("analyses run         {}", s.analyses_run);
+    println!("analyses indefinite  {}", s.analyses_indefinite);
+    println!("lints run            {}", s.lints_run);
+    println!("lint findings        {}", s.lint_findings);
+    match s.recovery {
+        None => println!("recovery             (in-memory or fresh store)"),
+        Some(r) => println!(
+            "recovery             replayed {}, torn tail {}, divergent {}",
+            r.replayed, r.truncated_tail, r.divergent
+        ),
+    }
+    Ok(ExitCode::SUCCESS)
+}

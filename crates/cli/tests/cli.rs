@@ -480,6 +480,7 @@ fn bench_service_emits_json_and_gates_against_baseline() {
         &baseline,
         r#"{"schema": 1,
             "floors_service_group_speedup": {"4": 2.0},
+            "floors_wire_group_speedup": {"4": 2.0},
             "floors_service_write_cmds_per_sec": {"1": 1}}"#,
     )
     .unwrap();
@@ -509,7 +510,9 @@ fn bench_service_emits_json_and_gates_against_baseline() {
     assert!(json.contains("\"schema\": 1"), "{json}");
     assert!(json.contains("\"path\": \"percall\""), "{json}");
     assert!(json.contains("\"path\": \"group\""), "{json}");
+    assert!(json.contains("\"path\": \"wire-group\""), "{json}");
     assert!(json.contains("\"group_write_speedup\""), "{json}");
+    assert!(json.contains("\"wire_group_speedup\""), "{json}");
     assert!(
         String::from_utf8_lossy(&out.stderr).contains("perf-smoke gate passed"),
         "{}",
@@ -520,6 +523,7 @@ fn bench_service_emits_json_and_gates_against_baseline() {
         &baseline,
         r#"{"schema": 1,
             "floors_service_group_speedup": {"4": 2.0},
+            "floors_wire_group_speedup": {"4": 2.0},
             "floors_service_write_cmds_per_sec": {"1": 99000000000}}"#,
     )
     .unwrap();

@@ -1,0 +1,646 @@
+//! `adminrefd`: the network daemon serving a [`PolicyService`] over the
+//! [`wire`] protocol on TCP or Unix sockets.
+//!
+//! ## Serving model
+//!
+//! One accept loop, one thread per connection, a small per-connection
+//! worker pool for slow requests:
+//!
+//! * The **reader** thread of a connection decodes frames and answers
+//!   cheap requests inline (access checks, session lifecycle, audit
+//!   reads, version/stats, lint).
+//! * **Slow requests** — `Submit`, `AnalyzeReach`, `CheckRefinement`,
+//!   `Compact` — are handed to the connection's worker pool, so a
+//!   single pipelined connection keeps several submissions in flight at
+//!   once and the [group-commit combiner](crate::group_commit) can
+//!   coalesce them into one batch. `Submit` frames that arrive
+//!   back-to-back (one burst of buffered input) are dispatched as one
+//!   unit and enter the combiner together via
+//!   [`PolicyService::call_many`] — without this, a round-trip
+//!   transport trickles them in one worker wake-up at a time and the
+//!   leader drains needlessly small groups. Responses are written as
+//!   they complete, matched by request id, possibly out of order.
+//! * **Per-connection sessions**: sessions created over a connection
+//!   are dropped when it closes, so a crashed client cannot leak live
+//!   sessions into the monitor.
+//!
+//! ## Failure semantics
+//!
+//! A frame-synchronized failure (undecodable payload, out-of-range id,
+//! wrong frame kind) is answered with an error frame carrying
+//! [`ServiceError::Transport`] and the connection continues. A framing
+//! failure (bad magic, unsupported version, oversized or truncated
+//! frame) means the stream position is untrustworthy: the daemon sends
+//! a best-effort error frame with request id `0`, then closes the
+//! connection.
+//!
+//! ## Shutdown
+//!
+//! [`Daemon::shutdown`] (also run on drop) stops the accept loop, waits
+//! for every connection thread to notice within one read-poll interval,
+//! joins them, and removes a Unix socket file it bound.
+
+use std::collections::HashSet;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use adminref_core::universe::Universe;
+use parking_lot::Mutex;
+
+use crate::protocol::{PolicyService, Request, Response, ServiceError};
+use crate::wire::{self, Frame, FrameError, FrameHeader, FrameKind, WireError, HEADER_LEN};
+
+/// Tuning knobs for a [`Daemon`].
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Worker threads per connection for slow requests. This bounds how
+    /// many of one connection's submissions can be in flight — and thus
+    /// coalescible by group commit — at once.
+    pub workers_per_connection: usize,
+    /// How often a blocked connection reader wakes to check for
+    /// shutdown (the socket read timeout).
+    pub read_poll: Duration,
+    /// How often the accept loop wakes to check for shutdown.
+    pub accept_poll: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            workers_per_connection: 8,
+            read_poll: Duration::from_millis(100),
+            accept_poll: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A bound listening socket for [`Daemon::spawn`].
+#[derive(Debug)]
+pub enum WireListener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix-domain listener plus the path it is bound to (removed on
+    /// shutdown).
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl WireListener {
+    /// Binds a TCP listener. Pass port `0` for an ephemeral port and
+    /// read it back with [`Daemon::local_addr`].
+    pub fn tcp(addr: impl ToSocketAddrs) -> io::Result<WireListener> {
+        Ok(WireListener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Binds a Unix-domain listener at `path`, removing a stale socket
+    /// file left by a previous run first.
+    #[cfg(unix)]
+    pub fn unix(path: impl AsRef<Path>) -> io::Result<WireListener> {
+        let path = path.as_ref().to_path_buf();
+        // A leftover socket file from a crashed daemon would fail the
+        // bind; removing it is the conventional named-socket hygiene.
+        let _ = std::fs::remove_file(&path);
+        Ok(WireListener::Unix(UnixListener::bind(&path)?, path))
+    }
+}
+
+/// A running `adminrefd` instance: accept loop plus per-connection
+/// threads, all joined on [`shutdown`](Daemon::shutdown).
+pub struct Daemon {
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    local_addr: Option<SocketAddr>,
+    #[cfg(unix)]
+    unix_path: Option<PathBuf>,
+}
+
+impl Daemon {
+    /// Starts serving `service` on `listener` with default tuning.
+    ///
+    /// `universe` is the decode context for incoming requests (the
+    /// serving store's universe): ids on the wire are resolved — and
+    /// bounds-checked — against it.
+    pub fn spawn(
+        service: Arc<dyn PolicyService>,
+        universe: Universe,
+        listener: WireListener,
+    ) -> io::Result<Daemon> {
+        Daemon::spawn_with(service, universe, listener, DaemonConfig::default())
+    }
+
+    /// [`spawn`](Daemon::spawn) with explicit tuning.
+    pub fn spawn_with(
+        service: Arc<dyn PolicyService>,
+        universe: Universe,
+        listener: WireListener,
+        config: DaemonConfig,
+    ) -> io::Result<Daemon> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let universe = Arc::new(universe);
+
+        let (local_addr, unix_path) = match &listener {
+            WireListener::Tcp(l) => (l.local_addr().ok(), None),
+            #[cfg(unix)]
+            WireListener::Unix(_, path) => (None, Some(path.clone())),
+        };
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            thread::Builder::new()
+                .name("adminrefd-accept".into())
+                .spawn(move || accept_loop(listener, service, universe, stop, conns, config))?
+        };
+
+        Ok(Daemon {
+            stop,
+            accept: Some(accept),
+            conns,
+            local_addr,
+            #[cfg(unix)]
+            unix_path,
+        })
+    }
+
+    /// The bound TCP address (`None` for Unix listeners) — how a test
+    /// or operator recovers an ephemeral port.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// `true` once shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains and joins every connection, removes the
+    /// Unix socket file. Idempotent; also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+// ----- the accept loop -------------------------------------------------
+
+/// One accepted connection, abstracting over the two socket families.
+/// Shared with [`crate::client`], whose sockets are the same two
+/// families.
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    fn shutdown_both(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+fn accept_loop(
+    listener: WireListener,
+    service: Arc<dyn PolicyService>,
+    universe: Arc<Universe>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    config: DaemonConfig,
+) {
+    // Nonblocking accept + stop polling: std offers no portable way to
+    // interrupt a blocking accept, and a self-connect wakeup would need
+    // the listener's own address family plumbed through.
+    let nonblocking_ok = match &listener {
+        WireListener::Tcp(l) => l.set_nonblocking(true).is_ok(),
+        #[cfg(unix)]
+        WireListener::Unix(l, _) => l.set_nonblocking(true).is_ok(),
+    };
+    if !nonblocking_ok {
+        return;
+    }
+    while !stop.load(Ordering::SeqCst) {
+        let accepted = match &listener {
+            WireListener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            #[cfg(unix)]
+            WireListener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        };
+        match accepted {
+            Ok(stream) => {
+                if let Stream::Tcp(s) = &stream {
+                    // Request/response traffic: never trade latency for
+                    // coalescing.
+                    let _ = s.set_nodelay(true);
+                }
+                let service = Arc::clone(&service);
+                let universe = Arc::clone(&universe);
+                let stop = Arc::clone(&stop);
+                let spawned = thread::Builder::new()
+                    .name("adminrefd-conn".into())
+                    .spawn(move || handle_connection(stream, service, universe, stop, config));
+                match spawned {
+                    Ok(handle) => conns.lock().push(handle),
+                    Err(_) => continue,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(config.accept_poll);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // A failed accept (EMFILE, reset during handshake) is not a
+            // reason to stop serving other clients.
+            Err(_) => thread::sleep(config.accept_poll),
+        }
+    }
+}
+
+// ----- one connection --------------------------------------------------
+
+/// Whether a request is answered inline by the reader or handed to the
+/// worker pool. Session-lifecycle requests must stay inline: the reader
+/// owns the per-connection session set.
+fn is_slow(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Submit { .. }
+            | Request::AnalyzeReach { .. }
+            | Request::CheckRefinement { .. }
+            | Request::Compact
+    )
+}
+
+fn handle_connection(
+    stream: Stream,
+    service: Arc<dyn PolicyService>,
+    universe: Arc<Universe>,
+    stop: Arc<AtomicBool>,
+    config: DaemonConfig,
+) {
+    // The accepted socket is blocking; the read timeout turns the
+    // reader into a shutdown-polling loop without busy-waiting.
+    if stream.set_read_timeout(Some(config.read_poll)).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(ConnWriter::new(clone)),
+        Err(_) => return,
+    };
+    // Buffered reads pull a whole burst of pipelined frames out of the
+    // kernel in one syscall, and `buffer()` tells the loop below when
+    // more frames are already here (= keep accumulating the burst).
+    let mut reader = BufReader::new(stream);
+
+    // Worker pool: a shared channel feeds slow requests to
+    // `workers_per_connection` threads; each writes its own replies. A
+    // message is one dispatch unit: a single request, or a burst of
+    // `Submit`s that must enter the combiner together.
+    let (tx, rx) = mpsc::channel::<Vec<(u64, Request)>>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::with_capacity(config.workers_per_connection);
+    for _ in 0..config.workers_per_connection.max(1) {
+        let rx = Arc::clone(&rx);
+        let service = Arc::clone(&service);
+        let writer = Arc::clone(&writer);
+        let spawned = thread::Builder::new()
+            .name("adminrefd-worker".into())
+            .spawn(move || loop {
+                // Hold the receiver lock only across the recv itself so
+                // idle workers queue up behind it, not behind a serve.
+                let msg = { rx.lock().recv() };
+                match msg {
+                    Ok(burst) => serve_burst(&*service, &writer, burst),
+                    Err(_) => break,
+                }
+            });
+        if let Ok(handle) = spawned {
+            workers.push(handle);
+        }
+    }
+
+    // Sessions created over this connection, dropped when it closes.
+    let mut sessions: HashSet<u64> = HashSet::new();
+    // Slow requests of the burst currently being read, dispatched when
+    // the buffered input runs dry.
+    let mut burst: Vec<(u64, Request)> = Vec::new();
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match read_frame_polling(&mut reader, &stop) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF, transport failure, or shutdown: nothing more
+            // to say to this peer.
+            Ok(None) | Err(FrameError::Io(_)) => break,
+            Err(FrameError::Wire(wire_err)) => {
+                // The stream position is untrustworthy after a framing
+                // violation: answer once (request id 0), then close.
+                send_error(&writer, 0, &wire_err.into());
+                break;
+            }
+        };
+        if frame.kind != FrameKind::Request {
+            let err = ServiceError::Transport {
+                message: format!("expected a request frame, got {:?}", frame.kind),
+            };
+            send_error(&writer, frame.request_id, &err);
+            continue;
+        }
+        let request = match wire::decode_request(&frame.payload, &universe)
+            .and_then(|req| wire::validate_request(&req, &universe).map(|()| req))
+        {
+            Ok(request) => request,
+            Err(wire_err) => {
+                send_error(&writer, frame.request_id, &wire_err.into());
+                continue;
+            }
+        };
+        if is_slow(&request) {
+            burst.push((frame.request_id, request));
+            if reader.buffer().is_empty() && !dispatch_burst(&tx, &mut burst) {
+                break;
+            }
+            continue;
+        }
+        // Inline path; watch session lifecycle for disconnect cleanup.
+        let result = service.call(request.clone());
+        match (&request, &result) {
+            (Request::CreateSession { .. }, Ok(Response::SessionCreated(sid))) => {
+                sessions.insert(sid.raw());
+            }
+            (Request::DropSession { session }, Ok(Response::SessionDropped(true))) => {
+                sessions.remove(&session.raw());
+            }
+            _ => {}
+        }
+        send_result(&writer, frame.request_id, &result);
+    }
+
+    // Drain: dispatch any still-accumulating burst, close the channel,
+    // let in-flight slow requests finish and answer, then drop this
+    // connection's surviving sessions.
+    let _ = dispatch_burst(&tx, &mut burst);
+    drop(tx);
+    for handle in workers {
+        let _ = handle.join();
+    }
+    for raw in sessions {
+        let _ = service.call(Request::DropSession {
+            session: adminref_monitor::SessionId::from_raw(raw),
+        });
+    }
+    reader.get_ref().shutdown_both();
+}
+
+/// Hands an accumulated burst to the worker pool: `Submit`s go as one
+/// unit (same combiner drain), other slow requests each to their own
+/// worker so an analysis does not serialize behind the writes. Returns
+/// `false` when the pool is gone.
+fn dispatch_burst(tx: &mpsc::Sender<Vec<(u64, Request)>>, burst: &mut Vec<(u64, Request)>) -> bool {
+    let mut submits = Vec::new();
+    for entry in burst.drain(..) {
+        if matches!(entry.1, Request::Submit { .. }) {
+            submits.push(entry);
+        } else if tx.send(vec![entry]).is_err() {
+            return false;
+        }
+    }
+    submits.is_empty() || tx.send(submits).is_ok()
+}
+
+/// Serves one dispatch unit. Every id gets an answer even if a
+/// misbehaving service returns too few results for a burst — an
+/// unanswered id would strand the client's call forever.
+fn serve_burst(service: &dyn PolicyService, writer: &ConnWriter, mut burst: Vec<(u64, Request)>) {
+    if burst.len() == 1 {
+        if let Some((id, request)) = burst.pop() {
+            serve_one(service, writer, id, request);
+        }
+        return;
+    }
+    let (ids, requests): (Vec<u64>, Vec<Request>) = burst.into_iter().unzip();
+    let mut results = service.call_many(requests).into_iter();
+    // Encode outside the writer lock, then ship the whole burst's
+    // replies in one write + one flush: one syscall and one client
+    // wake-up instead of one per reply, which matters on the group
+    // commit path where the reply train gates the next batch.
+    let frames: Vec<(FrameKind, u64, Vec<u8>)> = ids
+        .into_iter()
+        .map(|id| match results.next() {
+            Some(Ok(response)) => (FrameKind::Response, id, wire::encode_response(&response)),
+            Some(Err(err)) => (FrameKind::Error, id, wire::encode_error(&err)),
+            // A misbehaving `call_many` that returned too few results
+            // must still answer every id, or the client hangs forever.
+            None => (
+                FrameKind::Error,
+                id,
+                wire::encode_error(&ServiceError::Aborted),
+            ),
+        })
+        .collect();
+    writer.send_many(&frames);
+}
+
+/// The shared write half of one connection, with **coalesced flushes**:
+/// a sender skips its flush when another sender is already queued on
+/// the writer lock — the last sender in any contention burst flushes
+/// everyone's frames in one syscall. When a drained group-commit batch
+/// completes, its workers finish nearly simultaneously, so their
+/// replies leave in one socket write (and arrive in one client read)
+/// instead of one syscall each.
+struct ConnWriter {
+    writer: Mutex<BufWriter<Stream>>,
+    /// Senders between their queue announcement and their write. A
+    /// sender that observes this nonzero after writing may skip its
+    /// flush: the queued sender is guaranteed to write after it and
+    /// repeat the same check.
+    queued: AtomicUsize,
+}
+
+impl ConnWriter {
+    fn new(stream: Stream) -> ConnWriter {
+        ConnWriter {
+            writer: Mutex::new(BufWriter::new(stream)),
+            queued: AtomicUsize::new(0),
+        }
+    }
+
+    fn send(&self, kind: FrameKind, id: u64, payload: &[u8]) {
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        let mut w = self.writer.lock();
+        // Decrement before writing (not after) so a panic inside the
+        // write cannot strand the count above zero and stall flushes.
+        self.queued.fetch_sub(1, Ordering::SeqCst);
+        // A write failure means the peer is gone; the reader will see
+        // the closed stream and tear the connection down.
+        let _ = wire::write_frame(&mut *w, kind, id, payload);
+        if self.queued.load(Ordering::SeqCst) == 0 {
+            let _ = w.flush();
+        }
+    }
+
+    /// [`send`](ConnWriter::send) for a whole burst's replies: one lock
+    /// acquisition, one flush.
+    fn send_many(&self, frames: &[(FrameKind, u64, Vec<u8>)]) {
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        let mut w = self.writer.lock();
+        self.queued.fetch_sub(1, Ordering::SeqCst);
+        for (kind, id, payload) in frames {
+            let _ = wire::write_frame(&mut *w, *kind, *id, payload);
+        }
+        if self.queued.load(Ordering::SeqCst) == 0 {
+            let _ = w.flush();
+        }
+    }
+}
+
+fn serve_one(service: &dyn PolicyService, writer: &ConnWriter, id: u64, request: Request) {
+    let result = service.call(request);
+    send_result(writer, id, &result);
+}
+
+fn send_result(writer: &ConnWriter, id: u64, result: &Result<Response, ServiceError>) {
+    let (kind, payload) = match result {
+        Ok(response) => (FrameKind::Response, wire::encode_response(response)),
+        Err(err) => (FrameKind::Error, wire::encode_error(err)),
+    };
+    writer.send(kind, id, &payload);
+}
+
+fn send_error(writer: &ConnWriter, id: u64, err: &ServiceError) {
+    writer.send(FrameKind::Error, id, &wire::encode_error(err));
+}
+
+/// [`wire::read_frame`] over a socket with a read timeout: timeouts
+/// mid-wait poll the stop flag and retry, preserving any bytes already
+/// read (a `read_exact` would lose them and desynchronize the stream).
+fn read_frame_polling<R: Read>(
+    stream: &mut R,
+    stop: &AtomicBool,
+) -> Result<Option<Frame>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    if !fill_polling(stream, &mut header, stop, true)? {
+        return Ok(None);
+    }
+    let header = FrameHeader::parse(&header)?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    if !fill_polling(stream, &mut payload, stop, false)? {
+        return Err(FrameError::Wire(WireError::Truncated));
+    }
+    Ok(Some(Frame {
+        kind: header.kind,
+        request_id: header.request_id,
+        payload,
+    }))
+}
+
+/// Fills `buf`, polling `stop` across read timeouts. Returns `false`
+/// for a clean stop or an EOF at offset zero when `eof_ok` (a peer
+/// closing between frames); EOF mid-buffer is [`WireError::Truncated`].
+fn fill_polling<R: Read>(
+    stream: &mut R,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    eof_ok: bool,
+) -> Result<bool, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && eof_ok {
+                    return Ok(false);
+                }
+                return Err(FrameError::Wire(WireError::Truncated));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}

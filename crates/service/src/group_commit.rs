@@ -31,7 +31,9 @@
 //! requests after it get [`ServiceError::Aborted`] (not attempted, safe
 //! to retry).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use adminref_core::command::Command;
 use adminref_core::transition::StepOutcome;
@@ -148,12 +150,41 @@ struct Queue {
 #[derive(Default)]
 pub struct GroupCommit {
     queue: Mutex<Queue>,
+    /// Leader gather window; zero (the default) drains immediately.
+    gather: Duration,
+    /// Size of the most recent executed group — the concurrency the
+    /// last drain proved. The gather window only engages when this is
+    /// at least 2, so a lone submitter never pays it.
+    gather_hint: AtomicUsize,
 }
 
 impl GroupCommit {
     /// A combiner with an empty in-flight batch.
     pub fn new() -> Self {
         GroupCommit::default()
+    }
+
+    /// A combiner whose leader, after draining, keeps folding in
+    /// late-arriving requests for up to `gather` before executing — but
+    /// only when the previous drain saw at least two requests, so a
+    /// lone submitter never pays the window.
+    ///
+    /// Local submitters re-enqueue fast enough that the immediate drain
+    /// already forms good groups, so the default stays zero: a gather
+    /// window would only add write latency. Over a **round-trip
+    /// transport** the picture inverts — a completed batch's replies
+    /// must cross the socket and wake the callers before their next
+    /// requests appear, so an eager leader drains groups of one or two.
+    /// A gather of a few tens of microseconds (well under one WAL sync)
+    /// collects that straggler train and restores batch sizes, which is
+    /// why the network daemon's serving path opts in (see
+    /// [`MonitorService::with_write_gather`](crate::MonitorService::with_write_gather)).
+    pub fn with_gather(gather: Duration) -> Self {
+        GroupCommit {
+            queue: Mutex::new(Queue::default()),
+            gather,
+            gather_hint: AtomicUsize::new(0),
+        }
     }
 
     /// Submits `commands` as one atomic request, coalescing with every
@@ -181,6 +212,54 @@ impl GroupCommit {
         slot.wait_serving(self, monitor)
     }
 
+    /// Submits several independent requests at once: all of them join
+    /// the in-flight batch under **one** queue acquisition, so they are
+    /// guaranteed to land in the same drain (together with whatever
+    /// else is in flight). Semantically identical to `requests.len()`
+    /// threads each calling [`submit`](GroupCommit::submit)
+    /// concurrently — every request stays atomic and contiguous with
+    /// its own per-request result — but callable from one thread.
+    ///
+    /// This is the entry point for pipelined transports: a burst of
+    /// `Submit` frames that arrived on a connection together would
+    /// otherwise trickle into the combiner one worker wake-up at a
+    /// time, and the leader (which drains immediately) would retire
+    /// them in needlessly small groups.
+    pub fn submit_many(
+        &self,
+        monitor: &ReferenceMonitor,
+        requests: Vec<Vec<Command>>,
+    ) -> Vec<SubmitResult> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let slots: Vec<Arc<Slot>> = (0..requests.len())
+            .map(|_| Arc::new(Slot::default()))
+            .collect();
+        let elected = {
+            let mut queue = lock_unpoisoned(&self.queue);
+            for (commands, slot) in requests.into_iter().zip(&slots) {
+                queue.pending.push(PendingWrite {
+                    commands,
+                    slot: Arc::clone(slot),
+                });
+            }
+            if queue.leader_running {
+                false
+            } else {
+                queue.leader_running = true;
+                true
+            }
+        };
+        if elected {
+            self.lead(monitor);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.wait_serving(self, monitor))
+            .collect()
+    }
+
     /// Leader loop: drain, execute, distribute. Exactly one thread
     /// runs this at a time. A tenure serves at most
     /// [`MAX_DRAINS_PER_TENURE`] drains; if work is still queued after
@@ -192,7 +271,7 @@ impl GroupCommit {
     /// of wedging every future submit.
     fn lead(&self, monitor: &ReferenceMonitor) {
         for _ in 0..MAX_DRAINS_PER_TENURE {
-            let group = {
+            let mut group = {
                 let mut queue = lock_unpoisoned(&self.queue);
                 if queue.pending.is_empty() {
                     queue.leader_running = false;
@@ -200,6 +279,37 @@ impl GroupCommit {
                 }
                 std::mem::take(&mut queue.pending)
             };
+            let target = self.gather_hint.load(Ordering::Relaxed);
+            if !self.gather.is_zero() && target >= 2 && group.len() < target {
+                // The previous drain proved `target` concurrent
+                // submitters, so the missing ones are mid-round-trip:
+                // poll-fold the queue until they arrive, the window
+                // closes, or the pipeline drains dry. Waiting here
+                // cannot deadlock: leadership is already claimed, so
+                // stragglers enqueue and park. A group already at
+                // `target` skips the window outright — everyone is
+                // aboard, and waiting would only stall the sync.
+                let deadline = Instant::now() + self.gather;
+                let mut idle_folds = 0;
+                while group.len() < target && idle_folds < 8 && Instant::now() < deadline {
+                    // Yield, not spin or sleep: on a loaded (or single)
+                    // core the stragglers are runnable threads that need
+                    // this core to finish their round trip, and a
+                    // microsecond sleep overshoots severalfold from
+                    // timer slack. Two consecutive empty folds mean
+                    // every peer is parked waiting on this very drain,
+                    // so waiting longer cannot grow the group.
+                    std::thread::yield_now();
+                    let mut queue = lock_unpoisoned(&self.queue);
+                    if queue.pending.is_empty() {
+                        idle_folds += 1;
+                    } else {
+                        idle_folds = 0;
+                        group.append(&mut queue.pending);
+                    }
+                }
+            }
+            self.gather_hint.store(group.len(), Ordering::Relaxed);
             let guard = AbortGuard {
                 commit: self,
                 slots: group.iter().map(|r| Arc::clone(&r.slot)).collect(),
@@ -211,6 +321,17 @@ impl GroupCommit {
                 guard.armed = false;
                 guard
             });
+            // Round-trip transports need single-drain tenures: the
+            // leader is a transport worker whose own callers' replies
+            // are written only after this call returns, so leading a
+            // second drain would hold those replies hostage for a whole
+            // WAL sync — the released clients cannot re-submit, and
+            // batches collapse to half the true concurrency. Handing
+            // leadership to a parked submitter (below) lets the replies
+            // flow while the next drain executes.
+            if !self.gather.is_zero() {
+                break;
+            }
             // Batch-formation window: the submitters just released are
             // likely to have a next request; one yield lets them enqueue
             // before the next drain, growing it (costs ~µs against a

@@ -9,7 +9,7 @@
 //! every access and administrative step; this crate is that mediation
 //! as an API.
 //!
-//! Three layers:
+//! Six layers:
 //!
 //! * **Protocol** ([`protocol`]) — the `Request`/`Response` alphabet,
 //!   the error, and the [`PolicyService`] trait whose typed convenience
@@ -28,10 +28,25 @@
 //!   mode, lazy open, LRU eviction cap), so one process serves many
 //!   coexisting policies — the precondition for refinement workflows
 //!   that compare and migrate across policy versions.
+//! * **Wire codec** ([`wire`]) — the versioned binary serialization of
+//!   the whole alphabet: a fixed frame header (magic, [`WIRE_VERSION`],
+//!   kind, payload length, echoed request id) and per-variant payload
+//!   encodings built from the store codec's primitives. Decoders return
+//!   typed [`WireError`]s, never panic; the format is specified in
+//!   `specs/wire_protocol.md` and pinned byte-for-byte by a golden
+//!   fixture test.
+//! * **Daemon** ([`daemon`]) — serves a `PolicyService` over TCP or
+//!   Unix-domain sockets: pipelined connections, out-of-order replies
+//!   matched by request id, per-connection sessions, burst dispatch
+//!   into group commit, graceful drain on shutdown.
+//! * **Client** ([`client`]) — [`WireClient`], a blocking socket client
+//!   that itself implements [`PolicyService`], so local and remote
+//!   services are interchangeable behind one trait.
 //!
 //! `adminref bench-service` measures the group-commit write path
-//! against per-call writer locking; the CI perf-smoke job gates its
-//! multi-writer speedup against checked-in floors.
+//! against per-call writer locking, locally and over a socket
+//! transport; the CI perf-smoke job gates the multi-writer speedups
+//! against checked-in floors.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,11 +54,16 @@
 // test exemption lives in the workspace clippy.toml).
 #![warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
+pub mod client;
+pub mod daemon;
 pub mod group_commit;
 pub mod protocol;
 pub mod router;
 pub mod service;
+pub mod wire;
 
+pub use client::WireClient;
+pub use daemon::{Daemon, DaemonConfig, WireListener};
 pub use group_commit::GroupCommit;
 pub use protocol::{
     PolicyService, RefinementDirection, RefinementReply, Request, Response, ServiceError,
@@ -51,3 +71,4 @@ pub use protocol::{
 };
 pub use router::{RouterConfig, ServiceRouter, TenantStateFactory};
 pub use service::MonitorService;
+pub use wire::{WireError, MAX_PAYLOAD, WIRE_VERSION};

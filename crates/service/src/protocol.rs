@@ -15,6 +15,7 @@
 
 use adminref_core::command::Command;
 use adminref_core::ids::{Entity, Perm, RoleId, UserId};
+use adminref_core::lint::LintReport;
 use adminref_core::policy::Policy;
 use adminref_core::refinement::RefinementViolation;
 use adminref_core::safety::{ReachabilityAnswer, SafetyConfig};
@@ -141,6 +142,13 @@ pub enum Request {
     /// automatic post-publish compaction for operator-driven
     /// maintenance windows.
     Compact,
+    /// Static policy analysis over the published snapshot: the
+    /// monitor's lint pass with optional caller-supplied
+    /// separation-of-duty role pairs.
+    Lint {
+        /// Role pairs no single user/role may bridge (the SoD rule).
+        sod_pairs: Vec<(RoleId, RoleId)>,
+    },
 }
 
 /// Which direction a [`Request::CheckRefinement`] runs.
@@ -264,6 +272,8 @@ pub enum Response {
     Stats(ServiceStats),
     /// Answer to [`Request::Compact`].
     Compacted,
+    /// Answer to [`Request::Lint`].
+    Lint(LintReport),
 }
 
 /// The unified error type of the protocol.
@@ -314,6 +324,14 @@ pub enum ServiceError {
         /// The response variant the wrapper expected.
         expected: &'static str,
     },
+    /// The transport under a remote client failed: connection refused or
+    /// reset, a malformed or oversized frame, an unsupported wire
+    /// version. Only remote transports (see `adminref_service::client`)
+    /// produce this; in-process servers never do.
+    Transport {
+        /// Human-readable description of the transport failure.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -345,6 +363,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Protocol { expected } => {
                 write!(f, "protocol violation: expected {expected} response")
             }
+            ServiceError::Transport { message } => write!(f, "transport failure: {message}"),
         }
     }
 }
@@ -390,9 +409,26 @@ impl From<StoreError> for ServiceError {
 /// | `Version` | `Version` | [`version`](Self::version) |
 /// | `Stats` | `Stats` | [`stats`](Self::stats) |
 /// | `Compact` | `Compacted` | [`compact`](Self::compact) |
+/// | `Lint` | `Lint` | [`lint`](Self::lint) |
 pub trait PolicyService: Send + Sync {
     /// Serves one request.
     fn call(&self, request: Request) -> Result<Response, ServiceError>;
+
+    /// Serves several requests from one caller, returning the results
+    /// in request order.
+    ///
+    /// The default is a per-request loop over
+    /// [`call`](PolicyService::call). Servers with a write combiner
+    /// override it so that the `Submit` requests of one burst enter
+    /// the combiner **together** (see
+    /// [`GroupCommit::submit_many`](crate::group_commit::GroupCommit::submit_many));
+    /// the network daemon uses this for frames that arrived on a
+    /// connection back-to-back. Callers must not assume any ordering
+    /// *between* the requests of one burst beyond what a set of
+    /// concurrent `call`s would give them.
+    fn call_many(&self, requests: Vec<Request>) -> Vec<Result<Response, ServiceError>> {
+        requests.into_iter().map(|r| self.call(r)).collect()
+    }
 
     /// Typed wrapper for [`Request::CheckAccess`].
     fn check_access(&self, session: SessionId, perm: Perm) -> Result<bool, ServiceError> {
@@ -539,16 +575,32 @@ pub trait PolicyService: Send + Sync {
             }),
         }
     }
+
+    /// Typed wrapper for [`Request::Lint`].
+    fn lint(&self, sod_pairs: Vec<(RoleId, RoleId)>) -> Result<LintReport, ServiceError> {
+        match self.call(Request::Lint { sod_pairs })? {
+            Response::Lint(report) => Ok(report),
+            _ => Err(ServiceError::Protocol { expected: "Lint" }),
+        }
+    }
 }
 
 impl<T: PolicyService + ?Sized> PolicyService for &T {
     fn call(&self, request: Request) -> Result<Response, ServiceError> {
         (**self).call(request)
     }
+
+    fn call_many(&self, requests: Vec<Request>) -> Vec<Result<Response, ServiceError>> {
+        (**self).call_many(requests)
+    }
 }
 
 impl<T: PolicyService + ?Sized> PolicyService for std::sync::Arc<T> {
     fn call(&self, request: Request) -> Result<Response, ServiceError> {
         (**self).call(request)
+    }
+
+    fn call_many(&self, requests: Vec<Request>) -> Vec<Result<Response, ServiceError>> {
+        (**self).call_many(requests)
     }
 }

@@ -41,6 +41,18 @@ impl MonitorService {
         }
     }
 
+    /// Sets a leader gather window on the write combiner: the group
+    /// leader waits this long after its first drain, folding in
+    /// requests that arrive meanwhile, before executing. Keep it zero
+    /// (the default) for local callers; a network daemon serving
+    /// pipelined connections sets a few tens of microseconds so a
+    /// round-trip's straggler train still coalesces into one batch —
+    /// see [`GroupCommit::with_gather`].
+    pub fn with_write_gather(mut self, gather: std::time::Duration) -> Self {
+        self.writes = GroupCommit::with_gather(gather);
+        self
+    }
+
     /// Convenience: an in-memory monitor over the given state.
     pub fn in_memory(
         universe: adminref_core::universe::Universe,
@@ -67,6 +79,40 @@ impl PolicyService for MonitorService {
                 .map(Response::Outcomes),
             read => dispatch(&self.monitor, read),
         }
+    }
+
+    /// A burst's `Submit`s enqueue into the combiner under one queue
+    /// acquisition (guaranteed same drain); everything else is served
+    /// per request. Results come back in request order either way.
+    fn call_many(&self, requests: Vec<Request>) -> Vec<Result<Response, ServiceError>> {
+        enum Shaped {
+            Write,
+            Read(Request),
+        }
+        let mut writes: Vec<Vec<adminref_core::command::Command>> = Vec::new();
+        let shaped: Vec<Shaped> = requests
+            .into_iter()
+            .map(|request| match request {
+                Request::Submit { commands } => {
+                    writes.push(commands);
+                    Shaped::Write
+                }
+                read => Shaped::Read(read),
+            })
+            .collect();
+        let mut write_results = self.writes.submit_many(&self.monitor, writes).into_iter();
+        shaped
+            .into_iter()
+            .map(|entry| match entry {
+                Shaped::Write => match write_results.next() {
+                    Some(result) => result.map(Response::Outcomes),
+                    // Unreachable: submit_many returns one result per
+                    // enqueued request.
+                    None => Err(ServiceError::Aborted),
+                },
+                Shaped::Read(read) => dispatch(&self.monitor, read),
+            })
+            .collect()
     }
 }
 
@@ -133,6 +179,7 @@ fn dispatch(monitor: &ReferenceMonitor, request: Request) -> Result<Response, Se
             monitor.compact()?;
             Ok(Response::Compacted)
         }
+        Request::Lint { sod_pairs } => Ok(Response::Lint(monitor.lint_policy(sod_pairs))),
     }
 }
 

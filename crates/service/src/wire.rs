@@ -1,0 +1,1331 @@
+//! The binary wire format of the daemon: length-prefixed, versioned
+//! frames carrying the [`Request`]/[`Response`]/[`ServiceError`]
+//! alphabet of [`protocol`](crate::protocol), canonically encoded with
+//! the store's LEB128 codec primitives.
+//!
+//! The normative description lives in `specs/wire_protocol.md` at the
+//! repository root; this module is its executable counterpart, and a
+//! golden-bytes fixture test (`tests/wire_codec.rs`) pins the two
+//! together so they cannot drift. The essentials:
+//!
+//! * **Frame** = 20-byte header + payload. Header: magic `"ARFW"`,
+//!   version byte ([`WIRE_VERSION`]), kind byte ([`FrameKind`]), two
+//!   reserved zero bytes, payload length (`u32` LE, capped at
+//!   [`MAX_PAYLOAD`]), request id (`u64` LE, echoed verbatim in the
+//!   reply so pipelined callers can match out-of-order responses).
+//! * **Payload** = a varint variant tag followed by the variant's
+//!   fields, reusing [`adminref_store::codec`] primitives (varints,
+//!   length-prefixed UTF-8 strings, edge/command/policy encodings).
+//! * **Errors are typed, never panics.** Every malformed input —
+//!   truncated frame, bad magic, future version, unknown tag, trailing
+//!   bytes, out-of-range id — decodes to a [`WireError`] variant; the
+//!   daemon answers with an error frame or drops the connection, and a
+//!   fuzzing client cannot take the server down.
+//!
+//! Ids on the wire are raw interning indices, valid only against the
+//! serving store's universe: client and server must be built from the
+//! same policy source (deterministic interning makes ids reproducible).
+//! [`validate_request`] is the server-side boundary check that rejects
+//! out-of-range ids before they can reach index-based analysis code.
+//!
+//! ## Example
+//!
+//! A request crosses a byte stream and comes back out typed:
+//!
+//! ```
+//! use adminref_core::prelude::*;
+//! use adminref_service::wire::{self, FrameKind};
+//! use adminref_service::Request;
+//!
+//! let (uni, _policy) = PolicyBuilder::new()
+//!     .assign("diana", "nurse")
+//!     .permit("nurse", "read", "t1")
+//!     .finish();
+//! let mut probe = uni.clone();
+//! let perm = probe.perm("read", "t1");
+//! let request = Request::AnalyzeReach {
+//!     entity: Entity::User(uni.find_user("diana").unwrap()),
+//!     perm,
+//!     config: SafetyConfig::default(),
+//! };
+//!
+//! // Client side: payload + frame onto any `Write`.
+//! let mut stream = Vec::new();
+//! wire::write_frame(&mut stream, FrameKind::Request, 7, &wire::encode_request(&request))
+//!     .unwrap();
+//!
+//! // Server side: frame off any `Read`, decode against the universe.
+//! let frame = wire::read_frame(&mut stream.as_slice()).unwrap().expect("one frame");
+//! assert_eq!((frame.kind, frame.request_id), (FrameKind::Request, 7));
+//! let decoded = wire::decode_request(&frame.payload, &uni).unwrap();
+//! wire::validate_request(&decoded, &uni).unwrap();
+//! assert!(matches!(decoded, Request::AnalyzeReach { .. }));
+//! ```
+
+use std::io::{self, Read, Write};
+
+use adminref_core::command::CommandQueue;
+use adminref_core::ids::{ActionId, Entity, ObjectId, Perm, PrivId, RoleId, UserId};
+use adminref_core::lint::{Finding, FindingKind, LintReport, Severity};
+use adminref_core::ordering::OrderingMode;
+use adminref_core::refinement::RefinementViolation;
+use adminref_core::safety::{ReachabilityAnswer, SafetyConfig, Truncation};
+use adminref_core::session::SessionError;
+use adminref_core::transition::{AuthMode, Authorization, StepOutcome};
+use adminref_core::universe::{Edge, Universe};
+use adminref_monitor::{AuditEvent, Decision, SessionId};
+use adminref_store::codec::{
+    get_command, get_edge, get_policy, get_string, get_varint, put_command, put_edge, put_policy,
+    put_string, put_varint, CodecError,
+};
+use adminref_store::{RecoveryReport, StoreError};
+use bytes::{Buf, BufMut};
+
+use crate::protocol::{
+    RefinementDirection, RefinementReply, Request, Response, ServiceError, ServiceStats,
+};
+
+/// The four magic bytes opening every frame.
+pub const WIRE_MAGIC: [u8; 4] = *b"ARFW";
+
+/// The wire protocol version this build speaks. Bump on any change to
+/// the frame layout or a variant encoding; `specs/wire_protocol.md`
+/// must name the same number (CI greps for it).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed frame header size in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// Maximum payload a peer may send (16 MiB). A header announcing more
+/// is rejected before any payload allocation.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+// ----- frames ----------------------------------------------------------
+
+/// What a frame carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameKind {
+    /// A [`Request`] payload (client → server).
+    Request,
+    /// A [`Response`] payload (server → client, success).
+    Response,
+    /// A [`ServiceError`] payload (server → client, failure).
+    Error,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Response => 2,
+            FrameKind::Error => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            1 => Ok(FrameKind::Request),
+            2 => Ok(FrameKind::Response),
+            3 => Ok(FrameKind::Error),
+            other => Err(WireError::BadFrameKind(other)),
+        }
+    }
+}
+
+/// A parsed frame header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FrameHeader {
+    /// What the payload decodes as.
+    pub kind: FrameKind,
+    /// Payload length in bytes (already validated `<=` [`MAX_PAYLOAD`]).
+    pub payload_len: u32,
+    /// Caller-chosen correlation id, echoed in the reply.
+    pub request_id: u64,
+}
+
+impl FrameHeader {
+    /// Serializes the header into its fixed 20-byte layout.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut h = [0u8; HEADER_LEN];
+        h[0..4].copy_from_slice(&WIRE_MAGIC);
+        h[4] = WIRE_VERSION;
+        h[5] = self.kind.to_byte();
+        // h[6..8] reserved, zero.
+        h[8..12].copy_from_slice(&self.payload_len.to_le_bytes());
+        h[12..20].copy_from_slice(&self.request_id.to_le_bytes());
+        h
+    }
+
+    /// Parses and validates a header: magic, version, kind, size cap.
+    pub fn parse(bytes: &[u8; HEADER_LEN]) -> Result<FrameHeader, WireError> {
+        if bytes[0..4] != WIRE_MAGIC {
+            let mut magic = [0u8; 4];
+            magic.copy_from_slice(&bytes[0..4]);
+            return Err(WireError::BadMagic(magic));
+        }
+        if bytes[4] != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion {
+                got: bytes[4],
+                supported: WIRE_VERSION,
+            });
+        }
+        let kind = FrameKind::from_byte(bytes[5])?;
+        // bytes[6..8] are reserved: senders write zero, receivers ignore.
+        let payload_len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if payload_len > MAX_PAYLOAD {
+            return Err(WireError::Oversized {
+                len: payload_len,
+                max: MAX_PAYLOAD,
+            });
+        }
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&bytes[12..20]);
+        Ok(FrameHeader {
+            kind,
+            payload_len,
+            request_id: u64::from_le_bytes(id),
+        })
+    }
+}
+
+/// One complete frame, read off a stream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Frame {
+    /// What the payload decodes as.
+    pub kind: FrameKind,
+    /// The correlation id from the header.
+    pub request_id: u64,
+    /// The raw payload (decode with [`decode_request`],
+    /// [`decode_response`] or [`decode_error`] per `kind`).
+    pub payload: Vec<u8>,
+}
+
+// ----- errors ----------------------------------------------------------
+
+/// A typed decoding or framing failure. Malformed input always lands
+/// here — never in a panic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The first four bytes were not [`WIRE_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a version this build does not.
+    UnsupportedVersion {
+        /// The version byte received.
+        got: u8,
+        /// The version this build speaks.
+        supported: u8,
+    },
+    /// The header's kind byte named no known frame kind.
+    BadFrameKind(u8),
+    /// The announced payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The announced length.
+        len: u32,
+        /// The cap.
+        max: u32,
+    },
+    /// The stream ended inside a frame (header or payload).
+    Truncated,
+    /// A payload field failed to decode.
+    Codec(CodecError),
+    /// A variant tag named no known variant.
+    BadTag {
+        /// Which tag space (request, response, …).
+        what: &'static str,
+        /// The offending tag value.
+        tag: u64,
+    },
+    /// The payload decoded cleanly but bytes were left over — the frame
+    /// length and the encoding disagree.
+    TrailingBytes {
+        /// Undecoded bytes remaining.
+        extra: usize,
+    },
+    /// A decoded id does not exist in the serving universe (see
+    /// [`validate_request`]).
+    IdOutOfRange {
+        /// Which id space.
+        what: &'static str,
+        /// The offending id.
+        id: u64,
+        /// Number of interned entries in that space.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::UnsupportedVersion { got, supported } => {
+                write!(
+                    f,
+                    "unsupported wire version {got} (this build speaks {supported})"
+                )
+            }
+            WireError::BadFrameKind(b) => write!(f, "unknown frame kind {b:#04x}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Truncated => write!(f, "stream ended mid-frame"),
+            WireError::Codec(e) => write!(f, "payload decode failed: {e}"),
+            WireError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after a complete payload")
+            }
+            WireError::IdOutOfRange { what, id, max } => {
+                write!(f, "{what} id {id} out of range (universe has {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Transport {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// A framing failure when reading off a stream: either the transport
+/// itself failed, or the bytes arrived but were not a valid frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The bytes were not a valid frame.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport failure: {e}"),
+            FrameError::Wire(e) => write!(f, "framing failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+impl From<FrameError> for ServiceError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io_err) => ServiceError::Transport {
+                message: io_err.to_string(),
+            },
+            FrameError::Wire(w) => w.into(),
+        }
+    }
+}
+
+// ----- stream I/O ------------------------------------------------------
+
+/// Writes one frame: header then payload, no flush (callers batch
+/// pipelined writes and flush once).
+pub fn write_frame(
+    w: &mut impl Write,
+    kind: FrameKind,
+    request_id: u64,
+    payload: &[u8],
+) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
+    let header = FrameHeader {
+        kind,
+        payload_len: payload.len() as u32,
+        request_id,
+    };
+    w.write_all(&header.encode())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed the stream cleanly
+/// at a frame boundary; EOF anywhere inside a frame is
+/// [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_full(r, &mut header) {
+        ReadFull::Eof => return Ok(None),
+        ReadFull::Short => return Err(WireError::Truncated.into()),
+        ReadFull::Err(e) => return Err(e.into()),
+        ReadFull::Done => {}
+    }
+    let header = FrameHeader::parse(&header)?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    match read_full(r, &mut payload) {
+        ReadFull::Eof | ReadFull::Short => Err(WireError::Truncated.into()),
+        ReadFull::Err(e) => Err(e.into()),
+        ReadFull::Done => Ok(Some(Frame {
+            kind: header.kind,
+            request_id: header.request_id,
+            payload,
+        })),
+    }
+}
+
+enum ReadFull {
+    /// Buffer filled completely.
+    Done,
+    /// Zero bytes read before EOF.
+    Eof,
+    /// EOF after a partial read.
+    Short,
+    /// Transport error.
+    Err(io::Error),
+}
+
+/// Fills `buf` from `r`, retrying on interrupts. Unlike
+/// `Read::read_exact`, distinguishes a clean EOF (no bytes) from a
+/// truncated one (some bytes), which framing needs.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> ReadFull {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    ReadFull::Eof
+                } else {
+                    ReadFull::Short
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return ReadFull::Err(e),
+        }
+    }
+    ReadFull::Done
+}
+
+// ----- small encoding helpers ------------------------------------------
+
+fn take_u8(buf: &mut impl Buf) -> Result<u8, WireError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::UnexpectedEof.into());
+    }
+    Ok(buf.get_u8())
+}
+
+fn take_bool(buf: &mut impl Buf) -> Result<bool, WireError> {
+    match take_u8(buf)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(WireError::BadTag {
+            what: "bool",
+            tag: u64::from(other),
+        }),
+    }
+}
+
+fn put_bool(buf: &mut impl BufMut, b: bool) {
+    buf.put_u8(u8::from(b));
+}
+
+fn take_usize(buf: &mut impl Buf) -> Result<usize, WireError> {
+    let v = get_varint(buf)?;
+    usize::try_from(v).map_err(|_| WireError::Codec(CodecError::VarintOverflow))
+}
+
+fn ensure_consumed(buf: &impl Buf) -> Result<(), WireError> {
+    if buf.has_remaining() {
+        Err(WireError::TrailingBytes {
+            extra: buf.remaining(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn put_perm(buf: &mut impl BufMut, perm: Perm) {
+    put_varint(buf, perm.action.index() as u64);
+    put_varint(buf, perm.object.index() as u64);
+}
+
+fn take_perm(buf: &mut impl Buf) -> Result<Perm, WireError> {
+    let action = ActionId::from_index(take_usize(buf)?);
+    let object = ObjectId::from_index(take_usize(buf)?);
+    Ok(Perm { action, object })
+}
+
+fn put_entity(buf: &mut impl BufMut, entity: Entity) {
+    match entity {
+        Entity::User(u) => {
+            buf.put_u8(0);
+            put_varint(buf, u.index() as u64);
+        }
+        Entity::Role(r) => {
+            buf.put_u8(1);
+            put_varint(buf, r.index() as u64);
+        }
+    }
+}
+
+fn take_entity(buf: &mut impl Buf) -> Result<Entity, WireError> {
+    match take_u8(buf)? {
+        0 => Ok(Entity::User(UserId::from_index(take_usize(buf)?))),
+        1 => Ok(Entity::Role(RoleId::from_index(take_usize(buf)?))),
+        other => Err(WireError::BadTag {
+            what: "entity",
+            tag: u64::from(other),
+        }),
+    }
+}
+
+fn put_safety_config(buf: &mut impl BufMut, config: &SafetyConfig) {
+    put_varint(buf, config.max_steps as u64);
+    put_varint(buf, config.max_states as u64);
+    buf.put_u8(match config.auth_mode {
+        AuthMode::Explicit => 0,
+        AuthMode::Ordered(OrderingMode::Strict) => 1,
+        AuthMode::Ordered(OrderingMode::Extended) => 2,
+        AuthMode::Ordered(OrderingMode::ExtendedWithRevocation) => 3,
+    });
+    match config.weaker_depth {
+        None => buf.put_u8(0),
+        Some(d) => {
+            buf.put_u8(1);
+            put_varint(buf, u64::from(d));
+        }
+    }
+    put_varint(buf, config.jobs as u64);
+    buf.put_u8(u8::from(config.escalate) | (u8::from(config.slice) << 1));
+}
+
+fn take_safety_config(buf: &mut impl Buf) -> Result<SafetyConfig, WireError> {
+    let max_steps = take_usize(buf)?;
+    let max_states = take_usize(buf)?;
+    let auth_mode = match take_u8(buf)? {
+        0 => AuthMode::Explicit,
+        1 => AuthMode::Ordered(OrderingMode::Strict),
+        2 => AuthMode::Ordered(OrderingMode::Extended),
+        3 => AuthMode::Ordered(OrderingMode::ExtendedWithRevocation),
+        other => {
+            return Err(WireError::BadTag {
+                what: "auth mode",
+                tag: u64::from(other),
+            })
+        }
+    };
+    let weaker_depth = match take_u8(buf)? {
+        0 => None,
+        1 => {
+            let d = get_varint(buf)?;
+            Some(u32::try_from(d).map_err(|_| WireError::Codec(CodecError::VarintOverflow))?)
+        }
+        other => {
+            return Err(WireError::BadTag {
+                what: "weaker-depth option",
+                tag: u64::from(other),
+            })
+        }
+    };
+    let jobs = take_usize(buf)?;
+    let flags = take_u8(buf)?;
+    if flags > 0b11 {
+        return Err(WireError::BadTag {
+            what: "safety-config flags",
+            tag: u64::from(flags),
+        });
+    }
+    Ok(SafetyConfig {
+        max_steps,
+        max_states,
+        auth_mode,
+        weaker_depth,
+        jobs,
+        escalate: flags & 0b01 != 0,
+        slice: flags & 0b10 != 0,
+    })
+}
+
+fn put_outcome(buf: &mut impl BufMut, outcome: &StepOutcome) {
+    match outcome.authorization {
+        None => buf.put_u8(0),
+        Some(auth) => {
+            buf.put_u8(1);
+            put_varint(buf, auth.held.index() as u64);
+            put_varint(buf, auth.target.index() as u64);
+        }
+    }
+    put_bool(buf, outcome.changed);
+}
+
+fn take_outcome(buf: &mut impl Buf) -> Result<StepOutcome, WireError> {
+    let authorization = match take_u8(buf)? {
+        0 => None,
+        1 => {
+            let held = PrivId::from_index(take_usize(buf)?);
+            let target = PrivId::from_index(take_usize(buf)?);
+            Some(Authorization { held, target })
+        }
+        other => {
+            return Err(WireError::BadTag {
+                what: "authorization option",
+                tag: u64::from(other),
+            })
+        }
+    };
+    let changed = take_bool(buf)?;
+    Ok(StepOutcome {
+        authorization,
+        changed,
+    })
+}
+
+fn put_outcomes(buf: &mut impl BufMut, outcomes: &[StepOutcome]) {
+    put_varint(buf, outcomes.len() as u64);
+    for o in outcomes {
+        put_outcome(buf, o);
+    }
+}
+
+fn take_outcomes(buf: &mut impl Buf) -> Result<Vec<StepOutcome>, WireError> {
+    let n = take_usize(buf)?;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        out.push(take_outcome(buf)?);
+    }
+    Ok(out)
+}
+
+// ----- request payloads ------------------------------------------------
+
+/// Encodes a [`Request`] payload (tag + fields; no frame header).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let buf = &mut Vec::new();
+    match req {
+        Request::CheckAccess { session, perm } => {
+            put_varint(buf, 0);
+            put_varint(buf, session.raw());
+            put_perm(buf, *perm);
+        }
+        Request::CreateSession { user } => {
+            put_varint(buf, 1);
+            put_varint(buf, user.index() as u64);
+        }
+        Request::ActivateRole { session, role } => {
+            put_varint(buf, 2);
+            put_varint(buf, session.raw());
+            put_varint(buf, role.index() as u64);
+        }
+        Request::DeactivateRole { session, role } => {
+            put_varint(buf, 3);
+            put_varint(buf, session.raw());
+            put_varint(buf, role.index() as u64);
+        }
+        Request::DropSession { session } => {
+            put_varint(buf, 4);
+            put_varint(buf, session.raw());
+        }
+        Request::Submit { commands } => {
+            put_varint(buf, 5);
+            put_varint(buf, commands.len() as u64);
+            for cmd in commands {
+                put_command(buf, cmd);
+            }
+        }
+        Request::AnalyzeReach {
+            entity,
+            perm,
+            config,
+        } => {
+            put_varint(buf, 6);
+            put_entity(buf, *entity);
+            put_perm(buf, *perm);
+            put_safety_config(buf, config);
+        }
+        Request::CheckRefinement {
+            candidate,
+            direction,
+            max_witnesses,
+        } => {
+            put_varint(buf, 7);
+            buf.put_u8(match direction {
+                RefinementDirection::CandidateRefinesLive => 0,
+                RefinementDirection::LiveRefinesCandidate => 1,
+            });
+            put_varint(buf, *max_witnesses as u64);
+            put_policy(buf, candidate);
+        }
+        Request::AuditTail { max } => {
+            put_varint(buf, 8);
+            put_varint(buf, *max as u64);
+        }
+        Request::AuditSince { after, max } => {
+            put_varint(buf, 9);
+            put_varint(buf, *after);
+            put_varint(buf, *max as u64);
+        }
+        Request::Version => put_varint(buf, 10),
+        Request::Stats => put_varint(buf, 11),
+        Request::Compact => put_varint(buf, 12),
+        Request::Lint { sod_pairs } => {
+            put_varint(buf, 13);
+            put_varint(buf, sod_pairs.len() as u64);
+            for (a, b) in sod_pairs {
+                put_varint(buf, a.index() as u64);
+                put_varint(buf, b.index() as u64);
+            }
+        }
+    }
+    std::mem::take(buf)
+}
+
+/// Decodes a [`Request`] payload. `universe` resolves the candidate
+/// policy of a `CheckRefinement` (the one variant whose encoding is
+/// universe-relative); pass the serving monitor's universe.
+pub fn decode_request(payload: &[u8], universe: &Universe) -> Result<Request, WireError> {
+    let buf = &mut &payload[..];
+    let tag = get_varint(buf)?;
+    let req = match tag {
+        0 => Request::CheckAccess {
+            session: SessionId::from_raw(get_varint(buf)?),
+            perm: take_perm(buf)?,
+        },
+        1 => Request::CreateSession {
+            user: UserId::from_index(take_usize(buf)?),
+        },
+        2 => Request::ActivateRole {
+            session: SessionId::from_raw(get_varint(buf)?),
+            role: RoleId::from_index(take_usize(buf)?),
+        },
+        3 => Request::DeactivateRole {
+            session: SessionId::from_raw(get_varint(buf)?),
+            role: RoleId::from_index(take_usize(buf)?),
+        },
+        4 => Request::DropSession {
+            session: SessionId::from_raw(get_varint(buf)?),
+        },
+        5 => {
+            let n = take_usize(buf)?;
+            let mut commands = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                commands.push(get_command(buf)?);
+            }
+            Request::Submit { commands }
+        }
+        6 => Request::AnalyzeReach {
+            entity: take_entity(buf)?,
+            perm: take_perm(buf)?,
+            config: take_safety_config(buf)?,
+        },
+        7 => {
+            let direction = match take_u8(buf)? {
+                0 => RefinementDirection::CandidateRefinesLive,
+                1 => RefinementDirection::LiveRefinesCandidate,
+                other => {
+                    return Err(WireError::BadTag {
+                        what: "refinement direction",
+                        tag: u64::from(other),
+                    })
+                }
+            };
+            let max_witnesses = take_usize(buf)?;
+            let candidate = get_policy(buf, universe)?;
+            Request::CheckRefinement {
+                candidate,
+                direction,
+                max_witnesses,
+            }
+        }
+        8 => Request::AuditTail {
+            max: take_usize(buf)?,
+        },
+        9 => Request::AuditSince {
+            after: get_varint(buf)?,
+            max: take_usize(buf)?,
+        },
+        10 => Request::Version,
+        11 => Request::Stats,
+        12 => Request::Compact,
+        13 => {
+            let n = take_usize(buf)?;
+            let mut sod_pairs = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let a = RoleId::from_index(take_usize(buf)?);
+                let b = RoleId::from_index(take_usize(buf)?);
+                sod_pairs.push((a, b));
+            }
+            Request::Lint { sod_pairs }
+        }
+        other => {
+            return Err(WireError::BadTag {
+                what: "request",
+                tag: other,
+            })
+        }
+    };
+    ensure_consumed(buf)?;
+    Ok(req)
+}
+
+/// Checks every id a request carries against the serving universe, so
+/// out-of-range ids from a hostile or misconfigured client are refused
+/// at the boundary instead of reaching index-based analysis code.
+///
+/// `CheckRefinement` candidates are exempt: the service's own
+/// `ids_in_bounds` check (answering [`ServiceError::ForeignPolicy`])
+/// already covers them.
+pub fn validate_request(req: &Request, universe: &Universe) -> Result<(), WireError> {
+    let user = |u: UserId| check_id("user", u.index(), universe.user_count());
+    let role = |r: RoleId| check_id("role", r.index(), universe.role_count());
+    let perm = |p: Perm| {
+        check_id("action", p.action.index(), universe.action_count())?;
+        check_id("object", p.object.index(), universe.object_count())
+    };
+    let term = |t: PrivId| check_id("term", t.index(), universe.term_count());
+    let edge = |e: Edge| match e {
+        Edge::UserRole(u, r) => {
+            user(u)?;
+            role(r)
+        }
+        Edge::RoleRole(a, b) => {
+            role(a)?;
+            role(b)
+        }
+        Edge::RolePriv(r, t) => {
+            role(r)?;
+            term(t)
+        }
+    };
+    match req {
+        Request::CheckAccess { perm: p, .. } => perm(*p),
+        Request::CreateSession { user: u } => user(*u),
+        Request::ActivateRole { role: r, .. } | Request::DeactivateRole { role: r, .. } => role(*r),
+        Request::DropSession { .. }
+        | Request::AuditTail { .. }
+        | Request::AuditSince { .. }
+        | Request::Version
+        | Request::Stats
+        | Request::Compact
+        | Request::CheckRefinement { .. } => Ok(()),
+        Request::Submit { commands } => {
+            for cmd in commands {
+                user(cmd.actor)?;
+                edge(cmd.edge)?;
+            }
+            Ok(())
+        }
+        Request::AnalyzeReach {
+            entity, perm: p, ..
+        } => {
+            match entity {
+                Entity::User(u) => user(*u)?,
+                Entity::Role(r) => role(*r)?,
+            }
+            perm(*p)
+        }
+        Request::Lint { sod_pairs } => {
+            for (a, b) in sod_pairs {
+                role(*a)?;
+                role(*b)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_id(what: &'static str, index: usize, count: usize) -> Result<(), WireError> {
+    if index < count {
+        Ok(())
+    } else {
+        Err(WireError::IdOutOfRange {
+            what,
+            id: index as u64,
+            max: count,
+        })
+    }
+}
+
+// ----- response payloads -----------------------------------------------
+
+/// Encodes a [`Response`] payload (tag + fields; no frame header).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let buf = &mut Vec::new();
+    match resp {
+        Response::Access(granted) => {
+            put_varint(buf, 0);
+            put_bool(buf, *granted);
+        }
+        Response::SessionCreated(id) => {
+            put_varint(buf, 1);
+            put_varint(buf, id.raw());
+        }
+        Response::RoleActivated => put_varint(buf, 2),
+        Response::RoleDeactivated(was) => {
+            put_varint(buf, 3);
+            put_bool(buf, *was);
+        }
+        Response::SessionDropped(was) => {
+            put_varint(buf, 4);
+            put_bool(buf, *was);
+        }
+        Response::Outcomes(outcomes) => {
+            put_varint(buf, 5);
+            put_outcomes(buf, outcomes);
+        }
+        Response::Reach(answer) => {
+            put_varint(buf, 6);
+            match answer {
+                ReachabilityAnswer::Reachable { witness } => {
+                    buf.put_u8(0);
+                    put_varint(buf, witness.len() as u64);
+                    for cmd in witness.iter() {
+                        put_command(buf, cmd);
+                    }
+                }
+                ReachabilityAnswer::Unreachable => buf.put_u8(1),
+                ReachabilityAnswer::Unknown { truncation } => {
+                    buf.put_u8(2);
+                    put_varint(buf, truncation.states as u64);
+                    put_varint(buf, truncation.depth as u64);
+                    put_bool(buf, truncation.cap_hit);
+                }
+            }
+        }
+        Response::Refinement(reply) => {
+            put_varint(buf, 7);
+            put_bool(buf, reply.holds);
+            put_varint(buf, reply.total_violations as u64);
+            put_varint(buf, reply.witnesses.len() as u64);
+            for v in &reply.witnesses {
+                put_entity(buf, v.entity);
+                put_perm(buf, v.perm);
+            }
+        }
+        Response::Audit(events) => {
+            put_varint(buf, 8);
+            put_varint(buf, events.len() as u64);
+            for ev in events {
+                put_varint(buf, ev.seq);
+                put_command(buf, &ev.command);
+                match ev.decision {
+                    Decision::Refused => buf.put_u8(0),
+                    Decision::Executed { held, target } => {
+                        buf.put_u8(1);
+                        put_varint(buf, held.index() as u64);
+                        put_varint(buf, target.index() as u64);
+                    }
+                }
+                put_bool(buf, ev.changed);
+            }
+        }
+        Response::Version(epoch) => {
+            put_varint(buf, 9);
+            put_varint(buf, *epoch);
+        }
+        Response::Stats(stats) => {
+            put_varint(buf, 10);
+            put_stats(buf, stats);
+        }
+        Response::Compacted => put_varint(buf, 11),
+        Response::Lint(report) => {
+            put_varint(buf, 12);
+            put_lint_report(buf, report);
+        }
+    }
+    std::mem::take(buf)
+}
+
+/// Decodes a [`Response`] payload. Needs no universe: responses carry
+/// only raw ids, never a policy.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let buf = &mut &payload[..];
+    let tag = get_varint(buf)?;
+    let resp = match tag {
+        0 => Response::Access(take_bool(buf)?),
+        1 => Response::SessionCreated(SessionId::from_raw(get_varint(buf)?)),
+        2 => Response::RoleActivated,
+        3 => Response::RoleDeactivated(take_bool(buf)?),
+        4 => Response::SessionDropped(take_bool(buf)?),
+        5 => Response::Outcomes(take_outcomes(buf)?),
+        6 => {
+            let answer = match take_u8(buf)? {
+                0 => {
+                    let n = take_usize(buf)?;
+                    let mut commands = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        commands.push(get_command(buf)?);
+                    }
+                    ReachabilityAnswer::Reachable {
+                        witness: CommandQueue::from_commands(commands),
+                    }
+                }
+                1 => ReachabilityAnswer::Unreachable,
+                2 => ReachabilityAnswer::Unknown {
+                    truncation: Truncation {
+                        states: take_usize(buf)?,
+                        depth: take_usize(buf)?,
+                        cap_hit: take_bool(buf)?,
+                    },
+                },
+                other => {
+                    return Err(WireError::BadTag {
+                        what: "reachability answer",
+                        tag: u64::from(other),
+                    })
+                }
+            };
+            Response::Reach(answer)
+        }
+        7 => {
+            let holds = take_bool(buf)?;
+            let total_violations = take_usize(buf)?;
+            let n = take_usize(buf)?;
+            let mut witnesses = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                witnesses.push(RefinementViolation {
+                    entity: take_entity(buf)?,
+                    perm: take_perm(buf)?,
+                });
+            }
+            Response::Refinement(RefinementReply {
+                holds,
+                total_violations,
+                witnesses,
+            })
+        }
+        8 => {
+            let n = take_usize(buf)?;
+            let mut events = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let seq = get_varint(buf)?;
+                let command = get_command(buf)?;
+                let decision = match take_u8(buf)? {
+                    0 => Decision::Refused,
+                    1 => Decision::Executed {
+                        held: PrivId::from_index(take_usize(buf)?),
+                        target: PrivId::from_index(take_usize(buf)?),
+                    },
+                    other => {
+                        return Err(WireError::BadTag {
+                            what: "audit decision",
+                            tag: u64::from(other),
+                        })
+                    }
+                };
+                let changed = take_bool(buf)?;
+                events.push(AuditEvent {
+                    seq,
+                    command,
+                    decision,
+                    changed,
+                });
+            }
+            Response::Audit(events)
+        }
+        9 => Response::Version(get_varint(buf)?),
+        10 => Response::Stats(take_stats(buf)?),
+        11 => Response::Compacted,
+        12 => Response::Lint(take_lint_report(buf)?),
+        other => {
+            return Err(WireError::BadTag {
+                what: "response",
+                tag: other,
+            })
+        }
+    };
+    ensure_consumed(buf)?;
+    Ok(resp)
+}
+
+fn put_stats(buf: &mut impl BufMut, stats: &ServiceStats) {
+    put_varint(buf, stats.epoch);
+    put_varint(buf, stats.users as u64);
+    put_varint(buf, stats.roles as u64);
+    put_varint(buf, stats.edges as u64);
+    put_varint(buf, stats.sessions as u64);
+    put_varint(buf, stats.audit_retained as u64);
+    put_varint(buf, stats.forced_deactivations);
+    put_varint(buf, stats.analyses_run);
+    put_varint(buf, stats.analyses_indefinite);
+    put_varint(buf, stats.lints_run);
+    put_varint(buf, stats.lint_findings);
+    match stats.recovery {
+        None => buf.put_u8(0),
+        Some(r) => {
+            buf.put_u8(1);
+            put_varint(buf, r.replayed as u64);
+            put_bool(buf, r.truncated_tail);
+            put_varint(buf, r.divergent as u64);
+        }
+    }
+}
+
+fn take_stats(buf: &mut impl Buf) -> Result<ServiceStats, WireError> {
+    Ok(ServiceStats {
+        epoch: get_varint(buf)?,
+        users: take_usize(buf)?,
+        roles: take_usize(buf)?,
+        edges: take_usize(buf)?,
+        sessions: take_usize(buf)?,
+        audit_retained: take_usize(buf)?,
+        forced_deactivations: get_varint(buf)?,
+        analyses_run: get_varint(buf)?,
+        analyses_indefinite: get_varint(buf)?,
+        lints_run: get_varint(buf)?,
+        lint_findings: get_varint(buf)?,
+        recovery: match take_u8(buf)? {
+            0 => None,
+            1 => Some(RecoveryReport {
+                replayed: take_usize(buf)?,
+                truncated_tail: take_bool(buf)?,
+                divergent: take_usize(buf)?,
+            }),
+            other => {
+                return Err(WireError::BadTag {
+                    what: "recovery option",
+                    tag: u64::from(other),
+                })
+            }
+        },
+    })
+}
+
+fn put_lint_report(buf: &mut impl BufMut, report: &LintReport) {
+    put_varint(buf, report.rules_checked as u64);
+    put_varint(buf, report.closure_edges as u64);
+    put_varint(buf, report.findings.len() as u64);
+    for f in &report.findings {
+        buf.put_u8(match f.kind {
+            FindingKind::DeadCommand => 0,
+            FindingKind::Unauthorizable => 1,
+            FindingKind::RedundantGrant => 2,
+            FindingKind::ShadowedGrant => 3,
+            FindingKind::NonMonotoneIsland => 4,
+            FindingKind::SodConflict => 5,
+        });
+        buf.put_u8(match f.severity {
+            Severity::Note => 0,
+            Severity::Warning => 1,
+            Severity::Error => 2,
+        });
+        put_varint(buf, f.role.index() as u64);
+        match f.term {
+            None => buf.put_u8(0),
+            Some(t) => {
+                buf.put_u8(1);
+                put_varint(buf, t.index() as u64);
+            }
+        }
+        match f.edge {
+            None => buf.put_u8(0),
+            Some(e) => {
+                buf.put_u8(1);
+                put_edge(buf, e);
+            }
+        }
+        put_string(buf, &f.message);
+    }
+}
+
+fn take_lint_report(buf: &mut impl Buf) -> Result<LintReport, WireError> {
+    let rules_checked = take_usize(buf)?;
+    let closure_edges = take_usize(buf)?;
+    let n = take_usize(buf)?;
+    let mut findings = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let kind = match take_u8(buf)? {
+            0 => FindingKind::DeadCommand,
+            1 => FindingKind::Unauthorizable,
+            2 => FindingKind::RedundantGrant,
+            3 => FindingKind::ShadowedGrant,
+            4 => FindingKind::NonMonotoneIsland,
+            5 => FindingKind::SodConflict,
+            other => {
+                return Err(WireError::BadTag {
+                    what: "finding kind",
+                    tag: u64::from(other),
+                })
+            }
+        };
+        let severity = match take_u8(buf)? {
+            0 => Severity::Note,
+            1 => Severity::Warning,
+            2 => Severity::Error,
+            other => {
+                return Err(WireError::BadTag {
+                    what: "severity",
+                    tag: u64::from(other),
+                })
+            }
+        };
+        let role = RoleId::from_index(take_usize(buf)?);
+        let term = match take_u8(buf)? {
+            0 => None,
+            1 => Some(PrivId::from_index(take_usize(buf)?)),
+            other => {
+                return Err(WireError::BadTag {
+                    what: "term option",
+                    tag: u64::from(other),
+                })
+            }
+        };
+        let edge = match take_u8(buf)? {
+            0 => None,
+            1 => Some(get_edge(buf)?),
+            other => {
+                return Err(WireError::BadTag {
+                    what: "edge option",
+                    tag: u64::from(other),
+                })
+            }
+        };
+        let message = get_string(buf)?;
+        findings.push(Finding {
+            kind,
+            severity,
+            role,
+            term,
+            edge,
+            message,
+        });
+    }
+    Ok(LintReport {
+        findings,
+        rules_checked,
+        closure_edges,
+    })
+}
+
+// ----- error payloads --------------------------------------------------
+
+/// The `expected` strings [`ServiceError::Protocol`] can carry. The
+/// variant holds a `&'static str`, so decoding matches the received
+/// string against this closed set; an unknown string degrades to
+/// [`ServiceError::Transport`] rather than failing the decode.
+const PROTOCOL_EXPECTED: &[&str] = &[
+    "Access",
+    "SessionCreated",
+    "RoleActivated",
+    "RoleDeactivated",
+    "SessionDropped",
+    "Outcomes",
+    "Outcomes(len 1)",
+    "Reach",
+    "Refinement",
+    "Audit",
+    "Version",
+    "Stats",
+    "Compacted",
+    "Lint",
+];
+
+/// Encodes a [`ServiceError`] payload (tag + fields; no frame header).
+///
+/// Two encodings are lossy, by design: a `Backend` store error crosses
+/// as its display string (rebuilt as an I/O error on the far side), and
+/// a `Protocol` string outside the known set decodes as `Transport`.
+pub fn encode_error(err: &ServiceError) -> Vec<u8> {
+    let buf = &mut Vec::new();
+    match err {
+        ServiceError::UnknownSession(id) => {
+            put_varint(buf, 0);
+            put_varint(buf, id.raw());
+        }
+        ServiceError::Session(SessionError::ActivationDenied { user, role }) => {
+            put_varint(buf, 1);
+            put_varint(buf, user.index() as u64);
+            put_varint(buf, role.index() as u64);
+        }
+        ServiceError::Backend { applied, error } => {
+            put_varint(buf, 2);
+            put_outcomes(buf, applied);
+            put_string(buf, &error.to_string());
+        }
+        ServiceError::Aborted => put_varint(buf, 3),
+        ServiceError::ForeignPolicy => put_varint(buf, 4),
+        ServiceError::InvalidTenant(t) => {
+            put_varint(buf, 5);
+            put_string(buf, t);
+        }
+        ServiceError::UnknownTenant(t) => {
+            put_varint(buf, 6);
+            put_string(buf, t);
+        }
+        ServiceError::Recovery { tenant, divergent } => {
+            put_varint(buf, 7);
+            put_string(buf, tenant);
+            put_varint(buf, *divergent as u64);
+        }
+        ServiceError::Protocol { expected } => {
+            put_varint(buf, 8);
+            put_string(buf, expected);
+        }
+        ServiceError::Transport { message } => {
+            put_varint(buf, 9);
+            put_string(buf, message);
+        }
+    }
+    std::mem::take(buf)
+}
+
+/// Decodes a [`ServiceError`] payload.
+pub fn decode_error(payload: &[u8]) -> Result<ServiceError, WireError> {
+    let buf = &mut &payload[..];
+    let tag = get_varint(buf)?;
+    let err = match tag {
+        0 => ServiceError::UnknownSession(SessionId::from_raw(get_varint(buf)?)),
+        1 => {
+            let user = UserId::from_index(take_usize(buf)?);
+            let role = RoleId::from_index(take_usize(buf)?);
+            ServiceError::Session(SessionError::ActivationDenied { user, role })
+        }
+        2 => {
+            let applied = take_outcomes(buf)?;
+            let message = get_string(buf)?;
+            ServiceError::Backend {
+                applied,
+                error: StoreError::Io(io::Error::other(message)),
+            }
+        }
+        3 => ServiceError::Aborted,
+        4 => ServiceError::ForeignPolicy,
+        5 => ServiceError::InvalidTenant(get_string(buf)?),
+        6 => ServiceError::UnknownTenant(get_string(buf)?),
+        7 => ServiceError::Recovery {
+            tenant: get_string(buf)?,
+            divergent: take_usize(buf)?,
+        },
+        8 => {
+            let s = get_string(buf)?;
+            match PROTOCOL_EXPECTED.iter().find(|known| ***known == s) {
+                Some(known) => ServiceError::Protocol { expected: known },
+                None => ServiceError::Transport {
+                    message: format!("protocol violation: expected {s} response"),
+                },
+            }
+        }
+        9 => ServiceError::Transport {
+            message: get_string(buf)?,
+        },
+        other => {
+            return Err(WireError::BadTag {
+                what: "error",
+                tag: other,
+            })
+        }
+    };
+    ensure_consumed(buf)?;
+    Ok(err)
+}

@@ -1,0 +1,648 @@
+//! Wire-codec conformance: golden bytes pinning codec == fixture ==
+//! spec, re-encode round-trips over every `Request`/`Response`/
+//! `ServiceError` variant, and adversarial frames (truncated,
+//! oversized, bad magic, future version, mutated payloads) decoding to
+//! typed errors — never panics.
+
+use adminref_core::command::{Command, CommandKind};
+use adminref_core::ids::{ActionId, Entity, ObjectId, Perm, PrivId, RoleId, UserId};
+use adminref_core::lint::{Finding, FindingKind, LintReport, Severity};
+use adminref_core::ordering::OrderingMode;
+use adminref_core::safety::SafetyConfig;
+use adminref_core::session::SessionError;
+use adminref_core::transition::AuthMode;
+use adminref_core::universe::{Edge, Universe};
+use adminref_monitor::{AuditEvent, Decision, SessionId};
+use adminref_service::protocol::{
+    RefinementDirection, Request, Response, ServiceError, ServiceStats,
+};
+use adminref_service::wire::{
+    self, FrameHeader, FrameKind, WireError, HEADER_LEN, MAX_PAYLOAD, WIRE_VERSION,
+};
+use adminref_store::RecoveryReport;
+use adminref_workloads::{layered, populate_perms, populate_users, LayeredSpec};
+use proptest::prelude::*;
+
+/// A small fixed workload: the universe resolves decoded requests, the
+/// policy feeds `CheckRefinement` candidates.
+fn test_world() -> (Universe, adminref_core::policy::Policy) {
+    let mut h = layered(LayeredSpec {
+        layers: 3,
+        width: 3,
+        edge_prob: 0.4,
+        seed: 0xC0DEC,
+    });
+    populate_users(&mut h, 4, 2, 0xC0DEC);
+    populate_perms(&mut h, 2, 4, 0xC0DEC);
+    (h.universe, h.policy)
+}
+
+fn cmd(actor: u32, kind: CommandKind, edge: Edge) -> Command {
+    Command {
+        actor: UserId::from_index(actor as usize),
+        kind,
+        edge,
+    }
+}
+
+fn perm(action: usize, object: usize) -> Perm {
+    Perm {
+        action: ActionId::from_index(action),
+        object: ObjectId::from_index(object),
+    }
+}
+
+/// One instance of every request variant, with assorted field shapes.
+fn all_requests(policy: &adminref_core::policy::Policy) -> Vec<Request> {
+    vec![
+        Request::CheckAccess {
+            session: SessionId::from_raw(1),
+            perm: perm(2, 0),
+        },
+        Request::CreateSession {
+            user: UserId::from_index(3),
+        },
+        Request::ActivateRole {
+            session: SessionId::from_raw(300),
+            role: RoleId::from_index(5),
+        },
+        Request::DeactivateRole {
+            session: SessionId::from_raw(0),
+            role: RoleId::from_index(0),
+        },
+        Request::DropSession {
+            session: SessionId::from_raw(u64::MAX),
+        },
+        Request::Submit {
+            commands: Vec::new(),
+        },
+        Request::Submit {
+            commands: vec![
+                cmd(
+                    0,
+                    CommandKind::Grant,
+                    Edge::UserRole(UserId::from_index(1), RoleId::from_index(3)),
+                ),
+                cmd(
+                    2,
+                    CommandKind::Revoke,
+                    Edge::RoleRole(RoleId::from_index(4), RoleId::from_index(6)),
+                ),
+                cmd(
+                    1,
+                    CommandKind::Grant,
+                    Edge::RolePriv(RoleId::from_index(2), PrivId::from_index(7)),
+                ),
+            ],
+        },
+        Request::AnalyzeReach {
+            entity: Entity::User(UserId::from_index(2)),
+            perm: perm(0, 1),
+            config: SafetyConfig {
+                max_steps: 5,
+                max_states: 10_000,
+                auth_mode: AuthMode::Ordered(OrderingMode::ExtendedWithRevocation),
+                weaker_depth: Some(3),
+                jobs: 2,
+                escalate: true,
+                slice: false,
+            },
+        },
+        Request::AnalyzeReach {
+            entity: Entity::Role(RoleId::from_index(1)),
+            perm: perm(1, 0),
+            config: SafetyConfig::default(),
+        },
+        Request::CheckRefinement {
+            candidate: policy.clone(),
+            direction: RefinementDirection::LiveRefinesCandidate,
+            max_witnesses: 8,
+        },
+        Request::AuditTail { max: 128 },
+        Request::AuditSince { after: 77, max: 0 },
+        Request::Version,
+        Request::Stats,
+        Request::Compact,
+        Request::Lint {
+            sod_pairs: vec![(RoleId::from_index(0), RoleId::from_index(4))],
+        },
+    ]
+}
+
+/// One instance of every response variant.
+fn all_responses() -> Vec<Response> {
+    let outcome_auth = adminref_core::transition::StepOutcome {
+        authorization: Some(adminref_core::transition::Authorization {
+            held: PrivId::from_index(4),
+            target: PrivId::from_index(2),
+        }),
+        changed: true,
+    };
+    let outcome_refused = adminref_core::transition::StepOutcome {
+        authorization: None,
+        changed: false,
+    };
+    vec![
+        Response::Access(true),
+        Response::Access(false),
+        Response::SessionCreated(SessionId::from_raw(9000)),
+        Response::RoleActivated,
+        Response::RoleDeactivated(false),
+        Response::SessionDropped(true),
+        Response::Outcomes(vec![outcome_auth, outcome_refused]),
+        Response::Reach(adminref_core::safety::ReachabilityAnswer::Reachable {
+            witness: adminref_core::command::CommandQueue::from_commands(vec![cmd(
+                0,
+                CommandKind::Grant,
+                Edge::UserRole(UserId::from_index(1), RoleId::from_index(2)),
+            )]),
+        }),
+        Response::Reach(adminref_core::safety::ReachabilityAnswer::Unreachable),
+        Response::Reach(adminref_core::safety::ReachabilityAnswer::Unknown {
+            truncation: adminref_core::safety::Truncation {
+                states: 5000,
+                depth: 4,
+                cap_hit: true,
+            },
+        }),
+        Response::Refinement(adminref_service::protocol::RefinementReply {
+            holds: false,
+            total_violations: 12,
+            witnesses: vec![adminref_core::refinement::RefinementViolation {
+                entity: Entity::Role(RoleId::from_index(3)),
+                perm: perm(1, 1),
+            }],
+        }),
+        Response::Audit(vec![
+            AuditEvent {
+                seq: 41,
+                command: cmd(
+                    1,
+                    CommandKind::Revoke,
+                    Edge::RoleRole(RoleId::from_index(0), RoleId::from_index(1)),
+                ),
+                decision: Decision::Refused,
+                changed: false,
+            },
+            AuditEvent {
+                seq: 42,
+                command: cmd(
+                    0,
+                    CommandKind::Grant,
+                    Edge::UserRole(UserId::from_index(2), RoleId::from_index(2)),
+                ),
+                decision: Decision::Executed {
+                    held: PrivId::from_index(1),
+                    target: PrivId::from_index(0),
+                },
+                changed: true,
+            },
+        ]),
+        Response::Version(123456789),
+        Response::Stats(ServiceStats {
+            epoch: 17,
+            users: 4,
+            roles: 9,
+            edges: 30,
+            sessions: 2,
+            audit_retained: 100,
+            forced_deactivations: 1,
+            analyses_run: 5,
+            analyses_indefinite: 1,
+            lints_run: 2,
+            lint_findings: 7,
+            recovery: Some(RecoveryReport {
+                replayed: 12,
+                truncated_tail: true,
+                divergent: 0,
+            }),
+        }),
+        Response::Stats(ServiceStats {
+            epoch: 0,
+            users: 0,
+            roles: 0,
+            edges: 0,
+            sessions: 0,
+            audit_retained: 0,
+            forced_deactivations: 0,
+            analyses_run: 0,
+            analyses_indefinite: 0,
+            lints_run: 0,
+            lint_findings: 0,
+            recovery: None,
+        }),
+        Response::Compacted,
+        Response::Lint(LintReport {
+            rules_checked: 6,
+            closure_edges: 14,
+            findings: vec![Finding {
+                kind: FindingKind::ShadowedGrant,
+                severity: Severity::Warning,
+                role: RoleId::from_index(2),
+                term: Some(PrivId::from_index(5)),
+                edge: Some(Edge::RolePriv(RoleId::from_index(2), PrivId::from_index(5))),
+                message: "grant shadowed by inherited privilege".to_string(),
+            }],
+        }),
+    ]
+}
+
+/// One instance of every error variant (Backend handled separately:
+/// its encoding is deliberately lossy).
+fn all_errors() -> Vec<ServiceError> {
+    vec![
+        ServiceError::UnknownSession(SessionId::from_raw(5)),
+        ServiceError::Session(SessionError::ActivationDenied {
+            user: UserId::from_index(1),
+            role: RoleId::from_index(2),
+        }),
+        ServiceError::Aborted,
+        ServiceError::ForeignPolicy,
+        ServiceError::InvalidTenant("bad/name".to_string()),
+        ServiceError::UnknownTenant("ghost".to_string()),
+        ServiceError::Recovery {
+            tenant: "hospital".to_string(),
+            divergent: 3,
+        },
+        ServiceError::Protocol {
+            expected: "Outcomes(len 1)",
+        },
+        ServiceError::Transport {
+            message: "connection reset".to_string(),
+        },
+    ]
+}
+
+// ----- golden bytes ----------------------------------------------------
+
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn frame_bytes(kind: FrameKind, id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    wire::write_frame(&mut out, kind, id, payload).expect("vec write");
+    out
+}
+
+/// The fixture's frames, re-encoded from live code. Names must match
+/// `fixtures/wire_golden.hex`; the hex must also appear (whitespace
+/// insignificant) in `specs/wire_protocol.md`.
+fn golden_frames() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        (
+            "version-request",
+            frame_bytes(
+                FrameKind::Request,
+                1,
+                &wire::encode_request(&Request::Version),
+            ),
+        ),
+        (
+            "check-access-request",
+            frame_bytes(
+                FrameKind::Request,
+                7,
+                &wire::encode_request(&Request::CheckAccess {
+                    session: SessionId::from_raw(1),
+                    perm: perm(2, 0),
+                }),
+            ),
+        ),
+        (
+            "submit-request",
+            frame_bytes(
+                FrameKind::Request,
+                8,
+                &wire::encode_request(&Request::Submit {
+                    commands: vec![cmd(
+                        0,
+                        CommandKind::Grant,
+                        Edge::UserRole(UserId::from_index(1), RoleId::from_index(3)),
+                    )],
+                }),
+            ),
+        ),
+        (
+            "access-response",
+            frame_bytes(
+                FrameKind::Response,
+                7,
+                &wire::encode_response(&Response::Access(true)),
+            ),
+        ),
+        (
+            "outcomes-response",
+            frame_bytes(
+                FrameKind::Response,
+                8,
+                &wire::encode_response(&Response::Outcomes(vec![
+                    adminref_core::transition::StepOutcome {
+                        authorization: Some(adminref_core::transition::Authorization {
+                            held: PrivId::from_index(4),
+                            target: PrivId::from_index(2),
+                        }),
+                        changed: true,
+                    },
+                ])),
+            ),
+        ),
+        (
+            "aborted-error",
+            frame_bytes(
+                FrameKind::Error,
+                9,
+                &wire::encode_error(&ServiceError::Aborted),
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn golden_bytes_pin_codec_fixture_and_spec() {
+    let fixture = std::fs::read_to_string(repo_path("fixtures/wire_golden.hex"))
+        .expect("fixtures/wire_golden.hex");
+    let spec = std::fs::read_to_string(repo_path("specs/wire_protocol.md"))
+        .expect("specs/wire_protocol.md");
+    let spec_stripped: String = spec.chars().filter(|c| !c.is_whitespace()).collect();
+
+    let mut pinned: Vec<(&str, &str)> = Vec::new();
+    for line in fixture.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, hex) = line.split_once(' ').expect("fixture line: `name hex`");
+        pinned.push((name, hex.trim()));
+    }
+
+    let live = golden_frames();
+    assert_eq!(
+        live.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+        pinned.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+        "fixture frame names disagree with golden_frames()"
+    );
+    for ((name, bytes), (_, fixture_hex)) in live.iter().zip(&pinned) {
+        let live_hex = hex(bytes);
+        assert_eq!(
+            &live_hex, fixture_hex,
+            "frame `{name}`: live encoding disagrees with fixtures/wire_golden.hex \
+             (protocol change without a fixture + spec + WIRE_VERSION update?)"
+        );
+        assert!(
+            spec_stripped.contains(&live_hex),
+            "frame `{name}` ({live_hex}) not found in specs/wire_protocol.md \
+             — the spec's worked examples have drifted from the codec"
+        );
+    }
+}
+
+#[test]
+fn spec_names_the_current_wire_version() {
+    let spec = std::fs::read_to_string(repo_path("specs/wire_protocol.md"))
+        .expect("specs/wire_protocol.md");
+    assert!(
+        spec.contains(&format!("`WIRE_VERSION = {WIRE_VERSION}`")),
+        "specs/wire_protocol.md must state `WIRE_VERSION = {WIRE_VERSION}`"
+    );
+}
+
+// ----- round-trips -----------------------------------------------------
+
+#[test]
+fn every_request_variant_round_trips() {
+    let (uni, policy) = test_world();
+    for req in all_requests(&policy) {
+        let bytes = wire::encode_request(&req);
+        let back = wire::decode_request(&bytes, &uni)
+            .unwrap_or_else(|e| panic!("decode of {req:?} failed: {e}"));
+        assert_eq!(
+            wire::encode_request(&back),
+            bytes,
+            "re-encode mismatch for {req:?}"
+        );
+    }
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    for resp in all_responses() {
+        let bytes = wire::encode_response(&resp);
+        let back = wire::decode_response(&bytes)
+            .unwrap_or_else(|e| panic!("decode of {resp:?} failed: {e}"));
+        assert_eq!(
+            wire::encode_response(&back),
+            bytes,
+            "re-encode mismatch for {resp:?}"
+        );
+    }
+}
+
+#[test]
+fn every_error_variant_round_trips() {
+    for err in all_errors() {
+        let bytes = wire::encode_error(&err);
+        let back =
+            wire::decode_error(&bytes).unwrap_or_else(|e| panic!("decode of {err:?} failed: {e}"));
+        assert_eq!(
+            wire::encode_error(&back),
+            bytes,
+            "re-encode mismatch for {err:?}"
+        );
+    }
+}
+
+#[test]
+fn backend_error_crosses_as_display_string() {
+    let err = ServiceError::Backend {
+        applied: vec![adminref_core::transition::StepOutcome {
+            authorization: None,
+            changed: false,
+        }],
+        error: adminref_store::StoreError::Io(std::io::Error::other("disk full")),
+    };
+    let back = wire::decode_error(&wire::encode_error(&err)).expect("decodes");
+    match back {
+        ServiceError::Backend { applied, error } => {
+            assert_eq!(applied.len(), 1);
+            assert!(error.to_string().contains("disk full"));
+        }
+        other => panic!("expected Backend, got {other:?}"),
+    }
+}
+
+// ----- adversarial frames ----------------------------------------------
+
+#[test]
+fn adversarial_headers_yield_typed_errors() {
+    let good = FrameHeader {
+        kind: FrameKind::Request,
+        payload_len: 4,
+        request_id: 9,
+    }
+    .encode();
+
+    let mut bad_magic = good;
+    bad_magic[0] = b'X';
+    assert!(matches!(
+        FrameHeader::parse(&bad_magic),
+        Err(WireError::BadMagic(_))
+    ));
+
+    let mut future_version = good;
+    future_version[4] = WIRE_VERSION + 1;
+    assert!(matches!(
+        FrameHeader::parse(&future_version),
+        Err(WireError::UnsupportedVersion { got, supported })
+            if got == WIRE_VERSION + 1 && supported == WIRE_VERSION
+    ));
+
+    let mut bad_kind = good;
+    bad_kind[5] = 77;
+    assert!(matches!(
+        FrameHeader::parse(&bad_kind),
+        Err(WireError::BadFrameKind(77))
+    ));
+
+    let mut oversized = good;
+    oversized[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    assert!(matches!(
+        FrameHeader::parse(&oversized),
+        Err(WireError::Oversized { .. })
+    ));
+
+    // Reserved bytes are ignored on receipt.
+    let mut reserved_set = good;
+    reserved_set[6] = 0xAA;
+    reserved_set[7] = 0xBB;
+    assert!(FrameHeader::parse(&reserved_set).is_ok());
+}
+
+#[test]
+fn truncated_streams_yield_truncated_not_panics() {
+    let frame = frame_bytes(
+        FrameKind::Request,
+        3,
+        &wire::encode_request(&Request::Stats),
+    );
+    // Clean EOF at a frame boundary is Ok(None)…
+    assert!(matches!(wire::read_frame(&mut &[][..]), Ok(None)));
+    // …but EOF at every interior cut is a typed truncation.
+    for cut in 1..frame.len() {
+        let mut short = &frame[..cut];
+        match wire::read_frame(&mut short) {
+            Err(wire::FrameError::Wire(WireError::Truncated)) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn trailing_bytes_and_bad_tags_are_rejected() {
+    let (uni, _) = test_world();
+    let mut padded = wire::encode_request(&Request::Version);
+    padded.push(0);
+    assert!(matches!(
+        wire::decode_request(&padded, &uni),
+        Err(WireError::TrailingBytes { extra: 1 })
+    ));
+
+    // Tag 200 names no request.
+    assert!(matches!(
+        wire::decode_request(&[200, 1], &uni),
+        Err(WireError::BadTag {
+            what: "request",
+            ..
+        })
+    ));
+    assert!(matches!(
+        wire::decode_response(&[200, 1]),
+        Err(WireError::BadTag {
+            what: "response",
+            ..
+        })
+    ));
+    assert!(matches!(
+        wire::decode_error(&[200, 1]),
+        Err(WireError::BadTag { what: "error", .. })
+    ));
+}
+
+#[test]
+fn out_of_range_ids_are_refused_at_the_boundary() {
+    let (uni, _) = test_world();
+    let req = Request::CreateSession {
+        user: UserId::from_index(uni.user_count() + 10),
+    };
+    assert!(matches!(
+        wire::validate_request(&req, &uni),
+        Err(WireError::IdOutOfRange { what: "user", .. })
+    ));
+    let req = Request::Submit {
+        commands: vec![cmd(
+            0,
+            CommandKind::Grant,
+            Edge::UserRole(UserId::from_index(0), RoleId::from_index(uni.role_count())),
+        )],
+    };
+    assert!(matches!(
+        wire::validate_request(&req, &uni),
+        Err(WireError::IdOutOfRange { what: "role", .. })
+    ));
+}
+
+// ----- mutation fuzzing ------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single-byte corruption of any valid request payload decodes
+    /// to Ok or a typed error — never a panic, and trailing bytes never
+    /// survive silently.
+    #[test]
+    fn mutated_request_payloads_never_panic(which in 0usize..16, pos in 0usize..64, byte in 0usize..256) {
+        let (uni, policy) = test_world();
+        let reqs = all_requests(&policy);
+        let mut bytes = wire::encode_request(&reqs[which % reqs.len()]);
+        if !bytes.is_empty() {
+            let at = pos % bytes.len();
+            bytes[at] = byte as u8;
+        }
+        // Either outcome is fine; reaching this line without a panic
+        // (and without unbounded allocation) is the property.
+        let _ = wire::decode_request(&bytes, &uni);
+    }
+
+    /// Same for response payloads, including truncation at every depth.
+    #[test]
+    fn mutated_response_payloads_never_panic(which in 0usize..16, cut in 0usize..64, byte in 0usize..256) {
+        let resps = all_responses();
+        let mut bytes = wire::encode_response(&resps[which % resps.len()]);
+        let keep = cut % (bytes.len() + 1);
+        bytes.truncate(keep);
+        if let Some(last) = bytes.last_mut() {
+            *last = byte as u8;
+        }
+        let _ = wire::decode_response(&bytes);
+    }
+
+    /// Random 20-byte headers parse to a typed result, never a panic.
+    #[test]
+    fn random_headers_never_panic(seed in 0u64..10_000) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut header = [0u8; HEADER_LEN];
+        for b in &mut header {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *b = state as u8;
+        }
+        let _ = FrameHeader::parse(&header);
+    }
+}
