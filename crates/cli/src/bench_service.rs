@@ -36,6 +36,15 @@
 //! per-tenant monitors — aggregate multi-policy publication throughput,
 //! not comparable to the durable percall/group cells.
 //!
+//! The `replica-read` cell measures the replication tentpole's read
+//! side: a primary [`ReplicatedService`] under one admin writer streams
+//! epoch deltas over a loopback socket to a bootstrapped replica, and
+//! reader threads hammer `check_access` against the **replica's**
+//! lock-free snapshots while the delta stream applies underneath them.
+//! The measured value is replica read ops/s, gated (absolute, with the
+//! same 2x slack as the write floor) by
+//! `floors_replica_read_ops_per_sec`.
+//!
 //! With `--baseline FILE` the run is gated three ways: the
 //! group/percall speedup at each floored writer count must meet
 //! `floors_service_group_speedup` (the acceptance bar — ≥2x at 4
@@ -53,11 +62,15 @@ use std::time::{Duration, Instant};
 use adminref_core::command::Command;
 use adminref_core::universe::Universe;
 use adminref_monitor::{MonitorConfig, ReferenceMonitor};
+use adminref_service::replication::fetch_bootstrap;
 use adminref_service::{
-    Daemon, MonitorService, PolicyService, RouterConfig, ServiceRouter, WireClient, WireListener,
+    Daemon, DaemonConfig, FollowTarget, MonitorService, PolicyService, ReplicatedService,
+    RouterConfig, ServiceRouter, WireClient, WireListener,
 };
 use adminref_store::{PolicyStore, TempDir};
-use adminref_workloads::{tenant_seed, write_storm, WriteStormSpec, WriteStormWorkload};
+use adminref_workloads::{
+    churn, tenant_seed, write_storm, ChurnSpec, WriteStormSpec, WriteStormWorkload,
+};
 
 use crate::bench_monitor::parse_floor_map;
 
@@ -223,6 +236,19 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
             });
         }
     }
+    {
+        let readers = max_writers;
+        let rate = measure_replica_read(readers, opts.secs)?;
+        eprintln!(
+            "bench-service: {:>12} readers={readers:<2} {rate:>10.0} read-ops/s",
+            "replica-read"
+        );
+        cells.push(Cell {
+            path: "replica-read",
+            writers: readers,
+            write_cmds_per_sec: rate,
+        });
+    }
     if opts.tenants > 0 {
         let rate = measure_router(opts);
         eprintln!(
@@ -329,6 +355,105 @@ fn measure_router(opts: &BenchOptions) -> f64 {
     measure_workers(&workers, opts.secs)
 }
 
+/// The replication read cell: a primary [`ReplicatedService`] over an
+/// in-memory monitor serves a TCP loopback daemon; a replica bootstraps
+/// from it and follows the delta stream; `readers` threads alternate
+/// granted/denied `check_access` probes against the replica's own
+/// service while one writer churns the primary. Returns replica read
+/// ops/s. Loopback TCP (not Unix) keeps the cell portable.
+fn measure_replica_read(readers: usize, secs: f64) -> Result<f64, String> {
+    let w = churn(ChurnSpec {
+        roles: 128,
+        readers: readers.max(1),
+        batch_len: 16,
+        batches: 64,
+        valid_ratio: 0.9,
+        seed: 0x5E4C,
+    });
+    let monitor = Arc::new(ReferenceMonitor::new(
+        w.universe.clone(),
+        w.policy.clone(),
+        MonitorConfig::default(),
+    ));
+    let primary = Arc::new(ReplicatedService::primary(monitor));
+    let hub = Arc::clone(primary.hub());
+    let listener =
+        WireListener::tcp("127.0.0.1:0").map_err(|e| format!("bench replica listener: {e}"))?;
+    let daemon = Daemon::spawn_replicated(
+        Arc::clone(&primary) as Arc<dyn PolicyService>,
+        w.universe.clone(),
+        listener,
+        DaemonConfig::default(),
+        Some(hub),
+    )
+    .map_err(|e| format!("bench replica daemon: {e}"))?;
+    let addr = daemon
+        .local_addr()
+        .ok_or_else(|| "bench replica daemon has no local addr".to_string())?;
+    let target = FollowTarget::Tcp(addr.to_string());
+    let (universe, policy, epoch, term) = fetch_bootstrap(&target, Duration::from_secs(5))
+        .map_err(|e| format!("bench replica bootstrap: {e}"))?;
+    let replica_monitor = Arc::new(ReferenceMonitor::new(
+        universe.clone(),
+        policy.clone(),
+        MonitorConfig::default(),
+    ));
+    replica_monitor
+        .install_replica_state(universe, policy, epoch)
+        .map_err(|e| format!("bench replica install: {e}"))?;
+    let replica = ReplicatedService::replica(
+        replica_monitor,
+        target,
+        Duration::from_millis(50),
+        Some(term),
+    );
+
+    // Reader sessions live on the replica; the stream churning the
+    // policy underneath them flips probe outcomes, which is the point —
+    // black_box consumes either answer.
+    let sessions: Vec<_> = (0..readers.max(1))
+        .map(|i| {
+            let profile = w.readers[i % w.readers.len()];
+            let sid = replica.create_session(profile.user).expect("session");
+            replica.activate_role(sid, profile.role).expect("activate");
+            (sid, profile.perm_hit, profile.perm_miss)
+        })
+        .collect();
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let start = Instant::now();
+    let replica = &replica;
+    let primary = &*primary;
+    crossbeam::scope(|scope| {
+        for &(sid, hit, miss) in &sessions {
+            let (stop, reads) = (&stop, &reads);
+            scope.spawn(move |_| {
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(replica.check_access(sid, hit).expect("replica read"));
+                    std::hint::black_box(replica.check_access(sid, miss).expect("replica read"));
+                    local += 2;
+                }
+                reads.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        scope.spawn(|_| {
+            for batch in w.batches.iter().cycle() {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                primary.submit(batch.clone()).expect("primary write");
+            }
+        });
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+    })
+    .expect("bench replica threads join");
+    let rate = reads.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64();
+    daemon.shutdown();
+    Ok(rate)
+}
+
 /// group-path / percall-path throughput ratio at one writer count; the
 /// local cells pass (`"group"`, `"percall"`), the socket cells
 /// (`"wire-group"`, `"wire-percall"`).
@@ -362,7 +487,7 @@ fn wire_speedup(cells: &[Cell], writers: usize) -> Option<f64> {
 fn writer_counts(cells: &[Cell]) -> Vec<usize> {
     let mut counts: Vec<usize> = cells
         .iter()
-        .filter(|c| c.path != "router")
+        .filter(|c| c.path != "router" && c.path != "replica-read")
         .map(|c| c.writers)
         .collect();
     counts.sort_unstable();
@@ -396,8 +521,14 @@ fn render_json(opts: &BenchOptions, cells: &[Cell]) -> String {
     out.push_str(&format!("  \"secs_per_cell\": {},\n", opts.secs));
     out.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
+        // The replica cell measures reads; every other cell writes.
+        let metric = if c.path == "replica-read" {
+            "read_ops_per_sec"
+        } else {
+            "write_cmds_per_sec"
+        };
         out.push_str(&format!(
-            "    {{\"path\": \"{}\", \"writers\": {}, \"write_cmds_per_sec\": {:.0}}}{}\n",
+            "    {{\"path\": \"{}\", \"writers\": {}, \"{metric}\": {:.0}}}{}\n",
             c.path,
             c.writers,
             c.write_cmds_per_sec,
@@ -426,7 +557,8 @@ fn render_json(opts: &BenchOptions, cells: &[Cell]) -> String {
 /// against `floors_service_group_speedup` /
 /// `floors_wire_group_speedup` (direct ≥), and the group path's
 /// absolute throughput against `floors_service_write_cmds_per_sec`
-/// (fails only >2x below the floor, like `bench-monitor`).
+/// and the replica cell's against `floors_replica_read_ops_per_sec`
+/// (both fail only >2x below the floor, like `bench-monitor`).
 fn gate(cells: &[Cell], baseline: &str) -> Result<(), String> {
     let mut violations = Vec::new();
     for (writers, min_speedup) in parse_floor_map(baseline, "floors_service_group_speedup")? {
@@ -467,6 +599,22 @@ fn gate(cells: &[Cell], baseline: &str) -> Result<(), String> {
             ));
         }
     }
+    for (readers, floor) in parse_floor_map(baseline, "floors_replica_read_ops_per_sec")? {
+        let Some(cell) = cells
+            .iter()
+            .find(|c| c.path == "replica-read" && c.writers == readers)
+        else {
+            continue;
+        };
+        let minimum = floor / 2.0;
+        if cell.write_cmds_per_sec < minimum {
+            violations.push(format!(
+                "replica read throughput at {readers} readers: {:.0}/s is >2x below the \
+                 {floor:.0}/s floor (minimum {minimum:.0}/s)",
+                cell.write_cmds_per_sec
+            ));
+        }
+    }
     if violations.is_empty() {
         Ok(())
     } else {
@@ -497,13 +645,15 @@ mod tests {
             cell("wire-percall", 4, 5_000.0),
             cell("wire-group", 4, 20_000.0),
             cell("router", 4, 40_000.0),
+            cell("replica-read", 4, 500_000.0),
         ];
         assert_eq!(speedup(&cells, 4), Some(4.5));
         assert_eq!(wire_speedup(&cells, 4), Some(4.0));
         let baseline = r#"{
           "floors_service_group_speedup": { "4": 2.0 },
           "floors_wire_group_speedup": { "4": 2.0 },
-          "floors_service_write_cmds_per_sec": { "4": 20000 }
+          "floors_service_write_cmds_per_sec": { "4": 20000 },
+          "floors_replica_read_ops_per_sec": { "4": 400000 }
         }"#;
         assert!(gate(&cells, baseline).is_ok());
         // Speedup below the bar trips the gate directly…
@@ -523,6 +673,12 @@ mod tests {
         let low = vec![cell("percall", 4, 100.0), cell("group", 4, 9_000.0)];
         let err = gate(&low, baseline).unwrap_err();
         assert!(err.contains("throughput"), "{err}");
+        // The replica read floor is gated the same way.
+        let slow_replica = vec![cell("replica-read", 4, 100_000.0)];
+        let err = gate(&slow_replica, baseline).unwrap_err();
+        assert!(err.contains("replica read"), "{err}");
+        let ok_replica = vec![cell("replica-read", 4, 250_000.0)];
+        assert!(gate(&ok_replica, baseline).is_ok(), "2x slack holds");
         // Floors for unmeasured writer counts are skipped.
         let partial = vec![cell("percall", 1, 100.0), cell("group", 1, 500.0)];
         assert!(gate(&partial, baseline).is_ok());
@@ -530,7 +686,7 @@ mod tests {
 
     #[test]
     fn router_cells_do_not_feed_speedup() {
-        let cells = vec![cell("router", 4, 99_999.0)];
+        let cells = vec![cell("router", 4, 99_999.0), cell("replica-read", 4, 9.0)];
         assert_eq!(speedup(&cells, 4), None);
         assert!(writer_counts(&cells).is_empty());
     }

@@ -24,8 +24,12 @@
 //!                   [--roles N] [--tenants T] [--baseline BENCH_BASELINE.json]
 //! adminref serve    <store-dir> (--listen HOST:PORT | --unix PATH)
 //!                   [--init policy.rbac] [--ordered] [--stop-file PATH] [--workers N]
+//!                   [--replicate]
+//! adminref serve    (--follow HOST:PORT | --follow-unix PATH)
+//!                   (--listen HOST:PORT | --unix PATH) [--stop-file PATH] [--workers N]
 //! adminref client   (<host:port> | --unix PATH) <verb> ...
 //!                   verbs: check | reach | lint | submit | compact | stats | version
+//!                          | promote
 //! ```
 //!
 //! `refines` is scriptable: it prints the violation count and the first
@@ -50,7 +54,11 @@
 //! durable store (TCP or Unix socket, wire protocol in
 //! `specs/wire_protocol.md`), and `client` drives a running daemon
 //! with remote twins of the local verbs — see [`remote`] for the
-//! name-resolution model.
+//! name-resolution model. `serve --replicate` makes the daemon a
+//! replication primary that streams each published epoch's deltas to
+//! subscribers; `serve --follow` runs an in-memory read replica that
+//! refuses writes until `client … promote` turns it into the new
+//! primary under a bumped fencing term.
 //!
 //! Policies use the `adminref-lang` syntax; privileges on the command
 //! line use the same expression syntax, quoted.
@@ -115,13 +123,16 @@ const USAGE: &str = "usage:
                     [--roles N] [--tenants T] [--baseline BENCH_BASELINE.json]
   adminref serve    <store-dir> (--listen HOST:PORT | --unix PATH)
                     [--init policy.rbac] [--ordered] [--stop-file PATH] [--workers N]
+                    [--replicate]
+  adminref serve    (--follow HOST:PORT | --follow-unix PATH)
+                    (--listen HOST:PORT | --unix PATH) [--stop-file PATH] [--workers N]
   adminref client   (<host:port> | --unix PATH) <verb> ...
                     check  <policy.rbac> <user> <action> <object> --roles r1[,r2...]
                     reach  <policy.rbac> <user> <action> <object> [--steps N]
                            [--max-states N] [--jobs N] [--no-escalate] [--no-slice]
                     lint   <policy.rbac> [--json] [--deny note|warning|error] [--sod ...]
                     submit <policy.rbac> <queue.rbacq>
-                    compact | stats | version";
+                    compact | stats | version | promote";
 
 /// Dispatches to a subcommand. `Ok(code)` is a completed run (possibly
 /// a scriptable nonzero exit, e.g. `refines` on a failed refinement or

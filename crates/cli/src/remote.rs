@@ -23,6 +23,7 @@ use adminref_core::transition::AuthMode;
 use adminref_lang::{load_queue, print_command};
 use adminref_monitor::{MonitorConfig, ReferenceMonitor};
 use adminref_service::daemon::{Daemon, DaemonConfig, WireListener};
+use adminref_service::replication::{fetch_bootstrap, FollowTarget, ReplicatedService};
 use adminref_service::{MonitorService, PolicyService, WireClient};
 use adminref_store::PolicyStore;
 
@@ -43,6 +44,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--jobs",
     "--roles",
     "--witnesses",
+    "--follow",
+    "--follow-unix",
 ];
 
 /// Positional arguments with the values of [`VALUE_FLAGS`] stripped, so
@@ -82,13 +85,33 @@ fn auth_mode(rest: &[&String]) -> AuthMode {
 // ----- adminref serve --------------------------------------------------
 
 /// `adminref serve <store-dir> (--listen HOST:PORT | --unix PATH)
-/// [--init policy.rbac] [--ordered] [--stop-file PATH] [--workers N]`
+/// [--init policy.rbac] [--ordered] [--stop-file PATH] [--workers N]
+/// [--replicate]`, or
+/// `adminref serve (--follow HOST:PORT | --follow-unix PATH)
+/// (--listen … | --unix …) [--stop-file PATH] [--workers N]`
 ///
 /// Serves a durable store over the wire protocol until the stop file
 /// appears (or forever without one — the process is then stopped
 /// externally; the WAL makes hard kills safe, at the cost of dropping
-/// in-memory sessions).
+/// in-memory sessions). `--replicate` makes the daemon a replication
+/// primary that streams every published epoch to subscribed replicas;
+/// `--follow` makes it an in-memory read replica of a primary (no
+/// store directory) that refuses writes until promoted.
 pub fn cmd_serve(rest: &[&String]) -> Result<ExitCode, String> {
+    let follow = match (
+        flag_value(rest, "--follow"),
+        flag_value(rest, "--follow-unix"),
+    ) {
+        (Some(_), Some(_)) => {
+            return Err("pass at most one of --follow HOST:PORT and --follow-unix PATH".into())
+        }
+        (Some(addr), None) => Some(FollowTarget::Tcp(addr)),
+        (None, Some(path)) => Some(FollowTarget::Unix(path.into())),
+        (None, None) => None,
+    };
+    if let Some(target) = follow {
+        return serve_replica(rest, target);
+    }
     let pos = positionals(rest);
     let dir = positional(&pos, 0, "store directory")?;
     let mode = auth_mode(rest);
@@ -130,10 +153,70 @@ pub fn cmd_serve(rest: &[&String]) -> Result<ExitCode, String> {
     let monitor = ReferenceMonitor::with_store_recovered(store, recovery, MonitorConfig::default());
     // Network serving: a small write-gather window lets one pipelined
     // round-trip's submissions coalesce into one group-commit batch.
-    let service: Arc<dyn PolicyService> = Arc::new(
-        MonitorService::new(monitor).with_write_gather(std::time::Duration::from_micros(50)),
-    );
+    let gather = std::time::Duration::from_micros(50);
+    let (service, hub): (Arc<dyn PolicyService>, _) = if flag(rest, "--replicate") {
+        let service = ReplicatedService::primary(Arc::new(monitor)).with_write_gather(gather);
+        let hub = Arc::clone(service.hub());
+        (Arc::new(service), Some(hub))
+    } else {
+        (
+            Arc::new(MonitorService::new(monitor).with_write_gather(gather)),
+            None,
+        )
+    };
 
+    let (listener, unix) = bind_listener(rest)?;
+    let config = daemon_config(rest)?;
+    let daemon = Daemon::spawn_replicated(service, universe, listener, config, hub)
+        .map_err(|e| format!("starting daemon: {e}"))?;
+    match (daemon.local_addr(), &unix) {
+        (Some(addr), _) => println!("serving {dir} on tcp {addr}"),
+        (None, Some(path)) => println!("serving {dir} on unix {path}"),
+        (None, None) => println!("serving {dir}"),
+    }
+    run_until_stopped(rest, daemon)
+}
+
+/// `adminref serve --follow …`: bootstrap from the primary, serve the
+/// read alphabet in memory, stream and apply its epoch deltas.
+fn serve_replica(rest: &[&String], target: FollowTarget) -> Result<ExitCode, String> {
+    let (universe, policy, epoch, term) =
+        fetch_bootstrap(&target, Duration::from_secs(30)).map_err(|e| format!("bootstrap: {e}"))?;
+    println!(
+        "bootstrapped at epoch {epoch} (term {term}): {} user(s), {} role(s)",
+        universe.user_count(),
+        universe.role_count()
+    );
+    let monitor = Arc::new(ReferenceMonitor::new(
+        universe.clone(),
+        policy.clone(),
+        MonitorConfig::default(),
+    ));
+    monitor
+        .install_replica_state(universe.clone(), policy, epoch)
+        .map_err(|e| format!("installing bootstrap state: {e}"))?;
+    let service = ReplicatedService::replica(
+        Arc::clone(&monitor),
+        target,
+        Duration::from_millis(500),
+        Some(term),
+    );
+    let hub = Arc::clone(service.hub());
+    let (listener, unix) = bind_listener(rest)?;
+    let config = daemon_config(rest)?;
+    let daemon = Daemon::spawn_replicated(Arc::new(service), universe, listener, config, Some(hub))
+        .map_err(|e| format!("starting daemon: {e}"))?;
+    match (daemon.local_addr(), &unix) {
+        (Some(addr), _) => println!("replica serving on tcp {addr} (writes refused until promote)"),
+        (None, Some(path)) => {
+            println!("replica serving on unix {path} (writes refused until promote)")
+        }
+        (None, None) => println!("replica serving (writes refused until promote)"),
+    }
+    run_until_stopped(rest, daemon)
+}
+
+fn bind_listener(rest: &[&String]) -> Result<(WireListener, Option<String>), String> {
     let listen = flag_value(rest, "--listen");
     let unix = flag_value(rest, "--unix");
     let listener = match (&listen, &unix) {
@@ -145,7 +228,10 @@ pub fn cmd_serve(rest: &[&String]) -> Result<ExitCode, String> {
         }
         _ => return Err("serve needs exactly one of --listen HOST:PORT or --unix PATH".into()),
     };
+    Ok((listener, unix))
+}
 
+fn daemon_config(rest: &[&String]) -> Result<DaemonConfig, String> {
     let mut config = DaemonConfig::default();
     if let Some(w) = flag_value(rest, "--workers") {
         config.workers_per_connection = w
@@ -153,17 +239,12 @@ pub fn cmd_serve(rest: &[&String]) -> Result<ExitCode, String> {
             .map_err(|e| format!("--workers: {e}"))?
             .max(1);
     }
+    Ok(config)
+}
 
-    let daemon = Daemon::spawn_with(service, universe, listener, config)
-        .map_err(|e| format!("starting daemon: {e}"))?;
-    match (daemon.local_addr(), &unix) {
-        (Some(addr), _) => println!("serving {dir} on tcp {addr}"),
-        (None, Some(path)) => println!("serving {dir} on unix {path}"),
-        (None, None) => println!("serving {dir}"),
-    }
-
+fn run_until_stopped(rest: &[&String], daemon: Daemon) -> Result<ExitCode, String> {
     // std cannot catch signals without unsafe; a stop file gives
-    // scripts (and the CI smoke lane) a portable graceful shutdown.
+    // scripts (and the CI smoke lanes) a portable graceful shutdown.
     let stop_file = flag_value(rest, "--stop-file");
     match stop_file {
         Some(stop_path) => {
@@ -216,11 +297,18 @@ pub fn cmd_client(rest: &[&String]) -> Result<ExitCode, String> {
         }
         "stats" => client_stats(&client),
         "version" => {
-            println!("epoch {}", client.version().map_err(|e| e.to_string())?);
+            let info = client.version_info().map_err(|e| e.to_string())?;
+            println!("epoch {} checksum {:#018x}", info.epoch, info.checksum);
+            Ok(ExitCode::SUCCESS)
+        }
+        "promote" => {
+            let (term, epoch) = client.promote().map_err(|e| e.to_string())?;
+            println!("promoted: primary under term {term} at epoch {epoch}");
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!(
-            "unknown client verb `{other}` (check|reach|lint|submit|compact|stats|version)"
+            "unknown client verb `{other}` \
+             (check|reach|lint|submit|compact|stats|version|promote)"
         )),
     }
 }
@@ -410,6 +498,7 @@ fn client_submit(client: &WireClient, args: &[&str]) -> Result<ExitCode, String>
 fn client_stats(client: &WireClient) -> Result<ExitCode, String> {
     let s = client.stats().map_err(|e| e.to_string())?;
     println!("epoch                {}", s.epoch);
+    println!("checksum             {:#018x}", s.checksum);
     println!("users                {}", s.users);
     println!("roles                {}", s.roles);
     println!("edges                {}", s.edges);
@@ -425,6 +514,19 @@ fn client_stats(client: &WireClient) -> Result<ExitCode, String> {
         Some(r) => println!(
             "recovery             replayed {}, torn tail {}, divergent {}",
             r.replayed, r.truncated_tail, r.divergent
+        ),
+    }
+    match s.replication {
+        None => println!("replication          (not enabled)"),
+        Some(r) => println!(
+            "replication          {} term {}, applied epoch {}, lag {}",
+            match r.role {
+                adminref_service::ReplicationRole::Primary => "primary",
+                adminref_service::ReplicationRole::Replica => "replica",
+            },
+            r.term,
+            r.last_applied_epoch,
+            r.lag
         ),
     }
     Ok(ExitCode::SUCCESS)

@@ -481,7 +481,8 @@ fn bench_service_emits_json_and_gates_against_baseline() {
         r#"{"schema": 1,
             "floors_service_group_speedup": {"4": 2.0},
             "floors_wire_group_speedup": {"4": 2.0},
-            "floors_service_write_cmds_per_sec": {"1": 1}}"#,
+            "floors_service_write_cmds_per_sec": {"1": 1},
+            "floors_replica_read_ops_per_sec": {"1": 1}}"#,
     )
     .unwrap();
     let out = bin()
@@ -511,6 +512,8 @@ fn bench_service_emits_json_and_gates_against_baseline() {
     assert!(json.contains("\"path\": \"percall\""), "{json}");
     assert!(json.contains("\"path\": \"group\""), "{json}");
     assert!(json.contains("\"path\": \"wire-group\""), "{json}");
+    assert!(json.contains("\"path\": \"replica-read\""), "{json}");
+    assert!(json.contains("\"read_ops_per_sec\""), "{json}");
     assert!(json.contains("\"group_write_speedup\""), "{json}");
     assert!(json.contains("\"wire_group_speedup\""), "{json}");
     assert!(
@@ -524,7 +527,8 @@ fn bench_service_emits_json_and_gates_against_baseline() {
         r#"{"schema": 1,
             "floors_service_group_speedup": {"4": 2.0},
             "floors_wire_group_speedup": {"4": 2.0},
-            "floors_service_write_cmds_per_sec": {"1": 99000000000}}"#,
+            "floors_service_write_cmds_per_sec": {"1": 99000000000},
+            "floors_replica_read_ops_per_sec": {"1": 1}}"#,
     )
     .unwrap();
     let out = bin()

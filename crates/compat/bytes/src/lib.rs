@@ -37,6 +37,13 @@ pub trait Buf {
         dst.copy_from_slice(&self.chunk()[..dst.len()]);
         self.advance(dst.len());
     }
+
+    /// Reads a little-endian `u64`. Panics if fewer than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
 }
 
 impl Buf for &[u8] {
@@ -57,6 +64,11 @@ pub trait BufMut {
     fn put_u8(&mut self, b: u8);
     /// Appends a slice.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
 }
 
 impl BufMut for Vec<u8> {

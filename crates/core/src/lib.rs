@@ -56,6 +56,7 @@
 
 pub mod analysis;
 pub mod bitset;
+pub mod checksum;
 pub mod closure;
 pub mod command;
 pub mod display;
@@ -78,6 +79,7 @@ pub mod verify;
 
 /// The items nearly every consumer wants.
 pub mod prelude {
+    pub use crate::checksum::{edge_digest, edges_checksum, policy_checksum, toggle_edge};
     pub use crate::command::{Command, CommandKind, CommandQueue};
     pub use crate::display::{
         command_to_string, edge_to_string, perm_to_string, policy_to_string, priv_to_string,

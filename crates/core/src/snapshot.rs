@@ -44,6 +44,7 @@
 use std::sync::Arc;
 use std::sync::OnceLock;
 
+use crate::checksum::{policy_checksum, toggle_edge};
 use crate::command::{Command, CommandKind};
 use crate::ids::{Entity, Node, Perm, PrivId, RoleId};
 use crate::ordering::{OrderingMode, PrivilegeOrder};
@@ -123,6 +124,7 @@ pub struct PolicySnapshot {
     universe: Arc<Universe>,
     policy: Policy,
     reach: ReachIndex,
+    checksum: u64,
 }
 
 impl PolicySnapshot {
@@ -135,11 +137,13 @@ impl PolicySnapshot {
     /// [`build`](Self::build) over an already-shared universe.
     pub fn build_shared(universe: Arc<Universe>, policy: Policy, epoch: u64) -> Self {
         let reach = ReachIndex::build(&universe, &policy);
+        let checksum = policy_checksum(&policy);
         PolicySnapshot {
             epoch,
             universe,
             policy,
             reach,
+            checksum,
         }
     }
 
@@ -170,12 +174,20 @@ impl PolicySnapshot {
         };
         if mode == PublishMode::Incremental {
             if let Some(reach) = parent.reach.apply_delta(&shared, &parent.policy, deltas) {
+                // Every applied delta toggles membership of exactly one
+                // edge, so XOR-folding the digests is the exact set
+                // checksum of the child policy.
+                let checksum = deltas
+                    .iter()
+                    .fold(parent.checksum, |acc, d| toggle_edge(acc, d.edge));
+                debug_assert_eq!(checksum, policy_checksum(policy));
                 return (
                     PolicySnapshot {
                         epoch,
                         universe: shared,
                         policy: policy.clone(),
                         reach,
+                        checksum,
                     },
                     PublishPath::Incremental,
                 );
@@ -206,6 +218,14 @@ impl PolicySnapshot {
     /// The prebuilt reachability index over this snapshot.
     pub fn reach(&self) -> &ReachIndex {
         &self.reach
+    }
+
+    /// The canonical state checksum of this snapshot's edge set (see
+    /// [`crate::checksum`]). Two snapshots over the same universe with
+    /// equal checksums hold the same policy; replication frames carry
+    /// this value so replicas can refuse divergence.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
     }
 
     /// `true` iff any of `roles` reaches the user privilege `perm` in
@@ -357,6 +377,15 @@ mod tests {
         );
         assert_eq!(path, PublishPath::FullRebuild);
         assert!(full.roles_reach_perm([dbusr2], write_t3));
+        // Both derivations agree on the state checksum, and it matches a
+        // from-scratch recompute over the child policy.
+        assert_eq!(child.checksum(), full.checksum());
+        assert_eq!(
+            child.checksum(),
+            crate::checksum::policy_checksum(&policy),
+            "incremental checksum must equal the canonical recompute"
+        );
+        assert_ne!(child.checksum(), parent.checksum());
     }
 
     #[test]

@@ -24,4 +24,7 @@ pub mod monitor;
 
 pub use audit::{trace_of, AuditEvent, AuditLog, Decision, SessionRevocation};
 pub use locked::LockedMonitor;
-pub use monitor::{MonitorConfig, MonitorError, ReferenceMonitor, SessionId};
+pub use monitor::{
+    MonitorConfig, MonitorError, PublishEvent, PublishHook, ReferenceMonitor, ReplicaApplyError,
+    SessionId,
+};

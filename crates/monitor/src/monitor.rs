@@ -59,6 +59,7 @@ use adminref_core::command::{Command, CommandQueue};
 use adminref_core::ids::{Entity, Perm, RoleId, UserId};
 use adminref_core::lint::{lint_policy, LintConfig, LintReport};
 use adminref_core::policy::Policy;
+use adminref_core::reach::EdgeDelta;
 use adminref_core::safety::{perm_reachable, ReachabilityAnswer, SafetyConfig};
 use adminref_core::session::{Session, SessionError};
 use adminref_core::snapshot::{batch_deltas, PolicySnapshot, PublishMode, PublishPath};
@@ -219,6 +220,87 @@ struct Writer {
     epoch: u64,
 }
 
+/// One published epoch, as observed by a replication hook: the epoch id,
+/// the exact edge deltas that led from the parent epoch's policy to this
+/// one, and the canonical state checksum of the *post-apply* policy (see
+/// [`adminref_core::checksum`]). A replica that applies `deltas` to the
+/// parent state must land on `checksum`, or it has diverged.
+#[derive(Clone, Debug)]
+pub struct PublishEvent {
+    /// The newly published epoch id.
+    pub epoch: u64,
+    /// The batch's applied edge changes, in execution order.
+    pub deltas: Vec<EdgeDelta>,
+    /// Checksum of the policy state *after* applying the deltas.
+    pub checksum: u64,
+}
+
+/// A publish subscription callback; see
+/// [`ReferenceMonitor::set_publish_hook`].
+pub type PublishHook = Box<dyn Fn(&PublishEvent) + Send + Sync>;
+
+/// Why a replica refused to apply a delta frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplicaApplyError {
+    /// The frame's epoch is not the next epoch after the replica's
+    /// current one: a stale duplicate (`got <= current`) is skippable,
+    /// a gap (`got > expected`) means frames were missed and the
+    /// replica must re-bootstrap.
+    EpochGap {
+        /// The epoch the replica expected next (`current + 1`).
+        expected: u64,
+        /// The frame's epoch.
+        got: u64,
+    },
+    /// A delta names an id outside the replica's universe, or toggles an
+    /// edge whose membership already matched — the replica's state is
+    /// not the frame's parent state. Re-bootstrap.
+    ForeignDelta {
+        /// The frame's epoch.
+        epoch: u64,
+    },
+    /// The post-apply checksum does not match the frame's: the replica
+    /// diverged somewhere before or inside this frame. Nothing was
+    /// published; re-bootstrap.
+    Divergence {
+        /// The frame's epoch.
+        epoch: u64,
+        /// The checksum the frame promised.
+        expected: u64,
+        /// The checksum the replica computed.
+        actual: u64,
+    },
+    /// Replica application is only supported on in-memory backends (a
+    /// follower's state is a cache of the primary's durable one).
+    DurableBackend,
+}
+
+impl std::fmt::Display for ReplicaApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaApplyError::EpochGap { expected, got } => {
+                write!(f, "epoch gap: expected {expected}, frame carries {got}")
+            }
+            ReplicaApplyError::ForeignDelta { epoch } => {
+                write!(f, "frame for epoch {epoch} carries deltas foreign to this state")
+            }
+            ReplicaApplyError::Divergence {
+                epoch,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "state divergence at epoch {epoch}: expected checksum {expected:#018x}, computed {actual:#018x}"
+            ),
+            ReplicaApplyError::DurableBackend => {
+                write!(f, "replica apply requires an in-memory backend")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplicaApplyError {}
+
 /// `true` iff this applied edge delta can sever some session's `u →φ r`
 /// justification: only *removals* of `UA`/`RH` edges can — additions
 /// are monotone, and `PA†` edges play no part in activation.
@@ -283,6 +365,9 @@ pub struct ReferenceMonitor {
     /// What recovery found when the durable backend was opened (`None`
     /// for in-memory monitors and freshly created stores).
     recovery: Option<RecoveryReport>,
+    /// Replication subscription: called once per published epoch, in
+    /// epoch order, with the batch's deltas and post-apply checksum.
+    publish_hook: RwLock<Option<PublishHook>>,
     config: MonitorConfig,
 }
 
@@ -308,6 +393,7 @@ impl ReferenceMonitor {
             lints_run: AtomicU64::new(0),
             lint_findings: AtomicU64::new(0),
             recovery: None,
+            publish_hook: RwLock::new(None),
             config,
         }
     }
@@ -350,6 +436,7 @@ impl ReferenceMonitor {
             lints_run: AtomicU64::new(0),
             lint_findings: AtomicU64::new(0),
             recovery,
+            publish_hook: RwLock::new(None),
             config,
         }
     }
@@ -457,6 +544,14 @@ impl ReferenceMonitor {
             if deltas.iter().any(|d| severs_activation(d.edge, d.added)) {
                 self.revalidate_sessions(&snapshot);
             }
+            // Replication: notify the subscription hook while the writer
+            // lock is still held, so hooks observe epochs strictly in
+            // publication order with the exact deltas of each batch.
+            self.notify_publish(PublishEvent {
+                epoch: writer.epoch,
+                deltas,
+                checksum: snapshot.checksum(),
+            });
         }
         // Post-publish WAL maintenance: fold an overgrown log into a
         // fresh snapshot so reopen never replays unbounded history.
@@ -483,6 +578,143 @@ impl ReferenceMonitor {
                 .reach()
                 .reach_entity(Entity::User(user), Entity::Role(role))
         });
+    }
+
+    /// Installs (or replaces) the publish subscription hook. The hook is
+    /// called once per published epoch, in strict epoch order, with the
+    /// batch's [`PublishEvent`] — the primitive a replication hub builds
+    /// its delta stream on. The hook runs with the writer lock held, so
+    /// it must not call back into the write path; a slow hook
+    /// backpressures administrative writes (reads stay lock-free).
+    pub fn set_publish_hook(&self, hook: Option<PublishHook>) {
+        *self.publish_hook.write() = hook;
+    }
+
+    fn notify_publish(&self, event: PublishEvent) {
+        let hook = self.publish_hook.read();
+        if let Some(hook) = hook.as_ref() {
+            hook(&event);
+        }
+    }
+
+    /// Replica bootstrap: replaces this monitor's entire state with
+    /// `(universe, policy)` at `epoch`, publishing a freshly built
+    /// snapshot and revalidating live sessions against it. Only valid on
+    /// in-memory monitors (a follower's state is a cache of the
+    /// primary's durable one). Returns the installed state's checksum.
+    pub fn install_replica_state(
+        &self,
+        universe: Universe,
+        policy: Policy,
+        epoch: u64,
+    ) -> Result<u64, ReplicaApplyError> {
+        let mut writer = self.writer.lock();
+        if matches!(writer.backend, Backend::Durable(_)) {
+            return Err(ReplicaApplyError::DurableBackend);
+        }
+        let snapshot = PolicySnapshot::build(universe.clone(), policy.clone(), epoch);
+        let checksum = snapshot.checksum();
+        writer.backend = Backend::Memory { universe, policy };
+        writer.epoch = epoch;
+        self.publishes_full.fetch_add(1, Ordering::Relaxed);
+        let snapshot = Arc::new(snapshot);
+        self.snapshot.store(Arc::clone(&snapshot));
+        // A bootstrap can jump the state arbitrarily (it may *remove*
+        // edges relative to the previous state), so always sweep.
+        self.revalidate_sessions(&snapshot);
+        Ok(checksum)
+    }
+
+    /// Replica apply: advances this monitor's state by one replicated
+    /// epoch, applying `deltas` through the same incremental
+    /// [`PolicySnapshot::next`] path the primary's publish took and
+    /// verifying the post-apply state checksum against
+    /// `expected_checksum`.
+    ///
+    /// All-or-nothing: on any refusal ([`ReplicaApplyError`]) the
+    /// replica's published state is untouched — a diverged or gapped
+    /// frame never becomes readable. The caller is expected to
+    /// re-bootstrap via [`install_replica_state`](Self::install_replica_state).
+    pub fn apply_replica_deltas(
+        &self,
+        epoch: u64,
+        deltas: &[EdgeDelta],
+        expected_checksum: u64,
+    ) -> Result<(), ReplicaApplyError> {
+        let mut writer = self.writer.lock();
+        let expected_epoch = writer.epoch + 1;
+        if epoch != expected_epoch {
+            return Err(ReplicaApplyError::EpochGap {
+                expected: expected_epoch,
+                got: epoch,
+            });
+        }
+        let Backend::Memory { universe, policy } = &mut writer.backend else {
+            return Err(ReplicaApplyError::DurableBackend);
+        };
+        // Apply to a scratch clone (three Arc bumps; mutation copies only
+        // the touched relation) so refusals leave the live state intact.
+        let mut next_policy = policy.clone();
+        for d in deltas {
+            let in_bounds = match d.edge {
+                Edge::UserRole(u, r) => {
+                    u.index() < universe.user_count() && r.index() < universe.role_count()
+                }
+                Edge::RoleRole(r, s) => {
+                    r.index() < universe.role_count() && s.index() < universe.role_count()
+                }
+                Edge::RolePriv(r, p) => {
+                    r.index() < universe.role_count() && p.index() < universe.term_count()
+                }
+            };
+            // An id beyond this universe, or a toggle that didn't change
+            // membership, means our state is not the frame's parent.
+            let changed = in_bounds
+                && if d.added {
+                    next_policy.add_edge(d.edge)
+                } else {
+                    next_policy.remove_edge(d.edge)
+                };
+            if !changed {
+                return Err(ReplicaApplyError::ForeignDelta { epoch });
+            }
+        }
+        let parent = self.snapshot.load_full();
+        let (snapshot, path) = PolicySnapshot::next(
+            &parent,
+            universe,
+            &next_policy,
+            deltas,
+            epoch,
+            self.config.publish_mode,
+        );
+        if snapshot.checksum() != expected_checksum {
+            return Err(ReplicaApplyError::Divergence {
+                epoch,
+                expected: expected_checksum,
+                actual: snapshot.checksum(),
+            });
+        }
+        *policy = next_policy;
+        writer.epoch = epoch;
+        match path {
+            PublishPath::Incremental => &self.publishes_incremental,
+            PublishPath::FullRebuild => &self.publishes_full,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let snapshot = Arc::new(snapshot);
+        self.snapshot.store(Arc::clone(&snapshot));
+        if deltas.iter().any(|d| severs_activation(d.edge, d.added)) {
+            self.revalidate_sessions(&snapshot);
+        }
+        // Forward the frame to any downstream subscribers (chained
+        // replication): the event is byte-identical to the primary's.
+        self.notify_publish(PublishEvent {
+            epoch,
+            deltas: deltas.to_vec(),
+            checksum: expected_checksum,
+        });
+        Ok(())
     }
 
     /// Starts a session for `user`.
@@ -1372,6 +1604,122 @@ mod tests {
         let retained = m.recovery_report().expect("report threaded through");
         assert_eq!(retained.replayed, 1);
         assert_eq!(retained.divergent, 0);
+    }
+
+    #[test]
+    fn replica_apply_tracks_primary_and_refuses_divergence() {
+        let (primary, uni) = monitor(AuthMode::Explicit);
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let events: Arc<Mutex<Vec<PublishEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        primary.set_publish_hook(Some(Box::new(move |e| sink.lock().push(e.clone()))));
+
+        // Bootstrap a replica from the primary's epoch-0 state.
+        let (runi, rpolicy) = primary.snapshot();
+        let replica =
+            ReferenceMonitor::new(runi.clone(), rpolicy.clone(), MonitorConfig::default());
+        replica.install_replica_state(runi, rpolicy, 0).unwrap();
+
+        for _ in 0..2 {
+            primary
+                .submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+                .unwrap();
+            primary
+                .submit(&Command::revoke(jane, Edge::UserRole(bob, staff)))
+                .unwrap();
+        }
+        let stream: Vec<PublishEvent> = events.lock().clone();
+        assert_eq!(stream.len(), 4, "one event per published epoch");
+        for e in &stream {
+            replica
+                .apply_replica_deltas(e.epoch, &e.deltas, e.checksum)
+                .unwrap();
+            assert_eq!(replica.read_snapshot().checksum(), e.checksum);
+        }
+        assert_eq!(replica.version(), primary.version());
+        assert_eq!(
+            replica.read_snapshot().checksum(),
+            primary.read_snapshot().checksum()
+        );
+
+        // Replaying the last frame is a skippable epoch gap (stale).
+        let last = stream.last().unwrap();
+        assert!(matches!(
+            replica.apply_replica_deltas(last.epoch, &last.deltas, last.checksum),
+            Err(ReplicaApplyError::EpochGap { .. })
+        ));
+        // A frame promising a wrong checksum is refused and publishes
+        // nothing.
+        let before = replica.read_snapshot().checksum();
+        let deltas = [EdgeDelta {
+            edge: Edge::UserRole(bob, staff),
+            added: true,
+        }];
+        assert!(matches!(
+            replica.apply_replica_deltas(replica.version() + 1, &deltas, 0xDEAD),
+            Err(ReplicaApplyError::Divergence { .. })
+        ));
+        assert_eq!(replica.read_snapshot().checksum(), before);
+        assert_eq!(replica.version(), primary.version());
+        // A no-op toggle (revoking an absent edge) is a foreign delta.
+        let foreign = [EdgeDelta {
+            edge: Edge::UserRole(bob, staff),
+            added: false,
+        }];
+        assert!(matches!(
+            replica.apply_replica_deltas(replica.version() + 1, &foreign, 0),
+            Err(ReplicaApplyError::ForeignDelta { .. })
+        ));
+    }
+
+    #[test]
+    fn replica_install_sweeps_stale_sessions() {
+        let (primary, mut uni) = monitor(AuthMode::Explicit);
+        let jane = uni.find_user("jane").unwrap();
+        let bob = uni.find_user("bob").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let read_t1 = uni.perm("read", "t1");
+        primary
+            .submit(&Command::grant(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        // Replica serving a session off the bootstrapped state...
+        let (runi, rpolicy) = primary.snapshot();
+        let replica = ReferenceMonitor::new(runi, rpolicy, MonitorConfig::default());
+        let sid = replica.create_session(bob);
+        replica.activate_role(sid, staff).unwrap();
+        assert!(replica.check_access(sid, read_t1).unwrap());
+        // ...re-bootstraps onto a state where the membership is gone.
+        primary
+            .submit(&Command::revoke(jane, Edge::UserRole(bob, staff)))
+            .unwrap();
+        let (runi2, rpolicy2) = primary.snapshot();
+        let checksum = replica
+            .install_replica_state(runi2, rpolicy2, primary.version())
+            .unwrap();
+        assert_eq!(checksum, primary.read_snapshot().checksum());
+        assert!(
+            !replica.check_access(sid, read_t1).unwrap(),
+            "stale activation must not survive a bootstrap"
+        );
+        assert_eq!(replica.session_revocations_total(), 1);
+        // Durable monitors refuse replica installs.
+        use adminref_store::{PolicyStore, TempDir};
+        let dir = TempDir::new("replica-durable").unwrap();
+        let (duni, dpolicy) = hospital();
+        let store = PolicyStore::create(
+            dir.path(),
+            duni.clone(),
+            dpolicy.clone(),
+            AuthMode::Explicit,
+        )
+        .unwrap();
+        let durable = ReferenceMonitor::with_store(store, MonitorConfig::default());
+        assert!(matches!(
+            durable.install_replica_state(duni, dpolicy, 1),
+            Err(ReplicaApplyError::DurableBackend)
+        ));
     }
 
     #[test]

@@ -284,6 +284,9 @@ impl WireClient {
                     Ok((frame.request_id, result))
                 }
                 FrameKind::Request => Err("server sent a request frame".into()),
+                FrameKind::ReplSubscribe | FrameKind::ReplSnapshot | FrameKind::ReplDelta => {
+                    Err("server sent a replication frame on a client connection".into())
+                }
             },
             Ok(None) => Err("server closed the connection".into()),
             Err(e) => Err(e.to_string()),

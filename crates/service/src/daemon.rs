@@ -144,6 +144,22 @@ impl Daemon {
         listener: WireListener,
         config: DaemonConfig,
     ) -> io::Result<Daemon> {
+        Daemon::spawn_replicated(service, universe, listener, config, None)
+    }
+
+    /// [`spawn_with`](Daemon::spawn_with) plus a replication hub:
+    /// connections whose first frame is a
+    /// [`FrameKind::ReplSubscribe`](crate::wire::FrameKind)
+    /// are handed to the hub and stream delta frames instead of serving
+    /// requests. Without a hub, such frames are answered with a
+    /// transport error.
+    pub fn spawn_replicated(
+        service: Arc<dyn PolicyService>,
+        universe: Universe,
+        listener: WireListener,
+        config: DaemonConfig,
+        hub: Option<Arc<crate::replication::ReplicationHub>>,
+    ) -> io::Result<Daemon> {
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let universe = Arc::new(universe);
@@ -159,7 +175,7 @@ impl Daemon {
             let conns = Arc::clone(&conns);
             thread::Builder::new()
                 .name("adminrefd-accept".into())
-                .spawn(move || accept_loop(listener, service, universe, stop, conns, config))?
+                .spawn(move || accept_loop(listener, service, universe, stop, conns, config, hub))?
         };
 
         Ok(Daemon {
@@ -231,7 +247,7 @@ impl Stream {
         }
     }
 
-    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         match self {
             Stream::Tcp(s) => s.set_read_timeout(dur),
             #[cfg(unix)]
@@ -286,6 +302,7 @@ fn accept_loop(
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     config: DaemonConfig,
+    hub: Option<Arc<crate::replication::ReplicationHub>>,
 ) {
     // Nonblocking accept + stop polling: std offers no portable way to
     // interrupt a blocking accept, and a self-connect wakeup would need
@@ -314,9 +331,10 @@ fn accept_loop(
                 let service = Arc::clone(&service);
                 let universe = Arc::clone(&universe);
                 let stop = Arc::clone(&stop);
+                let hub = hub.clone();
                 let spawned = thread::Builder::new()
                     .name("adminrefd-conn".into())
-                    .spawn(move || handle_connection(stream, service, universe, stop, config));
+                    .spawn(move || handle_connection(stream, service, universe, stop, config, hub));
                 match spawned {
                     Ok(handle) => conns.lock().push(handle),
                     Err(_) => continue,
@@ -354,6 +372,7 @@ fn handle_connection(
     universe: Arc<Universe>,
     stop: Arc<AtomicBool>,
     config: DaemonConfig,
+    hub: Option<Arc<crate::replication::ReplicationHub>>,
 ) {
     // The accepted socket is blocking; the read timeout turns the
     // reader into a shutdown-polling loop without busy-waiting.
@@ -418,6 +437,23 @@ fn handle_connection(
                 break;
             }
         };
+        if frame.kind == FrameKind::ReplSubscribe {
+            match hub.as_deref() {
+                // The connection becomes a replication stream; when the
+                // serve returns the peer is gone and we tear down.
+                Some(hub) => {
+                    crate::replication::serve_replication(hub, frame, &mut reader, &writer, &stop);
+                    break;
+                }
+                None => {
+                    let err = ServiceError::Transport {
+                        message: "replication is not enabled on this daemon".into(),
+                    };
+                    send_error(&writer, frame.request_id, &err);
+                    continue;
+                }
+            }
+        }
         if frame.kind != FrameKind::Request {
             let err = ServiceError::Transport {
                 message: format!("expected a request frame, got {:?}", frame.kind),
@@ -527,7 +563,7 @@ fn serve_burst(service: &dyn PolicyService, writer: &ConnWriter, mut burst: Vec<
 /// completes, its workers finish nearly simultaneously, so their
 /// replies leave in one socket write (and arrive in one client read)
 /// instead of one syscall each.
-struct ConnWriter {
+pub(crate) struct ConnWriter {
     writer: Mutex<BufWriter<Stream>>,
     /// Senders between their queue announcement and their write. A
     /// sender that observes this nonzero after writing may skip its
@@ -544,7 +580,7 @@ impl ConnWriter {
         }
     }
 
-    fn send(&self, kind: FrameKind, id: u64, payload: &[u8]) {
+    pub(crate) fn send(&self, kind: FrameKind, id: u64, payload: &[u8]) {
         self.queued.fetch_add(1, Ordering::SeqCst);
         let mut w = self.writer.lock();
         // Decrement before writing (not after) so a panic inside the
@@ -586,14 +622,14 @@ fn send_result(writer: &ConnWriter, id: u64, result: &Result<Response, ServiceEr
     writer.send(kind, id, &payload);
 }
 
-fn send_error(writer: &ConnWriter, id: u64, err: &ServiceError) {
+pub(crate) fn send_error(writer: &ConnWriter, id: u64, err: &ServiceError) {
     writer.send(FrameKind::Error, id, &wire::encode_error(err));
 }
 
 /// [`wire::read_frame`] over a socket with a read timeout: timeouts
 /// mid-wait poll the stop flag and retry, preserving any bytes already
 /// read (a `read_exact` would lose them and desynchronize the stream).
-fn read_frame_polling<R: Read>(
+pub(crate) fn read_frame_polling<R: Read>(
     stream: &mut R,
     stop: &AtomicBool,
 ) -> Result<Option<Frame>, FrameError> {

@@ -58,6 +58,7 @@ pub mod client;
 pub mod daemon;
 pub mod group_commit;
 pub mod protocol;
+pub mod replication;
 pub mod router;
 pub mod service;
 pub mod wire;
@@ -66,9 +67,10 @@ pub use client::WireClient;
 pub use daemon::{Daemon, DaemonConfig, WireListener};
 pub use group_commit::GroupCommit;
 pub use protocol::{
-    PolicyService, RefinementDirection, RefinementReply, Request, Response, ServiceError,
-    ServiceStats,
+    PolicyService, RefinementDirection, RefinementReply, ReplicationRole, ReplicationStatus,
+    Request, Response, ServiceError, ServiceStats, VersionInfo,
 };
+pub use replication::{FollowTarget, Follower, ReplicatedService, ReplicationHub};
 pub use router::{RouterConfig, ServiceRouter, TenantStateFactory};
 pub use service::MonitorService;
 pub use wire::{WireError, MAX_PAYLOAD, WIRE_VERSION};

@@ -133,10 +133,15 @@ pub enum Request {
         /// Maximum events to return.
         max: usize,
     },
-    /// The published epoch id.
+    /// The published epoch id and state checksum.
     Version,
     /// Cheap live counters (epoch, population, sessions, audit).
     Stats,
+    /// Failover: asks a replica to stop following and become a writable
+    /// primary under a new, higher replication term. Idempotent on a
+    /// server that is already a primary (it answers with its current
+    /// term, or term 0 when replication is not enabled).
+    Promote,
     /// Admin op: folds a durable backend's WAL into a fresh snapshot
     /// (a no-op on in-memory monitors). Complements the monitor's
     /// automatic post-publish compaction for operator-driven
@@ -172,11 +177,54 @@ pub struct RefinementReply {
     pub witnesses: Vec<RefinementViolation>,
 }
 
+/// The reply to a [`Request::Version`]: the published epoch id plus the
+/// canonical policy-state checksum at that epoch (see
+/// [`adminref_core::checksum`]). Equal `(epoch, checksum)` pairs from
+/// two servers mean they hold byte-identical policy states — the cheap
+/// cross-server comparison replication is built on, usable with or
+/// without replication enabled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VersionInfo {
+    /// The published epoch id.
+    pub epoch: u64,
+    /// The canonical policy-state checksum at that epoch.
+    pub checksum: u64,
+}
+
+/// Which side of a replication pair a server is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplicationRole {
+    /// Accepts writes; streams delta frames to subscribed replicas.
+    Primary,
+    /// Follows a primary's delta stream; refuses writes with
+    /// [`ServiceError::ReadOnly`].
+    Replica,
+}
+
+/// Replication observability, surfaced through [`ServiceStats`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReplicationStatus {
+    /// This server's role.
+    pub role: ReplicationRole,
+    /// The replication term (fencing token): bumped on every promotion,
+    /// so frames from a deposed primary carry a stale term and are
+    /// rejected.
+    pub term: u64,
+    /// The last epoch this server applied from its primary (for a
+    /// primary: its own published epoch).
+    pub last_applied_epoch: u64,
+    /// How many epochs this server trails the newest epoch its primary
+    /// has announced (always 0 on a primary).
+    pub lag: u64,
+}
+
 /// The reply to a [`Request::Stats`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ServiceStats {
     /// The published epoch id.
     pub epoch: u64,
+    /// The canonical policy-state checksum at that epoch.
+    pub checksum: u64,
     /// Users interned in the published universe.
     pub users: usize,
     /// Roles interned in the published universe.
@@ -206,6 +254,9 @@ pub struct ServiceStats {
     /// a truncated torn tail or divergent replay is operator-visible
     /// instead of silently discarded.
     pub recovery: Option<RecoveryReport>,
+    /// Replication status, when this server participates in replication
+    /// (`None` for standalone servers).
+    pub replication: Option<ReplicationStatus>,
 }
 
 /// One response; each [`Request`] variant is answered by exactly one
@@ -242,8 +293,8 @@ pub struct ServiceStats {
 /// };
 /// assert!(outcomes[0].executed());
 /// // …and the epoch moved:
-/// let Response::Version(epoch) = svc.call(Request::Version)? else { unreachable!() };
-/// assert_eq!(epoch, 1);
+/// let Response::Version(info) = svc.call(Request::Version)? else { unreachable!() };
+/// assert_eq!(info.epoch, 1);
 /// # Ok::<(), adminref_service::ServiceError>(())
 /// ```
 #[derive(Clone, Debug)]
@@ -267,13 +318,21 @@ pub enum Response {
     /// Answer to [`Request::AuditTail`] / [`Request::AuditSince`].
     Audit(Vec<AuditEvent>),
     /// Answer to [`Request::Version`].
-    Version(u64),
+    Version(VersionInfo),
     /// Answer to [`Request::Stats`].
     Stats(ServiceStats),
     /// Answer to [`Request::Compact`].
     Compacted,
     /// Answer to [`Request::Lint`].
     Lint(LintReport),
+    /// Answer to [`Request::Promote`]: the (possibly new) replication
+    /// term this server is now primary under, and its published epoch.
+    Promoted {
+        /// The replication term after the promotion.
+        term: u64,
+        /// The published epoch at promotion time.
+        epoch: u64,
+    },
 }
 
 /// The unified error type of the protocol.
@@ -318,6 +377,11 @@ pub enum ServiceError {
         /// Number of divergent log entries.
         divergent: usize,
     },
+    /// The server is a read replica: it serves the full read-only
+    /// alphabet but refuses state-changing requests (`Submit`,
+    /// `Compact`). Retry against the primary, or promote this replica
+    /// first ([`Request::Promote`]).
+    ReadOnly,
     /// A typed wrapper received a response variant that does not answer
     /// its request — a server bug, never the caller's fault.
     Protocol {
@@ -360,6 +424,9 @@ impl std::fmt::Display for ServiceError {
                 "tenant {tenant:?} refused: recovery replayed {divergent} divergent entr{}",
                 if *divergent == 1 { "y" } else { "ies" }
             ),
+            ServiceError::ReadOnly => {
+                write!(f, "read-only replica: writes must go to the primary")
+            }
             ServiceError::Protocol { expected } => {
                 write!(f, "protocol violation: expected {expected} response")
             }
@@ -406,10 +473,11 @@ impl From<StoreError> for ServiceError {
 /// | `AnalyzeReach` | `Reach` | [`analyze_reach`](Self::analyze_reach) |
 /// | `CheckRefinement` | `Refinement` | [`check_refinement`](Self::check_refinement) |
 /// | `AuditTail` / `AuditSince` | `Audit` | [`audit_tail`](Self::audit_tail) / [`audit_since`](Self::audit_since) |
-/// | `Version` | `Version` | [`version`](Self::version) |
+/// | `Version` | `Version` | [`version`](Self::version) / [`version_info`](Self::version_info) |
 /// | `Stats` | `Stats` | [`stats`](Self::stats) |
 /// | `Compact` | `Compacted` | [`compact`](Self::compact) |
 /// | `Lint` | `Lint` | [`lint`](Self::lint) |
+/// | `Promote` | `Promoted` | [`promote`](Self::promote) |
 pub trait PolicyService: Send + Sync {
     /// Serves one request.
     fn call(&self, request: Request) -> Result<Response, ServiceError>;
@@ -548,12 +616,30 @@ pub trait PolicyService: Send + Sync {
         }
     }
 
-    /// Typed wrapper for [`Request::Version`].
+    /// Typed wrapper for [`Request::Version`], returning only the epoch
+    /// (see [`version_info`](Self::version_info) for the checksum too).
     fn version(&self) -> Result<u64, ServiceError> {
+        Ok(self.version_info()?.epoch)
+    }
+
+    /// Typed wrapper for [`Request::Version`]: epoch plus state
+    /// checksum.
+    fn version_info(&self) -> Result<VersionInfo, ServiceError> {
         match self.call(Request::Version)? {
-            Response::Version(epoch) => Ok(epoch),
+            Response::Version(info) => Ok(info),
             _ => Err(ServiceError::Protocol {
                 expected: "Version",
+            }),
+        }
+    }
+
+    /// Typed wrapper for [`Request::Promote`]: returns the replication
+    /// term the server is now primary under and its published epoch.
+    fn promote(&self) -> Result<(u64, u64), ServiceError> {
+        match self.call(Request::Promote)? {
+            Response::Promoted { term, epoch } => Ok((term, epoch)),
+            _ => Err(ServiceError::Protocol {
+                expected: "Promoted",
             }),
         }
     }

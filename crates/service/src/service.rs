@@ -22,7 +22,7 @@ use adminref_monitor::{MonitorConfig, ReferenceMonitor};
 use crate::group_commit::GroupCommit;
 use crate::protocol::{
     PolicyService, RefinementDirection, RefinementReply, Request, Response, ServiceError,
-    ServiceStats,
+    ServiceStats, VersionInfo,
 };
 
 /// A [`PolicyService`] over one reference monitor, with group-commit
@@ -128,7 +128,10 @@ impl PolicyService for ReferenceMonitor {
 /// Serves one request directly against a monitor. `Submit` runs as one
 /// per-call batch; group-commit servers intercept it before reaching
 /// here.
-fn dispatch(monitor: &ReferenceMonitor, request: Request) -> Result<Response, ServiceError> {
+pub(crate) fn dispatch(
+    monitor: &ReferenceMonitor,
+    request: Request,
+) -> Result<Response, ServiceError> {
     match request {
         Request::CheckAccess { session, perm } => {
             Ok(Response::Access(monitor.check_access(session, perm)?))
@@ -173,13 +176,26 @@ fn dispatch(monitor: &ReferenceMonitor, request: Request) -> Result<Response, Se
         Request::AuditSince { after, max } => {
             Ok(Response::Audit(monitor.audit_events_since(after, max)))
         }
-        Request::Version => Ok(Response::Version(monitor.version())),
+        Request::Version => {
+            let snapshot = monitor.read_snapshot();
+            Ok(Response::Version(VersionInfo {
+                epoch: snapshot.epoch,
+                checksum: snapshot.checksum(),
+            }))
+        }
         Request::Stats => Ok(Response::Stats(stats(monitor))),
         Request::Compact => {
             monitor.compact()?;
             Ok(Response::Compacted)
         }
         Request::Lint { sod_pairs } => Ok(Response::Lint(monitor.lint_policy(sod_pairs))),
+        // A bare monitor is always writable; `promote` is idempotent and
+        // answers term 0 ("replication not enabled"). The replication
+        // hub's service wrapper intercepts this for real followers.
+        Request::Promote => Ok(Response::Promoted {
+            term: 0,
+            epoch: monitor.version(),
+        }),
     }
 }
 
@@ -239,6 +255,7 @@ fn stats(monitor: &ReferenceMonitor) -> ServiceStats {
     let (lints_run, lint_findings) = monitor.lint_counts();
     ServiceStats {
         epoch: snapshot.epoch,
+        checksum: snapshot.checksum(),
         users: snapshot.universe().user_count(),
         roles: snapshot.universe().role_count(),
         edges: snapshot.policy().edge_count(),
@@ -250,5 +267,6 @@ fn stats(monitor: &ReferenceMonitor) -> ServiceStats {
         lints_run,
         lint_findings,
         recovery: monitor.recovery_report(),
+        replication: None,
     }
 }

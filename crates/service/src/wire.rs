@@ -68,6 +68,7 @@ use adminref_core::command::CommandQueue;
 use adminref_core::ids::{ActionId, Entity, ObjectId, Perm, PrivId, RoleId, UserId};
 use adminref_core::lint::{Finding, FindingKind, LintReport, Severity};
 use adminref_core::ordering::OrderingMode;
+use adminref_core::reach::EdgeDelta;
 use adminref_core::refinement::RefinementViolation;
 use adminref_core::safety::{ReachabilityAnswer, SafetyConfig, Truncation};
 use adminref_core::session::SessionError;
@@ -82,7 +83,8 @@ use adminref_store::{RecoveryReport, StoreError};
 use bytes::{Buf, BufMut};
 
 use crate::protocol::{
-    RefinementDirection, RefinementReply, Request, Response, ServiceError, ServiceStats,
+    RefinementDirection, RefinementReply, ReplicationRole, ReplicationStatus, Request, Response,
+    ServiceError, ServiceStats, VersionInfo,
 };
 
 /// The four magic bytes opening every frame.
@@ -91,7 +93,12 @@ pub const WIRE_MAGIC: [u8; 4] = *b"ARFW";
 /// The wire protocol version this build speaks. Bump on any change to
 /// the frame layout or a variant encoding; `specs/wire_protocol.md`
 /// must name the same number (CI greps for it).
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version history: 1 = the original request/response protocol; 2 =
+/// replication (the `Version` response gained the state checksum,
+/// `Stats` gained checksum + replication status, and the
+/// `ReplSubscribe`/`ReplSnapshot`/`ReplDelta` frame kinds were added).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Fixed frame header size in bytes.
 pub const HEADER_LEN: usize = 20;
@@ -111,6 +118,17 @@ pub enum FrameKind {
     Response,
     /// A [`ServiceError`] payload (server → client, failure).
     Error,
+    /// A replication subscription (replica → primary): term + the last
+    /// epoch the replica applied, if any. Answered by a `ReplSnapshot`
+    /// (when the replica needs a bootstrap) and then a `ReplDelta`
+    /// stream.
+    ReplSubscribe,
+    /// A replication bootstrap (primary → replica): term + epoch + the
+    /// full CRC-framed `(universe, policy)` state at that epoch.
+    ReplSnapshot,
+    /// One replicated epoch (primary → replica): term + epoch + the
+    /// batch's edge deltas + the post-apply state checksum.
+    ReplDelta,
 }
 
 impl FrameKind {
@@ -119,6 +137,9 @@ impl FrameKind {
             FrameKind::Request => 1,
             FrameKind::Response => 2,
             FrameKind::Error => 3,
+            FrameKind::ReplSubscribe => 4,
+            FrameKind::ReplSnapshot => 5,
+            FrameKind::ReplDelta => 6,
         }
     }
 
@@ -127,6 +148,9 @@ impl FrameKind {
             1 => Ok(FrameKind::Request),
             2 => Ok(FrameKind::Response),
             3 => Ok(FrameKind::Error),
+            4 => Ok(FrameKind::ReplSubscribe),
+            5 => Ok(FrameKind::ReplSnapshot),
+            6 => Ok(FrameKind::ReplDelta),
             other => Err(WireError::BadFrameKind(other)),
         }
     }
@@ -446,6 +470,15 @@ fn take_usize(buf: &mut impl Buf) -> Result<usize, WireError> {
     usize::try_from(v).map_err(|_| WireError::Codec(CodecError::VarintOverflow))
 }
 
+/// Fixed 8-byte little-endian u64 — used for state checksums, which are
+/// uniformly distributed and would waste space as varints.
+fn take_u64_le(buf: &mut impl Buf) -> Result<u64, WireError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::UnexpectedEof.into());
+    }
+    Ok(buf.get_u64_le())
+}
+
 fn ensure_consumed(buf: &impl Buf) -> Result<(), WireError> {
     if buf.has_remaining() {
         Err(WireError::TrailingBytes {
@@ -679,6 +712,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Version => put_varint(buf, 10),
         Request::Stats => put_varint(buf, 11),
         Request::Compact => put_varint(buf, 12),
+        Request::Promote => put_varint(buf, 14),
         Request::Lint { sod_pairs } => {
             put_varint(buf, 13);
             put_varint(buf, sod_pairs.len() as u64);
@@ -768,6 +802,7 @@ pub fn decode_request(payload: &[u8], universe: &Universe) -> Result<Request, Wi
             }
             Request::Lint { sod_pairs }
         }
+        14 => Request::Promote,
         other => {
             return Err(WireError::BadTag {
                 what: "request",
@@ -818,6 +853,7 @@ pub fn validate_request(req: &Request, universe: &Universe) -> Result<(), WireEr
         | Request::Version
         | Request::Stats
         | Request::Compact
+        | Request::Promote
         | Request::CheckRefinement { .. } => Ok(()),
         Request::Submit { commands } => {
             for cmd in commands {
@@ -930,9 +966,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_bool(buf, ev.changed);
             }
         }
-        Response::Version(epoch) => {
+        Response::Version(info) => {
             put_varint(buf, 9);
-            put_varint(buf, *epoch);
+            put_varint(buf, info.epoch);
+            buf.put_u64_le(info.checksum);
         }
         Response::Stats(stats) => {
             put_varint(buf, 10);
@@ -942,6 +979,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Lint(report) => {
             put_varint(buf, 12);
             put_lint_report(buf, report);
+        }
+        Response::Promoted { term, epoch } => {
+            put_varint(buf, 13);
+            put_varint(buf, *term);
+            put_varint(buf, *epoch);
         }
     }
     std::mem::take(buf)
@@ -1034,10 +1076,17 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             }
             Response::Audit(events)
         }
-        9 => Response::Version(get_varint(buf)?),
+        9 => Response::Version(VersionInfo {
+            epoch: get_varint(buf)?,
+            checksum: take_u64_le(buf)?,
+        }),
         10 => Response::Stats(take_stats(buf)?),
         11 => Response::Compacted,
         12 => Response::Lint(take_lint_report(buf)?),
+        13 => Response::Promoted {
+            term: get_varint(buf)?,
+            epoch: get_varint(buf)?,
+        },
         other => {
             return Err(WireError::BadTag {
                 what: "response",
@@ -1051,6 +1100,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
 
 fn put_stats(buf: &mut impl BufMut, stats: &ServiceStats) {
     put_varint(buf, stats.epoch);
+    buf.put_u64_le(stats.checksum);
     put_varint(buf, stats.users as u64);
     put_varint(buf, stats.roles as u64);
     put_varint(buf, stats.edges as u64);
@@ -1070,11 +1120,25 @@ fn put_stats(buf: &mut impl BufMut, stats: &ServiceStats) {
             put_varint(buf, r.divergent as u64);
         }
     }
+    match stats.replication {
+        None => buf.put_u8(0),
+        Some(r) => {
+            buf.put_u8(1);
+            buf.put_u8(match r.role {
+                ReplicationRole::Primary => 0,
+                ReplicationRole::Replica => 1,
+            });
+            put_varint(buf, r.term);
+            put_varint(buf, r.last_applied_epoch);
+            put_varint(buf, r.lag);
+        }
+    }
 }
 
 fn take_stats(buf: &mut impl Buf) -> Result<ServiceStats, WireError> {
     Ok(ServiceStats {
         epoch: get_varint(buf)?,
+        checksum: take_u64_le(buf)?,
         users: take_usize(buf)?,
         roles: take_usize(buf)?,
         edges: take_usize(buf)?,
@@ -1095,6 +1159,30 @@ fn take_stats(buf: &mut impl Buf) -> Result<ServiceStats, WireError> {
             other => {
                 return Err(WireError::BadTag {
                     what: "recovery option",
+                    tag: u64::from(other),
+                })
+            }
+        },
+        replication: match take_u8(buf)? {
+            0 => None,
+            1 => Some(ReplicationStatus {
+                role: match take_u8(buf)? {
+                    0 => ReplicationRole::Primary,
+                    1 => ReplicationRole::Replica,
+                    other => {
+                        return Err(WireError::BadTag {
+                            what: "replication role",
+                            tag: u64::from(other),
+                        })
+                    }
+                },
+                term: get_varint(buf)?,
+                last_applied_epoch: get_varint(buf)?,
+                lag: get_varint(buf)?,
+            }),
+            other => {
+                return Err(WireError::BadTag {
+                    what: "replication option",
                     tag: u64::from(other),
                 })
             }
@@ -1229,6 +1317,7 @@ const PROTOCOL_EXPECTED: &[&str] = &[
     "Stats",
     "Compacted",
     "Lint",
+    "Promoted",
 ];
 
 /// Encodes a [`ServiceError`] payload (tag + fields; no frame header).
@@ -1276,6 +1365,7 @@ pub fn encode_error(err: &ServiceError) -> Vec<u8> {
             put_varint(buf, 9);
             put_string(buf, message);
         }
+        ServiceError::ReadOnly => put_varint(buf, 10),
     }
     std::mem::take(buf)
 }
@@ -1319,6 +1409,7 @@ pub fn decode_error(payload: &[u8]) -> Result<ServiceError, WireError> {
         9 => ServiceError::Transport {
             message: get_string(buf)?,
         },
+        10 => ServiceError::ReadOnly,
         other => {
             return Err(WireError::BadTag {
                 what: "error",
@@ -1328,4 +1419,126 @@ pub fn decode_error(payload: &[u8]) -> Result<ServiceError, WireError> {
     };
     ensure_consumed(buf)?;
     Ok(err)
+}
+
+// ---------------------------------------------------------------------------
+// Replication payloads (frame kinds 4-6)
+// ---------------------------------------------------------------------------
+
+/// A decoded [`FrameKind::ReplDelta`] payload: one published epoch's
+/// edge changes plus the checksum of the post-apply policy state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplDeltaFrame {
+    /// The primary's fencing term. Replicas reject frames whose term is
+    /// below the highest they have seen, so a deposed primary cannot
+    /// roll a follower back after `promote`.
+    pub term: u64,
+    /// The epoch this delta set publishes. Must be exactly one past the
+    /// replica's current epoch or the replica refuses and re-bootstraps.
+    pub epoch: u64,
+    /// The edge additions/removals of this epoch, in application order.
+    pub deltas: Vec<EdgeDelta>,
+    /// [`adminref_core::checksum`] digest of the full policy state
+    /// *after* applying `deltas`; a mismatch on the replica is
+    /// divergence and triggers re-bootstrap.
+    pub checksum: u64,
+}
+
+/// Encodes a [`FrameKind::ReplSubscribe`] payload: the highest term the
+/// follower has seen and, if it already holds state, the epoch it has
+/// applied through (`None` requests a full snapshot bootstrap).
+pub fn encode_repl_subscribe(term: u64, last_applied: Option<u64>) -> Vec<u8> {
+    let buf = &mut Vec::new();
+    put_varint(buf, term);
+    match last_applied {
+        None => buf.put_u8(0),
+        Some(epoch) => {
+            buf.put_u8(1);
+            put_varint(buf, epoch);
+        }
+    }
+    std::mem::take(buf)
+}
+
+/// Decodes a [`FrameKind::ReplSubscribe`] payload.
+pub fn decode_repl_subscribe(payload: &[u8]) -> Result<(u64, Option<u64>), WireError> {
+    let buf = &mut &payload[..];
+    let term = get_varint(buf)?;
+    let last_applied = match take_u8(buf)? {
+        0 => None,
+        1 => Some(get_varint(buf)?),
+        other => {
+            return Err(WireError::BadTag {
+                what: "subscribe epoch option",
+                tag: u64::from(other),
+            })
+        }
+    };
+    ensure_consumed(buf)?;
+    Ok((term, last_applied))
+}
+
+/// Encodes a [`FrameKind::ReplSnapshot`] payload: the primary's term,
+/// the epoch the snapshot captures, and the CRC-framed state blob
+/// produced by [`adminref_store::encode_state`].
+pub fn encode_repl_snapshot(term: u64, epoch: u64, state: &[u8]) -> Vec<u8> {
+    let buf = &mut Vec::new();
+    put_varint(buf, term);
+    put_varint(buf, epoch);
+    put_varint(buf, state.len() as u64);
+    buf.extend_from_slice(state);
+    std::mem::take(buf)
+}
+
+/// Decodes a [`FrameKind::ReplSnapshot`] payload into
+/// `(term, epoch, state_blob)`.
+pub fn decode_repl_snapshot(payload: &[u8]) -> Result<(u64, u64, Vec<u8>), WireError> {
+    let buf = &mut &payload[..];
+    let term = get_varint(buf)?;
+    let epoch = get_varint(buf)?;
+    let len = take_usize(buf)?;
+    if buf.remaining() < len {
+        return Err(WireError::Codec(CodecError::UnexpectedEof));
+    }
+    let state = buf[..len].to_vec();
+    buf.advance(len);
+    ensure_consumed(buf)?;
+    Ok((term, epoch, state))
+}
+
+/// Encodes a [`FrameKind::ReplDelta`] payload (see [`ReplDeltaFrame`]
+/// for field semantics).
+pub fn encode_repl_delta(term: u64, epoch: u64, deltas: &[EdgeDelta], checksum: u64) -> Vec<u8> {
+    let buf = &mut Vec::new();
+    put_varint(buf, term);
+    put_varint(buf, epoch);
+    put_varint(buf, deltas.len() as u64);
+    for d in deltas {
+        put_edge(buf, d.edge);
+        put_bool(buf, d.added);
+    }
+    buf.put_u64_le(checksum);
+    std::mem::take(buf)
+}
+
+/// Decodes a [`FrameKind::ReplDelta`] payload.
+pub fn decode_repl_delta(payload: &[u8]) -> Result<ReplDeltaFrame, WireError> {
+    let buf = &mut &payload[..];
+    let term = get_varint(buf)?;
+    let epoch = get_varint(buf)?;
+    let n = take_usize(buf)?;
+    let mut deltas = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let edge = get_edge(buf)?;
+        let added = take_bool(buf)?;
+        deltas.push(EdgeDelta { edge, added });
+    }
+    let checksum = take_u64_le(buf)?;
+    ensure_consumed(buf)?;
+    Ok(ReplDeltaFrame {
+        term,
+        epoch,
+        deltas,
+        checksum,
+    })
 }

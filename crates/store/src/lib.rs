@@ -25,6 +25,6 @@ pub mod tempdir;
 
 pub use codec::CodecError;
 pub use log::{CommandLog, LogEntry, RecoveredLog, StoreError};
-pub use snapshot::{load_snapshot, write_snapshot, Snapshot};
+pub use snapshot::{decode_state, encode_state, load_snapshot, write_snapshot, Snapshot};
 pub use store::{PolicyStore, RecoveryReport};
 pub use tempdir::TempDir;

@@ -53,6 +53,45 @@ pub fn write_snapshot(
     Ok(())
 }
 
+/// Encodes a `(universe, policy)` state as one self-contained,
+/// CRC-framed byte blob — the same record layout [`write_snapshot`]
+/// puts on disk, minus the file. Replication uses this as the bootstrap
+/// payload a primary ships to a fresh or lagging replica.
+pub fn encode_state(universe: &Universe, policy: &Policy) -> Vec<u8> {
+    let mut payload = BytesMut::new();
+    payload.extend_from_slice(MAGIC);
+    put_varint(&mut payload, 0);
+    put_universe(&mut payload, universe);
+    put_policy(&mut payload, policy);
+    let mut framed = Vec::new();
+    // Writing a record to an in-memory Vec cannot fail.
+    if write_record(&mut framed, &payload).is_err() {
+        return Vec::new();
+    }
+    framed
+}
+
+/// Decodes a blob produced by [`encode_state`], verifying the CRC frame
+/// and magic. A truncated or bit-flipped blob is a typed refusal, never
+/// a partial state.
+pub fn decode_state(bytes: &[u8]) -> Result<(Universe, Policy), StoreError> {
+    let mut reader = bytes;
+    let payload = match read_record(&mut reader)? {
+        RecordRead::Record(p) => p,
+        RecordRead::Eof => return Err(StoreError::BadHeader("empty state blob")),
+        RecordRead::Corrupt { reason } => return Err(StoreError::BadHeader(reason)),
+    };
+    let mut buf = &payload[..];
+    if buf.remaining() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(StoreError::BadHeader("bad magic"));
+    }
+    buf.advance(MAGIC.len());
+    let _base_seq = get_varint(&mut buf)?;
+    let universe = get_universe(&mut buf)?;
+    let policy = get_policy(&mut buf, &universe)?;
+    Ok((universe, policy))
+}
+
 /// Loads a snapshot written by [`write_snapshot`].
 pub fn load_snapshot(path: &Path) -> Result<Snapshot, StoreError> {
     let file = File::open(path)?;
@@ -110,6 +149,28 @@ mod tests {
         let edges1: Vec<_> = policy.edges().collect();
         let edges2: Vec<_> = snap.policy.edges().collect();
         assert_eq!(edges1, edges2);
+    }
+
+    #[test]
+    fn state_blob_round_trip() {
+        let (uni, policy) = sample();
+        let blob = encode_state(&uni, &policy);
+        let (uni2, policy2) = decode_state(&blob).unwrap();
+        assert_eq!(uni2.user_count(), uni.user_count());
+        let edges1: Vec<_> = policy.edges().collect();
+        let edges2: Vec<_> = policy2.edges().collect();
+        assert_eq!(edges1, edges2);
+    }
+
+    #[test]
+    fn corrupted_state_blob_rejected() {
+        let (uni, policy) = sample();
+        let mut blob = encode_state(&uni, &policy);
+        let mid = blob.len() - 2;
+        blob[mid] ^= 0x10;
+        assert!(decode_state(&blob).is_err());
+        assert!(decode_state(&blob[..blob.len() / 2]).is_err());
+        assert!(decode_state(&[]).is_err());
     }
 
     #[test]

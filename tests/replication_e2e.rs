@@ -1,0 +1,386 @@
+//! Replication end-to-end over real sockets: a primary daemon streams
+//! epoch deltas to replica daemons, which serve the read alphabet
+//! lock-free, refuse writes with a typed error, converge to
+//! byte-identical state checksums, survive kill/restart via
+//! snapshot-at-epoch catch-up, self-heal from divergence by
+//! re-bootstrapping, and fence stale primaries after a promotion.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adminref_core::prelude::*;
+use adminref_monitor::{MonitorConfig, ReferenceMonitor};
+use adminref_service::replication::fetch_bootstrap;
+use adminref_service::wire::{self, FrameKind};
+use adminref_service::{
+    Daemon, DaemonConfig, FollowTarget, PolicyService, ReplicatedService, ReplicationRole,
+    ServiceError, WireClient, WireListener,
+};
+use adminref_store::TempDir;
+
+const SUBJECTS: usize = 6;
+const ROLES: usize = 4;
+const RETRY: Duration = Duration::from_millis(25);
+const DEADLINE: Duration = Duration::from_secs(20);
+
+/// An arena where `admin` holds grant and revoke authority over every
+/// `(subject, role)` edge.
+fn arena() -> (Universe, Policy, UserId) {
+    let mut universe = Universe::new();
+    let admin = universe.user("admin");
+    let subjects: Vec<UserId> = (0..SUBJECTS)
+        .map(|i| universe.user(&format!("subj{i}")))
+        .collect();
+    let roles: Vec<RoleId> = (0..ROLES)
+        .map(|i| universe.role(&format!("r{i}")))
+        .collect();
+    let admins = universe.role("admins");
+    let mut policy = Policy::new(&universe);
+    policy.add_edge(Edge::UserRole(admin, admins));
+    for &s in &subjects {
+        for &r in &roles {
+            let g = universe.grant_user_role(s, r);
+            let v = universe.revoke_user_role(s, r);
+            policy.add_edge(Edge::RolePriv(admins, g));
+            policy.add_edge(Edge::RolePriv(admins, v));
+        }
+    }
+    (universe, policy, admin)
+}
+
+/// A deterministic splitmix64 stream — the tests need varied batches,
+/// not entropy, and the suite stays reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A randomized admin batch: each command toggles some `(subject,
+/// role)` edge, grant or revoke, all authorized by `admin`.
+fn random_batch(rng: &mut Rng, universe: &Universe, admin: UserId) -> Vec<Command> {
+    let len = 1 + (rng.next() as usize) % 5;
+    (0..len)
+        .map(|_| {
+            let subj = universe
+                .find_user(&format!("subj{}", rng.next() as usize % SUBJECTS))
+                .unwrap();
+            let role = universe
+                .find_role(&format!("r{}", rng.next() as usize % ROLES))
+                .unwrap();
+            let kind = if rng.next() % 2 == 0 {
+                CommandKind::Grant
+            } else {
+                CommandKind::Revoke
+            };
+            Command {
+                actor: admin,
+                kind,
+                edge: Edge::UserRole(subj, role),
+            }
+        })
+        .collect()
+}
+
+fn spawn_primary(dir: &TempDir) -> (Daemon, Arc<ReplicatedService>, std::path::PathBuf) {
+    let (universe, policy, _) = arena();
+    let monitor = Arc::new(ReferenceMonitor::new(
+        universe.clone(),
+        policy,
+        MonitorConfig::default(),
+    ));
+    let service = Arc::new(ReplicatedService::primary(monitor));
+    let hub = Arc::clone(service.hub());
+    let path = dir.path().join("primary.sock");
+    let listener = WireListener::unix(&path).expect("bind primary");
+    let daemon = Daemon::spawn_replicated(
+        Arc::clone(&service) as Arc<dyn PolicyService>,
+        universe,
+        listener,
+        DaemonConfig::default(),
+        Some(hub),
+    )
+    .expect("spawn primary");
+    (daemon, service, path)
+}
+
+/// Bootstraps a replica from the primary and serves it on its own unix
+/// socket — the same construction `adminref serve --follow-unix` uses.
+fn spawn_replica(
+    primary: &Path,
+    sock: &Path,
+) -> (Daemon, Arc<ReplicatedService>, Arc<ReferenceMonitor>) {
+    let target = FollowTarget::Unix(primary.to_path_buf());
+    let (universe, policy, epoch, term) =
+        fetch_bootstrap(&target, Duration::from_secs(5)).expect("bootstrap");
+    let monitor = Arc::new(ReferenceMonitor::new(
+        universe.clone(),
+        policy.clone(),
+        MonitorConfig::default(),
+    ));
+    monitor
+        .install_replica_state(universe.clone(), policy, epoch)
+        .expect("install bootstrap state");
+    let service = Arc::new(ReplicatedService::replica(
+        Arc::clone(&monitor),
+        target,
+        RETRY,
+        Some(term),
+    ));
+    let hub = Arc::clone(service.hub());
+    let listener = WireListener::unix(sock).expect("bind replica");
+    let daemon = Daemon::spawn_replicated(
+        Arc::clone(&service) as Arc<dyn PolicyService>,
+        universe,
+        listener,
+        DaemonConfig::default(),
+        Some(hub),
+    )
+    .expect("spawn replica");
+    (daemon, service, monitor)
+}
+
+/// Polls until the replica's `(epoch, checksum)` equals the primary's.
+fn await_convergence(primary: &WireClient, replica: &WireClient, what: &str) {
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        let want = primary.version_info().expect("primary version");
+        let got = replica.version_info().expect("replica version");
+        if got.epoch == want.epoch && got.checksum == want.checksum {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{what}: replica stuck at epoch {} checksum {:#018x}, \
+             primary at epoch {} checksum {:#018x}",
+            got.epoch,
+            got.checksum,
+            want.epoch,
+            want.checksum
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn replicas_converge_serve_reads_and_refuse_writes() {
+    let dir = TempDir::new("repl-e2e").unwrap();
+    let (primary_daemon, _primary_service, primary_sock) = spawn_primary(&dir);
+    let (replica_a, _svc_a, _) = spawn_replica(&primary_sock, &dir.path().join("a.sock"));
+    let (replica_b, _svc_b, _) = spawn_replica(&primary_sock, &dir.path().join("b.sock"));
+
+    let client = WireClient::connect_unix(&primary_sock).expect("connect primary");
+    let client_a = WireClient::connect_unix(dir.path().join("a.sock")).expect("connect a");
+    let client_b = WireClient::connect_unix(dir.path().join("b.sock")).expect("connect b");
+    let (universe, _, admin) = arena();
+
+    // Randomized batches through the primary; every epoch must arrive
+    // at both replicas with a byte-identical checksum.
+    let mut rng = Rng(7);
+    for _ in 0..20 {
+        client
+            .submit(random_batch(&mut rng, &universe, admin))
+            .expect("primary accepts writes");
+    }
+    await_convergence(&client, &client_a, "replica a");
+    await_convergence(&client, &client_b, "replica b");
+
+    // Replicas serve the read alphabet from their own snapshots…
+    let stats = client_a.stats().expect("replica stats");
+    let primary_stats = client.stats().expect("primary stats");
+    assert_eq!(stats.edges, primary_stats.edges);
+    assert_eq!(stats.checksum, primary_stats.checksum);
+    let repl = stats.replication.expect("replica reports its role");
+    assert_eq!(repl.role, ReplicationRole::Replica);
+    assert_eq!(repl.last_applied_epoch, primary_stats.epoch);
+    assert_eq!(repl.lag, 0, "converged replica reports zero lag");
+    let primary_repl = primary_stats.replication.expect("primary reports too");
+    assert_eq!(primary_repl.role, ReplicationRole::Primary);
+
+    // …including analyses, sessions, and audit-free reads.
+    let subj = universe.find_user("subj0").unwrap();
+    let session = client_b.create_session(subj).expect("replica session");
+    assert!(client_b.drop_session(session).unwrap());
+
+    // Writes are refused with the typed error, not a transport failure.
+    match client_a.submit(random_batch(&mut rng, &universe, admin)) {
+        Err(ServiceError::ReadOnly) => {}
+        other => panic!("expected ReadOnly from a replica, got {other:?}"),
+    }
+    match client_a.compact() {
+        Err(ServiceError::ReadOnly) => {}
+        other => panic!("expected ReadOnly for compact, got {other:?}"),
+    }
+
+    replica_a.shutdown();
+    replica_b.shutdown();
+    primary_daemon.shutdown();
+}
+
+#[test]
+fn killed_replica_catches_up_after_restart() {
+    let dir = TempDir::new("repl-restart").unwrap();
+    let (primary_daemon, _svc, primary_sock) = spawn_primary(&dir);
+    let client = WireClient::connect_unix(&primary_sock).expect("connect primary");
+    let (universe, _, admin) = arena();
+    let mut rng = Rng(11);
+
+    // History exists before the replica is born: its bootstrap is a
+    // snapshot-at-epoch, and the stream resumes exactly there.
+    for _ in 0..8 {
+        client
+            .submit(random_batch(&mut rng, &universe, admin))
+            .expect("submit");
+    }
+    let sock = dir.path().join("replica.sock");
+    let (daemon, service, _) = spawn_replica(&primary_sock, &sock);
+    {
+        let client_r = WireClient::connect_unix(&sock).expect("connect replica");
+        await_convergence(&client, &client_r, "initial catch-up");
+    }
+
+    // Kill the replica mid-stream…
+    daemon.shutdown();
+    drop(service);
+    // …advance the primary while it is down…
+    for _ in 0..8 {
+        client
+            .submit(random_batch(&mut rng, &universe, admin))
+            .expect("submit while replica down");
+    }
+    // …and a restarted replica converges again from a fresh bootstrap.
+    let sock2 = dir.path().join("replica2.sock");
+    let (daemon2, _svc2, _) = spawn_replica(&primary_sock, &sock2);
+    let client_r = WireClient::connect_unix(&sock2).expect("reconnect replica");
+    await_convergence(&client, &client_r, "post-restart catch-up");
+
+    daemon2.shutdown();
+    primary_daemon.shutdown();
+}
+
+#[test]
+fn diverged_replica_refuses_and_rebootstraps() {
+    let dir = TempDir::new("repl-diverge").unwrap();
+    let (primary_daemon, _svc, primary_sock) = spawn_primary(&dir);
+    let client = WireClient::connect_unix(&primary_sock).expect("connect primary");
+    let (universe, _, admin) = arena();
+    let mut rng = Rng(13);
+
+    for _ in 0..4 {
+        client
+            .submit(random_batch(&mut rng, &universe, admin))
+            .expect("submit");
+    }
+    let sock = dir.path().join("replica.sock");
+    let (daemon, _service, monitor) = spawn_replica(&primary_sock, &sock);
+    let client_r = WireClient::connect_unix(&sock).expect("connect replica");
+    await_convergence(&client, &client_r, "pre-divergence sync");
+
+    // Sabotage: silently install a tampered policy at the same epoch.
+    // The next delta applies cleanly but the post-apply checksum
+    // disagrees with the primary's — the replica must refuse the frame
+    // and re-bootstrap rather than serve corrupt state.
+    {
+        let snapshot = monitor.read_snapshot();
+        let epoch = snapshot.epoch;
+        // The replica's own universe: its tag must match the policy's.
+        let replica_universe = snapshot.universe().clone();
+        let mut tampered = snapshot.policy().clone();
+        let subj = replica_universe.find_user("subj0").unwrap();
+        let rogue = replica_universe
+            .find_role(&format!("r{}", ROLES - 1))
+            .unwrap();
+        let edge = Edge::UserRole(subj, rogue);
+        if !tampered.remove_edge(edge) {
+            tampered.add_edge(edge);
+        }
+        monitor
+            .install_replica_state(replica_universe, tampered, epoch)
+            .expect("tamper install");
+    }
+
+    client
+        .submit(random_batch(&mut rng, &universe, admin))
+        .expect("submit post-tamper");
+    // Convergence implies the divergence was detected: without the
+    // re-bootstrap the checksums could never rejoin.
+    await_convergence(&client, &client_r, "post-divergence recovery");
+
+    daemon.shutdown();
+    primary_daemon.shutdown();
+}
+
+#[test]
+fn promotion_fences_the_stale_primary() {
+    let dir = TempDir::new("repl-promote").unwrap();
+    let (primary_daemon, _svc, primary_sock) = spawn_primary(&dir);
+    let client = WireClient::connect_unix(&primary_sock).expect("connect primary");
+    let (universe, _, admin) = arena();
+    let mut rng = Rng(17);
+    for _ in 0..4 {
+        client
+            .submit(random_batch(&mut rng, &universe, admin))
+            .expect("submit");
+    }
+
+    let sock = dir.path().join("replica.sock");
+    let (replica_daemon, _service, _) = spawn_replica(&primary_sock, &sock);
+    let client_r = WireClient::connect_unix(&sock).expect("connect replica");
+    await_convergence(&client, &client_r, "pre-promotion sync");
+
+    // Failover: promote the replica. It stops following, bumps its
+    // term, and starts accepting writes.
+    let epoch_at_promotion = client_r.version_info().unwrap().epoch;
+    let (term, epoch) = client_r.promote().expect("promote");
+    assert_eq!(term, 1, "first promotion bumps the replica to term 1");
+    assert_eq!(epoch, epoch_at_promotion);
+    client_r
+        .submit(random_batch(&mut rng, &universe, admin))
+        .expect("promoted node accepts writes");
+    let stats = client_r.stats().expect("stats");
+    assert_eq!(
+        stats.replication.expect("still reports").role,
+        ReplicationRole::Primary
+    );
+
+    // The fence: the demoted primary (still term 0) must refuse a
+    // subscriber announcing the new term, so it can never feed a
+    // follower that has seen the newer history.
+    let mut raw = std::os::unix::net::UnixStream::connect(&primary_sock).expect("connect raw");
+    wire::write_frame(
+        &mut raw,
+        FrameKind::ReplSubscribe,
+        1,
+        &wire::encode_repl_subscribe(term, None),
+    )
+    .expect("subscribe");
+    raw.flush().unwrap();
+    let frame = wire::read_frame(&mut raw)
+        .expect("stale primary answers")
+        .expect("a frame, not EOF");
+    assert_eq!(frame.kind, FrameKind::Error);
+    match wire::decode_error(&frame.payload).expect("decodes") {
+        ServiceError::Transport { message } => {
+            assert!(
+                message.contains("stale primary"),
+                "fence names the refusal, got: {message}"
+            );
+        }
+        other => panic!("expected Transport(stale primary), got {other:?}"),
+    }
+
+    // An idempotent re-promotion does not bump the term again.
+    let (term_again, _) = client_r.promote().expect("re-promote");
+    assert_eq!(term_again, 1);
+
+    replica_daemon.shutdown();
+    primary_daemon.shutdown();
+}

@@ -8,13 +8,15 @@ use adminref_core::command::{Command, CommandKind};
 use adminref_core::ids::{ActionId, Entity, ObjectId, Perm, PrivId, RoleId, UserId};
 use adminref_core::lint::{Finding, FindingKind, LintReport, Severity};
 use adminref_core::ordering::OrderingMode;
+use adminref_core::reach::EdgeDelta;
 use adminref_core::safety::SafetyConfig;
 use adminref_core::session::SessionError;
 use adminref_core::transition::AuthMode;
 use adminref_core::universe::{Edge, Universe};
 use adminref_monitor::{AuditEvent, Decision, SessionId};
 use adminref_service::protocol::{
-    RefinementDirection, Request, Response, ServiceError, ServiceStats,
+    RefinementDirection, ReplicationRole, ReplicationStatus, Request, Response, ServiceError,
+    ServiceStats, VersionInfo,
 };
 use adminref_service::wire::{
     self, FrameHeader, FrameKind, WireError, HEADER_LEN, MAX_PAYLOAD, WIRE_VERSION,
@@ -126,6 +128,7 @@ fn all_requests(policy: &adminref_core::policy::Policy) -> Vec<Request> {
         Request::Lint {
             sod_pairs: vec![(RoleId::from_index(0), RoleId::from_index(4))],
         },
+        Request::Promote,
     ]
 }
 
@@ -198,9 +201,13 @@ fn all_responses() -> Vec<Response> {
                 changed: true,
             },
         ]),
-        Response::Version(123456789),
+        Response::Version(VersionInfo {
+            epoch: 123456789,
+            checksum: 0x0123_4567_89AB_CDEF,
+        }),
         Response::Stats(ServiceStats {
             epoch: 17,
+            checksum: 0xDEAD_BEEF_CAFE_F00D,
             users: 4,
             roles: 9,
             edges: 30,
@@ -216,9 +223,16 @@ fn all_responses() -> Vec<Response> {
                 truncated_tail: true,
                 divergent: 0,
             }),
+            replication: Some(ReplicationStatus {
+                role: ReplicationRole::Replica,
+                term: 3,
+                last_applied_epoch: 17,
+                lag: 2,
+            }),
         }),
         Response::Stats(ServiceStats {
             epoch: 0,
+            checksum: 0,
             users: 0,
             roles: 0,
             edges: 0,
@@ -230,7 +244,9 @@ fn all_responses() -> Vec<Response> {
             lints_run: 0,
             lint_findings: 0,
             recovery: None,
+            replication: None,
         }),
+        Response::Promoted { term: 2, epoch: 40 },
         Response::Compacted,
         Response::Lint(LintReport {
             rules_checked: 6,
@@ -270,6 +286,7 @@ fn all_errors() -> Vec<ServiceError> {
         ServiceError::Transport {
             message: "connection reset".to_string(),
         },
+        ServiceError::ReadOnly,
     ]
 }
 
@@ -361,7 +378,44 @@ fn golden_frames() -> Vec<(&'static str, Vec<u8>)> {
                 &wire::encode_error(&ServiceError::Aborted),
             ),
         ),
+        (
+            "repl-subscribe",
+            frame_bytes(
+                FrameKind::ReplSubscribe,
+                1,
+                &wire::encode_repl_subscribe(1, Some(41)),
+            ),
+        ),
+        (
+            "repl-delta",
+            frame_bytes(
+                FrameKind::ReplDelta,
+                0,
+                &wire::encode_repl_delta(
+                    1,
+                    42,
+                    &[EdgeDelta {
+                        edge: Edge::UserRole(UserId::from_index(1), RoleId::from_index(3)),
+                        added: true,
+                    }],
+                    0x0123_4567_89AB_CDEF,
+                ),
+            ),
+        ),
     ]
+}
+
+/// Regeneration helper, not a check: prints the live frames in fixture
+/// format. When the protocol legitimately changes, run
+/// `cargo test -p adminref-suite --test wire_codec -- --ignored --nocapture`
+/// and paste the output into `fixtures/wire_golden.hex` and the spec's
+/// worked examples (and bump `WIRE_VERSION` if the change is breaking).
+#[test]
+#[ignore = "regeneration helper for fixtures/wire_golden.hex"]
+fn print_golden_fixture() {
+    for (name, bytes) in golden_frames() {
+        println!("{name} {}", hex(&bytes));
+    }
 }
 
 #[test]
@@ -456,6 +510,42 @@ fn every_error_variant_round_trips() {
             "re-encode mismatch for {err:?}"
         );
     }
+}
+
+#[test]
+fn replication_payloads_round_trip() {
+    let (uni, policy) = test_world();
+
+    for last_applied in [None, Some(0), Some(41)] {
+        let bytes = wire::encode_repl_subscribe(7, last_applied);
+        assert_eq!(
+            wire::decode_repl_subscribe(&bytes).expect("subscribe decodes"),
+            (7, last_applied)
+        );
+    }
+
+    let state = adminref_store::encode_state(&uni, &policy);
+    let bytes = wire::encode_repl_snapshot(3, 42, &state);
+    let (term, epoch, blob) = wire::decode_repl_snapshot(&bytes).expect("snapshot decodes");
+    assert_eq!((term, epoch), (3, 42));
+    assert_eq!(blob, state);
+
+    let deltas = vec![
+        EdgeDelta {
+            edge: Edge::UserRole(UserId::from_index(1), RoleId::from_index(3)),
+            added: true,
+        },
+        EdgeDelta {
+            edge: Edge::RolePriv(RoleId::from_index(0), PrivId::from_index(2)),
+            added: false,
+        },
+    ];
+    let bytes = wire::encode_repl_delta(3, 43, &deltas, 0xFEED_FACE_0000_1111);
+    let frame = wire::decode_repl_delta(&bytes).expect("delta decodes");
+    assert_eq!(frame.term, 3);
+    assert_eq!(frame.epoch, 43);
+    assert_eq!(frame.deltas, deltas);
+    assert_eq!(frame.checksum, 0xFEED_FACE_0000_1111);
 }
 
 #[test]
