@@ -24,23 +24,23 @@ use adminref_workloads::{churn, ChurnSpec, ChurnWorkload};
 const PAIRS_PER_READER: u64 = 500;
 
 enum Subject {
-    Epoch(ReferenceMonitor),
-    Locked(LockedMonitor),
+    Epoch(Box<ReferenceMonitor>),
+    Locked(Box<LockedMonitor>),
 }
 
 impl Subject {
     fn build(kind: &str, w: &ChurnWorkload) -> Subject {
         match kind {
-            "locked" => Subject::Locked(LockedMonitor::new(
+            "locked" => Subject::Locked(Box::new(LockedMonitor::new(
                 w.universe.clone(),
                 w.policy.clone(),
                 MonitorConfig::default(),
-            )),
-            _ => Subject::Epoch(ReferenceMonitor::new(
+            ))),
+            _ => Subject::Epoch(Box::new(ReferenceMonitor::new(
                 w.universe.clone(),
                 w.policy.clone(),
                 MonitorConfig::default(),
-            )),
+            ))),
         }
     }
 

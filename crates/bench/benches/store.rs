@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use adminref_bench::sized;
+use adminref_core::admission::ConstraintSet;
 use adminref_core::transition::AuthMode;
 use adminref_store::{load_snapshot, write_snapshot, PolicyStore, TempDir};
 use adminref_workloads::{generate_queue, QueueSpec};
@@ -99,9 +100,11 @@ fn snapshot_round_trip(c: &mut Criterion) {
         let dir = TempDir::new("bench-snap").unwrap();
         let path = dir.path().join("bench.snap");
         group.bench_with_input(BenchmarkId::new("write", roles), &roles, |b, _| {
-            b.iter(|| write_snapshot(&path, &w.universe, &w.policy, 0).unwrap())
+            b.iter(|| {
+                write_snapshot(&path, &w.universe, &w.policy, 0, &ConstraintSet::default()).unwrap()
+            })
         });
-        write_snapshot(&path, &w.universe, &w.policy, 0).unwrap();
+        write_snapshot(&path, &w.universe, &w.policy, 0, &ConstraintSet::default()).unwrap();
         group.bench_with_input(BenchmarkId::new("load", roles), &roles, |b, _| {
             b.iter(|| std::hint::black_box(load_snapshot(&path).unwrap().policy.edge_count()))
         });

@@ -16,6 +16,15 @@
 //! (delta-maintained index + structurally shared snapshots) — and the
 //! publishes/s ratio is reported as the publish speedup.
 //!
+//! The same trickle workload measures the **admission gate** overhead:
+//! one run with no constraints declared (the gate short-circuits) and
+//! one with a declared constraint set (SoD pairs + a frozen-edge
+//! assertion, chosen so no batch is ever refused), and the
+//! ungated/gated publishes-per-second ratio is reported as the
+//! admission overhead factor. `floors_admission_publish_overhead` is a
+//! *ceiling*: the gate fails if statically checking every publish costs
+//! more than the checked-in factor.
+//!
 //! With `--baseline FILE` the measured epoch-path read throughput is
 //! gated against checked-in floors: the run fails if any reader count
 //! regresses more than 2x below its floor. Floors are intentionally
@@ -29,10 +38,12 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use adminref_core::admission::ConstraintSet;
 use adminref_core::command::Command;
 use adminref_core::ids::Entity;
 use adminref_core::safety::{perm_reachable, SafetyConfig};
 use adminref_core::snapshot::PublishMode;
+use adminref_core::universe::Edge;
 use adminref_monitor::{LockedMonitor, MonitorConfig, ReferenceMonitor, SessionId};
 use adminref_workloads::{
     churn, cone, wide_universe_trickle, ChurnSpec, ChurnWorkload, ConeSpec, TrickleSpec,
@@ -148,6 +159,98 @@ fn measure_publish_cells(opts: &BenchOptions) -> PublishCells {
     }
 }
 
+/// Measured admission-gate cells: the same trickle workload driven with
+/// and without a declared constraint set, publishes/s each way.
+#[derive(Clone)]
+struct AdmissionCells {
+    roles: usize,
+    ungated_per_sec: f64,
+    gated_per_sec: f64,
+    /// Batches the gate checked in the gated run (sanity: must equal
+    /// the publishes; refusals would corrupt the measurement).
+    checked: u64,
+}
+
+impl AdmissionCells {
+    /// Ungated/gated throughput ratio — how much slower a publish is
+    /// with the static admission check on its path (1.0 = free).
+    fn overhead(&self) -> Option<f64> {
+        (self.gated_per_sec > 0.0).then(|| self.ungated_per_sec / self.gated_per_sec)
+    }
+}
+
+/// One admission cell: a single writer cycling the trickle batches with
+/// the given constraint set declared. The constraints are chosen to
+/// never fire (see [`measure_admission_cells`]), so every batch still
+/// publishes and the delta vs the ungated run is pure gate cost.
+fn measure_admission(
+    w: &TrickleWorkload,
+    constraints: Option<&ConstraintSet>,
+    secs: f64,
+) -> (f64, u64) {
+    let m = ReferenceMonitor::new(
+        w.universe.clone(),
+        w.policy.clone(),
+        MonitorConfig::default(),
+    );
+    if let Some(c) = constraints {
+        m.set_constraints(c.clone()).expect("in-memory constraints");
+    }
+    let start = Instant::now();
+    let deadline = Duration::from_secs_f64(secs);
+    let mut published = 0u64;
+    'outer: loop {
+        for batch in &w.batches {
+            if start.elapsed() >= deadline {
+                break 'outer;
+            }
+            m.submit_batch(batch).expect("gated batch must stay clean");
+            published += 1;
+        }
+    }
+    let rate = published as f64 / start.elapsed().as_secs_f64();
+    let (checked, refused) = m.admission_counts();
+    assert_eq!(refused, 0, "bench constraints must never refuse a batch");
+    (rate, checked)
+}
+
+fn measure_admission_cells(opts: &BenchOptions) -> AdmissionCells {
+    let mut w = wide_universe_trickle(TrickleSpec {
+        roles: opts.trickle_roles,
+        ..TrickleSpec::default()
+    });
+    // A constraint set that exercises the full static check without
+    // ever refusing: SoD pairs over roles nothing grants, and a frozen
+    // assertion on the admin's own seat — no toggle rule can revoke it,
+    // so it sits in the must-closure of every candidate snapshot.
+    let ops = w.universe.role("trickle_ops");
+    let constraints = ConstraintSet {
+        sod_pairs: vec![
+            (
+                w.universe.role("bench_sod_a"),
+                w.universe.role("bench_sod_b"),
+            ),
+            (
+                w.universe.role("bench_sod_c"),
+                w.universe.role("bench_sod_d"),
+            ),
+        ],
+        deny_level: None,
+        frozen_edges: vec![Edge::UserRole(w.admin, ops)],
+    };
+    let warmup = opts.secs.min(0.05);
+    measure_admission(&w, None, warmup);
+    let (ungated_per_sec, _) = measure_admission(&w, None, opts.secs);
+    measure_admission(&w, Some(&constraints), warmup);
+    let (gated_per_sec, checked) = measure_admission(&w, Some(&constraints), opts.secs);
+    AdmissionCells {
+        roles: opts.trickle_roles,
+        ungated_per_sec,
+        gated_per_sec,
+        checked,
+    }
+}
+
 /// Measured analysis-path cells: the goal-directed bounded search over
 /// the [`cone`] workload, with and without cone-of-influence slicing
 /// (`SafetyConfig::slice`). Both runs return the same `Reachable`
@@ -213,8 +316,8 @@ struct Cell {
 
 /// Which monitor implementation a measurement drives.
 enum Subject {
-    Epoch(ReferenceMonitor),
-    Locked(LockedMonitor),
+    Epoch(Box<ReferenceMonitor>),
+    Locked(Box<LockedMonitor>),
 }
 
 impl Subject {
@@ -326,16 +429,16 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
     for implementation in ["locked", "epoch"] {
         for &readers in &opts.readers {
             let subject = match implementation {
-                "locked" => Subject::Locked(LockedMonitor::new(
+                "locked" => Subject::Locked(Box::new(LockedMonitor::new(
                     w.universe.clone(),
                     w.policy.clone(),
                     MonitorConfig::default(),
-                )),
-                _ => Subject::Epoch(ReferenceMonitor::new(
+                ))),
+                _ => Subject::Epoch(Box::new(ReferenceMonitor::new(
                     w.universe.clone(),
                     w.policy.clone(),
                     MonitorConfig::default(),
-                )),
+                ))),
             };
             // Short warmup so first-touch costs don't skew short runs.
             measure(&w, &subject, readers, opts.secs.min(0.05));
@@ -365,6 +468,19 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
         );
         p
     });
+    let admission = (opts.trickle_roles > 0).then(|| {
+        let a = measure_admission_cells(opts);
+        eprintln!(
+            "bench-monitor: admission(wide_universe_trickle roles={}) \
+             ungated {:>8.0}/s  gated {:>8.0}/s  overhead {:.2}x  ({} checked)",
+            a.roles,
+            a.ungated_per_sec,
+            a.gated_per_sec,
+            a.overhead().unwrap_or(0.0),
+            a.checked,
+        );
+        a
+    });
     let slice = measure_slice_cells();
     eprintln!(
         "bench-monitor: slice(cone departments={}) \
@@ -375,9 +491,12 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
         slice.speedup().unwrap_or(0.0),
     );
     if opts.json {
-        println!("{}", render_json(opts, &cells, publish.as_ref(), &slice));
+        println!(
+            "{}",
+            render_json(opts, &cells, publish.as_ref(), admission.as_ref(), &slice)
+        );
     } else {
-        render_table(&cells, publish.as_ref(), &slice);
+        render_table(&cells, publish.as_ref(), admission.as_ref(), &slice);
     }
     if let Some(path) = &opts.baseline {
         let text =
@@ -385,6 +504,7 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
         let floors = parse_floors(&text)?;
         gate(&cells, &floors)?;
         gate_publish(publish.as_ref(), &text)?;
+        gate_admission(admission.as_ref(), &text)?;
         gate_slice(&slice, &text)?;
         eprintln!(
             "bench-monitor: perf-smoke gate passed ({} floors)",
@@ -421,6 +541,39 @@ fn gate_publish(publish: Option<&PublishCells>, baseline: &str) -> Result<(), St
                  wide_universe_trickle({roles} roles): {speedup:.2}x is below the {floor:.1}x floor \
                  (full {:.0}/s, incremental {:.0}/s)",
                 p.full_per_sec, p.incremental_per_sec
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Gates the admission-gate publish overhead against
+/// `floors_admission_publish_overhead` (keyed by trickle role count).
+/// Unlike the other floors this is a **ceiling**: the measured
+/// ungated/gated ratio must stay at or below it.
+fn gate_admission(admission: Option<&AdmissionCells>, baseline: &str) -> Result<(), String> {
+    let Some(a) = admission else {
+        return Ok(());
+    };
+    // Optional so older baselines keep working — but a *present* key
+    // that fails to parse must fail the run, not disable the gate.
+    if !baseline.contains("\"floors_admission_publish_overhead\"") {
+        return Ok(());
+    }
+    let ceilings = parse_floor_map(baseline, "floors_admission_publish_overhead")?;
+    for (roles, ceiling) in ceilings {
+        if roles != a.roles {
+            continue;
+        }
+        let Some(overhead) = a.overhead() else {
+            return Err("admission gate: gated cell measured zero publishes".into());
+        };
+        if overhead > ceiling {
+            return Err(format!(
+                "perf-smoke regression:\n  admission-gated publish overhead on \
+                 wide_universe_trickle({roles} roles): {overhead:.2}x is above the \
+                 {ceiling:.1}x ceiling (ungated {:.0}/s, gated {:.0}/s)",
+                a.ungated_per_sec, a.gated_per_sec
             ));
         }
     }
@@ -470,7 +623,12 @@ fn speedup(cells: &[Cell], readers: usize) -> Option<f64> {
     }
 }
 
-fn render_table(cells: &[Cell], publish: Option<&PublishCells>, slice: &SliceCells) {
+fn render_table(
+    cells: &[Cell],
+    publish: Option<&PublishCells>,
+    admission: Option<&AdmissionCells>,
+    slice: &SliceCells,
+) {
     println!(
         "{:<8} {:>8} {:>16} {:>16}",
         "impl", "readers", "reads/s", "write-cmds/s"
@@ -498,6 +656,15 @@ fn render_table(cells: &[Cell], publish: Option<&PublishCells>, slice: &SliceCel
             p.speedup().unwrap_or(0.0)
         );
     }
+    if let Some(a) = admission {
+        println!(
+            "admission (trickle, {} roles): ungated {:.0}/s, gated {:.0}/s, overhead {:.2}x",
+            a.roles,
+            a.ungated_per_sec,
+            a.gated_per_sec,
+            a.overhead().unwrap_or(0.0)
+        );
+    }
     println!(
         "slice (cone, {} departments): full {:.1}ms, sliced {:.1}ms, speedup {:.1}x",
         slice.departments,
@@ -511,6 +678,7 @@ fn render_json(
     opts: &BenchOptions,
     cells: &[Cell],
     publish: Option<&PublishCells>,
+    admission: Option<&AdmissionCells>,
     slice: &SliceCells,
 ) -> String {
     let mut out = String::from("{\n");
@@ -551,6 +719,20 @@ fn render_json(
             p.incremental_per_sec,
             p.incremental_fallbacks,
             p.speedup().unwrap_or(0.0)
+        ));
+        out.push('}');
+    }
+    if let Some(a) = admission {
+        out.push_str(",\n  \"admission\": {");
+        out.push_str(&format!(
+            "\"workload\": \"wide_universe_trickle\", \"roles\": {}, \
+             \"ungated_publishes_per_sec\": {:.0}, \"gated_publishes_per_sec\": {:.0}, \
+             \"checked\": {}, \"overhead\": {:.2}",
+            a.roles,
+            a.ungated_per_sec,
+            a.gated_per_sec,
+            a.checked,
+            a.overhead().unwrap_or(0.0)
         ));
         out.push('}');
     }
@@ -691,6 +873,40 @@ mod tests {
         // A present-but-malformed key fails the run rather than
         // silently disabling the gate.
         assert!(gate_publish(Some(&fast), r#"{ "floors_publish_speedup": {} }"#).is_err());
+    }
+
+    #[test]
+    fn admission_gate_treats_floor_as_ceiling() {
+        let baseline = r#"{ "floors_admission_publish_overhead": { "2048": 3.0 } }"#;
+        let cheap = AdmissionCells {
+            roles: 2048,
+            ungated_per_sec: 4_000.0,
+            gated_per_sec: 2_000.0,
+            checked: 100,
+        };
+        assert!(gate_admission(Some(&cheap), baseline).is_ok());
+        let costly = AdmissionCells {
+            gated_per_sec: 1_000.0,
+            ..cheap
+        };
+        let err = gate_admission(Some(&costly), baseline).unwrap_err();
+        assert!(err.contains("above the 3.0x ceiling"), "{err}");
+        // Ceilings for other sizes, runs without admission cells, and
+        // baselines without the key are all skipped.
+        let other_size = AdmissionCells {
+            roles: 64,
+            ..costly.clone()
+        };
+        assert!(gate_admission(Some(&other_size), baseline).is_ok());
+        assert!(gate_admission(None, baseline).is_ok());
+        assert!(gate_admission(Some(&costly), "{}").is_ok());
+        // A present-but-malformed key fails the run rather than
+        // silently disabling the gate.
+        assert!(gate_admission(
+            Some(&cheap),
+            r#"{ "floors_admission_publish_overhead": {} }"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -391,15 +391,16 @@ fn measure_replica_read(readers: usize, secs: f64) -> Result<f64, String> {
         .local_addr()
         .ok_or_else(|| "bench replica daemon has no local addr".to_string())?;
     let target = FollowTarget::Tcp(addr.to_string());
-    let (universe, policy, epoch, term) = fetch_bootstrap(&target, Duration::from_secs(5))
-        .map_err(|e| format!("bench replica bootstrap: {e}"))?;
+    let (universe, policy, constraints, epoch, term) =
+        fetch_bootstrap(&target, Duration::from_secs(5))
+            .map_err(|e| format!("bench replica bootstrap: {e}"))?;
     let replica_monitor = Arc::new(ReferenceMonitor::new(
         universe.clone(),
         policy.clone(),
         MonitorConfig::default(),
     ));
     replica_monitor
-        .install_replica_state(universe, policy, epoch)
+        .install_replica_state(universe, policy, epoch, constraints)
         .map_err(|e| format!("bench replica install: {e}"))?;
     let replica = ReplicatedService::replica(
         replica_monitor,

@@ -10,6 +10,10 @@
 //! adminref order    <policy.rbac> "<held priv>" "<requested priv>" [--strict]
 //! adminref weaker   <policy.rbac> "<priv>" [--depth N]
 //! adminref run      <policy.rbac> <queue.rbacq> [--ordered] [--store DIR]
+//! adminref analyze  (<store-dir> | <policy.rbac>) --batch <queue.rbacq> [--ordered]
+//! adminref constraint add  <store-dir> [--sod r1,r2[,…]]
+//!                   [--deny note|warning|error] [--freeze a,b[,…]] [--ordered]
+//! adminref constraint list <store-dir> [--ordered]
 //! adminref compact  <store-dir> [--ordered]
 //! adminref refines  <policy-a.rbac> <policy-b.rbac> [--witnesses N]
 //! adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
@@ -28,8 +32,8 @@
 //! adminref serve    (--follow HOST:PORT | --follow-unix PATH)
 //!                   (--listen HOST:PORT | --unix PATH) [--stop-file PATH] [--workers N]
 //! adminref client   (<host:port> | --unix PATH) <verb> ...
-//!                   verbs: check | reach | lint | submit | compact | stats | version
-//!                          | promote
+//!                   verbs: check | reach | lint | submit | analyze | constraint
+//!                          | compact | stats | version | promote
 //! ```
 //!
 //! `refines` is scriptable: it prints the violation count and the first
@@ -60,6 +64,16 @@
 //! refuses writes until `client … promote` turns it into the new
 //! primary under a bumped fencing term.
 //!
+//! `analyze` is the publish-time admission front door: it simulates a
+//! batch against a store (or bare policy file) and prints its blast
+//! radius — permission verdicts that flip, interval-status changes,
+//! grow-only transitions, and any admission findings — without
+//! mutating anything; it exits nonzero when the declared constraints
+//! would refuse the batch. `constraint add`/`constraint list` manage
+//! the store's durable constraint set (separation-of-duty pairs, a
+//! lint deny-level, frozen-edge assertions) that the serving monitor
+//! enforces on every publish.
+//!
 //! Policies use the `adminref-lang` syntax; privileges on the command
 //! line use the same expression syntax, quoted.
 
@@ -71,8 +85,9 @@ mod remote;
 
 use std::process::ExitCode;
 
+use adminref_core::admission::{self, ConstraintSet, ImpactReport};
 use adminref_core::analysis;
-use adminref_core::display::{priv_to_string, Notation};
+use adminref_core::display::{edge_to_string, priv_to_string, Notation};
 use adminref_core::enumerate::{enumerate_weaker, remark2_depth, EnumerationConfig};
 use adminref_core::ids::Entity;
 use adminref_core::lint::{lint_policy, slice_alphabet, LintConfig, Severity};
@@ -108,6 +123,10 @@ const USAGE: &str = "usage:
   adminref order    <policy.rbac> '<held priv>' '<requested priv>' [--strict]
   adminref weaker   <policy.rbac> '<priv>' [--depth N]
   adminref run      <policy.rbac> <queue.rbacq> [--ordered] [--store DIR]
+  adminref analyze  (<store-dir> | <policy.rbac>) --batch <queue.rbacq> [--ordered]
+  adminref constraint add  <store-dir> [--sod r1,r2[,...]]
+                    [--deny note|warning|error] [--freeze a,b[,...]] [--ordered]
+  adminref constraint list <store-dir> [--ordered]
   adminref compact  <store-dir> [--ordered]
   adminref refines  <policy-a.rbac> <policy-b.rbac> [--witnesses N]
   adminref reach    <policy.rbac> <user> <action> <object> [--ordered] [--steps N]
@@ -132,6 +151,9 @@ const USAGE: &str = "usage:
                            [--max-states N] [--jobs N] [--no-escalate] [--no-slice]
                     lint   <policy.rbac> [--json] [--deny note|warning|error] [--sod ...]
                     submit <policy.rbac> <queue.rbacq>
+                    analyze <policy.rbac> <queue.rbacq>
+                    constraint <policy.rbac> add [--sod ...] [--deny ...] [--freeze ...]
+                    constraint <policy.rbac> list
                     compact | stats | version | promote";
 
 /// Dispatches to a subcommand. `Ok(code)` is a completed run (possibly
@@ -151,6 +173,8 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "order" => cmd_order(&rest),
         "weaker" => done(cmd_weaker(&rest)),
         "run" => done(cmd_run(&rest)),
+        "analyze" => cmd_analyze(&rest),
+        "constraint" => cmd_constraint(&rest),
         "compact" => done(cmd_compact(&rest)),
         "refines" => cmd_refines(&rest),
         "reach" => done(cmd_reach(&rest)),
@@ -237,23 +261,37 @@ fn cmd_print(rest: &[&String]) -> Result<(), String> {
 /// `adminref lint` — the search-free static analyzer. Prints the typed
 /// findings (stable JSON with `--json`) and exits nonzero when anything
 /// at or above the `--deny` floor (default `error`) fires, so CI lanes
-/// can gate on policy hygiene without running a search.
+/// can gate on policy hygiene without running a search. A store
+/// directory lints the durable state, reading the declared SoD pairs
+/// (and deny-level) from the store's constraint set, so pairs don't
+/// need re-declaring on every invocation; `--sod`/`--deny` override.
 fn cmd_lint(rest: &[&String]) -> Result<ExitCode, String> {
     let path = positional(rest, 0)?;
-    let (uni, policy) = read_policy(path)?;
     let mode = if flag(rest, "--ordered") {
         AuthMode::Ordered(OrderingMode::Extended)
     } else {
         AuthMode::Explicit
     };
+    let (uni, policy, stored) = if std::path::Path::new(path).is_dir() {
+        let (store, _) =
+            PolicyStore::open(std::path::Path::new(path), mode).map_err(|e| e.to_string())?;
+        (
+            store.universe().clone(),
+            store.policy().clone(),
+            store.constraints().clone(),
+        )
+    } else {
+        let (uni, policy) = read_policy(path)?;
+        (uni, policy, ConstraintSet::default())
+    };
     let deny = match flag_value(rest, "--deny") {
         Some(v) => Severity::parse(&v)
             .ok_or_else(|| format!("--deny: unknown severity `{v}` (note|warning|error)"))?,
-        None => Severity::Error,
+        None => stored.deny_level.unwrap_or(Severity::Error),
     };
     let sod_pairs = match flag_value(rest, "--sod") {
         Some(spec) => parse_sod_pairs(&uni, &spec)?,
-        None => Vec::new(),
+        None => stored.sod_pairs,
     };
     let report = lint_policy(
         &uni,
@@ -421,6 +459,219 @@ fn cmd_run(rest: &[&String]) -> Result<(), String> {
         print!("{}", print_policy(&uni, &live, "result"));
     }
     Ok(())
+}
+
+/// `adminref analyze (<store-dir> | <policy.rbac>) --batch <queue.rbacq>`
+/// — the admission dry run: simulates the batch, prints its blast
+/// radius, and evaluates the declared constraints without mutating
+/// anything. A directory argument is a durable store (whose declared
+/// constraint set gates the run); a file is a bare policy with an
+/// empty set — add pairs with `--sod` to gate either. Scriptable: a
+/// batch the gate would refuse exits nonzero.
+fn cmd_analyze(rest: &[&String]) -> Result<ExitCode, String> {
+    let path = positional(rest, 0)?;
+    let batch_path = flag_value(rest, "--batch").ok_or("analyze needs --batch <queue.rbacq>")?;
+    let mode = if flag(rest, "--ordered") {
+        AuthMode::Ordered(OrderingMode::Extended)
+    } else {
+        AuthMode::Explicit
+    };
+    let (mut uni, policy, mut constraints) = if std::path::Path::new(path).is_dir() {
+        let (store, _) =
+            PolicyStore::open(std::path::Path::new(path), mode).map_err(|e| e.to_string())?;
+        (
+            store.universe().clone(),
+            store.policy().clone(),
+            store.constraints().clone(),
+        )
+    } else {
+        let (uni, policy) = read_policy(path)?;
+        (uni, policy, ConstraintSet::default())
+    };
+    if let Some(spec) = flag_value(rest, "--sod") {
+        constraints.sod_pairs.extend(parse_sod_pairs(&uni, &spec)?);
+        constraints.normalize();
+    }
+    let queue_text =
+        std::fs::read_to_string(&batch_path).map_err(|e| format!("reading {batch_path}: {e}"))?;
+    let queue = load_queue(&queue_text, &mut uni).map_err(|e| e.to_string())?;
+    let report = admission::analyze_batch(&uni, &policy, queue.commands(), &constraints, mode);
+    print_impact(&uni, &report);
+    Ok(if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Renders an [`ImpactReport`] in triage order: simulation verdicts,
+/// grow-only transition, published deltas, permission flips, interval
+/// status changes, severed sessions, then any admission findings.
+pub(crate) fn print_impact(uni: &adminref_core::universe::Universe, report: &ImpactReport) {
+    let executed = report.outcomes.iter().filter(|o| o.executed()).count();
+    println!(
+        "# simulated: {} executed, {} refused",
+        executed,
+        report.outcomes.len() - executed
+    );
+    if report.grow_only_before != report.grow_only_after {
+        println!(
+            "grow-only: {} -> {}",
+            report.grow_only_before, report.grow_only_after
+        );
+    }
+    for d in &report.deltas {
+        println!(
+            "delta: {} {}",
+            if d.added { "+" } else { "-" },
+            edge_to_string(uni, d.edge, Notation::Ascii)
+        );
+    }
+    for f in &report.flipped {
+        println!(
+            "flip: {} {} {}",
+            uni.user_name(f.user),
+            if f.now_granted { "gains" } else { "loses" },
+            priv_to_string(uni, f.term, Notation::Ascii)
+        );
+    }
+    for c in &report.status_changes {
+        println!(
+            "status: {} {} -> {}",
+            edge_to_string(uni, c.edge, Notation::Ascii),
+            c.before.name(),
+            c.after.name()
+        );
+    }
+    for s in &report.severed_sessions {
+        println!("severed session: {s}");
+    }
+    for f in &report.findings {
+        println!("{}[{}]: {}", f.severity.name(), f.kind.name(), f.message);
+    }
+    println!(
+        "# admission: {}",
+        if report.findings.is_empty() {
+            "clean".to_string()
+        } else {
+            format!("REFUSED ({} finding(s))", report.findings.len())
+        }
+    );
+}
+
+/// `adminref constraint add|list <store-dir>` — manages the store's
+/// durable admission constraint set. `add` merges `--sod` pairs,
+/// a `--deny` level, and `--freeze` edge assertions into the declared
+/// set (normalized, WAL-persisted); `list` prints the live set.
+fn cmd_constraint(rest: &[&String]) -> Result<ExitCode, String> {
+    let verb = positional(rest, 0)?;
+    let dir = positional(rest, 1)?;
+    let mode = if flag(rest, "--ordered") {
+        AuthMode::Ordered(OrderingMode::Extended)
+    } else {
+        AuthMode::Explicit
+    };
+    let (mut store, _) =
+        PolicyStore::open(std::path::Path::new(dir), mode).map_err(|e| e.to_string())?;
+    match verb {
+        "list" => {
+            print_constraints(store.universe(), store.constraints());
+            Ok(ExitCode::SUCCESS)
+        }
+        "add" => {
+            let mut constraints = store.constraints().clone();
+            merge_constraint_flags(rest, store.universe(), &mut constraints)?;
+            constraints.normalize();
+            store
+                .set_constraints(constraints)
+                .map_err(|e| e.to_string())?;
+            print_constraints(store.universe(), store.constraints());
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown constraint verb `{other}` (add|list)")),
+    }
+}
+
+/// Applies `--sod`, `--deny`, and `--freeze` to a constraint set; the
+/// shared surface of local `constraint add` and its remote twin.
+pub(crate) fn merge_constraint_flags(
+    rest: &[&String],
+    uni: &adminref_core::universe::Universe,
+    constraints: &mut ConstraintSet,
+) -> Result<(), String> {
+    let mut touched = false;
+    if let Some(spec) = flag_value(rest, "--sod") {
+        constraints.sod_pairs.extend(parse_sod_pairs(uni, &spec)?);
+        touched = true;
+    }
+    if let Some(v) = flag_value(rest, "--deny") {
+        constraints.deny_level = Some(
+            Severity::parse(&v)
+                .ok_or_else(|| format!("--deny: unknown severity `{v}` (note|warning|error)"))?,
+        );
+        touched = true;
+    }
+    if let Some(spec) = flag_value(rest, "--freeze") {
+        constraints
+            .frozen_edges
+            .extend(parse_freeze_edges(uni, &spec)?);
+        touched = true;
+    }
+    if !touched {
+        return Err("constraint add needs at least one of --sod, --deny, --freeze".into());
+    }
+    Ok(())
+}
+
+/// Parses `--freeze a,b[,c,d…]` into assignment/hierarchy edges: each
+/// pair's first name is a user (user→role edge) or a role (role→role
+/// edge), the second is always a role.
+pub(crate) fn parse_freeze_edges(
+    uni: &adminref_core::universe::Universe,
+    spec: &str,
+) -> Result<Vec<adminref_core::universe::Edge>, String> {
+    use adminref_core::universe::Edge;
+    let names: Vec<&str> = spec.split(',').map(str::trim).collect();
+    if names.is_empty() || names.len() % 2 != 0 {
+        return Err("--freeze needs a comma-separated list of name pairs (an even count)".into());
+    }
+    names
+        .chunks(2)
+        .map(|pair| {
+            let target = uni
+                .find_role(pair[1])
+                .ok_or_else(|| format!("--freeze: unknown role `{}`", pair[1]))?;
+            if let Some(user) = uni.find_user(pair[0]) {
+                Ok(Edge::UserRole(user, target))
+            } else if let Some(role) = uni.find_role(pair[0]) {
+                Ok(Edge::RoleRole(role, target))
+            } else {
+                Err(format!("--freeze: unknown user or role `{}`", pair[0]))
+            }
+        })
+        .collect()
+}
+
+/// Prints a constraint set with resolved names, one declaration per
+/// line, in the canonical (normalized) order.
+pub(crate) fn print_constraints(
+    uni: &adminref_core::universe::Universe,
+    constraints: &ConstraintSet,
+) {
+    if constraints.is_empty() {
+        println!("# no constraints declared");
+        return;
+    }
+    for (a, b) in &constraints.sod_pairs {
+        println!("sod: {}, {}", uni.role_name(*a), uni.role_name(*b));
+    }
+    if let Some(level) = constraints.deny_level {
+        println!("deny-level: {}", level.name());
+    }
+    for e in &constraints.frozen_edges {
+        println!("frozen: {}", edge_to_string(uni, *e, Notation::Ascii));
+    }
+    println!("# {} constraint(s) declared", constraints.len());
 }
 
 /// Folds a durable store's command log into a fresh snapshot, so the

@@ -1,7 +1,8 @@
 //! The networked CLI surface: `adminref serve` runs `adminrefd` over a
 //! durable store; `adminref client` drives a running daemon through
 //! [`WireClient`], reusing the same verbs (`check`, `reach`, `lint`,
-//! `compact`, `stats`, `version`, `submit`) that exist locally.
+//! `submit`, `analyze`, `constraint`, `compact`, `stats`, `version`)
+//! that exist locally.
 //!
 //! Name resolution on the client side is deliberately store-free: the
 //! client loads the *same* `.rbac` policy source the serving store was
@@ -27,7 +28,10 @@ use adminref_service::replication::{fetch_bootstrap, FollowTarget, ReplicatedSer
 use adminref_service::{MonitorService, PolicyService, WireClient};
 use adminref_store::PolicyStore;
 
-use crate::{flag, flag_value, parse_sod_pairs, read_policy};
+use crate::{
+    flag, flag_value, merge_constraint_flags, parse_sod_pairs, print_constraints, print_impact,
+    read_policy,
+};
 
 /// Flags that consume the following argument; their values must not be
 /// mistaken for positionals when a caller interleaves them.
@@ -39,6 +43,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--workers",
     "--sod",
     "--deny",
+    "--batch",
+    "--freeze",
     "--steps",
     "--max-states",
     "--jobs",
@@ -180,7 +186,7 @@ pub fn cmd_serve(rest: &[&String]) -> Result<ExitCode, String> {
 /// `adminref serve --follow …`: bootstrap from the primary, serve the
 /// read alphabet in memory, stream and apply its epoch deltas.
 fn serve_replica(rest: &[&String], target: FollowTarget) -> Result<ExitCode, String> {
-    let (universe, policy, epoch, term) =
+    let (universe, policy, constraints, epoch, term) =
         fetch_bootstrap(&target, Duration::from_secs(30)).map_err(|e| format!("bootstrap: {e}"))?;
     println!(
         "bootstrapped at epoch {epoch} (term {term}): {} user(s), {} role(s)",
@@ -193,7 +199,7 @@ fn serve_replica(rest: &[&String], target: FollowTarget) -> Result<ExitCode, Str
         MonitorConfig::default(),
     ));
     monitor
-        .install_replica_state(universe.clone(), policy, epoch)
+        .install_replica_state(universe.clone(), policy, epoch, constraints)
         .map_err(|e| format!("installing bootstrap state: {e}"))?;
     let service = ReplicatedService::replica(
         Arc::clone(&monitor),
@@ -290,6 +296,8 @@ pub fn cmd_client(rest: &[&String]) -> Result<ExitCode, String> {
         "reach" => client_reach(&client, rest, args),
         "lint" => client_lint(&client, rest, args),
         "submit" => client_submit(&client, args),
+        "analyze" => client_analyze(&client, args),
+        "constraint" => client_constraint(&client, rest, args),
         "compact" => {
             client.compact().map_err(|e| e.to_string())?;
             println!("compacted: log folded into snapshot, reopen replays 0 entries");
@@ -308,7 +316,7 @@ pub fn cmd_client(rest: &[&String]) -> Result<ExitCode, String> {
         }
         other => Err(format!(
             "unknown client verb `{other}` \
-             (check|reach|lint|submit|compact|stats|version|promote)"
+             (check|reach|lint|submit|analyze|constraint|compact|stats|version|promote)"
         )),
     }
 }
@@ -473,7 +481,19 @@ fn client_submit(client: &WireClient, args: &[&str]) -> Result<ExitCode, String>
         std::fs::read_to_string(queue_path).map_err(|e| format!("reading {queue_path}: {e}"))?;
     let queue = load_queue(&queue_text, &mut uni).map_err(|e| e.to_string())?;
     let commands = queue.commands().to_vec();
-    let outcomes = client.submit(commands.clone()).map_err(|e| e.to_string())?;
+    let outcomes = match client.submit(commands.clone()) {
+        Ok(outcomes) => outcomes,
+        Err(adminref_service::protocol::ServiceError::Admission(report)) => {
+            // The batch was refused before anything executed: surface
+            // the findings the gate produced instead of a bare error.
+            for f in &report.findings {
+                println!("{}[{}]: {}", f.severity.name(), f.kind.name(), f.message);
+            }
+            println!("# {report}");
+            return Ok(ExitCode::FAILURE);
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     for (cmd, out) in commands.iter().zip(&outcomes) {
         println!(
             "{:60} {}",
@@ -493,6 +513,57 @@ fn client_submit(client: &WireClient, args: &[&str]) -> Result<ExitCode, String>
         client.version().map_err(|e| e.to_string())?
     );
     Ok(ExitCode::SUCCESS)
+}
+
+/// `client … analyze <policy.rbac> <queue.rbacq>` — asks the server to
+/// simulate the batch against its live snapshot and constraint set, and
+/// prints the impact report. Nothing is published. Scriptable: a clean
+/// batch exits 0, one the gate would refuse exits 1.
+fn client_analyze(client: &WireClient, args: &[&str]) -> Result<ExitCode, String> {
+    let (mut uni, _policy) = read_policy(positional(args, 0, "policy file")?)?;
+    let queue_path = positional(args, 1, "queue file")?;
+    let queue_text =
+        std::fs::read_to_string(queue_path).map_err(|e| format!("reading {queue_path}: {e}"))?;
+    let queue = load_queue(&queue_text, &mut uni).map_err(|e| e.to_string())?;
+    let report = client
+        .analyze_batch(queue.commands().to_vec())
+        .map_err(|e| e.to_string())?;
+    print_impact(&uni, &report);
+    Ok(if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `client … constraint <policy.rbac> (add … | list)` — reads or
+/// extends the server's durable constraint set. `add` fetches the
+/// current set, merges the flags client-side, and sends the result, so
+/// repeated adds accumulate exactly like the local verb.
+fn client_constraint(
+    client: &WireClient,
+    rest: &[&String],
+    args: &[&str],
+) -> Result<ExitCode, String> {
+    let (uni, _policy) = read_policy(positional(args, 0, "policy file")?)?;
+    match positional(args, 1, "constraint verb (add|list)")? {
+        "list" => {
+            let constraints = client.get_constraints().map_err(|e| e.to_string())?;
+            print_constraints(&uni, &constraints);
+            Ok(ExitCode::SUCCESS)
+        }
+        "add" => {
+            let mut constraints = client.get_constraints().map_err(|e| e.to_string())?;
+            merge_constraint_flags(rest, &uni, &mut constraints)?;
+            constraints.normalize();
+            let echoed = client
+                .set_constraints(constraints)
+                .map_err(|e| e.to_string())?;
+            print_constraints(&uni, &echoed);
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown constraint verb `{other}` (add|list)")),
+    }
 }
 
 fn client_stats(client: &WireClient) -> Result<ExitCode, String> {

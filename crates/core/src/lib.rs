@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod analysis;
 pub mod bitset;
 pub mod checksum;
@@ -79,6 +80,10 @@ pub mod verify;
 
 /// The items nearly every consumer wants.
 pub mod prelude {
+    pub use crate::admission::{
+        admit_batch, analyze_batch, evaluate_constraints, is_grow_only, simulate_batch,
+        AdmissionReport, ConstraintSet, EdgeStatus, ImpactReport, Interval, PermFlip, StatusChange,
+    };
     pub use crate::checksum::{edge_digest, edges_checksum, policy_checksum, toggle_edge};
     pub use crate::command::{Command, CommandKind, CommandQueue};
     pub use crate::display::{
@@ -88,8 +93,8 @@ pub mod prelude {
     pub use crate::enumerate::{enumerate_weaker, remark2_depth, EnumerationConfig, WeakerSet};
     pub use crate::ids::{ActionId, Entity, Node, ObjectId, Perm, PrivId, RoleId, UserId};
     pub use crate::lint::{
-        lint_policy, rule_sites, slice_alphabet, DependencyGraph, Finding, FindingKind, LintConfig,
-        LintReport, Potential, RuleSite, Severity, SliceOutcome,
+        lint_policy, rule_sites, slice_alphabet, Confirmation, DependencyGraph, Finding,
+        FindingKind, LintConfig, LintReport, Potential, RuleSite, Severity, SliceOutcome,
     };
     pub use crate::ordering::{Derivation, OrderingMode, PrivilegeOrder};
     pub use crate::policy::{Policy, PolicyBuilder};

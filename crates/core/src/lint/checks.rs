@@ -18,7 +18,7 @@ use crate::transition::AuthMode;
 use crate::universe::{Edge, PrivTerm, Universe};
 
 use super::deps::{rule_sites, DependencyGraph, RuleSite};
-use super::findings::{Finding, FindingKind, Severity};
+use super::findings::{Confirmation, Finding, FindingKind, Severity};
 use super::potential::Potential;
 use super::LintConfig;
 
@@ -77,6 +77,7 @@ fn dead_commands(
                         role: site.role,
                         term: Some(site.term),
                         edge: Some(edge),
+                        confirmation: None,
                         message: "grants an edge already in the policy that no reachable \
                                   policy can remove; the rule is a permanent no-op"
                             .to_string(),
@@ -91,6 +92,7 @@ fn dead_commands(
                         role: site.role,
                         term: Some(site.term),
                         edge: Some(edge),
+                        confirmation: None,
                         message: "revokes an edge that is neither in the policy nor \
                                   addable by any rule; the edge is never present"
                             .to_string(),
@@ -133,6 +135,7 @@ fn unauthorizable(
                 role: site.role,
                 term: Some(site.term),
                 edge: universe.term(site.term).edge(),
+                confirmation: None,
                 message: "no ⊑-compatible authorizing term is ever assigned in the \
                           may-add closure; this rule can never be executed"
                     .to_string(),
@@ -163,6 +166,7 @@ fn redundant_grants(
                 role: r,
                 term: Some(t),
                 edge: Some(Edge::RolePriv(r, t)),
+                confirmation: None,
                 message: format!(
                     "role '{}' already reaches this term through junior role '{}'; \
                      the direct assignment is redundant",
@@ -177,6 +181,13 @@ fn redundant_grants(
 /// A grant rule is **revoke-shadowed** when `Φ⁺` assigns a revoke of
 /// the rule's own assignment edge: a reachable revocation can strip the
 /// rule before it is ever used, so nothing it promises is stable.
+///
+/// The must/may interval sharpens the verdict: when the stripping
+/// assignment already sits in the **root** policy the shadow is
+/// `Confirmed` (one command strips the rule today); when it is merely
+/// addable somewhere in `Φ⁺` it is `Potential`. A rule whose revoke is
+/// never authorizable does not fire at all — the grant is frozen and
+/// shadowing is impossible.
 fn shadowed_grants(
     universe: &Universe,
     root: &Policy,
@@ -188,21 +199,35 @@ fn shadowed_grants(
             continue;
         }
         let rule_edge = Edge::RolePriv(r, t);
-        let shadowed = universe
-            .find_term(PrivTerm::Revoke(rule_edge))
-            .is_some_and(|rev| potential.is_assigned(rev));
-        if shadowed {
-            findings.push(Finding {
-                kind: FindingKind::ShadowedGrant,
-                severity: Severity::Warning,
-                role: r,
-                term: Some(t),
-                edge: Some(rule_edge),
-                message: "a reachable revocation can strip this grant rule from the \
-                          role before it is used"
-                    .to_string(),
-            });
+        let Some(rev) = universe.find_term(PrivTerm::Revoke(rule_edge)) else {
+            continue;
+        };
+        if !potential.is_assigned(rev) {
+            continue;
         }
+        let in_root = root.pa().any(|(_, t2)| t2 == rev);
+        let (confirmation, message) = if in_root {
+            (
+                Confirmation::Confirmed,
+                "a revocation assigned in the root policy can strip this grant rule \
+                 from the role before it is used",
+            )
+        } else {
+            (
+                Confirmation::Potential,
+                "a reachable revocation can strip this grant rule from the role \
+                 before it is used",
+            )
+        };
+        findings.push(Finding {
+            kind: FindingKind::ShadowedGrant,
+            severity: Severity::Warning,
+            role: r,
+            term: Some(t),
+            edge: Some(rule_edge),
+            confirmation: Some(confirmation),
+            message: message.to_string(),
+        });
     }
 }
 
@@ -242,6 +267,7 @@ fn non_monotone_islands(
                     role: r,
                     term: Some(p),
                     edge: Some(edge),
+                    confirmation: None,
                     message: "this revoke rule blocks monotone saturation but can never \
                               fire (its edge is never present); deleting it makes the \
                               instance grow-only"
@@ -255,6 +281,7 @@ fn non_monotone_islands(
                 role: r,
                 term: Some(p),
                 edge: Some(edge),
+                confirmation: None,
                 message: "the root policy is grow-only, but this addable edge would \
                           assign a revoke term and end monotone saturation's \
                           applicability"
@@ -269,6 +296,12 @@ fn non_monotone_islands(
 /// dynamically): a user who can statically reach both roles of a pair
 /// in `Φ⁺` violates the constraint in some reachable policy — or in the
 /// root itself.
+///
+/// Severity is interval-sharpened: a co-holding witnessed by the root
+/// policy itself is `Confirmed` and an **error** (the live state
+/// violates the constraint); a co-holding that only exists somewhere in
+/// the may-add closure is `Potential` and a **warning** (some
+/// authorized command sequence could introduce it).
 fn sod_conflicts(
     universe: &Universe,
     potential: &Potential,
@@ -286,7 +319,8 @@ fn sod_conflicts(
             if !reaches(&potential.index) {
                 continue;
             }
-            let message = if reaches(root_index) {
+            let confirmed = reaches(root_index);
+            let message = if confirmed {
                 format!(
                     "user '{}' reaches both '{}' and '{}' in the root policy itself",
                     universe.user_name(u),
@@ -306,10 +340,19 @@ fn sod_conflicts(
             };
             findings.push(Finding {
                 kind: FindingKind::SodConflict,
-                severity: Severity::Error,
+                severity: if confirmed {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                },
                 role: a,
                 term: None,
                 edge: None,
+                confirmation: Some(if confirmed {
+                    Confirmation::Confirmed
+                } else {
+                    Confirmation::Potential
+                }),
                 message,
             });
         }

@@ -61,6 +61,10 @@ pub enum FindingKind {
     /// Some user can statically reach both roles of a declared
     /// separation-of-duty pair.
     SodConflict,
+    /// An edge asserted frozen by an admission constraint is absent
+    /// from the candidate policy, or some authorized command sequence
+    /// can revoke it (it is not in the must-closure `Φ⁻`).
+    FrozenEdgeViolation,
 }
 
 impl FindingKind {
@@ -73,6 +77,30 @@ impl FindingKind {
             FindingKind::ShadowedGrant => "shadowed-grant",
             FindingKind::NonMonotoneIsland => "non-monotone-island",
             FindingKind::SodConflict => "sod-conflict",
+            FindingKind::FrozenEdgeViolation => "frozen-edge-violation",
+        }
+    }
+}
+
+/// How certain a finding is, for the checks that can tell (currently
+/// `sod-conflict`, `shadowed-grant` and the admission gate's
+/// `frozen-edge-violation`): `Confirmed` means the condition holds in a
+/// concrete witness state (the root/candidate policy itself), `Potential`
+/// means it only holds somewhere in the may-add closure `Φ⁺`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Confirmation {
+    /// Witnessed in the root (or candidate) policy itself.
+    Confirmed,
+    /// Reachable per the may-closure, but not witnessed in the root.
+    Potential,
+}
+
+impl Confirmation {
+    /// Stable lowercase name used in human and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Confirmation::Confirmed => "confirmed",
+            Confirmation::Potential => "potential",
         }
     }
 }
@@ -91,6 +119,10 @@ pub struct Finding {
     pub term: Option<PrivId>,
     /// The effect edge the diagnostic is about, when there is one.
     pub edge: Option<Edge>,
+    /// How certain the finding is, for the checks that distinguish a
+    /// witnessed violation from a merely reachable one (`None` for the
+    /// checks where the distinction is meaningless).
+    pub confirmation: Option<Confirmation>,
     /// A one-line, fully rendered explanation.
     pub message: String,
 }
@@ -140,7 +172,7 @@ impl LintReport {
     /// byte-diff the output against a pinned expectation.
     pub fn to_json(&self, universe: &Universe, source: &str) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": 1,\n");
+        out.push_str("  \"schema\": 2,\n");
         out.push_str(&format!("  \"policy\": \"{}\",\n", escape(source)));
         out.push_str(&format!("  \"rules_checked\": {},\n", self.rules_checked));
         out.push_str(&format!("  \"closure_edges\": {},\n", self.closure_edges));
@@ -167,6 +199,10 @@ impl LintReport {
                     escape(&edge_to_string(universe, edge, Notation::Ascii))
                 )),
                 None => out.push_str("      \"edge\": null,\n"),
+            }
+            match f.confirmation {
+                Some(c) => out.push_str(&format!("      \"confirmation\": \"{}\",\n", c.name())),
+                None => out.push_str("      \"confirmation\": null,\n"),
             }
             out.push_str(&format!("      \"message\": \"{}\"\n", escape(&f.message)));
             out.push_str("    }");

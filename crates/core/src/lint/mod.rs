@@ -15,7 +15,8 @@
 //!    | `redundant-grant` | note | the role already reaches the term through the hierarchy |
 //!    | `shadowed-grant` | warning | a reachable revocation can strip the grant rule |
 //!    | `non-monotone-island` | warning/note | a revoke assignment blocks (or would block) [`crate::verify`]'s saturation fast path |
-//!    | `sod-conflict` | error | a user statically reaches both roles of a declared separation-of-duty pair |
+//!    | `sod-conflict` | error/warning | a user statically reaches both roles of a declared separation-of-duty pair (error when the root itself witnesses the co-holding, warning when only `Φ⁺` does) |
+//!    | `frozen-edge-violation` | error | an admission constraint asserts an edge frozen that the candidate policy drops or leaves revocable (see [`crate::admission`]) |
 //!
 //!    Every check is conservative over the may-add closure `Φ⁺`
 //!    ([`Potential`]), which contains every reachable policy; see the
@@ -40,7 +41,7 @@ mod potential;
 mod slice;
 
 pub use deps::{rule_sites, DependencyGraph, RuleSite};
-pub use findings::{Finding, FindingKind, LintReport, Severity};
+pub use findings::{Confirmation, Finding, FindingKind, LintReport, Severity};
 pub use potential::Potential;
 pub use slice::{slice_alphabet, SliceOutcome};
 
@@ -281,10 +282,13 @@ mod tests {
             .collect();
         // jane violates in the root; mike becomes able via admin's rule.
         assert_eq!(sod.len(), 2, "{:?}", report.findings);
-        assert!(sod.iter().any(|f| f.message.contains("root policy itself")));
-        assert!(sod
-            .iter()
-            .any(|f| f.message.contains("grantable") && f.message.contains("enabled by rule(s)")));
+        assert!(sod.iter().any(|f| f.message.contains("root policy itself")
+            && f.confirmation == Some(Confirmation::Confirmed)
+            && f.severity == Severity::Error));
+        assert!(sod.iter().any(|f| f.message.contains("grantable")
+            && f.message.contains("enabled by rule(s)")
+            && f.confirmation == Some(Confirmation::Potential)
+            && f.severity == Severity::Warning));
         assert_eq!(report.max_severity(), Some(Severity::Error));
         // Without declared pairs, nothing fires.
         let clean = lint_policy(&uni, &policy, &LintConfig::default());

@@ -55,6 +55,7 @@ use std::sync::Arc;
 use arc_swap::ArcSwap;
 use parking_lot::{Mutex, RwLock};
 
+use adminref_core::admission::{self, AdmissionReport, ConstraintSet, ImpactReport};
 use adminref_core::command::{Command, CommandQueue};
 use adminref_core::ids::{Entity, Perm, RoleId, UserId};
 use adminref_core::lint::{lint_policy, LintConfig, LintReport};
@@ -85,6 +86,12 @@ pub struct MonitorConfig {
     /// fresh snapshot, so a long-running monitor never replays an
     /// unbounded log on reopen. `None` disables auto-compaction.
     pub autocompact_log_len: Option<u64>,
+    /// Whether the publish-time admission gate runs: when `true` (the
+    /// default) and a non-empty [`ConstraintSet`] is declared, every
+    /// batch is statically checked against the candidate post-batch
+    /// state and refused with [`MonitorError::Admission`] *before* it
+    /// touches the WAL, audit log, or published epoch.
+    pub admission_enabled: bool,
 }
 
 impl Default for MonitorConfig {
@@ -94,6 +101,7 @@ impl Default for MonitorConfig {
             audit_capacity: 4096,
             publish_mode: PublishMode::default(),
             autocompact_log_len: Some(4096),
+            admission_enabled: true,
         }
     }
 }
@@ -107,6 +115,10 @@ pub enum MonitorError {
     Session(SessionError),
     /// Durable backend failure.
     Store(StoreError),
+    /// The admission gate refused the batch: the candidate post-batch
+    /// state violates the declared constraint set. Nothing was logged,
+    /// audited, or published.
+    Admission(AdmissionReport),
 }
 
 impl std::fmt::Display for MonitorError {
@@ -115,6 +127,7 @@ impl std::fmt::Display for MonitorError {
             MonitorError::UnknownSession(id) => write!(f, "unknown session {id:?}"),
             MonitorError::Session(e) => write!(f, "session error: {e}"),
             MonitorError::Store(e) => write!(f, "store error: {e}"),
+            MonitorError::Admission(report) => write!(f, "{report}"),
         }
     }
 }
@@ -368,6 +381,14 @@ pub struct ReferenceMonitor {
     /// Replication subscription: called once per published epoch, in
     /// epoch order, with the batch's deltas and post-apply checksum.
     publish_hook: RwLock<Option<PublishHook>>,
+    /// The declared admission constraint set, mirrored lock-free for
+    /// the read/analyze path. The writer lock serializes updates (and,
+    /// on durable backends, the WAL append) before the swap.
+    constraints: ArcSwap<ConstraintSet>,
+    /// Batches evaluated by the admission gate.
+    admission_checks: AtomicU64,
+    /// Of those, batches the gate refused.
+    admission_refusals: AtomicU64,
     config: MonitorConfig,
 }
 
@@ -394,6 +415,9 @@ impl ReferenceMonitor {
             lint_findings: AtomicU64::new(0),
             recovery: None,
             publish_hook: RwLock::new(None),
+            constraints: ArcSwap::from_pointee(ConstraintSet::default()),
+            admission_checks: AtomicU64::new(0),
+            admission_refusals: AtomicU64::new(0),
             config,
         }
     }
@@ -419,6 +443,7 @@ impl ReferenceMonitor {
             ..config
         };
         let snapshot = PolicySnapshot::build(store.universe().clone(), store.policy().clone(), 0);
+        let constraints = store.constraints().clone();
         ReferenceMonitor {
             snapshot: ArcSwap::from_pointee(snapshot),
             writer: Mutex::new(Writer {
@@ -437,6 +462,9 @@ impl ReferenceMonitor {
             lint_findings: AtomicU64::new(0),
             recovery,
             publish_hook: RwLock::new(None),
+            constraints: ArcSwap::from_pointee(constraints),
+            admission_checks: AtomicU64::new(0),
+            admission_refusals: AtomicU64::new(0),
             config,
         }
     }
@@ -492,6 +520,26 @@ impl ReferenceMonitor {
             return (Vec::new(), None);
         }
         let mut writer = self.writer.lock();
+        // Admission gate: simulate the batch on scratch clones and check
+        // the candidate state against the declared constraints *before*
+        // anything touches the backend — a refused batch leaves the WAL,
+        // audit log, epoch, and published snapshot untouched.
+        if self.config.admission_enabled {
+            let constraints = self.constraints.load_full();
+            if !constraints.is_empty() {
+                self.admission_checks.fetch_add(1, Ordering::Relaxed);
+                if let Err(report) = admission::admit_batch(
+                    writer.backend.universe(),
+                    writer.backend.policy(),
+                    commands,
+                    &constraints,
+                    self.config.auth_mode,
+                ) {
+                    self.admission_refusals.fetch_add(1, Ordering::Relaxed);
+                    return (Vec::new(), Some(MonitorError::Admission(report)));
+                }
+            }
+        }
         let terms_before = writer.backend.universe().term_count();
         let (outcomes, error) = writer
             .backend
@@ -598,20 +646,24 @@ impl ReferenceMonitor {
     }
 
     /// Replica bootstrap: replaces this monitor's entire state with
-    /// `(universe, policy)` at `epoch`, publishing a freshly built
-    /// snapshot and revalidating live sessions against it. Only valid on
-    /// in-memory monitors (a follower's state is a cache of the
-    /// primary's durable one). Returns the installed state's checksum.
+    /// `(universe, policy, constraints)` at `epoch`, publishing a
+    /// freshly built snapshot and revalidating live sessions against it.
+    /// Carrying the constraint set means a promoted replica keeps
+    /// enforcing the primary's admission gate. Only valid on in-memory
+    /// monitors (a follower's state is a cache of the primary's durable
+    /// one). Returns the installed state's checksum.
     pub fn install_replica_state(
         &self,
         universe: Universe,
         policy: Policy,
         epoch: u64,
+        constraints: ConstraintSet,
     ) -> Result<u64, ReplicaApplyError> {
         let mut writer = self.writer.lock();
         if matches!(writer.backend, Backend::Durable(_)) {
             return Err(ReplicaApplyError::DurableBackend);
         }
+        self.constraints.store(Arc::new(constraints));
         let snapshot = PolicySnapshot::build(universe.clone(), policy.clone(), epoch);
         let checksum = snapshot.checksum();
         writer.backend = Backend::Memory { universe, policy };
@@ -968,6 +1020,96 @@ impl ReferenceMonitor {
             self.lints_run.load(Ordering::Relaxed),
             self.lint_findings.load(Ordering::Relaxed),
         )
+    }
+
+    /// Durably replaces the admission constraint set. The set is
+    /// normalized, WAL-persisted on durable backends (fsync before the
+    /// live set changes), and mirrored lock-free for readers. Declaring
+    /// constraints does **not** retroactively validate the current
+    /// state — only future batches are gated — but callers can run
+    /// [`evaluate_current_constraints`](Self::evaluate_current_constraints)
+    /// to audit the standing state.
+    pub fn set_constraints(&self, mut constraints: ConstraintSet) -> Result<(), MonitorError> {
+        constraints.normalize();
+        let mut writer = self.writer.lock();
+        if let Backend::Durable(store) = &mut writer.backend {
+            store.set_constraints(constraints.clone())?;
+        }
+        self.constraints.store(Arc::new(constraints));
+        Ok(())
+    }
+
+    /// The currently declared admission constraint set (lock-free).
+    pub fn constraints(&self) -> Arc<ConstraintSet> {
+        self.constraints.load_full()
+    }
+
+    /// Evaluates the declared constraints against the *current*
+    /// published state (no batch): the findings a zero-command batch
+    /// would be judged by. Empty iff the standing state is clean.
+    pub fn evaluate_current_constraints(&self) -> Vec<adminref_core::lint::Finding> {
+        let constraints = self.constraints.load_full();
+        self.with_state(|universe, policy| {
+            admission::evaluate_constraints(universe, policy, &constraints, self.auth_mode())
+        })
+    }
+
+    /// Admission gate activity so far: `(batches checked, refused)`.
+    /// Batches submitted while no constraints were declared (or with the
+    /// gate disabled) are not counted as checked.
+    pub fn admission_counts(&self) -> (u64, u64) {
+        (
+            self.admission_checks.load(Ordering::Relaxed),
+            self.admission_refusals.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Blast-radius analysis of a candidate batch against the published
+    /// snapshot: simulated outcomes, edge deltas, flipped permission
+    /// verdicts, grow-only and interval-status changes, admission
+    /// findings, and the sessions a publish would force-deactivate.
+    /// Lock-free against the write path; nothing is mutated.
+    pub fn analyze_batch(&self, commands: &[Command]) -> ImpactReport {
+        let snapshot = self.read_snapshot();
+        let constraints = self.constraints.load_full();
+        let mut impact = admission::analyze_batch(
+            snapshot.universe(),
+            snapshot.policy(),
+            commands,
+            &constraints,
+            self.auth_mode(),
+        );
+        // Which live sessions would the publish-time revalidation sweep
+        // force-deactivate? Only severing deltas can strip an active
+        // role's justification.
+        if impact
+            .deltas
+            .iter()
+            .any(|d| severs_activation(d.edge, d.added))
+        {
+            let mut cand_policy = snapshot.policy().clone();
+            for d in &impact.deltas {
+                if d.added {
+                    cand_policy.add_edge(d.edge);
+                } else {
+                    cand_policy.remove_edge(d.edge);
+                }
+            }
+            let cand_index =
+                adminref_core::reach::ReachIndex::build(snapshot.universe(), &cand_policy);
+            let sessions = self.sessions.read();
+            for (id, session) in sessions.iter() {
+                let user = session.user();
+                if session
+                    .active_roles()
+                    .any(|r| !cand_index.reach_entity(Entity::User(user), Entity::Role(r)))
+                {
+                    impact.severed_sessions.push(id.raw());
+                }
+            }
+            impact.severed_sessions.sort_unstable();
+        }
+        impact
     }
 
     /// For durable monitors: folds the command log into a fresh snapshot.
@@ -1620,7 +1762,9 @@ mod tests {
         let (runi, rpolicy) = primary.snapshot();
         let replica =
             ReferenceMonitor::new(runi.clone(), rpolicy.clone(), MonitorConfig::default());
-        replica.install_replica_state(runi, rpolicy, 0).unwrap();
+        replica
+            .install_replica_state(runi, rpolicy, 0, ConstraintSet::default())
+            .unwrap();
 
         for _ in 0..2 {
             primary
@@ -1696,7 +1840,7 @@ mod tests {
             .unwrap();
         let (runi2, rpolicy2) = primary.snapshot();
         let checksum = replica
-            .install_replica_state(runi2, rpolicy2, primary.version())
+            .install_replica_state(runi2, rpolicy2, primary.version(), ConstraintSet::default())
             .unwrap();
         assert_eq!(checksum, primary.read_snapshot().checksum());
         assert!(
@@ -1717,7 +1861,7 @@ mod tests {
         .unwrap();
         let durable = ReferenceMonitor::with_store(store, MonitorConfig::default());
         assert!(matches!(
-            durable.install_replica_state(duni, dpolicy, 1),
+            durable.install_replica_state(duni, dpolicy, 1, ConstraintSet::default()),
             Err(ReplicaApplyError::DurableBackend)
         ));
     }

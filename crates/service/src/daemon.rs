@@ -363,6 +363,8 @@ fn is_slow(request: &Request) -> bool {
             | Request::AnalyzeReach { .. }
             | Request::CheckRefinement { .. }
             | Request::Compact
+            | Request::Analyze { .. }
+            | Request::SetConstraints { .. }
     )
 }
 

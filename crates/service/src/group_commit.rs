@@ -388,12 +388,33 @@ impl Drop for AbortGuard<'_> {
 
 /// Executes one drained group as a single monitor batch and fills every
 /// slot with its request's own result.
+///
+/// An admission refusal of the *combined* batch must not poison the
+/// whole group: the gate judged a candidate state no single request
+/// asked for, and the refusal left the monitor untouched. With more
+/// than one request aboard, the group is split and each request
+/// re-executes as its own batch — clean requests apply (their own
+/// epochs), violating ones get the typed [`ServiceError::Admission`].
 fn execute_group(monitor: &ReferenceMonitor, group: Vec<PendingWrite>) {
     let combined: Vec<Command> = group
         .iter()
         .flat_map(|request| request.commands.iter().copied())
         .collect();
     let (outcomes, error) = monitor.submit_batch_outcomes(&combined);
+    if group.len() > 1 && matches!(error, Some(MonitorError::Admission(_))) {
+        for request in group {
+            let (own, own_error) = monitor.submit_batch_outcomes(&request.commands);
+            request.slot.fill(match own_error {
+                None => Ok(own),
+                Some(MonitorError::Store(store_error)) => Err(ServiceError::Backend {
+                    applied: own,
+                    error: store_error,
+                }),
+                Some(other) => Err(other.into()),
+            });
+        }
+        return;
+    }
     distribute(group, outcomes, error);
 }
 
@@ -412,20 +433,37 @@ fn distribute(group: Vec<PendingWrite>, outcomes: Vec<StepOutcome>, error: Optio
     let applied = outcomes.len();
     let total: usize = group.iter().map(|r| r.commands.len()).sum();
     if applied == total {
-        if let Some(e) = error {
-            // The store's error type is not Clone (it wraps io::Error),
-            // so each submitter gets a synthesized copy of the message.
-            let message = e.to_string();
-            let mut cursor = 0usize;
-            for request in group {
-                let end = cursor + request.commands.len();
-                request.slot.fill(Err(ServiceError::Backend {
-                    applied: outcomes[cursor..end].to_vec(),
-                    error: adminref_store::StoreError::Io(std::io::Error::other(message.clone())),
-                }));
-                cursor = end;
+        match error {
+            // Admission refuses before anything executes, so a refusal
+            // with a full-length prefix means an all-empty group: every
+            // request hears the typed refusal, not a backend failure.
+            Some(MonitorError::Admission(report)) => {
+                for request in group {
+                    request
+                        .slot
+                        .fill(Err(ServiceError::Admission(report.clone())));
+                }
+                return;
             }
-            return;
+            Some(e) => {
+                // The store's error type is not Clone (it wraps
+                // io::Error), so each submitter gets a synthesized copy
+                // of the message.
+                let message = e.to_string();
+                let mut cursor = 0usize;
+                for request in group {
+                    let end = cursor + request.commands.len();
+                    request.slot.fill(Err(ServiceError::Backend {
+                        applied: outcomes[cursor..end].to_vec(),
+                        error: adminref_store::StoreError::Io(std::io::Error::other(
+                            message.clone(),
+                        )),
+                    }));
+                    cursor = end;
+                }
+                return;
+            }
+            None => {}
         }
     }
     let mut error = error;

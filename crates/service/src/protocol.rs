@@ -13,6 +13,7 @@
 //! and destructure the response, so adding a transport (wire encoding,
 //! sharded router, recording proxy) means implementing one method.
 
+use adminref_core::admission::{AdmissionReport, ConstraintSet, ImpactReport};
 use adminref_core::command::Command;
 use adminref_core::ids::{Entity, Perm, RoleId, UserId};
 use adminref_core::lint::LintReport;
@@ -154,6 +155,26 @@ pub enum Request {
         /// Role pairs no single user/role may bridge (the SoD rule).
         sod_pairs: Vec<(RoleId, RoleId)>,
     },
+    /// Batch impact analysis: simulates `commands` against the
+    /// published snapshot and reports the blast radius — flipped
+    /// permission verdicts, sessions the publish would force-deactivate,
+    /// grow-only classification changes, interval-status changes, and
+    /// the admission findings the batch would be refused with — without
+    /// committing anything.
+    Analyze {
+        /// The candidate batch, applied front to back in simulation.
+        commands: Vec<Command>,
+    },
+    /// Replaces the durable admission [`ConstraintSet`] (WAL-persisted
+    /// on durable monitors; refused with [`ServiceError::ReadOnly`] on
+    /// replicas). Subsequent `Submit` batches are statically gated
+    /// against it.
+    SetConstraints {
+        /// The new constraint set (normalized by the server).
+        constraints: ConstraintSet,
+    },
+    /// Reads back the admission constraint set currently enforced.
+    GetConstraints,
 }
 
 /// Which direction a [`Request::CheckRefinement`] runs.
@@ -333,6 +354,11 @@ pub enum Response {
         /// The published epoch at promotion time.
         epoch: u64,
     },
+    /// Answer to [`Request::Analyze`].
+    Impact(ImpactReport),
+    /// Answer to [`Request::SetConstraints`] (echoing the normalized
+    /// set now enforced) and [`Request::GetConstraints`].
+    Constraints(ConstraintSet),
 }
 
 /// The unified error type of the protocol.
@@ -379,9 +405,15 @@ pub enum ServiceError {
     },
     /// The server is a read replica: it serves the full read-only
     /// alphabet but refuses state-changing requests (`Submit`,
-    /// `Compact`). Retry against the primary, or promote this replica
-    /// first ([`Request::Promote`]).
+    /// `Compact`, `SetConstraints`). Retry against the primary, or
+    /// promote this replica first ([`Request::Promote`]).
     ReadOnly,
+    /// The admission gate refused the batch: the *candidate* state a
+    /// `Submit` would have published violates the durable constraint
+    /// set. Nothing was logged, audited or published; the report names
+    /// each violation. Not retryable as-is — amend the batch or the
+    /// constraints.
+    Admission(AdmissionReport),
     /// A typed wrapper received a response variant that does not answer
     /// its request — a server bug, never the caller's fault.
     Protocol {
@@ -431,6 +463,7 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "protocol violation: expected {expected} response")
             }
             ServiceError::Transport { message } => write!(f, "transport failure: {message}"),
+            ServiceError::Admission(report) => write!(f, "{report}"),
         }
     }
 }
@@ -446,6 +479,7 @@ impl From<MonitorError> for ServiceError {
                 applied: Vec::new(),
                 error: s,
             },
+            MonitorError::Admission(report) => ServiceError::Admission(report),
         }
     }
 }
@@ -478,6 +512,9 @@ impl From<StoreError> for ServiceError {
 /// | `Compact` | `Compacted` | [`compact`](Self::compact) |
 /// | `Lint` | `Lint` | [`lint`](Self::lint) |
 /// | `Promote` | `Promoted` | [`promote`](Self::promote) |
+/// | `Analyze` | `Impact` | [`analyze_batch`](Self::analyze_batch) |
+/// | `SetConstraints` | `Constraints` | [`set_constraints`](Self::set_constraints) |
+/// | `GetConstraints` | `Constraints` | [`get_constraints`](Self::get_constraints) |
 pub trait PolicyService: Send + Sync {
     /// Serves one request.
     fn call(&self, request: Request) -> Result<Response, ServiceError>;
@@ -667,6 +704,36 @@ pub trait PolicyService: Send + Sync {
         match self.call(Request::Lint { sod_pairs })? {
             Response::Lint(report) => Ok(report),
             _ => Err(ServiceError::Protocol { expected: "Lint" }),
+        }
+    }
+
+    /// Typed wrapper for [`Request::Analyze`]: the batch's blast radius,
+    /// computed without committing anything.
+    fn analyze_batch(&self, commands: Vec<Command>) -> Result<ImpactReport, ServiceError> {
+        match self.call(Request::Analyze { commands })? {
+            Response::Impact(report) => Ok(report),
+            _ => Err(ServiceError::Protocol { expected: "Impact" }),
+        }
+    }
+
+    /// Typed wrapper for [`Request::SetConstraints`]: returns the
+    /// normalized set the server now enforces.
+    fn set_constraints(&self, constraints: ConstraintSet) -> Result<ConstraintSet, ServiceError> {
+        match self.call(Request::SetConstraints { constraints })? {
+            Response::Constraints(set) => Ok(set),
+            _ => Err(ServiceError::Protocol {
+                expected: "Constraints",
+            }),
+        }
+    }
+
+    /// Typed wrapper for [`Request::GetConstraints`].
+    fn get_constraints(&self) -> Result<ConstraintSet, ServiceError> {
+        match self.call(Request::GetConstraints)? {
+            Response::Constraints(set) => Ok(set),
+            _ => Err(ServiceError::Protocol {
+                expected: "Constraints",
+            }),
         }
     }
 }

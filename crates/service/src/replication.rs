@@ -66,6 +66,7 @@ use std::sync::{Arc, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
+use adminref_core::admission::ConstraintSet;
 use adminref_core::policy::Policy;
 use adminref_core::universe::Universe;
 use adminref_monitor::{PublishEvent, ReferenceMonitor};
@@ -249,7 +250,8 @@ impl ReplicationHub {
         let snapshot = self.monitor.read_snapshot();
         let epoch = snapshot.epoch;
         if last_applied != Some(epoch) {
-            let state = encode_state(snapshot.universe(), snapshot.policy());
+            let constraints = self.monitor.constraints();
+            let state = encode_state(snapshot.universe(), snapshot.policy(), &constraints);
             let payload = wire::encode_repl_snapshot(term, epoch, &state);
             writer.send(FrameKind::ReplSnapshot, request_id, &payload);
         }
@@ -441,9 +443,10 @@ fn follow_once(hub: &ReplicationHub, target: &FollowTarget, stop: &AtomicBool) -
                 if !hub.admit_term(term) {
                     return Err(io::Error::other("snapshot from deposed primary rejected"));
                 }
-                let (universe, policy) = decode_state(&state).map_err(io::Error::other)?;
+                let (universe, policy, constraints) =
+                    decode_state(&state).map_err(io::Error::other)?;
                 monitor
-                    .install_replica_state(universe, policy, epoch)
+                    .install_replica_state(universe, policy, epoch, constraints)
                     .map_err(io::Error::other)?;
                 hub.seen_epoch.fetch_max(epoch, Ordering::SeqCst);
                 hub.bootstrapped.store(true, Ordering::SeqCst);
@@ -480,13 +483,15 @@ fn follow_once(hub: &ReplicationHub, target: &FollowTarget, stop: &AtomicBool) -
 }
 
 /// Connects to a primary, subscribes with no prior state, and returns
-/// the bootstrap `(universe, policy, epoch, term)` — how a replica
-/// process obtains the decode-context universe it needs before it can
-/// serve its own daemon. `timeout` bounds each socket read.
+/// the bootstrap `(universe, policy, constraints, epoch, term)` — how a
+/// replica process obtains the decode-context universe (and the
+/// admission constraint set it must keep enforcing after a promotion)
+/// before it can serve its own daemon. `timeout` bounds each socket
+/// read.
 pub fn fetch_bootstrap(
     target: &FollowTarget,
     timeout: Duration,
-) -> io::Result<(Universe, Policy, u64, u64)> {
+) -> io::Result<(Universe, Policy, ConstraintSet, u64, u64)> {
     let stream = target.connect()?;
     stream.set_read_timeout(Some(timeout))?;
     let mut writer = stream.try_clone()?;
@@ -508,8 +513,9 @@ pub fn fetch_bootstrap(
             FrameKind::ReplSnapshot => {
                 let (term, epoch, state) =
                     wire::decode_repl_snapshot(&frame.payload).map_err(io::Error::other)?;
-                let (universe, policy) = decode_state(&state).map_err(io::Error::other)?;
-                return Ok((universe, policy, epoch, term));
+                let (universe, policy, constraints) =
+                    decode_state(&state).map_err(io::Error::other)?;
+                return Ok((universe, policy, constraints, epoch, term));
             }
             FrameKind::Error => {
                 let message = match wire::decode_error(&frame.payload) {
@@ -530,9 +536,9 @@ pub fn fetch_bootstrap(
 
 /// A [`PolicyService`] with a replication role: serves the full read
 /// alphabet from the monitor's lock-free snapshots, refuses
-/// `Submit`/`Compact` with [`ServiceError::ReadOnly`] while a replica,
-/// answers `Promote` by stopping its [`Follower`] and becoming a
-/// writable primary under a bumped term, and reports its
+/// `Submit`/`Compact`/`SetConstraints` with [`ServiceError::ReadOnly`]
+/// while a replica, answers `Promote` by stopping its [`Follower`] and
+/// becoming a writable primary under a bumped term, and reports its
 /// [`ReplicationStatus`] in `Stats`.
 pub struct ReplicatedService {
     monitor: Arc<ReferenceMonitor>,
@@ -601,7 +607,9 @@ impl ReplicatedService {
     fn serve(&self, request: Request) -> Result<Response, ServiceError> {
         match request {
             Request::Promote => self.promote(),
-            Request::Submit { .. } | Request::Compact if !self.hub.writable() => {
+            Request::Submit { .. } | Request::Compact | Request::SetConstraints { .. }
+                if !self.hub.writable() =>
+            {
                 Err(ServiceError::ReadOnly)
             }
             Request::Submit { commands } => self

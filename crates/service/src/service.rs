@@ -189,6 +189,12 @@ pub(crate) fn dispatch(
             Ok(Response::Compacted)
         }
         Request::Lint { sod_pairs } => Ok(Response::Lint(monitor.lint_policy(sod_pairs))),
+        Request::Analyze { commands } => Ok(Response::Impact(monitor.analyze_batch(&commands))),
+        Request::SetConstraints { constraints } => {
+            monitor.set_constraints(constraints)?;
+            Ok(Response::Constraints((*monitor.constraints()).clone()))
+        }
+        Request::GetConstraints => Ok(Response::Constraints((*monitor.constraints()).clone())),
         // A bare monitor is always writable; `promote` is idempotent and
         // answers term 0 ("replication not enabled"). The replication
         // hub's service wrapper intercepts this for real followers.

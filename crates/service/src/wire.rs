@@ -64,9 +64,10 @@
 
 use std::io::{self, Read, Write};
 
+use adminref_core::admission::{AdmissionReport, EdgeStatus, ImpactReport, PermFlip, StatusChange};
 use adminref_core::command::CommandQueue;
 use adminref_core::ids::{ActionId, Entity, ObjectId, Perm, PrivId, RoleId, UserId};
-use adminref_core::lint::{Finding, FindingKind, LintReport, Severity};
+use adminref_core::lint::{Confirmation, Finding, FindingKind, LintReport, Severity};
 use adminref_core::ordering::OrderingMode;
 use adminref_core::reach::EdgeDelta;
 use adminref_core::refinement::RefinementViolation;
@@ -76,8 +77,8 @@ use adminref_core::transition::{AuthMode, Authorization, StepOutcome};
 use adminref_core::universe::{Edge, Universe};
 use adminref_monitor::{AuditEvent, Decision, SessionId};
 use adminref_store::codec::{
-    get_command, get_edge, get_policy, get_string, get_varint, put_command, put_edge, put_policy,
-    put_string, put_varint, CodecError,
+    get_command, get_constraints, get_edge, get_policy, get_string, get_varint, put_command,
+    put_constraints, put_edge, put_policy, put_string, put_varint, CodecError,
 };
 use adminref_store::{RecoveryReport, StoreError};
 use bytes::{Buf, BufMut};
@@ -97,8 +98,13 @@ pub const WIRE_MAGIC: [u8; 4] = *b"ARFW";
 /// Version history: 1 = the original request/response protocol; 2 =
 /// replication (the `Version` response gained the state checksum,
 /// `Stats` gained checksum + replication status, and the
-/// `ReplSubscribe`/`ReplSnapshot`/`ReplDelta` frame kinds were added).
-pub const WIRE_VERSION: u8 = 2;
+/// `ReplSubscribe`/`ReplSnapshot`/`ReplDelta` frame kinds were added);
+/// 3 = admission control (request tags 15 `Analyze` / 16
+/// `SetConstraints` / 17 `GetConstraints`, response tags 14 `Impact` /
+/// 15 `Constraints`, error tag 11 `Admission`, lint findings gained the
+/// confirmation option and the `frozen-edge-violation` kind, and the
+/// `ReplSnapshot` state blob carries the constraint set).
+pub const WIRE_VERSION: u8 = 3;
 
 /// Fixed frame header size in bytes.
 pub const HEADER_LEN: usize = 20;
@@ -124,7 +130,8 @@ pub enum FrameKind {
     /// stream.
     ReplSubscribe,
     /// A replication bootstrap (primary → replica): term + epoch + the
-    /// full CRC-framed `(universe, policy)` state at that epoch.
+    /// full CRC-framed `(universe, policy, constraints)` state at that
+    /// epoch.
     ReplSnapshot,
     /// One replicated epoch (primary → replica): term + epoch + the
     /// batch's edge deltas + the post-apply state checksum.
@@ -721,6 +728,18 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 put_varint(buf, b.index() as u64);
             }
         }
+        Request::Analyze { commands } => {
+            put_varint(buf, 15);
+            put_varint(buf, commands.len() as u64);
+            for cmd in commands {
+                put_command(buf, cmd);
+            }
+        }
+        Request::SetConstraints { constraints } => {
+            put_varint(buf, 16);
+            put_constraints(buf, constraints);
+        }
+        Request::GetConstraints => put_varint(buf, 17),
     }
     std::mem::take(buf)
 }
@@ -803,6 +822,18 @@ pub fn decode_request(payload: &[u8], universe: &Universe) -> Result<Request, Wi
             Request::Lint { sod_pairs }
         }
         14 => Request::Promote,
+        15 => {
+            let n = take_usize(buf)?;
+            let mut commands = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                commands.push(get_command(buf)?);
+            }
+            Request::Analyze { commands }
+        }
+        16 => Request::SetConstraints {
+            constraints: get_constraints(buf)?,
+        },
+        17 => Request::GetConstraints,
         other => {
             return Err(WireError::BadTag {
                 what: "request",
@@ -854,11 +885,22 @@ pub fn validate_request(req: &Request, universe: &Universe) -> Result<(), WireEr
         | Request::Stats
         | Request::Compact
         | Request::Promote
+        | Request::GetConstraints
         | Request::CheckRefinement { .. } => Ok(()),
-        Request::Submit { commands } => {
+        Request::Submit { commands } | Request::Analyze { commands } => {
             for cmd in commands {
                 user(cmd.actor)?;
                 edge(cmd.edge)?;
+            }
+            Ok(())
+        }
+        Request::SetConstraints { constraints } => {
+            for (a, b) in &constraints.sod_pairs {
+                role(*a)?;
+                role(*b)?;
+            }
+            for e in &constraints.frozen_edges {
+                edge(*e)?;
             }
             Ok(())
         }
@@ -985,6 +1027,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_varint(buf, *term);
             put_varint(buf, *epoch);
         }
+        Response::Impact(report) => {
+            put_varint(buf, 14);
+            put_impact_report(buf, report);
+        }
+        Response::Constraints(set) => {
+            put_varint(buf, 15);
+            put_constraints(buf, set);
+        }
     }
     std::mem::take(buf)
 }
@@ -1087,6 +1137,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             term: get_varint(buf)?,
             epoch: get_varint(buf)?,
         },
+        14 => Response::Impact(take_impact_report(buf)?),
+        15 => Response::Constraints(get_constraints(buf)?),
         other => {
             return Err(WireError::BadTag {
                 what: "response",
@@ -1190,40 +1242,123 @@ fn take_stats(buf: &mut impl Buf) -> Result<ServiceStats, WireError> {
     })
 }
 
+/// One lint/admission finding: kind byte, severity byte, role varint,
+/// term option, edge option, confirmation option (v3), message string.
+fn put_finding(buf: &mut impl BufMut, f: &Finding) {
+    buf.put_u8(match f.kind {
+        FindingKind::DeadCommand => 0,
+        FindingKind::Unauthorizable => 1,
+        FindingKind::RedundantGrant => 2,
+        FindingKind::ShadowedGrant => 3,
+        FindingKind::NonMonotoneIsland => 4,
+        FindingKind::SodConflict => 5,
+        FindingKind::FrozenEdgeViolation => 6,
+    });
+    buf.put_u8(match f.severity {
+        Severity::Note => 0,
+        Severity::Warning => 1,
+        Severity::Error => 2,
+    });
+    put_varint(buf, f.role.index() as u64);
+    match f.term {
+        None => buf.put_u8(0),
+        Some(t) => {
+            buf.put_u8(1);
+            put_varint(buf, t.index() as u64);
+        }
+    }
+    match f.edge {
+        None => buf.put_u8(0),
+        Some(e) => {
+            buf.put_u8(1);
+            put_edge(buf, e);
+        }
+    }
+    buf.put_u8(match f.confirmation {
+        None => 0,
+        Some(Confirmation::Confirmed) => 1,
+        Some(Confirmation::Potential) => 2,
+    });
+    put_string(buf, &f.message);
+}
+
+fn take_finding(buf: &mut impl Buf) -> Result<Finding, WireError> {
+    let kind = match take_u8(buf)? {
+        0 => FindingKind::DeadCommand,
+        1 => FindingKind::Unauthorizable,
+        2 => FindingKind::RedundantGrant,
+        3 => FindingKind::ShadowedGrant,
+        4 => FindingKind::NonMonotoneIsland,
+        5 => FindingKind::SodConflict,
+        6 => FindingKind::FrozenEdgeViolation,
+        other => {
+            return Err(WireError::BadTag {
+                what: "finding kind",
+                tag: u64::from(other),
+            })
+        }
+    };
+    let severity = match take_u8(buf)? {
+        0 => Severity::Note,
+        1 => Severity::Warning,
+        2 => Severity::Error,
+        other => {
+            return Err(WireError::BadTag {
+                what: "severity",
+                tag: u64::from(other),
+            })
+        }
+    };
+    let role = RoleId::from_index(take_usize(buf)?);
+    let term = match take_u8(buf)? {
+        0 => None,
+        1 => Some(PrivId::from_index(take_usize(buf)?)),
+        other => {
+            return Err(WireError::BadTag {
+                what: "term option",
+                tag: u64::from(other),
+            })
+        }
+    };
+    let edge = match take_u8(buf)? {
+        0 => None,
+        1 => Some(get_edge(buf)?),
+        other => {
+            return Err(WireError::BadTag {
+                what: "edge option",
+                tag: u64::from(other),
+            })
+        }
+    };
+    let confirmation = match take_u8(buf)? {
+        0 => None,
+        1 => Some(Confirmation::Confirmed),
+        2 => Some(Confirmation::Potential),
+        other => {
+            return Err(WireError::BadTag {
+                what: "confirmation option",
+                tag: u64::from(other),
+            })
+        }
+    };
+    let message = get_string(buf)?;
+    Ok(Finding {
+        kind,
+        severity,
+        role,
+        term,
+        edge,
+        confirmation,
+        message,
+    })
+}
+
 fn put_lint_report(buf: &mut impl BufMut, report: &LintReport) {
     put_varint(buf, report.rules_checked as u64);
     put_varint(buf, report.closure_edges as u64);
     put_varint(buf, report.findings.len() as u64);
     for f in &report.findings {
-        buf.put_u8(match f.kind {
-            FindingKind::DeadCommand => 0,
-            FindingKind::Unauthorizable => 1,
-            FindingKind::RedundantGrant => 2,
-            FindingKind::ShadowedGrant => 3,
-            FindingKind::NonMonotoneIsland => 4,
-            FindingKind::SodConflict => 5,
-        });
-        buf.put_u8(match f.severity {
-            Severity::Note => 0,
-            Severity::Warning => 1,
-            Severity::Error => 2,
-        });
-        put_varint(buf, f.role.index() as u64);
-        match f.term {
-            None => buf.put_u8(0),
-            Some(t) => {
-                buf.put_u8(1);
-                put_varint(buf, t.index() as u64);
-            }
-        }
-        match f.edge {
-            None => buf.put_u8(0),
-            Some(e) => {
-                buf.put_u8(1);
-                put_edge(buf, e);
-            }
-        }
-        put_string(buf, &f.message);
+        put_finding(buf, f);
     }
 }
 
@@ -1233,66 +1368,114 @@ fn take_lint_report(buf: &mut impl Buf) -> Result<LintReport, WireError> {
     let n = take_usize(buf)?;
     let mut findings = Vec::with_capacity(n.min(4096));
     for _ in 0..n {
-        let kind = match take_u8(buf)? {
-            0 => FindingKind::DeadCommand,
-            1 => FindingKind::Unauthorizable,
-            2 => FindingKind::RedundantGrant,
-            3 => FindingKind::ShadowedGrant,
-            4 => FindingKind::NonMonotoneIsland,
-            5 => FindingKind::SodConflict,
-            other => {
-                return Err(WireError::BadTag {
-                    what: "finding kind",
-                    tag: u64::from(other),
-                })
-            }
-        };
-        let severity = match take_u8(buf)? {
-            0 => Severity::Note,
-            1 => Severity::Warning,
-            2 => Severity::Error,
-            other => {
-                return Err(WireError::BadTag {
-                    what: "severity",
-                    tag: u64::from(other),
-                })
-            }
-        };
-        let role = RoleId::from_index(take_usize(buf)?);
-        let term = match take_u8(buf)? {
-            0 => None,
-            1 => Some(PrivId::from_index(take_usize(buf)?)),
-            other => {
-                return Err(WireError::BadTag {
-                    what: "term option",
-                    tag: u64::from(other),
-                })
-            }
-        };
-        let edge = match take_u8(buf)? {
-            0 => None,
-            1 => Some(get_edge(buf)?),
-            other => {
-                return Err(WireError::BadTag {
-                    what: "edge option",
-                    tag: u64::from(other),
-                })
-            }
-        };
-        let message = get_string(buf)?;
-        findings.push(Finding {
-            kind,
-            severity,
-            role,
-            term,
-            edge,
-            message,
-        });
+        findings.push(take_finding(buf)?);
     }
     Ok(LintReport {
         findings,
         rules_checked,
         closure_edges,
+    })
+}
+
+fn edge_status_byte(status: EdgeStatus) -> u8 {
+    match status {
+        EdgeStatus::Frozen => 0,
+        EdgeStatus::Volatile => 1,
+        EdgeStatus::Unreachable => 2,
+    }
+}
+
+fn take_edge_status(buf: &mut impl Buf) -> Result<EdgeStatus, WireError> {
+    match take_u8(buf)? {
+        0 => Ok(EdgeStatus::Frozen),
+        1 => Ok(EdgeStatus::Volatile),
+        2 => Ok(EdgeStatus::Unreachable),
+        other => Err(WireError::BadTag {
+            what: "edge status",
+            tag: u64::from(other),
+        }),
+    }
+}
+
+fn put_impact_report(buf: &mut impl BufMut, report: &ImpactReport) {
+    put_outcomes(buf, &report.outcomes);
+    put_varint(buf, report.deltas.len() as u64);
+    for d in &report.deltas {
+        put_edge(buf, d.edge);
+        put_bool(buf, d.added);
+    }
+    put_varint(buf, report.flipped.len() as u64);
+    for f in &report.flipped {
+        put_varint(buf, f.user.index() as u64);
+        put_varint(buf, f.term.index() as u64);
+        put_bool(buf, f.now_granted);
+    }
+    put_bool(buf, report.grow_only_before);
+    put_bool(buf, report.grow_only_after);
+    put_varint(buf, report.status_changes.len() as u64);
+    for c in &report.status_changes {
+        put_edge(buf, c.edge);
+        buf.put_u8(edge_status_byte(c.before));
+        buf.put_u8(edge_status_byte(c.after));
+    }
+    put_varint(buf, report.findings.len() as u64);
+    for f in &report.findings {
+        put_finding(buf, f);
+    }
+    put_varint(buf, report.severed_sessions.len() as u64);
+    for s in &report.severed_sessions {
+        put_varint(buf, *s);
+    }
+}
+
+fn take_impact_report(buf: &mut impl Buf) -> Result<ImpactReport, WireError> {
+    let outcomes = take_outcomes(buf)?;
+    let n = take_usize(buf)?;
+    let mut deltas = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let edge = get_edge(buf)?;
+        let added = take_bool(buf)?;
+        deltas.push(EdgeDelta { edge, added });
+    }
+    let n = take_usize(buf)?;
+    let mut flipped = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        flipped.push(PermFlip {
+            user: UserId::from_index(take_usize(buf)?),
+            term: PrivId::from_index(take_usize(buf)?),
+            now_granted: take_bool(buf)?,
+        });
+    }
+    let grow_only_before = take_bool(buf)?;
+    let grow_only_after = take_bool(buf)?;
+    let n = take_usize(buf)?;
+    let mut status_changes = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        status_changes.push(StatusChange {
+            edge: get_edge(buf)?,
+            before: take_edge_status(buf)?,
+            after: take_edge_status(buf)?,
+        });
+    }
+    let n = take_usize(buf)?;
+    let mut findings = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        findings.push(take_finding(buf)?);
+    }
+    let n = take_usize(buf)?;
+    let mut severed_sessions = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        severed_sessions.push(get_varint(buf)?);
+    }
+    Ok(ImpactReport {
+        outcomes,
+        deltas,
+        flipped,
+        grow_only_before,
+        grow_only_after,
+        status_changes,
+        findings,
+        severed_sessions,
     })
 }
 
@@ -1318,6 +1501,8 @@ const PROTOCOL_EXPECTED: &[&str] = &[
     "Compacted",
     "Lint",
     "Promoted",
+    "Impact",
+    "Constraints",
 ];
 
 /// Encodes a [`ServiceError`] payload (tag + fields; no frame header).
@@ -1366,6 +1551,14 @@ pub fn encode_error(err: &ServiceError) -> Vec<u8> {
             put_string(buf, message);
         }
         ServiceError::ReadOnly => put_varint(buf, 10),
+        ServiceError::Admission(report) => {
+            put_varint(buf, 11);
+            put_varint(buf, report.findings.len() as u64);
+            for f in &report.findings {
+                put_finding(buf, f);
+            }
+            put_varint(buf, report.constraints_checked as u64);
+        }
     }
     std::mem::take(buf)
 }
@@ -1410,6 +1603,18 @@ pub fn decode_error(payload: &[u8]) -> Result<ServiceError, WireError> {
             message: get_string(buf)?,
         },
         10 => ServiceError::ReadOnly,
+        11 => {
+            let n = take_usize(buf)?;
+            let mut findings = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                findings.push(take_finding(buf)?);
+            }
+            let constraints_checked = take_usize(buf)?;
+            ServiceError::Admission(AdmissionReport {
+                findings,
+                constraints_checked,
+            })
+        }
         other => {
             return Err(WireError::BadTag {
                 what: "error",

@@ -9,8 +9,10 @@
 
 use bytes::{Buf, BufMut};
 
+use adminref_core::admission::ConstraintSet;
 use adminref_core::command::{Command, CommandKind};
 use adminref_core::ids::{ActionId, ObjectId, Perm, PrivId, RoleId, UserId};
+use adminref_core::lint::Severity;
 use adminref_core::policy::Policy;
 use adminref_core::universe::{Edge, PrivTerm, Universe};
 
@@ -197,6 +199,71 @@ pub fn get_command(buf: &mut impl Buf) -> Result<Command, CodecError> {
     };
     let edge = get_edge(buf)?;
     Ok(Command { actor, kind, edge })
+}
+
+// ----- constraint sets ---------------------------------------------------
+
+/// Writes an admission [`ConstraintSet`].
+pub fn put_constraints(buf: &mut impl BufMut, constraints: &ConstraintSet) {
+    put_varint(buf, constraints.sod_pairs.len() as u64);
+    for &(a, b) in &constraints.sod_pairs {
+        put_varint(buf, a.0 as u64);
+        put_varint(buf, b.0 as u64);
+    }
+    match constraints.deny_level {
+        None => buf.put_u8(0),
+        Some(level) => {
+            buf.put_u8(1);
+            buf.put_u8(match level {
+                Severity::Note => 0,
+                Severity::Warning => 1,
+                Severity::Error => 2,
+            });
+        }
+    }
+    put_varint(buf, constraints.frozen_edges.len() as u64);
+    for &e in &constraints.frozen_edges {
+        put_edge(buf, e);
+    }
+}
+
+/// Reads a [`ConstraintSet`] written by [`put_constraints`].
+pub fn get_constraints(buf: &mut impl Buf) -> Result<ConstraintSet, CodecError> {
+    let pairs = get_varint(buf)?;
+    let mut sod_pairs = Vec::with_capacity(pairs.min(4096) as usize);
+    for _ in 0..pairs {
+        let a = get_varint(buf)? as u32;
+        let b = get_varint(buf)? as u32;
+        sod_pairs.push((RoleId(a), RoleId(b)));
+    }
+    if !buf.has_remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let deny_level = match buf.get_u8() {
+        0 => None,
+        1 => {
+            if !buf.has_remaining() {
+                return Err(CodecError::UnexpectedEof);
+            }
+            Some(match buf.get_u8() {
+                0 => Severity::Note,
+                1 => Severity::Warning,
+                2 => Severity::Error,
+                t => return Err(CodecError::BadTag(t)),
+            })
+        }
+        t => return Err(CodecError::BadTag(t)),
+    };
+    let edges = get_varint(buf)?;
+    let mut frozen_edges = Vec::with_capacity(edges.min(4096) as usize);
+    for _ in 0..edges {
+        frozen_edges.push(get_edge(buf)?);
+    }
+    Ok(ConstraintSet {
+        sod_pairs,
+        deny_level,
+        frozen_edges,
+    })
 }
 
 // ----- universe and policy snapshots ------------------------------------
@@ -491,6 +558,29 @@ mod tests {
             get_universe(&mut r),
             Err(CodecError::DanglingId(5))
         ));
+    }
+
+    #[test]
+    fn constraints_round_trip() {
+        let cases = [
+            ConstraintSet::default(),
+            ConstraintSet {
+                sod_pairs: vec![(RoleId(1), RoleId(4)), (RoleId(0), RoleId(2))],
+                deny_level: Some(Severity::Warning),
+                frozen_edges: vec![
+                    Edge::UserRole(UserId(0), RoleId(1)),
+                    Edge::RolePriv(RoleId(2), PrivId(7)),
+                ],
+            },
+        ];
+        for c in &cases {
+            let mut buf = BytesMut::new();
+            put_constraints(&mut buf, c);
+            let mut r = buf.freeze();
+            assert_eq!(&get_constraints(&mut r).unwrap(), c);
+        }
+        let mut bad = &[1u8, 0, 0, 3][..]; // deny tag 3 after one pair
+        assert_eq!(get_constraints(&mut bad), Err(CodecError::BadTag(3)));
     }
 
     #[test]

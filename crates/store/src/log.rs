@@ -1,8 +1,10 @@
 //! The append-only command log.
 //!
-//! Each entry records one administrative command together with its
-//! sequence number and whether it was authorized when first executed.
-//! Entries are CRC-framed ([`crate::record`]); recovery replays the
+//! Each record carries a sequence number and a kind tag: kind `0` is an
+//! administrative command together with whether it was authorized when
+//! first executed; kind `1` is an admission [`ConstraintSet`] declaration
+//! (the whole set, last-writer-wins, so recovery needs no merging).
+//! Records are CRC-framed ([`crate::record`]); recovery replays the
 //! longest valid prefix and truncates a torn tail.
 
 use std::fs::{File, OpenOptions};
@@ -11,10 +13,18 @@ use std::path::{Path, PathBuf};
 
 use bytes::BytesMut;
 
+use adminref_core::admission::ConstraintSet;
 use adminref_core::command::Command;
 
-use crate::codec::{get_command, get_varint, put_command, put_varint, CodecError};
+use crate::codec::{
+    get_command, get_constraints, get_varint, put_command, put_constraints, put_varint, CodecError,
+};
 use crate::record::{read_record, write_record, RecordRead};
+
+/// Record kind tag: an administrative command.
+const KIND_COMMAND: u8 = 0;
+/// Record kind tag: a constraint-set declaration.
+const KIND_CONSTRAINTS: u8 = 1;
 
 /// One durable log entry.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -76,10 +86,18 @@ pub struct CommandLog {
 pub struct RecoveredLog {
     /// The log, positioned for appends.
     pub log: CommandLog,
-    /// The valid prefix of entries found on disk.
+    /// The valid prefix of command entries found on disk.
     pub entries: Vec<LogEntry>,
+    /// The last constraint-set declaration in the valid prefix, if any.
+    pub constraints: Option<ConstraintSet>,
     /// `true` iff a torn/corrupt tail was truncated during recovery.
     pub truncated_tail: bool,
+}
+
+/// One decoded log record (internal to recovery).
+enum LogRecord {
+    Command(LogEntry),
+    Constraints { seq: u64, set: ConstraintSet },
 }
 
 impl CommandLog {
@@ -87,6 +105,9 @@ impl CommandLog {
     /// and truncating any torn tail.
     pub fn open(path: &Path) -> Result<RecoveredLog, StoreError> {
         let mut entries = Vec::new();
+        let mut constraints = None;
+        let mut last_seq = None;
+        let mut records: u64 = 0;
         let mut valid_bytes: u64 = 0;
         let mut truncated_tail = false;
         if path.exists() {
@@ -96,8 +117,17 @@ impl CommandLog {
                 match read_record(&mut reader)? {
                     RecordRead::Record(payload) => {
                         let mut buf = &payload[..];
-                        let entry = decode_entry(&mut buf)?;
-                        entries.push(entry);
+                        match decode_log_record(&mut buf)? {
+                            LogRecord::Command(entry) => {
+                                last_seq = Some(entry.seq);
+                                entries.push(entry);
+                            }
+                            LogRecord::Constraints { seq, set } => {
+                                last_seq = Some(seq);
+                                constraints = Some(set);
+                            }
+                        }
+                        records += 1;
                         valid_bytes += 8 + payload.len() as u64;
                     }
                     RecordRead::Eof => break,
@@ -115,33 +145,52 @@ impl CommandLog {
             .open(path)?;
         file.set_len(valid_bytes)?;
         file.seek(SeekFrom::Start(valid_bytes))?;
-        let next_seq = entries.last().map(|e| e.seq + 1).unwrap_or(0);
+        let next_seq = last_seq.map(|s| s + 1).unwrap_or(0);
         Ok(RecoveredLog {
             log: CommandLog {
                 path: path.to_path_buf(),
                 writer: BufWriter::new(file),
                 next_seq,
-                entries_written: entries.len() as u64,
+                entries_written: records,
             },
             entries,
+            constraints,
             truncated_tail,
         })
     }
 
-    /// Appends an entry and flushes it to the OS.
+    /// Appends a command entry and flushes it to the OS.
     ///
     /// Returns the entry's sequence number.
     pub fn append(&mut self, command: &Command, executed: bool) -> Result<u64, StoreError> {
-        let seq = self.next_seq;
         let mut payload = BytesMut::new();
+        let seq = self.next_seq;
         put_varint(&mut payload, seq);
-        payload.extend_from_slice(&[u8::from(executed)]);
+        payload.extend_from_slice(&[KIND_COMMAND, u8::from(executed)]);
         put_command(&mut payload, command);
-        write_record(&mut self.writer, &payload)?;
+        self.append_payload(&payload)?;
+        Ok(seq)
+    }
+
+    /// Appends a constraint-set declaration and flushes it to the OS.
+    ///
+    /// Returns the record's sequence number.
+    pub fn append_constraints(&mut self, constraints: &ConstraintSet) -> Result<u64, StoreError> {
+        let mut payload = BytesMut::new();
+        let seq = self.next_seq;
+        put_varint(&mut payload, seq);
+        payload.extend_from_slice(&[KIND_CONSTRAINTS]);
+        put_constraints(&mut payload, constraints);
+        self.append_payload(&payload)?;
+        Ok(seq)
+    }
+
+    fn append_payload(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        write_record(&mut self.writer, payload)?;
         self.writer.flush()?;
         self.next_seq += 1;
         self.entries_written += 1;
-        Ok(seq)
+        Ok(())
     }
 
     /// Forces the file contents to stable storage (`fsync`).
@@ -184,19 +233,33 @@ impl CommandLog {
     }
 }
 
-fn decode_entry(buf: &mut &[u8]) -> Result<LogEntry, CodecError> {
+fn decode_log_record(buf: &mut &[u8]) -> Result<LogRecord, CodecError> {
     let seq = get_varint(buf)?;
     if buf.is_empty() {
         return Err(CodecError::UnexpectedEof);
     }
-    let executed = buf[0] != 0;
+    let kind = buf[0];
     *buf = &buf[1..];
-    let command = get_command(buf)?;
-    Ok(LogEntry {
-        seq,
-        command,
-        executed,
-    })
+    match kind {
+        KIND_COMMAND => {
+            if buf.is_empty() {
+                return Err(CodecError::UnexpectedEof);
+            }
+            let executed = buf[0] != 0;
+            *buf = &buf[1..];
+            let command = get_command(buf)?;
+            Ok(LogRecord::Command(LogEntry {
+                seq,
+                command,
+                executed,
+            }))
+        }
+        KIND_CONSTRAINTS => Ok(LogRecord::Constraints {
+            seq,
+            set: get_constraints(buf)?,
+        }),
+        t => Err(CodecError::BadTag(t)),
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +342,34 @@ mod tests {
         for (i, e) in rec.entries.iter().enumerate() {
             assert_eq!(e.seq, i as u64);
         }
+    }
+
+    #[test]
+    fn constraint_records_interleave_and_last_wins() {
+        let dir = TempDir::new("cons").unwrap();
+        let path = dir.path().join("commands.log");
+        let first = ConstraintSet {
+            sod_pairs: vec![(RoleId(0), RoleId(1))],
+            ..ConstraintSet::default()
+        };
+        let second = ConstraintSet {
+            sod_pairs: vec![(RoleId(2), RoleId(3))],
+            ..ConstraintSet::default()
+        };
+        {
+            let mut rec = CommandLog::open(&path).unwrap();
+            rec.log.append(&cmd(1, 2), true).unwrap();
+            rec.log.append_constraints(&first).unwrap();
+            rec.log.append(&cmd(3, 4), true).unwrap();
+            rec.log.append_constraints(&second).unwrap();
+            rec.log.sync().unwrap();
+        }
+        let rec = CommandLog::open(&path).unwrap();
+        assert_eq!(rec.entries.len(), 2, "constraint records are not commands");
+        assert_eq!(rec.entries[0].seq, 0);
+        assert_eq!(rec.entries[1].seq, 2);
+        assert_eq!(rec.constraints, Some(second), "last declaration wins");
+        assert_eq!(rec.log.next_seq(), 4);
     }
 
     #[test]

@@ -7,15 +7,20 @@ use std::path::Path;
 
 use bytes::{Buf, BytesMut};
 
+use adminref_core::admission::ConstraintSet;
 use adminref_core::policy::Policy;
 use adminref_core::universe::Universe;
 
-use crate::codec::{get_policy, get_universe, get_varint, put_policy, put_universe, put_varint};
+use crate::codec::{
+    get_constraints, get_policy, get_universe, get_varint, put_constraints, put_policy,
+    put_universe, put_varint,
+};
 use crate::log::StoreError;
 use crate::record::{read_record, write_record, RecordRead};
 
-/// Magic bytes identifying a snapshot file.
-const MAGIC: &[u8; 8] = b"ADMREFS1";
+/// Magic bytes identifying a snapshot file. `ADMREFS2` appended the
+/// admission constraint section; `ADMREFS1` files are refused cleanly.
+const MAGIC: &[u8; 8] = b"ADMREFS2";
 
 /// A loaded snapshot.
 #[derive(Debug)]
@@ -26,6 +31,8 @@ pub struct Snapshot {
     pub policy: Policy,
     /// Sequence number the log restarts at after this snapshot.
     pub base_seq: u64,
+    /// The admission constraint set declared at snapshot time.
+    pub constraints: ConstraintSet,
 }
 
 /// Writes a snapshot atomically (temp file + rename).
@@ -34,12 +41,14 @@ pub fn write_snapshot(
     universe: &Universe,
     policy: &Policy,
     base_seq: u64,
+    constraints: &ConstraintSet,
 ) -> Result<(), StoreError> {
     let mut payload = BytesMut::new();
     payload.extend_from_slice(MAGIC);
     put_varint(&mut payload, base_seq);
     put_universe(&mut payload, universe);
     put_policy(&mut payload, policy);
+    put_constraints(&mut payload, constraints);
     let tmp = path.with_extension("tmp");
     {
         let file = File::create(&tmp)?;
@@ -53,16 +62,19 @@ pub fn write_snapshot(
     Ok(())
 }
 
-/// Encodes a `(universe, policy)` state as one self-contained,
-/// CRC-framed byte blob — the same record layout [`write_snapshot`]
-/// puts on disk, minus the file. Replication uses this as the bootstrap
-/// payload a primary ships to a fresh or lagging replica.
-pub fn encode_state(universe: &Universe, policy: &Policy) -> Vec<u8> {
+/// Encodes a `(universe, policy, constraints)` state as one
+/// self-contained, CRC-framed byte blob — the same record layout
+/// [`write_snapshot`] puts on disk, minus the file. Replication uses
+/// this as the bootstrap payload a primary ships to a fresh or lagging
+/// replica; carrying the constraint set means a promoted replica keeps
+/// enforcing the same admission gate.
+pub fn encode_state(universe: &Universe, policy: &Policy, constraints: &ConstraintSet) -> Vec<u8> {
     let mut payload = BytesMut::new();
     payload.extend_from_slice(MAGIC);
     put_varint(&mut payload, 0);
     put_universe(&mut payload, universe);
     put_policy(&mut payload, policy);
+    put_constraints(&mut payload, constraints);
     let mut framed = Vec::new();
     // Writing a record to an in-memory Vec cannot fail.
     if write_record(&mut framed, &payload).is_err() {
@@ -74,7 +86,7 @@ pub fn encode_state(universe: &Universe, policy: &Policy) -> Vec<u8> {
 /// Decodes a blob produced by [`encode_state`], verifying the CRC frame
 /// and magic. A truncated or bit-flipped blob is a typed refusal, never
 /// a partial state.
-pub fn decode_state(bytes: &[u8]) -> Result<(Universe, Policy), StoreError> {
+pub fn decode_state(bytes: &[u8]) -> Result<(Universe, Policy, ConstraintSet), StoreError> {
     let mut reader = bytes;
     let payload = match read_record(&mut reader)? {
         RecordRead::Record(p) => p,
@@ -89,7 +101,8 @@ pub fn decode_state(bytes: &[u8]) -> Result<(Universe, Policy), StoreError> {
     let _base_seq = get_varint(&mut buf)?;
     let universe = get_universe(&mut buf)?;
     let policy = get_policy(&mut buf, &universe)?;
-    Ok((universe, policy))
+    let constraints = get_constraints(&mut buf)?;
+    Ok((universe, policy, constraints))
 }
 
 /// Loads a snapshot written by [`write_snapshot`].
@@ -109,10 +122,12 @@ pub fn load_snapshot(path: &Path) -> Result<Snapshot, StoreError> {
     let base_seq = get_varint(&mut buf)?;
     let universe = get_universe(&mut buf)?;
     let policy = get_policy(&mut buf, &universe)?;
+    let constraints = get_constraints(&mut buf)?;
     Ok(Snapshot {
         universe,
         policy,
         base_seq,
+        constraints,
     })
 }
 
@@ -141,9 +156,14 @@ mod tests {
         let dir = TempDir::new("snap").unwrap();
         let path = dir.path().join("policy.snap");
         let (uni, policy) = sample();
-        write_snapshot(&path, &uni, &policy, 42).unwrap();
+        let constraints = ConstraintSet {
+            sod_pairs: vec![(adminref_core::ids::RoleId(0), adminref_core::ids::RoleId(1))],
+            ..ConstraintSet::default()
+        };
+        write_snapshot(&path, &uni, &policy, 42, &constraints).unwrap();
         let snap = load_snapshot(&path).unwrap();
         assert_eq!(snap.base_seq, 42);
+        assert_eq!(snap.constraints, constraints);
         assert_eq!(snap.universe.user_count(), uni.user_count());
         assert_eq!(snap.policy.edge_count(), policy.edge_count());
         let edges1: Vec<_> = policy.edges().collect();
@@ -154,8 +174,9 @@ mod tests {
     #[test]
     fn state_blob_round_trip() {
         let (uni, policy) = sample();
-        let blob = encode_state(&uni, &policy);
-        let (uni2, policy2) = decode_state(&blob).unwrap();
+        let blob = encode_state(&uni, &policy, &ConstraintSet::default());
+        let (uni2, policy2, constraints) = decode_state(&blob).unwrap();
+        assert!(constraints.is_empty());
         assert_eq!(uni2.user_count(), uni.user_count());
         let edges1: Vec<_> = policy.edges().collect();
         let edges2: Vec<_> = policy2.edges().collect();
@@ -165,7 +186,7 @@ mod tests {
     #[test]
     fn corrupted_state_blob_rejected() {
         let (uni, policy) = sample();
-        let mut blob = encode_state(&uni, &policy);
+        let mut blob = encode_state(&uni, &policy, &ConstraintSet::default());
         let mid = blob.len() - 2;
         blob[mid] ^= 0x10;
         assert!(decode_state(&blob).is_err());
@@ -178,7 +199,7 @@ mod tests {
         let dir = TempDir::new("snapbad").unwrap();
         let path = dir.path().join("policy.snap");
         let (uni, policy) = sample();
-        write_snapshot(&path, &uni, &policy, 0).unwrap();
+        write_snapshot(&path, &uni, &policy, 0, &ConstraintSet::default()).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() - 2;
         bytes[mid] ^= 0x10;
@@ -220,7 +241,7 @@ mod tests {
         let dir = TempDir::new("snaptmp").unwrap();
         let path = dir.path().join("policy.snap");
         let (uni, policy) = sample();
-        write_snapshot(&path, &uni, &policy, 0).unwrap();
+        write_snapshot(&path, &uni, &policy, 0, &ConstraintSet::default()).unwrap();
         assert!(!path.with_extension("tmp").exists());
     }
 }

@@ -14,6 +14,7 @@
 
 use std::path::{Path, PathBuf};
 
+use adminref_core::admission::ConstraintSet;
 use adminref_core::command::Command;
 use adminref_core::policy::Policy;
 use adminref_core::transition::{step, AuthMode, StepOutcome};
@@ -46,6 +47,7 @@ pub struct PolicyStore {
     policy: Policy,
     log: CommandLog,
     auth_mode: AuthMode,
+    constraints: ConstraintSet,
     /// Testing hook: when `Some(n)`, the append after `n` more
     /// successful appends fails with an injected I/O error (once).
     fail_append_after: Option<u64>,
@@ -63,7 +65,14 @@ impl PolicyStore {
         auth_mode: AuthMode,
     ) -> Result<Self, StoreError> {
         std::fs::create_dir_all(dir)?;
-        write_snapshot(&dir.join(SNAPSHOT_FILE), &universe, &policy, 0)?;
+        let constraints = ConstraintSet::default();
+        write_snapshot(
+            &dir.join(SNAPSHOT_FILE),
+            &universe,
+            &policy,
+            0,
+            &constraints,
+        )?;
         let recovered = CommandLog::open(&dir.join(LOG_FILE))?;
         let mut log = recovered.log;
         log.reset(0)?;
@@ -73,6 +82,7 @@ impl PolicyStore {
             policy,
             log,
             auth_mode,
+            constraints,
             fail_append_after: None,
             fail_next_sync: false,
         })
@@ -84,6 +94,9 @@ impl PolicyStore {
         let recovered = CommandLog::open(&dir.join(LOG_FILE))?;
         let mut universe = snap.universe;
         let mut policy = snap.policy;
+        // The snapshot's constraint set, overridden by the latest WAL
+        // declaration (last-writer-wins).
+        let constraints = recovered.constraints.unwrap_or(snap.constraints);
         let mut report = RecoveryReport {
             replayed: recovered.entries.len(),
             truncated_tail: recovered.truncated_tail,
@@ -105,6 +118,7 @@ impl PolicyStore {
                 policy,
                 log: recovered.log,
                 auth_mode,
+                constraints,
                 fail_append_after: None,
                 fail_next_sync: false,
             },
@@ -217,7 +231,8 @@ impl PolicyStore {
         self.fail_next_sync = true;
     }
 
-    /// Folds the log into a fresh snapshot and truncates it.
+    /// Folds the log into a fresh snapshot (including the live
+    /// constraint set) and truncates it.
     pub fn compact(&mut self) -> Result<(), StoreError> {
         let base = self.log.next_seq();
         write_snapshot(
@@ -225,9 +240,25 @@ impl PolicyStore {
             &self.universe,
             &self.policy,
             base,
+            &self.constraints,
         )?;
         self.log.reset(base)?;
         Ok(())
+    }
+
+    /// Durably replaces the admission constraint set: appends a WAL
+    /// record and fsyncs before the live set changes, so a crash can
+    /// never lose an acknowledged declaration.
+    pub fn set_constraints(&mut self, constraints: ConstraintSet) -> Result<(), StoreError> {
+        self.log.append_constraints(&constraints)?;
+        self.log.sync()?;
+        self.constraints = constraints;
+        Ok(())
+    }
+
+    /// The live admission constraint set.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
     }
 
     /// The live universe.
@@ -385,6 +416,34 @@ mod tests {
         let (store, report) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
         assert_eq!(report.replayed, 0, "log was folded into the snapshot");
         assert!(store.policy().contains_edge(Edge::UserRole(bob, staff)));
+    }
+
+    #[test]
+    fn constraints_survive_recovery_and_compaction() {
+        let dir = TempDir::new("storecons").unwrap();
+        let (uni, policy) = sample();
+        let hr = uni.find_role("hr").unwrap();
+        let staff = uni.find_role("staff").unwrap();
+        let declared = ConstraintSet {
+            sod_pairs: vec![(hr.min(staff), hr.max(staff))],
+            ..ConstraintSet::default()
+        };
+        {
+            let mut store =
+                PolicyStore::create(dir.path(), uni, policy, AuthMode::Explicit).unwrap();
+            assert!(store.constraints().is_empty());
+            store.set_constraints(declared.clone()).unwrap();
+        }
+        // WAL record alone restores the set.
+        let (mut store, _) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+        assert_eq!(store.constraints(), &declared);
+        // Compaction folds it into the snapshot; a fresh open with an
+        // empty log still sees it.
+        store.compact().unwrap();
+        drop(store);
+        let (store, report) = PolicyStore::open(dir.path(), AuthMode::Explicit).unwrap();
+        assert_eq!(report.replayed, 0);
+        assert_eq!(store.constraints(), &declared);
     }
 
     #[test]

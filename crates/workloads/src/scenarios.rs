@@ -333,8 +333,11 @@ pub struct SeededDefectsWorkload {
 /// * a **shadowed grant** — `sec` can strip `hr`'s working grant rule;
 /// * a **redundant grant** — `senior` directly holds a permission it
 ///   already inherits from `junior`;
-/// * a **separation-of-duty conflict** — `admins` can place a payment
-///   clerk into the audit role ([`SeededDefectsWorkload::sod_pair`]).
+/// * a **separation-of-duty conflict** — both flavors: `admins` can
+///   place a payment clerk into the audit role (*potential*), and one
+///   user already holds both roles of the pair in the root policy
+///   (*confirmed*, severity Error) —
+///   see [`SeededDefectsWorkload::sod_pair`].
 ///
 /// The linted report over this policy must flag all six classes; clean
 /// scenarios ([`grow_only`], [`deep_delegation`], [`cone`]) must stay
@@ -386,11 +389,15 @@ pub fn seeded_defects() -> SeededDefectsWorkload {
     let read_logs_priv = universe.priv_perm(read_logs);
     policy.add_edge(Edge::RolePriv(junior, read_logs_priv));
     policy.add_edge(Edge::RolePriv(senior, read_logs_priv));
-    // SoD conflict: the clerk is in pay, and admins can add them to
-    // audit.
+    // Potential SoD conflict: the clerk is in pay, and admins can add
+    // them to audit.
     policy.add_edge(Edge::UserRole(clerk, pay));
     let cross = universe.grant_user_role(clerk, audit);
     policy.add_edge(Edge::RolePriv(admins, cross));
+    // Confirmed SoD conflict: mike holds both roles of the pair in the
+    // root policy itself (severity Error, unlike the clerk's Warning).
+    policy.add_edge(Edge::UserRole(mike, pay));
+    policy.add_edge(Edge::UserRole(mike, audit));
 
     SeededDefectsWorkload {
         universe,

@@ -119,7 +119,7 @@ fn spawn_replica(
     sock: &Path,
 ) -> (Daemon, Arc<ReplicatedService>, Arc<ReferenceMonitor>) {
     let target = FollowTarget::Unix(primary.to_path_buf());
-    let (universe, policy, epoch, term) =
+    let (universe, policy, constraints, epoch, term) =
         fetch_bootstrap(&target, Duration::from_secs(5)).expect("bootstrap");
     let monitor = Arc::new(ReferenceMonitor::new(
         universe.clone(),
@@ -127,7 +127,7 @@ fn spawn_replica(
         MonitorConfig::default(),
     ));
     monitor
-        .install_replica_state(universe.clone(), policy, epoch)
+        .install_replica_state(universe.clone(), policy, epoch, constraints)
         .expect("install bootstrap state");
     let service = Arc::new(ReplicatedService::replica(
         Arc::clone(&monitor),
@@ -303,7 +303,12 @@ fn diverged_replica_refuses_and_rebootstraps() {
             tampered.add_edge(edge);
         }
         monitor
-            .install_replica_state(replica_universe, tampered, epoch)
+            .install_replica_state(
+                replica_universe,
+                tampered,
+                epoch,
+                (*monitor.constraints()).clone(),
+            )
             .expect("tamper install");
     }
 

@@ -4,9 +4,12 @@
 //! oversized, bad magic, future version, mutated payloads) decoding to
 //! typed errors — never panics.
 
+use adminref_core::admission::{
+    AdmissionReport, ConstraintSet, EdgeStatus, ImpactReport, PermFlip, StatusChange,
+};
 use adminref_core::command::{Command, CommandKind};
 use adminref_core::ids::{ActionId, Entity, ObjectId, Perm, PrivId, RoleId, UserId};
-use adminref_core::lint::{Finding, FindingKind, LintReport, Severity};
+use adminref_core::lint::{Confirmation, Finding, FindingKind, LintReport, Severity};
 use adminref_core::ordering::OrderingMode;
 use adminref_core::reach::EdgeDelta;
 use adminref_core::safety::SafetyConfig;
@@ -128,6 +131,24 @@ fn all_requests(policy: &adminref_core::policy::Policy) -> Vec<Request> {
         Request::Lint {
             sod_pairs: vec![(RoleId::from_index(0), RoleId::from_index(4))],
         },
+        Request::Analyze {
+            commands: vec![cmd(
+                0,
+                CommandKind::Grant,
+                Edge::UserRole(UserId::from_index(1), RoleId::from_index(3)),
+            )],
+        },
+        Request::SetConstraints {
+            constraints: ConstraintSet {
+                sod_pairs: vec![(RoleId::from_index(1), RoleId::from_index(5))],
+                deny_level: Some(Severity::Error),
+                frozen_edges: vec![Edge::RolePriv(RoleId::from_index(2), PrivId::from_index(0))],
+            },
+        },
+        Request::SetConstraints {
+            constraints: ConstraintSet::default(),
+        },
+        Request::GetConstraints,
         Request::Promote,
     ]
 }
@@ -257,9 +278,46 @@ fn all_responses() -> Vec<Response> {
                 role: RoleId::from_index(2),
                 term: Some(PrivId::from_index(5)),
                 edge: Some(Edge::RolePriv(RoleId::from_index(2), PrivId::from_index(5))),
+                confirmation: Some(Confirmation::Potential),
                 message: "grant shadowed by inherited privilege".to_string(),
             }],
         }),
+        Response::Impact(ImpactReport {
+            outcomes: vec![outcome_auth, outcome_refused],
+            deltas: vec![adminref_core::reach::EdgeDelta {
+                edge: Edge::UserRole(UserId::from_index(1), RoleId::from_index(3)),
+                added: true,
+            }],
+            flipped: vec![PermFlip {
+                user: UserId::from_index(2),
+                term: PrivId::from_index(4),
+                now_granted: false,
+            }],
+            grow_only_before: true,
+            grow_only_after: false,
+            status_changes: vec![StatusChange {
+                edge: Edge::RoleRole(RoleId::from_index(0), RoleId::from_index(1)),
+                before: EdgeStatus::Frozen,
+                after: EdgeStatus::Volatile,
+            }],
+            findings: vec![Finding {
+                kind: FindingKind::SodConflict,
+                severity: Severity::Error,
+                role: RoleId::from_index(1),
+                term: None,
+                edge: None,
+                confirmation: Some(Confirmation::Confirmed),
+                message: "user reaches both roles of a declared pair".to_string(),
+            }],
+            severed_sessions: vec![3, 909],
+        }),
+        Response::Impact(ImpactReport::default()),
+        Response::Constraints(ConstraintSet {
+            sod_pairs: vec![(RoleId::from_index(0), RoleId::from_index(2))],
+            deny_level: Some(Severity::Warning),
+            frozen_edges: vec![Edge::UserRole(UserId::from_index(0), RoleId::from_index(1))],
+        }),
+        Response::Constraints(ConstraintSet::default()),
     ]
 }
 
@@ -287,6 +345,30 @@ fn all_errors() -> Vec<ServiceError> {
             message: "connection reset".to_string(),
         },
         ServiceError::ReadOnly,
+        ServiceError::Admission(AdmissionReport {
+            findings: vec![
+                Finding {
+                    kind: FindingKind::SodConflict,
+                    severity: Severity::Error,
+                    role: RoleId::from_index(3),
+                    term: None,
+                    edge: None,
+                    confirmation: Some(Confirmation::Confirmed),
+                    message: "separation-of-duty pair reachable by one user".to_string(),
+                },
+                Finding {
+                    kind: FindingKind::FrozenEdgeViolation,
+                    severity: Severity::Error,
+                    role: RoleId::from_index(0),
+                    term: None,
+                    edge: Some(Edge::UserRole(UserId::from_index(1), RoleId::from_index(0))),
+                    confirmation: None,
+                    message: "asserted-permanent edge becomes revocable".to_string(),
+                },
+            ],
+            constraints_checked: 2,
+        }),
+        ServiceError::Admission(AdmissionReport::default()),
     ]
 }
 
@@ -376,6 +458,57 @@ fn golden_frames() -> Vec<(&'static str, Vec<u8>)> {
                 FrameKind::Error,
                 9,
                 &wire::encode_error(&ServiceError::Aborted),
+            ),
+        ),
+        (
+            "set-constraints-request",
+            frame_bytes(
+                FrameKind::Request,
+                11,
+                &wire::encode_request(&Request::SetConstraints {
+                    constraints: ConstraintSet {
+                        sod_pairs: vec![(RoleId::from_index(1), RoleId::from_index(5))],
+                        deny_level: Some(Severity::Error),
+                        frozen_edges: vec![Edge::UserRole(
+                            UserId::from_index(0),
+                            RoleId::from_index(3),
+                        )],
+                    },
+                }),
+            ),
+        ),
+        (
+            "constraints-response",
+            frame_bytes(
+                FrameKind::Response,
+                11,
+                &wire::encode_response(&Response::Constraints(ConstraintSet {
+                    sod_pairs: vec![(RoleId::from_index(1), RoleId::from_index(5))],
+                    deny_level: Some(Severity::Error),
+                    frozen_edges: vec![Edge::UserRole(
+                        UserId::from_index(0),
+                        RoleId::from_index(3),
+                    )],
+                })),
+            ),
+        ),
+        (
+            "admission-error",
+            frame_bytes(
+                FrameKind::Error,
+                12,
+                &wire::encode_error(&ServiceError::Admission(AdmissionReport {
+                    findings: vec![Finding {
+                        kind: FindingKind::SodConflict,
+                        severity: Severity::Error,
+                        role: RoleId::from_index(1),
+                        term: None,
+                        edge: None,
+                        confirmation: Some(Confirmation::Confirmed),
+                        message: "sod".to_string(),
+                    }],
+                    constraints_checked: 1,
+                })),
             ),
         ),
         (
@@ -524,7 +657,7 @@ fn replication_payloads_round_trip() {
         );
     }
 
-    let state = adminref_store::encode_state(&uni, &policy);
+    let state = adminref_store::encode_state(&uni, &policy, &ConstraintSet::default());
     let bytes = wire::encode_repl_snapshot(3, 42, &state);
     let (term, epoch, blob) = wire::decode_repl_snapshot(&bytes).expect("snapshot decodes");
     assert_eq!((term, epoch), (3, 42));
